@@ -1,0 +1,61 @@
+//! Criterion benchmarks of the cache simulator: per-protocol simulation
+//! throughput over a real trace, and the scaling of the parallel
+//! configuration sweep with host threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId as CritId, Criterion, Throughput};
+use pwam_benchmarks::{benchmark, BenchmarkId, Scale};
+use pwam_cachesim::sweep::run_sweep_with_threads;
+use pwam_cachesim::{run_sweep, simulate, CacheConfig, Protocol, SimConfig};
+use rapwam::session::{QueryOptions, Session};
+use rapwam::MemRef;
+
+fn qsort_trace() -> Vec<MemRef> {
+    let bench = benchmark(BenchmarkId::Qsort, Scale::Small);
+    let mut session = Session::new(&bench.program).unwrap();
+    let result = session.run(&bench.query, &QueryOptions::parallel(4).with_trace()).unwrap();
+    result.trace.unwrap()
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let trace = qsort_trace();
+    let mut group = c.benchmark_group("cachesim-protocols");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for protocol in Protocol::ALL {
+        let config = SimConfig {
+            cache: CacheConfig { size_words: 1024, line_words: 4, write_allocate: true },
+            protocol,
+            num_pes: 4,
+        };
+        group.bench_function(CritId::new("simulate", protocol.name()), |b| {
+            b.iter(|| simulate(&config, &trace).bus_words)
+        });
+    }
+    group.finish();
+}
+
+fn bench_sweep_scaling(c: &mut Criterion) {
+    let trace = qsort_trace();
+    let configs: Vec<SimConfig> = [64u32, 128, 256, 512, 1024, 2048, 4096, 8192]
+        .iter()
+        .flat_map(|&size| {
+            Protocol::ALL.iter().map(move |&protocol| SimConfig {
+                cache: CacheConfig::paper_policy(size, protocol),
+                protocol,
+                num_pes: 4,
+            })
+        })
+        .collect();
+    let mut group = c.benchmark_group("cachesim-sweep");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(CritId::new("threads", threads), |b| {
+            b.iter(|| run_sweep_with_threads(&trace, &configs, threads).len())
+        });
+    }
+    group.bench_function("default-threads", |b| b.iter(|| run_sweep(&trace, &configs).len()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols, bench_sweep_scaling);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benchmarks of the front-end and compiler: parsing and
+//! compiling the benchmark programs (plus their generated queries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId as CritId, Criterion};
+use pwam_benchmarks::{benchmark, BenchmarkId, Scale};
+use pwam_compiler::{compile_program_and_query, CompileOptions};
+use pwam_front::parser::{parse_program, parse_query};
+use pwam_front::SymbolTable;
+
+fn bench_compiler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compiler");
+    group.sample_size(30);
+    for id in [BenchmarkId::Deriv, BenchmarkId::Tak, BenchmarkId::Qsort, BenchmarkId::Matrix] {
+        let bench = benchmark(id, Scale::Small);
+        group.bench_function(CritId::new("parse", id.name()), |b| {
+            b.iter(|| {
+                let mut syms = SymbolTable::new();
+                let p = parse_program(&bench.program, &mut syms).unwrap();
+                p.clauses.len()
+            })
+        });
+        group.bench_function(CritId::new("compile-parallel", id.name()), |b| {
+            b.iter(|| {
+                let mut syms = SymbolTable::new();
+                let p = parse_program(&bench.program, &mut syms).unwrap();
+                let q = parse_query(&bench.query, &mut syms).unwrap();
+                compile_program_and_query(&p, &q, &mut syms, CompileOptions::parallel()).unwrap().code_len()
+            })
+        });
+        group.bench_function(CritId::new("compile-sequential", id.name()), |b| {
+            b.iter(|| {
+                let mut syms = SymbolTable::new();
+                let p = parse_program(&bench.program, &mut syms).unwrap();
+                let q = parse_query(&bench.query, &mut syms).unwrap();
+                compile_program_and_query(&p, &q, &mut syms, CompileOptions::sequential()).unwrap().code_len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compiler);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmarks of the abstract machine itself: sequential WAM
+//! execution versus RAP-WAM execution at several PE counts, on the paper's
+//! benchmarks (small inputs so a `cargo bench` run stays short).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId as CritId, Criterion};
+use pwam_benchmarks::{benchmark, BenchmarkId, Scale};
+use rapwam::session::{QueryOptions, Session};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+
+    for id in [BenchmarkId::Deriv, BenchmarkId::Tak, BenchmarkId::Qsort, BenchmarkId::Matrix] {
+        let bench = benchmark(id, Scale::Small);
+        group.bench_function(CritId::new("wam", id.name()), |b| {
+            b.iter(|| {
+                let mut session = Session::new(&bench.program).unwrap();
+                let r = session.run(&bench.query, &QueryOptions::sequential()).unwrap();
+                assert!(r.outcome.is_success());
+                r.stats.data_refs
+            })
+        });
+        for workers in [1usize, 4, 8] {
+            group.bench_function(CritId::new(format!("rapwam-{workers}pe"), id.name()), |b| {
+                b.iter(|| {
+                    let mut session = Session::new(&bench.program).unwrap();
+                    let r = session.run(&bench.query, &QueryOptions::parallel(workers)).unwrap();
+                    assert!(r.outcome.is_success());
+                    r.stats.data_refs
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benchmarks of the experiment harness itself: how long it takes
+//! to regenerate each table/figure on small inputs.  (The full paper-scale
+//! regeneration is done by the `table*`/`figure*` binaries.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pwam_bench::experiments::{figure2, figure4, mlips, table2, table3, ExperimentScale};
+use pwam_cachesim::Protocol;
+
+fn bench_figures(c: &mut Criterion) {
+    let scale = ExperimentScale::Small;
+    let mut group = c.benchmark_group("experiments-small");
+    group.sample_size(10);
+
+    group.bench_function("table2", |b| b.iter(|| table2(scale, 4).rows.len()));
+    group.bench_function("table3", |b| b.iter(|| table3(scale).len()));
+    group.bench_function("figure2", |b| b.iter(|| figure2(scale, &[1, 4]).points.len()));
+    group.bench_function("figure4", |b| {
+        b.iter(|| {
+            figure4(
+                scale,
+                &[Protocol::WriteInBroadcast, Protocol::Hybrid, Protocol::WriteThrough],
+                &[1, 4],
+                &[256, 1024],
+            )
+            .series
+            .len()
+        })
+    });
+    group.bench_function("mlips", |b| b.iter(|| mlips(scale).model.len()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! The paper's published numbers, used for side-by-side comparison in the
+//! experiment output (we reproduce *shapes and rankings*, not the absolute
+//! values of a 1988 software stack).
+
+/// One row of the paper's Table 2 ("Statistics for the Benchmarks Used",
+/// 8 processors).
+#[derive(Debug, Clone, Copy)]
+pub struct Table2Row {
+    pub benchmark: &'static str,
+    pub instructions: u64,
+    pub refs_rapwam: u64,
+    pub refs_wam: u64,
+    pub goals_in_parallel: u64,
+}
+
+/// Table 2 as printed in the paper.
+pub const TABLE2: [Table2Row; 4] = [
+    Table2Row { benchmark: "deriv", instructions: 33_520, refs_rapwam: 85_477, refs_wam: 82_519, goals_in_parallel: 97 },
+    Table2Row { benchmark: "tak", instructions: 75_254, refs_rapwam: 178_967, refs_wam: 169_599, goals_in_parallel: 263 },
+    Table2Row { benchmark: "qsort", instructions: 237_884, refs_rapwam: 502_717, refs_wam: 499_526, goals_in_parallel: 97 },
+    Table2Row { benchmark: "matrix", instructions: 95_349, refs_rapwam: 96_013, refs_wam: 95_357, goals_in_parallel: 24 },
+];
+
+/// Table 3 reference constants: mean and standard deviation of the traffic
+/// ratio of Tick's *large* sequential Prolog benchmarks, for 512- and
+/// 1024-word caches (4-word lines, write-allocate).
+#[derive(Debug, Clone, Copy)]
+pub struct LargeBenchTraffic {
+    pub cache_words: u32,
+    /// E_tr — mean traffic ratio of the large benchmarks.
+    pub mean: f64,
+    /// sigma_tr — standard deviation.
+    pub sigma: f64,
+}
+
+/// The "large bench" column of Table 3.
+pub const TABLE3_LARGE: [LargeBenchTraffic; 2] = [
+    LargeBenchTraffic { cache_words: 512, mean: 0.164, sigma: 0.0626 },
+    LargeBenchTraffic { cache_words: 1024, mean: 0.108, sigma: 0.0569 },
+];
+
+/// Normalised deviations `(tr - E_tr) / sigma_tr` printed in Table 3.
+#[derive(Debug, Clone, Copy)]
+pub struct Table3Row {
+    pub cache_words: u32,
+    pub deriv: f64,
+    pub tak: f64,
+    pub qsort: f64,
+    pub mean: f64,
+}
+
+/// Table 3 as printed in the paper ("Fit of Small Benchmarks to Large
+/// Benchmarks").
+pub const TABLE3: [Table3Row; 2] = [
+    Table3Row { cache_words: 512, deriv: 1.1, tak: -1.9, qsort: 0.83, mean: 1.3 },
+    Table3Row { cache_words: 1024, deriv: 2.0, tak: -1.1, qsort: 1.6, mean: 1.6 },
+];
+
+/// Headline qualitative claims checked by the experiment harness and the
+/// integration tests.
+pub mod claims {
+    /// Figure 2: RAP-WAM overhead for deriv stays small even at 40 PEs
+    /// (the paper reports on the order of 15%).
+    pub const FIGURE2_MAX_OVERHEAD: f64 = 0.35;
+    /// §3.3: eight PEs with >= 128-word broadcast caches leave less than 30%
+    /// of the processor traffic on the bus.
+    pub const BROADCAST_TRAFFIC_AT_128_WORDS_8PE: f64 = 0.30;
+    /// Figure 4 ranking: broadcast <= hybrid <= write-through (traffic).
+    pub const RANKING: [&str; 3] = ["broadcast", "hybrid", "write-thru"];
+    /// §3.3: target application inference rate (million inferences/second).
+    pub const TARGET_MLIPS: f64 = 2.0;
+    /// Average WAM instructions per inference assumed by the paper.
+    pub const INSTRUCTIONS_PER_INFERENCE: f64 = 15.0;
+    /// Average references per instruction assumed by the paper.
+    pub const REFS_PER_INSTRUCTION: f64 = 3.0;
+}
+
+/// The cache sizes (in words) swept in Figure 4.
+pub const FIGURE4_CACHE_SIZES: [u32; 8] = [64, 128, 256, 512, 1024, 2048, 4096, 8192];
+
+/// The PE counts plotted in Figure 4.
+pub const FIGURE4_PE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_rows_cover_all_benchmarks() {
+        let names: Vec<_> = TABLE2.iter().map(|r| r.benchmark).collect();
+        assert_eq!(names, vec!["deriv", "tak", "qsort", "matrix"]);
+    }
+
+    #[test]
+    fn table3_constants_are_positive() {
+        for l in TABLE3_LARGE {
+            assert!(l.mean > 0.0 && l.sigma > 0.0);
+        }
+    }
+
+    #[test]
+    fn figure4_sweep_is_sorted() {
+        assert!(FIGURE4_CACHE_SIZES.windows(2).all(|w| w[0] < w[1]));
+        assert!(FIGURE4_PE_COUNTS.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,110 @@
+//! Minimal fixed-width text-table rendering for the experiment binaries.
+
+/// A simple text table: header row plus data rows, rendered with columns
+/// sized to their widest cell.
+#[derive(Debug, Default, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a data row (must have the same number of cells as the header).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width must match the header");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render the table.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", c, width = widths[i]));
+            }
+            line
+        };
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with three decimal places.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format a float with two decimal places.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]).row(vec!["longer", "12345"]);
+        let s = t.render();
+        assert!(s.contains("name"));
+        assert!(s.contains("longer"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // all lines have the same width
+        assert_eq!(lines[0].len(), lines[2].len().max(lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f3(0.123456), "0.123");
+        assert_eq!(f2(1.0), "1.00");
+    }
+}

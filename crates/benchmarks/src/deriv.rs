@@ -1,0 +1,119 @@
+//! `deriv` — symbolic differentiation.
+//!
+//! The classic Prolog symbolic-differentiation benchmark, annotated with
+//! unconditional CGEs: the sub-derivatives of `U+V`, `U*V`, ... are
+//! independent (the input expression is ground and the output variables are
+//! distinct), so compile-time analysis removes the run-time checks — exactly
+//! the situation the paper describes as typical after global analysis.
+//!
+//! The granularity is small (each node of the expression tree is one
+//! parallel call), which the paper uses as a worst-case for the
+//! parallelism-management overhead (Figure 2).
+
+use crate::{runner::Validation, Benchmark, BenchmarkId, Scale};
+
+/// The annotated differentiation program.
+pub const PROGRAM: &str = r#"
+% d(Expression, Variable, Derivative)
+% The cuts mirror the classic benchmark: the clauses are mutually exclusive,
+% so each cut discards the selection choice point as soon as the head has
+% committed (first-argument indexing already avoids most of them).
+d(U+V, X, DU+DV) :- !,
+    ( d(U, X, DU) & d(V, X, DV) ).
+d(U-V, X, DU-DV) :- !,
+    ( d(U, X, DU) & d(V, X, DV) ).
+d(U*V, X, DU*V + U*DV) :- !,
+    ( d(U, X, DU) & d(V, X, DV) ).
+d(U/V, X, (DU*V - U*DV) / (V*V)) :- !,
+    ( d(U, X, DU) & d(V, X, DV) ).
+d(-U, X, -DU) :- !,
+    d(U, X, DU).
+d(exp(U), X, exp(U)*DU) :- !,
+    d(U, X, DU).
+d(log(U), X, DU/U) :- !,
+    d(U, X, DU).
+d(X, X, 1) :- !.
+d(C, _, 0) :- atomic(C).
+"#;
+
+/// Parameters of the generated input expression.
+#[derive(Debug, Clone, Copy)]
+pub struct DerivParams {
+    /// Depth of the balanced expression tree that is generated.
+    pub depth: u32,
+}
+
+impl DerivParams {
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Small => DerivParams { depth: 4 },
+            Scale::Paper => DerivParams { depth: 9 },
+            Scale::Large => DerivParams { depth: 10 },
+        }
+    }
+}
+
+/// Generate a ground arithmetic expression in `x` as Prolog text.
+///
+/// The generator is deterministic: it cycles through the operator set so the
+/// expression exercises every clause of `d/3` (including the sequential
+/// `exp`/`log`/negation cases) while staying perfectly reproducible.
+pub fn expression(params: DerivParams) -> String {
+    build_expr(params.depth, 0)
+}
+
+fn build_expr(depth: u32, salt: u32) -> String {
+    if depth == 0 {
+        // Leaves alternate between the differentiation variable and constants.
+        return match salt % 3 {
+            0 => "x".to_string(),
+            1 => ((salt % 7) + 1).to_string(),
+            _ => "a".to_string(),
+        };
+    }
+    let left = build_expr(depth - 1, salt * 2 + 1);
+    let right = build_expr(depth - 1, salt * 2 + 2);
+    match salt % 6 {
+        0 => format!("({left} + {right})"),
+        1 => format!("({left} * {right})"),
+        2 => format!("({left} - {right})"),
+        3 => format!("({left} / {right})"),
+        4 => format!("exp({left})"),
+        _ => format!("log(({left} + {right}))"),
+    }
+}
+
+/// Build the benchmark instance.
+pub fn build(scale: Scale) -> Benchmark {
+    let params = DerivParams::for_scale(scale);
+    let expr = expression(params);
+    Benchmark {
+        id: BenchmarkId::Deriv,
+        scale,
+        program: PROGRAM.to_string(),
+        query: format!("d({expr}, x, D)"),
+        validation: Validation::MatchesSequential { variable: "D".to_string() },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expression_is_deterministic_and_grows_with_depth() {
+        let a = expression(DerivParams { depth: 3 });
+        let b = expression(DerivParams { depth: 3 });
+        assert_eq!(a, b);
+        let big = expression(DerivParams { depth: 6 });
+        assert!(big.len() > a.len());
+        assert!(big.contains('x'));
+    }
+
+    #[test]
+    fn benchmark_builds() {
+        let b = build(Scale::Small);
+        assert!(b.query.starts_with("d("));
+        assert!(b.program.contains("d(U+V"));
+    }
+}

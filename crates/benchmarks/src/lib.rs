@@ -1,0 +1,112 @@
+//! # pwam-benchmarks — the ICPP'88 benchmark suite
+//!
+//! The four programs the paper measures (Section 3.2):
+//!
+//! * **deriv** — symbolic differentiation of an arithmetic expression,
+//! * **tak** — Takeuchi's function,
+//! * **qsort** — Quicksort written with difference lists,
+//! * **matrix** — naive matrix multiplication.
+//!
+//! Each benchmark provides its annotated (CGE) Prolog source, a scalable
+//! input generator, the query text, and a host-side validation of the
+//! answer.  The inputs default to sizes that produce reference counts of the
+//! same order of magnitude as the paper's Table 2 (tens of thousands to a
+//! few hundred thousand references); `Scale::Small` gives quick inputs for
+//! unit tests.
+
+pub mod deriv;
+pub mod matrix;
+pub mod qsort;
+pub mod runner;
+pub mod tak;
+
+pub use runner::{run_benchmark, validate, RunSummary, Validation};
+
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's four benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BenchmarkId {
+    Deriv,
+    Tak,
+    Qsort,
+    Matrix,
+}
+
+impl BenchmarkId {
+    /// All four benchmarks, in the paper's order.
+    pub const ALL: [BenchmarkId; 4] =
+        [BenchmarkId::Deriv, BenchmarkId::Tak, BenchmarkId::Qsort, BenchmarkId::Matrix];
+
+    /// The name used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchmarkId::Deriv => "deriv",
+            BenchmarkId::Tak => "tak",
+            BenchmarkId::Qsort => "qsort",
+            BenchmarkId::Matrix => "matrix",
+        }
+    }
+}
+
+/// Input scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scale {
+    /// Tiny inputs for unit tests (sub-second in debug builds).
+    Small,
+    /// Inputs comparable to the paper's "relatively large input data".
+    Paper,
+    /// Larger inputs for stress runs and host-parallelism benchmarks.
+    Large,
+}
+
+/// A concrete benchmark instance: program, query and validation.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    pub id: BenchmarkId,
+    pub scale: Scale,
+    /// Annotated (CGE) program source.
+    pub program: String,
+    /// Query text, e.g. `"d(<expr>, x, D)"`.
+    pub query: String,
+    /// How to check the answer.
+    pub validation: Validation,
+}
+
+/// Build a benchmark instance.
+pub fn benchmark(id: BenchmarkId, scale: Scale) -> Benchmark {
+    match id {
+        BenchmarkId::Deriv => deriv::build(scale),
+        BenchmarkId::Tak => tak::build(scale),
+        BenchmarkId::Qsort => qsort::build(scale),
+        BenchmarkId::Matrix => matrix::build(scale),
+    }
+}
+
+/// All four benchmarks at one scale.
+pub fn all_benchmarks(scale: Scale) -> Vec<Benchmark> {
+    BenchmarkId::ALL.iter().map(|&id| benchmark(id, scale)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_the_paper() {
+        let names: Vec<_> = BenchmarkId::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["deriv", "tak", "qsort", "matrix"]);
+    }
+
+    #[test]
+    fn all_benchmarks_build_at_every_scale() {
+        for scale in [Scale::Small, Scale::Paper, Scale::Large] {
+            let benches = all_benchmarks(scale);
+            assert_eq!(benches.len(), 4);
+            for b in benches {
+                assert!(!b.program.is_empty());
+                assert!(!b.query.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! `matrix` — naive matrix multiplication.
+//!
+//! Rows of the result are computed in parallel (one CGE branch per row via
+//! the recursion over rows), which is the coarse-granularity member of the
+//! benchmark set: the paper notes that `matrix` has much larger grain size
+//! than the other three programs.
+
+use crate::{runner::Validation, Benchmark, BenchmarkId, Scale};
+
+/// The annotated program.  The second matrix is supplied already transposed
+/// (its columns as rows), as is conventional for this benchmark.
+pub const PROGRAM: &str = r#"
+mmultiply([], _, []).
+mmultiply([Row|Rows], Cols, [Result|Results]) :-
+    ( ground(Row), ground(Cols) |
+      multiply_row(Cols, Row, Result) & mmultiply(Rows, Cols, Results) ).
+
+multiply_row([], _, []).
+multiply_row([Col|Cols], Row, [R|Rs]) :-
+    vmul(Row, Col, 0, R),
+    multiply_row(Cols, Row, Rs).
+
+vmul([], [], Acc, Acc).
+vmul([A|As], [B|Bs], Acc, R) :-
+    Acc1 is Acc + A * B,
+    vmul(As, Bs, Acc1, R).
+"#;
+
+/// Input parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixParams {
+    /// Matrices are `n × n`.
+    pub n: usize,
+    /// Seed for the deterministic element generator.
+    pub seed: u64,
+}
+
+impl MatrixParams {
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Small => MatrixParams { n: 4, seed: 5 },
+            Scale::Paper => MatrixParams { n: 10, seed: 5 },
+            Scale::Large => MatrixParams { n: 16, seed: 5 },
+        }
+    }
+}
+
+/// Generate an `n × n` matrix of small integers.
+pub fn generate(params: MatrixParams, which: u64) -> Vec<Vec<i64>> {
+    let mut state = params.seed.wrapping_add(which).wrapping_mul(0x9E3779B97F4A7C15);
+    (0..params.n)
+        .map(|_| {
+            (0..params.n)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    ((state >> 40) % 10) as i64
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Transpose a matrix.
+pub fn transpose(m: &[Vec<i64>]) -> Vec<Vec<i64>> {
+    if m.is_empty() {
+        return Vec::new();
+    }
+    (0..m[0].len()).map(|j| m.iter().map(|row| row[j]).collect()).collect()
+}
+
+/// Host-side reference product for validation.
+pub fn multiply(a: &[Vec<i64>], b: &[Vec<i64>]) -> Vec<Vec<i64>> {
+    let n = a.len();
+    let m = b[0].len();
+    let k = b.len();
+    (0..n)
+        .map(|i| (0..m).map(|j| (0..k).map(|x| a[i][x] * b[x][j]).sum()).collect())
+        .collect()
+}
+
+/// Render a matrix as a Prolog list of lists.
+pub fn matrix_text(m: &[Vec<i64>]) -> String {
+    let rows: Vec<String> = m
+        .iter()
+        .map(|row| {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            format!("[{}]", cells.join(","))
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
+/// Build the benchmark instance.
+pub fn build(scale: Scale) -> Benchmark {
+    let p = MatrixParams::for_scale(scale);
+    let a = generate(p, 1);
+    let b = generate(p, 2);
+    let expected = multiply(&a, &b);
+    let b_t = transpose(&b);
+    Benchmark {
+        id: BenchmarkId::Matrix,
+        scale,
+        program: PROGRAM.to_string(),
+        query: format!("mmultiply({}, {}, C)", matrix_text(&a), matrix_text(&b_t)),
+        validation: Validation::EqualsMatrix { variable: "C".to_string(), expected },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_multiply() {
+        let a = vec![vec![1, 2], vec![3, 4]];
+        let b = vec![vec![5, 6], vec![7, 8]];
+        assert_eq!(multiply(&a, &b), vec![vec![19, 22], vec![43, 50]]);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let p = MatrixParams { n: 3, seed: 9 };
+        let m = generate(p, 1);
+        assert_eq!(transpose(&transpose(&m)), m);
+    }
+
+    #[test]
+    fn matrix_text_is_prolog_syntax() {
+        assert_eq!(matrix_text(&[vec![1, 2], vec![3, 4]]), "[[1,2],[3,4]]");
+    }
+
+    #[test]
+    fn benchmark_builds() {
+        let b = build(Scale::Small);
+        assert!(b.query.starts_with("mmultiply([["));
+    }
+}

@@ -1,0 +1,102 @@
+//! `qsort` — Quicksort written with difference lists, as in the paper.
+//!
+//! The two recursive sorts work on the disjoint partitions `L1` and `L2`;
+//! the CGE guards the parallel execution with an `indep/2` check on the two
+//! partitions, mirroring the annotation used in the original RAP-WAM
+//! benchmark suite.  (The open tail `R1` is shared between the branches but
+//! only ever *bound* by one of them — the classic non-strict-independence
+//! situation of the difference-list formulation; see DESIGN.md.)
+
+use crate::{runner::Validation, Benchmark, BenchmarkId, Scale};
+
+/// The annotated program.
+pub const PROGRAM: &str = r#"
+qsort([], R, R).
+qsort([X|L], R, R0) :-
+    partition(L, X, L1, L2),
+    ( indep(L1, L2) |
+      qsort(L1, R, [X|R1]) & qsort(L2, R1, R0) ).
+
+partition([], _, [], []).
+partition([E|R], C, [E|L1], L2) :-
+    E =< C, !,
+    partition(R, C, L1, L2).
+partition([E|R], C, L1, [E|L2]) :-
+    partition(R, C, L1, L2).
+"#;
+
+/// Input parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct QsortParams {
+    /// Number of elements to sort.
+    pub length: usize,
+    /// Seed of the deterministic pseudo-random permutation.
+    pub seed: u64,
+}
+
+impl QsortParams {
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Small => QsortParams { length: 30, seed: 11 },
+            Scale::Paper => QsortParams { length: 300, seed: 11 },
+            Scale::Large => QsortParams { length: 1000, seed: 11 },
+        }
+    }
+}
+
+/// The input list (deterministic linear-congruential permutation).
+pub fn input_list(params: QsortParams) -> Vec<i64> {
+    let mut state = params.seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    (0..params.length)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 10_000) as i64
+        })
+        .collect()
+}
+
+fn list_text(items: &[i64]) -> String {
+    let inner: Vec<String> = items.iter().map(|i| i.to_string()).collect();
+    format!("[{}]", inner.join(","))
+}
+
+/// Build the benchmark instance.
+pub fn build(scale: Scale) -> Benchmark {
+    let p = QsortParams::for_scale(scale);
+    let input = input_list(p);
+    let mut sorted = input.clone();
+    sorted.sort_unstable();
+    Benchmark {
+        id: BenchmarkId::Qsort,
+        scale,
+        program: PROGRAM.to_string(),
+        query: format!("qsort({}, S, [])", list_text(&input)),
+        validation: Validation::EqualsList { variable: "S".to_string(), expected: sorted },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_is_deterministic() {
+        let a = input_list(QsortParams { length: 10, seed: 3 });
+        let b = input_list(QsortParams { length: 10, seed: 3 });
+        assert_eq!(a, b);
+        let c = input_list(QsortParams { length: 10, seed: 4 });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn benchmark_builds_with_sorted_expectation() {
+        let b = build(Scale::Small);
+        match &b.validation {
+            Validation::EqualsList { expected, .. } => {
+                assert!(expected.windows(2).all(|w| w[0] <= w[1]));
+                assert_eq!(expected.len(), 30);
+            }
+            other => panic!("unexpected validation {other:?}"),
+        }
+    }
+}

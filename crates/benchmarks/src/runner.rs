@@ -1,0 +1,156 @@
+//! Running and validating benchmark instances.
+
+use crate::Benchmark;
+use rapwam::session::{QueryOptions, Session, SessionError};
+use rapwam::{Outcome, RunResult};
+
+/// How a benchmark's answer is checked.
+#[derive(Debug, Clone)]
+pub enum Validation {
+    /// The named query variable must be bound to this integer.
+    EqualsInt { variable: String, expected: i64 },
+    /// The named query variable must be bound to this list of integers.
+    EqualsList { variable: String, expected: Vec<i64> },
+    /// The named query variable must be bound to this matrix (list of lists
+    /// of integers).
+    EqualsMatrix { variable: String, expected: Vec<Vec<i64>> },
+    /// The named variable's rendered value must equal the one produced by a
+    /// sequential (WAM) run of the same benchmark.
+    MatchesSequential { variable: String },
+    /// Only require that the query succeeds.
+    SucceedsOnly,
+}
+
+/// Summary of one benchmark execution.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    pub name: &'static str,
+    pub workers: usize,
+    pub parallel: bool,
+    pub result: RunResult,
+}
+
+/// Execute a benchmark with the given options.
+pub fn run_benchmark(bench: &Benchmark, options: &QueryOptions) -> Result<RunSummary, SessionError> {
+    let mut session = Session::new(&bench.program)?;
+    let result = session.run(&bench.query, options)?;
+    Ok(RunSummary { name: bench.id.name(), workers: options.workers, parallel: options.parallel, result })
+}
+
+/// Execute a benchmark and keep the session (needed to render answers).
+pub fn run_benchmark_with_session(
+    bench: &Benchmark,
+    options: &QueryOptions,
+) -> Result<(Session, RunResult), SessionError> {
+    let mut session = Session::new(&bench.program)?;
+    let result = session.run(&bench.query, options)?;
+    Ok((session, result))
+}
+
+fn render_list(items: &[i64]) -> String {
+    let inner: Vec<String> = items.iter().map(|i| i.to_string()).collect();
+    format!("[{}]", inner.join(","))
+}
+
+fn render_matrix(m: &[Vec<i64>]) -> String {
+    let rows: Vec<String> = m.iter().map(|r| render_list(r)).collect();
+    format!("[{}]", rows.join(","))
+}
+
+/// Validate a benchmark result.  Returns an error message when the answer is
+/// wrong; `Ok(())` when it checks out.
+pub fn validate(bench: &Benchmark, session: &Session, result: &RunResult) -> Result<(), String> {
+    let bindings = match &result.outcome {
+        Outcome::Success(b) => b,
+        Outcome::Failure => return Err(format!("{} query failed", bench.id.name())),
+    };
+    let lookup = |var: &str| -> Result<String, String> {
+        bindings
+            .iter()
+            .find(|(n, _)| n == var)
+            .map(|(_, t)| session.render(t))
+            .ok_or_else(|| format!("no binding for {var}"))
+    };
+    match &bench.validation {
+        Validation::SucceedsOnly => Ok(()),
+        Validation::EqualsInt { variable, expected } => {
+            let got = lookup(variable)?;
+            if got == expected.to_string() {
+                Ok(())
+            } else {
+                Err(format!("{}: expected {variable} = {expected}, got {got}", bench.id.name()))
+            }
+        }
+        Validation::EqualsList { variable, expected } => {
+            let got = lookup(variable)?;
+            let want = render_list(expected);
+            if got == want {
+                Ok(())
+            } else {
+                Err(format!("{}: expected {variable} = {want}, got {got}", bench.id.name()))
+            }
+        }
+        Validation::EqualsMatrix { variable, expected } => {
+            let got = lookup(variable)?;
+            let want = render_matrix(expected);
+            if got == want {
+                Ok(())
+            } else {
+                Err(format!("{}: expected {variable} = {want}, got {got}", bench.id.name()))
+            }
+        }
+        Validation::MatchesSequential { variable } => {
+            let (seq_session, seq_result) =
+                run_benchmark_with_session(bench, &QueryOptions::sequential()).map_err(|e| e.to_string())?;
+            let seq = match &seq_result.outcome {
+                Outcome::Success(b) => b
+                    .iter()
+                    .find(|(n, _)| n == variable)
+                    .map(|(_, t)| seq_session.render(t))
+                    .ok_or_else(|| format!("sequential run has no binding for {variable}"))?,
+                Outcome::Failure => return Err("sequential reference run failed".to_string()),
+            };
+            let got = lookup(variable)?;
+            if got == seq {
+                Ok(())
+            } else {
+                Err(format!("{}: parallel answer differs from sequential answer", bench.id.name()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{benchmark, BenchmarkId, Scale};
+
+    #[test]
+    fn render_helpers() {
+        assert_eq!(render_list(&[1, 2, 3]), "[1,2,3]");
+        assert_eq!(render_matrix(&[vec![1], vec![2]]), "[[1],[2]]");
+    }
+
+    #[test]
+    fn tak_small_runs_and_validates_sequentially() {
+        let b = benchmark(BenchmarkId::Tak, Scale::Small);
+        let (session, result) = run_benchmark_with_session(&b, &QueryOptions::sequential()).unwrap();
+        validate(&b, &session, &result).unwrap();
+    }
+
+    #[test]
+    fn qsort_small_runs_and_validates_in_parallel() {
+        let b = benchmark(BenchmarkId::Qsort, Scale::Small);
+        let (session, result) = run_benchmark_with_session(&b, &QueryOptions::parallel(4)).unwrap();
+        validate(&b, &session, &result).unwrap();
+        assert!(result.stats.parcalls > 0);
+    }
+
+    #[test]
+    fn wrong_expectation_is_detected() {
+        let mut b = benchmark(BenchmarkId::Tak, Scale::Small);
+        b.validation = Validation::EqualsInt { variable: "A".to_string(), expected: -1 };
+        let (session, result) = run_benchmark_with_session(&b, &QueryOptions::sequential()).unwrap();
+        assert!(validate(&b, &session, &result).is_err());
+    }
+}

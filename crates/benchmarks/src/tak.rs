@@ -1,0 +1,82 @@
+//! `tak` — Takeuchi's function.
+//!
+//! The three recursive calls of each step are independent once their
+//! (ground) integer arguments are computed, which the CGE expresses with
+//! `ground/1` run-time checks — this benchmark therefore also exercises the
+//! `check_ground` instructions of the RAP-WAM.
+
+use crate::{runner::Validation, Benchmark, BenchmarkId, Scale};
+
+/// The annotated program.
+pub const PROGRAM: &str = r#"
+tak(X, Y, Z, A) :-
+    X =< Y, !,
+    A = Z.
+tak(X, Y, Z, A) :-
+    X1 is X - 1,
+    Y1 is Y - 1,
+    Z1 is Z - 1,
+    ( ground(X1), ground(Y1), ground(Z1) |
+      tak(X1, Y, Z, A1) & tak(Y1, Z, X, A2) & tak(Z1, X, Y, A3) ),
+    tak(A1, A2, A3, A).
+"#;
+
+/// Input arguments of the Takeuchi function.
+#[derive(Debug, Clone, Copy)]
+pub struct TakParams {
+    pub x: i64,
+    pub y: i64,
+    pub z: i64,
+}
+
+impl TakParams {
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Small => TakParams { x: 10, y: 6, z: 3 },
+            Scale::Paper => TakParams { x: 12, y: 8, z: 4 },
+            Scale::Large => TakParams { x: 18, y: 12, z: 6 },
+        }
+    }
+}
+
+/// Host-side reference implementation used for validation.
+pub fn tak(x: i64, y: i64, z: i64) -> i64 {
+    if x <= y {
+        z
+    } else {
+        tak(tak(x - 1, y, z), tak(y - 1, z, x), tak(z - 1, x, y))
+    }
+}
+
+/// Build the benchmark instance.
+pub fn build(scale: Scale) -> Benchmark {
+    let p = TakParams::for_scale(scale);
+    Benchmark {
+        id: BenchmarkId::Tak,
+        scale,
+        program: PROGRAM.to_string(),
+        query: format!("tak({}, {}, {}, A)", p.x, p.y, p.z),
+        validation: Validation::EqualsInt { variable: "A".to_string(), expected: tak(p.x, p.y, p.z) },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_tak_values() {
+        assert_eq!(tak(18, 12, 6), 7);
+        assert_eq!(tak(10, 6, 3), 4);
+        assert_eq!(tak(1, 1, 1), 1);
+    }
+
+    #[test]
+    fn benchmark_builds_with_expected_value() {
+        let b = build(Scale::Small);
+        match &b.validation {
+            Validation::EqualsInt { expected, .. } => assert_eq!(*expected, 4),
+            other => panic!("unexpected validation {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Correctness of the four ICPP'88 benchmarks in every execution mode.
+//!
+//! Each benchmark (at `Scale::Small`) must produce the correct answer
+//! sequentially (WAM) and in parallel (RAP-WAM) on several PE counts, and
+//! the parallel run must actually use the parallel machinery.
+
+use pwam_benchmarks::{all_benchmarks, benchmark, runner, BenchmarkId, Scale};
+use rapwam::session::QueryOptions;
+
+fn check(id: BenchmarkId, options: &QueryOptions) {
+    let b = benchmark(id, Scale::Small);
+    let (session, result) = runner::run_benchmark_with_session(&b, options)
+        .unwrap_or_else(|e| panic!("{} failed to run: {e}", id.name()));
+    runner::validate(&b, &session, &result).unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
+fn all_benchmarks_are_correct_sequentially() {
+    for id in BenchmarkId::ALL {
+        check(id, &QueryOptions::sequential());
+    }
+}
+
+#[test]
+fn all_benchmarks_are_correct_on_one_parallel_worker() {
+    for id in BenchmarkId::ALL {
+        check(id, &QueryOptions::parallel(1));
+    }
+}
+
+#[test]
+fn all_benchmarks_are_correct_on_four_workers() {
+    for id in BenchmarkId::ALL {
+        check(id, &QueryOptions::parallel(4));
+    }
+}
+
+#[test]
+fn all_benchmarks_are_correct_on_eight_workers() {
+    for id in BenchmarkId::ALL {
+        check(id, &QueryOptions::parallel(8));
+    }
+}
+
+#[test]
+fn parallel_runs_exercise_the_parallel_machinery() {
+    for id in BenchmarkId::ALL {
+        let b = benchmark(id, Scale::Small);
+        let summary = runner::run_benchmark(&b, &QueryOptions::parallel(4)).unwrap();
+        assert!(
+            summary.result.stats.parcalls > 0,
+            "{} did not execute any parallel call",
+            id.name()
+        );
+        assert!(
+            summary.result.stats.goals_actually_parallel > 0,
+            "{} never had a goal picked up by another PE",
+            id.name()
+        );
+    }
+}
+
+#[test]
+fn reference_counts_are_plausible_for_every_benchmark() {
+    for b in all_benchmarks(Scale::Small) {
+        let summary = runner::run_benchmark(&b, &QueryOptions::sequential()).unwrap();
+        let stats = &summary.result.stats;
+        let rpi = stats.refs_per_instruction();
+        assert!(
+            rpi > 1.0 && rpi < 8.0,
+            "{}: implausible references/instruction {rpi}",
+            b.id.name()
+        );
+        assert!(stats.instructions > 100, "{}: suspiciously few instructions", b.id.name());
+    }
+}
+
+#[test]
+fn parallel_work_matches_sequential_work_within_overhead_bounds() {
+    // The RAP-WAM on one PE should perform the sequential work plus a modest
+    // parallelism-management overhead (the paper reports ~15% for deriv,
+    // which is its fine-granularity worst case).
+    for id in BenchmarkId::ALL {
+        let b = benchmark(id, Scale::Small);
+        let seq = runner::run_benchmark(&b, &QueryOptions::sequential()).unwrap();
+        let par = runner::run_benchmark(&b, &QueryOptions::parallel(1)).unwrap();
+        let ratio = par.result.stats.data_refs as f64 / seq.result.stats.data_refs as f64;
+        assert!(ratio >= 0.99, "{}: parallel work below sequential work ({ratio})", id.name());
+        assert!(ratio < 1.6, "{}: overhead on one PE is implausibly high ({ratio})", id.name());
+    }
+}
+
+#[test]
+fn trace_collection_works_for_all_benchmarks() {
+    for id in BenchmarkId::ALL {
+        let b = benchmark(id, Scale::Small);
+        let opts = QueryOptions::parallel(2).with_trace();
+        let summary = runner::run_benchmark(&b, &opts).unwrap();
+        let trace = summary.result.trace.expect("trace requested");
+        assert_eq!(trace.len() as u64, summary.result.stats.data_refs);
+    }
+}

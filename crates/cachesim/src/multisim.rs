@@ -1,0 +1,474 @@
+//! The multiprocessor cache simulator proper: per-PE LRU caches kept
+//! coherent over a shared bus, with bus-traffic accounting.
+//!
+//! ## Traffic accounting
+//!
+//! The figure of merit is the *traffic ratio* — data words moved over the
+//! bus per word referenced by a processor.  The simulator counts:
+//!
+//! * line fetches (`line_words` per fetch, whether served by memory or by a
+//!   remote cache),
+//! * words written through to memory,
+//! * word-update broadcasts (update protocols),
+//! * write-backs of dirty lines (`line_words` each).
+//!
+//! Pure invalidation signals carry no data word; they are counted as bus
+//! transactions (and in `invalidations`) but contribute zero words, which is
+//! the convention that makes the conventional write-through cache look as
+//! bad as it does in the paper.
+
+use crate::config::{Protocol, SimConfig};
+use crate::lru::{LineState, LruCache};
+use crate::results::SimResult;
+use rapwam::{Locality, MemRef};
+
+/// The simulator state: one cache per PE plus the shared-bus counters.
+#[derive(Debug)]
+pub struct MultiCacheSim {
+    config: SimConfig,
+    caches: Vec<LruCache>,
+    result: SimResult,
+}
+
+impl MultiCacheSim {
+    pub fn new(config: SimConfig) -> Self {
+        let caches = (0..config.num_pes).map(|_| LruCache::new(config.cache.capacity_lines())).collect();
+        MultiCacheSim { config, caches, result: SimResult::new(config) }
+    }
+
+    /// The line address containing a word address.
+    fn line_of(&self, addr: u32) -> u32 {
+        addr / self.config.cache.line_words
+    }
+
+    /// Feed one reference into the simulator.
+    pub fn access(&mut self, pe: usize, addr: u32, write: bool, locality: Locality) {
+        assert!(pe < self.config.num_pes, "reference from PE {pe} but only {} PEs configured", self.config.num_pes);
+        let line = self.line_of(addr);
+        self.result.refs += 1;
+        if write {
+            self.result.writes += 1;
+            self.write_access(pe, line, locality);
+        } else {
+            self.result.reads += 1;
+            self.read_access(pe, line);
+        }
+    }
+
+    /// Feed a whole trace.
+    pub fn run_trace(&mut self, trace: &[MemRef]) {
+        for r in trace {
+            self.access(r.pe as usize, r.addr, r.write, r.locality);
+        }
+    }
+
+    /// Finish the simulation and return the results.  Dirty lines remaining
+    /// in the caches are *not* flushed (the paper measures steady-state
+    /// traffic, not a final flush).
+    pub fn finish(self) -> SimResult {
+        self.result
+    }
+
+    // -----------------------------------------------------------------
+
+    fn read_access(&mut self, pe: usize, line: u32) {
+        if self.caches[pe].touch(line).is_some() {
+            return; // read hit: no bus traffic
+        }
+        self.result.read_misses += 1;
+        // A dirty remote copy supplies the line (and memory snoops the same
+        // transfer), so the data words are only counted once — by the fetch
+        // below; clean remote copies just become shared.
+        let mut remote_copy = false;
+        for other in 0..self.caches.len() {
+            if other == pe {
+                continue;
+            }
+            match self.caches[other].peek(line) {
+                Some(LineState::Dirty) => {
+                    self.result.write_backs += 1;
+                    self.caches[other].set_state(line, LineState::Shared);
+                    remote_copy = true;
+                }
+                Some(_) => {
+                    self.caches[other].set_state(line, LineState::Shared);
+                    remote_copy = true;
+                }
+                None => {}
+            }
+        }
+        // Fetch the line (from memory or the supplying cache).
+        self.fetch_line(pe, line, if remote_copy { LineState::Shared } else { LineState::Exclusive });
+    }
+
+    fn write_access(&mut self, pe: usize, line: u32, locality: Locality) {
+        let hit = self.caches[pe].touch(line).is_some();
+        if !hit {
+            self.result.write_misses += 1;
+        }
+        match self.config.protocol {
+            Protocol::WriteThrough => self.write_through(pe, line, hit, true),
+            Protocol::Hybrid => match locality {
+                Locality::Global => self.write_through(pe, line, hit, false),
+                Locality::Local => self.write_back_private(pe, line, hit),
+            },
+            Protocol::WriteInBroadcast => self.write_invalidate(pe, line, hit),
+            Protocol::WriteThroughBroadcast => self.write_update(pe, line, hit),
+        }
+    }
+
+    /// Conventional write-through: the word always goes to memory and remote
+    /// copies are invalidated.  When `allocate_policy` is true the cache's
+    /// write-allocate setting decides whether a missing block is fetched;
+    /// the hybrid protocol's global writes never allocate.
+    fn write_through(&mut self, pe: usize, line: u32, hit: bool, allocate_policy: bool) {
+        self.invalidate_others(pe, line);
+        // The written word travels to memory.
+        self.result.write_through_words += 1;
+        self.result.bus_words += 1;
+        self.result.bus_transactions += 1;
+        if hit {
+            // Copy stays valid and consistent (memory was just updated).
+            self.caches[pe].set_state(line, LineState::Shared);
+        } else if allocate_policy && self.config.cache.write_allocate {
+            self.fetch_line(pe, line, LineState::Shared);
+        }
+    }
+
+    /// Copy-back of local (unshared) data: no coherency actions at all.
+    fn write_back_private(&mut self, pe: usize, line: u32, hit: bool) {
+        if hit {
+            self.caches[pe].set_state(line, LineState::Dirty);
+            return;
+        }
+        if self.config.cache.write_allocate {
+            self.fetch_line(pe, line, LineState::Dirty);
+        } else {
+            self.result.write_through_words += 1;
+            self.result.bus_words += 1;
+            self.result.bus_transactions += 1;
+        }
+    }
+
+    /// Write-in broadcast (invalidate-based write-back).
+    fn write_invalidate(&mut self, pe: usize, line: u32, hit: bool) {
+        if hit {
+            match self.caches[pe].peek(line).expect("hit implies resident") {
+                LineState::Dirty => {}
+                LineState::Exclusive => {
+                    self.caches[pe].set_state(line, LineState::Dirty);
+                }
+                LineState::Shared => {
+                    self.invalidate_others(pe, line);
+                    self.caches[pe].set_state(line, LineState::Dirty);
+                }
+            }
+            return;
+        }
+        // Write miss.
+        // A dirty remote copy supplies the block in the same transaction as
+        // the fetch below (read-with-intent-to-modify); only count it once.
+        for other in 0..self.caches.len() {
+            if other != pe && self.caches[other].peek(line) == Some(LineState::Dirty) {
+                self.result.write_backs += 1;
+            }
+        }
+        self.invalidate_others(pe, line);
+        if self.config.cache.write_allocate {
+            // Read the block with intent to modify.
+            self.fetch_line(pe, line, LineState::Dirty);
+        } else {
+            // No allocation: the word goes straight to memory.
+            self.result.write_through_words += 1;
+            self.result.bus_words += 1;
+            self.result.bus_transactions += 1;
+        }
+    }
+
+    /// Write-through broadcast (update-based): writes to shared blocks
+    /// broadcast the word, private blocks are copied back.
+    fn write_update(&mut self, pe: usize, line: u32, hit: bool) {
+        let shared_elsewhere = (0..self.caches.len()).any(|o| o != pe && self.caches[o].peek(line).is_some());
+        if hit {
+            if shared_elsewhere {
+                // Broadcast the word to the other caches and memory.
+                self.result.updates += 1;
+                self.result.bus_words += 1;
+                self.result.bus_transactions += 1;
+                self.caches[pe].set_state(line, LineState::Shared);
+            } else {
+                self.caches[pe].set_state(line, LineState::Dirty);
+            }
+            return;
+        }
+        // Write miss.
+        if self.config.cache.write_allocate {
+            let state = if shared_elsewhere { LineState::Shared } else { LineState::Dirty };
+            // A dirty remote copy supplies the block as part of the fetch.
+            for other in 0..self.caches.len() {
+                if other != pe && self.caches[other].peek(line) == Some(LineState::Dirty) {
+                    self.result.write_backs += 1;
+                    self.caches[other].set_state(line, LineState::Shared);
+                }
+            }
+            self.fetch_line(pe, line, state);
+            if shared_elsewhere {
+                self.result.updates += 1;
+                self.result.bus_words += 1;
+                self.result.bus_transactions += 1;
+            }
+        } else {
+            // Word to memory plus update of any remote copies.
+            self.result.write_through_words += 1;
+            self.result.bus_words += 1;
+            self.result.bus_transactions += 1;
+            if shared_elsewhere {
+                self.result.updates += 1;
+            }
+        }
+    }
+
+    fn invalidate_others(&mut self, pe: usize, line: u32) {
+        let mut any = false;
+        for other in 0..self.caches.len() {
+            if other == pe {
+                continue;
+            }
+            if self.caches[other].invalidate(line).is_some() {
+                self.result.copies_invalidated += 1;
+                any = true;
+            }
+        }
+        if any {
+            self.result.invalidations += 1;
+            self.result.bus_transactions += 1;
+        }
+    }
+
+    /// Bring a line into `pe`'s cache, accounting the fetch and any eviction
+    /// write-back.
+    fn fetch_line(&mut self, pe: usize, line: u32, state: LineState) {
+        self.result.line_fetches += 1;
+        self.result.bus_words += self.config.cache.line_words as u64;
+        self.result.bus_transactions += 1;
+        if let Some((_victim, vstate)) = self.caches[pe].insert(line, state) {
+            if vstate == LineState::Dirty {
+                self.result.write_backs += 1;
+                self.result.bus_words += self.config.cache.line_words as u64;
+                self.result.bus_transactions += 1;
+            }
+        }
+    }
+
+    /// Test-only invariant: in invalidation-based protocols a line may be
+    /// dirty in at most one cache, and if it is dirty nowhere else may hold
+    /// it at all.
+    #[cfg(test)]
+    pub(crate) fn check_single_writer(&self) {
+        use std::collections::HashMap;
+        let mut dirty: HashMap<u32, usize> = HashMap::new();
+        let mut holders: HashMap<u32, usize> = HashMap::new();
+        for c in &self.caches {
+            for (line, state) in c.resident() {
+                *holders.entry(line).or_default() += 1;
+                if state == LineState::Dirty {
+                    *dirty.entry(line).or_default() += 1;
+                }
+            }
+        }
+        for (line, d) in dirty {
+            assert!(d <= 1, "line {line} dirty in {d} caches");
+            if matches!(self.config.protocol, Protocol::WriteInBroadcast | Protocol::WriteThrough) {
+                assert_eq!(holders[&line], 1, "dirty line {line} has {} holders", holders[&line]);
+            }
+        }
+    }
+}
+
+/// Run one configuration over a trace.
+pub fn simulate(config: &SimConfig, trace: &[MemRef]) -> SimResult {
+    let mut sim = MultiCacheSim::new(*config);
+    sim.run_trace(trace);
+    sim.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+
+    fn cfg(protocol: Protocol, size: u32, write_allocate: bool, pes: usize) -> SimConfig {
+        SimConfig {
+            cache: CacheConfig { size_words: size, line_words: 4, write_allocate },
+            protocol,
+            num_pes: pes,
+        }
+    }
+
+    fn r(pe: u8, addr: u32, write: bool) -> MemRef {
+        use rapwam::{Area, ObjectKind};
+        MemRef {
+            pe,
+            addr,
+            write,
+            area: Area::Heap,
+            object: ObjectKind::HeapTerm,
+            locality: Locality::Global,
+            locked: false,
+        }
+    }
+
+    fn r_local(pe: u8, addr: u32, write: bool) -> MemRef {
+        use rapwam::{Area, ObjectKind};
+        MemRef {
+            pe,
+            addr,
+            write,
+            area: Area::Trail,
+            object: ObjectKind::TrailEntry,
+            locality: Locality::Local,
+            locked: false,
+        }
+    }
+
+    #[test]
+    fn repeated_reads_hit_after_the_first_miss() {
+        let trace: Vec<_> = (0..100).map(|_| r(0, 40, false)).collect();
+        let res = simulate(&cfg(Protocol::WriteInBroadcast, 256, true, 1), &trace);
+        assert_eq!(res.read_misses, 1);
+        assert_eq!(res.bus_words, 4);
+        assert!(res.traffic_ratio() < 0.05);
+    }
+
+    #[test]
+    fn write_through_sends_every_write_to_the_bus() {
+        let trace: Vec<_> = (0..50).map(|_| r(0, 8, true)).collect();
+        let res = simulate(&cfg(Protocol::WriteThrough, 256, false, 1), &trace);
+        assert_eq!(res.write_through_words, 50);
+        assert!(res.bus_words >= 50);
+        assert!(res.traffic_ratio() >= 1.0);
+    }
+
+    #[test]
+    fn write_in_broadcast_keeps_repeated_writes_off_the_bus() {
+        let mut trace = vec![r(0, 8, false)]; // fetch the line once
+        trace.extend((0..50).map(|_| r(0, 8, true)));
+        let res = simulate(&cfg(Protocol::WriteInBroadcast, 256, true, 1), &trace);
+        // one fetch of 4 words, then everything is a dirty hit
+        assert_eq!(res.bus_words, 4);
+    }
+
+    #[test]
+    fn invalidation_on_shared_write() {
+        // PE0 and PE1 read the same line, then PE0 writes it.
+        let trace = vec![r(0, 8, false), r(1, 8, false), r(0, 8, true), r(1, 8, false)];
+        let res = simulate(&cfg(Protocol::WriteInBroadcast, 256, true, 2), &trace);
+        assert_eq!(res.invalidations, 1);
+        assert_eq!(res.copies_invalidated, 1);
+        // PE1 must re-fetch after the invalidation (plus a write-back of the
+        // dirty copy held by PE0).
+        assert_eq!(res.read_misses, 3);
+        assert!(res.write_backs >= 1);
+    }
+
+    #[test]
+    fn update_protocol_does_not_invalidate() {
+        let trace = vec![r(0, 8, false), r(1, 8, false), r(0, 8, true), r(1, 8, false)];
+        let res = simulate(&cfg(Protocol::WriteThroughBroadcast, 256, true, 2), &trace);
+        assert_eq!(res.invalidations, 0);
+        assert_eq!(res.updates, 1);
+        // PE1's second read is a hit thanks to the update.
+        assert_eq!(res.read_misses, 2);
+    }
+
+    #[test]
+    fn hybrid_copies_back_local_data_and_writes_through_global_data() {
+        // 10 local writes to one line: with write-allocate the block is
+        // fetched once and everything else stays in the cache.
+        let local: Vec<_> = (0..10).map(|_| r_local(0, 100, true)).collect();
+        let res_local = simulate(&cfg(Protocol::Hybrid, 256, true, 1), &local);
+        assert_eq!(res_local.bus_words, 4);
+
+        // 10 global writes are all written through.
+        let global: Vec<_> = (0..10).map(|_| r(0, 100, true)).collect();
+        let res_global = simulate(&cfg(Protocol::Hybrid, 256, true, 1), &global);
+        assert_eq!(res_global.write_through_words, 10);
+    }
+
+    #[test]
+    fn hybrid_traffic_sits_between_broadcast_and_write_through() {
+        // A mixed synthetic trace: mostly local writes, some shared reads
+        // and global writes across 2 PEs.
+        let mut trace = Vec::new();
+        for i in 0..2000u32 {
+            let pe = (i % 2) as u8;
+            let base = 1000 + (pe as u32) * 4096;
+            trace.push(r_local(pe, base + (i % 64), true));
+            trace.push(r(pe, 200 + (i % 32), false));
+            if i % 10 == 0 {
+                trace.push(r(pe, 200 + (i % 32), true));
+            }
+        }
+        let broadcast = simulate(&cfg(Protocol::WriteInBroadcast, 512, true, 2), &trace).traffic_ratio();
+        let hybrid = simulate(&cfg(Protocol::Hybrid, 512, true, 2), &trace).traffic_ratio();
+        let wthru = simulate(&cfg(Protocol::WriteThrough, 512, true, 2), &trace).traffic_ratio();
+        assert!(broadcast <= hybrid + 1e-9, "broadcast {broadcast} should not exceed hybrid {hybrid}");
+        assert!(hybrid <= wthru + 1e-9, "hybrid {hybrid} should not exceed write-through {wthru}");
+        assert!(wthru > broadcast, "write-through must generate more traffic than broadcast");
+    }
+
+    #[test]
+    fn no_write_allocate_skips_the_fetch_on_write_miss() {
+        let trace = vec![r(0, 8, true), r(0, 8, false)];
+        let nwa = simulate(&cfg(Protocol::WriteInBroadcast, 256, false, 1), &trace);
+        let wa = simulate(&cfg(Protocol::WriteInBroadcast, 256, true, 1), &trace);
+        // nwa: 1 word write-through + 4 word fetch on the read.
+        assert_eq!(nwa.bus_words, 5);
+        // wa: 4 word fetch on the write, read hits.
+        assert_eq!(wa.bus_words, 4);
+    }
+
+    #[test]
+    fn single_writer_invariant_holds_on_a_random_trace() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for protocol in [Protocol::WriteInBroadcast, Protocol::WriteThrough] {
+            let mut sim = MultiCacheSim::new(cfg(protocol, 64, true, 4));
+            for _ in 0..5000 {
+                let pe = rng.random_range(0..4u8);
+                let addr = rng.random_range(0..256u32);
+                let write = rng.random_bool(0.3);
+                sim.access(pe as usize, addr, write, Locality::Global);
+                sim.check_single_writer();
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_decreases_with_cache_size() {
+        // A trace with temporal locality: a sliding working set re-reads
+        // recent addresses much more often than old ones.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut trace = Vec::new();
+        for i in 0..30_000u32 {
+            let base = i / 20; // slowly advancing frontier
+            let back = rng.random_range(0..200u32).min(base);
+            trace.push(r(0, (base - back) * 2, rng.random_bool(0.25)));
+        }
+        let mut ratios = Vec::new();
+        for size in [64u32, 256, 1024, 4096] {
+            let res = simulate(&cfg(Protocol::WriteInBroadcast, size, size >= 512, 1), &trace);
+            ratios.push(res.traffic_ratio());
+        }
+        // Small wobbles are possible; the overall trend must be decreasing
+        // and a big cache must capture far more than a tiny one.
+        for pair in ratios.windows(2) {
+            assert!(pair[1] <= pair[0] + 0.05, "traffic ratios not roughly decreasing: {ratios:?}");
+        }
+        assert!(
+            ratios[3] < ratios[0] * 0.6,
+            "a 4096-word cache should capture much more than a 64-word one: {ratios:?}"
+        );
+    }
+}

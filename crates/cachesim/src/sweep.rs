@@ -1,0 +1,161 @@
+//! Parallel parameter sweeps.
+//!
+//! Regenerating Figure 4 means simulating every (protocol × cache size ×
+//! PE count) combination over four benchmark traces.  The traces are shared
+//! read-only; each configuration is an independent simulation, so the sweep
+//! fans the configurations out over OS threads (scoped threads + a crossbeam
+//! channel as the work queue).
+
+use crate::config::SimConfig;
+use crate::multisim::simulate;
+use crate::results::SimResult;
+use rapwam::MemRef;
+use serde::{Deserialize, Serialize};
+
+/// Run every configuration over the same trace, in parallel, preserving the
+/// order of `configs` in the returned vector.
+pub fn run_sweep(trace: &[MemRef], configs: &[SimConfig]) -> Vec<SimResult> {
+    run_sweep_with_threads(trace, configs, num_threads())
+}
+
+/// As [`run_sweep`] but with an explicit worker-thread count (used by the
+/// scaling benchmark).
+pub fn run_sweep_with_threads(trace: &[MemRef], configs: &[SimConfig], threads: usize) -> Vec<SimResult> {
+    let threads = threads.max(1).min(configs.len().max(1));
+    if threads <= 1 || configs.len() <= 1 {
+        return configs.iter().map(|c| simulate(c, trace)).collect();
+    }
+
+    let (tx_work, rx_work) = crossbeam::channel::unbounded::<usize>();
+    for i in 0..configs.len() {
+        tx_work.send(i).expect("queue send");
+    }
+    drop(tx_work);
+
+    let mut results: Vec<Option<SimResult>> = vec![None; configs.len()];
+    let (tx_res, rx_res) = crossbeam::channel::unbounded::<(usize, SimResult)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let rx_work = rx_work.clone();
+            let tx_res = tx_res.clone();
+            scope.spawn(move || {
+                while let Ok(i) = rx_work.recv() {
+                    let r = simulate(&configs[i], trace);
+                    tx_res.send((i, r)).expect("result send");
+                }
+            });
+        }
+        drop(tx_res);
+        while let Ok((i, r)) = rx_res.recv() {
+            results[i] = Some(r);
+        }
+    });
+    results.into_iter().map(|r| r.expect("every configuration simulated")).collect()
+}
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// Mean traffic ratio over several benchmark results for the same
+/// configuration — the quantity Figure 4 plots ("averaged over the four
+/// benchmarks").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MeanTraffic {
+    pub config: SimConfig,
+    pub per_benchmark: Vec<f64>,
+    pub mean: f64,
+}
+
+impl MeanTraffic {
+    /// Average the traffic ratios of per-benchmark results that share a
+    /// configuration.
+    pub fn from_results(config: SimConfig, results: &[&SimResult]) -> MeanTraffic {
+        let per_benchmark: Vec<f64> = results.iter().map(|r| r.traffic_ratio()).collect();
+        let mean = if per_benchmark.is_empty() {
+            0.0
+        } else {
+            per_benchmark.iter().sum::<f64>() / per_benchmark.len() as f64
+        };
+        MeanTraffic { config, per_benchmark, mean }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CacheConfig, Protocol};
+    use rapwam::{Area, Locality, ObjectKind};
+
+    fn synthetic_trace(n: u32) -> Vec<MemRef> {
+        (0..n)
+            .map(|i| MemRef {
+                pe: (i % 2) as u8,
+                addr: (i * 7) % 4096,
+                write: i % 4 == 0,
+                area: Area::Heap,
+                object: ObjectKind::HeapTerm,
+                locality: Locality::Global,
+                locked: false,
+            })
+            .collect()
+    }
+
+    fn configs() -> Vec<SimConfig> {
+        let mut out = Vec::new();
+        for protocol in Protocol::ALL {
+            for size in [64u32, 256, 1024] {
+                out.push(SimConfig {
+                    cache: CacheConfig { size_words: size, line_words: 4, write_allocate: size >= 512 },
+                    protocol,
+                    num_pes: 2,
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_simulation() {
+        let trace = synthetic_trace(20_000);
+        let configs = configs();
+        let parallel = run_sweep(&trace, &configs);
+        for (cfg, par) in configs.iter().zip(&parallel) {
+            let seq = simulate(cfg, &trace);
+            assert_eq!(par.bus_words, seq.bus_words, "config {cfg:?}");
+            assert_eq!(par.refs, seq.refs);
+            assert_eq!(par.read_misses, seq.read_misses);
+        }
+    }
+
+    #[test]
+    fn sweep_preserves_configuration_order() {
+        let trace = synthetic_trace(5_000);
+        let configs = configs();
+        let results = run_sweep(&trace, &configs);
+        assert_eq!(results.len(), configs.len());
+        for (cfg, res) in configs.iter().zip(&results) {
+            assert_eq!(&res.config, cfg);
+        }
+    }
+
+    #[test]
+    fn single_thread_fallback_works() {
+        let trace = synthetic_trace(1_000);
+        let configs = configs();
+        let results = run_sweep_with_threads(&trace, &configs, 1);
+        assert_eq!(results.len(), configs.len());
+    }
+
+    #[test]
+    fn mean_traffic_averages() {
+        let trace = synthetic_trace(2_000);
+        let cfg = configs()[0];
+        let a = simulate(&cfg, &trace);
+        let b = simulate(&cfg, &trace[..1000]);
+        let mean = MeanTraffic::from_results(cfg, &[&a, &b]);
+        let expected = (a.traffic_ratio() + b.traffic_ratio()) / 2.0;
+        assert!((mean.mean - expected).abs() < 1e-12);
+        assert_eq!(mean.per_benchmark.len(), 2);
+    }
+}

@@ -1,0 +1,62 @@
+//! The loaded program representation handed to the abstract machine.
+
+use crate::codegen::CompileOptions;
+use crate::instr::{CodeAddr, Instr};
+use pwam_front::atoms::Atom;
+use std::collections::HashMap;
+
+/// A fully compiled and loaded program plus one query.
+///
+/// All code lives in a single code area (`code`); predicate entry points are
+/// absolute addresses into it.  The engine starts executing at
+/// [`CompiledProgram::query_start`] and stops when it reaches the `halt`
+/// builtin emitted at the end of the query.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// The code area.
+    pub code: Vec<Instr>,
+    /// Entry points of user predicates.
+    pub predicates: HashMap<(Atom, u8), CodeAddr>,
+    /// Predicate entry points in definition order (for stable reporting).
+    pub predicate_order: Vec<((Atom, u8), CodeAddr)>,
+    /// Entry point of the compiled query.
+    pub query_start: CodeAddr,
+    /// Size of the query environment (number of `Y` slots).
+    pub query_env_size: u16,
+    /// Query variables: source name → `Y` slot (1-based).
+    pub query_vars: Vec<(String, u16)>,
+    /// Address of the shared failure stub.
+    pub fail_addr: CodeAddr,
+    /// Address of the parallel-goal success stub.
+    pub goal_success_addr: CodeAddr,
+    /// Options the program was compiled with.
+    pub options: CompileOptions,
+}
+
+impl CompiledProgram {
+    /// Number of instructions in the code area.
+    pub fn code_len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Entry point of a predicate, if defined.
+    pub fn entry(&self, name: Atom, arity: u8) -> Option<CodeAddr> {
+        self.predicates.get(&(name, arity)).copied()
+    }
+
+    /// The predicate (if any) whose code region contains `addr`.  Entry
+    /// points are sorted by address; the owner is the predicate with the
+    /// greatest entry point `<= addr`.  Used for profiling/debug output.
+    pub fn predicate_containing(&self, addr: CodeAddr) -> Option<(Atom, u8)> {
+        let mut best: Option<((Atom, u8), CodeAddr)> = None;
+        for (key, entry) in &self.predicate_order {
+            if *entry <= addr {
+                match best {
+                    Some((_, e)) if e >= *entry => {}
+                    _ => best = Some((*key, *entry)),
+                }
+            }
+        }
+        best.map(|(k, _)| k)
+    }
+}

@@ -1,0 +1,81 @@
+//! Arithmetic evaluation for `is/2` and the comparison builtins.
+
+use crate::cell::Cell;
+use crate::engine::Engine;
+use crate::error::{EngineError, EngineResult};
+use crate::known;
+use crate::layout::ObjectKind;
+
+impl<'p> Engine<'p> {
+    /// Evaluate an arithmetic expression term.
+    ///
+    /// Supported functors: integers, `+/2`, `-/2`, `*/2`, `///2` (integer
+    /// division), `mod/2`, `//2` (also integer division, as is conventional
+    /// for integer-only Prolog arithmetic), and unary `-/1` / `+/1`.
+    pub(crate) fn eval_arith(&mut self, w: usize, cell: Cell) -> EngineResult<i64> {
+        let pe = self.workers[w].id;
+        match self.deref(w, cell) {
+            Cell::Int(v) => Ok(v),
+            Cell::Ref(_) => Err(EngineError::Instantiation { context: "arithmetic expression" }),
+            Cell::Con(a) => Err(EngineError::ArithmeticType {
+                context: format!("atom {a:?} is not an arithmetic expression"),
+            }),
+            Cell::Str(p) => {
+                let f = self.mem.read(pe, p, ObjectKind::HeapTerm);
+                let (name, arity) = match f {
+                    Cell::Fun(name, arity) => (name, arity),
+                    other => {
+                        return Err(EngineError::Internal(format!(
+                            "structure pointer does not reference a functor cell: {other:?}"
+                        )))
+                    }
+                };
+                match arity {
+                    1 => {
+                        let a = self.mem.read(pe, p + 1, ObjectKind::HeapTerm);
+                        let v = self.eval_arith(w, a)?;
+                        match name {
+                            n if n == known::MINUS => Ok(-v),
+                            n if n == known::PLUS => Ok(v),
+                            _ => Err(EngineError::ArithmeticType {
+                                context: format!("unknown unary arithmetic functor {name:?}"),
+                            }),
+                        }
+                    }
+                    2 => {
+                        let a = self.mem.read(pe, p + 1, ObjectKind::HeapTerm);
+                        let b = self.mem.read(pe, p + 2, ObjectKind::HeapTerm);
+                        let x = self.eval_arith(w, a)?;
+                        let y = self.eval_arith(w, b)?;
+                        match name {
+                            n if n == known::PLUS => Ok(x.wrapping_add(y)),
+                            n if n == known::MINUS => Ok(x.wrapping_sub(y)),
+                            n if n == known::STAR => Ok(x.wrapping_mul(y)),
+                            n if n == known::SLASH || n == known::INT_DIV => {
+                                if y == 0 {
+                                    Err(EngineError::DivisionByZero)
+                                } else {
+                                    Ok(x.wrapping_div(y))
+                                }
+                            }
+                            n if n == known::MOD => {
+                                if y == 0 {
+                                    Err(EngineError::DivisionByZero)
+                                } else {
+                                    Ok(x.rem_euclid(y))
+                                }
+                            }
+                            _ => Err(EngineError::ArithmeticType {
+                                context: format!("unknown arithmetic functor {name:?}/2"),
+                            }),
+                        }
+                    }
+                    _ => Err(EngineError::ArithmeticType {
+                        context: format!("arithmetic functor of arity {arity} is not supported"),
+                    }),
+                }
+            }
+            other => Err(EngineError::ArithmeticType { context: format!("cannot evaluate {other:?}") }),
+        }
+    }
+}

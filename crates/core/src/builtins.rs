@@ -1,0 +1,117 @@
+//! Built-in (escape) predicates.
+//!
+//! Builtins operate on the argument registers `A1..An` like ordinary calls
+//! but execute inline, which matches the WAM convention of compiling simple
+//! predicates to escape instructions rather than full calls.
+
+use crate::cell::Cell;
+use crate::engine::Engine;
+use crate::error::EngineResult;
+use pwam_compiler::Builtin;
+
+/// The result of executing a builtin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BuiltinOutcome {
+    Succeed,
+    Fail,
+    /// `halt/0`: the query finished successfully; stop the machine.
+    Halted,
+}
+
+impl<'p> Engine<'p> {
+    pub(crate) fn exec_builtin(&mut self, w: usize, b: Builtin) -> EngineResult<BuiltinOutcome> {
+        use BuiltinOutcome::*;
+        let a1 = self.workers[w].x.get(1).copied().unwrap_or(Cell::Empty);
+        let a2 = self.workers[w].x.get(2).copied().unwrap_or(Cell::Empty);
+        let outcome = match b {
+            Builtin::True => Succeed,
+            Builtin::Fail => Fail,
+            Builtin::Halt => {
+                self.query_succeeded(w);
+                Halted
+            }
+            Builtin::Is => {
+                let v = self.eval_arith(w, a2)?;
+                if self.unify(w, a1, Cell::Int(v))? {
+                    Succeed
+                } else {
+                    Fail
+                }
+            }
+            Builtin::ArithEq | Builtin::ArithNeq | Builtin::Lt | Builtin::Le | Builtin::Gt | Builtin::Ge => {
+                let x = self.eval_arith(w, a1)?;
+                let y = self.eval_arith(w, a2)?;
+                let holds = match b {
+                    Builtin::ArithEq => x == y,
+                    Builtin::ArithNeq => x != y,
+                    Builtin::Lt => x < y,
+                    Builtin::Le => x <= y,
+                    Builtin::Gt => x > y,
+                    Builtin::Ge => x >= y,
+                    _ => unreachable!(),
+                };
+                if holds {
+                    Succeed
+                } else {
+                    Fail
+                }
+            }
+            Builtin::Unify => {
+                if self.unify(w, a1, a2)? {
+                    Succeed
+                } else {
+                    Fail
+                }
+            }
+            Builtin::StructEq => {
+                if self.struct_eq(w, a1, a2)? {
+                    Succeed
+                } else {
+                    Fail
+                }
+            }
+            Builtin::StructNeq => {
+                if self.struct_eq(w, a1, a2)? {
+                    Fail
+                } else {
+                    Succeed
+                }
+            }
+            Builtin::Ground => {
+                if self.is_ground(w, a1)? {
+                    Succeed
+                } else {
+                    Fail
+                }
+            }
+            Builtin::Indep => {
+                if self.independent(w, a1, a2)? {
+                    Succeed
+                } else {
+                    Fail
+                }
+            }
+            Builtin::Var => match self.deref(w, a1) {
+                Cell::Ref(_) => Succeed,
+                _ => Fail,
+            },
+            Builtin::NonVar => match self.deref(w, a1) {
+                Cell::Ref(_) => Fail,
+                _ => Succeed,
+            },
+            Builtin::Integer => match self.deref(w, a1) {
+                Cell::Int(_) => Succeed,
+                _ => Fail,
+            },
+            Builtin::AtomP => match self.deref(w, a1) {
+                Cell::Con(_) => Succeed,
+                _ => Fail,
+            },
+            Builtin::Atomic => match self.deref(w, a1) {
+                Cell::Con(_) | Cell::Int(_) => Succeed,
+                _ => Fail,
+            },
+        };
+        Ok(outcome)
+    }
+}

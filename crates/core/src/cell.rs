@@ -1,0 +1,109 @@
+//! Tagged data cells.
+//!
+//! Every word of the RAP-WAM data areas holds one tagged cell.  The tag set
+//! is the classic WAM one (REF/STR/LIS/CON/INT plus functor cells) extended
+//! with raw code addresses and unsigned counters used by control frames
+//! (environments, choice points, Parcall Frames, Markers, Goal Frames).
+//!
+//! Rust stores a cell in 16 bytes; conceptually each cell occupies one
+//! machine word, and the memory-performance experiments count *words*, so the
+//! host representation does not affect any reported ratio.
+
+use pwam_front::atoms::Atom;
+use serde::{Deserialize, Serialize};
+
+/// The value stored in one word of a data area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cell {
+    /// A reference cell.  An *unbound variable* is a `Ref` whose target is
+    /// its own address; a bound variable points at another cell.
+    Ref(u32),
+    /// Pointer to a functor cell ([`Cell::Fun`]) followed by the arguments.
+    Str(u32),
+    /// Pointer to a cons pair (two consecutive cells: head, tail).
+    Lis(u32),
+    /// An atomic constant.
+    Con(Atom),
+    /// An integer constant.
+    Int(i64),
+    /// A functor cell `f/n`; only ever stored on a heap, pointed to by `Str`.
+    Fun(Atom, u8),
+    /// A code address (stored in continuation slots, markers, goal frames).
+    Code(u32),
+    /// A raw unsigned value (frame sizes, counters, PE identifiers, saved
+    /// stack tops, trail entries).
+    Uint(u32),
+    /// An uninitialised word.  Reading one is an engine bug and is reported
+    /// as such.
+    Empty,
+}
+
+/// Sentinel "null address" used for empty register values (no environment,
+/// no choice point, no parcall frame).
+pub const NONE_ADDR: u32 = u32::MAX;
+
+impl Cell {
+    /// True if the cell is a `Ref` pointing at `addr` itself (i.e. an
+    /// unbound variable stored at `addr`).
+    #[inline]
+    pub fn is_unbound_at(self, addr: u32) -> bool {
+        matches!(self, Cell::Ref(a) if a == addr)
+    }
+
+    /// True for the atomic cells (constants and integers).
+    #[inline]
+    pub fn is_atomic(self) -> bool {
+        matches!(self, Cell::Con(_) | Cell::Int(_))
+    }
+
+    /// Extract a raw unsigned value, panicking with a clear message if the
+    /// cell has the wrong tag (indicates a corrupted control frame).
+    #[inline]
+    pub fn expect_uint(self, what: &str) -> u32 {
+        match self {
+            Cell::Uint(v) => v,
+            other => panic!("expected Uint cell for {what}, found {other:?}"),
+        }
+    }
+
+    /// Extract a code address.
+    #[inline]
+    pub fn expect_code(self, what: &str) -> u32 {
+        match self {
+            Cell::Code(v) => v,
+            other => panic!("expected Code cell for {what}, found {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbound_detection() {
+        assert!(Cell::Ref(7).is_unbound_at(7));
+        assert!(!Cell::Ref(7).is_unbound_at(8));
+        assert!(!Cell::Int(7).is_unbound_at(7));
+    }
+
+    #[test]
+    fn atomic_cells() {
+        assert!(Cell::Int(1).is_atomic());
+        assert!(Cell::Con(Atom(0)).is_atomic());
+        assert!(!Cell::Ref(0).is_atomic());
+        assert!(!Cell::Str(0).is_atomic());
+    }
+
+    #[test]
+    fn expect_helpers() {
+        assert_eq!(Cell::Uint(9).expect_uint("x"), 9);
+        assert_eq!(Cell::Code(3).expect_code("x"), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Uint")]
+    fn expect_uint_panics_on_wrong_tag() {
+        let _ = Cell::Int(1).expect_uint("frame word");
+    }
+}

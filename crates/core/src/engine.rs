@@ -1,0 +1,718 @@
+//! The multi-worker RAP-WAM engine.
+//!
+//! The engine executes a [`CompiledProgram`] on a configurable number of
+//! workers (PEs).  Workers are stepped round-robin, one instruction per
+//! scheduling cycle by default, which makes runs deterministic and
+//! reproducible — the same methodology as the paper's emulator, which also
+//! interleaved abstract machines in software rather than running on raw
+//! hardware.
+//!
+//! Scheduling is *on demand*: `pcall_goal` pushes Goal Frames onto the
+//! issuing worker's Goal Stack, and both the waiting parent and any idle
+//! worker may pick them up.  Completion is recorded in the Parcall Frame's
+//! counters and (for stolen goals) signalled through the parent's Message
+//! Buffer, generating exactly the locked/global traffic the paper's Table 1
+//! describes.
+
+use crate::answer::extract_binding;
+use crate::cell::{Cell, NONE_ADDR};
+use crate::error::{EngineError, EngineResult};
+use crate::frames::{choice, env, goal_frame, marker, message, parcall};
+use crate::layout::{Area, MemoryConfig, ObjectKind};
+use crate::mem::Memory;
+use crate::stats::{RunStats, WorkerStats};
+use crate::trace::MemRef;
+use crate::worker::{GoalContext, Resume, Worker, WorkerStatus};
+use pwam_compiler::CompiledProgram;
+use pwam_front::term::Term;
+use pwam_front::SymbolTable;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of workers (PEs).
+    pub num_workers: usize,
+    /// Per-worker Stack Set sizes.
+    pub memory: MemoryConfig,
+    /// Collect the full memory-reference trace (needed for cache simulation).
+    pub collect_trace: bool,
+    /// Abort after this many instructions (guards against runaway programs).
+    pub max_steps: u64,
+    /// Instructions executed per worker per scheduling round.
+    pub quantum: u32,
+    /// Number of X registers per worker.
+    pub num_x_regs: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            num_workers: 1,
+            memory: MemoryConfig::default(),
+            collect_trace: false,
+            max_steps: 2_000_000_000,
+            quantum: 1,
+            num_x_regs: pwam_compiler::MAX_X_REGS,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Configuration with `n` workers and default memory sizes.
+    pub fn with_workers(n: usize) -> Self {
+        EngineConfig { num_workers: n, ..Default::default() }
+    }
+}
+
+/// Outcome of a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The query succeeded with the given bindings for the query variables.
+    Success(Vec<(String, Term)>),
+    /// The query failed.
+    Failure,
+}
+
+impl Outcome {
+    /// True if the query succeeded.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Outcome::Success(_))
+    }
+
+    /// The binding for a query variable, if the query succeeded.
+    pub fn binding(&self, name: &str) -> Option<&Term> {
+        match self {
+            Outcome::Success(b) => b.iter().find(|(n, _)| n == name).map(|(_, t)| t),
+            Outcome::Failure => None,
+        }
+    }
+}
+
+/// The result of running a query: outcome, statistics and (optionally) the
+/// full memory-reference trace.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    pub outcome: Outcome,
+    pub stats: RunStats,
+    pub trace: Option<Vec<MemRef>>,
+}
+
+/// The abstract-machine engine.
+pub struct Engine<'p> {
+    pub program: &'p CompiledProgram,
+    pub config: EngineConfig,
+    pub mem: Memory,
+    pub workers: Vec<Worker>,
+    /// `Some(env_addr)` once `halt` executed successfully.
+    answer_env: Option<(usize, u32)>,
+    /// `Some(true)` = success, `Some(false)` = failure.
+    finished: Option<bool>,
+    steps: u64,
+    cycles: u64,
+    pub(crate) parcalls: u64,
+    pub(crate) parallel_goals: u64,
+    pub(crate) goals_actually_parallel: u64,
+    pub(crate) inferences: u64,
+    steal_cursor: usize,
+}
+
+impl<'p> Engine<'p> {
+    /// Create an engine ready to run the program's query.
+    pub fn new(program: &'p CompiledProgram, config: EngineConfig) -> Self {
+        assert!(config.num_workers >= 1, "at least one worker is required");
+        assert!(config.num_workers <= 255, "at most 255 workers are supported");
+        let mem = Memory::new(config.memory, config.num_workers, config.collect_trace);
+        let mut workers: Vec<Worker> = (0..config.num_workers)
+            .map(|i| Worker::new(i as u8, &mem.map, config.num_x_regs))
+            .collect();
+        workers[0].p = program.query_start;
+        workers[0].cp = program.query_start;
+        workers[0].status = WorkerStatus::Running;
+        Engine {
+            program,
+            config,
+            mem,
+            workers,
+            answer_env: None,
+            finished: None,
+            steps: 0,
+            cycles: 0,
+            parcalls: 0,
+            parallel_goals: 0,
+            goals_actually_parallel: 0,
+            inferences: 0,
+            steal_cursor: 0,
+        }
+    }
+
+    /// Run the query to completion and collect results.
+    pub fn run(mut self, syms: &SymbolTable) -> EngineResult<RunResult> {
+        while self.finished.is_none() {
+            self.step_round()?;
+            if self.steps > self.config.max_steps {
+                return Err(EngineError::StepLimitExceeded { limit: self.config.max_steps });
+            }
+        }
+        let outcome = if self.finished == Some(true) {
+            let bindings = self.extract_answer(syms)?;
+            Outcome::Success(bindings)
+        } else {
+            Outcome::Failure
+        };
+        let stats = self.collect_stats();
+        let trace = self.mem.take_trace();
+        Ok(RunResult { outcome, stats, trace })
+    }
+
+    /// One scheduling round: every worker gets `quantum` slots.
+    fn step_round(&mut self) -> EngineResult<()> {
+        self.cycles += 1;
+        let mut any_progress = false;
+        for w in 0..self.workers.len() {
+            if self.finished.is_some() {
+                break;
+            }
+            match self.workers[w].status {
+                WorkerStatus::Stopped => {}
+                WorkerStatus::Running => {
+                    any_progress = true;
+                    for _ in 0..self.config.quantum {
+                        if self.workers[w].status != WorkerStatus::Running || self.finished.is_some() {
+                            break;
+                        }
+                        self.steps += 1;
+                        self.workers[w].instructions += 1;
+                        self.exec_instr(w)?;
+                    }
+                }
+                WorkerStatus::Idle => {
+                    self.workers[w].idle_cycles += 1;
+                    if self.try_dispatch_work(w, Resume::Idle)? {
+                        any_progress = true;
+                    }
+                }
+                WorkerStatus::WaitingAtPcall { addr, pf } => {
+                    self.workers[w].idle_cycles += 1;
+                    // Shadow check: has the Parcall Frame completed?  The
+                    // actual (traced) reads happen when the worker re-executes
+                    // the pcall_wait instruction.
+                    let n = self.mem.read_untraced(pf + parcall::NGOALS).expect_uint("pcall ngoals");
+                    let done = self.mem.read_untraced(pf + parcall::COMPLETED).expect_uint("pcall completed");
+                    if done >= n {
+                        self.workers[w].p = addr;
+                        self.workers[w].status = WorkerStatus::Running;
+                        any_progress = true;
+                    } else if self.try_dispatch_work(w, Resume::ToWait { addr })? {
+                        any_progress = true;
+                    }
+                }
+            }
+        }
+        if !any_progress && self.finished.is_none() {
+            return Err(EngineError::Internal(
+                "scheduler deadlock: no worker can make progress".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Goal scheduling
+    // -----------------------------------------------------------------
+
+    /// Try to find a Goal Frame for worker `w` (own Goal Stack first, then
+    /// steal round-robin) and start executing it.  Returns `true` if work
+    /// was dispatched.
+    pub(crate) fn try_dispatch_work(&mut self, w: usize, resume: Resume) -> EngineResult<bool> {
+        // Own goal stack first (fast local path: no Marker, no message).
+        if let Some(frame) = self.workers[w].goal_frames.pop() {
+            self.workers[w].goal_top = frame;
+            self.start_goal(w, frame, resume, false)?;
+            return Ok(true);
+        }
+        // Steal from another worker (round-robin over victims).
+        let n = self.workers.len();
+        for i in 0..n {
+            let victim = (self.steal_cursor + i) % n;
+            if victim == w {
+                continue;
+            }
+            if let Some(frame) = self.workers[victim].goal_frames.pop() {
+                self.workers[victim].goal_top = frame;
+                self.steal_cursor = (victim + 1) % n;
+                self.start_goal(w, frame, resume, true)?;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Begin executing the goal stored in the Goal Frame at `frame`.
+    ///
+    /// `stolen` distinguishes goals taken from another worker's Goal Stack
+    /// from goals the owner picks up itself.  Stolen goals get the full
+    /// treatment (Marker on the thief's Control stack, executing-PE record
+    /// in the Parcall Frame, completion message to the parent); local goals
+    /// take the cheap path, which is where the original system's low
+    /// parallelism overhead for not-actually-parallel goals comes from.
+    fn start_goal(&mut self, w: usize, frame: u32, resume: Resume, stolen: bool) -> EngineResult<()> {
+        let pe = self.workers[w].id;
+        // Read the goal frame (code, arity, parcall frame, slot, arguments).
+        let code = self.mem.read(pe, frame + goal_frame::CODE, ObjectKind::GoalFrame).expect_code("goal code");
+        let arity = self.mem.read(pe, frame + goal_frame::ARITY, ObjectKind::GoalFrame).expect_uint("goal arity");
+        let pf = self.mem.read(pe, frame + goal_frame::PF, ObjectKind::GoalFrame).expect_uint("goal pf");
+        let slot = self.mem.read(pe, frame + goal_frame::SLOT, ObjectKind::GoalFrame).expect_uint("goal slot");
+        for i in 0..arity {
+            let c = self.mem.read(pe, goal_frame::arg(frame, i), ObjectKind::GoalFrame);
+            self.workers[w].x[(i + 1) as usize] = c;
+        }
+
+        // Record the pick-up in the Parcall Frame.
+        let to_sched =
+            self.mem.read(pe, pf + parcall::TO_SCHEDULE, ObjectKind::ParcallCount).expect_uint("to_schedule");
+        self.mem.write(pe, pf + parcall::TO_SCHEDULE, Cell::Uint(to_sched.saturating_sub(1)), ObjectKind::ParcallCount);
+        if stolen {
+            self.mem.write(pe, parcall::slot_status(pf, slot), Cell::Uint(parcall::SLOT_TAKEN), ObjectKind::ParcallGlobal);
+            self.mem.write(pe, parcall::slot_pe(pf, slot), Cell::Uint(w as u32), ObjectKind::ParcallGlobal);
+        }
+
+        self.parallel_goals += 1;
+        if stolen {
+            self.goals_actually_parallel += 1;
+        }
+        self.inferences += 1;
+
+        let wk = &self.workers[w];
+        let (b, tr, h, local_top, e, cp, hb, sb) =
+            (wk.b, wk.tr, wk.h, wk.local_top, wk.e, wk.cp, wk.hb, wk.stack_boundary);
+
+        // Stolen goals push a Marker delimiting the new Stack Section.
+        let marker_addr = if stolen {
+            let m = wk.control_top;
+            self.mem.check_top(w, Area::ControlStack, m + marker::SIZE)?;
+            self.mem.write(pe, m + marker::KIND, Cell::Uint(marker::KIND_GOAL), ObjectKind::Marker);
+            self.mem.write(pe, m + marker::PF, Cell::Uint(pf), ObjectKind::Marker);
+            self.mem.write(pe, m + marker::SLOT, Cell::Uint(slot), ObjectKind::Marker);
+            self.mem.write(pe, m + marker::ENTRY_B, Cell::Uint(b), ObjectKind::Marker);
+            self.mem.write(pe, m + marker::ENTRY_TR, Cell::Uint(tr), ObjectKind::Marker);
+            self.mem.write(pe, m + marker::ENTRY_H, Cell::Uint(h), ObjectKind::Marker);
+            self.mem.write(pe, m + marker::ENTRY_LOCAL_TOP, Cell::Uint(local_top), ObjectKind::Marker);
+            self.mem.write(pe, m + marker::ENTRY_E, Cell::Uint(e), ObjectKind::Marker);
+            self.workers[w].control_top = m + marker::SIZE;
+            m
+        } else {
+            NONE_ADDR
+        };
+
+        let ctx = GoalContext {
+            marker: marker_addr,
+            pf,
+            slot,
+            entry_b: b,
+            entry_tr: tr,
+            entry_h: h,
+            entry_local_top: local_top,
+            prev_cp: cp,
+            entry_e: e,
+            prev_hb: hb,
+            prev_stack_boundary: sb,
+            resume,
+            stolen,
+        };
+        let wk = &mut self.workers[w];
+        wk.goal_contexts.push(ctx);
+        wk.cp = self.program.goal_success_addr;
+        wk.num_args = arity as u8;
+        wk.b0 = wk.b;
+        wk.p = code;
+        wk.hb = wk.h;
+        wk.stack_boundary = wk.local_top;
+        wk.status = WorkerStatus::Running;
+        wk.update_high_water();
+        Ok(())
+    }
+
+    /// Executed when a parallel goal's continuation returns (the
+    /// `goal_success` stub): record completion and resume scheduling.
+    pub(crate) fn finish_goal_success(&mut self, w: usize) -> EngineResult<()> {
+        let pe = self.workers[w].id;
+        let ctx = self.workers[w]
+            .goal_contexts
+            .pop()
+            .ok_or_else(|| EngineError::Internal("goal_success with no goal in progress".into()))?;
+        let (pf, slot) = if ctx.stolen {
+            // Re-read the Marker (pf, slot) as the real machine would, record
+            // the completed slot and notify the parent.
+            let pf = self.mem.read(pe, ctx.marker + marker::PF, ObjectKind::Marker).expect_uint("marker pf");
+            let slot = self.mem.read(pe, ctx.marker + marker::SLOT, ObjectKind::Marker).expect_uint("marker slot");
+            self.mem.write(pe, parcall::slot_status(pf, slot), Cell::Uint(parcall::SLOT_DONE), ObjectKind::ParcallGlobal);
+            (pf, slot)
+        } else {
+            (ctx.pf, ctx.slot)
+        };
+        let done = self.mem.read(pe, pf + parcall::COMPLETED, ObjectKind::ParcallCount).expect_uint("completed");
+        self.mem.write(pe, pf + parcall::COMPLETED, Cell::Uint(done + 1), ObjectKind::ParcallCount);
+
+        if ctx.stolen {
+            let parent = self
+                .mem
+                .read(pe, pf + parcall::PARENT_PE, ObjectKind::ParcallLocal)
+                .expect_uint("parent pe") as usize;
+            if parent != w {
+                self.post_message(w, parent, message::KIND_DONE, pf, slot)?;
+            }
+        }
+
+        let wk = &mut self.workers[w];
+        wk.cp = ctx.prev_cp;
+        wk.e = ctx.entry_e;
+        wk.hb = ctx.prev_hb;
+        wk.stack_boundary = ctx.prev_stack_boundary;
+        match ctx.resume {
+            Resume::ToWait { addr } => {
+                wk.p = addr;
+                wk.status = WorkerStatus::Running;
+            }
+            Resume::Idle => {
+                wk.status = WorkerStatus::Idle;
+            }
+        }
+        Ok(())
+    }
+
+    /// A parallel goal failed: recover the storage of its Stack Section,
+    /// mark the Parcall Frame as failed and resume scheduling.
+    pub(crate) fn fail_goal(&mut self, w: usize) -> EngineResult<()> {
+        let pe = self.workers[w].id;
+        let ctx = self.workers[w]
+            .goal_contexts
+            .pop()
+            .ok_or_else(|| EngineError::Internal("goal failure with no goal in progress".into()))?;
+        let (pf, slot) = (ctx.pf, ctx.slot);
+        if ctx.stolen {
+            // Re-read the Marker, as the real machine recovers the Stack
+            // Section through it.
+            let m = ctx.marker;
+            let _ = self.mem.read(pe, m + marker::PF, ObjectKind::Marker);
+            let _ = self.mem.read(pe, m + marker::SLOT, ObjectKind::Marker);
+            let _ = self.mem.read(pe, m + marker::ENTRY_TR, ObjectKind::Marker);
+            let _ = self.mem.read(pe, m + marker::ENTRY_H, ObjectKind::Marker);
+            let _ = self.mem.read(pe, m + marker::ENTRY_LOCAL_TOP, ObjectKind::Marker);
+            let _ = self.mem.read(pe, m + marker::ENTRY_E, ObjectKind::Marker);
+        }
+
+        // Undo the goal's bindings and recover its storage.
+        self.untrail_to(w, ctx.entry_tr)?;
+        {
+            let wk = &mut self.workers[w];
+            wk.h = ctx.entry_h;
+            wk.local_top = ctx.entry_local_top;
+            wk.e = ctx.entry_e;
+            wk.b = ctx.entry_b;
+            wk.cp = ctx.prev_cp;
+            wk.hb = ctx.prev_hb;
+            wk.stack_boundary = ctx.prev_stack_boundary;
+            if ctx.stolen {
+                wk.control_top = ctx.marker; // the marker itself is recovered
+            }
+        }
+
+        // Mark the Parcall Frame.
+        if ctx.stolen {
+            self.mem.write(pe, parcall::slot_status(pf, slot), Cell::Uint(parcall::SLOT_FAILED), ObjectKind::ParcallGlobal);
+        }
+        self.mem.write(pe, pf + parcall::STATUS, Cell::Uint(parcall::STATUS_FAILED), ObjectKind::ParcallLocal);
+        let done = self.mem.read(pe, pf + parcall::COMPLETED, ObjectKind::ParcallCount).expect_uint("completed");
+        self.mem.write(pe, pf + parcall::COMPLETED, Cell::Uint(done + 1), ObjectKind::ParcallCount);
+        if ctx.stolen {
+            let parent = self
+                .mem
+                .read(pe, pf + parcall::PARENT_PE, ObjectKind::ParcallLocal)
+                .expect_uint("parent pe") as usize;
+            if parent != w {
+                self.post_message(w, parent, message::KIND_FAILED, pf, slot)?;
+            }
+        }
+
+        let wk = &mut self.workers[w];
+        match ctx.resume {
+            Resume::ToWait { addr } => {
+                wk.p = addr;
+                wk.status = WorkerStatus::Running;
+            }
+            Resume::Idle => {
+                wk.status = WorkerStatus::Idle;
+            }
+        }
+        Ok(())
+    }
+
+    /// Write a completion/failure message into `parent`'s Message Buffer.
+    fn post_message(&mut self, from: usize, parent: usize, kind: u32, pf: u32, slot: u32) -> EngineResult<()> {
+        let pe = self.workers[from].id;
+        let base = self.workers[parent].msg_base;
+        let size = self.mem.map.config.message_words;
+        let mut top = self.workers[parent].msg_top;
+        if top + message::SIZE > base + size {
+            top = base; // wrap the circular buffer
+        }
+        self.mem.write(pe, top + message::KIND, Cell::Uint(kind), ObjectKind::Message);
+        self.mem.write(pe, top + message::PF, Cell::Uint(pf), ObjectKind::Message);
+        self.mem.write(pe, top + message::SLOT, Cell::Uint(slot), ObjectKind::Message);
+        self.workers[parent].msg_top = top + message::SIZE;
+        self.workers[parent].pending_messages += 1;
+        Ok(())
+    }
+
+    /// Consume the pending completion messages of worker `w` (called when a
+    /// Parcall Frame completes), generating the corresponding read traffic.
+    pub(crate) fn consume_messages(&mut self, w: usize) {
+        let pe = self.workers[w].id;
+        let pending = self.workers[w].pending_messages;
+        if pending == 0 {
+            return;
+        }
+        let mut addr = self.workers[w].msg_top;
+        for _ in 0..pending {
+            // Read back the most recent messages (newest first); the values
+            // only matter for the reference trace.
+            addr = addr.saturating_sub(message::SIZE).max(self.workers[w].msg_base);
+            let _ = self.mem.read(pe, addr + message::KIND, ObjectKind::Message);
+            let _ = self.mem.read(pe, addr + message::PF, ObjectKind::Message);
+            let _ = self.mem.read(pe, addr + message::SLOT, ObjectKind::Message);
+        }
+        self.workers[w].pending_messages = 0;
+    }
+
+    // -----------------------------------------------------------------
+    // Choice points and backtracking
+    // -----------------------------------------------------------------
+
+    /// Push a choice point whose next alternative is the code address
+    /// `next_clause`.
+    pub(crate) fn push_choice_point(&mut self, w: usize, next_clause: u32) -> EngineResult<()> {
+        let pe = self.workers[w].id;
+        let nargs = self.workers[w].num_args as u32;
+        let b = self.workers[w].control_top;
+        self.mem.check_top(w, Area::ControlStack, b + choice::size(nargs))?;
+        self.mem.write(pe, b + choice::NARGS, Cell::Uint(nargs), ObjectKind::ChoicePoint);
+        for i in 0..nargs {
+            let v = self.workers[w].x[(i + 1) as usize];
+            self.mem.write(pe, choice::arg(b, i), v, ObjectKind::ChoicePoint);
+        }
+        let wk = &self.workers[w];
+        let (e, cp, prev_b, tr, h, pf, local_top, b0) =
+            (wk.e, wk.cp, wk.b, wk.tr, wk.h, wk.pf, wk.local_top, wk.b0);
+        self.mem.write(pe, choice::saved_e(b, nargs), Cell::Uint(e), ObjectKind::ChoicePoint);
+        self.mem.write(pe, choice::saved_cp(b, nargs), Cell::Code(cp), ObjectKind::ChoicePoint);
+        self.mem.write(pe, choice::prev_b(b, nargs), Cell::Uint(prev_b), ObjectKind::ChoicePoint);
+        self.mem.write(pe, choice::next_clause(b, nargs), Cell::Code(next_clause), ObjectKind::ChoicePoint);
+        self.mem.write(pe, choice::saved_tr(b, nargs), Cell::Uint(tr), ObjectKind::ChoicePoint);
+        self.mem.write(pe, choice::saved_h(b, nargs), Cell::Uint(h), ObjectKind::ChoicePoint);
+        self.mem.write(pe, choice::saved_pf(b, nargs), Cell::Uint(pf), ObjectKind::ChoicePoint);
+        self.mem.write(pe, choice::saved_local_top(b, nargs), Cell::Uint(local_top), ObjectKind::ChoicePoint);
+        self.mem.write(pe, choice::saved_b0(b, nargs), Cell::Uint(b0), ObjectKind::ChoicePoint);
+        let wk = &mut self.workers[w];
+        wk.b = b;
+        wk.hb = wk.h;
+        wk.stack_boundary = wk.local_top;
+        wk.control_top = b + choice::size(nargs);
+        wk.update_high_water();
+        Ok(())
+    }
+
+    /// Restore machine state from the current choice point and continue at
+    /// its next-alternative address (the retry/trust driver instruction).
+    fn restore_from_choice_point(&mut self, w: usize) -> EngineResult<()> {
+        let pe = self.workers[w].id;
+        let b = self.workers[w].b;
+        let nargs = self.mem.read(pe, b + choice::NARGS, ObjectKind::ChoicePoint).expect_uint("cp nargs");
+        for i in 0..nargs {
+            let v = self.mem.read(pe, choice::arg(b, i), ObjectKind::ChoicePoint);
+            self.workers[w].x[(i + 1) as usize] = v;
+        }
+        let e = self.mem.read(pe, choice::saved_e(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp e");
+        let cp = self.mem.read(pe, choice::saved_cp(b, nargs), ObjectKind::ChoicePoint).expect_code("cp cp");
+        let bp = self.mem.read(pe, choice::next_clause(b, nargs), ObjectKind::ChoicePoint).expect_code("cp bp");
+        let tr = self.mem.read(pe, choice::saved_tr(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp tr");
+        let h = self.mem.read(pe, choice::saved_h(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp h");
+        let pf = self.mem.read(pe, choice::saved_pf(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp pf");
+        let lt = self.mem.read(pe, choice::saved_local_top(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp lt");
+        let b0 = self.mem.read(pe, choice::saved_b0(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp b0");
+        self.untrail_to(w, tr)?;
+        let wk = &mut self.workers[w];
+        wk.num_args = nargs as u8;
+        wk.e = e;
+        wk.cp = cp;
+        wk.h = h;
+        wk.hb = h;
+        wk.pf = pf;
+        wk.local_top = lt;
+        wk.stack_boundary = lt;
+        wk.b0 = b0;
+        wk.p = bp;
+        Ok(())
+    }
+
+    /// Discard the current choice point (executed by `trust` / cut).
+    pub(crate) fn pop_choice_point(&mut self, w: usize) -> EngineResult<()> {
+        let pe = self.workers[w].id;
+        let b = self.workers[w].b;
+        let nargs = self.mem.read(pe, b + choice::NARGS, ObjectKind::ChoicePoint).expect_uint("cp nargs");
+        let prev = self.mem.read(pe, choice::prev_b(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp prev");
+        self.workers[w].b = prev;
+        self.refresh_backtrack_boundaries(w)?;
+        self.recede_control_top(w);
+        Ok(())
+    }
+
+    /// After B changed (cut / trust), refresh the `hb` / `stack_boundary`
+    /// trailing boundaries from the new current choice point.
+    pub(crate) fn refresh_backtrack_boundaries(&mut self, w: usize) -> EngineResult<()> {
+        let pe = self.workers[w].id;
+        let b = self.workers[w].b;
+        // Within a parallel goal, the failure boundary of the goal also acts
+        // as a trailing boundary.
+        let (goal_hb, goal_sb) = match self.workers[w].goal_contexts.last() {
+            Some(_) => (self.workers[w].hb, self.workers[w].stack_boundary),
+            None => (self.workers[w].heap_base, self.workers[w].local_base),
+        };
+        if b == NONE_ADDR {
+            let wk = &mut self.workers[w];
+            wk.hb = goal_hb.min(wk.h);
+            wk.stack_boundary = goal_sb.min(wk.local_top);
+            return Ok(());
+        }
+        let nargs = self.mem.read(pe, b + choice::NARGS, ObjectKind::ChoicePoint).expect_uint("cp nargs");
+        let h = self.mem.read(pe, choice::saved_h(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp h");
+        let lt = self.mem.read(pe, choice::saved_local_top(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp lt");
+        let wk = &mut self.workers[w];
+        wk.hb = h;
+        wk.stack_boundary = lt;
+        Ok(())
+    }
+
+    /// Recover Control-stack space if the discarded frames were topmost.
+    pub(crate) fn recede_control_top(&mut self, w: usize) {
+        let wk = &self.workers[w];
+        let marker_top = wk
+            .goal_contexts
+            .iter()
+            .rev()
+            .find(|c| c.stolen)
+            .map(|c| c.marker + marker::SIZE)
+            .unwrap_or(wk.control_base);
+        let b_top = if wk.b == NONE_ADDR {
+            wk.control_base
+        } else {
+            // We do not know the frame size without reading memory; keep the
+            // conservative bound of "just above the frame base plus fixed
+            // part" — the next push will overwrite anything above it anyway.
+            wk.b + choice::FIXED + wk.num_args as u32
+        };
+        let new_top = marker_top.max(b_top).max(wk.control_base);
+        if new_top < wk.control_top {
+            self.workers[w].control_top = new_top;
+        }
+    }
+
+    /// Undo trailed bindings down to `target`.
+    pub(crate) fn untrail_to(&mut self, w: usize, target: u32) -> EngineResult<()> {
+        let pe = self.workers[w].id;
+        while self.workers[w].tr > target {
+            self.workers[w].tr -= 1;
+            let taddr = self.workers[w].tr;
+            let addr = self.mem.read(pe, taddr, ObjectKind::TrailEntry).expect_uint("trail entry");
+            let obj = self.object_for_addr(addr);
+            self.mem.write(pe, addr, Cell::Ref(addr), obj);
+        }
+        Ok(())
+    }
+
+    /// Handle a failure on worker `w`: either the current parallel goal
+    /// fails, the whole query fails, or we backtrack into the most recent
+    /// choice point.
+    pub(crate) fn backtrack(&mut self, w: usize) -> EngineResult<()> {
+        let b = self.workers[w].b;
+        let at_goal_boundary =
+            self.workers[w].goal_contexts.last().map(|c| c.entry_b == b).unwrap_or(false);
+        if at_goal_boundary {
+            return self.fail_goal(w);
+        }
+        if b == NONE_ADDR {
+            self.finished = Some(false);
+            for wk in &mut self.workers {
+                wk.status = WorkerStatus::Stopped;
+            }
+            return Ok(());
+        }
+        self.restore_from_choice_point(w)
+    }
+
+    /// Called by the `halt` builtin: the query succeeded.
+    pub(crate) fn query_succeeded(&mut self, w: usize) {
+        self.answer_env = Some((w, self.workers[w].e));
+        self.finished = Some(true);
+        for wk in &mut self.workers {
+            wk.status = WorkerStatus::Stopped;
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Results
+    // -----------------------------------------------------------------
+
+    fn extract_answer(&self, syms: &SymbolTable) -> EngineResult<Vec<(String, Term)>> {
+        let Some((_, env_addr)) = self.answer_env else {
+            return Ok(Vec::new());
+        };
+        let mut out = Vec::new();
+        for (name, slot) in &self.program.query_vars {
+            let addr = env::y_addr(env_addr, *slot);
+            let term = extract_binding(&self.mem, addr, syms)?;
+            out.push((name.clone(), term));
+        }
+        Ok(out)
+    }
+
+    fn collect_stats(&self) -> RunStats {
+        let workers: Vec<WorkerStats> = self
+            .workers
+            .iter()
+            .map(|w| WorkerStats {
+                instructions: w.instructions,
+                idle_cycles: w.idle_cycles,
+                max_usage: w.max_usage(),
+            })
+            .collect();
+        RunStats {
+            num_workers: self.workers.len(),
+            instructions: self.steps,
+            data_refs: self.mem.stats.total.total(),
+            reads: self.mem.stats.total.reads,
+            writes: self.mem.stats.total.writes,
+            elapsed_cycles: self.cycles,
+            parcalls: self.parcalls,
+            parallel_goals: self.parallel_goals,
+            goals_actually_parallel: self.goals_actually_parallel,
+            inferences: self.inferences,
+            area_stats: self.mem.stats.clone(),
+            workers,
+        }
+    }
+
+    /// Classify a data address by the object kind that lives in its area
+    /// (used when the engine only knows an address, e.g. for dereferencing
+    /// and untrailing).
+    pub(crate) fn object_for_addr(&self, addr: u32) -> ObjectKind {
+        match self.mem.map.area_of(addr) {
+            Area::Heap => ObjectKind::HeapTerm,
+            Area::LocalStack => ObjectKind::EnvPermVar,
+            Area::ControlStack => ObjectKind::Marker,
+            Area::Trail => ObjectKind::TrailEntry,
+            Area::Pdl => ObjectKind::PdlEntry,
+            Area::GoalStack => ObjectKind::GoalFrame,
+            Area::MessageBuffer => ObjectKind::Message,
+        }
+    }
+}

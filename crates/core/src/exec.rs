@@ -1,0 +1,498 @@
+//! Instruction dispatch: execution of one abstract-machine instruction.
+
+use crate::builtins::BuiltinOutcome;
+use crate::cell::{Cell, NONE_ADDR};
+use crate::engine::Engine;
+use crate::error::{EngineError, EngineResult};
+use crate::frames::{choice, env, goal_frame, parcall};
+use crate::known;
+use crate::layout::{Area, ObjectKind};
+use crate::worker::{Mode, Resume, WorkerStatus};
+use pwam_compiler::{CallTarget, ConstKey, Instr, Reg};
+
+impl<'p> Engine<'p> {
+    /// Execute the instruction at the current program counter of worker `w`.
+    pub(crate) fn exec_instr(&mut self, w: usize) -> EngineResult<()> {
+        let program = self.program;
+        let p = self.workers[w].p;
+        let instr = &program.code[p as usize];
+        let pe = self.workers[w].id;
+        let mut next = p + 1;
+
+        match instr {
+            // ---------------- put ----------------
+            Instr::PutVariable { v, a } => match v {
+                Reg::X(n) => {
+                    let var = self.new_heap_var(w)?;
+                    self.workers[w].x[*n as usize] = var;
+                    self.workers[w].x[*a as usize] = var;
+                }
+                Reg::Y(n) => {
+                    let addr = self.y_addr(w, *n)?;
+                    self.mem.write(pe, addr, Cell::Ref(addr), ObjectKind::EnvPermVar);
+                    self.workers[w].x[*a as usize] = Cell::Ref(addr);
+                }
+            },
+            Instr::PutValue { v, a } => {
+                let c = self.read_reg(w, *v)?;
+                self.workers[w].x[*a as usize] = c;
+            }
+            Instr::PutUnsafeValue { y, a } => {
+                let c = self.read_reg(w, Reg::Y(*y))?;
+                let g = self.globalize(w, c)?;
+                self.workers[w].x[*a as usize] = g;
+            }
+            Instr::PutConstant { c, a } => {
+                self.workers[w].x[*a as usize] = Cell::Con(*c);
+            }
+            Instr::PutInteger { i, a } => {
+                self.workers[w].x[*a as usize] = Cell::Int(*i);
+            }
+            Instr::PutNil { a } => {
+                self.workers[w].x[*a as usize] = Cell::Con(known::NIL);
+            }
+            Instr::PutStructure { f, n, a } => {
+                let addr = self.heap_push(w, Cell::Fun(*f, *n))?;
+                self.workers[w].x[*a as usize] = Cell::Str(addr);
+                self.workers[w].mode = Mode::Write;
+            }
+            Instr::PutList { a } => {
+                let h = self.workers[w].h;
+                self.workers[w].x[*a as usize] = Cell::Lis(h);
+                self.workers[w].mode = Mode::Write;
+            }
+
+            // ---------------- get ----------------
+            Instr::GetVariable { v, a } => {
+                let c = self.workers[w].x[*a as usize];
+                self.write_reg(w, *v, c)?;
+            }
+            Instr::GetValue { v, a } => {
+                let c = self.read_reg(w, *v)?;
+                let arg = self.workers[w].x[*a as usize];
+                if !self.unify(w, c, arg)? {
+                    return self.backtrack(w);
+                }
+            }
+            Instr::GetConstant { c, a } => {
+                let arg = self.workers[w].x[*a as usize];
+                if !self.get_atomic(w, arg, Cell::Con(*c))? {
+                    return self.backtrack(w);
+                }
+            }
+            Instr::GetInteger { i, a } => {
+                let arg = self.workers[w].x[*a as usize];
+                if !self.get_atomic(w, arg, Cell::Int(*i))? {
+                    return self.backtrack(w);
+                }
+            }
+            Instr::GetNil { a } => {
+                let arg = self.workers[w].x[*a as usize];
+                if !self.get_atomic(w, arg, Cell::Con(known::NIL))? {
+                    return self.backtrack(w);
+                }
+            }
+            Instr::GetStructure { f, n, a } => {
+                let arg = self.workers[w].x[*a as usize];
+                match self.deref(w, arg) {
+                    Cell::Ref(addr) => {
+                        let fun_addr = self.heap_push(w, Cell::Fun(*f, *n))?;
+                        self.bind(w, addr, Cell::Str(fun_addr))?;
+                        self.workers[w].mode = Mode::Write;
+                    }
+                    Cell::Str(pp) => {
+                        let fun = self.mem.read(pe, pp, ObjectKind::HeapTerm);
+                        match fun {
+                            Cell::Fun(f2, n2) if f2 == *f && n2 == *n => {
+                                self.workers[w].s = pp + 1;
+                                self.workers[w].mode = Mode::Read;
+                            }
+                            _ => return self.backtrack(w),
+                        }
+                    }
+                    _ => return self.backtrack(w),
+                }
+            }
+            Instr::GetList { a } => {
+                let arg = self.workers[w].x[*a as usize];
+                match self.deref(w, arg) {
+                    Cell::Ref(addr) => {
+                        let h = self.workers[w].h;
+                        self.bind(w, addr, Cell::Lis(h))?;
+                        self.workers[w].mode = Mode::Write;
+                    }
+                    Cell::Lis(pp) => {
+                        self.workers[w].s = pp;
+                        self.workers[w].mode = Mode::Read;
+                    }
+                    _ => return self.backtrack(w),
+                }
+            }
+
+            // ---------------- unify ----------------
+            Instr::UnifyVariable { v } => match self.workers[w].mode {
+                Mode::Read => {
+                    let s = self.workers[w].s;
+                    let c = self.mem.read(pe, s, self.object_for_addr(s));
+                    self.workers[w].s = s + 1;
+                    self.write_reg(w, *v, c)?;
+                }
+                Mode::Write => {
+                    let var = self.new_heap_var(w)?;
+                    self.write_reg(w, *v, var)?;
+                }
+            },
+            Instr::UnifyValue { v } | Instr::UnifyLocalValue { v } => match self.workers[w].mode {
+                Mode::Read => {
+                    let s = self.workers[w].s;
+                    let target = self.mem.read(pe, s, self.object_for_addr(s));
+                    self.workers[w].s = s + 1;
+                    let c = self.read_reg(w, *v)?;
+                    if !self.unify(w, c, target)? {
+                        return self.backtrack(w);
+                    }
+                }
+                Mode::Write => {
+                    let c = self.read_reg(w, *v)?;
+                    let g = self.globalize(w, c)?;
+                    self.heap_push(w, g)?;
+                }
+            },
+            Instr::UnifyConstant { c } => {
+                if !self.unify_atomic(w, Cell::Con(*c))? {
+                    return self.backtrack(w);
+                }
+            }
+            Instr::UnifyInteger { i } => {
+                if !self.unify_atomic(w, Cell::Int(*i))? {
+                    return self.backtrack(w);
+                }
+            }
+            Instr::UnifyNil => {
+                if !self.unify_atomic(w, Cell::Con(known::NIL))? {
+                    return self.backtrack(w);
+                }
+            }
+            Instr::UnifyVoid { n } => match self.workers[w].mode {
+                Mode::Read => self.workers[w].s += *n as u32,
+                Mode::Write => {
+                    for _ in 0..*n {
+                        self.new_heap_var(w)?;
+                    }
+                }
+            },
+
+            // ---------------- control ----------------
+            Instr::Allocate { n } => {
+                let e_new = self.workers[w].local_top;
+                self.mem.check_top(w, Area::LocalStack, e_new + env::size(*n as u32))?;
+                let (e_old, cp) = (self.workers[w].e, self.workers[w].cp);
+                self.mem.write(pe, e_new + env::CE, Cell::Uint(e_old), ObjectKind::EnvControl);
+                self.mem.write(pe, e_new + env::CP, Cell::Code(cp), ObjectKind::EnvControl);
+                self.mem.write(pe, e_new + env::NVARS, Cell::Uint(*n as u32), ObjectKind::EnvControl);
+                let wk = &mut self.workers[w];
+                wk.e = e_new;
+                wk.local_top = e_new + env::size(*n as u32);
+                wk.update_high_water();
+            }
+            Instr::Deallocate => {
+                let e = self.workers[w].e;
+                let ce = self.mem.read(pe, e + env::CE, ObjectKind::EnvControl).expect_uint("env CE");
+                let cp = self.mem.read(pe, e + env::CP, ObjectKind::EnvControl).expect_code("env CP");
+                let n = self.mem.read(pe, e + env::NVARS, ObjectKind::EnvControl).expect_uint("env nvars");
+                let wk = &mut self.workers[w];
+                if e + env::size(n) == wk.local_top {
+                    wk.local_top = e;
+                }
+                wk.cp = cp;
+                wk.e = ce;
+            }
+            Instr::Call { target, arity } => match target {
+                CallTarget::Code(addr) => {
+                    self.inferences += 1;
+                    let wk = &mut self.workers[w];
+                    wk.cp = p + 1;
+                    wk.num_args = *arity;
+                    wk.b0 = wk.b;
+                    next = *addr;
+                }
+                CallTarget::Builtin(b) => match self.exec_builtin(w, *b)? {
+                    BuiltinOutcome::Succeed => {}
+                    BuiltinOutcome::Fail => return self.backtrack(w),
+                    BuiltinOutcome::Halted => return Ok(()),
+                },
+                CallTarget::Unresolved(_) => {
+                    return Err(EngineError::BadInstruction { addr: p, what: "unresolved call target".into() })
+                }
+            },
+            Instr::Execute { target, arity } => match target {
+                CallTarget::Code(addr) => {
+                    self.inferences += 1;
+                    let wk = &mut self.workers[w];
+                    wk.num_args = *arity;
+                    wk.b0 = wk.b;
+                    next = *addr;
+                }
+                CallTarget::Builtin(b) => match self.exec_builtin(w, *b)? {
+                    BuiltinOutcome::Succeed => next = self.workers[w].cp,
+                    BuiltinOutcome::Fail => return self.backtrack(w),
+                    BuiltinOutcome::Halted => return Ok(()),
+                },
+                CallTarget::Unresolved(_) => {
+                    return Err(EngineError::BadInstruction { addr: p, what: "unresolved call target".into() })
+                }
+            },
+            Instr::Proceed => {
+                next = self.workers[w].cp;
+            }
+            Instr::CallBuiltin { b } => match self.exec_builtin(w, *b)? {
+                BuiltinOutcome::Succeed => {}
+                BuiltinOutcome::Fail => return self.backtrack(w),
+                BuiltinOutcome::Halted => return Ok(()),
+            },
+
+            // ---------------- choice points & indexing ----------------
+            Instr::Try { addr } => {
+                self.push_choice_point(w, p + 1)?;
+                next = *addr;
+            }
+            Instr::Retry { addr } => {
+                let b = self.workers[w].b;
+                let nargs = self.mem.read(pe, b + choice::NARGS, ObjectKind::ChoicePoint).expect_uint("cp nargs");
+                self.mem.write(pe, choice::next_clause(b, nargs), Cell::Code(p + 1), ObjectKind::ChoicePoint);
+                next = *addr;
+            }
+            Instr::Trust { addr } => {
+                self.pop_choice_point(w)?;
+                next = *addr;
+            }
+            Instr::TryMeElse { else_ } => {
+                self.push_choice_point(w, *else_)?;
+            }
+            Instr::RetryMeElse { else_ } => {
+                let b = self.workers[w].b;
+                let nargs = self.mem.read(pe, b + choice::NARGS, ObjectKind::ChoicePoint).expect_uint("cp nargs");
+                self.mem.write(pe, choice::next_clause(b, nargs), Cell::Code(*else_), ObjectKind::ChoicePoint);
+            }
+            Instr::TrustMe => {
+                self.pop_choice_point(w)?;
+            }
+            Instr::SwitchOnTerm { var, con, lis, stru } => {
+                let arg = self.workers[w].x[1];
+                next = match self.deref(w, arg) {
+                    Cell::Ref(_) => *var,
+                    Cell::Con(_) | Cell::Int(_) => *con,
+                    Cell::Lis(_) => *lis,
+                    Cell::Str(_) => *stru,
+                    other => {
+                        return Err(EngineError::BadInstruction {
+                            addr: p,
+                            what: format!("switch_on_term saw a control cell {other:?}"),
+                        })
+                    }
+                };
+            }
+            Instr::SwitchOnConstant { table, default } => {
+                let arg = self.workers[w].x[1];
+                let key = match self.deref(w, arg) {
+                    Cell::Con(a) => ConstKey::Atom(a),
+                    Cell::Int(i) => ConstKey::Int(i),
+                    _ => return self.backtrack(w),
+                };
+                next = table.iter().find(|(k, _)| *k == key).map(|(_, a)| *a).unwrap_or(*default);
+            }
+            Instr::SwitchOnStructure { table, default } => {
+                let arg = self.workers[w].x[1];
+                match self.deref(w, arg) {
+                    Cell::Str(pp) => {
+                        let fun = self.mem.read(pe, pp, ObjectKind::HeapTerm);
+                        match fun {
+                            Cell::Fun(f, n) => {
+                                next = table
+                                    .iter()
+                                    .find(|((tf, tn), _)| *tf == f && *tn == n)
+                                    .map(|(_, a)| *a)
+                                    .unwrap_or(*default);
+                            }
+                            _ => return self.backtrack(w),
+                        }
+                    }
+                    _ => return self.backtrack(w),
+                }
+            }
+
+            // ---------------- cut ----------------
+            Instr::NeckCut => {
+                return Err(EngineError::BadInstruction {
+                    addr: p,
+                    what: "neck_cut is not emitted by this compiler".into(),
+                })
+            }
+            Instr::GetLevel { y } => {
+                // Capture the cut barrier: choice points older than the call
+                // of the current predicate survive a cut, everything newer
+                // (including the clause-selection choice point) is discarded.
+                let b0 = self.workers[w].b0;
+                self.write_reg(w, Reg::Y(*y), Cell::Uint(b0))?;
+            }
+            Instr::CutTo { y } => {
+                let target = self.read_reg(w, Reg::Y(*y))?.expect_uint("cut barrier");
+                if self.workers[w].b != target {
+                    self.workers[w].b = target;
+                    self.refresh_backtrack_boundaries(w)?;
+                    self.recede_control_top(w);
+                }
+            }
+
+            // ---------------- builtins handled above; parallel below ----
+            Instr::CheckGround { v, else_ } => {
+                let c = self.read_reg(w, *v)?;
+                if !self.is_ground(w, c)? {
+                    next = *else_;
+                }
+            }
+            Instr::CheckIndep { v1, v2, else_ } => {
+                let c1 = self.read_reg(w, *v1)?;
+                let c2 = self.read_reg(w, *v2)?;
+                if !self.independent(w, c1, c2)? {
+                    next = *else_;
+                }
+            }
+            Instr::PcallAlloc { n } => {
+                let n = *n as u32;
+                let pf_new = self.workers[w].local_top;
+                self.mem.check_top(w, Area::LocalStack, pf_new + parcall::size(n))?;
+                let prev = self.workers[w].pf;
+                self.mem.write(pe, pf_new + parcall::NGOALS, Cell::Uint(n), ObjectKind::ParcallLocal);
+                self.mem.write(pe, pf_new + parcall::TO_SCHEDULE, Cell::Uint(n), ObjectKind::ParcallCount);
+                self.mem.write(pe, pf_new + parcall::COMPLETED, Cell::Uint(0), ObjectKind::ParcallCount);
+                self.mem.write(pe, pf_new + parcall::STATUS, Cell::Uint(parcall::STATUS_OK), ObjectKind::ParcallLocal);
+                self.mem.write(pe, pf_new + parcall::PARENT_PE, Cell::Uint(w as u32), ObjectKind::ParcallLocal);
+                self.mem.write(pe, pf_new + parcall::PREV_PF, Cell::Uint(prev), ObjectKind::ParcallLocal);
+                // The per-goal slots are written lazily, when a goal is
+                // actually taken by another PE; goals the parent executes
+                // itself never touch them.
+                let wk = &mut self.workers[w];
+                wk.pf = pf_new;
+                wk.local_top = pf_new + parcall::size(n);
+                wk.update_high_water();
+                self.parcalls += 1;
+            }
+            Instr::PcallGoal { target, arity, slot } => {
+                let code = match target {
+                    CallTarget::Code(a) => *a,
+                    other => {
+                        return Err(EngineError::BadInstruction {
+                            addr: p,
+                            what: format!("pcall_goal target must be user code, found {other:?}"),
+                        })
+                    }
+                };
+                let arity = *arity as u32;
+                let pf = self.workers[w].pf;
+                let g = self.workers[w].goal_top;
+                self.mem.check_top(w, Area::GoalStack, g + goal_frame::size(arity))?;
+                self.mem.write(pe, g + goal_frame::CODE, Cell::Code(code), ObjectKind::GoalFrame);
+                self.mem.write(pe, g + goal_frame::ARITY, Cell::Uint(arity), ObjectKind::GoalFrame);
+                self.mem.write(pe, g + goal_frame::PF, Cell::Uint(pf), ObjectKind::GoalFrame);
+                self.mem.write(pe, g + goal_frame::SLOT, Cell::Uint(*slot as u32), ObjectKind::GoalFrame);
+                for i in 0..arity {
+                    let c = self.workers[w].x[(i + 1) as usize];
+                    let g_c = self.globalize(w, c)?;
+                    self.mem.write(pe, goal_frame::arg(g, i), g_c, ObjectKind::GoalFrame);
+                }
+                let wk = &mut self.workers[w];
+                wk.goal_frames.push(g);
+                wk.goal_top = g + goal_frame::size(arity);
+                wk.update_high_water();
+            }
+            Instr::PcallWait => {
+                let pf = self.workers[w].pf;
+                if pf == NONE_ADDR {
+                    return Err(EngineError::BadInstruction {
+                        addr: p,
+                        what: "pcall_wait without a Parcall Frame".into(),
+                    });
+                }
+                let n = self.mem.read(pe, pf + parcall::NGOALS, ObjectKind::ParcallLocal).expect_uint("ngoals");
+                let done = self.mem.read(pe, pf + parcall::COMPLETED, ObjectKind::ParcallCount).expect_uint("completed");
+                if done >= n {
+                    let status =
+                        self.mem.read(pe, pf + parcall::STATUS, ObjectKind::ParcallLocal).expect_uint("status");
+                    self.consume_messages(w);
+                    if status != parcall::STATUS_OK {
+                        return self.backtrack(w);
+                    }
+                    let prev = self.mem.read(pe, pf + parcall::PREV_PF, ObjectKind::ParcallLocal).expect_uint("prev pf");
+                    let wk = &mut self.workers[w];
+                    if pf + parcall::size(n) == wk.local_top {
+                        wk.local_top = pf;
+                    }
+                    wk.pf = prev;
+                    // fall through to the continuation
+                } else {
+                    // Not complete yet: pick up a goal (own stack first, then
+                    // steal) or wait.
+                    if !self.try_dispatch_work(w, Resume::ToWait { addr: p })? {
+                        self.workers[w].status = WorkerStatus::WaitingAtPcall { addr: p, pf };
+                    }
+                    return Ok(());
+                }
+            }
+            Instr::GoalSuccess => {
+                return self.finish_goal_success(w);
+            }
+
+            // ---------------- misc ----------------
+            Instr::Jump { addr } => {
+                next = *addr;
+            }
+            Instr::FailInstr => {
+                return self.backtrack(w);
+            }
+            Instr::Halt => {
+                self.query_succeeded(w);
+                return Ok(());
+            }
+            Instr::NoOp => {}
+        }
+
+        self.workers[w].p = next;
+        Ok(())
+    }
+
+    /// Shared implementation of `get_constant` / `get_integer` / `get_nil`:
+    /// unify the argument register with an atomic cell.
+    fn get_atomic(&mut self, w: usize, arg: Cell, atomic: Cell) -> EngineResult<bool> {
+        match self.deref(w, arg) {
+            Cell::Ref(addr) => {
+                self.bind(w, addr, atomic)?;
+                Ok(true)
+            }
+            other => Ok(other == atomic),
+        }
+    }
+
+    /// Shared implementation of write/read mode `unify_constant` and friends.
+    fn unify_atomic(&mut self, w: usize, atomic: Cell) -> EngineResult<bool> {
+        let pe = self.workers[w].id;
+        match self.workers[w].mode {
+            Mode::Write => {
+                self.heap_push(w, atomic)?;
+                Ok(true)
+            }
+            Mode::Read => {
+                let s = self.workers[w].s;
+                let c = self.mem.read(pe, s, self.object_for_addr(s));
+                self.workers[w].s = s + 1;
+                match self.deref(w, c) {
+                    Cell::Ref(addr) => {
+                        self.bind(w, addr, atomic)?;
+                        Ok(true)
+                    }
+                    other => Ok(other == atomic),
+                }
+            }
+        }
+    }
+}

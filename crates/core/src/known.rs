@@ -1,0 +1,49 @@
+//! Well-known atom handles.
+//!
+//! `pwam_front::SymbolTable::new` pre-interns a fixed list of atoms in a
+//! fixed order, so their handles are compile-time constants.  The engine
+//! relies on this for the list constructor, `[]`, and the arithmetic
+//! functors without needing the symbol table at execution time.  A unit test
+//! below guards against the two crates drifting apart.
+
+use pwam_front::atoms::Atom;
+
+/// `[]`
+pub const NIL: Atom = Atom(0);
+/// `'.'` — list constructor.
+pub const DOT: Atom = Atom(1);
+/// `true`
+pub const TRUE: Atom = Atom(2);
+/// `-`
+pub const MINUS: Atom = Atom(12);
+/// `+`
+pub const PLUS: Atom = Atom(13);
+/// `*`
+pub const STAR: Atom = Atom(14);
+/// `/`
+pub const SLASH: Atom = Atom(15);
+/// `mod`
+pub const MOD: Atom = Atom(16);
+/// `//`
+pub const INT_DIV: Atom = Atom(17);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwam_front::SymbolTable;
+
+    #[test]
+    fn constants_match_the_symbol_table() {
+        let t = SymbolTable::new();
+        let wk = t.well_known();
+        assert_eq!(NIL, wk.nil);
+        assert_eq!(DOT, wk.dot);
+        assert_eq!(TRUE, wk.truth);
+        assert_eq!(MINUS, wk.minus);
+        assert_eq!(PLUS, wk.plus);
+        assert_eq!(STAR, wk.star);
+        assert_eq!(SLASH, wk.slash);
+        assert_eq!(MOD, wk.modulo);
+        assert_eq!(INT_DIV, wk.int_div);
+    }
+}

@@ -1,0 +1,192 @@
+//! The global data memory shared by all workers.
+//!
+//! Every read and write performed by the abstract machine goes through
+//! [`Memory::read`] / [`Memory::write`], which
+//!
+//! * bounds-check the access against the area layout,
+//! * update the aggregate reference counters ([`AreaStats`]), and
+//! * optionally append a full [`MemRef`] record to the trace used by the
+//!   cache simulator.
+//!
+//! Answer extraction and debugging use the `*_untraced` variants so that
+//! inspecting a result does not perturb the measured reference counts.
+
+use crate::cell::Cell;
+use crate::error::{EngineError, EngineResult};
+use crate::layout::{AddressMap, Area, MemoryConfig, ObjectKind};
+use crate::trace::{AreaStats, MemRef};
+
+/// The global word-addressed data memory.
+#[derive(Debug)]
+pub struct Memory {
+    words: Vec<Cell>,
+    pub map: AddressMap,
+    /// Aggregate counters (always maintained).
+    pub stats: AreaStats,
+    /// Full reference trace (only when enabled).
+    trace: Option<Vec<MemRef>>,
+}
+
+impl Memory {
+    /// Allocate the data memory for `num_workers` Stack Sets.
+    pub fn new(config: MemoryConfig, num_workers: usize, collect_trace: bool) -> Self {
+        let map = AddressMap::new(config, num_workers);
+        let total = map.total_words() as usize;
+        Memory {
+            words: vec![Cell::Empty; total],
+            map,
+            stats: AreaStats::new(num_workers),
+            trace: if collect_trace { Some(Vec::new()) } else { None },
+        }
+    }
+
+    /// Number of words in the memory.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if the memory holds no words (never the case in practice).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Take the collected trace out of the memory (leaves `None` behind).
+    pub fn take_trace(&mut self) -> Option<Vec<MemRef>> {
+        self.trace.take()
+    }
+
+    /// Whether a full trace is being collected.
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    fn record(&mut self, pe: u8, addr: u32, write: bool, object: ObjectKind) {
+        let area = object.area();
+        debug_assert_eq!(self.map.area_of(addr), area, "object kind {object:?} used outside its area");
+        let r = MemRef {
+            pe,
+            addr,
+            write,
+            area,
+            object,
+            locality: object.locality(),
+            locked: object.locked(),
+        };
+        self.stats.record(&r);
+        if let Some(t) = &mut self.trace {
+            t.push(r);
+        }
+    }
+
+    /// Read one word, recording the reference.
+    #[inline]
+    pub fn read(&mut self, pe: u8, addr: u32, object: ObjectKind) -> Cell {
+        self.record(pe, addr, false, object);
+        self.words[addr as usize]
+    }
+
+    /// Write one word, recording the reference.
+    #[inline]
+    pub fn write(&mut self, pe: u8, addr: u32, value: Cell, object: ObjectKind) {
+        self.record(pe, addr, true, object);
+        self.words[addr as usize] = value;
+    }
+
+    /// Read one word without recording a reference (answer extraction,
+    /// debugging, scheduler shadow checks).
+    #[inline]
+    pub fn read_untraced(&self, addr: u32) -> Cell {
+        self.words[addr as usize]
+    }
+
+    /// Write one word without recording a reference (used only by tests).
+    #[inline]
+    pub fn write_untraced(&mut self, addr: u32, value: Cell) {
+        self.words[addr as usize] = value;
+    }
+
+    /// Check that `addr` (the next free word) still lies inside `area` of
+    /// `worker`; produce an out-of-memory error otherwise.
+    pub fn check_top(&self, worker: usize, area: Area, addr: u32) -> EngineResult<()> {
+        if addr >= self.map.area_end(worker, area) {
+            Err(EngineError::OutOfMemory { worker, area })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Base address of an area for a worker (convenience forward).
+    pub fn area_base(&self, worker: usize, area: Area) -> u32 {
+        self.map.area_base(worker, area)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Locality;
+
+    fn mem() -> Memory {
+        Memory::new(MemoryConfig::small(), 2, true)
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = mem();
+        let base = m.area_base(0, Area::Heap);
+        m.write(0, base, Cell::Int(7), ObjectKind::HeapTerm);
+        assert_eq!(m.read(0, base, ObjectKind::HeapTerm), Cell::Int(7));
+        assert_eq!(m.stats.total.reads, 1);
+        assert_eq!(m.stats.total.writes, 1);
+    }
+
+    #[test]
+    fn trace_records_every_reference_in_order() {
+        let mut m = mem();
+        let h = m.area_base(1, Area::Heap);
+        let g = m.area_base(1, Area::GoalStack);
+        m.write(1, h, Cell::Int(1), ObjectKind::HeapTerm);
+        m.write(1, g, Cell::Uint(2), ObjectKind::GoalFrame);
+        m.read(0, h, ObjectKind::HeapTerm);
+        let t = m.take_trace().unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].pe, 1);
+        assert!(t[0].write);
+        assert_eq!(t[1].area, Area::GoalStack);
+        assert!(t[1].locked);
+        assert_eq!(t[2].pe, 0);
+        assert!(!t[2].write);
+        assert_eq!(t[2].locality, Locality::Global);
+    }
+
+    #[test]
+    fn untraced_reads_do_not_count() {
+        let mut m = mem();
+        let base = m.area_base(0, Area::Heap);
+        m.write_untraced(base, Cell::Int(3));
+        assert_eq!(m.read_untraced(base), Cell::Int(3));
+        assert_eq!(m.stats.total.total(), 0);
+        assert_eq!(m.take_trace().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn check_top_detects_overflow() {
+        let m = mem();
+        let end = m.map.area_end(0, Area::Trail);
+        assert!(m.check_top(0, Area::Trail, end - 1).is_ok());
+        assert_eq!(
+            m.check_top(0, Area::Trail, end),
+            Err(EngineError::OutOfMemory { worker: 0, area: Area::Trail })
+        );
+    }
+
+    #[test]
+    fn tracing_can_be_disabled() {
+        let mut m = Memory::new(MemoryConfig::small(), 1, false);
+        let base = m.area_base(0, Area::Heap);
+        m.write(0, base, Cell::Int(1), ObjectKind::HeapTerm);
+        assert!(!m.tracing());
+        assert!(m.take_trace().is_none());
+        assert_eq!(m.stats.total.writes, 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! High-level convenience API: source text in, answers and statistics out.
+//!
+//! A [`Session`] owns a symbol table and a parsed program; each call to
+//! [`Session::run`] compiles the program together with a query (in either
+//! sequential-WAM or parallel-RAP-WAM mode) and executes it on a fresh
+//! engine, returning the answer bindings, the run statistics and optionally
+//! the full memory-reference trace.
+
+use crate::engine::{Engine, EngineConfig, RunResult};
+use crate::error::EngineError;
+use crate::layout::MemoryConfig;
+use pwam_compiler::{compile_program_and_query, CompileError, CompileOptions, CompiledProgram};
+use pwam_front::clause::Program;
+use pwam_front::error::FrontError;
+use pwam_front::parser::{parse_program, parse_query};
+use pwam_front::SymbolTable;
+use std::fmt;
+
+/// Everything that can go wrong between source text and an answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    Front(FrontError),
+    Compile(CompileError),
+    Engine(EngineError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Front(e) => write!(f, "{e}"),
+            SessionError::Compile(e) => write!(f, "{e}"),
+            SessionError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<FrontError> for SessionError {
+    fn from(e: FrontError) -> Self {
+        SessionError::Front(e)
+    }
+}
+impl From<CompileError> for SessionError {
+    fn from(e: CompileError) -> Self {
+        SessionError::Compile(e)
+    }
+}
+impl From<EngineError> for SessionError {
+    fn from(e: EngineError) -> Self {
+        SessionError::Engine(e)
+    }
+}
+
+/// Options for one query run.
+#[derive(Debug, Clone)]
+pub struct QueryOptions {
+    /// Compile CGEs to parallel code (RAP-WAM) or plain sequential code (WAM).
+    pub parallel: bool,
+    /// Number of workers (PEs).
+    pub workers: usize,
+    /// Collect the full memory-reference trace.
+    pub trace: bool,
+    /// Per-worker area sizes.
+    pub memory: MemoryConfig,
+    /// Instruction budget.
+    pub max_steps: u64,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            parallel: true,
+            workers: 1,
+            trace: false,
+            memory: MemoryConfig::default(),
+            max_steps: 2_000_000_000,
+        }
+    }
+}
+
+impl QueryOptions {
+    /// Sequential WAM baseline on one PE.
+    pub fn sequential() -> Self {
+        QueryOptions { parallel: false, workers: 1, ..Default::default() }
+    }
+
+    /// RAP-WAM with `n` PEs.
+    pub fn parallel(n: usize) -> Self {
+        QueryOptions { parallel: true, workers: n, ..Default::default() }
+    }
+
+    /// Enable trace collection.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Override the per-worker memory sizes.
+    pub fn with_memory(mut self, memory: MemoryConfig) -> Self {
+        self.memory = memory;
+        self
+    }
+}
+
+/// A loaded Prolog program plus its symbol table.
+pub struct Session {
+    syms: SymbolTable,
+    program: Program,
+}
+
+impl Session {
+    /// Parse a program from source text.
+    pub fn new(program_src: &str) -> Result<Self, SessionError> {
+        let mut syms = SymbolTable::new();
+        let program = parse_program(program_src, &mut syms)?;
+        Ok(Session { syms, program })
+    }
+
+    /// Append more clauses to the program (e.g. a driver or extra data).
+    pub fn add_clauses(&mut self, src: &str) -> Result<(), SessionError> {
+        let extra = parse_program(src, &mut self.syms)?;
+        self.program.extend_from(&extra, &self.syms);
+        Ok(())
+    }
+
+    /// The symbol table (needed to render answers).
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.syms
+    }
+
+    /// Mutable access to the symbol table.
+    pub fn symbols_mut(&mut self) -> &mut SymbolTable {
+        &mut self.syms
+    }
+
+    /// The parsed program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Compile the program with a query without running it.
+    pub fn compile(&mut self, query_src: &str, parallel: bool) -> Result<CompiledProgram, SessionError> {
+        let query = parse_query(query_src, &mut self.syms)?;
+        let opts = if parallel { CompileOptions::parallel() } else { CompileOptions::sequential() };
+        Ok(compile_program_and_query(&self.program, &query, &mut self.syms, opts)?)
+    }
+
+    /// Compile and run a query.
+    pub fn run(&mut self, query_src: &str, options: &QueryOptions) -> Result<RunResult, SessionError> {
+        let compiled = self.compile(query_src, options.parallel)?;
+        let config = EngineConfig {
+            num_workers: options.workers,
+            memory: options.memory,
+            collect_trace: options.trace,
+            max_steps: options.max_steps,
+            quantum: 1,
+            num_x_regs: pwam_compiler::MAX_X_REGS,
+        };
+        let engine = Engine::new(&compiled, config);
+        Ok(engine.run(&self.syms)?)
+    }
+
+    /// Render an answer term as text.
+    pub fn render(&self, term: &pwam_front::term::Term) -> String {
+        pwam_front::pretty::term_to_string(term, &self.syms)
+    }
+}

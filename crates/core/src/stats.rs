@@ -1,0 +1,116 @@
+//! Aggregate run statistics (the quantities reported in the paper's Table 2,
+//! Figure 2 and the high-level results of Section 2).
+
+use crate::layout::Area;
+use crate::trace::AreaStats;
+use serde::{Deserialize, Serialize};
+
+/// Per-worker summary.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WorkerStats {
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Cycles the worker spent idle or waiting for a Parcall Frame.
+    pub idle_cycles: u64,
+    /// Maximum words used in (heap, local stack, control stack, trail, goal stack).
+    pub max_usage: (u32, u32, u32, u32, u32),
+}
+
+/// Statistics of one engine run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Number of workers (PEs) configured.
+    pub num_workers: usize,
+    /// Total abstract-machine instructions executed (all PEs).
+    pub instructions: u64,
+    /// Total data memory references (all PEs).
+    pub data_refs: u64,
+    /// Reads / writes split of `data_refs`.
+    pub reads: u64,
+    pub writes: u64,
+    /// Scheduler rounds until the query finished; with a quantum of one
+    /// instruction this approximates the parallel critical path and is the
+    /// quantity used to compute speed-ups.
+    pub elapsed_cycles: u64,
+    /// Number of Parcall Frames allocated (parallel calls executed).
+    pub parcalls: u64,
+    /// Goal Frames executed through the Goal Stack machinery.
+    pub parallel_goals: u64,
+    /// Goal Frames executed by a PE other than the Parcall Frame's parent —
+    /// the paper's "goals actually executed in parallel".
+    pub goals_actually_parallel: u64,
+    /// Number of logical inferences (user predicate calls) performed.
+    pub inferences: u64,
+    /// Detailed per-area / per-object reference counters.
+    pub area_stats: AreaStats,
+    /// Per-worker summaries.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl RunStats {
+    /// Average data references per instruction (the paper quotes ~3 for
+    /// large programs; small benchmarks are typically between 2 and 3).
+    pub fn refs_per_instruction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.data_refs as f64 / self.instructions as f64
+        }
+    }
+
+    /// Average instructions per inference (the paper quotes ~15 for large
+    /// programs).
+    pub fn instructions_per_inference(&self) -> f64 {
+        if self.inferences == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.inferences as f64
+        }
+    }
+
+    /// References to a given area.
+    pub fn refs_to(&self, area: Area) -> u64 {
+        self.area_stats.area(area).total()
+    }
+
+    /// Fraction of busy (non-idle) cycles over all workers.
+    pub fn utilisation(&self) -> f64 {
+        let busy: u64 = self.workers.iter().map(|w| w.instructions).sum();
+        let idle: u64 = self.workers.iter().map(|w| w.idle_cycles).sum();
+        if busy + idle == 0 {
+            0.0
+        } else {
+            busy as f64 / (busy + idle) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios() {
+        let stats = RunStats {
+            instructions: 100,
+            data_refs: 250,
+            inferences: 10,
+            workers: vec![
+                WorkerStats { instructions: 60, idle_cycles: 20, ..Default::default() },
+                WorkerStats { instructions: 40, idle_cycles: 80, ..Default::default() },
+            ],
+            ..Default::default()
+        };
+        assert!((stats.refs_per_instruction() - 2.5).abs() < 1e-12);
+        assert!((stats.instructions_per_inference() - 10.0).abs() < 1e-12);
+        assert!((stats.utilisation() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_is_safe() {
+        let stats = RunStats::default();
+        assert_eq!(stats.refs_per_instruction(), 0.0);
+        assert_eq!(stats.instructions_per_inference(), 0.0);
+        assert_eq!(stats.utilisation(), 0.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Per-worker (PE) machine state.
+//!
+//! Each worker is a complete WAM: a register file plus top pointers into its
+//! own Stack Set.  The only additions over the sequential WAM are the Parcall
+//! Frame register (`pf`), the Goal Stack / Message Buffer tops, and a small
+//! host-side scheduling stack that remembers how to resume after a parallel
+//! goal finishes (the RAP-WAM encodes the same information in Markers; we
+//! keep a host-side mirror so the scheduler does not have to re-read memory
+//! for every decision).
+
+use crate::cell::{Cell, NONE_ADDR};
+use crate::layout::{AddressMap, Area};
+
+/// Read/write mode of the unify instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    Read,
+    Write,
+}
+
+/// What a worker should do once the parallel goal it is executing finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resume {
+    /// Return to the `pcall_wait` instruction at this code address (the
+    /// worker is the parent of some Parcall Frame, or picked up extra work
+    /// while waiting).
+    ToWait { addr: u32 },
+    /// Go back to the idle loop (the worker stole the goal while idle).
+    Idle,
+}
+
+/// Host-side record of one parallel-goal execution in progress (mirrors the
+/// Marker pushed on the Control stack).
+///
+/// Goals a worker picks up from its *own* Goal Stack (the parent executing
+/// its own parallel call) take a fast path that pushes no Marker — exactly
+/// like the original system, where the parallelism overhead is concentrated
+/// on goals that are actually executed by another PE.  For those local goals
+/// `marker` is `NONE_ADDR` and the entry state lives only in this record.
+#[derive(Debug, Clone, Copy)]
+pub struct GoalContext {
+    /// Address of the Marker on this worker's Control stack, or `NONE_ADDR`
+    /// for locally executed goals (fast path, no Marker).
+    pub marker: u32,
+    /// Parcall Frame the goal belongs to.
+    pub pf: u32,
+    /// Slot index within the Parcall Frame.
+    pub slot: u32,
+    /// Choice-point register at goal entry (failure boundary).
+    pub entry_b: u32,
+    /// Trail top at goal entry (for storage recovery on failure).
+    pub entry_tr: u32,
+    /// Heap top at goal entry.
+    pub entry_h: u32,
+    /// Local-stack top at goal entry.
+    pub entry_local_top: u32,
+    /// Continuation pointer to restore when the goal completes.
+    pub prev_cp: u32,
+    /// Environment register at goal entry (sanity check / restore).
+    pub entry_e: u32,
+    /// Heap-backtrack boundary to restore.
+    pub prev_hb: u32,
+    /// Stack-trailing boundary to restore.
+    pub prev_stack_boundary: u32,
+    /// What to do after the goal completes.
+    pub resume: Resume,
+    /// True when the goal was taken from another worker's Goal Stack.
+    pub stolen: bool,
+}
+
+/// Scheduling status of a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerStatus {
+    /// Executing instructions.
+    Running,
+    /// Blocked in `pcall_wait` at `addr` until Parcall Frame `pf` completes
+    /// (may still pick up other goals meanwhile).
+    WaitingAtPcall { addr: u32, pf: u32 },
+    /// No work; looking for goals to steal.
+    Idle,
+    /// The query has finished (success or failure); the worker is stopped.
+    Stopped,
+}
+
+/// The complete state of one worker.
+#[derive(Debug, Clone)]
+pub struct Worker {
+    /// Worker (PE) identifier.
+    pub id: u8,
+    /// Program counter.
+    pub p: u32,
+    /// Continuation program counter.
+    pub cp: u32,
+    /// Current environment (Local stack address) or `NONE_ADDR`.
+    pub e: u32,
+    /// Most recent choice point (Control stack address) or `NONE_ADDR`.
+    pub b: u32,
+    /// Cut barrier: the value of `b` when the current predicate was called
+    /// (the WAM's `B0` register).  `get_level` copies it into an environment
+    /// slot so that a later cut discards exactly the choice points created
+    /// since the call — including the clause-selection choice point.
+    pub b0: u32,
+    /// Heap top.
+    pub h: u32,
+    /// Heap backtrack boundary (bindings below this must be trailed).
+    pub hb: u32,
+    /// Local-stack trailing boundary (stack bindings below this must be trailed).
+    pub stack_boundary: u32,
+    /// Structure pointer (read mode).
+    pub s: u32,
+    /// Unify mode.
+    pub mode: Mode,
+    /// Trail top.
+    pub tr: u32,
+    /// PDL top.
+    pub pdl: u32,
+    /// Argument / temporary registers (index 0 unused; `X1` = `x[1]`).
+    pub x: Vec<Cell>,
+    /// Number of argument registers live at the last call (for choice points).
+    pub num_args: u8,
+    /// Current Parcall Frame or `NONE_ADDR`.
+    pub pf: u32,
+    /// Local-stack allocation top.
+    pub local_top: u32,
+    /// Control-stack allocation top.
+    pub control_top: u32,
+    /// Goal-stack allocation top.
+    pub goal_top: u32,
+    /// Next free slot in the Message Buffer (treated as a bump buffer that
+    /// wraps; completion messages are tiny and consumed promptly).
+    pub msg_top: u32,
+    /// Scheduling status.
+    pub status: WorkerStatus,
+    /// Host-side stack of in-progress parallel goals.
+    pub goal_contexts: Vec<GoalContext>,
+    /// Host-side mirror of the goal frames currently on this worker's Goal
+    /// Stack (addresses, oldest first).
+    pub goal_frames: Vec<u32>,
+    /// Number of unread messages in the Message Buffer.
+    pub pending_messages: u32,
+    /// Executed instruction count.
+    pub instructions: u64,
+    /// Cycles spent idle or waiting.
+    pub idle_cycles: u64,
+    /// High-water marks for storage-usage statistics.
+    pub max_h: u32,
+    pub max_local_top: u32,
+    pub max_control_top: u32,
+    pub max_tr: u32,
+    pub max_goal_top: u32,
+    // Area bases, cached for bounds checks and pointer classification.
+    pub heap_base: u32,
+    pub local_base: u32,
+    pub control_base: u32,
+    pub trail_base: u32,
+    pub pdl_base: u32,
+    pub goal_base: u32,
+    pub msg_base: u32,
+}
+
+impl Worker {
+    /// Create a worker with empty areas, ready to run.
+    pub fn new(id: u8, map: &AddressMap, num_x: usize) -> Self {
+        let w = id as usize;
+        let heap_base = map.area_base(w, Area::Heap);
+        let local_base = map.area_base(w, Area::LocalStack);
+        let control_base = map.area_base(w, Area::ControlStack);
+        let trail_base = map.area_base(w, Area::Trail);
+        let pdl_base = map.area_base(w, Area::Pdl);
+        let goal_base = map.area_base(w, Area::GoalStack);
+        let msg_base = map.area_base(w, Area::MessageBuffer);
+        Worker {
+            id,
+            p: 0,
+            cp: 0,
+            e: NONE_ADDR,
+            b: NONE_ADDR,
+            b0: NONE_ADDR,
+            h: heap_base,
+            hb: heap_base,
+            stack_boundary: local_base,
+            s: 0,
+            mode: Mode::Read,
+            tr: trail_base,
+            pdl: pdl_base,
+            x: vec![Cell::Empty; num_x + 1],
+            num_args: 0,
+            pf: NONE_ADDR,
+            local_top: local_base,
+            control_top: control_base,
+            goal_top: goal_base,
+            msg_top: msg_base,
+            status: WorkerStatus::Idle,
+            goal_contexts: Vec::new(),
+            goal_frames: Vec::new(),
+            pending_messages: 0,
+            instructions: 0,
+            idle_cycles: 0,
+            max_h: heap_base,
+            max_local_top: local_base,
+            max_control_top: control_base,
+            max_tr: trail_base,
+            max_goal_top: goal_base,
+            heap_base,
+            local_base,
+            control_base,
+            trail_base,
+            pdl_base,
+            goal_base,
+            msg_base,
+        }
+    }
+
+    /// Update the storage high-water marks after any allocation.
+    pub fn update_high_water(&mut self) {
+        self.max_h = self.max_h.max(self.h);
+        self.max_local_top = self.max_local_top.max(self.local_top);
+        self.max_control_top = self.max_control_top.max(self.control_top);
+        self.max_tr = self.max_tr.max(self.tr);
+        self.max_goal_top = self.max_goal_top.max(self.goal_top);
+    }
+
+    /// Words of heap currently in use.
+    pub fn heap_used(&self) -> u32 {
+        self.h - self.heap_base
+    }
+
+    /// Maximum words of each area ever in use: (heap, local, control, trail, goal).
+    pub fn max_usage(&self) -> (u32, u32, u32, u32, u32) {
+        (
+            self.max_h - self.heap_base,
+            self.max_local_top - self.local_base,
+            self.max_control_top - self.control_base,
+            self.max_tr - self.trail_base,
+            self.max_goal_top - self.goal_base,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::MemoryConfig;
+
+    #[test]
+    fn new_worker_points_at_its_own_areas() {
+        let map = AddressMap::new(MemoryConfig::small(), 3);
+        let w0 = Worker::new(0, &map, 32);
+        let w2 = Worker::new(2, &map, 32);
+        assert_eq!(w0.heap_base, 0);
+        assert!(w2.heap_base > w0.msg_base);
+        assert_eq!(w0.h, w0.heap_base);
+        assert_eq!(w2.status, WorkerStatus::Idle);
+        assert_eq!(w2.x.len(), 33);
+    }
+
+    #[test]
+    fn high_water_marks_track_allocation() {
+        let map = AddressMap::new(MemoryConfig::small(), 1);
+        let mut w = Worker::new(0, &map, 8);
+        w.h += 100;
+        w.tr += 5;
+        w.update_high_water();
+        w.h -= 50;
+        w.update_high_water();
+        let (heap, _, _, trail, _) = w.max_usage();
+        assert_eq!(heap, 100);
+        assert_eq!(trail, 5);
+        assert_eq!(w.heap_used(), 50);
+    }
+}

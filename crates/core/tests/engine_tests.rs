@@ -1,0 +1,368 @@
+//! End-to-end tests of the abstract machine: parse → compile → execute and
+//! check the answers, in both sequential-WAM and parallel-RAP-WAM modes.
+
+use rapwam::session::{QueryOptions, Session};
+use rapwam::{MemoryConfig, Outcome};
+
+fn run(program: &str, query: &str, opts: &QueryOptions) -> (Session, rapwam::RunResult) {
+    let mut s = Session::new(program).expect("program parses");
+    let r = s.run(query, opts).expect("query runs");
+    (s, r)
+}
+
+fn answer(program: &str, query: &str, opts: &QueryOptions, var: &str) -> String {
+    let (s, r) = run(program, query, opts);
+    match &r.outcome {
+        Outcome::Success(_) => {
+            let t = r.outcome.binding(var).unwrap_or_else(|| panic!("no binding for {var}"));
+            s.render(t)
+        }
+        Outcome::Failure => panic!("query failed"),
+    }
+}
+
+const APPEND: &str = "app([],L,L).\napp([H|T],L,[H|R]) :- app(T,L,R).";
+
+#[test]
+fn facts_unify() {
+    let (_, r) = run("parent(tom, bob).\nparent(bob, ann).", "parent(tom, X)", &QueryOptions::sequential());
+    assert!(r.outcome.is_success());
+}
+
+#[test]
+fn query_failure_is_reported() {
+    let (_, r) = run("parent(tom, bob).", "parent(bob, tom)", &QueryOptions::sequential());
+    assert_eq!(r.outcome, Outcome::Failure);
+}
+
+#[test]
+fn append_builds_lists() {
+    assert_eq!(answer(APPEND, "app([1,2],[3,4],X)", &QueryOptions::sequential(), "X"), "[1,2,3,4]");
+}
+
+#[test]
+fn append_solves_for_the_middle_argument() {
+    assert_eq!(answer(APPEND, "app([1,2],Y,[1,2,9,10])", &QueryOptions::sequential(), "Y"), "[9,10]");
+}
+
+#[test]
+fn append_backtracks_through_alternatives() {
+    // app(X, Y, [1,2]) has three solutions; the first has X = [].
+    assert_eq!(answer(APPEND, "app(X,Y,[1,2])", &QueryOptions::sequential(), "X"), "[]");
+}
+
+#[test]
+fn naive_reverse() {
+    let program = format!("{APPEND}\nnrev([],[]).\nnrev([H|T],R) :- nrev(T,RT), app(RT,[H],R).");
+    assert_eq!(
+        answer(&program, "nrev([1,2,3,4,5],R)", &QueryOptions::sequential(), "R"),
+        "[5,4,3,2,1]"
+    );
+}
+
+#[test]
+fn arithmetic_factorial() {
+    let program = "fact(0, 1).\nfact(N, F) :- N > 0, N1 is N - 1, fact(N1, F1), F is N * F1.";
+    assert_eq!(answer(program, "fact(6, F)", &QueryOptions::sequential(), "F"), "720");
+}
+
+#[test]
+fn comparison_builtins() {
+    let program = "max(X, Y, X) :- X >= Y.\nmax(X, Y, Y) :- X < Y.";
+    assert_eq!(answer(program, "max(3, 7, M)", &QueryOptions::sequential(), "M"), "7");
+    assert_eq!(answer(program, "max(9, 2, M)", &QueryOptions::sequential(), "M"), "9");
+}
+
+#[test]
+fn cut_commits_to_the_first_clause() {
+    let program = "classify(X, small) :- X < 10, !.\nclassify(_, big).";
+    assert_eq!(answer(program, "classify(3, C)", &QueryOptions::sequential(), "C"), "small");
+    assert_eq!(answer(program, "classify(30, C)", &QueryOptions::sequential(), "C"), "big");
+}
+
+#[test]
+fn cut_prevents_backtracking_into_earlier_alternatives() {
+    // Without the cut, the query would succeed via c(2); with it, it fails.
+    let program = "c(1).\nc(2).\nt(X) :- c(X), !, X > 1.";
+    let (_, r) = run(program, "t(X)", &QueryOptions::sequential());
+    assert_eq!(r.outcome, Outcome::Failure);
+}
+
+#[test]
+fn cut_discards_the_clause_selection_choice_point() {
+    // p(3, R) commits to R = a because of the cut; the query then demands
+    // R = b, which must NOT be satisfiable by backtracking into p's second
+    // clause (the cut discarded it).
+    let program = "p(X, a) :- X < 5, !.\np(_, b).";
+    let (_, r) = run(program, "p(3, R), R = b", &QueryOptions::sequential());
+    assert_eq!(r.outcome, Outcome::Failure);
+    // Without the demand it succeeds with R = a.
+    assert_eq!(answer(program, "p(3, R)", &QueryOptions::sequential(), "R"), "a");
+    // And a value that fails the guard still reaches the second clause.
+    assert_eq!(answer(program, "p(7, R)", &QueryOptions::sequential(), "R"), "b");
+}
+
+#[test]
+fn cut_inside_retried_clause_uses_the_correct_barrier() {
+    // The first clause of q fails after creating inner choice points; the
+    // second clause cuts. The cut must remove q's own selection choice point
+    // but not the one belonging to the caller's alternatives.
+    let program = "\
+        c(1).\nc(2).\n\
+        q(X) :- c(X), X > 5.\n\
+        q(X) :- c(X), !.\n\
+        top(X) :- q(X).\n\
+        top(99).";
+    assert_eq!(answer(program, "top(X)", &QueryOptions::sequential(), "X"), "1");
+    // After committing inside q, demanding a different value must still be
+    // able to backtrack into top's second clause (the cut is local to q).
+    assert_eq!(
+        answer(program, "top(X), X > 10", &QueryOptions::sequential(), "X"),
+        "99"
+    );
+}
+
+#[test]
+fn structures_and_nested_terms() {
+    let program = "mk(point(X, Y), X, Y).\nswap(point(X,Y), point(Y,X)).";
+    assert_eq!(answer(program, "mk(P, 3, 4)", &QueryOptions::sequential(), "P"), "point(3,4)");
+    assert_eq!(
+        answer(program, "swap(point(a,f(b)), Q)", &QueryOptions::sequential(), "Q"),
+        "point(f(b),a)"
+    );
+}
+
+#[test]
+fn constant_indexing_picks_the_right_clause() {
+    let program = "color(red, warm).\ncolor(blue, cold).\ncolor(green, fresh).";
+    assert_eq!(answer(program, "color(blue, T)", &QueryOptions::sequential(), "T"), "cold");
+}
+
+#[test]
+fn structure_indexing_discriminates_functors() {
+    let program = "\
+        eval(num(N), N).\n\
+        eval(plus(A,B), R) :- eval(A, RA), eval(B, RB), R is RA + RB.\n\
+        eval(times(A,B), R) :- eval(A, RA), eval(B, RB), R is RA * RB.";
+    assert_eq!(
+        answer(program, "eval(plus(num(2), times(num(3), num(4))), R)", &QueryOptions::sequential(), "R"),
+        "14"
+    );
+}
+
+#[test]
+fn difference_list_quicksort_sequential() {
+    let program = "\
+        qsort([], R, R).\n\
+        qsort([X|L], R, R0) :- partition(L, X, L1, L2), qsort(L2, R1, R0), qsort(L1, R, [X|R1]).\n\
+        partition([], _, [], []).\n\
+        partition([E|R], C, [E|L1], L2) :- E =< C, partition(R, C, L1, L2).\n\
+        partition([E|R], C, L1, [E|L2]) :- E > C, partition(R, C, L1, L2).";
+    assert_eq!(
+        answer(program, "qsort([3,1,4,1,5,9,2,6], S, [])", &QueryOptions::sequential(), "S"),
+        "[1,1,2,3,4,5,6,9]"
+    );
+}
+
+const PAR_FIB: &str = "\
+    fib(0, 0).\n\
+    fib(1, 1).\n\
+    fib(N, F) :- N > 1, N1 is N - 1, N2 is N - 2,\n\
+                 (ground(N1), ground(N2) | fib(N1, F1) & fib(N2, F2)),\n\
+                 F is F1 + F2.";
+
+#[test]
+fn parallel_fib_single_worker() {
+    assert_eq!(answer(PAR_FIB, "fib(12, F)", &QueryOptions::parallel(1), "F"), "144");
+}
+
+#[test]
+fn parallel_fib_matches_sequential_on_many_workers() {
+    let seq = answer(PAR_FIB, "fib(13, F)", &QueryOptions::sequential(), "F");
+    for workers in [2, 4, 8] {
+        let par = answer(PAR_FIB, "fib(13, F)", &QueryOptions::parallel(workers), "F");
+        assert_eq!(par, seq, "with {workers} workers");
+    }
+}
+
+#[test]
+fn parallel_execution_actually_distributes_goals() {
+    let (_, r) = run(PAR_FIB, "fib(14, F)", &QueryOptions::parallel(4));
+    assert!(r.stats.parcalls > 0, "no parallel calls were made");
+    assert!(r.stats.goals_actually_parallel > 0, "no goal was executed by a non-parent PE");
+    // More than one worker must have executed instructions.
+    let busy = r.stats.workers.iter().filter(|w| w.instructions > 0).count();
+    assert!(busy >= 2, "only {busy} workers did any work");
+}
+
+#[test]
+fn unconditional_cge_runs_in_parallel() {
+    let program = "\
+        work(0, []).\n\
+        work(N, [N|T]) :- N > 0, N1 is N - 1, work(N1, T).\n\
+        both(A, B) :- (work(40, A) & work(40, B)).";
+    let (_, r) = run(program, "both(A, B)", &QueryOptions::parallel(2));
+    assert!(r.outcome.is_success());
+    assert!(r.stats.parcalls >= 1);
+}
+
+#[test]
+fn failed_cge_condition_falls_back_to_sequential_execution() {
+    // X is unbound at the check, so ground(X) fails and the CGE must run
+    // sequentially (left to right), which still produces the answer.
+    let program = "\
+        p(X, Y) :- (ground(X) | q(X) & r(X, Y)).\n\
+        q(7).\n\
+        r(7, ok).";
+    let (s, r) = run(program, "p(X, Y)", &QueryOptions::parallel(2));
+    assert!(r.outcome.is_success());
+    assert_eq!(s.render(r.outcome.binding("Y").unwrap()), "ok");
+    assert_eq!(r.stats.parcalls, 0, "the parallel path must not have been taken");
+}
+
+#[test]
+fn indep_condition_detects_sharing() {
+    // X and Y share a variable, so indep(X, Y) fails and execution is
+    // sequential; the answer must still be correct.
+    let program = "\
+        p(R) :- X = f(Z), Y = g(Z), (indep(X, Y) | a(X) & b(Y)), R = done(X, Y), Z = 1.\n\
+        a(f(_)).\n\
+        b(g(_)).";
+    let (s, r) = run(program, "p(R)", &QueryOptions::parallel(2));
+    assert!(r.outcome.is_success());
+    assert_eq!(s.render(r.outcome.binding("R").unwrap()), "done(f(1),g(1))");
+    assert_eq!(r.stats.parcalls, 0);
+}
+
+#[test]
+fn parallel_goal_failure_fails_the_call() {
+    let program = "\
+        p :- (q & r).\n\
+        q.\n\
+        r :- fail.";
+    let (_, r) = run(program, "p", &QueryOptions::parallel(2));
+    assert_eq!(r.outcome, Outcome::Failure);
+}
+
+#[test]
+fn parallel_binding_of_output_variables_crosses_workers() {
+    let program = "\
+        mklist(0, []).\n\
+        mklist(N, [N|T]) :- N > 0, N1 is N - 1, mklist(N1, T).\n\
+        pair(A, B) :- (mklist(5, A) & mklist(3, B)).";
+    let (s, r) = run(program, "pair(A, B)", &QueryOptions::parallel(3));
+    assert_eq!(s.render(r.outcome.binding("A").unwrap()), "[5,4,3,2,1]");
+    assert_eq!(s.render(r.outcome.binding("B").unwrap()), "[3,2,1]");
+}
+
+#[test]
+fn trace_collection_produces_consistent_references() {
+    let opts = QueryOptions { trace: true, ..QueryOptions::parallel(2) };
+    let (_, r) = run(PAR_FIB, "fib(10, F)", &opts);
+    let trace = r.trace.expect("trace was requested");
+    assert_eq!(trace.len() as u64, r.stats.data_refs, "trace length must equal the reference count");
+    assert!(!trace.is_empty());
+    for m in &trace {
+        assert!((m.pe as usize) < 2);
+        assert_eq!(m.area, m.object.area(), "area and object tag must agree");
+    }
+}
+
+#[test]
+fn stats_have_plausible_magnitudes() {
+    let (_, r) = run(PAR_FIB, "fib(12, F)", &QueryOptions::sequential());
+    let rpi = r.stats.refs_per_instruction();
+    assert!(rpi > 1.0 && rpi < 8.0, "references per instruction {rpi} is implausible");
+    assert!(r.stats.instructions > 100);
+    assert!(r.stats.inferences > 10);
+    assert!(r.stats.elapsed_cycles > 0);
+}
+
+#[test]
+fn sequential_and_parallel_reference_counts_are_close_on_one_pe() {
+    // RAP-WAM on one PE should do only slightly more work than the WAM
+    // (the parallelism-management overhead), as reported in the paper.
+    let (_, seq) = run(PAR_FIB, "fib(12, F)", &QueryOptions::sequential());
+    let (_, par1) = run(PAR_FIB, "fib(12, F)", &QueryOptions::parallel(1));
+    let ratio = par1.stats.data_refs as f64 / seq.stats.data_refs as f64;
+    assert!(ratio >= 1.0, "parallel mode cannot do less work than sequential ({ratio})");
+    // fib annotates *every* recursion level, which is the most extreme
+    // granularity possible; the paper's benchmarks are coarser and show
+    // ~15% overhead (checked by the figure2 harness on deriv).
+    assert!(ratio < 1.8, "overhead of {ratio} on one PE is implausibly high");
+}
+
+#[test]
+fn small_memory_configuration_is_sufficient_for_small_programs() {
+    let opts = QueryOptions {
+        memory: MemoryConfig::small(),
+        ..QueryOptions::sequential()
+    };
+    assert_eq!(answer(APPEND, "app([1,2,3],[4],X)", &opts, "X"), "[1,2,3,4]");
+}
+
+#[test]
+fn heap_overflow_is_reported_not_panicking() {
+    let tiny = MemoryConfig {
+        heap_words: 64,
+        local_words: 64,
+        control_words: 64,
+        trail_words: 32,
+        pdl_words: 32,
+        goal_stack_words: 32,
+        message_words: 8,
+    };
+    let program = "grow(0, []).\ngrow(N, [N|T]) :- N > 0, N1 is N - 1, grow(N1, T).";
+    let mut s = Session::new(program).unwrap();
+    let opts = QueryOptions { memory: tiny, ..QueryOptions::sequential() };
+    let err = s.run("grow(1000, L)", &opts).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("out of memory"), "unexpected error: {msg}");
+}
+
+#[test]
+fn deep_recursion_with_last_call_optimisation_keeps_the_local_stack_flat() {
+    let program = "count(0).\ncount(N) :- N > 0, N1 is N - 1, count(N1).";
+    let (_, r) = run(program, "count(5000)", &QueryOptions::sequential());
+    assert!(r.outcome.is_success());
+    // With LCO the local stack must stay bounded (a handful of frames), not
+    // grow linearly with the recursion depth.
+    let (_, local, _, _, _) = r.stats.workers[0].max_usage;
+    assert!(local < 1000, "local stack grew to {local} words; LCO is not working");
+}
+
+#[test]
+fn three_way_parallel_conjunction() {
+    let program = "\
+        len([], 0).\n\
+        len([_|T], N) :- len(T, M), N is M + 1.\n\
+        tri(A, B, C) :- (len([a,b,c], A) & len([d,e], B) & len([], C)).";
+    let (s, r) = run(program, "tri(A, B, C)", &QueryOptions::parallel(3));
+    assert_eq!(s.render(r.outcome.binding("A").unwrap()), "3");
+    assert_eq!(s.render(r.outcome.binding("B").unwrap()), "2");
+    assert_eq!(s.render(r.outcome.binding("C").unwrap()), "0");
+}
+
+#[test]
+fn nested_parallel_calls() {
+    let program = "\
+        leaf(X, X).\n\
+        node(N, R) :- N > 0, N1 is N - 1,\n\
+                      (ground(N1) | node(N1, A) & node(N1, B)),\n\
+                      R is A + B + 1.\n\
+        node(0, 1).";
+    // A small binary tree of parallel calls; value is 2^(N+1) - 1.
+    let seq = answer(program, "node(6, R)", &QueryOptions::sequential(), "R");
+    assert_eq!(seq, "127");
+    for workers in [2, 5, 8] {
+        assert_eq!(answer(program, "node(6, R)", &QueryOptions::parallel(workers), "R"), "127");
+    }
+}
+
+#[test]
+fn goals_in_parallel_counted_only_for_other_pes() {
+    let (_, r1) = run(PAR_FIB, "fib(12, F)", &QueryOptions::parallel(1));
+    // With a single worker nothing can be picked up by another PE.
+    assert_eq!(r1.stats.goals_actually_parallel, 0);
+    assert!(r1.stats.parallel_goals > 0);
+}

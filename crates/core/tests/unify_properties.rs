@@ -1,0 +1,83 @@
+//! Property-based tests of the engine's unification and its parallel
+//! execution: randomly generated ground terms unify with themselves, fail
+//! against distinct terms, and parallel execution of independent goals
+//! always produces the same bindings as sequential execution.
+
+use proptest::prelude::*;
+use rapwam::session::{QueryOptions, Session};
+use rapwam::Outcome;
+
+/// Generate the text of a random ground term over a small safe alphabet.
+fn arb_ground_term() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        prop::sample::select(vec!["a", "b", "c", "nil"]).prop_map(|s| s.to_string()),
+        (-50i64..50).prop_map(|n| n.to_string()),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (prop::sample::select(vec!["f", "g", "pair"]), prop::collection::vec(inner.clone(), 1..3))
+                .prop_map(|(f, args)| format!("{f}({})", args.join(","))),
+            prop::collection::vec(inner, 0..3).prop_map(|items| format!("[{}]", items.join(","))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_ground_term_unifies_with_itself(t in arb_ground_term()) {
+        let mut s = Session::new("eq(X, X).").unwrap();
+        let r = s.run(&format!("eq({t}, {t})"), &QueryOptions::sequential()).unwrap();
+        prop_assert!(r.outcome.is_success());
+    }
+
+    #[test]
+    fn unification_is_symmetric(a in arb_ground_term(), b in arb_ground_term()) {
+        let mut s = Session::new("eq(X, X).").unwrap();
+        let ab = s.run(&format!("eq({a}, {b})"), &QueryOptions::sequential()).unwrap();
+        let ba = s.run(&format!("eq({b}, {a})"), &QueryOptions::sequential()).unwrap();
+        prop_assert_eq!(ab.outcome.is_success(), ba.outcome.is_success());
+        // And unification succeeds exactly when the two texts denote the
+        // same term.
+        prop_assert_eq!(ab.outcome.is_success(), a == b);
+    }
+
+    #[test]
+    fn binding_a_variable_reproduces_the_term(t in arb_ground_term()) {
+        let mut s = Session::new("eq(X, X).").unwrap();
+        let r = s.run(&format!("eq(R, {t})"), &QueryOptions::sequential()).unwrap();
+        match &r.outcome {
+            Outcome::Success(_) => {
+                let bound = s.render(r.outcome.binding("R").unwrap());
+                // Re-unifying the rendered answer with the original term must
+                // succeed (the rendering may differ in whitespace only).
+                let check = s.run(&format!("eq({bound}, {t})"), &QueryOptions::sequential()).unwrap();
+                prop_assert!(check.outcome.is_success());
+            }
+            Outcome::Failure => prop_assert!(false, "binding a fresh variable cannot fail"),
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_runs_agree(a in arb_ground_term(), b in arb_ground_term(), workers in 2usize..6) {
+        let program = "\
+            size(X, S) :- count(X, 0, S).\n\
+            count([], A, A) :- !.\n\
+            count([H|T], A, S) :- !, count(H, A, A1), count(T, A1, S).\n\
+            count(X, A, S) :- atomic(X), !, S is A + 1.\n\
+            count(_, A, A).\n\
+            both(X, Y, SX, SY) :- ( ground(X), ground(Y) | size(X, SX) & size(Y, SY) ).";
+        let mut s = Session::new(program).unwrap();
+        let query = format!("both({a}, {b}, SA, SB)");
+        let seq = s.run(&query, &QueryOptions::sequential()).unwrap();
+        let par = s.run(&query, &QueryOptions::parallel(workers)).unwrap();
+        prop_assert!(seq.outcome.is_success());
+        prop_assert!(par.outcome.is_success());
+        for var in ["SA", "SB"] {
+            let a = s.render(seq.outcome.binding(var).unwrap());
+            let b = s.render(par.outcome.binding(var).unwrap());
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,484 @@
+//! Operator-precedence Prolog parser.
+//!
+//! The parser is a classic precedence-climbing reader over the token stream
+//! produced by [`crate::lexer`].  It supports the operator table required by
+//! the ICPP'88 benchmarks and the CGE annotation syntax:
+//!
+//! | priority | type | operators |
+//! |---------:|------|-----------|
+//! | 1200     | xfx  | `:-` |
+//! | 1100     | xfy  | `;`, `|` |
+//! | 1050     | xfy  | `->` |
+//! | 1025     | xfy  | `&` (parallel conjunction) |
+//! | 1000     | xfy  | `,` |
+//! | 900      | fy   | `\+` |
+//! | 700      | xfx  | `=`, `\=`, `==`, `\==`, `is`, `=:=`, `=\=`, `<`, `>`, `=<`, `>=`, `=..` |
+//! | 500      | yfx  | `+`, `-` |
+//! | 400      | yfx  | `*`, `/`, `//`, `mod`, `rem` |
+//! | 200      | xfy / fy | `^` / `-`, `+` |
+
+use crate::atoms::SymbolTable;
+use crate::clause::{term_to_clause, term_to_goal_sequence, Program};
+use crate::error::{FrontError, FrontResult};
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::term::Term;
+
+/// Operator fixity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fixity {
+    Xfx,
+    Xfy,
+    Yfx,
+}
+
+/// Look up an infix operator: `(priority, fixity)`.
+fn infix_op(name: &str) -> Option<(u16, Fixity)> {
+    use Fixity::*;
+    Some(match name {
+        ":-" => (1200, Xfx),
+        ";" => (1100, Xfy),
+        "|" => (1100, Xfy),
+        "->" => (1050, Xfy),
+        "&" => (1025, Xfy),
+        "," => (1000, Xfy),
+        "=" | "\\=" | "==" | "\\==" | "is" | "=:=" | "=\\=" | "<" | ">" | "=<" | ">=" | "@<"
+        | "@>" | "@=<" | "@>=" | "=.." => (700, Xfx),
+        "+" | "-" => (500, Yfx),
+        "*" | "/" | "//" | "mod" | "rem" => (400, Yfx),
+        "^" => (200, Xfy),
+        _ => return None,
+    })
+}
+
+/// Look up a prefix operator: `(priority, argument max priority)`.
+fn prefix_op(name: &str) -> Option<(u16, u16)> {
+    Some(match name {
+        "\\+" => (900, 900),
+        "-" | "+" => (200, 200),
+        ":-" => (1200, 1199),
+        _ => return None,
+    })
+}
+
+/// Parse a complete program (a sequence of clauses each terminated by `.`).
+pub fn parse_program(src: &str, syms: &mut SymbolTable) -> FrontResult<Program> {
+    let tokens = tokenize(src)?;
+    let mut parser = Parser::new(&tokens, syms);
+    let mut program = Program::default();
+    while !parser.at_end() {
+        let term = parser.parse(1200)?;
+        parser.expect_end()?;
+        let clause = term_to_clause(&term, parser.syms)?;
+        program.push(clause, parser.syms);
+    }
+    Ok(program)
+}
+
+/// Parse a query (a goal or conjunction of goals, with or without the
+/// trailing `.`), e.g. `"qsort([3,1,2], S, [])"`.
+pub fn parse_query(src: &str, syms: &mut SymbolTable) -> FrontResult<crate::clause::Body> {
+    let tokens = tokenize(src)?;
+    let mut parser = Parser::new(&tokens, syms);
+    let term = parser.parse(1200)?;
+    if !parser.at_end() {
+        parser.expect_end()?;
+    }
+    if !parser.at_end() {
+        return Err(FrontError::unpositioned("trailing tokens after query"));
+    }
+    term_to_goal_sequence(&term, parser.syms)
+}
+
+/// Parse a single term (no trailing `.` expected).
+pub fn parse_term(src: &str, syms: &mut SymbolTable) -> FrontResult<Term> {
+    let tokens = tokenize(src)?;
+    let mut parser = Parser::new(&tokens, syms);
+    let term = parser.parse(1200)?;
+    if !parser.at_end() {
+        return Err(FrontError::unpositioned("trailing tokens after term"));
+    }
+    Ok(term)
+}
+
+struct Parser<'a, 'b> {
+    tokens: &'a [Token],
+    pos: usize,
+    syms: &'b mut SymbolTable,
+    anon_counter: usize,
+}
+
+impl<'a, 'b> Parser<'a, 'b> {
+    fn new(tokens: &'a [Token], syms: &'b mut SymbolTable) -> Self {
+        Parser { tokens, pos: 0, syms, anon_counter: 0 }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error_here(&self, msg: impl Into<String>) -> FrontError {
+        match self.peek() {
+            Some(t) => FrontError::new(msg, t.line, t.column),
+            None => FrontError::unpositioned(msg),
+        }
+    }
+
+    fn expect_end(&mut self) -> FrontResult<()> {
+        match self.bump() {
+            Some(Token { kind: TokenKind::End, .. }) => Ok(()),
+            Some(t) => Err(FrontError::new(format!("expected '.' but found {:?}", t.kind), t.line, t.column)),
+            None => Err(FrontError::unpositioned("expected '.' but found end of input")),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> FrontResult<()> {
+        match self.bump() {
+            Some(t) if &t.kind == kind => Ok(()),
+            Some(t) => Err(FrontError::new(
+                format!("expected {:?} but found {:?}", kind, t.kind),
+                t.line,
+                t.column,
+            )),
+            None => Err(FrontError::unpositioned(format!("expected {kind:?} but found end of input"))),
+        }
+    }
+
+    fn fresh_anon(&mut self) -> String {
+        let name = format!("_G{}", self.anon_counter);
+        self.anon_counter += 1;
+        name
+    }
+
+    /// Parse a term with priority at most `max_prec`.
+    fn parse(&mut self, max_prec: u16) -> FrontResult<Term> {
+        let (mut left, mut left_prec) = self.parse_primary(max_prec)?;
+        loop {
+            let Some(tok) = self.peek() else { break };
+            let op_name: Option<String> = match &tok.kind {
+                TokenKind::Atom(a) => Some(a.clone()),
+                TokenKind::Comma => Some(",".to_string()),
+                TokenKind::Bar => Some("|".to_string()),
+                _ => None,
+            };
+            let Some(op_name) = op_name else { break };
+            let Some((prec, fixity)) = infix_op(&op_name) else { break };
+            if prec > max_prec {
+                break;
+            }
+            let left_max = match fixity {
+                Fixity::Yfx => prec,
+                _ => prec - 1,
+            };
+            if left_prec > left_max {
+                break;
+            }
+            self.bump();
+            let right_max = match fixity {
+                Fixity::Xfy => prec,
+                _ => prec - 1,
+            };
+            let right = self.parse(right_max)?;
+            let f = self.syms.intern(&op_name);
+            left = Term::Struct(f, vec![left, right]);
+            left_prec = prec;
+        }
+        Ok(left)
+    }
+
+    /// Parse a primary term; returns the term and its priority (0 for plain
+    /// terms, the operator priority for prefix-operator applications).
+    fn parse_primary(&mut self, max_prec: u16) -> FrontResult<(Term, u16)> {
+        let tok = match self.peek() {
+            Some(t) => t.clone(),
+            None => return Err(FrontError::unpositioned("unexpected end of input")),
+        };
+        match tok.kind {
+            TokenKind::Int(n) => {
+                self.bump();
+                Ok((Term::Int(n), 0))
+            }
+            TokenKind::Var(name) => {
+                self.bump();
+                let name = if name == "_" { self.fresh_anon() } else { name };
+                Ok((Term::Var(name), 0))
+            }
+            TokenKind::Cut => {
+                self.bump();
+                let cut = self.syms.well_known().cut;
+                Ok((Term::Atom(cut), 0))
+            }
+            TokenKind::Open | TokenKind::OpenCall => {
+                self.bump();
+                let inner = self.parse(1200)?;
+                self.expect(&TokenKind::Close)?;
+                Ok((inner, 0))
+            }
+            TokenKind::OpenList => {
+                self.bump();
+                let term = self.parse_list()?;
+                Ok((term, 0))
+            }
+            TokenKind::Atom(name) => {
+                self.bump();
+                // Compound term: atom immediately followed by '('.
+                if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::OpenCall)) {
+                    self.bump();
+                    let args = self.parse_arglist()?;
+                    let f = self.syms.intern(&name);
+                    return Ok((Term::Struct(f, args), 0));
+                }
+                // Prefix operator application.
+                if let Some((prec, arg_max)) = prefix_op(&name) {
+                    if prec <= max_prec && self.starts_term() {
+                        // Special case: -N is a negative integer literal.
+                        if name == "-" {
+                            if let Some(Token { kind: TokenKind::Int(n), .. }) = self.peek() {
+                                let n = *n;
+                                self.bump();
+                                return Ok((Term::Int(-n), 0));
+                            }
+                        }
+                        let arg = self.parse(arg_max)?;
+                        let f = self.syms.intern(&name);
+                        return Ok((Term::Struct(f, vec![arg]), prec));
+                    }
+                }
+                let a = self.syms.intern(&name);
+                Ok((Term::Atom(a), 0))
+            }
+            TokenKind::CloseList | TokenKind::Close | TokenKind::Comma | TokenKind::Bar | TokenKind::End => {
+                Err(self.error_here(format!("unexpected token {:?}", tok.kind)))
+            }
+        }
+    }
+
+    /// True if the next token can start a term (used to decide whether a
+    /// prefix operator is being applied or stands alone as an atom).
+    fn starts_term(&self) -> bool {
+        matches!(
+            self.peek().map(|t| &t.kind),
+            Some(
+                TokenKind::Int(_)
+                    | TokenKind::Var(_)
+                    | TokenKind::Atom(_)
+                    | TokenKind::Open
+                    | TokenKind::OpenCall
+                    | TokenKind::OpenList
+                    | TokenKind::Cut
+            )
+        )
+    }
+
+    fn parse_arglist(&mut self) -> FrontResult<Vec<Term>> {
+        let mut args = Vec::new();
+        loop {
+            args.push(self.parse(999)?);
+            match self.bump() {
+                Some(Token { kind: TokenKind::Comma, .. }) => continue,
+                Some(Token { kind: TokenKind::Close, .. }) => break,
+                Some(t) => {
+                    return Err(FrontError::new(
+                        format!("expected ',' or ')' in argument list, found {:?}", t.kind),
+                        t.line,
+                        t.column,
+                    ))
+                }
+                None => return Err(FrontError::unpositioned("unterminated argument list")),
+            }
+        }
+        Ok(args)
+    }
+
+    fn parse_list(&mut self) -> FrontResult<Term> {
+        let wk_nil = self.syms.well_known().nil;
+        if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::CloseList)) {
+            self.bump();
+            return Ok(Term::Atom(wk_nil));
+        }
+        let mut items = Vec::new();
+        let tail;
+        loop {
+            items.push(self.parse(999)?);
+            match self.bump() {
+                Some(Token { kind: TokenKind::Comma, .. }) => continue,
+                Some(Token { kind: TokenKind::CloseList, .. }) => {
+                    tail = Term::Atom(wk_nil);
+                    break;
+                }
+                Some(Token { kind: TokenKind::Bar, .. }) => {
+                    tail = self.parse(999)?;
+                    self.expect(&TokenKind::CloseList)?;
+                    break;
+                }
+                Some(t) => {
+                    return Err(FrontError::new(
+                        format!("expected ',', '|' or ']' in list, found {:?}", t.kind),
+                        t.line,
+                        t.column,
+                    ))
+                }
+                None => return Err(FrontError::unpositioned("unterminated list")),
+            }
+        }
+        Ok(Term::list(items, tail, self.syms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pretty::term_to_string;
+
+    fn parse_ok(src: &str) -> (Term, SymbolTable) {
+        let mut syms = SymbolTable::new();
+        let t = parse_term(src, &mut syms).unwrap();
+        (t, syms)
+    }
+
+    fn roundtrip(src: &str) -> String {
+        let (t, syms) = parse_ok(src);
+        term_to_string(&t, &syms)
+    }
+
+    #[test]
+    fn parses_simple_structure() {
+        let (t, syms) = parse_ok("foo(bar, X, 42)");
+        match t {
+            Term::Struct(f, args) => {
+                assert_eq!(syms.name(f), "foo");
+                assert_eq!(args.len(), 3);
+                assert_eq!(args[2], Term::Int(42));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        assert_eq!(roundtrip("1+2*3"), "1+2*3");
+        assert_eq!(roundtrip("(1+2)*3"), "(1+2)*3");
+        assert_eq!(roundtrip("1-2-3"), "1-2-3"); // left associative
+    }
+
+    #[test]
+    fn left_associativity_structure() {
+        let (t, syms) = parse_ok("1-2-3");
+        // Must be -(-(1,2),3)
+        if let Term::Struct(minus, args) = t {
+            assert_eq!(syms.name(minus), "-");
+            assert!(matches!(&args[0], Term::Struct(_, inner) if inner[0] == Term::Int(1)));
+            assert_eq!(args[1], Term::Int(3));
+        } else {
+            panic!("not a struct");
+        }
+    }
+
+    #[test]
+    fn comparison_is_xfx() {
+        assert!(parse_term("1 < 2 < 3", &mut SymbolTable::new()).is_err());
+    }
+
+    #[test]
+    fn negative_literals() {
+        let (t, _) = parse_ok("-5");
+        assert_eq!(t, Term::Int(-5));
+        let (t, syms) = parse_ok("-X");
+        assert!(matches!(t, Term::Struct(f, _) if syms.name(f) == "-"));
+    }
+
+    #[test]
+    fn lists_parse_and_print() {
+        assert_eq!(roundtrip("[1,2,3]"), "[1,2,3]");
+        assert_eq!(roundtrip("[H|T]"), "[H|T]");
+        assert_eq!(roundtrip("[]"), "[]");
+        assert_eq!(roundtrip("[a,b|T]"), "[a,b|T]");
+    }
+
+    #[test]
+    fn cge_shape() {
+        let (t, syms) = parse_ok("(ground(Y), indep(X,Z) | g(X,Y) & h(Y,Z))");
+        // top functor must be '|'
+        if let Term::Struct(bar, args) = &t {
+            assert_eq!(syms.name(*bar), "|");
+            assert_eq!(args.len(), 2);
+            // right side is '&'
+            if let Term::Struct(amp, _) = &args[1] {
+                assert_eq!(syms.name(*amp), "&");
+            } else {
+                panic!("rhs of | is not &");
+            }
+        } else {
+            panic!("not a CGE term: {t:?}");
+        }
+    }
+
+    #[test]
+    fn clause_term_shape() {
+        let (t, syms) = parse_ok("f(X) :- g(X), h(X)");
+        if let Term::Struct(neck, args) = &t {
+            assert_eq!(syms.name(*neck), ":-");
+            assert_eq!(args.len(), 2);
+        } else {
+            panic!("not a clause term");
+        }
+    }
+
+    #[test]
+    fn anonymous_variables_are_distinct() {
+        let (t, _) = parse_ok("f(_, _)");
+        if let Term::Struct(_, args) = t {
+            assert_ne!(args[0], args[1]);
+        } else {
+            panic!("not a struct");
+        }
+    }
+
+    #[test]
+    fn program_parses_multiple_clauses() {
+        let mut syms = SymbolTable::new();
+        let p = parse_program("a.\nb :- a.\nc :- a, b.", &mut syms).unwrap();
+        assert_eq!(p.clauses.len(), 3);
+    }
+
+    #[test]
+    fn query_parses_conjunction() {
+        let mut syms = SymbolTable::new();
+        let q = parse_query("a, b, c", &mut syms).unwrap();
+        assert_eq!(q.goals.len(), 3);
+    }
+
+    #[test]
+    fn missing_end_is_an_error() {
+        let mut syms = SymbolTable::new();
+        assert!(parse_program("a :- b", &mut syms).is_err());
+    }
+
+    #[test]
+    fn is_operator_parses() {
+        let (t, syms) = parse_ok("X is Y + 1");
+        if let Term::Struct(is, args) = &t {
+            assert_eq!(syms.name(*is), "is");
+            assert!(matches!(&args[1], Term::Struct(_, _)));
+        } else {
+            panic!("not an is/2 term");
+        }
+    }
+
+    #[test]
+    fn quoted_atom_functor() {
+        let (t, syms) = parse_ok("'my pred'(a)");
+        assert!(matches!(t, Term::Struct(f, _) if syms.name(f) == "my pred"));
+    }
+}

@@ -1,0 +1,47 @@
+//! Run the paper's `deriv` benchmark on 8 PEs, collect the memory-reference
+//! trace, and feed it to the coherent-cache simulator — the full pipeline
+//! behind Figure 4, on one benchmark and one configuration sweep.
+//!
+//! ```text
+//! cargo run --release --example deriv_trace
+//! ```
+
+use pwam_suite::benchmarks::{benchmark, BenchmarkId, Scale};
+use pwam_suite::cachesim::{simulate, CacheConfig, Protocol, SimConfig};
+use pwam_suite::rapwam::session::{QueryOptions, Session};
+
+fn main() {
+    let bench = benchmark(BenchmarkId::Deriv, Scale::Paper);
+    println!("benchmark : deriv (symbolic differentiation)");
+    println!("query     : {} characters of input expression", bench.query.len());
+
+    // Run on 8 PEs with trace collection enabled.
+    let mut session = Session::new(&bench.program).expect("program parses");
+    let options = QueryOptions::parallel(8).with_trace();
+    let result = session.run(&bench.query, &options).expect("deriv runs");
+    let trace = result.trace.expect("trace collected");
+
+    println!("execution : {} instructions, {} references, {} goals run on another PE",
+             result.stats.instructions, result.stats.data_refs, result.stats.goals_actually_parallel);
+    println!("            global (shared) references: {:.1}%",
+             100.0 * result.stats.area_stats.global_fraction());
+
+    // Sweep the three coherency schemes of the paper over the trace.
+    println!("\ncache simulation (4-word lines, 8 PEs):");
+    println!("{:>10} {:>12} {:>12} {:>12}", "size", "broadcast", "hybrid", "write-thru");
+    for size in [64u32, 128, 256, 512, 1024, 2048, 4096, 8192] {
+        let mut row = format!("{size:>10}");
+        for protocol in [Protocol::WriteInBroadcast, Protocol::Hybrid, Protocol::WriteThrough] {
+            let config = SimConfig {
+                cache: CacheConfig::paper_policy(size, protocol),
+                protocol,
+                num_pes: 8,
+            };
+            let tr = simulate(&config, &trace).traffic_ratio();
+            row.push_str(&format!(" {tr:>12.3}"));
+        }
+        println!("{row}");
+    }
+    println!("\n(the paper's Figure 4 averages this over all four benchmarks —");
+    println!(" run `cargo run --release -p pwam-bench --bin figure4` for the full figure)");
+}

@@ -1,0 +1,49 @@
+//! Quickstart: load an annotated Prolog program, run a query sequentially
+//! (plain WAM) and in parallel (RAP-WAM), and look at the statistics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pwam_suite::rapwam::session::{QueryOptions, Session};
+
+fn main() {
+    // A tiny AND-parallel program: the two recursive calls of `fib/2` are
+    // independent once N1 and N2 are known, which the CGE
+    // `( ground(N1), ground(N2) | fib(N1,F1) & fib(N2,F2) )` expresses.
+    let program = "\
+        fib(0, 0).\n\
+        fib(1, 1).\n\
+        fib(N, F) :- N > 1, N1 is N - 1, N2 is N - 2,\n\
+                     (ground(N1), ground(N2) | fib(N1, F1) & fib(N2, F2)),\n\
+                     F is F1 + F2.";
+
+    let mut session = Session::new(program).expect("program parses");
+
+    // 1. Sequential WAM baseline.
+    let seq = session.run("fib(17, F)", &QueryOptions::sequential()).expect("sequential run");
+    let f = seq.outcome.binding("F").expect("F is bound");
+    println!("sequential WAM : fib(17) = {}", session.render(f));
+    println!("                 {} instructions, {} data references",
+             seq.stats.instructions, seq.stats.data_refs);
+
+    // 2. RAP-WAM on four processing elements.
+    let par = session.run("fib(17, F)", &QueryOptions::parallel(4)).expect("parallel run");
+    let f = par.outcome.binding("F").expect("F is bound");
+    println!("RAP-WAM, 4 PEs : fib(17) = {}", session.render(f));
+    println!("                 {} instructions, {} data references", par.stats.instructions, par.stats.data_refs);
+    println!("                 {} parallel calls, {} goals executed by another PE",
+             par.stats.parcalls, par.stats.goals_actually_parallel);
+    println!("                 speed-up over WAM: {:.2}x (elapsed cycles {} -> {})",
+             seq.stats.elapsed_cycles as f64 / par.stats.elapsed_cycles as f64,
+             seq.stats.elapsed_cycles, par.stats.elapsed_cycles);
+
+    // 3. Where do the references go?  (Table 1 of the paper in action.)
+    println!("\nreference breakdown on 4 PEs:");
+    for area in pwam_suite::rapwam::Area::ALL {
+        let count = par.stats.refs_to(area);
+        if count > 0 {
+            println!("  {:<15} {:>8}", area.name(), count);
+        }
+    }
+}

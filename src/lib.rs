@@ -1,0 +1,13 @@
+//! Umbrella crate for the RAP-WAM reproduction suite.
+//!
+//! This crate re-exports the individual crates of the workspace so that the
+//! `examples/` and `tests/` at the repository root can exercise the whole
+//! pipeline (Prolog source → WAM code → RAP-WAM execution trace → cache
+//! simulation) through a single dependency.
+
+pub use pwam_bench as harness;
+pub use pwam_benchmarks as benchmarks;
+pub use pwam_cachesim as cachesim;
+pub use pwam_compiler as compiler;
+pub use pwam_front as front;
+pub use rapwam;
