@@ -23,10 +23,7 @@ fn main() {
     let fig = figure2(scale, &pe_counts);
 
     println!("Figure 2: RAP-WAM overheads and speed-up for deriv (scale {scale:?})");
-    println!(
-        "sequential WAM: {} references, {} cycles\n",
-        fig.wam_refs, fig.wam_cycles
-    );
+    println!("sequential WAM: {} references, {} cycles\n", fig.wam_refs, fig.wam_cycles);
     let mut t = TextTable::new(vec!["# PEs", "work (% of WAM)", "overhead", "speedup", "utilisation"]);
     for p in &fig.points {
         t.row(vec![

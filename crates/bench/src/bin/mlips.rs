@@ -19,11 +19,26 @@ fn main() {
 
     let m = mlips(scale);
     println!("Section 3.3 back-of-the-envelope (scale {scale:?})");
-    println!("measured refs/instruction        : {:.2}   (paper assumes {:.0})", m.refs_per_instruction, claims::REFS_PER_INSTRUCTION);
-    println!("measured instructions/inference  : {:.2}   (paper assumes {:.0})", m.instructions_per_inference, claims::INSTRUCTIONS_PER_INFERENCE);
-    println!("traffic ratio, 8 PE / 128-word broadcast caches : {:.3} (paper: < 0.3)", m.traffic_ratio_8pe_128w);
+    println!(
+        "measured refs/instruction        : {:.2}   (paper assumes {:.0})",
+        m.refs_per_instruction,
+        claims::REFS_PER_INSTRUCTION
+    );
+    println!(
+        "measured instructions/inference  : {:.2}   (paper assumes {:.0})",
+        m.instructions_per_inference,
+        claims::INSTRUCTIONS_PER_INFERENCE
+    );
+    println!(
+        "traffic ratio, 8 PE / 128-word broadcast caches : {:.3} (paper: < 0.3)",
+        m.traffic_ratio_8pe_128w
+    );
     println!();
-    println!("bandwidth demand of {} MLIPS without caches : {:.0} MB/s (paper: 360)", claims::TARGET_MLIPS, m.demand_mb_per_s);
+    println!(
+        "bandwidth demand of {} MLIPS without caches : {:.0} MB/s (paper: 360)",
+        claims::TARGET_MLIPS,
+        m.demand_mb_per_s
+    );
     println!("bus bandwidth required after cache capture  : {:.0} MB/s (paper: 108)", m.bus_demand_mb_per_s);
     println!();
     println!("Bus-contention (M/D/1) model at the measured traffic ratio:");
@@ -32,7 +47,11 @@ fn main() {
         t.row(vec![
             r.num_pes.to_string(),
             f2(r.utilisation),
-            if r.mean_wait_us.is_finite() { format!("{:.3}", r.mean_wait_us) } else { "saturated".to_string() },
+            if r.mean_wait_us.is_finite() {
+                format!("{:.3}", r.mean_wait_us)
+            } else {
+                "saturated".to_string()
+            },
             f2(r.efficiency),
             f2(r.effective_mlips),
         ]);

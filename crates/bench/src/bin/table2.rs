@@ -14,15 +14,9 @@ fn main() {
     let workers: usize = arg_value(&args, "--workers").and_then(|s| s.parse().ok()).unwrap_or(8);
 
     let result = table2(scale, workers);
-    let mut t = TextTable::new(vec![
-        "Parameter",
-        "deriv",
-        "tak",
-        "qsort",
-        "matrix",
-    ]);
+    let mut t = TextTable::new(vec!["Parameter", "deriv", "tak", "qsort", "matrix"]);
     let col = |f: &dyn Fn(&pwam_bench::experiments::Table2Row) -> String| -> Vec<String> {
-        result.rows.iter().map(|r| f(r)).collect()
+        result.rows.iter().map(f).collect()
     };
     let mut push_row = |name: &str, values: Vec<String>| {
         let mut cells = vec![name.to_string()];

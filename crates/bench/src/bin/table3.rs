@@ -58,13 +58,7 @@ fn main() {
     println!("Paper's published normalised deviations (tr - E_tr)/sigma_tr:");
     let mut p = TextTable::new(vec!["cache (words)", "deriv", "tak", "qsort", "mean"]);
     for row in paper::TABLE3 {
-        p.row(vec![
-            row.cache_words.to_string(),
-            f2(row.deriv),
-            f2(row.tak),
-            f2(row.qsort),
-            f2(row.mean),
-        ]);
+        p.row(vec![row.cache_words.to_string(), f2(row.deriv), f2(row.tak), f2(row.qsort), f2(row.mean)]);
     }
     println!("{}", p.render());
 

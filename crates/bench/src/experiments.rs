@@ -6,9 +6,7 @@
 
 use crate::paper;
 use pwam_benchmarks::{benchmark, Benchmark, BenchmarkId, Scale};
-use pwam_cachesim::{
-    run_sweep, simulate, BusModel, BusModelResult, CacheConfig, Protocol, SimConfig,
-};
+use pwam_cachesim::{run_sweep, simulate, BusModel, BusModelResult, CacheConfig, Protocol, SimConfig};
 use rapwam::session::{QueryOptions, Session};
 use rapwam::{MemRef, MemoryConfig, ObjectKind, RunResult};
 use serde::{Deserialize, Serialize};
@@ -61,13 +59,7 @@ pub fn experiment_memory() -> MemoryConfig {
 }
 
 fn options(workers: usize, parallel: bool, trace: bool) -> QueryOptions {
-    QueryOptions {
-        parallel,
-        workers,
-        trace,
-        memory: experiment_memory(),
-        max_steps: 2_000_000_000,
-    }
+    QueryOptions { parallel, workers, trace, memory: experiment_memory(), max_steps: 2_000_000_000 }
 }
 
 /// Run one benchmark and return the engine result.
@@ -247,7 +239,11 @@ pub fn table3(scale: ExperimentScale) -> Vec<Table3Row> {
                 .iter()
                 .map(|(id, trace)| {
                     let config = SimConfig {
-                        cache: CacheConfig { size_words: large.cache_words, line_words: 4, write_allocate: true },
+                        cache: CacheConfig {
+                            size_words: large.cache_words,
+                            line_words: 4,
+                            write_allocate: true,
+                        },
                         protocol: Protocol::WriteInBroadcast,
                         num_pes: 1,
                     };

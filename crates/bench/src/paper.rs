@@ -15,10 +15,34 @@ pub struct Table2Row {
 
 /// Table 2 as printed in the paper.
 pub const TABLE2: [Table2Row; 4] = [
-    Table2Row { benchmark: "deriv", instructions: 33_520, refs_rapwam: 85_477, refs_wam: 82_519, goals_in_parallel: 97 },
-    Table2Row { benchmark: "tak", instructions: 75_254, refs_rapwam: 178_967, refs_wam: 169_599, goals_in_parallel: 263 },
-    Table2Row { benchmark: "qsort", instructions: 237_884, refs_rapwam: 502_717, refs_wam: 499_526, goals_in_parallel: 97 },
-    Table2Row { benchmark: "matrix", instructions: 95_349, refs_rapwam: 96_013, refs_wam: 95_357, goals_in_parallel: 24 },
+    Table2Row {
+        benchmark: "deriv",
+        instructions: 33_520,
+        refs_rapwam: 85_477,
+        refs_wam: 82_519,
+        goals_in_parallel: 97,
+    },
+    Table2Row {
+        benchmark: "tak",
+        instructions: 75_254,
+        refs_rapwam: 178_967,
+        refs_wam: 169_599,
+        goals_in_parallel: 263,
+    },
+    Table2Row {
+        benchmark: "qsort",
+        instructions: 237_884,
+        refs_rapwam: 502_717,
+        refs_wam: 499_526,
+        goals_in_parallel: 97,
+    },
+    Table2Row {
+        benchmark: "matrix",
+        instructions: 95_349,
+        refs_rapwam: 96_013,
+        refs_wam: 95_357,
+        goals_in_parallel: 24,
+    },
 ];
 
 /// Table 3 reference constants: mean and standard deviation of the traffic

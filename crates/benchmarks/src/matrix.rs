@@ -73,9 +73,7 @@ pub fn multiply(a: &[Vec<i64>], b: &[Vec<i64>]) -> Vec<Vec<i64>> {
     let n = a.len();
     let m = b[0].len();
     let k = b.len();
-    (0..n)
-        .map(|i| (0..m).map(|j| (0..k).map(|x| a[i][x] * b[x][j]).sum()).collect())
-        .collect()
+    (0..n).map(|i| (0..m).map(|j| (0..k).map(|x| a[i][x] * b[x][j]).sum()).collect()).collect()
 }
 
 /// Render a matrix as a Prolog list of lists.

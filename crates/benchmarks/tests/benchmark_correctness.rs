@@ -47,11 +47,7 @@ fn parallel_runs_exercise_the_parallel_machinery() {
     for id in BenchmarkId::ALL {
         let b = benchmark(id, Scale::Small);
         let summary = runner::run_benchmark(&b, &QueryOptions::parallel(4)).unwrap();
-        assert!(
-            summary.result.stats.parcalls > 0,
-            "{} did not execute any parallel call",
-            id.name()
-        );
+        assert!(summary.result.stats.parcalls > 0, "{} did not execute any parallel call", id.name());
         assert!(
             summary.result.stats.goals_actually_parallel > 0,
             "{} never had a goal picked up by another PE",
@@ -66,11 +62,7 @@ fn reference_counts_are_plausible_for_every_benchmark() {
         let summary = runner::run_benchmark(&b, &QueryOptions::sequential()).unwrap();
         let stats = &summary.result.stats;
         let rpi = stats.refs_per_instruction();
-        assert!(
-            rpi > 1.0 && rpi < 8.0,
-            "{}: implausible references/instruction {rpi}",
-            b.id.name()
-        );
+        assert!(rpi > 1.0 && rpi < 8.0, "{}: implausible references/instruction {rpi}", b.id.name());
         assert!(stats.instructions > 100, "{}: suspiciously few instructions", b.id.name());
     }
 }

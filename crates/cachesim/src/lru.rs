@@ -87,9 +87,7 @@ impl LruCache {
         let mut evicted = None;
         if self.lines.len() as u32 >= self.capacity_lines {
             // Perfect LRU: evict the entry with the smallest stamp.
-            if let Some((&victim, &(vstate, _))) =
-                self.lines.iter().min_by_key(|(_, (_, stamp))| *stamp)
-            {
+            if let Some((&victim, &(vstate, _))) = self.lines.iter().min_by_key(|(_, (_, stamp))| *stamp) {
                 self.lines.remove(&victim);
                 evicted = Some((victim, vstate));
             }

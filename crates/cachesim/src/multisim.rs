@@ -43,7 +43,11 @@ impl MultiCacheSim {
 
     /// Feed one reference into the simulator.
     pub fn access(&mut self, pe: usize, addr: u32, write: bool, locality: Locality) {
-        assert!(pe < self.config.num_pes, "reference from PE {pe} but only {} PEs configured", self.config.num_pes);
+        assert!(
+            pe < self.config.num_pes,
+            "reference from PE {pe} but only {} PEs configured",
+            self.config.num_pes
+        );
         let line = self.line_of(addr);
         self.result.refs += 1;
         if write {

@@ -77,7 +77,12 @@ impl BusModel {
     /// The PEs form a *closed* system: when the bus backs up they slow down
     /// rather than queueing unboundedly, so efficiency is the smaller of a
     /// light-load (M/D/1 waiting) estimate and the bandwidth bound.
-    pub fn evaluate(&self, num_pes: usize, traffic_ratio: f64, instructions_per_inference: f64) -> BusModelResult {
+    pub fn evaluate(
+        &self,
+        num_pes: usize,
+        traffic_ratio: f64,
+        instructions_per_inference: f64,
+    ) -> BusModelResult {
         // Requests per microsecond per PE (in words).
         let words_per_us_per_pe = self.pe_mips * self.refs_per_instruction * traffic_ratio;
         let effective_word_cost = 1.0 + self.words_per_transaction_overhead;

@@ -4,7 +4,7 @@ use crate::config::SimConfig;
 use serde::{Deserialize, Serialize};
 
 /// Counters and derived metrics of one cache simulation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimResult {
     /// The configuration that produced this result.
     pub config: SimConfig,

@@ -42,7 +42,11 @@ fn to_trace(specs: &[RefSpec]) -> Vec<MemRef> {
 }
 
 fn config(protocol: Protocol, size: u32, write_allocate: bool, pes: usize) -> SimConfig {
-    SimConfig { cache: CacheConfig { size_words: size, line_words: 4, write_allocate }, protocol, num_pes: pes }
+    SimConfig {
+        cache: CacheConfig { size_words: size, line_words: 4, write_allocate },
+        protocol,
+        num_pes: pes,
+    }
 }
 
 proptest! {

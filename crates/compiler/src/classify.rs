@@ -69,7 +69,12 @@ pub fn is_builtin_call(term: &Term, syms: &SymbolTable) -> bool {
     }
 }
 
-fn collect_term_vars(term: &Term, chunk: usize, occ: &mut BTreeMap<String, BTreeSet<usize>>, order: &mut Vec<String>) {
+fn collect_term_vars(
+    term: &Term,
+    chunk: usize,
+    occ: &mut BTreeMap<String, BTreeSet<usize>>,
+    order: &mut Vec<String>,
+) {
     match term {
         Term::Var(v) => {
             if !occ.contains_key(v) {
@@ -90,13 +95,7 @@ fn goal_arity(goal: &Goal) -> usize {
     match goal {
         Goal::Call(t) => t.functor().map(|(_, n)| n).unwrap_or(0),
         Goal::Cut => 0,
-        Goal::Cge(cge) => cge
-            .branches
-            .iter()
-            .flat_map(|b| b.goals.iter())
-            .map(goal_arity)
-            .max()
-            .unwrap_or(0),
+        Goal::Cge(cge) => cge.branches.iter().flat_map(|b| b.goals.iter()).map(goal_arity).max().unwrap_or(0),
     }
 }
 
@@ -171,8 +170,7 @@ pub fn analyze_clause(
         }
     }
 
-    let mut analysis = ClauseAnalysis::default();
-    analysis.call_like = call_like;
+    let mut analysis = ClauseAnalysis { call_like, ..ClauseAnalysis::default() };
 
     // Permanent = occurs in >= 2 chunks (or forced).
     let mut next_y = 1u16;
@@ -298,7 +296,7 @@ mod tests {
     #[test]
     fn temp_registers_start_above_max_arity() {
         let (a, _) = analyze("p(A,B,C) :- q(A,B,C,1,2).");
-        for (_, &x) in &a.temp {
+        for &x in a.temp.values() {
             assert!(x > 5, "temp register {x} must be above the max arity 5");
         }
         assert_eq!(a.max_arity, 5);

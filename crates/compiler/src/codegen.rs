@@ -195,9 +195,10 @@ pub fn compile_clause(
         ctx.reset_scratch();
         match goal {
             Goal::Cut => {
-                let y = ctx.analysis.cut_y.ok_or_else(|| {
-                    CompileError::new("internal error: cut without a reserved cut slot")
-                })?;
+                let y = ctx
+                    .analysis
+                    .cut_y
+                    .ok_or_else(|| CompileError::new("internal error: cut without a reserved cut slot"))?;
                 chunk.emit(Instr::CutTo { y });
             }
             Goal::Call(t) => {
@@ -530,9 +531,7 @@ fn compile_user_call(
     env_needed: bool,
     chunk: &mut ChunkBuilder,
 ) -> CompileResult<()> {
-    let (f, n) = t
-        .functor()
-        .ok_or_else(|| CompileError::new(format!("goal {t:?} is not callable")))?;
+    let (f, n) = t.functor().ok_or_else(|| CompileError::new(format!("goal {t:?} is not callable")))?;
     if n > u8::MAX as usize {
         return Err(CompileError::new("goal arity exceeds 255"));
     }
@@ -562,9 +561,9 @@ fn condition_reg(ctx: &ClauseCtx, term: &Term) -> CompileResult<Reg> {
             }
             ctx.reg(v)
         }
-        other => Err(CompileError::new(format!(
-            "CGE conditions must be applied to variables, found {other:?}"
-        ))),
+        other => {
+            Err(CompileError::new(format!("CGE conditions must be applied to variables, found {other:?}")))
+        }
     }
 }
 
@@ -733,14 +732,10 @@ mod tests {
     fn structure_argument_is_built_bottom_up() {
         let (code, _) = compile_first("p(X) :- q(f(g(1), X)).", CompileOptions::default());
         // the inner g(1) must be built before the outer f/2
-        let pos_inner = code
-            .iter()
-            .position(|i| matches!(i, Instr::PutStructure { n: 1, .. }))
-            .expect("inner structure");
-        let pos_outer = code
-            .iter()
-            .position(|i| matches!(i, Instr::PutStructure { n: 2, .. }))
-            .expect("outer structure");
+        let pos_inner =
+            code.iter().position(|i| matches!(i, Instr::PutStructure { n: 1, .. })).expect("inner structure");
+        let pos_outer =
+            code.iter().position(|i| matches!(i, Instr::PutStructure { n: 2, .. })).expect("outer structure");
         assert!(pos_inner < pos_outer);
     }
 
@@ -787,10 +782,8 @@ mod tests {
 
     #[test]
     fn sequential_mode_compiles_cge_as_calls() {
-        let (code, _) = compile_first(
-            "f(X,Y,Z) :- (ground(Y) | g(X,Y) & h(Y,Z)).",
-            CompileOptions::sequential(),
-        );
+        let (code, _) =
+            compile_first("f(X,Y,Z) :- (ground(Y) | g(X,Y) & h(Y,Z)).", CompileOptions::sequential());
         assert_eq!(count_matching(&code, |i| matches!(i, Instr::PcallAlloc { .. })), 0);
         assert_eq!(count_matching(&code, |i| matches!(i, Instr::CheckGround { .. })), 0);
         assert_eq!(count_matching(&code, |i| matches!(i, Instr::Call { .. })), 2);

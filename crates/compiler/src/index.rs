@@ -149,7 +149,9 @@ pub fn compile_predicate(
                 let cands: Vec<usize> = all
                     .iter()
                     .copied()
-                    .filter(|&i| matches!(kinds[i], FirstArg::Variable) || kinds[i] == FirstArg::Constant(key))
+                    .filter(|&i| {
+                        matches!(kinds[i], FirstArg::Variable) || kinds[i] == FirstArg::Constant(key)
+                    })
                     .collect();
                 table.push((key, make_target(cands, &mut blocks)));
             }
@@ -184,7 +186,8 @@ pub fn compile_predicate(
                     .iter()
                     .copied()
                     .filter(|&i| {
-                        matches!(kinds[i], FirstArg::Variable) || kinds[i] == FirstArg::Structure(key.0, key.1)
+                        matches!(kinds[i], FirstArg::Variable)
+                            || kinds[i] == FirstArg::Structure(key.0, key.1)
                     })
                     .collect();
                 table.push((key, make_target(cands, &mut blocks)));
@@ -194,7 +197,8 @@ pub fn compile_predicate(
             Target::Block(blocks.len() - 1)
         };
 
-        blocks[0] = Block::SwitchTerm { var: var_target, con: con_target, lis: lis_target, stru: stru_target };
+        blocks[0] =
+            Block::SwitchTerm { var: var_target, con: con_target, lis: lis_target, stru: stru_target };
     }
 
     // ----- layout -----
@@ -314,9 +318,8 @@ mod tests {
         let (code, _) = compile_pred("color(red).\ncolor(green).\ncolor(blue).", "color", 1);
         let tables = count_matching(&code, |i| matches!(i, Instr::SwitchOnConstant { .. }));
         assert_eq!(tables, 1);
-        if let Some(Instr::SwitchOnConstant { table, default }) = code
-            .iter()
-            .find(|i| matches!(i, Instr::SwitchOnConstant { .. }))
+        if let Some(Instr::SwitchOnConstant { table, default }) =
+            code.iter().find(|i| matches!(i, Instr::SwitchOnConstant { .. }))
         {
             assert_eq!(table.len(), 3);
             assert_eq!(*default, FAIL_SENTINEL);

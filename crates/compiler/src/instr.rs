@@ -153,71 +153,174 @@ impl Builtin {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Instr {
     // ----- put instructions (build a goal argument in register A_i) -----
-    PutVariable { v: Reg, a: u16 },
-    PutValue { v: Reg, a: u16 },
-    PutUnsafeValue { y: u16, a: u16 },
-    PutConstant { c: Atom, a: u16 },
-    PutInteger { i: i64, a: u16 },
-    PutNil { a: u16 },
-    PutStructure { f: Atom, n: u8, a: u16 },
-    PutList { a: u16 },
+    PutVariable {
+        v: Reg,
+        a: u16,
+    },
+    PutValue {
+        v: Reg,
+        a: u16,
+    },
+    PutUnsafeValue {
+        y: u16,
+        a: u16,
+    },
+    PutConstant {
+        c: Atom,
+        a: u16,
+    },
+    PutInteger {
+        i: i64,
+        a: u16,
+    },
+    PutNil {
+        a: u16,
+    },
+    PutStructure {
+        f: Atom,
+        n: u8,
+        a: u16,
+    },
+    PutList {
+        a: u16,
+    },
 
     // ----- get instructions (head argument unification) -----
-    GetVariable { v: Reg, a: u16 },
-    GetValue { v: Reg, a: u16 },
-    GetConstant { c: Atom, a: u16 },
-    GetInteger { i: i64, a: u16 },
-    GetNil { a: u16 },
-    GetStructure { f: Atom, n: u8, a: u16 },
-    GetList { a: u16 },
+    GetVariable {
+        v: Reg,
+        a: u16,
+    },
+    GetValue {
+        v: Reg,
+        a: u16,
+    },
+    GetConstant {
+        c: Atom,
+        a: u16,
+    },
+    GetInteger {
+        i: i64,
+        a: u16,
+    },
+    GetNil {
+        a: u16,
+    },
+    GetStructure {
+        f: Atom,
+        n: u8,
+        a: u16,
+    },
+    GetList {
+        a: u16,
+    },
 
     // ----- unify instructions (structure arguments, read/write mode) -----
-    UnifyVariable { v: Reg },
-    UnifyValue { v: Reg },
-    UnifyLocalValue { v: Reg },
-    UnifyConstant { c: Atom },
-    UnifyInteger { i: i64 },
+    UnifyVariable {
+        v: Reg,
+    },
+    UnifyValue {
+        v: Reg,
+    },
+    UnifyLocalValue {
+        v: Reg,
+    },
+    UnifyConstant {
+        c: Atom,
+    },
+    UnifyInteger {
+        i: i64,
+    },
     UnifyNil,
-    UnifyVoid { n: u8 },
+    UnifyVoid {
+        n: u8,
+    },
 
     // ----- control -----
-    Allocate { n: u16 },
+    Allocate {
+        n: u16,
+    },
     Deallocate,
-    Call { target: CallTarget, arity: u8 },
-    Execute { target: CallTarget, arity: u8 },
+    Call {
+        target: CallTarget,
+        arity: u8,
+    },
+    Execute {
+        target: CallTarget,
+        arity: u8,
+    },
     Proceed,
 
     // ----- choice points & indexing -----
-    TryMeElse { else_: CodeAddr },
-    RetryMeElse { else_: CodeAddr },
+    TryMeElse {
+        else_: CodeAddr,
+    },
+    RetryMeElse {
+        else_: CodeAddr,
+    },
     TrustMe,
-    Try { addr: CodeAddr },
-    Retry { addr: CodeAddr },
-    Trust { addr: CodeAddr },
-    SwitchOnTerm { var: CodeAddr, con: CodeAddr, lis: CodeAddr, stru: CodeAddr },
-    SwitchOnConstant { table: Vec<(ConstKey, CodeAddr)>, default: CodeAddr },
-    SwitchOnStructure { table: Vec<((Atom, u8), CodeAddr)>, default: CodeAddr },
+    Try {
+        addr: CodeAddr,
+    },
+    Retry {
+        addr: CodeAddr,
+    },
+    Trust {
+        addr: CodeAddr,
+    },
+    SwitchOnTerm {
+        var: CodeAddr,
+        con: CodeAddr,
+        lis: CodeAddr,
+        stru: CodeAddr,
+    },
+    SwitchOnConstant {
+        table: Vec<(ConstKey, CodeAddr)>,
+        default: CodeAddr,
+    },
+    SwitchOnStructure {
+        table: Vec<((Atom, u8), CodeAddr)>,
+        default: CodeAddr,
+    },
 
     // ----- cut -----
     NeckCut,
-    GetLevel { y: u16 },
-    CutTo { y: u16 },
+    GetLevel {
+        y: u16,
+    },
+    CutTo {
+        y: u16,
+    },
 
     // ----- builtins -----
-    CallBuiltin { b: Builtin },
+    CallBuiltin {
+        b: Builtin,
+    },
 
     // ----- RAP-WAM parallel extensions -----
     /// Run-time groundness check on the dereferenced value of `v`;
     /// jump to `else_` (the sequential fallback code) if it fails.
-    CheckGround { v: Reg, else_: CodeAddr },
+    CheckGround {
+        v: Reg,
+        else_: CodeAddr,
+    },
     /// Run-time independence check between the values of `v1` and `v2`;
     /// jump to `else_` if they share an unbound variable.
-    CheckIndep { v1: Reg, v2: Reg, else_: CodeAddr },
+    CheckIndep {
+        v1: Reg,
+        v2: Reg,
+        else_: CodeAddr,
+    },
     /// Allocate a Parcall Frame with `n` goal slots on the local stack.
-    PcallAlloc { n: u8 },
+    PcallAlloc {
+        n: u8,
+    },
     /// Push a Goal Frame for `target` (arity `arity`, parcall slot `slot`)
     /// onto the worker's Goal Stack; arguments are taken from `A1..Aarity`.
-    PcallGoal { target: CallTarget, arity: u8, slot: u8 },
+    PcallGoal {
+        target: CallTarget,
+        arity: u8,
+        slot: u8,
+    },
     /// Scheduling/wait point: execute or steal goals until every slot of the
     /// current Parcall Frame has completed, then fall through.
     PcallWait,
@@ -227,7 +330,9 @@ pub enum Instr {
 
     // ----- misc -----
     /// Unconditional jump (used to skip fallback code blocks).
-    Jump { addr: CodeAddr },
+    Jump {
+        addr: CodeAddr,
+    },
     /// Explicit failure (backtrack).
     FailInstr,
     /// Successful end of the query.

@@ -158,7 +158,7 @@ mod tests {
         let (f, n) = call.functor().unwrap();
         assert!(syms.name(f).starts_with("$par_"));
         assert_eq!(n, 1); // only X is shared into the branch
-        // The auxiliary clause body has the two original goals.
+                          // The auxiliary clause body has the two original goals.
         assert_eq!(p.clauses[1].body.goals.len(), 2);
     }
 

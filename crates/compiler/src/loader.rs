@@ -69,7 +69,8 @@ pub fn compile_program_and_query(
     // ----- resolution -----
     // Validate call targets first so we can produce a good error message.
     for instr in &code {
-        if let Instr::Call { target, .. } | Instr::Execute { target, .. } | Instr::PcallGoal { target, .. } = instr
+        if let Instr::Call { target, .. } | Instr::Execute { target, .. } | Instr::PcallGoal { target, .. } =
+            instr
         {
             if let CallTarget::Unresolved(pr) = target {
                 let defined = predicates.contains_key(&(pr.name, pr.arity));
@@ -91,8 +92,7 @@ pub fn compile_program_and_query(
                 if let Some(&addr) = predicates.get(&(pr.name, pr.arity)) {
                     CallTarget::Code(addr)
                 } else {
-                    let b = Builtin::lookup(syms.name(pr.name), pr.arity as usize)
-                        .expect("validated above");
+                    let b = Builtin::lookup(syms.name(pr.name), pr.arity as usize).expect("validated above");
                     CallTarget::Builtin(b)
                 }
             }
@@ -150,13 +150,12 @@ mod tests {
 
     #[test]
     fn every_call_target_is_resolved() {
-        let (cp, _) = compile(
-            "p(X) :- q(X).\nq(X) :- X is 1 + 1.\nr :- p(_).",
-            "r, p(Y)",
-            CompileOptions::default(),
-        );
+        let (cp, _) =
+            compile("p(X) :- q(X).\nq(X) :- X is 1 + 1.\nr :- p(_).", "r, p(Y)", CompileOptions::default());
         for i in &cp.code {
-            if let Instr::Call { target, .. } | Instr::Execute { target, .. } | Instr::PcallGoal { target, .. } = i
+            if let Instr::Call { target, .. }
+            | Instr::Execute { target, .. }
+            | Instr::PcallGoal { target, .. } = i
             {
                 assert!(!matches!(target, CallTarget::Unresolved(_)), "unresolved target: {i:?}");
             }
@@ -196,11 +195,7 @@ mod tests {
             "f(1,2,A,B)",
             CompileOptions::parallel(),
         );
-        let pcalls: Vec<_> = cp
-            .code
-            .iter()
-            .filter(|i| matches!(i, Instr::PcallGoal { .. }))
-            .collect();
+        let pcalls: Vec<_> = cp.code.iter().filter(|i| matches!(i, Instr::PcallGoal { .. })).collect();
         // Only the rightmost branch is pushed as a Goal Frame; the leftmost
         // one is executed locally.
         assert_eq!(pcalls.len(), 1);

@@ -22,6 +22,9 @@ pub fn extract_binding(mem: &Memory, addr: u32, syms: &SymbolTable) -> EngineRes
 }
 
 /// Extract the term a cell denotes.
+// `syms` stays in the signature (and recursion) so callers keep one shape
+// even though extraction currently resolves names lazily at render time.
+#[allow(clippy::only_used_in_recursion)]
 pub fn extract_cell(mem: &Memory, cell: Cell, syms: &SymbolTable, budget: &mut usize) -> EngineResult<Term> {
     if *budget == 0 {
         return Err(EngineError::Internal("term too large (or cyclic) during extraction".into()));

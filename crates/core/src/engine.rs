@@ -122,9 +122,8 @@ impl<'p> Engine<'p> {
         assert!(config.num_workers >= 1, "at least one worker is required");
         assert!(config.num_workers <= 255, "at most 255 workers are supported");
         let mem = Memory::new(config.memory, config.num_workers, config.collect_trace);
-        let mut workers: Vec<Worker> = (0..config.num_workers)
-            .map(|i| Worker::new(i as u8, &mem.map, config.num_x_regs))
-            .collect();
+        let mut workers: Vec<Worker> =
+            (0..config.num_workers).map(|i| Worker::new(i as u8, &mem.map, config.num_x_regs)).collect();
         workers[0].p = program.query_start;
         workers[0].cp = program.query_start;
         workers[0].status = WorkerStatus::Running;
@@ -209,9 +208,7 @@ impl<'p> Engine<'p> {
             }
         }
         if !any_progress && self.finished.is_none() {
-            return Err(EngineError::Internal(
-                "scheduler deadlock: no worker can make progress".to_string(),
-            ));
+            return Err(EngineError::Internal("scheduler deadlock: no worker can make progress".to_string()));
         }
         Ok(())
     }
@@ -258,10 +255,13 @@ impl<'p> Engine<'p> {
     fn start_goal(&mut self, w: usize, frame: u32, resume: Resume, stolen: bool) -> EngineResult<()> {
         let pe = self.workers[w].id;
         // Read the goal frame (code, arity, parcall frame, slot, arguments).
-        let code = self.mem.read(pe, frame + goal_frame::CODE, ObjectKind::GoalFrame).expect_code("goal code");
-        let arity = self.mem.read(pe, frame + goal_frame::ARITY, ObjectKind::GoalFrame).expect_uint("goal arity");
+        let code =
+            self.mem.read(pe, frame + goal_frame::CODE, ObjectKind::GoalFrame).expect_code("goal code");
+        let arity =
+            self.mem.read(pe, frame + goal_frame::ARITY, ObjectKind::GoalFrame).expect_uint("goal arity");
         let pf = self.mem.read(pe, frame + goal_frame::PF, ObjectKind::GoalFrame).expect_uint("goal pf");
-        let slot = self.mem.read(pe, frame + goal_frame::SLOT, ObjectKind::GoalFrame).expect_uint("goal slot");
+        let slot =
+            self.mem.read(pe, frame + goal_frame::SLOT, ObjectKind::GoalFrame).expect_uint("goal slot");
         for i in 0..arity {
             let c = self.mem.read(pe, goal_frame::arg(frame, i), ObjectKind::GoalFrame);
             self.workers[w].x[(i + 1) as usize] = c;
@@ -270,9 +270,19 @@ impl<'p> Engine<'p> {
         // Record the pick-up in the Parcall Frame.
         let to_sched =
             self.mem.read(pe, pf + parcall::TO_SCHEDULE, ObjectKind::ParcallCount).expect_uint("to_schedule");
-        self.mem.write(pe, pf + parcall::TO_SCHEDULE, Cell::Uint(to_sched.saturating_sub(1)), ObjectKind::ParcallCount);
+        self.mem.write(
+            pe,
+            pf + parcall::TO_SCHEDULE,
+            Cell::Uint(to_sched.saturating_sub(1)),
+            ObjectKind::ParcallCount,
+        );
         if stolen {
-            self.mem.write(pe, parcall::slot_status(pf, slot), Cell::Uint(parcall::SLOT_TAKEN), ObjectKind::ParcallGlobal);
+            self.mem.write(
+                pe,
+                parcall::slot_status(pf, slot),
+                Cell::Uint(parcall::SLOT_TAKEN),
+                ObjectKind::ParcallGlobal,
+            );
             self.mem.write(pe, parcall::slot_pe(pf, slot), Cell::Uint(w as u32), ObjectKind::ParcallGlobal);
         }
 
@@ -344,20 +354,26 @@ impl<'p> Engine<'p> {
             // Re-read the Marker (pf, slot) as the real machine would, record
             // the completed slot and notify the parent.
             let pf = self.mem.read(pe, ctx.marker + marker::PF, ObjectKind::Marker).expect_uint("marker pf");
-            let slot = self.mem.read(pe, ctx.marker + marker::SLOT, ObjectKind::Marker).expect_uint("marker slot");
-            self.mem.write(pe, parcall::slot_status(pf, slot), Cell::Uint(parcall::SLOT_DONE), ObjectKind::ParcallGlobal);
+            let slot =
+                self.mem.read(pe, ctx.marker + marker::SLOT, ObjectKind::Marker).expect_uint("marker slot");
+            self.mem.write(
+                pe,
+                parcall::slot_status(pf, slot),
+                Cell::Uint(parcall::SLOT_DONE),
+                ObjectKind::ParcallGlobal,
+            );
             (pf, slot)
         } else {
             (ctx.pf, ctx.slot)
         };
-        let done = self.mem.read(pe, pf + parcall::COMPLETED, ObjectKind::ParcallCount).expect_uint("completed");
+        let done =
+            self.mem.read(pe, pf + parcall::COMPLETED, ObjectKind::ParcallCount).expect_uint("completed");
         self.mem.write(pe, pf + parcall::COMPLETED, Cell::Uint(done + 1), ObjectKind::ParcallCount);
 
         if ctx.stolen {
-            let parent = self
-                .mem
-                .read(pe, pf + parcall::PARENT_PE, ObjectKind::ParcallLocal)
-                .expect_uint("parent pe") as usize;
+            let parent =
+                self.mem.read(pe, pf + parcall::PARENT_PE, ObjectKind::ParcallLocal).expect_uint("parent pe")
+                    as usize;
             if parent != w {
                 self.post_message(w, parent, message::KIND_DONE, pf, slot)?;
             }
@@ -419,16 +435,26 @@ impl<'p> Engine<'p> {
 
         // Mark the Parcall Frame.
         if ctx.stolen {
-            self.mem.write(pe, parcall::slot_status(pf, slot), Cell::Uint(parcall::SLOT_FAILED), ObjectKind::ParcallGlobal);
+            self.mem.write(
+                pe,
+                parcall::slot_status(pf, slot),
+                Cell::Uint(parcall::SLOT_FAILED),
+                ObjectKind::ParcallGlobal,
+            );
         }
-        self.mem.write(pe, pf + parcall::STATUS, Cell::Uint(parcall::STATUS_FAILED), ObjectKind::ParcallLocal);
-        let done = self.mem.read(pe, pf + parcall::COMPLETED, ObjectKind::ParcallCount).expect_uint("completed");
+        self.mem.write(
+            pe,
+            pf + parcall::STATUS,
+            Cell::Uint(parcall::STATUS_FAILED),
+            ObjectKind::ParcallLocal,
+        );
+        let done =
+            self.mem.read(pe, pf + parcall::COMPLETED, ObjectKind::ParcallCount).expect_uint("completed");
         self.mem.write(pe, pf + parcall::COMPLETED, Cell::Uint(done + 1), ObjectKind::ParcallCount);
         if ctx.stolen {
-            let parent = self
-                .mem
-                .read(pe, pf + parcall::PARENT_PE, ObjectKind::ParcallLocal)
-                .expect_uint("parent pe") as usize;
+            let parent =
+                self.mem.read(pe, pf + parcall::PARENT_PE, ObjectKind::ParcallLocal).expect_uint("parent pe")
+                    as usize;
             if parent != w {
                 self.post_message(w, parent, message::KIND_FAILED, pf, slot)?;
             }
@@ -448,7 +474,14 @@ impl<'p> Engine<'p> {
     }
 
     /// Write a completion/failure message into `parent`'s Message Buffer.
-    fn post_message(&mut self, from: usize, parent: usize, kind: u32, pf: u32, slot: u32) -> EngineResult<()> {
+    fn post_message(
+        &mut self,
+        from: usize,
+        parent: usize,
+        kind: u32,
+        pf: u32,
+        slot: u32,
+    ) -> EngineResult<()> {
         let pe = self.workers[from].id;
         let base = self.workers[parent].msg_base;
         let size = self.mem.map.config.message_words;
@@ -533,11 +566,15 @@ impl<'p> Engine<'p> {
         }
         let e = self.mem.read(pe, choice::saved_e(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp e");
         let cp = self.mem.read(pe, choice::saved_cp(b, nargs), ObjectKind::ChoicePoint).expect_code("cp cp");
-        let bp = self.mem.read(pe, choice::next_clause(b, nargs), ObjectKind::ChoicePoint).expect_code("cp bp");
+        let bp =
+            self.mem.read(pe, choice::next_clause(b, nargs), ObjectKind::ChoicePoint).expect_code("cp bp");
         let tr = self.mem.read(pe, choice::saved_tr(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp tr");
         let h = self.mem.read(pe, choice::saved_h(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp h");
         let pf = self.mem.read(pe, choice::saved_pf(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp pf");
-        let lt = self.mem.read(pe, choice::saved_local_top(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp lt");
+        let lt = self
+            .mem
+            .read(pe, choice::saved_local_top(b, nargs), ObjectKind::ChoicePoint)
+            .expect_uint("cp lt");
         let b0 = self.mem.read(pe, choice::saved_b0(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp b0");
         self.untrail_to(w, tr)?;
         let wk = &mut self.workers[w];
@@ -559,7 +596,8 @@ impl<'p> Engine<'p> {
         let pe = self.workers[w].id;
         let b = self.workers[w].b;
         let nargs = self.mem.read(pe, b + choice::NARGS, ObjectKind::ChoicePoint).expect_uint("cp nargs");
-        let prev = self.mem.read(pe, choice::prev_b(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp prev");
+        let prev =
+            self.mem.read(pe, choice::prev_b(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp prev");
         self.workers[w].b = prev;
         self.refresh_backtrack_boundaries(w)?;
         self.recede_control_top(w);
@@ -585,7 +623,10 @@ impl<'p> Engine<'p> {
         }
         let nargs = self.mem.read(pe, b + choice::NARGS, ObjectKind::ChoicePoint).expect_uint("cp nargs");
         let h = self.mem.read(pe, choice::saved_h(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp h");
-        let lt = self.mem.read(pe, choice::saved_local_top(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp lt");
+        let lt = self
+            .mem
+            .read(pe, choice::saved_local_top(b, nargs), ObjectKind::ChoicePoint)
+            .expect_uint("cp lt");
         let wk = &mut self.workers[w];
         wk.hb = h;
         wk.stack_boundary = lt;
@@ -634,8 +675,7 @@ impl<'p> Engine<'p> {
     /// choice point.
     pub(crate) fn backtrack(&mut self, w: usize) -> EngineResult<()> {
         let b = self.workers[w].b;
-        let at_goal_boundary =
-            self.workers[w].goal_contexts.last().map(|c| c.entry_b == b).unwrap_or(false);
+        let at_goal_boundary = self.workers[w].goal_contexts.last().map(|c| c.entry_b == b).unwrap_or(false);
         if at_goal_boundary {
             return self.fail_goal(w);
         }

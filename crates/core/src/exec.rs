@@ -222,7 +222,10 @@ impl<'p> Engine<'p> {
                     BuiltinOutcome::Halted => return Ok(()),
                 },
                 CallTarget::Unresolved(_) => {
-                    return Err(EngineError::BadInstruction { addr: p, what: "unresolved call target".into() })
+                    return Err(EngineError::BadInstruction {
+                        addr: p,
+                        what: "unresolved call target".into(),
+                    })
                 }
             },
             Instr::Execute { target, arity } => match target {
@@ -239,7 +242,10 @@ impl<'p> Engine<'p> {
                     BuiltinOutcome::Halted => return Ok(()),
                 },
                 CallTarget::Unresolved(_) => {
-                    return Err(EngineError::BadInstruction { addr: p, what: "unresolved call target".into() })
+                    return Err(EngineError::BadInstruction {
+                        addr: p,
+                        what: "unresolved call target".into(),
+                    })
                 }
             },
             Instr::Proceed => {
@@ -258,7 +264,8 @@ impl<'p> Engine<'p> {
             }
             Instr::Retry { addr } => {
                 let b = self.workers[w].b;
-                let nargs = self.mem.read(pe, b + choice::NARGS, ObjectKind::ChoicePoint).expect_uint("cp nargs");
+                let nargs =
+                    self.mem.read(pe, b + choice::NARGS, ObjectKind::ChoicePoint).expect_uint("cp nargs");
                 self.mem.write(pe, choice::next_clause(b, nargs), Cell::Code(p + 1), ObjectKind::ChoicePoint);
                 next = *addr;
             }
@@ -271,8 +278,14 @@ impl<'p> Engine<'p> {
             }
             Instr::RetryMeElse { else_ } => {
                 let b = self.workers[w].b;
-                let nargs = self.mem.read(pe, b + choice::NARGS, ObjectKind::ChoicePoint).expect_uint("cp nargs");
-                self.mem.write(pe, choice::next_clause(b, nargs), Cell::Code(*else_), ObjectKind::ChoicePoint);
+                let nargs =
+                    self.mem.read(pe, b + choice::NARGS, ObjectKind::ChoicePoint).expect_uint("cp nargs");
+                self.mem.write(
+                    pe,
+                    choice::next_clause(b, nargs),
+                    Cell::Code(*else_),
+                    ObjectKind::ChoicePoint,
+                );
             }
             Instr::TrustMe => {
                 self.pop_choice_point(w)?;
@@ -366,8 +379,18 @@ impl<'p> Engine<'p> {
                 self.mem.write(pe, pf_new + parcall::NGOALS, Cell::Uint(n), ObjectKind::ParcallLocal);
                 self.mem.write(pe, pf_new + parcall::TO_SCHEDULE, Cell::Uint(n), ObjectKind::ParcallCount);
                 self.mem.write(pe, pf_new + parcall::COMPLETED, Cell::Uint(0), ObjectKind::ParcallCount);
-                self.mem.write(pe, pf_new + parcall::STATUS, Cell::Uint(parcall::STATUS_OK), ObjectKind::ParcallLocal);
-                self.mem.write(pe, pf_new + parcall::PARENT_PE, Cell::Uint(w as u32), ObjectKind::ParcallLocal);
+                self.mem.write(
+                    pe,
+                    pf_new + parcall::STATUS,
+                    Cell::Uint(parcall::STATUS_OK),
+                    ObjectKind::ParcallLocal,
+                );
+                self.mem.write(
+                    pe,
+                    pf_new + parcall::PARENT_PE,
+                    Cell::Uint(w as u32),
+                    ObjectKind::ParcallLocal,
+                );
                 self.mem.write(pe, pf_new + parcall::PREV_PF, Cell::Uint(prev), ObjectKind::ParcallLocal);
                 // The per-goal slots are written lazily, when a goal is
                 // actually taken by another PE; goals the parent executes
@@ -414,16 +437,25 @@ impl<'p> Engine<'p> {
                         what: "pcall_wait without a Parcall Frame".into(),
                     });
                 }
-                let n = self.mem.read(pe, pf + parcall::NGOALS, ObjectKind::ParcallLocal).expect_uint("ngoals");
-                let done = self.mem.read(pe, pf + parcall::COMPLETED, ObjectKind::ParcallCount).expect_uint("completed");
+                let n =
+                    self.mem.read(pe, pf + parcall::NGOALS, ObjectKind::ParcallLocal).expect_uint("ngoals");
+                let done = self
+                    .mem
+                    .read(pe, pf + parcall::COMPLETED, ObjectKind::ParcallCount)
+                    .expect_uint("completed");
                 if done >= n {
-                    let status =
-                        self.mem.read(pe, pf + parcall::STATUS, ObjectKind::ParcallLocal).expect_uint("status");
+                    let status = self
+                        .mem
+                        .read(pe, pf + parcall::STATUS, ObjectKind::ParcallLocal)
+                        .expect_uint("status");
                     self.consume_messages(w);
                     if status != parcall::STATUS_OK {
                         return self.backtrack(w);
                     }
-                    let prev = self.mem.read(pe, pf + parcall::PREV_PF, ObjectKind::ParcallLocal).expect_uint("prev pf");
+                    let prev = self
+                        .mem
+                        .read(pe, pf + parcall::PREV_PF, ObjectKind::ParcallLocal)
+                        .expect_uint("prev pf");
                     let wk = &mut self.workers[w];
                     if pf + parcall::size(n) == wk.local_top {
                         wk.local_top = pf;

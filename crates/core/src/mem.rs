@@ -63,15 +63,8 @@ impl Memory {
     fn record(&mut self, pe: u8, addr: u32, write: bool, object: ObjectKind) {
         let area = object.area();
         debug_assert_eq!(self.map.area_of(addr), area, "object kind {object:?} used outside its area");
-        let r = MemRef {
-            pe,
-            addr,
-            write,
-            area,
-            object,
-            locality: object.locality(),
-            locked: object.locked(),
-        };
+        let r =
+            MemRef { pe, addr, write, area, object, locality: object.locality(), locked: object.locked() };
         self.stats.record(&r);
         if let Some(t) = &mut self.trace {
             t.push(r);

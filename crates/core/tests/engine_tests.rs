@@ -54,10 +54,7 @@ fn append_backtracks_through_alternatives() {
 #[test]
 fn naive_reverse() {
     let program = format!("{APPEND}\nnrev([],[]).\nnrev([H|T],R) :- nrev(T,RT), app(RT,[H],R).");
-    assert_eq!(
-        answer(&program, "nrev([1,2,3,4,5],R)", &QueryOptions::sequential(), "R"),
-        "[5,4,3,2,1]"
-    );
+    assert_eq!(answer(&program, "nrev([1,2,3,4,5],R)", &QueryOptions::sequential(), "R"), "[5,4,3,2,1]");
 }
 
 #[test]
@@ -116,20 +113,14 @@ fn cut_inside_retried_clause_uses_the_correct_barrier() {
     assert_eq!(answer(program, "top(X)", &QueryOptions::sequential(), "X"), "1");
     // After committing inside q, demanding a different value must still be
     // able to backtrack into top's second clause (the cut is local to q).
-    assert_eq!(
-        answer(program, "top(X), X > 10", &QueryOptions::sequential(), "X"),
-        "99"
-    );
+    assert_eq!(answer(program, "top(X), X > 10", &QueryOptions::sequential(), "X"), "99");
 }
 
 #[test]
 fn structures_and_nested_terms() {
     let program = "mk(point(X, Y), X, Y).\nswap(point(X,Y), point(Y,X)).";
     assert_eq!(answer(program, "mk(P, 3, 4)", &QueryOptions::sequential(), "P"), "point(3,4)");
-    assert_eq!(
-        answer(program, "swap(point(a,f(b)), Q)", &QueryOptions::sequential(), "Q"),
-        "point(f(b),a)"
-    );
+    assert_eq!(answer(program, "swap(point(a,f(b)), Q)", &QueryOptions::sequential(), "Q"), "point(f(b),a)");
 }
 
 #[test]
@@ -294,10 +285,7 @@ fn sequential_and_parallel_reference_counts_are_close_on_one_pe() {
 
 #[test]
 fn small_memory_configuration_is_sufficient_for_small_programs() {
-    let opts = QueryOptions {
-        memory: MemoryConfig::small(),
-        ..QueryOptions::sequential()
-    };
+    let opts = QueryOptions { memory: MemoryConfig::small(), ..QueryOptions::sequential() };
     assert_eq!(answer(APPEND, "app([1,2,3],[4],X)", &opts, "X"), "[1,2,3,4]");
 }
 

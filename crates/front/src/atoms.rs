@@ -87,8 +87,8 @@ impl SymbolTable {
         let mut t = SymbolTable { names: Vec::new(), index: HashMap::new() };
         // Keep this order in sync with `well_known`.
         for name in [
-            "[]", ".", "true", "fail", ",", "&", "|", ":-", "!", "ground", "indep", "is", "-",
-            "+", "*", "/", "mod", "//",
+            "[]", ".", "true", "fail", ",", "&", "|", ":-", "!", "ground", "indep", "is", "-", "+", "*", "/",
+            "mod", "//",
         ] {
             t.intern(name);
         }

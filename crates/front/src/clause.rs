@@ -261,9 +261,9 @@ fn term_to_goal(term: &Term, syms: &SymbolTable) -> FrontResult<Goal> {
             Ok(Goal::Cge(Cge { conditions: Vec::new(), branches }))
         }
         Term::Atom(_) | Term::Struct(_, _) => Ok(Goal::Call(term.clone())),
-        Term::Var(v) => Err(FrontError::unpositioned(format!(
-            "meta-call of a plain variable ({v}) is not supported"
-        ))),
+        Term::Var(v) => {
+            Err(FrontError::unpositioned(format!("meta-call of a plain variable ({v}) is not supported")))
+        }
         Term::Int(n) => Err(FrontError::unpositioned(format!("an integer ({n}) cannot be a goal"))),
     }
 }

@@ -47,7 +47,10 @@ pub struct Token {
 
 /// True for characters that can form symbolic atoms such as `=..`, `=<`, `->`.
 fn is_symbol_char(c: char) -> bool {
-    matches!(c, '+' | '-' | '*' | '/' | '\\' | '^' | '<' | '>' | '=' | '~' | ':' | '.' | '?' | '@' | '#' | '&' | '$')
+    matches!(
+        c,
+        '+' | '-' | '*' | '/' | '\\' | '^' | '<' | '>' | '=' | '~' | ':' | '.' | '?' | '@' | '#' | '&' | '$'
+    )
 }
 
 /// Tokenize a complete source string.
@@ -293,11 +296,7 @@ mod tests {
     fn variables_and_anonymous() {
         assert_eq!(
             kinds("X _Y _"),
-            vec![
-                TokenKind::Var("X".into()),
-                TokenKind::Var("_Y".into()),
-                TokenKind::Var("_".into()),
-            ]
+            vec![TokenKind::Var("X".into()), TokenKind::Var("_Y".into()), TokenKind::Var("_".into()),]
         );
     }
 
@@ -352,12 +351,7 @@ mod tests {
     fn comments_are_skipped() {
         assert_eq!(
             kinds("a. % line comment\n/* block\ncomment */ b."),
-            vec![
-                TokenKind::Atom("a".into()),
-                TokenKind::End,
-                TokenKind::Atom("b".into()),
-                TokenKind::End,
-            ]
+            vec![TokenKind::Atom("a".into()), TokenKind::End, TokenKind::Atom("b".into()), TokenKind::End,]
         );
     }
 
@@ -377,12 +371,15 @@ mod tests {
     #[test]
     fn dot_inside_symbolic_atom_is_not_end() {
         // `=..` is a single symbolic atom, not a clause terminator.
-        assert_eq!(kinds("X =.. L."), vec![
-            TokenKind::Var("X".into()),
-            TokenKind::Atom("=..".into()),
-            TokenKind::Var("L".into()),
-            TokenKind::End,
-        ]);
+        assert_eq!(
+            kinds("X =.. L."),
+            vec![
+                TokenKind::Var("X".into()),
+                TokenKind::Atom("=..".into()),
+                TokenKind::Var("L".into()),
+                TokenKind::End,
+            ]
+        );
     }
 
     #[test]

@@ -41,8 +41,8 @@ fn infix_op(name: &str) -> Option<(u16, Fixity)> {
         "->" => (1050, Xfy),
         "&" => (1025, Xfy),
         "," => (1000, Xfy),
-        "=" | "\\=" | "==" | "\\==" | "is" | "=:=" | "=\\=" | "<" | ">" | "=<" | ">=" | "@<"
-        | "@>" | "@=<" | "@>=" | "=.." => (700, Xfx),
+        "=" | "\\=" | "==" | "\\==" | "is" | "=:=" | "=\\=" | "<" | ">" | "=<" | ">=" | "@<" | "@>"
+        | "@=<" | "@>=" | "=.." => (700, Xfx),
         "+" | "-" => (500, Yfx),
         "*" | "/" | "//" | "mod" | "rem" => (400, Yfx),
         "^" => (200, Xfy),
@@ -146,11 +146,9 @@ impl<'a, 'b> Parser<'a, 'b> {
     fn expect(&mut self, kind: &TokenKind) -> FrontResult<()> {
         match self.bump() {
             Some(t) if &t.kind == kind => Ok(()),
-            Some(t) => Err(FrontError::new(
-                format!("expected {:?} but found {:?}", kind, t.kind),
-                t.line,
-                t.column,
-            )),
+            Some(t) => {
+                Err(FrontError::new(format!("expected {:?} but found {:?}", kind, t.kind), t.line, t.column))
+            }
             None => Err(FrontError::unpositioned(format!("expected {kind:?} but found end of input"))),
         }
     }
@@ -164,8 +162,7 @@ impl<'a, 'b> Parser<'a, 'b> {
     /// Parse a term with priority at most `max_prec`.
     fn parse(&mut self, max_prec: u16) -> FrontResult<Term> {
         let (mut left, mut left_prec) = self.parse_primary(max_prec)?;
-        loop {
-            let Some(tok) = self.peek() else { break };
+        while let Some(tok) = self.peek() {
             let op_name: Option<String> = match &tok.kind {
                 TokenKind::Atom(a) => Some(a.clone()),
                 TokenKind::Comma => Some(",".to_string()),

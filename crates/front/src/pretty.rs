@@ -26,8 +26,8 @@ fn infix_op(name: &str) -> Option<(u16, Fix)> {
         "->" => (1050, Xfy),
         "&" => (1025, Xfy),
         "," => (1000, Xfy),
-        "=" | "\\=" | "==" | "\\==" | "is" | "=:=" | "=\\=" | "<" | ">" | "=<" | ">=" | "@<"
-        | "@>" | "@=<" | "@>=" | "=.." => (700, Xfx),
+        "=" | "\\=" | "==" | "\\==" | "is" | "=:=" | "=\\=" | "<" | ">" | "=<" | ">=" | "@<" | "@>"
+        | "@=<" | "@>=" | "=.." => (700, Xfx),
         "+" | "-" => (500, Yfx),
         "*" | "/" | "//" | "mod" | "rem" => (400, Yfx),
         "^" => (200, Xfy),
@@ -50,7 +50,25 @@ fn needs_quotes(name: &str) -> bool {
     }
     // purely symbolic atoms do not need quotes
     let symbolic = |c: char| {
-        matches!(c, '+' | '-' | '*' | '/' | '\\' | '^' | '<' | '>' | '=' | '~' | ':' | '.' | '?' | '@' | '#' | '&' | '$')
+        matches!(
+            c,
+            '+' | '-'
+                | '*'
+                | '/'
+                | '\\'
+                | '^'
+                | '<'
+                | '>'
+                | '='
+                | '~'
+                | ':'
+                | '.'
+                | '?'
+                | '@'
+                | '#'
+                | '&'
+                | '$'
+        )
     };
     if name.chars().all(symbolic) {
         return false;

@@ -150,10 +150,7 @@ mod tests {
     fn variable_collection_is_sorted_and_deduplicated() {
         let mut s = syms();
         let f = s.intern("f");
-        let t = Term::Struct(
-            f,
-            vec![Term::Var("B".into()), Term::Var("A".into()), Term::Var("B".into())],
-        );
+        let t = Term::Struct(f, vec![Term::Var("B".into()), Term::Var("A".into()), Term::Var("B".into())]);
         let vars: Vec<_> = t.variables().into_iter().collect();
         assert_eq!(vars, vec!["A".to_string(), "B".to_string()]);
     }

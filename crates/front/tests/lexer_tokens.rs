@@ -1,0 +1,93 @@
+//! Lexer unit tests: every `TokenKind` variant is produced by the expected
+//! surface syntax, positions are tracked, and comments/layout are skipped.
+
+use pwam_front::lexer::{tokenize, Token, TokenKind};
+
+fn kinds(src: &str) -> Vec<TokenKind> {
+    tokenize(src).unwrap_or_else(|e| panic!("tokenize {src:?}: {e}")).into_iter().map(|t| t.kind).collect()
+}
+
+#[test]
+fn every_token_kind_is_covered() {
+    use TokenKind::*;
+    let toks = kinds("f(X, [1|T]) :- !, g.\n");
+    assert_eq!(
+        toks,
+        vec![
+            Atom("f".into()),
+            OpenCall,
+            Var("X".into()),
+            Comma,
+            OpenList,
+            Int(1),
+            Bar,
+            Var("T".into()),
+            CloseList,
+            Close,
+            Atom(":-".into()),
+            Cut,
+            Comma,
+            Atom("g".into()),
+            End,
+        ]
+    );
+    // Grouping `(` (after layout) lexes as Open, not OpenCall.
+    assert_eq!(kinds("a :- (b).")[2], Open);
+}
+
+#[test]
+fn atoms_identifier_quoted_and_symbolic() {
+    assert_eq!(kinds("foo.")[0], TokenKind::Atom("foo".into()));
+    assert_eq!(kinds("'hello world'.")[0], TokenKind::Atom("hello world".into()));
+    assert_eq!(kinds("X =< Y.")[1], TokenKind::Atom("=<".into()));
+    assert_eq!(kinds("a =.. L.")[1], TokenKind::Atom("=..".into()));
+    // A symbolic atom stops before a clause-terminating dot.
+    let toks = kinds("X = Y.");
+    assert_eq!(toks[1], TokenKind::Atom("=".into()));
+    assert_eq!(toks[3], TokenKind::End);
+}
+
+#[test]
+fn variables_and_integers() {
+    assert_eq!(kinds("X.")[0], TokenKind::Var("X".into()));
+    assert_eq!(kinds("_Acc.")[0], TokenKind::Var("_Acc".into()));
+    assert_eq!(kinds("42.")[0], TokenKind::Int(42));
+    let negative = kinds("X is -3.");
+    assert!(
+        negative.contains(&TokenKind::Int(-3))
+            || (negative.contains(&TokenKind::Atom("-".into())) && negative.contains(&TokenKind::Int(3))),
+        "got {negative:?}"
+    );
+}
+
+#[test]
+fn comments_and_layout_are_skipped() {
+    let toks = kinds("% line comment\nfoo. /* block\ncomment */ bar.");
+    assert_eq!(
+        toks,
+        vec![TokenKind::Atom("foo".into()), TokenKind::End, TokenKind::Atom("bar".into()), TokenKind::End,]
+    );
+}
+
+#[test]
+fn positions_are_one_based_lines_and_columns() {
+    let toks: Vec<Token> = tokenize("a.\n  b.").unwrap();
+    assert_eq!((toks[0].line, toks[0].column), (1, 1));
+    let b = toks.iter().find(|t| t.kind == TokenKind::Atom("b".into())).unwrap();
+    assert_eq!((b.line, b.column), (2, 3));
+}
+
+#[test]
+fn cge_annotation_tokens() {
+    // `( cond | g1 & g2 )` — the CGE surface syntax must tokenize; `&` is a
+    // symbolic atom, `|` is Bar.
+    let toks = kinds("p :- ( ground(X) | q(X) & r(X) ).");
+    assert!(toks.contains(&TokenKind::Bar));
+    assert!(toks.contains(&TokenKind::Atom("&".into())));
+    assert!(toks.contains(&TokenKind::Open));
+}
+
+#[test]
+fn unterminated_quote_is_an_error() {
+    assert!(tokenize("'oops.").is_err());
+}

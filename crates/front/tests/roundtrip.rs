@@ -18,7 +18,8 @@ fn arb_term() -> impl Strategy<Value = TermSpec> {
     ];
     leaf.prop_recursive(4, 32, 4, |inner| {
         prop_oneof![
-            (0u8..5, prop::collection::vec(inner.clone(), 1..4)).prop_map(|(f, args)| TermSpec::Struct(f, args)),
+            (0u8..5, prop::collection::vec(inner.clone(), 1..4))
+                .prop_map(|(f, args)| TermSpec::Struct(f, args)),
             prop::collection::vec(inner, 0..4).prop_map(TermSpec::List),
         ]
     })

@@ -21,10 +21,14 @@ fn main() {
     let result = session.run(&bench.query, &options).expect("deriv runs");
     let trace = result.trace.expect("trace collected");
 
-    println!("execution : {} instructions, {} references, {} goals run on another PE",
-             result.stats.instructions, result.stats.data_refs, result.stats.goals_actually_parallel);
-    println!("            global (shared) references: {:.1}%",
-             100.0 * result.stats.area_stats.global_fraction());
+    println!(
+        "execution : {} instructions, {} references, {} goals run on another PE",
+        result.stats.instructions, result.stats.data_refs, result.stats.goals_actually_parallel
+    );
+    println!(
+        "            global (shared) references: {:.1}%",
+        100.0 * result.stats.area_stats.global_fraction()
+    );
 
     // Sweep the three coherency schemes of the paper over the trace.
     println!("\ncache simulation (4-word lines, 8 PEs):");
@@ -32,11 +36,7 @@ fn main() {
     for size in [64u32, 128, 256, 512, 1024, 2048, 4096, 8192] {
         let mut row = format!("{size:>10}");
         for protocol in [Protocol::WriteInBroadcast, Protocol::Hybrid, Protocol::WriteThrough] {
-            let config = SimConfig {
-                cache: CacheConfig::paper_policy(size, protocol),
-                protocol,
-                num_pes: 8,
-            };
+            let config = SimConfig { cache: CacheConfig::paper_policy(size, protocol), protocol, num_pes: 8 };
             let tr = simulate(&config, &trace).traffic_ratio();
             row.push_str(&format!(" {tr:>12.3}"));
         }

@@ -28,8 +28,10 @@ fn main() {
         .collect();
     let results = run_sweep(&trace, &configs);
 
-    println!("{:>14} {:>10} {:>10} {:>12} {:>12} {:>12}",
-             "protocol", "traffic", "miss", "bus words", "invalidations", "updates");
+    println!(
+        "{:>14} {:>10} {:>10} {:>12} {:>12} {:>12}",
+        "protocol", "traffic", "miss", "bus words", "invalidations", "updates"
+    );
     for r in &results {
         println!(
             "{:>14} {:>10.3} {:>10.3} {:>12} {:>13} {:>12}",

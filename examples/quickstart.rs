@@ -24,19 +24,29 @@ fn main() {
     let seq = session.run("fib(17, F)", &QueryOptions::sequential()).expect("sequential run");
     let f = seq.outcome.binding("F").expect("F is bound");
     println!("sequential WAM : fib(17) = {}", session.render(f));
-    println!("                 {} instructions, {} data references",
-             seq.stats.instructions, seq.stats.data_refs);
+    println!(
+        "                 {} instructions, {} data references",
+        seq.stats.instructions, seq.stats.data_refs
+    );
 
     // 2. RAP-WAM on four processing elements.
     let par = session.run("fib(17, F)", &QueryOptions::parallel(4)).expect("parallel run");
     let f = par.outcome.binding("F").expect("F is bound");
     println!("RAP-WAM, 4 PEs : fib(17) = {}", session.render(f));
-    println!("                 {} instructions, {} data references", par.stats.instructions, par.stats.data_refs);
-    println!("                 {} parallel calls, {} goals executed by another PE",
-             par.stats.parcalls, par.stats.goals_actually_parallel);
-    println!("                 speed-up over WAM: {:.2}x (elapsed cycles {} -> {})",
-             seq.stats.elapsed_cycles as f64 / par.stats.elapsed_cycles as f64,
-             seq.stats.elapsed_cycles, par.stats.elapsed_cycles);
+    println!(
+        "                 {} instructions, {} data references",
+        par.stats.instructions, par.stats.data_refs
+    );
+    println!(
+        "                 {} parallel calls, {} goals executed by another PE",
+        par.stats.parcalls, par.stats.goals_actually_parallel
+    );
+    println!(
+        "                 speed-up over WAM: {:.2}x (elapsed cycles {} -> {})",
+        seq.stats.elapsed_cycles as f64 / par.stats.elapsed_cycles as f64,
+        seq.stats.elapsed_cycles,
+        par.stats.elapsed_cycles
+    );
 
     // 3. Where do the references go?  (Table 1 of the paper in action.)
     println!("\nreference breakdown on 4 PEs:");

@@ -1,10 +1,10 @@
 //! The experiment harness run end-to-end on small inputs: every table and
 //! figure entry point must produce data with the paper's qualitative shape.
 
+use pwam_suite::cachesim::Protocol;
 use pwam_suite::harness::experiments::{
     ablation_alloc, ablation_bus, figure2, figure4, mlips, table1, table2, table3, ExperimentScale,
 };
-use pwam_suite::cachesim::Protocol;
 
 const SCALE: ExperimentScale = ExperimentScale::Small;
 

@@ -87,7 +87,11 @@ fn write_update_broadcast_is_close_to_write_invalidate_broadcast() {
     let invalidate = simulate(&mk(Protocol::WriteInBroadcast), &trace).traffic_ratio();
     let update = simulate(&mk(Protocol::WriteThroughBroadcast), &trace).traffic_ratio();
     let diff = (invalidate - update).abs() / invalidate.max(1e-9);
-    assert!(diff < 0.15, "broadcast variants differ by {:.1}% (invalidate {invalidate}, update {update})", diff * 100.0);
+    assert!(
+        diff < 0.15,
+        "broadcast variants differ by {:.1}% (invalidate {invalidate}, update {update})",
+        diff * 100.0
+    );
 }
 
 #[test]

@@ -1,0 +1,194 @@
+//! Vendored offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, benchmark groups, `BenchmarkId`,
+//! `Throughput`, and `Bencher::iter` — backed by a simple wall-clock timer.
+//! It reports a mean time per iteration (and throughput when configured) but
+//! does no statistical analysis, warm-up tuning, or HTML reporting.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Cap on the measurement time spent per benchmark function, so a full
+/// `cargo bench` run of the stand-in stays quick.
+const TIME_BUDGET: Duration = Duration::from_millis(250);
+
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\nbenchmark group: {name}");
+        BenchmarkGroup { _criterion: self, name, sample_size: 10, throughput: None }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let group_name = String::new();
+        run_benchmark(&group_name, &id.into_benchmark_id(), 10, None, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&self.name, &id.into_benchmark_id(), self.sample_size, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(
+    group: &str,
+    id: &BenchmarkId,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher { iters: 0, elapsed: Duration::ZERO };
+    let deadline = Instant::now() + TIME_BUDGET;
+    let mut samples = 0usize;
+    while samples < sample_size && (samples == 0 || Instant::now() < deadline) {
+        f(&mut bencher);
+        samples += 1;
+    }
+    let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    if bencher.iters == 0 {
+        eprintln!("  {label}: no iterations recorded");
+        return;
+    }
+    let per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+    match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            let rate = n as f64 / (per_iter / 1e9);
+            eprintln!("  {label}: {per_iter:.0} ns/iter ({rate:.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            let rate = n as f64 / (per_iter / 1e9);
+            eprintln!("  {label}: {per_iter:.0} ns/iter ({rate:.0} B/s)");
+        }
+        _ => eprintln!("  {label}: {per_iter:.0} ns/iter"),
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        drop(hint::black_box(out));
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,45 @@
+//! `any::<T>()` for primitive types.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::Rng;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut Rng) -> Self;
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut Rng) -> Self {
+        rng.gen_bool()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {
+        $(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut Rng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);

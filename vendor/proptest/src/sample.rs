@@ -1,0 +1,23 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::Rng;
+
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+/// Uniformly selects one of the given options.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "sample::select needs at least one option");
+    Select { options }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        let index = rng.below(self.options.len() as u64) as usize;
+        self.options[index].clone()
+    }
+}

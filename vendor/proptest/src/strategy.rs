@@ -1,0 +1,208 @@
+//! Core strategy trait and combinators.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+use crate::test_runner::Rng;
+
+/// A generator of random values. Unlike real proptest there is no value
+/// tree and no shrinking: a strategy simply produces a value from an RNG.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    fn prop_map<U, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { strategy: self, map }
+    }
+
+    fn prop_filter<F>(self, reason: &'static str, filter: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { strategy: self, reason, filter }
+    }
+
+    /// Recursive structures: `depth` levels of `recurse` applied on top of
+    /// `self` as the leaf strategy. `desired_size` and `expected_branch_size`
+    /// are accepted for API compatibility but only guide nothing here — the
+    /// recursion depth alone bounds the generated structures.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let branch = recurse(current.clone()).boxed();
+            let leaf = leaf.clone();
+            // At every level, fall back to a leaf a quarter of the time so
+            // generated structures vary in depth, not only in breadth.
+            current = BoxedStrategy::from_fn(move |rng| {
+                if rng.below(4) == 0 {
+                    leaf.generate(rng)
+                } else {
+                    branch.generate(rng)
+                }
+            });
+        }
+        current
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut Rng| self.generate(rng)))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut Rng) -> T>);
+
+impl<T> BoxedStrategy<T> {
+    pub fn from_fn(generate: impl Fn(&mut Rng) -> T + 'static) -> Self {
+        BoxedStrategy(Rc::new(generate))
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut Rng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    strategy: S,
+    map: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut Rng) -> U {
+        (self.map)(self.strategy.generate(rng))
+    }
+}
+
+pub struct Filter<S, F> {
+    strategy: S,
+    reason: &'static str,
+    filter: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut Rng) -> S::Value {
+        for _ in 0..1000 {
+            let value = self.strategy.generate(rng);
+            if (self.filter)(&value) {
+                return value;
+            }
+        }
+        panic!("prop_filter `{}` rejected 1000 candidates in a row", self.reason);
+    }
+}
+
+/// Uniform choice between strategies, built by `prop_oneof!`.
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+        Union(options)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        let index = rng.below(self.0.len() as u64) as usize;
+        self.0[index].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut Rng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}

@@ -1,0 +1,196 @@
+//! Vendored offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! this minimal, API-compatible subset: a [`Serialize`] trait that lowers any
+//! value to a JSON-like [`value::Value`] tree, a [`Deserialize`] marker trait,
+//! and `#[derive(Serialize, Deserialize)]` macros (re-exported from the
+//! sibling `serde_derive` proc-macro crate) covering structs and enums with
+//! named, tuple, and unit shapes.
+//!
+//! Only the surface this repository actually uses is implemented; swap the
+//! `vendor/` path dependencies for the real crates once network access is
+//! available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+use std::collections::{BTreeMap, HashMap};
+
+use value::Value;
+
+/// A type that can lower itself to a [`Value`] tree.
+///
+/// The real serde drives a visitor; this stand-in materialises the tree
+/// directly, which is all `serde_json::to_string_pretty` needs.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait recording that a type opted into deserialization.
+///
+/// Nothing in this workspace deserializes yet, so the derive emits an empty
+/// impl; the trait exists so `#[derive(Deserialize)]` and trait bounds keep
+/// compiling unchanged.
+pub trait Deserialize: Sized {}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {
+        $(
+            impl Serialize for $t {
+                fn to_value(&self) -> Value {
+                    Value::Int(*self as i64)
+                }
+            }
+            impl Deserialize for $t {}
+        )*
+    };
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {
+        $(
+            impl Serialize for $t {
+                fn to_value(&self) -> Value {
+                    Value::UInt(*self as u64)
+                }
+            }
+            impl Deserialize for $t {}
+        )*
+    };
+}
+
+impl_serialize_int!(i8, i16, i32, i64, isize);
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+impl Deserialize for () {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {
+        $(
+            impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+                fn to_value(&self) -> Value {
+                    Value::Array(vec![$(self.$idx.to_value()),+])
+                }
+            }
+            impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {}
+        )*
+    };
+}
+
+impl_serialize_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect())
+    }
+}
+impl<K: ToString, V: Deserialize> Deserialize for BTreeMap<K, V> {}
+
+impl<K: ToString, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+impl<K: ToString, V: Deserialize> Deserialize for HashMap<K, V> {}

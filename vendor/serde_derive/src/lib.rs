@@ -1,0 +1,342 @@
+//! Vendored offline stand-in for `serde_derive`.
+//!
+//! `syn`/`quote` are unavailable without network access, so this crate parses
+//! the derive input token stream by hand. It supports the shapes the
+//! workspace actually derives on: unit/tuple/named structs and enums whose
+//! variants are unit, tuple, or struct-like (optionally with explicit
+//! discriminants). `#[serde(...)]` field attributes are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Shape::TupleStruct(arity) => tuple_struct_body(*arity),
+        Shape::NamedStruct(fields) => named_fields_body(fields, "self."),
+        Shape::Enum(variants) => enum_body(&item.name, variants),
+    };
+    format!(
+        "impl {decl} ::serde::Serialize for {name} {args} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}",
+        decl = item.generics_decl("::serde::Serialize"),
+        name = item.name,
+        args = item.generics_args(),
+        body = body,
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl does not parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!(
+        "impl {decl} ::serde::Deserialize for {name} {args} {{}}",
+        decl = item.generics_decl("::serde::Deserialize"),
+        name = item.name,
+        args = item.generics_args(),
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl does not parse")
+}
+
+fn tuple_struct_body(arity: usize) -> String {
+    match arity {
+        0 => "::serde::value::Value::Array(vec![])".to_string(),
+        // Newtype structs serialize transparently, as in real serde.
+        1 => "::serde::Serialize::to_value(&self.0)".to_string(),
+        n => {
+            let items: Vec<String> =
+                (0..n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+        }
+    }
+}
+
+fn named_fields_body(fields: &[String], prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&{prefix}{f}))"))
+        .collect();
+    format!("::serde::value::Value::Object(vec![{}])", entries.join(", "))
+}
+
+fn enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = Vec::new();
+    for v in variants {
+        let arm = match &v.shape {
+            VariantShape::Unit => {
+                format!("{name}::{v} => ::serde::value::Value::Str(\"{v}\".to_string()),", v = v.name)
+            }
+            VariantShape::Tuple(arity) => {
+                let binders: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                let inner = if *arity == 1 {
+                    "::serde::Serialize::to_value(__f0)".to_string()
+                } else {
+                    let items: Vec<String> =
+                        binders.iter().map(|b| format!("::serde::Serialize::to_value({b})")).collect();
+                    format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+                };
+                format!(
+                    "{name}::{v}({binders}) => ::serde::value::Value::Object(vec![(\"{v}\".to_string(), {inner})]),",
+                    v = v.name,
+                    binders = binders.join(", "),
+                )
+            }
+            VariantShape::Named(fields) => {
+                let inner = named_fields_body(fields, "");
+                format!(
+                    "{name}::{v} {{ {fields} }} => ::serde::value::Value::Object(vec![(\"{v}\".to_string(), {inner})]),",
+                    v = v.name,
+                    fields = fields.join(", "),
+                )
+            }
+        };
+        arms.push(arm);
+    }
+    format!("match self {{\n{}\n}}", arms.join("\n"))
+}
+
+struct Item {
+    name: String,
+    /// Bare generic parameter names, e.g. `["T"]` for `struct Foo<T>`.
+    generic_params: Vec<String>,
+    shape: Shape,
+}
+
+impl Item {
+    /// `impl<T: Bound>`-style generics text, empty when the item is not
+    /// generic. Used for both the impl parameter list and the type arguments
+    /// (parameter names match type arguments for the simple generics we
+    /// support).
+    fn generics_decl(&self, bound: &str) -> String {
+        if self.generic_params.is_empty() {
+            String::new()
+        } else {
+            let params: Vec<String> = self.generic_params.iter().map(|p| format!("{p}: {bound}")).collect();
+            format!("<{}>", params.join(", "))
+        }
+    }
+
+    /// Bare `<T>`-style type arguments matching [`Item::generics_decl`].
+    fn generics_args(&self) -> String {
+        if self.generic_params.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.generic_params.join(", "))
+        }
+    }
+}
+
+enum Shape {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    // Optional generics: collect bare parameter names, ignoring bounds.
+    let mut generic_params = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            let mut at_param_position = true;
+            for tok in tokens.by_ref() {
+                match &tok {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                        at_param_position = true;
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => {
+                        at_param_position = false;
+                    }
+                    TokenTree::Ident(id) if at_param_position => {
+                        generic_params.push(id.to_string());
+                        at_param_position = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_segments(g.stream()))
+            }
+            _ => Shape::UnitStruct,
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde_derive: unsupported item kind `{other}`"),
+    };
+    Item { name, generic_params, shape }
+}
+
+/// Field names of a named-field body: skips attributes and visibility, takes
+/// the identifier before each top-level `:`, then skips to the next comma.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        }
+        // Skip `: Type` up to the next top-level comma. Types contain no
+        // braces at field position, and `<...>` nesting carries no commas we
+        // would split on because we track angle depth.
+        let mut angle_depth = 0usize;
+        for tok in tokens.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' && angle_depth > 0 => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Number of top-level comma-separated segments (tuple struct / variant arity).
+fn count_top_level_segments(stream: TokenStream) -> usize {
+    let mut segments = 0usize;
+    let mut in_segment = false;
+    let mut angle_depth = 0usize;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && angle_depth > 0 => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => in_segment = false,
+            _ => {
+                if !in_segment {
+                    segments += 1;
+                    in_segment = true;
+                }
+            }
+        }
+    }
+    segments
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_segments(g.stream());
+                tokens.next();
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        for tok in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}

@@ -1,0 +1,34 @@
+//! Vendored offline stand-in for `serde_json`.
+//!
+//! Renders the [`serde::value::Value`] tree produced by the vendored `serde`
+//! stand-in as JSON text. Only serialization is implemented — nothing in the
+//! workspace parses JSON yet.
+
+use std::fmt;
+
+pub use serde::value::Value;
+
+/// Error type kept for signature compatibility; serialization into an
+/// in-memory string cannot fail in this stand-in.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json stand-in error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub fn to_value<T: serde::Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json())
+}
+
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_pretty())
+}
