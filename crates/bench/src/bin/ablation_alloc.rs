@@ -4,20 +4,16 @@
 //! however, miss ratio increases with no-write-allocate".  This binary
 //! reproduces that crossover on the deriv trace (8 PEs, write-in broadcast).
 //!
-//! Usage: `ablation_alloc [--scale small|paper|large] [--json]`
+//! Usage: `ablation_alloc [--scale small|paper|large] [--threads N] [--json]`
 
-use pwam_bench::experiments::{ablation_alloc, ExperimentScale};
+use pwam_bench::experiments::ablation_alloc;
 use pwam_bench::paper;
 use pwam_bench::table::{f3, TextTable};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let scale = args
-        .iter()
-        .position(|a| a == "--scale")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| ExperimentScale::parse(s))
-        .unwrap_or(ExperimentScale::Paper);
+    let scale = pwam_bench::cli::scale_arg(&args);
+    pwam_bench::cli::scheduler_args(&args);
 
     let points = ablation_alloc(scale, &paper::FIGURE4_CACHE_SIZES);
     println!("Allocate-policy ablation: deriv, 8 PEs, write-in broadcast (scale {scale:?})\n");

@@ -4,19 +4,15 @@
 //! queueing model: given the measured traffic ratio, how does shared-memory
 //! efficiency degrade as PEs are added, and where does the bus saturate?
 //!
-//! Usage: `ablation_bus [--scale small|paper|large] [--json]`
+//! Usage: `ablation_bus [--scale small|paper|large] [--threads N] [--json]`
 
-use pwam_bench::experiments::{ablation_bus, ExperimentScale};
+use pwam_bench::experiments::ablation_bus;
 use pwam_bench::table::{f2, TextTable};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let scale = args
-        .iter()
-        .position(|a| a == "--scale")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| ExperimentScale::parse(s))
-        .unwrap_or(ExperimentScale::Paper);
+    let scale = pwam_bench::cli::scale_arg(&args);
+    pwam_bench::cli::scheduler_args(&args);
 
     let pe_counts = [1usize, 2, 4, 8, 12, 16, 24, 32, 48, 64];
     let results = ablation_bus(scale, &pe_counts);

@@ -6,16 +6,16 @@
 //! the parallelism-management overhead stays small (~15% at 40 PEs even for
 //! this fine-granularity benchmark) while speed-up keeps growing.
 //!
-//! Usage: `figure2 [--scale small|paper|large] [--max-pes N] [--json]`
+//! Usage: `figure2 [--scale small|paper|large] [--max-pes N] [--threads N] [--json]`
 
-use pwam_bench::experiments::{figure2, ExperimentScale};
+use pwam_bench::cli::{arg_value, scale_arg, scheduler_args};
+use pwam_bench::experiments::figure2;
 use pwam_bench::table::{f2, TextTable};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let scale = arg_value(&args, "--scale")
-        .and_then(|s| ExperimentScale::parse(&s))
-        .unwrap_or(ExperimentScale::Paper);
+    let scale = scale_arg(&args);
+    scheduler_args(&args);
     let max_pes: usize = arg_value(&args, "--max-pes").and_then(|s| s.parse().ok()).unwrap_or(40);
 
     let pe_counts: Vec<usize> =
@@ -41,8 +41,4 @@ fn main() {
     if args.iter().any(|a| a == "--json") {
         println!("{}", serde_json::to_string_pretty(&fig).expect("serialise"));
     }
-}
-
-fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).cloned()
 }

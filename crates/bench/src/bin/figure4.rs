@@ -7,21 +7,17 @@
 //! benchmarks, using 4-word lines and the allocate policy the paper selected
 //! per size.
 //!
-//! Usage: `figure4 [--scale small|paper|large] [--all-protocols] [--json]`
+//! Usage: `figure4 [--scale small|paper|large] [--threads N] [--all-protocols] [--json]`
 
-use pwam_bench::experiments::{figure4, ExperimentScale};
+use pwam_bench::experiments::figure4;
 use pwam_bench::paper;
 use pwam_bench::table::{f3, TextTable};
 use pwam_cachesim::Protocol;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let scale = args
-        .iter()
-        .position(|a| a == "--scale")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| ExperimentScale::parse(s))
-        .unwrap_or(ExperimentScale::Paper);
+    let scale = pwam_bench::cli::scale_arg(&args);
+    pwam_bench::cli::scheduler_args(&args);
     let protocols: Vec<Protocol> = if args.iter().any(|a| a == "--all-protocols") {
         vec![
             Protocol::WriteInBroadcast,

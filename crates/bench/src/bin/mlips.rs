@@ -2,20 +2,16 @@
 //! shared-memory multiprocessor built from late-1980s parts reach 2 million
 //! application inferences per second?
 //!
-//! Usage: `mlips [--scale small|paper|large] [--json]`
+//! Usage: `mlips [--scale small|paper|large] [--threads N] [--json]`
 
-use pwam_bench::experiments::{mlips, ExperimentScale};
+use pwam_bench::experiments::mlips;
 use pwam_bench::paper::claims;
 use pwam_bench::table::{f2, TextTable};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let scale = args
-        .iter()
-        .position(|a| a == "--scale")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| ExperimentScale::parse(s))
-        .unwrap_or(ExperimentScale::Paper);
+    let scale = pwam_bench::cli::scale_arg(&args);
+    pwam_bench::cli::scheduler_args(&args);
 
     let m = mlips(scale);
     println!("Section 3.3 back-of-the-envelope (scale {scale:?})");

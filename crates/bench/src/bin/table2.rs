@@ -1,17 +1,17 @@
 //! Regenerate **Table 2** — "Statistics for the Benchmarks Used (8 processors)".
 //!
-//! Usage: `table2 [--scale small|paper|large] [--workers N] [--json]`
+//! Usage: `table2 [--scale small|paper|large] [--workers N] [--threads N] [--json]`
 
-use pwam_bench::experiments::{table2, ExperimentScale};
+use pwam_bench::cli::{arg_value, scale_arg, scheduler_args};
+use pwam_bench::experiments::table2;
 use pwam_bench::paper;
 use pwam_bench::table::{f2, TextTable};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let scale = arg_value(&args, "--scale")
-        .and_then(|s| ExperimentScale::parse(&s))
-        .unwrap_or(ExperimentScale::Paper);
-    let workers: usize = arg_value(&args, "--workers").and_then(|s| s.parse().ok()).unwrap_or(8);
+    let scale = scale_arg(&args);
+    let threads = scheduler_args(&args);
+    let workers: usize = arg_value(&args, "--workers").and_then(|s| s.parse().ok()).or(threads).unwrap_or(8);
 
     let result = table2(scale, workers);
     let mut t = TextTable::new(vec!["Parameter", "deriv", "tak", "qsort", "matrix"]);
@@ -68,8 +68,4 @@ fn main() {
     if args.iter().any(|a| a == "--json") {
         println!("{}", serde_json::to_string_pretty(&result).expect("serialise"));
     }
-}
-
-fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).cloned()
 }

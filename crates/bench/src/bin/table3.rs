@@ -6,20 +6,16 @@
 //! are not available; the constants come straight from the paper — see
 //! DESIGN.md's substitution notes).
 //!
-//! Usage: `table3 [--scale small|paper|large] [--json]`
+//! Usage: `table3 [--scale small|paper|large] [--threads N] [--json]`
 
-use pwam_bench::experiments::{table3, ExperimentScale};
+use pwam_bench::experiments::table3;
 use pwam_bench::paper;
 use pwam_bench::table::{f2, f3, TextTable};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let scale = args
-        .iter()
-        .position(|a| a == "--scale")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| ExperimentScale::parse(s))
-        .unwrap_or(ExperimentScale::Paper);
+    let scale = pwam_bench::cli::scale_arg(&args);
+    pwam_bench::cli::scheduler_args(&args);
 
     let rows = table3(scale);
     println!("Table 3: Fit of Small Benchmarks to Large Benchmarks (scale {scale:?})");

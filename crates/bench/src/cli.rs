@@ -1,0 +1,84 @@
+//! Shared command-line parsing for the experiment binaries.
+//!
+//! Every binary accepts, in addition to its own flags:
+//!
+//! * `--scale small|paper|large` — input scale (default `paper`),
+//! * `--threads N` — run every engine execution on the Threaded scheduler
+//!   (one OS thread per PE).  `N` overrides the worker count only in
+//!   binaries with a single worker knob (`table2`); the figure-style
+//!   binaries sweep their own fixed PE counts and use the flag purely as a
+//!   backend selector,
+//! * `--scheduler interleaved|threaded` — pick the execution backend
+//!   explicitly (the `PWAM_SCHEDULER` environment variable is the fallback).
+
+use crate::experiments::{set_scheduler, ExperimentScale};
+use rapwam::SchedulerKind;
+
+/// The value following `key` in `args`, if present.
+pub fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Parse `--scale` (default [`ExperimentScale::Paper`]).
+pub fn scale_arg(args: &[String]) -> ExperimentScale {
+    arg_value(args, "--scale").and_then(|s| ExperimentScale::parse(&s)).unwrap_or(ExperimentScale::Paper)
+}
+
+/// Handle `--threads N` and `--scheduler NAME`: selects the process-wide
+/// execution backend for every engine run, and returns the worker-count
+/// override requested by `--threads` (if any).  Callers whose experiment
+/// has a configurable worker count should honour the returned override;
+/// fixed-PE experiments ignore it by design.
+///
+/// Invalid values are usage errors (exit code 2), not silent fallbacks: a
+/// typo must not let a run claim a backend it never used.
+pub fn scheduler_args(args: &[String]) -> Option<usize> {
+    let explicit = arg_value(args, "--scheduler").map(|name| match SchedulerKind::parse(&name) {
+        Some(kind) => kind,
+        None => usage_error(&format!("--scheduler {name} (expected interleaved or threaded)")),
+    });
+    let threads = arg_value(args, "--threads").map(|s| match s.parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => usage_error(&format!("--threads {s} (expected a worker count >= 1)")),
+    });
+    if threads.is_some() && explicit == Some(SchedulerKind::Interleaved) {
+        usage_error("--threads together with --scheduler interleaved (pick one backend)");
+    }
+    if let Some(kind) = explicit {
+        set_scheduler(kind);
+    }
+    if threads.is_some() {
+        set_scheduler(SchedulerKind::Threaded);
+    }
+    threads
+}
+
+fn usage_error(what: &str) -> ! {
+    eprintln!("invalid argument: {what}");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn arg_value_finds_pairs() {
+        let a = args(&["bin", "--scale", "small", "--json"]);
+        assert_eq!(arg_value(&a, "--scale").as_deref(), Some("small"));
+        assert_eq!(arg_value(&a, "--workers"), None);
+        assert_eq!(scale_arg(&a), ExperimentScale::Small);
+    }
+
+    #[test]
+    fn threads_flag_parses() {
+        let a = args(&["bin", "--threads", "4"]);
+        // Only checks the parse here; the process-wide scheduler choice is
+        // first-wins and other tests may have already made it.
+        assert_eq!(arg_value(&a, "--threads").and_then(|s| s.parse::<usize>().ok()), Some(4));
+    }
+}

@@ -8,9 +8,31 @@ use crate::paper;
 use pwam_benchmarks::{benchmark, Benchmark, BenchmarkId, Scale};
 use pwam_cachesim::{run_sweep, simulate, BusModel, BusModelResult, CacheConfig, Protocol, SimConfig};
 use rapwam::session::{QueryOptions, Session};
-use rapwam::{MemRef, MemoryConfig, ObjectKind, RunResult};
+use rapwam::{MemRef, MemoryConfig, ObjectKind, RunResult, SchedulerKind};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Process-wide scheduler selection for every engine run the experiments
+/// perform.  Binaries set it from `--threads` / `--scheduler`; when unset,
+/// the `PWAM_SCHEDULER` environment variable decides, defaulting to the
+/// reference interleaved backend.  Both backends produce identical answers
+/// and reference counts (pinned by the differential tests), so every table
+/// and figure is scheduler-independent.
+static SCHEDULER: OnceLock<SchedulerKind> = OnceLock::new();
+
+/// Select the execution backend for subsequent experiment runs.  Returns
+/// `false` if a backend was already chosen (first choice wins).
+pub fn set_scheduler(kind: SchedulerKind) -> bool {
+    SCHEDULER.set(kind).is_ok()
+}
+
+/// The execution backend experiments run on.
+pub fn scheduler() -> SchedulerKind {
+    *SCHEDULER.get_or_init(|| {
+        std::env::var("PWAM_SCHEDULER").ok().and_then(|s| SchedulerKind::parse(&s)).unwrap_or_default()
+    })
+}
 
 /// Input scale for the experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -59,7 +81,14 @@ pub fn experiment_memory() -> MemoryConfig {
 }
 
 fn options(workers: usize, parallel: bool, trace: bool) -> QueryOptions {
-    QueryOptions { parallel, workers, trace, memory: experiment_memory(), max_steps: 2_000_000_000 }
+    QueryOptions {
+        parallel,
+        workers,
+        trace,
+        memory: experiment_memory(),
+        max_steps: 2_000_000_000,
+        scheduler: scheduler(),
+    }
 }
 
 /// Run one benchmark and return the engine result.

@@ -19,6 +19,7 @@
 //! print a human-readable table (with the paper's published values alongside
 //! where applicable) and optionally write the raw JSON next to it.
 
+pub mod cli;
 pub mod experiments;
 pub mod paper;
 pub mod table;

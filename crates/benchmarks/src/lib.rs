@@ -13,30 +13,42 @@
 //! same order of magnitude as the paper's Table 2 (tens of thousands to a
 //! few hundred thousand references); `Scale::Small` gives quick inputs for
 //! unit tests.
+//!
+//! Beyond the paper's four programs the registry also carries `boyer`, a
+//! Boyer-Moore-style tautology prover (a ROADMAP addition): [`ALL`] stays
+//! the paper's suite so every table/figure reproduction is unchanged, while
+//! [`BenchmarkId::EXTENDED`] / [`extended_benchmarks`] include the extras.
 
+pub mod boyer;
 pub mod deriv;
 pub mod matrix;
 pub mod qsort;
 pub mod runner;
 pub mod tak;
 
-pub use runner::{run_benchmark, validate, RunSummary, Validation};
+pub use runner::{run_benchmark, run_benchmark_with_session, validate, RunSummary, Validation};
 
 use serde::{Deserialize, Serialize};
 
-/// Which of the paper's four benchmarks.
+/// A benchmark of the registry: the paper's four plus later additions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum BenchmarkId {
     Deriv,
     Tak,
     Qsort,
     Matrix,
+    Boyer,
 }
 
 impl BenchmarkId {
-    /// All four benchmarks, in the paper's order.
+    /// The paper's four benchmarks, in the paper's order (the suite every
+    /// table and figure reproduction runs on).
     pub const ALL: [BenchmarkId; 4] =
         [BenchmarkId::Deriv, BenchmarkId::Tak, BenchmarkId::Qsort, BenchmarkId::Matrix];
+
+    /// The paper's suite plus the registry additions.
+    pub const EXTENDED: [BenchmarkId; 5] =
+        [BenchmarkId::Deriv, BenchmarkId::Tak, BenchmarkId::Qsort, BenchmarkId::Matrix, BenchmarkId::Boyer];
 
     /// The name used in the paper's tables.
     pub fn name(self) -> &'static str {
@@ -45,6 +57,7 @@ impl BenchmarkId {
             BenchmarkId::Tak => "tak",
             BenchmarkId::Qsort => "qsort",
             BenchmarkId::Matrix => "matrix",
+            BenchmarkId::Boyer => "boyer",
         }
     }
 }
@@ -80,12 +93,18 @@ pub fn benchmark(id: BenchmarkId, scale: Scale) -> Benchmark {
         BenchmarkId::Tak => tak::build(scale),
         BenchmarkId::Qsort => qsort::build(scale),
         BenchmarkId::Matrix => matrix::build(scale),
+        BenchmarkId::Boyer => boyer::build(scale),
     }
 }
 
-/// All four benchmarks at one scale.
+/// The paper's four benchmarks at one scale.
 pub fn all_benchmarks(scale: Scale) -> Vec<Benchmark> {
     BenchmarkId::ALL.iter().map(|&id| benchmark(id, scale)).collect()
+}
+
+/// The extended registry (paper suite plus additions) at one scale.
+pub fn extended_benchmarks(scale: Scale) -> Vec<Benchmark> {
+    BenchmarkId::EXTENDED.iter().map(|&id| benchmark(id, scale)).collect()
 }
 
 #[cfg(test)]
@@ -99,6 +118,12 @@ mod tests {
     }
 
     #[test]
+    fn extended_registry_adds_boyer() {
+        let names: Vec<_> = BenchmarkId::EXTENDED.iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["deriv", "tak", "qsort", "matrix", "boyer"]);
+    }
+
+    #[test]
     fn all_benchmarks_build_at_every_scale() {
         for scale in [Scale::Small, Scale::Paper, Scale::Large] {
             let benches = all_benchmarks(scale);
@@ -107,6 +132,7 @@ mod tests {
                 assert!(!b.program.is_empty());
                 assert!(!b.query.is_empty());
             }
+            assert_eq!(extended_benchmarks(scale).len(), 5);
         }
     }
 }

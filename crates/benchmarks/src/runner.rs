@@ -14,6 +14,8 @@ pub enum Validation {
     /// The named query variable must be bound to this matrix (list of lists
     /// of integers).
     EqualsMatrix { variable: String, expected: Vec<Vec<i64>> },
+    /// The named query variable must render to this atom.
+    EqualsAtom { variable: String, expected: String },
     /// The named variable's rendered value must equal the one produced by a
     /// sequential (WAM) run of the same benchmark.
     MatchesSequential { variable: String },
@@ -97,6 +99,14 @@ pub fn validate(bench: &Benchmark, session: &Session, result: &RunResult) -> Res
                 Ok(())
             } else {
                 Err(format!("{}: expected {variable} = {want}, got {got}", bench.id.name()))
+            }
+        }
+        Validation::EqualsAtom { variable, expected } => {
+            let got = lookup(variable)?;
+            if &got == expected {
+                Ok(())
+            } else {
+                Err(format!("{}: expected {variable} = {expected}, got {got}", bench.id.name()))
             }
         }
         Validation::MatchesSequential { variable } => {

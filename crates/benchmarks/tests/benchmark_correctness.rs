@@ -1,10 +1,11 @@
-//! Correctness of the four ICPP'88 benchmarks in every execution mode.
+//! Correctness of the benchmark registry (the paper's four programs plus
+//! `boyer`) in every execution mode.
 //!
 //! Each benchmark (at `Scale::Small`) must produce the correct answer
 //! sequentially (WAM) and in parallel (RAP-WAM) on several PE counts, and
 //! the parallel run must actually use the parallel machinery.
 
-use pwam_benchmarks::{all_benchmarks, benchmark, runner, BenchmarkId, Scale};
+use pwam_benchmarks::{benchmark, extended_benchmarks, runner, BenchmarkId, Scale};
 use rapwam::session::QueryOptions;
 
 fn check(id: BenchmarkId, options: &QueryOptions) {
@@ -16,35 +17,35 @@ fn check(id: BenchmarkId, options: &QueryOptions) {
 
 #[test]
 fn all_benchmarks_are_correct_sequentially() {
-    for id in BenchmarkId::ALL {
+    for id in BenchmarkId::EXTENDED {
         check(id, &QueryOptions::sequential());
     }
 }
 
 #[test]
 fn all_benchmarks_are_correct_on_one_parallel_worker() {
-    for id in BenchmarkId::ALL {
+    for id in BenchmarkId::EXTENDED {
         check(id, &QueryOptions::parallel(1));
     }
 }
 
 #[test]
 fn all_benchmarks_are_correct_on_four_workers() {
-    for id in BenchmarkId::ALL {
+    for id in BenchmarkId::EXTENDED {
         check(id, &QueryOptions::parallel(4));
     }
 }
 
 #[test]
 fn all_benchmarks_are_correct_on_eight_workers() {
-    for id in BenchmarkId::ALL {
+    for id in BenchmarkId::EXTENDED {
         check(id, &QueryOptions::parallel(8));
     }
 }
 
 #[test]
 fn parallel_runs_exercise_the_parallel_machinery() {
-    for id in BenchmarkId::ALL {
+    for id in BenchmarkId::EXTENDED {
         let b = benchmark(id, Scale::Small);
         let summary = runner::run_benchmark(&b, &QueryOptions::parallel(4)).unwrap();
         assert!(summary.result.stats.parcalls > 0, "{} did not execute any parallel call", id.name());
@@ -58,7 +59,7 @@ fn parallel_runs_exercise_the_parallel_machinery() {
 
 #[test]
 fn reference_counts_are_plausible_for_every_benchmark() {
-    for b in all_benchmarks(Scale::Small) {
+    for b in extended_benchmarks(Scale::Small) {
         let summary = runner::run_benchmark(&b, &QueryOptions::sequential()).unwrap();
         let stats = &summary.result.stats;
         let rpi = stats.refs_per_instruction();
@@ -72,7 +73,7 @@ fn parallel_work_matches_sequential_work_within_overhead_bounds() {
     // The RAP-WAM on one PE should perform the sequential work plus a modest
     // parallelism-management overhead (the paper reports ~15% for deriv,
     // which is its fine-granularity worst case).
-    for id in BenchmarkId::ALL {
+    for id in BenchmarkId::EXTENDED {
         let b = benchmark(id, Scale::Small);
         let seq = runner::run_benchmark(&b, &QueryOptions::sequential()).unwrap();
         let par = runner::run_benchmark(&b, &QueryOptions::parallel(1)).unwrap();
@@ -84,11 +85,30 @@ fn parallel_work_matches_sequential_work_within_overhead_bounds() {
 
 #[test]
 fn trace_collection_works_for_all_benchmarks() {
-    for id in BenchmarkId::ALL {
+    for id in BenchmarkId::EXTENDED {
         let b = benchmark(id, Scale::Small);
         let opts = QueryOptions::parallel(2).with_trace();
         let summary = runner::run_benchmark(&b, &opts).unwrap();
         let trace = summary.result.trace.expect("trace requested");
         assert_eq!(trace.len() as u64, summary.result.stats.data_refs);
     }
+}
+
+#[test]
+fn boyer_is_correct_on_the_threaded_scheduler() {
+    let b = benchmark(BenchmarkId::Boyer, Scale::Small);
+    let (session, result) = runner::run_benchmark_with_session(&b, &QueryOptions::threaded(4)).unwrap();
+    runner::validate(&b, &session, &result).unwrap();
+    assert!(result.stats.goals_actually_parallel > 0, "boyer never had a goal stolen");
+}
+
+#[test]
+fn boyer_rejects_a_non_theorem() {
+    // Conjoin the theorem with a fresh variable v(9): and(F, v(9)) is
+    // falsifiable (set v(9) to false), so the prover must answer `no`.
+    let mut b = benchmark(BenchmarkId::Boyer, Scale::Small);
+    b.query = "gen(4, F), rw(and(F, v(9)), W), norm(W, V), decide(V, R)".to_string();
+    b.validation = runner::Validation::EqualsAtom { variable: "R".to_string(), expected: "no".to_string() };
+    let (session, result) = runner::run_benchmark_with_session(&b, &QueryOptions::parallel(2)).unwrap();
+    runner::validate(&b, &session, &result).unwrap();
 }

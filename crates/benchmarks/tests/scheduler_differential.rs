@@ -1,0 +1,162 @@
+//! Differential tests between the Interleaved and Threaded schedulers, plus
+//! golden fingerprints pinning the merged per-PE trace to the flat-memory
+//! trace of the pre-sharding engine.
+//!
+//! The Threaded backend runs one OS thread per PE over a token ring; the
+//! contract is that it produces *identical* answers, per-area/per-object
+//! reference counts, and merged traces as the reference Interleaved
+//! backend, on the paper's whole suite (deriv, tak, qsort, matrix).
+//!
+//! The worker count defaults to 4 and can be overridden with the
+//! `PWAM_THREADS` environment variable (CI exercises exactly that knob).
+
+use pwam_benchmarks::{benchmark, run_benchmark_with_session, validate, BenchmarkId, Scale};
+use rapwam::session::QueryOptions;
+use rapwam::{Area, MemRef, ObjectKind, SchedulerKind};
+
+/// Worker count for the differential runs (`PWAM_THREADS`, default 4).
+fn threads() -> usize {
+    std::env::var("PWAM_THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(4)
+}
+
+fn opts(scheduler: SchedulerKind) -> QueryOptions {
+    QueryOptions { trace: true, ..QueryOptions::parallel(threads()).with_scheduler(scheduler) }
+}
+
+/// FNV-1a over every field of every reference, in trace order.
+fn fingerprint(trace: &[MemRef]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for r in trace {
+        mix(r.pe);
+        for b in r.addr.to_le_bytes() {
+            mix(b);
+        }
+        mix(r.write as u8);
+        mix(r.area.index() as u8);
+        mix(ObjectKind::ALL.iter().position(|o| *o == r.object).unwrap() as u8);
+        mix(matches!(r.locality, rapwam::Locality::Global) as u8);
+        mix(r.locked as u8);
+    }
+    h
+}
+
+#[test]
+fn interleaved_trace_matches_pre_sharding_goldens() {
+    // (benchmark, workers, trace length, fingerprint).  The traces were
+    // proven reference-for-reference identical to the pre-sharding engine's
+    // flat-memory traces (same lengths and same FNV over every field) when
+    // the arenas landed; these fingerprints freeze that trace so any later
+    // drift in the sharded memory, the seq-keyed merge, or the reference
+    // tagging fails this test.
+    let goldens: [(BenchmarkId, usize, usize, u64); 6] = [
+        (BenchmarkId::Deriv, 1, 1658, 0x0b785ee9e1912034),
+        (BenchmarkId::Deriv, 2, 1698, 0x92713caa59020f1b),
+        (BenchmarkId::Deriv, 4, 1792, 0xb54e074126846eda),
+        (BenchmarkId::Qsort, 1, 7094, 0xa56227b239a6d077),
+        (BenchmarkId::Qsort, 2, 7202, 0x0ef1bb8e08957033),
+        (BenchmarkId::Qsort, 4, 7640, 0x22fe74fb11053db3),
+    ];
+    for (id, workers, len, fp) in goldens {
+        let b = benchmark(id, Scale::Small);
+        let o = QueryOptions { trace: true, ..QueryOptions::parallel(workers) };
+        let (_, r) = run_benchmark_with_session(&b, &o).unwrap();
+        let t = r.trace.expect("trace requested");
+        assert_eq!(t.len(), len, "{} workers={workers}: trace length drifted", id.name());
+        assert_eq!(
+            fingerprint(&t),
+            fp,
+            "{} workers={workers}: merged per-PE trace is not byte-identical to the flat-memory trace",
+            id.name()
+        );
+    }
+}
+
+#[test]
+fn schedulers_agree_on_the_paper_suite() {
+    for id in BenchmarkId::ALL {
+        let b = benchmark(id, Scale::Small);
+        let (si, ri) = run_benchmark_with_session(&b, &opts(SchedulerKind::Interleaved)).unwrap();
+        let (st, rt) = run_benchmark_with_session(&b, &opts(SchedulerKind::Threaded)).unwrap();
+
+        // Both backends must produce the benchmark's correct answer…
+        validate(&b, &si, &ri).unwrap();
+        validate(&b, &st, &rt).unwrap();
+        // …and the *same* rendered answer set.
+        let render = |s: &rapwam::Session, r: &rapwam::RunResult| -> Vec<(String, String)> {
+            match &r.outcome {
+                rapwam::Outcome::Success(bind) => {
+                    bind.iter().map(|(n, t)| (n.clone(), s.render(t))).collect()
+                }
+                rapwam::Outcome::Failure => panic!("{} failed", id.name()),
+            }
+        };
+        assert_eq!(render(&si, &ri), render(&st, &rt), "{}: answers differ", id.name());
+
+        // Identical aggregate counts.
+        assert_eq!(ri.stats.instructions, rt.stats.instructions, "{}: instructions", id.name());
+        assert_eq!(ri.stats.data_refs, rt.stats.data_refs, "{}: total refs", id.name());
+        assert_eq!(ri.stats.reads, rt.stats.reads, "{}: reads", id.name());
+        assert_eq!(ri.stats.writes, rt.stats.writes, "{}: writes", id.name());
+        assert_eq!(ri.stats.elapsed_cycles, rt.stats.elapsed_cycles, "{}: cycles", id.name());
+        assert_eq!(
+            ri.stats.goals_actually_parallel,
+            rt.stats.goals_actually_parallel,
+            "{}: goals in parallel",
+            id.name()
+        );
+
+        // Identical per-area and per-object read/write counts.
+        for area in Area::ALL {
+            assert_eq!(
+                ri.stats.area_stats.area(area),
+                rt.stats.area_stats.area(area),
+                "{}: {} counts differ",
+                id.name(),
+                area.name()
+            );
+        }
+        for object in ObjectKind::ALL {
+            assert_eq!(
+                ri.stats.area_stats.object(object),
+                rt.stats.area_stats.object(object),
+                "{}: {} counts differ",
+                id.name(),
+                object.name()
+            );
+        }
+
+        // Identical merged traces, reference for reference.
+        let ti = ri.trace.expect("interleaved trace");
+        let tt = rt.trace.expect("threaded trace");
+        assert_eq!(ti.len(), tt.len(), "{}: trace lengths differ", id.name());
+        assert_eq!(fingerprint(&ti), fingerprint(&tt), "{}: traces differ", id.name());
+
+        // The Threaded backend must have delivered one steal notice per
+        // stolen goal over its channels.
+        let stolen: u64 = rt.stats.workers.iter().map(|w| w.goals_stolen).sum();
+        let notices: u64 = rt.stats.workers.iter().map(|w| w.steal_notices).sum();
+        assert_eq!(stolen, rt.stats.goals_actually_parallel, "{}: steal accounting", id.name());
+        assert_eq!(notices, stolen, "{}: lost steal notices", id.name());
+    }
+}
+
+#[test]
+fn threaded_backend_handles_failing_queries() {
+    use rapwam::session::Session;
+    let mut s = Session::new("p :- (q & r).\nq.\nr :- fail.").unwrap();
+    let r = s.run("p", &QueryOptions::threaded(threads())).unwrap();
+    assert_eq!(r.outcome, rapwam::Outcome::Failure);
+}
+
+#[test]
+fn threaded_backend_reports_engine_errors() {
+    use rapwam::session::Session;
+    let mut s = Session::new("loop :- loop.").unwrap();
+    let o = QueryOptions { max_steps: 10_000, ..QueryOptions::threaded(threads()) };
+    let err = s.run("loop", &o).unwrap_err();
+    assert!(err.to_string().contains("step limit"), "unexpected error: {err}");
+}

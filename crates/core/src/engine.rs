@@ -5,7 +5,9 @@
 //! scheduling cycle by default, which makes runs deterministic and
 //! reproducible — the same methodology as the paper's emulator, which also
 //! interleaved abstract machines in software rather than running on raw
-//! hardware.
+//! hardware.  The stepping loop itself lives behind the
+//! [`crate::sched::Scheduler`] trait (round/slot SPI below); the engine
+//! only defines what one worker does with one slot.
 //!
 //! Scheduling is *on demand*: `pcall_goal` pushes Goal Frames onto the
 //! issuing worker's Goal Stack, and both the waiting parent and any idle
@@ -18,8 +20,9 @@ use crate::answer::extract_binding;
 use crate::cell::{Cell, NONE_ADDR};
 use crate::error::{EngineError, EngineResult};
 use crate::frames::{choice, env, goal_frame, marker, message, parcall};
-use crate::layout::{Area, MemoryConfig, ObjectKind};
+use crate::layout::{board, Area, MemoryConfig, ObjectKind};
 use crate::mem::Memory;
+use crate::sched::{scheduler_for, SchedulerKind};
 use crate::stats::{RunStats, WorkerStats};
 use crate::trace::MemRef;
 use crate::worker::{GoalContext, Resume, Worker, WorkerStatus};
@@ -42,6 +45,8 @@ pub struct EngineConfig {
     pub quantum: u32,
     /// Number of X registers per worker.
     pub num_x_regs: usize,
+    /// Which execution backend steps the workers.
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for EngineConfig {
@@ -53,6 +58,7 @@ impl Default for EngineConfig {
             max_steps: 2_000_000_000,
             quantum: 1,
             num_x_regs: pwam_compiler::MAX_X_REGS,
+            scheduler: SchedulerKind::Interleaved,
         }
     }
 }
@@ -97,14 +103,25 @@ pub struct RunResult {
     pub trace: Option<Vec<MemRef>>,
 }
 
+/// One goal stolen from another worker's Goal Stack, as observed by the
+/// scheduler.  The [`crate::sched::Threaded`] backend turns these into
+/// cross-thread messages; the reference backend delivers them in place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealEvent {
+    /// Worker that took the goal.
+    pub thief: usize,
+    /// Worker whose Goal Stack the frame came from.
+    pub victim: usize,
+    /// Address of the stolen Goal Frame.
+    pub frame: u32,
+}
+
 /// The abstract-machine engine.
 pub struct Engine<'p> {
     pub program: &'p CompiledProgram,
     pub config: EngineConfig,
     pub mem: Memory,
     pub workers: Vec<Worker>,
-    /// `Some(env_addr)` once `halt` executed successfully.
-    answer_env: Option<(usize, u32)>,
     /// `Some(true)` = success, `Some(false)` = failure.
     finished: Option<bool>,
     steps: u64,
@@ -114,6 +131,8 @@ pub struct Engine<'p> {
     pub(crate) goals_actually_parallel: u64,
     pub(crate) inferences: u64,
     steal_cursor: usize,
+    /// Steals performed since the scheduler last drained them.
+    steal_log: Vec<StealEvent>,
 }
 
 impl<'p> Engine<'p> {
@@ -132,7 +151,6 @@ impl<'p> Engine<'p> {
             config,
             mem,
             workers,
-            answer_env: None,
             finished: None,
             steps: 0,
             cycles: 0,
@@ -141,17 +159,22 @@ impl<'p> Engine<'p> {
             goals_actually_parallel: 0,
             inferences: 0,
             steal_cursor: 0,
+            steal_log: Vec::new(),
         }
     }
 
-    /// Run the query to completion and collect results.
-    pub fn run(mut self, syms: &SymbolTable) -> EngineResult<RunResult> {
-        while self.finished.is_none() {
-            self.step_round()?;
-            if self.steps > self.config.max_steps {
-                return Err(EngineError::StepLimitExceeded { limit: self.config.max_steps });
-            }
-        }
+    /// Run the query to completion on the configured scheduler backend and
+    /// collect results.
+    pub fn run(self, syms: &SymbolTable) -> EngineResult<RunResult> {
+        let scheduler = scheduler_for(self.config.scheduler);
+        let engine = scheduler.drive(self)?;
+        engine.into_result(syms)
+    }
+
+    /// Turn a finished engine into a [`RunResult`] (answers, statistics and
+    /// the merged trace).
+    pub fn into_result(mut self, syms: &SymbolTable) -> EngineResult<RunResult> {
+        debug_assert!(self.finished.is_some(), "into_result on an unfinished engine");
         let outcome = if self.finished == Some(true) {
             let bindings = self.extract_answer(syms)?;
             Outcome::Success(bindings)
@@ -163,54 +186,198 @@ impl<'p> Engine<'p> {
         Ok(RunResult { outcome, stats, trace })
     }
 
-    /// One scheduling round: every worker gets `quantum` slots.
-    fn step_round(&mut self) -> EngineResult<()> {
+    // -----------------------------------------------------------------
+    // Scheduler SPI
+    //
+    // The stepping loop is owned by a `Scheduler` backend (see `sched`).
+    // A round gives every worker `quantum` slots:
+    //
+    //     engine.begin_round();
+    //     let mut progress = false;
+    //     for w in 0..n { progress |= engine.step_slot(w)?; }
+    //     engine.end_round(progress)?;
+    //
+    // repeated until `finished()` reports an outcome.
+    // -----------------------------------------------------------------
+
+    /// `Some(true)` once the query succeeded, `Some(false)` once it failed.
+    pub fn finished(&self) -> Option<bool> {
+        self.finished
+    }
+
+    /// Number of workers (PEs) in this engine.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Start a scheduling round.
+    pub fn begin_round(&mut self) {
         self.cycles += 1;
-        let mut any_progress = false;
-        for w in 0..self.workers.len() {
-            if self.finished.is_some() {
-                break;
+    }
+
+    /// Give worker `w` its slot of the current round (`quantum` instructions,
+    /// or one scheduling action when it is idle/waiting).  Returns `true` if
+    /// the worker made progress.  A no-op once the query has finished.
+    pub fn step_slot(&mut self, w: usize) -> EngineResult<bool> {
+        if self.finished.is_some() {
+            return Ok(false);
+        }
+        match self.workers[w].status {
+            WorkerStatus::Stopped => Ok(false),
+            WorkerStatus::Running => {
+                for _ in 0..self.config.quantum {
+                    if self.workers[w].status != WorkerStatus::Running || self.finished.is_some() {
+                        break;
+                    }
+                    self.steps += 1;
+                    self.workers[w].instructions += 1;
+                    self.exec_instr(w)?;
+                }
+                Ok(true)
             }
-            match self.workers[w].status {
-                WorkerStatus::Stopped => {}
-                WorkerStatus::Running => {
-                    any_progress = true;
-                    for _ in 0..self.config.quantum {
-                        if self.workers[w].status != WorkerStatus::Running || self.finished.is_some() {
-                            break;
-                        }
-                        self.steps += 1;
-                        self.workers[w].instructions += 1;
-                        self.exec_instr(w)?;
-                    }
-                }
-                WorkerStatus::Idle => {
-                    self.workers[w].idle_cycles += 1;
-                    if self.try_dispatch_work(w, Resume::Idle)? {
-                        any_progress = true;
-                    }
-                }
-                WorkerStatus::WaitingAtPcall { addr, pf } => {
-                    self.workers[w].idle_cycles += 1;
-                    // Shadow check: has the Parcall Frame completed?  The
-                    // actual (traced) reads happen when the worker re-executes
-                    // the pcall_wait instruction.
-                    let n = self.mem.read_untraced(pf + parcall::NGOALS).expect_uint("pcall ngoals");
-                    let done = self.mem.read_untraced(pf + parcall::COMPLETED).expect_uint("pcall completed");
-                    if done >= n {
-                        self.workers[w].p = addr;
-                        self.workers[w].status = WorkerStatus::Running;
-                        any_progress = true;
-                    } else if self.try_dispatch_work(w, Resume::ToWait { addr })? {
-                        any_progress = true;
-                    }
+            WorkerStatus::Idle => {
+                self.workers[w].idle_cycles += 1;
+                self.try_dispatch_work(w, Resume::Idle)
+            }
+            WorkerStatus::WaitingAtPcall { addr, pf } => {
+                self.workers[w].idle_cycles += 1;
+                // Shadow check: has the Parcall Frame completed?  The
+                // actual (traced) reads happen when the worker re-executes
+                // the pcall_wait instruction.
+                let n = self.mem.read_untraced(pf + parcall::NGOALS).expect_uint("pcall ngoals");
+                let done = self.mem.read_untraced(pf + parcall::COMPLETED).expect_uint("pcall completed");
+                if done >= n {
+                    self.workers[w].p = addr;
+                    self.workers[w].status = WorkerStatus::Running;
+                    Ok(true)
+                } else {
+                    self.try_dispatch_work(w, Resume::ToWait { addr })
                 }
             }
         }
+    }
+
+    /// Close a scheduling round: detect deadlock and enforce the step limit.
+    pub fn end_round(&mut self, any_progress: bool) -> EngineResult<()> {
         if !any_progress && self.finished.is_none() {
             return Err(EngineError::Internal("scheduler deadlock: no worker can make progress".to_string()));
         }
+        if self.steps > self.config.max_steps {
+            return Err(EngineError::StepLimitExceeded { limit: self.config.max_steps });
+        }
         Ok(())
+    }
+
+    /// Drain the steals performed since the last drain (scheduler SPI).
+    pub fn drain_steals(&mut self) -> Vec<StealEvent> {
+        std::mem::take(&mut self.steal_log)
+    }
+
+    /// Verify the structural invariants of every worker's Stack Set: all
+    /// tops inside their areas, the choice-point chain well-formed and its
+    /// saved state inside the owning areas, trail entries pointing at
+    /// bindable words, and Goal-Stack mirrors consistent.  Scheduling (and
+    /// in particular goal stealing plus the backtracking that undoes a
+    /// stolen goal) must preserve all of these between rounds; the
+    /// goal-steal property tests call this after every round.
+    ///
+    /// Reads memory untraced only, so checking never perturbs statistics.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let map = &self.mem.map;
+        for (w, wk) in self.workers.iter().enumerate() {
+            let fail = |what: &str, detail: String| Err(format!("worker {w}: {what}: {detail}"));
+            let within = |area: Area, addr: u32| -> bool {
+                addr >= map.area_base(w, area) && addr <= map.area_end(w, area)
+            };
+            if !within(Area::Heap, wk.h) || wk.hb > wk.h {
+                return fail("heap top", format!("h={} hb={}", wk.h, wk.hb));
+            }
+            if !within(Area::LocalStack, wk.local_top) {
+                return fail("local top", format!("local_top={}", wk.local_top));
+            }
+            if !within(Area::ControlStack, wk.control_top) {
+                return fail("control top", format!("control_top={}", wk.control_top));
+            }
+            if !within(Area::Trail, wk.tr) {
+                return fail("trail top", format!("tr={}", wk.tr));
+            }
+            if !within(Area::GoalStack, wk.goal_top) {
+                return fail("goal top", format!("goal_top={}", wk.goal_top));
+            }
+            if wk.e != NONE_ADDR && map.area_of(wk.e) != Area::LocalStack {
+                return fail("environment register", format!("e={} outside any local stack", wk.e));
+            }
+            // The goal-frame mirror must point into this worker's own Goal
+            // Stack, below its top.
+            for &frame in &wk.goal_frames {
+                if map.owner(frame) != w || map.area_of(frame) != Area::GoalStack {
+                    return fail("goal frame mirror", format!("frame {frame} not in own goal stack"));
+                }
+            }
+            // Walk the choice-point chain: frames must live in this worker's
+            // control stack, strictly descending, with saved state inside
+            // the owning areas.
+            let mut b = wk.b;
+            let mut hops = 0u32;
+            while b != NONE_ADDR {
+                if map.owner(b) != w || map.area_of(b) != Area::ControlStack {
+                    return fail("choice point", format!("b={b} not in own control stack"));
+                }
+                let nargs = match self.mem.read_untraced(b + choice::NARGS) {
+                    Cell::Uint(n) => n,
+                    other => return fail("choice point", format!("nargs at {b} is {other:?}")),
+                };
+                let tr = match self.mem.read_untraced(choice::saved_tr(b, nargs)) {
+                    Cell::Uint(t) => t,
+                    other => return fail("choice point", format!("saved tr at {b} is {other:?}")),
+                };
+                if !within(Area::Trail, tr) || tr > wk.tr {
+                    return fail("choice point", format!("saved tr {tr} outside [base, tr={}]", wk.tr));
+                }
+                let h = match self.mem.read_untraced(choice::saved_h(b, nargs)) {
+                    Cell::Uint(h) => h,
+                    other => return fail("choice point", format!("saved h at {b} is {other:?}")),
+                };
+                if !within(Area::Heap, h) {
+                    return fail("choice point", format!("saved h {h} outside own heap"));
+                }
+                let prev = match self.mem.read_untraced(choice::prev_b(b, nargs)) {
+                    Cell::Uint(p) => p,
+                    other => return fail("choice point", format!("prev b at {b} is {other:?}")),
+                };
+                if prev != NONE_ADDR && prev >= b {
+                    return fail("choice point", format!("prev b {prev} not below {b}"));
+                }
+                b = prev;
+                hops += 1;
+                if hops > 1_000_000 {
+                    return fail("choice point", "chain does not terminate".to_string());
+                }
+            }
+            // Trail entries must name bindable words (heap or local stack of
+            // some worker — cross-PE bindings are legal for stolen goals).
+            let mut t = map.area_base(w, Area::Trail);
+            while t < wk.tr {
+                match self.mem.read_untraced(t) {
+                    Cell::Uint(addr) => {
+                        let area = map.area_of(addr);
+                        if area != Area::Heap && area != Area::LocalStack {
+                            return fail("trail entry", format!("{addr} is in the {}", area.name()));
+                        }
+                    }
+                    other => return fail("trail entry", format!("at {t}: {other:?}")),
+                }
+                t += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Record that `count` steal notifications reached worker `victim`
+    /// (scheduler SPI: the Threaded backend delivers these over channels,
+    /// the reference backend in place).
+    pub fn deliver_steal_notices(&mut self, victim: usize, count: u64) {
+        self.workers[victim].steal_notices += count;
     }
 
     // -----------------------------------------------------------------
@@ -237,6 +404,8 @@ impl<'p> Engine<'p> {
             if let Some(frame) = self.workers[victim].goal_frames.pop() {
                 self.workers[victim].goal_top = frame;
                 self.steal_cursor = (victim + 1) % n;
+                self.workers[w].goals_stolen += 1;
+                self.steal_log.push(StealEvent { thief: w, victim, frame });
                 self.start_goal(w, frame, resume, true)?;
                 return Ok(true);
             }
@@ -646,10 +815,12 @@ impl<'p> Engine<'p> {
         let b_top = if wk.b == NONE_ADDR {
             wk.control_base
         } else {
-            // We do not know the frame size without reading memory; keep the
-            // conservative bound of "just above the frame base plus fixed
-            // part" — the next push will overwrite anything above it anyway.
-            wk.b + choice::FIXED + wk.num_args as u32
+            // The frame's true extent comes from its saved argument count —
+            // an untraced host-side read: `num_args` may have changed since
+            // the frame was pushed, and a shorter bound would let the next
+            // push clobber the live frame's saved fields.
+            let nargs = self.mem.read_untraced(wk.b + choice::NARGS).expect_uint("cp nargs");
+            wk.b + choice::size(nargs)
         };
         let new_top = marker_top.max(b_top).max(wk.control_base);
         if new_top < wk.control_top {
@@ -680,6 +851,7 @@ impl<'p> Engine<'p> {
             return self.fail_goal(w);
         }
         if b == NONE_ADDR {
+            self.mem.shared_write(board::STATUS, Cell::Uint(board::STATUS_FAILED));
             self.finished = Some(false);
             for wk in &mut self.workers {
                 wk.status = WorkerStatus::Stopped;
@@ -689,9 +861,13 @@ impl<'p> Engine<'p> {
         self.restore_from_choice_point(w)
     }
 
-    /// Called by the `halt` builtin: the query succeeded.
+    /// Called by the `halt` builtin: the query succeeded.  The answer
+    /// location is published on the query board in the shared region, where
+    /// any PE (or the host) can read it.
     pub(crate) fn query_succeeded(&mut self, w: usize) {
-        self.answer_env = Some((w, self.workers[w].e));
+        self.mem.shared_write(board::STATUS, Cell::Uint(board::STATUS_SUCCEEDED));
+        self.mem.shared_write(board::ANSWER_PE, Cell::Uint(w as u32));
+        self.mem.shared_write(board::ANSWER_ENV, Cell::Uint(self.workers[w].e));
         self.finished = Some(true);
         for wk in &mut self.workers {
             wk.status = WorkerStatus::Stopped;
@@ -703,9 +879,10 @@ impl<'p> Engine<'p> {
     // -----------------------------------------------------------------
 
     fn extract_answer(&self, syms: &SymbolTable) -> EngineResult<Vec<(String, Term)>> {
-        let Some((_, env_addr)) = self.answer_env else {
+        if self.mem.shared_read(board::STATUS) != Cell::Uint(board::STATUS_SUCCEEDED) {
             return Ok(Vec::new());
-        };
+        }
+        let env_addr = self.mem.shared_read(board::ANSWER_ENV).expect_uint("board answer env");
         let mut out = Vec::new();
         for (name, slot) in &self.program.query_vars {
             let addr = env::y_addr(env_addr, *slot);
@@ -723,20 +900,23 @@ impl<'p> Engine<'p> {
                 instructions: w.instructions,
                 idle_cycles: w.idle_cycles,
                 max_usage: w.max_usage(),
+                goals_stolen: w.goals_stolen,
+                steal_notices: w.steal_notices,
             })
             .collect();
+        let area_stats = self.mem.merged_stats();
         RunStats {
             num_workers: self.workers.len(),
             instructions: self.steps,
-            data_refs: self.mem.stats.total.total(),
-            reads: self.mem.stats.total.reads,
-            writes: self.mem.stats.total.writes,
+            data_refs: area_stats.total.total(),
+            reads: area_stats.total.reads,
+            writes: area_stats.total.writes,
             elapsed_cycles: self.cycles,
             parcalls: self.parcalls,
             parallel_goals: self.parallel_goals,
             goals_actually_parallel: self.goals_actually_parallel,
             inferences: self.inferences,
-            area_stats: self.mem.stats.clone(),
+            area_stats,
             workers,
         }
     }

@@ -274,6 +274,30 @@ impl MemoryConfig {
     }
 }
 
+/// Words reserved for the shared region that sits above every Stack Set.
+///
+/// The shared region holds host-visible coordination state that belongs to
+/// no PE in particular (the query board: finished flag, answering worker,
+/// answer environment).  It is deliberately tiny and accessed only through
+/// the untraced [`crate::mem::Memory::shared_read`] /
+/// [`crate::mem::Memory::shared_write`] accessors, so it never perturbs the
+/// paper's per-Stack-Set reference counts.
+pub const SHARED_REGION_WORDS: u32 = 64;
+
+/// Word offsets within the shared region ("query board").
+pub mod board {
+    /// Query status: 0 = running, 1 = succeeded, 2 = failed.
+    pub const STATUS: u32 = 0;
+    /// Worker id that produced the answer (valid when STATUS = 1).
+    pub const ANSWER_PE: u32 = 1;
+    /// Environment address holding the answer bindings (valid when STATUS = 1).
+    pub const ANSWER_ENV: u32 = 2;
+
+    pub const STATUS_RUNNING: u32 = 0;
+    pub const STATUS_SUCCEEDED: u32 = 1;
+    pub const STATUS_FAILED: u32 = 2;
+}
+
 /// Maps global word addresses to (worker, area) and back.
 #[derive(Debug, Clone)]
 pub struct AddressMap {
@@ -286,9 +310,15 @@ impl AddressMap {
         AddressMap { config, num_workers }
     }
 
-    /// Total size of the data memory in words.
+    /// Total size of the data memory in words: one Stack Set per worker plus
+    /// the shared region.
     pub fn total_words(&self) -> u64 {
-        self.config.stack_set_words() as u64 * self.num_workers as u64
+        self.config.stack_set_words() as u64 * self.num_workers as u64 + SHARED_REGION_WORDS as u64
+    }
+
+    /// Base address of the shared region (one past the last Stack Set).
+    pub fn shared_base(&self) -> u32 {
+        self.config.stack_set_words() * self.num_workers as u32
     }
 
     /// Base address of `area` in the Stack Set of `worker`.
@@ -302,8 +332,10 @@ impl AddressMap {
         self.area_base(worker, area) + self.config.area_size(area)
     }
 
-    /// Which worker owns a global address.
+    /// Which worker owns a global address (must lie inside a Stack Set, not
+    /// the shared region).
     pub fn owner(&self, addr: u32) -> usize {
+        debug_assert!(addr < self.shared_base(), "address {addr} lies in the shared region");
         (addr / self.config.stack_set_words()) as usize
     }
 
@@ -391,6 +423,18 @@ mod tests {
     fn total_words_scales_with_workers() {
         let map1 = AddressMap::new(MemoryConfig::small(), 1);
         let map8 = AddressMap::new(MemoryConfig::small(), 8);
-        assert_eq!(map8.total_words(), 8 * map1.total_words());
+        let shared = SHARED_REGION_WORDS as u64;
+        assert_eq!(map8.total_words() - shared, 8 * (map1.total_words() - shared));
+    }
+
+    #[test]
+    fn shared_region_sits_above_every_stack_set() {
+        let map = AddressMap::new(MemoryConfig::small(), 3);
+        for w in 0..3 {
+            for area in Area::ALL {
+                assert!(map.area_end(w, area) <= map.shared_base());
+            }
+        }
+        assert_eq!(map.total_words(), map.shared_base() as u64 + SHARED_REGION_WORDS as u64);
     }
 }

@@ -7,8 +7,12 @@
 //! Goal Stack, Message Buffer), that cooperate on the execution of a Prolog
 //! program annotated with Conditional Graph Expressions.
 //!
-//! The engine is a deterministic, software-interleaved emulator — the same
-//! methodology the paper used — and produces:
+//! Each worker's Stack Set is its own memory arena, and execution is
+//! pluggable behind the [`Scheduler`] trait: the default [`Interleaved`]
+//! backend is a deterministic, software-interleaved emulator — the same
+//! methodology the paper used — while [`Threaded`] runs one OS thread per
+//! PE (token ring over channels) with identical observable behaviour.
+//! Every run produces:
 //!
 //! * the query's answer substitution,
 //! * aggregate statistics (instructions, references per area/object,
@@ -44,6 +48,7 @@ pub mod frames;
 pub mod known;
 pub mod layout;
 pub mod mem;
+pub mod sched;
 pub mod session;
 pub mod stats;
 pub mod trace;
@@ -51,10 +56,11 @@ pub mod unify;
 pub mod worker;
 
 pub use cell::{Cell, NONE_ADDR};
-pub use engine::{Engine, EngineConfig, Outcome, RunResult};
+pub use engine::{Engine, EngineConfig, Outcome, RunResult, StealEvent};
 pub use error::{EngineError, EngineResult};
 pub use layout::{Area, Locality, MemoryConfig, ObjectKind};
-pub use mem::Memory;
+pub use mem::{Memory, StackSetArena};
+pub use sched::{Interleaved, Scheduler, SchedulerKind, Threaded};
 pub use session::{QueryOptions, Session, SessionError};
 pub use stats::{RunStats, WorkerStats};
 pub use trace::{AreaStats, MemRef};

@@ -1,101 +1,220 @@
-//! The global data memory shared by all workers.
+//! The data memory: one Stack-Set arena per PE plus a small shared region.
 //!
 //! Every read and write performed by the abstract machine goes through
 //! [`Memory::read`] / [`Memory::write`], which
 //!
 //! * bounds-check the access against the area layout,
-//! * update the aggregate reference counters ([`AreaStats`]), and
-//! * optionally append a full [`MemRef`] record to the trace used by the
-//!   cache simulator.
+//! * route the access to the [`StackSetArena`] that owns the address,
+//! * update that arena's reference counters ([`AreaStats`]), and
+//! * optionally append a full [`MemRef`] record to the arena's trace buffer.
 //!
-//! Answer extraction and debugging use the `*_untraced` variants so that
-//! inspecting a result does not perturb the measured reference counts.
+//! Sharding the storage per PE mirrors the paper's architecture: each PE's
+//! Stack Set is physically its own allocation, so later backends can hand a
+//! whole arena to an OS thread.  Global word addresses remain stable — the
+//! [`AddressMap`] translates them to an (arena, offset) pair — and a
+//! deterministic merge (every reference carries a global sequence number)
+//! reproduces the single interleaved trace the cache simulator consumes,
+//! byte-for-byte.
+//!
+//! Answer extraction and debugging use [`Memory::read_untraced`] so that
+//! inspecting a result does not perturb the measured reference counts.  The
+//! shared region above the Stack Sets holds coordination state (the query
+//! board) and is likewise accessed only through untraced accessors.
 
 use crate::cell::Cell;
 use crate::error::{EngineError, EngineResult};
-use crate::layout::{AddressMap, Area, MemoryConfig, ObjectKind};
+use crate::layout::{AddressMap, Area, MemoryConfig, ObjectKind, SHARED_REGION_WORDS};
 use crate::trace::{AreaStats, MemRef};
 
-/// The global word-addressed data memory.
+/// One reference record tagged with its position in the global interleaving
+/// order, so per-arena trace buffers can be merged deterministically.
+#[derive(Debug, Clone, Copy)]
+struct SeqRef {
+    seq: u64,
+    r: MemRef,
+}
+
+/// The storage of one PE's Stack Set: its words, its reference counters and
+/// (optionally) its share of the reference trace.
+#[derive(Debug)]
+pub struct StackSetArena {
+    /// Global address of the arena's first word.
+    base: u32,
+    words: Vec<Cell>,
+    /// Reference counters for accesses landing in this arena (indexed by
+    /// issuing PE in `stats.per_pe`, which may differ from the owner).
+    stats: AreaStats,
+    /// This arena's slice of the reference trace (when enabled), in issue
+    /// order and tagged with global sequence numbers.
+    trace: Option<Vec<SeqRef>>,
+}
+
+impl StackSetArena {
+    fn new(base: u32, words: u32, num_workers: usize, collect_trace: bool) -> Self {
+        StackSetArena {
+            base,
+            words: vec![Cell::Empty; words as usize],
+            stats: AreaStats::new(num_workers),
+            trace: if collect_trace { Some(Vec::new()) } else { None },
+        }
+    }
+
+    /// Reference counters for accesses that landed in this arena.
+    pub fn stats(&self) -> &AreaStats {
+        &self.stats
+    }
+
+    /// Number of words in this arena (one full Stack Set).
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if the arena holds no words (never the case in practice).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Number of trace records currently buffered in this arena.
+    pub fn trace_len(&self) -> usize {
+        self.trace.as_ref().map_or(0, Vec::len)
+    }
+}
+
+/// The word-addressed data memory, sharded into one arena per PE.
+///
+/// The public address space is unchanged from the flat layout: word `addr`
+/// belongs to arena `map.owner(addr)` at offset `addr - arena.base`, and the
+/// shared region sits above the last Stack Set.
 #[derive(Debug)]
 pub struct Memory {
-    words: Vec<Cell>,
+    arenas: Vec<StackSetArena>,
+    /// The shared coordination region (query board); untraced by design.
+    shared: Vec<Cell>,
     pub map: AddressMap,
-    /// Aggregate counters (always maintained).
-    pub stats: AreaStats,
-    /// Full reference trace (only when enabled).
-    trace: Option<Vec<MemRef>>,
+    /// Next global sequence number (total references recorded so far).
+    seq: u64,
+    collect_trace: bool,
 }
 
 impl Memory {
     /// Allocate the data memory for `num_workers` Stack Sets.
     pub fn new(config: MemoryConfig, num_workers: usize, collect_trace: bool) -> Self {
         let map = AddressMap::new(config, num_workers);
-        let total = map.total_words() as usize;
-        Memory {
-            words: vec![Cell::Empty; total],
-            map,
-            stats: AreaStats::new(num_workers),
-            trace: if collect_trace { Some(Vec::new()) } else { None },
-        }
+        let set_words = config.stack_set_words();
+        let arenas = (0..num_workers)
+            .map(|w| StackSetArena::new(w as u32 * set_words, set_words, num_workers, collect_trace))
+            .collect();
+        Memory { arenas, shared: vec![Cell::Empty; SHARED_REGION_WORDS as usize], map, seq: 0, collect_trace }
     }
 
-    /// Number of words in the memory.
+    /// Total number of words in the memory: every Stack Set arena plus the
+    /// shared region.
     pub fn len(&self) -> usize {
-        self.words.len()
+        self.arenas.iter().map(StackSetArena::len).sum::<usize>() + self.shared.len()
     }
 
-    /// True if the memory holds no words (never the case in practice).
+    /// True if the memory holds no words.  Since the shared region always
+    /// exists this is never the case in practice.
     pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        self.len() == 0
     }
 
-    /// Take the collected trace out of the memory (leaves `None` behind).
+    /// The per-PE Stack Set arenas.
+    pub fn arenas(&self) -> &[StackSetArena] {
+        &self.arenas
+    }
+
+    /// Merge every arena's counters into one aggregate view (what a flat
+    /// memory would have counted).
+    pub fn merged_stats(&self) -> AreaStats {
+        let mut total = AreaStats::new(self.map.num_workers);
+        for a in &self.arenas {
+            total.merge(&a.stats);
+        }
+        total
+    }
+
+    /// Take the collected trace out of the memory, merging the per-arena
+    /// buffers back into the global interleaving order (leaves the buffers
+    /// empty behind).  Returns `None` when tracing is disabled.
+    ///
+    /// Every recorded reference carries the value of a global sequence
+    /// counter, so the merge is a deterministic sort that reproduces the
+    /// exact order in which the references were issued — the merged trace is
+    /// byte-for-byte the trace a single flat buffer would have collected.
     pub fn take_trace(&mut self) -> Option<Vec<MemRef>> {
-        self.trace.take()
+        if !self.collect_trace {
+            return None;
+        }
+        let mut all: Vec<SeqRef> = Vec::with_capacity(self.seq as usize);
+        for a in &mut self.arenas {
+            if let Some(t) = &mut a.trace {
+                all.append(t);
+            }
+        }
+        self.collect_trace = false;
+        for a in &mut self.arenas {
+            a.trace = None;
+        }
+        all.sort_unstable_by_key(|s| s.seq);
+        Some(all.into_iter().map(|s| s.r).collect())
     }
 
     /// Whether a full trace is being collected.
     pub fn tracing(&self) -> bool {
-        self.trace.is_some()
+        self.collect_trace
     }
 
-    fn record(&mut self, pe: u8, addr: u32, write: bool, object: ObjectKind) {
+    fn record(&mut self, pe: u8, addr: u32, write: bool, object: ObjectKind) -> (usize, usize) {
         let area = object.area();
         debug_assert_eq!(self.map.area_of(addr), area, "object kind {object:?} used outside its area");
+        let owner = self.map.owner(addr);
+        let arena = &mut self.arenas[owner];
         let r =
             MemRef { pe, addr, write, area, object, locality: object.locality(), locked: object.locked() };
-        self.stats.record(&r);
-        if let Some(t) = &mut self.trace {
-            t.push(r);
+        arena.stats.record(&r);
+        if let Some(t) = &mut arena.trace {
+            t.push(SeqRef { seq: self.seq, r });
         }
+        self.seq += 1;
+        (owner, (addr - arena.base) as usize)
     }
 
-    /// Read one word, recording the reference.
+    /// Read one word, recording the reference in the owning arena.
     #[inline]
     pub fn read(&mut self, pe: u8, addr: u32, object: ObjectKind) -> Cell {
-        self.record(pe, addr, false, object);
-        self.words[addr as usize]
+        let (owner, offset) = self.record(pe, addr, false, object);
+        self.arenas[owner].words[offset]
     }
 
-    /// Write one word, recording the reference.
+    /// Write one word, recording the reference in the owning arena.
     #[inline]
     pub fn write(&mut self, pe: u8, addr: u32, value: Cell, object: ObjectKind) {
-        self.record(pe, addr, true, object);
-        self.words[addr as usize] = value;
+        let (owner, offset) = self.record(pe, addr, true, object);
+        self.arenas[owner].words[offset] = value;
     }
 
     /// Read one word without recording a reference (answer extraction,
     /// debugging, scheduler shadow checks).
     #[inline]
     pub fn read_untraced(&self, addr: u32) -> Cell {
-        self.words[addr as usize]
+        let owner = self.map.owner(addr);
+        let arena = &self.arenas[owner];
+        arena.words[(addr - arena.base) as usize]
     }
 
-    /// Write one word without recording a reference (used only by tests).
+    /// Read a word of the shared region (query board).  Untraced: the shared
+    /// region is host coordination state, not part of the paper's Table 1
+    /// storage model.
     #[inline]
-    pub fn write_untraced(&mut self, addr: u32, value: Cell) {
-        self.words[addr as usize] = value;
+    pub fn shared_read(&self, slot: u32) -> Cell {
+        self.shared[slot as usize]
+    }
+
+    /// Write a word of the shared region (query board).  Untraced.
+    #[inline]
+    pub fn shared_write(&mut self, slot: u32, value: Cell) {
+        self.shared[slot as usize] = value;
     }
 
     /// Check that `addr` (the next free word) still lies inside `area` of
@@ -129,8 +248,9 @@ mod tests {
         let base = m.area_base(0, Area::Heap);
         m.write(0, base, Cell::Int(7), ObjectKind::HeapTerm);
         assert_eq!(m.read(0, base, ObjectKind::HeapTerm), Cell::Int(7));
-        assert_eq!(m.stats.total.reads, 1);
-        assert_eq!(m.stats.total.writes, 1);
+        let stats = m.merged_stats();
+        assert_eq!(stats.total.reads, 1);
+        assert_eq!(stats.total.writes, 1);
     }
 
     #[test]
@@ -153,12 +273,53 @@ mod tests {
     }
 
     #[test]
+    fn merged_trace_interleaves_arenas_in_issue_order() {
+        let mut m = mem();
+        let h0 = m.area_base(0, Area::Heap);
+        let h1 = m.area_base(1, Area::Heap);
+        // Alternate writes between the two arenas; the merged trace must
+        // come back in exactly this order even though the accesses were
+        // buffered in two different arenas.
+        for i in 0..4 {
+            m.write(0, h0 + i, Cell::Int(i as i64), ObjectKind::HeapTerm);
+            m.write(1, h1 + i, Cell::Int(i as i64), ObjectKind::HeapTerm);
+        }
+        assert_eq!(m.arenas()[0].trace_len(), 4);
+        assert_eq!(m.arenas()[1].trace_len(), 4);
+        let t = m.take_trace().unwrap();
+        let addrs: Vec<u32> = t.iter().map(|r| r.addr).collect();
+        assert_eq!(addrs, vec![h0, h1, h0 + 1, h1 + 1, h0 + 2, h1 + 2, h0 + 3, h1 + 3]);
+    }
+
+    #[test]
+    fn cross_pe_accesses_land_in_the_owning_arena() {
+        let mut m = mem();
+        let h1 = m.area_base(1, Area::Heap);
+        // PE 0 writes into PE 1's heap: the reference is accounted to
+        // arena 1 (the owner), attributed to issuing PE 0.
+        m.write(0, h1, Cell::Int(9), ObjectKind::HeapTerm);
+        assert_eq!(m.arenas()[0].stats().total.total(), 0);
+        assert_eq!(m.arenas()[1].stats().total.writes, 1);
+        assert_eq!(m.arenas()[1].stats().per_pe[0].writes, 1);
+        assert_eq!(m.arenas()[1].stats().per_pe[1].total(), 0);
+    }
+
+    #[test]
     fn untraced_reads_do_not_count() {
         let mut m = mem();
         let base = m.area_base(0, Area::Heap);
-        m.write_untraced(base, Cell::Int(3));
+        m.write(0, base, Cell::Int(3), ObjectKind::HeapTerm);
         assert_eq!(m.read_untraced(base), Cell::Int(3));
-        assert_eq!(m.stats.total.total(), 0);
+        assert_eq!(m.merged_stats().total.total(), 1, "only the traced write counts");
+        assert_eq!(m.take_trace().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn shared_region_round_trips_without_counting() {
+        let mut m = mem();
+        m.shared_write(0, Cell::Uint(42));
+        assert_eq!(m.shared_read(0), Cell::Uint(42));
+        assert_eq!(m.merged_stats().total.total(), 0);
         assert_eq!(m.take_trace().unwrap().len(), 0);
     }
 
@@ -180,6 +341,15 @@ mod tests {
         m.write(0, base, Cell::Int(1), ObjectKind::HeapTerm);
         assert!(!m.tracing());
         assert!(m.take_trace().is_none());
-        assert_eq!(m.stats.total.writes, 1);
+        assert_eq!(m.merged_stats().total.writes, 1);
+    }
+
+    #[test]
+    fn len_counts_every_arena_and_the_shared_region() {
+        let m = mem();
+        let expected = 2 * MemoryConfig::small().stack_set_words() as usize + SHARED_REGION_WORDS as usize;
+        assert_eq!(m.len(), expected);
+        assert!(!m.is_empty());
+        assert_eq!(m.len() as u64, m.map.total_words());
     }
 }

@@ -1,0 +1,319 @@
+//! Pluggable execution backends for the RAP-WAM engine.
+//!
+//! The engine exposes a small scheduler SPI — [`Engine::begin_round`],
+//! [`Engine::step_slot`], [`Engine::end_round`], [`Engine::finished`] — and
+//! a [`Scheduler`] drives it until the query completes.  Two backends ship
+//! with the crate:
+//!
+//! * [`Interleaved`] — the reference semantics: one host thread steps every
+//!   worker round-robin, `quantum` instructions per slot.  This is the
+//!   deterministic software-interleaved methodology of the paper's emulator.
+//! * [`Threaded`] — one OS thread per PE, connected in a ring over crossbeam
+//!   channels.  A scheduling token carrying the engine travels the ring, so
+//!   every worker is stepped on its own thread while the global instruction
+//!   interleaving — and therefore the answer set, the per-area reference
+//!   counts and the merged trace — stays exactly the reference order.
+//!   Goal-steal notifications travel as real cross-thread messages to the
+//!   victim's thread instead of the thief poking the victim's bookkeeping
+//!   host-side.  Later backends can relax the token into per-arena locks;
+//!   the differential test suite pins the semantics they must preserve.
+
+use crate::engine::Engine;
+use crate::error::{EngineError, EngineResult};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use serde::{Deserialize, Serialize};
+use std::thread;
+
+/// Which execution backend steps the workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Deterministic round-robin interleaving on the host thread (the
+    /// reference semantics).
+    #[default]
+    Interleaved,
+    /// One OS thread per PE over a token ring of crossbeam channels.
+    Threaded,
+}
+
+impl SchedulerKind {
+    /// Parse a `--scheduler` / env-var value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "interleaved" => Some(SchedulerKind::Interleaved),
+            "threaded" => Some(SchedulerKind::Threaded),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Interleaved => "interleaved",
+            SchedulerKind::Threaded => "threaded",
+        }
+    }
+}
+
+/// An execution backend: drives an engine from its initial state to
+/// `finished()`, returning the engine for answer/statistics extraction.
+pub trait Scheduler {
+    /// Backend name (for reporting).
+    fn name(&self) -> &'static str;
+
+    /// Run the query to completion.
+    fn drive<'p>(&self, engine: Engine<'p>) -> EngineResult<Engine<'p>>;
+}
+
+/// Resolve a [`SchedulerKind`] to its backend implementation.
+pub fn scheduler_for(kind: SchedulerKind) -> Box<dyn Scheduler> {
+    match kind {
+        SchedulerKind::Interleaved => Box::new(Interleaved),
+        SchedulerKind::Threaded => Box::new(Threaded),
+    }
+}
+
+/// The reference backend: deterministic round-robin on the host thread.
+pub struct Interleaved;
+
+impl Scheduler for Interleaved {
+    fn name(&self) -> &'static str {
+        "interleaved"
+    }
+
+    fn drive<'p>(&self, mut engine: Engine<'p>) -> EngineResult<Engine<'p>> {
+        let n = engine.num_workers();
+        while engine.finished().is_none() {
+            engine.begin_round();
+            let mut progress = false;
+            for w in 0..n {
+                if engine.finished().is_some() {
+                    break;
+                }
+                progress |= engine.step_slot(w)?;
+                for ev in engine.drain_steals() {
+                    engine.deliver_steal_notices(ev.victim, 1);
+                }
+            }
+            engine.end_round(progress)?;
+        }
+        Ok(engine)
+    }
+}
+
+/// Messages exchanged between the per-PE threads of the [`Threaded`] backend.
+enum Msg<'p> {
+    /// The scheduling token: whoever holds it steps its worker, then passes
+    /// it to the next PE in the ring.
+    Token(Box<Token<'p>>),
+    /// A goal was taken from this PE's Goal Stack by `thief`.
+    StealNote { thief: usize, frame: u32 },
+    /// The query finished (or errored); the thread should exit.
+    Shutdown,
+}
+
+/// The token circulating the ring: the engine plus the open round's state.
+struct Token<'p> {
+    engine: Engine<'p>,
+    /// Whether any worker made progress in the round in flight.
+    progress: bool,
+    /// True once PE 0 has opened a round (so it knows to close the previous
+    /// one when the token comes back around).
+    round_open: bool,
+}
+
+/// One OS thread per PE.  A scheduling token (carrying the engine) travels a
+/// ring of crossbeam channels; the thread holding it steps its own worker.
+/// Because the token enforces the reference round-robin order, the Threaded
+/// backend produces the same answers, reference counts and merged trace as
+/// [`Interleaved`] — the property the differential tests pin down — while
+/// every instruction is executed on the thread of the PE it belongs to.
+pub struct Threaded;
+
+impl Scheduler for Threaded {
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn drive<'p>(&self, engine: Engine<'p>) -> EngineResult<Engine<'p>> {
+        let n = engine.num_workers();
+        let (txs, rxs): (Vec<Sender<Msg<'p>>>, Vec<Receiver<Msg<'p>>>) = (0..n).map(|_| unbounded()).unzip();
+        let (done_tx, done_rx) = unbounded::<EngineResult<Engine<'p>>>();
+        // Final-reconciliation channel: on shutdown every thread reports the
+        // steal notes it had not yet folded into the engine, so none are
+        // lost when the query finishes in the same round as a steal.
+        let (notes_tx, notes_rx) = unbounded::<(usize, u64)>();
+
+        thread::scope(|scope| {
+            for (w, rx) in rxs.into_iter().enumerate() {
+                let txs = txs.clone();
+                let done_tx = done_tx.clone();
+                let notes_tx = notes_tx.clone();
+                let notes_rx = notes_rx.clone();
+                scope.spawn(move || pe_thread(w, n, rx, txs, done_tx, notes_tx, notes_rx));
+            }
+            // Drop the originals so the channels disconnect once every PE
+            // thread has exited: if a thread panics (torn-down ring, no
+            // result sent), `done_rx.recv()` unblocks with a disconnect
+            // error instead of hanging, and `thread::scope` then re-raises
+            // the panic at join.
+            drop(done_tx);
+            drop(notes_tx);
+            txs[0]
+                .send(Msg::Token(Box::new(Token { engine, progress: false, round_open: false })))
+                .map_err(|_| EngineError::Internal("threaded scheduler: ring closed early".into()))?;
+            done_rx.recv().map_err(|_| {
+                EngineError::Internal("threaded scheduler: no thread produced a result".into())
+            })?
+        })
+    }
+}
+
+/// Broadcast `Shutdown` so every ring thread exits.
+fn shutdown_ring(txs: &[Sender<Msg<'_>>], me: usize) {
+    for (w, tx) in txs.iter().enumerate() {
+        if w != me {
+            let _ = tx.send(Msg::Shutdown);
+        }
+    }
+}
+
+/// What a thread should do after handling one token visit.
+enum Flow {
+    Continue,
+    Stop,
+}
+
+/// The body of one PE's OS thread.
+fn pe_thread<'p>(
+    w: usize,
+    n: usize,
+    rx: Receiver<Msg<'p>>,
+    txs: Vec<Sender<Msg<'p>>>,
+    done_tx: Sender<EngineResult<Engine<'p>>>,
+    notes_tx: Sender<(usize, u64)>,
+    notes_rx: Receiver<(usize, u64)>,
+) {
+    // Steal notes received while another PE holds the token; folded into the
+    // engine's books the next time the token arrives here, or reported over
+    // the reconciliation channel at shutdown.
+    let mut pending_notes: u64 = 0;
+    loop {
+        let msg = match rx.recv() {
+            Ok(m) => m,
+            Err(_) => return, // ring torn down
+        };
+        match msg {
+            Msg::Shutdown => {
+                let _ = notes_tx.send((w, pending_notes));
+                return;
+            }
+            Msg::StealNote { thief, frame } => {
+                debug_assert!(thief != w, "worker {w} cannot steal goal frame {frame:#x} from itself");
+                pending_notes += 1;
+            }
+            Msg::Token(token) => {
+                // A panic while holding the token would leave every other
+                // thread blocked on its channel: tear the ring down first,
+                // then let the panic propagate through the scope.
+                let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle_token(w, n, token, &mut pending_notes, &txs, &done_tx, &notes_rx)
+                }));
+                match handled {
+                    Ok(Flow::Continue) => {}
+                    Ok(Flow::Stop) => return,
+                    Err(payload) => {
+                        // The panic re-raises through thread::scope, so the
+                        // caller observes it directly; the broadcast only
+                        // keeps the other threads from blocking forever.
+                        shutdown_ring(&txs, w);
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Handle one visit of the scheduling token at PE `w`.
+fn handle_token<'p>(
+    w: usize,
+    n: usize,
+    mut token: Box<Token<'p>>,
+    pending_notes: &mut u64,
+    txs: &[Sender<Msg<'p>>],
+    done_tx: &Sender<EngineResult<Engine<'p>>>,
+    notes_rx: &Receiver<(usize, u64)>,
+) -> Flow {
+    let engine = &mut token.engine;
+    if *pending_notes > 0 {
+        engine.deliver_steal_notices(w, *pending_notes);
+        *pending_notes = 0;
+    }
+    // PE 0 is the round closer: finish the previous round, check for
+    // completion, open the next round.
+    if w == 0 {
+        if token.round_open {
+            if let Err(e) = engine.end_round(token.progress) {
+                let _ = done_tx.send(Err(e));
+                shutdown_ring(txs, w);
+                return Flow::Stop;
+            }
+        }
+        if engine.finished().is_some() {
+            // Reconcile steal notes still pending on the other threads (a
+            // goal stolen in the finishing round may not have reached its
+            // victim's books yet): every thread reports its count on
+            // shutdown, and no further token will circulate.
+            shutdown_ring(txs, w);
+            for _ in 0..n - 1 {
+                match notes_rx.recv() {
+                    Ok((victim, count)) => engine.deliver_steal_notices(victim, count),
+                    Err(_) => break, // a thread died; stats stay partial
+                }
+            }
+            let _ = done_tx.send(Ok(token.engine));
+            return Flow::Stop;
+        }
+        engine.begin_round();
+        token.progress = false;
+        token.round_open = true;
+    }
+    match engine.step_slot(w) {
+        Ok(p) => token.progress |= p,
+        Err(e) => {
+            let _ = done_tx.send(Err(e));
+            shutdown_ring(txs, w);
+            return Flow::Stop;
+        }
+    }
+    // Stolen goals become real cross-thread messages: notify each victim's
+    // thread over its channel.
+    for ev in token.engine.drain_steals() {
+        debug_assert_eq!(ev.thief, w);
+        let _ = txs[ev.victim].send(Msg::StealNote { thief: ev.thief, frame: ev.frame });
+    }
+    if txs[(w + 1) % n].send(Msg::Token(token)).is_err() {
+        return Flow::Stop; // next thread already shut down
+    }
+    Flow::Continue
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_kind_parses() {
+        assert_eq!(SchedulerKind::parse("interleaved"), Some(SchedulerKind::Interleaved));
+        assert_eq!(SchedulerKind::parse("threaded"), Some(SchedulerKind::Threaded));
+        assert_eq!(SchedulerKind::parse("bogus"), None);
+        assert_eq!(SchedulerKind::default(), SchedulerKind::Interleaved);
+        assert_eq!(SchedulerKind::Threaded.name(), "threaded");
+    }
+
+    #[test]
+    fn scheduler_for_resolves_both_backends() {
+        assert_eq!(scheduler_for(SchedulerKind::Interleaved).name(), "interleaved");
+        assert_eq!(scheduler_for(SchedulerKind::Threaded).name(), "threaded");
+    }
+}

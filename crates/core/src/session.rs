@@ -9,6 +9,7 @@
 use crate::engine::{Engine, EngineConfig, RunResult};
 use crate::error::EngineError;
 use crate::layout::MemoryConfig;
+use crate::sched::SchedulerKind;
 use pwam_compiler::{compile_program_and_query, CompileError, CompileOptions, CompiledProgram};
 use pwam_front::clause::Program;
 use pwam_front::error::FrontError;
@@ -65,6 +66,9 @@ pub struct QueryOptions {
     pub memory: MemoryConfig,
     /// Instruction budget.
     pub max_steps: u64,
+    /// Execution backend: deterministic interleaving (the reference) or one
+    /// OS thread per PE.
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for QueryOptions {
@@ -75,6 +79,7 @@ impl Default for QueryOptions {
             trace: false,
             memory: MemoryConfig::default(),
             max_steps: 2_000_000_000,
+            scheduler: SchedulerKind::Interleaved,
         }
     }
 }
@@ -90,6 +95,11 @@ impl QueryOptions {
         QueryOptions { parallel: true, workers: n, ..Default::default() }
     }
 
+    /// RAP-WAM with `n` PEs, each on its own OS thread.
+    pub fn threaded(n: usize) -> Self {
+        QueryOptions { scheduler: SchedulerKind::Threaded, ..QueryOptions::parallel(n) }
+    }
+
     /// Enable trace collection.
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
@@ -99,6 +109,12 @@ impl QueryOptions {
     /// Override the per-worker memory sizes.
     pub fn with_memory(mut self, memory: MemoryConfig) -> Self {
         self.memory = memory;
+        self
+    }
+
+    /// Select the execution backend.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
         self
     }
 }
@@ -156,6 +172,7 @@ impl Session {
             max_steps: options.max_steps,
             quantum: 1,
             num_x_regs: pwam_compiler::MAX_X_REGS,
+            scheduler: options.scheduler,
         };
         let engine = Engine::new(&compiled, config);
         Ok(engine.run(&self.syms)?)

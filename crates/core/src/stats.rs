@@ -14,6 +14,10 @@ pub struct WorkerStats {
     pub idle_cycles: u64,
     /// Maximum words used in (heap, local stack, control stack, trail, goal stack).
     pub max_usage: (u32, u32, u32, u32, u32),
+    /// Goals this worker took from another worker's Goal Stack.
+    pub goals_stolen: u64,
+    /// Steal notifications this worker received as a victim.
+    pub steal_notices: u64,
 }
 
 /// Statistics of one engine run.

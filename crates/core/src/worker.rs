@@ -142,6 +142,11 @@ pub struct Worker {
     pub instructions: u64,
     /// Cycles spent idle or waiting.
     pub idle_cycles: u64,
+    /// Goals this worker took from another worker's Goal Stack.
+    pub goals_stolen: u64,
+    /// Steal notifications received as a victim (delivered by the scheduler:
+    /// over channels on the Threaded backend, in place on the reference one).
+    pub steal_notices: u64,
     /// High-water marks for storage-usage statistics.
     pub max_h: u32,
     pub max_local_top: u32,
@@ -196,6 +201,8 @@ impl Worker {
             pending_messages: 0,
             instructions: 0,
             idle_cycles: 0,
+            goals_stolen: 0,
+            steal_notices: 0,
             max_h: heap_base,
             max_local_top: local_base,
             max_control_top: control_base,

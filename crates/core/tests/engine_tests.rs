@@ -354,3 +354,27 @@ fn goals_in_parallel_counted_only_for_other_pes() {
     assert_eq!(r1.stats.goals_actually_parallel, 0);
     assert!(r1.stats.parallel_goals > 0);
 }
+
+#[test]
+fn cut_with_fewer_live_args_does_not_clobber_wider_choice_points() {
+    // Regression test: `recede_control_top` used the *current* register
+    // count to bound the topmost choice point.  When a predicate with fewer
+    // arguments (memb/2) cut while a wider frame (taut/3) was topmost, the
+    // receded top landed inside the live frame and the next push overwrote
+    // its saved fields, corrupting the backtracking chain.
+    let program = "\
+        taut(t, _, _) :- !.\n\
+        taut(if(C, T, _), True, False) :- memb(C, True), !, taut(T, True, False).\n\
+        taut(if(C, _, E), True, False) :- memb(C, False), !, taut(E, True, False).\n\
+        taut(if(C, T, E), True, False) :- !, taut(T, [C|True], False), taut(E, True, [C|False]).\n\
+        taut(X, True, _) :- memb(X, True).\n\
+        memb(X, [X|_]) :- !.\n\
+        memb(X, [_|T]) :- memb(X, T).";
+    let (_, r) = run(program, "taut(if(v, t, t), [], [])", &QueryOptions::sequential());
+    assert!(r.outcome.is_success());
+    // The nested case exercises re-entry into the wide frames after the cut.
+    let (_, r) = run(program, "taut(if(a, if(b, t, t), if(b, t, f)), [], [])", &QueryOptions::sequential());
+    assert_eq!(r.outcome, Outcome::Failure); // else-else branch is f
+    let (_, r) = run(program, "taut(if(a, if(b, t, t), if(b, t, t)), [], [])", &QueryOptions::parallel(2));
+    assert!(r.outcome.is_success());
+}

@@ -3,15 +3,29 @@
 //! argument for small-to-medium shared-memory machines.
 //!
 //! ```text
-//! cargo run --release --example parallel_speedup
+//! cargo run --release --example parallel_speedup [-- --threaded]
 //! ```
+//!
+//! With `--threaded` every PE runs on its own OS thread (the Threaded
+//! scheduler); the measured cycle counts are identical to the default
+//! interleaved backend — that equivalence is pinned by the differential
+//! test suite.
 
 use pwam_suite::benchmarks::{all_benchmarks, Scale};
 use pwam_suite::rapwam::session::{QueryOptions, Session};
+use pwam_suite::rapwam::SchedulerKind;
 
 fn main() {
+    let scheduler = if std::env::args().any(|a| a == "--threaded") {
+        SchedulerKind::Threaded
+    } else {
+        SchedulerKind::Interleaved
+    };
     let pe_counts = [1usize, 2, 4, 8, 16];
-    println!("speed-up over the sequential WAM (elapsed-cycle ratio), Scale::Paper inputs\n");
+    println!(
+        "speed-up over the sequential WAM (elapsed-cycle ratio), Scale::Paper inputs, {} backend\n",
+        scheduler.name()
+    );
     println!("{:>10} {:>8} {:>8} {:>8} {:>8} {:>8}", "benchmark", "1 PE", "2 PE", "4 PE", "8 PE", "16 PE");
 
     for bench in all_benchmarks(Scale::Paper) {
@@ -21,7 +35,8 @@ fn main() {
 
         let mut row = format!("{:>10}", bench.id.name());
         for &pes in &pe_counts {
-            let par = session.run(&bench.query, &QueryOptions::parallel(pes)).expect("parallel run");
+            let opts = QueryOptions::parallel(pes).with_scheduler(scheduler);
+            let par = session.run(&bench.query, &opts).expect("parallel run");
             assert!(par.outcome.is_success());
             row.push_str(&format!(" {:>8.2}", base / par.stats.elapsed_cycles as f64));
         }

@@ -3,8 +3,10 @@
 //! Implements the subset of the criterion API the workspace's benches use —
 //! `criterion_group!`/`criterion_main!`, benchmark groups, `BenchmarkId`,
 //! `Throughput`, and `Bencher::iter` — backed by a simple wall-clock timer.
-//! It reports a mean time per iteration (and throughput when configured) but
-//! does no statistical analysis, warm-up tuning, or HTML reporting.
+//! Each call of the benchmark closure is one sample; the report gives the
+//! mean, minimum and maximum time per iteration over the collected samples
+//! (and throughput at the mean when configured), but does no warm-up
+//! tuning, outlier analysis, or HTML reporting.
 
 use std::fmt;
 use std::hint;
@@ -121,6 +123,37 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Mean/min/max of per-iteration times (nanoseconds) over a set of samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleSummary {
+    pub samples: usize,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+}
+
+/// Summarise per-sample per-iteration times.  Returns `None` when no sample
+/// recorded an iteration.
+pub fn summarise(samples_ns: &[f64]) -> Option<SampleSummary> {
+    if samples_ns.is_empty() {
+        return None;
+    }
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    for &s in samples_ns {
+        min = min.min(s);
+        max = max.max(s);
+        sum += s;
+    }
+    Some(SampleSummary {
+        samples: samples_ns.len(),
+        mean_ns: sum / samples_ns.len() as f64,
+        min_ns: min,
+        max_ns: max,
+    })
+}
+
 fn run_benchmark<F>(
     group: &str,
     id: &BenchmarkId,
@@ -133,26 +166,36 @@ fn run_benchmark<F>(
     let mut bencher = Bencher { iters: 0, elapsed: Duration::ZERO };
     let deadline = Instant::now() + TIME_BUDGET;
     let mut samples = 0usize;
+    // Per-sample mean time per iteration; one entry per closure call that
+    // performed at least one iteration.
+    let mut per_sample_ns: Vec<f64> = Vec::with_capacity(sample_size);
     while samples < sample_size && (samples == 0 || Instant::now() < deadline) {
+        let (iters_before, elapsed_before) = (bencher.iters, bencher.elapsed);
         f(&mut bencher);
         samples += 1;
+        let iters = bencher.iters - iters_before;
+        if iters > 0 {
+            let elapsed = bencher.elapsed - elapsed_before;
+            per_sample_ns.push(elapsed.as_nanos() as f64 / iters as f64);
+        }
     }
     let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
-    if bencher.iters == 0 {
+    let Some(summary) = summarise(&per_sample_ns) else {
         eprintln!("  {label}: no iterations recorded");
         return;
-    }
-    let per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+    };
+    let spread = format!("min {:.0}, max {:.0}, {} samples", summary.min_ns, summary.max_ns, summary.samples);
+    let per_iter = summary.mean_ns;
     match throughput {
         Some(Throughput::Elements(n)) if per_iter > 0.0 => {
             let rate = n as f64 / (per_iter / 1e9);
-            eprintln!("  {label}: {per_iter:.0} ns/iter ({rate:.0} elem/s)");
+            eprintln!("  {label}: mean {per_iter:.0} ns/iter ({spread}; {rate:.0} elem/s)");
         }
         Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
             let rate = n as f64 / (per_iter / 1e9);
-            eprintln!("  {label}: {per_iter:.0} ns/iter ({rate:.0} B/s)");
+            eprintln!("  {label}: mean {per_iter:.0} ns/iter ({spread}; {rate:.0} B/s)");
         }
-        _ => eprintln!("  {label}: {per_iter:.0} ns/iter"),
+        _ => eprintln!("  {label}: mean {per_iter:.0} ns/iter ({spread})"),
     }
 }
 
@@ -191,4 +234,32 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarise_reports_mean_min_max() {
+        let s = summarise(&[10.0, 30.0, 20.0]).unwrap();
+        assert_eq!(s.samples, 3);
+        assert!((s.mean_ns - 20.0).abs() < 1e-9);
+        assert_eq!(s.min_ns, 10.0);
+        assert_eq!(s.max_ns, 30.0);
+    }
+
+    #[test]
+    fn summarise_of_nothing_is_none() {
+        assert_eq!(summarise(&[]), None);
+    }
+
+    #[test]
+    fn bencher_tracks_iterations_per_sample() {
+        let mut b = Bencher { iters: 0, elapsed: Duration::ZERO };
+        b.iter(|| 1 + 1);
+        b.iter(|| 2 + 2);
+        assert_eq!(b.iters, 2);
+        assert!(b.elapsed > Duration::ZERO);
+    }
 }
