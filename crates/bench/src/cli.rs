@@ -9,10 +9,14 @@
 //!   binaries sweep their own fixed PE counts and use the flag purely as a
 //!   backend selector,
 //! * `--scheduler interleaved|threaded` — pick the execution backend
-//!   explicitly (the `PWAM_SCHEDULER` environment variable is the fallback).
+//!   explicitly (the `PWAM_SCHEDULER` environment variable is the fallback),
+//! * `--determinism strict|relaxed` — pick the determinism mode (the
+//!   `PWAM_DETERMINISM` environment variable is the fallback).  `relaxed`
+//!   frees the Threaded backend from the scheduling token (true per-arena
+//!   parallel execution) and implies `--scheduler threaded`.
 
-use crate::experiments::{set_scheduler, ExperimentScale};
-use rapwam::SchedulerKind;
+use crate::experiments::{set_determinism, set_scheduler, ExperimentScale};
+use rapwam::{DeterminismMode, SchedulerKind};
 
 /// The value following `key` in `args`, if present.
 pub fn arg_value(args: &[String], key: &str) -> Option<String> {
@@ -41,14 +45,29 @@ pub fn scheduler_args(args: &[String]) -> Option<usize> {
         Ok(n) if n >= 1 => n,
         _ => usage_error(&format!("--threads {s} (expected a worker count >= 1)")),
     });
+    let determinism = arg_value(args, "--determinism").map(|name| match DeterminismMode::parse(&name) {
+        Some(mode) => mode,
+        None => usage_error(&format!("--determinism {name} (expected strict or relaxed)")),
+    });
     if threads.is_some() && explicit == Some(SchedulerKind::Interleaved) {
         usage_error("--threads together with --scheduler interleaved (pick one backend)");
+    }
+    if determinism == Some(DeterminismMode::Relaxed) && explicit == Some(SchedulerKind::Interleaved) {
+        // Relaxed only changes the Threaded backend; accepting the combination
+        // would let a run claim a mode that never took effect.
+        usage_error("--determinism relaxed together with --scheduler interleaved (relaxed needs threads)");
     }
     if let Some(kind) = explicit {
         set_scheduler(kind);
     }
     if threads.is_some() {
         set_scheduler(SchedulerKind::Threaded);
+    }
+    if let Some(mode) = determinism {
+        set_determinism(mode);
+        if mode == DeterminismMode::Relaxed {
+            set_scheduler(SchedulerKind::Threaded);
+        }
     }
     threads
 }
@@ -80,5 +99,17 @@ mod tests {
         // Only checks the parse here; the process-wide scheduler choice is
         // first-wins and other tests may have already made it.
         assert_eq!(arg_value(&a, "--threads").and_then(|s| s.parse::<usize>().ok()), Some(4));
+    }
+
+    #[test]
+    fn determinism_flag_parses() {
+        let a = args(&["bin", "--determinism", "relaxed"]);
+        // Only checks the parse here (the process-wide choice is first-wins).
+        assert_eq!(
+            arg_value(&a, "--determinism").and_then(|s| DeterminismMode::parse(&s)),
+            Some(DeterminismMode::Relaxed)
+        );
+        assert_eq!(DeterminismMode::parse("strict"), Some(DeterminismMode::Strict));
+        assert_eq!(DeterminismMode::parse("loose"), None);
     }
 }

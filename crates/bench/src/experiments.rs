@@ -8,7 +8,7 @@ use crate::paper;
 use pwam_benchmarks::{benchmark, Benchmark, BenchmarkId, Scale};
 use pwam_cachesim::{run_sweep, simulate, BusModel, BusModelResult, CacheConfig, Protocol, SimConfig};
 use rapwam::session::{QueryOptions, Session};
-use rapwam::{MemRef, MemoryConfig, ObjectKind, RunResult, SchedulerKind};
+use rapwam::{DeterminismMode, MemRef, MemoryConfig, ObjectKind, RunResult, SchedulerKind};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::OnceLock;
@@ -31,6 +31,26 @@ pub fn set_scheduler(kind: SchedulerKind) -> bool {
 pub fn scheduler() -> SchedulerKind {
     *SCHEDULER.get_or_init(|| {
         std::env::var("PWAM_SCHEDULER").ok().and_then(|s| SchedulerKind::parse(&s)).unwrap_or_default()
+    })
+}
+
+/// Process-wide determinism selection, mirroring [`SCHEDULER`]: binaries set
+/// it from `--determinism`; when unset, the `PWAM_DETERMINISM` environment
+/// variable decides, defaulting to strict.  Every table and figure is
+/// determinism-independent on the observables it reports — the relaxed CI
+/// job runs the whole small-scale experiment suite to prove exactly that.
+static DETERMINISM: OnceLock<DeterminismMode> = OnceLock::new();
+
+/// Select the determinism mode for subsequent experiment runs.  Returns
+/// `false` if a mode was already chosen (first choice wins).
+pub fn set_determinism(mode: DeterminismMode) -> bool {
+    DETERMINISM.set(mode).is_ok()
+}
+
+/// The determinism mode experiments run on.
+pub fn determinism() -> DeterminismMode {
+    *DETERMINISM.get_or_init(|| {
+        std::env::var("PWAM_DETERMINISM").ok().and_then(|s| DeterminismMode::parse(&s)).unwrap_or_default()
     })
 }
 
@@ -88,6 +108,7 @@ fn options(workers: usize, parallel: bool, trace: bool) -> QueryOptions {
         memory: experiment_memory(),
         max_steps: 2_000_000_000,
         scheduler: scheduler(),
+        determinism: determinism(),
     }
 }
 

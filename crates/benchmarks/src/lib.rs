@@ -15,7 +15,7 @@
 //! unit tests.
 //!
 //! Beyond the paper's four programs the registry also carries `boyer`, a
-//! Boyer-Moore-style tautology prover (a ROADMAP addition): [`ALL`] stays
+//! Boyer-Moore-style tautology prover (a ROADMAP addition): [`BenchmarkId::ALL`] stays
 //! the paper's suite so every table/figure reproduction is unchanged, while
 //! [`BenchmarkId::EXTENDED`] / [`extended_benchmarks`] include the extras.
 

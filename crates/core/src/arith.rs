@@ -1,27 +1,27 @@
 //! Arithmetic evaluation for `is/2` and the comparison builtins.
 
 use crate::cell::Cell;
-use crate::engine::Engine;
+use crate::engine::Step;
 use crate::error::{EngineError, EngineResult};
 use crate::known;
 use crate::layout::ObjectKind;
 
-impl<'p> Engine<'p> {
+impl<'a, 'p> Step<'a, 'p> {
     /// Evaluate an arithmetic expression term.
     ///
     /// Supported functors: integers, `+/2`, `-/2`, `*/2`, `///2` (integer
     /// division), `mod/2`, `//2` (also integer division, as is conventional
     /// for integer-only Prolog arithmetic), and unary `-/1` / `+/1`.
-    pub(crate) fn eval_arith(&mut self, w: usize, cell: Cell) -> EngineResult<i64> {
-        let pe = self.workers[w].id;
-        match self.deref(w, cell) {
+    pub(crate) fn eval_arith(&self, cell: Cell) -> EngineResult<i64> {
+        let pe = self.wk.id;
+        match self.deref(cell) {
             Cell::Int(v) => Ok(v),
             Cell::Ref(_) => Err(EngineError::Instantiation { context: "arithmetic expression" }),
             Cell::Con(a) => Err(EngineError::ArithmeticType {
                 context: format!("atom {a:?} is not an arithmetic expression"),
             }),
             Cell::Str(p) => {
-                let f = self.mem.read(pe, p, ObjectKind::HeapTerm);
+                let f = self.core.mem.read(pe, p, ObjectKind::HeapTerm);
                 let (name, arity) = match f {
                     Cell::Fun(name, arity) => (name, arity),
                     other => {
@@ -32,8 +32,8 @@ impl<'p> Engine<'p> {
                 };
                 match arity {
                     1 => {
-                        let a = self.mem.read(pe, p + 1, ObjectKind::HeapTerm);
-                        let v = self.eval_arith(w, a)?;
+                        let a = self.core.mem.read(pe, p + 1, ObjectKind::HeapTerm);
+                        let v = self.eval_arith(a)?;
                         match name {
                             n if n == known::MINUS => Ok(-v),
                             n if n == known::PLUS => Ok(v),
@@ -43,10 +43,10 @@ impl<'p> Engine<'p> {
                         }
                     }
                     2 => {
-                        let a = self.mem.read(pe, p + 1, ObjectKind::HeapTerm);
-                        let b = self.mem.read(pe, p + 2, ObjectKind::HeapTerm);
-                        let x = self.eval_arith(w, a)?;
-                        let y = self.eval_arith(w, b)?;
+                        let a = self.core.mem.read(pe, p + 1, ObjectKind::HeapTerm);
+                        let b = self.core.mem.read(pe, p + 2, ObjectKind::HeapTerm);
+                        let x = self.eval_arith(a)?;
+                        let y = self.eval_arith(b)?;
                         match name {
                             n if n == known::PLUS => Ok(x.wrapping_add(y)),
                             n if n == known::MINUS => Ok(x.wrapping_sub(y)),

@@ -5,7 +5,7 @@
 //! predicates to escape instructions rather than full calls.
 
 use crate::cell::Cell;
-use crate::engine::Engine;
+use crate::engine::Step;
 use crate::error::EngineResult;
 use pwam_compiler::Builtin;
 
@@ -18,29 +18,29 @@ pub(crate) enum BuiltinOutcome {
     Halted,
 }
 
-impl<'p> Engine<'p> {
-    pub(crate) fn exec_builtin(&mut self, w: usize, b: Builtin) -> EngineResult<BuiltinOutcome> {
+impl<'a, 'p> Step<'a, 'p> {
+    pub(crate) fn exec_builtin(&mut self, b: Builtin) -> EngineResult<BuiltinOutcome> {
         use BuiltinOutcome::*;
-        let a1 = self.workers[w].x.get(1).copied().unwrap_or(Cell::Empty);
-        let a2 = self.workers[w].x.get(2).copied().unwrap_or(Cell::Empty);
+        let a1 = self.wk.x.get(1).copied().unwrap_or(Cell::Empty);
+        let a2 = self.wk.x.get(2).copied().unwrap_or(Cell::Empty);
         let outcome = match b {
             Builtin::True => Succeed,
             Builtin::Fail => Fail,
             Builtin::Halt => {
-                self.query_succeeded(w);
+                self.query_succeeded();
                 Halted
             }
             Builtin::Is => {
-                let v = self.eval_arith(w, a2)?;
-                if self.unify(w, a1, Cell::Int(v))? {
+                let v = self.eval_arith(a2)?;
+                if self.unify(a1, Cell::Int(v))? {
                     Succeed
                 } else {
                     Fail
                 }
             }
             Builtin::ArithEq | Builtin::ArithNeq | Builtin::Lt | Builtin::Le | Builtin::Gt | Builtin::Ge => {
-                let x = self.eval_arith(w, a1)?;
-                let y = self.eval_arith(w, a2)?;
+                let x = self.eval_arith(a1)?;
+                let y = self.eval_arith(a2)?;
                 let holds = match b {
                     Builtin::ArithEq => x == y,
                     Builtin::ArithNeq => x != y,
@@ -57,57 +57,57 @@ impl<'p> Engine<'p> {
                 }
             }
             Builtin::Unify => {
-                if self.unify(w, a1, a2)? {
+                if self.unify(a1, a2)? {
                     Succeed
                 } else {
                     Fail
                 }
             }
             Builtin::StructEq => {
-                if self.struct_eq(w, a1, a2)? {
+                if self.struct_eq(a1, a2)? {
                     Succeed
                 } else {
                     Fail
                 }
             }
             Builtin::StructNeq => {
-                if self.struct_eq(w, a1, a2)? {
+                if self.struct_eq(a1, a2)? {
                     Fail
                 } else {
                     Succeed
                 }
             }
             Builtin::Ground => {
-                if self.is_ground(w, a1)? {
+                if self.is_ground(a1)? {
                     Succeed
                 } else {
                     Fail
                 }
             }
             Builtin::Indep => {
-                if self.independent(w, a1, a2)? {
+                if self.independent(a1, a2)? {
                     Succeed
                 } else {
                     Fail
                 }
             }
-            Builtin::Var => match self.deref(w, a1) {
+            Builtin::Var => match self.deref(a1) {
                 Cell::Ref(_) => Succeed,
                 _ => Fail,
             },
-            Builtin::NonVar => match self.deref(w, a1) {
+            Builtin::NonVar => match self.deref(a1) {
                 Cell::Ref(_) => Fail,
                 _ => Succeed,
             },
-            Builtin::Integer => match self.deref(w, a1) {
+            Builtin::Integer => match self.deref(a1) {
                 Cell::Int(_) => Succeed,
                 _ => Fail,
             },
-            Builtin::AtomP => match self.deref(w, a1) {
+            Builtin::AtomP => match self.deref(a1) {
                 Cell::Con(_) => Succeed,
                 _ => Fail,
             },
-            Builtin::Atomic => match self.deref(w, a1) {
+            Builtin::Atomic => match self.deref(a1) {
                 Cell::Con(_) | Cell::Int(_) => Succeed,
                 _ => Fail,
             },

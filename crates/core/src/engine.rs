@@ -1,20 +1,34 @@
 //! The multi-worker RAP-WAM engine.
 //!
 //! The engine executes a [`CompiledProgram`] on a configurable number of
-//! workers (PEs).  Workers are stepped round-robin, one instruction per
-//! scheduling cycle by default, which makes runs deterministic and
-//! reproducible — the same methodology as the paper's emulator, which also
-//! interleaved abstract machines in software rather than running on raw
-//! hardware.  The stepping loop itself lives behind the
-//! [`crate::sched::Scheduler`] trait (round/slot SPI below); the engine
-//! only defines what one worker does with one slot.
+//! workers (PEs).  The stepping loop lives behind the
+//! [`crate::sched::Scheduler`] trait; the engine only defines what one
+//! worker does with one slot.  Internally the engine is split along the
+//! line an actually-parallel backend needs:
+//!
+//! * [`EngineCore`] — state shared by every PE, behind interior mutability:
+//!   the program, the sharded [`Memory`], atomic run counters, the
+//!   completion flag, and one *board* per PE (its Goal-Stack mirror and
+//!   Message-Buffer allocation state) that other PEs may touch under a
+//!   lock.
+//! * [`Worker`] — one PE's registers and host-side bookkeeping, owned
+//!   exclusively by whichever thread is stepping that PE.
+//! * `Step` — the pairing of `&EngineCore` with `&mut Worker`: every
+//!   instruction, unification, builtin and scheduling action is a method on
+//!   `Step`, so the same execution code serves both the deterministic
+//!   single-thread backends and the free-running relaxed backend, which
+//!   hands each worker to its own OS thread.
 //!
 //! Scheduling is *on demand*: `pcall_goal` pushes Goal Frames onto the
 //! issuing worker's Goal Stack, and both the waiting parent and any idle
 //! worker may pick them up.  Completion is recorded in the Parcall Frame's
 //! counters and (for stolen goals) signalled through the parent's Message
 //! Buffer, generating exactly the locked/global traffic the paper's Table 1
-//! describes.
+//! describes.  Cross-PE completion uses a *commit protocol* whose last
+//! memory action is the atomic increment of the Parcall Frame's completion
+//! counter, so that under the relaxed backend a parent that observes the
+//! counter at its target value is guaranteed to also observe every slot
+//! status, binding and message the finished goals produced.
 
 use crate::answer::extract_binding;
 use crate::cell::{Cell, NONE_ADDR};
@@ -22,13 +36,15 @@ use crate::error::{EngineError, EngineResult};
 use crate::frames::{choice, env, goal_frame, marker, message, parcall};
 use crate::layout::{board, Area, MemoryConfig, ObjectKind};
 use crate::mem::Memory;
-use crate::sched::{scheduler_for, SchedulerKind};
+use crate::sched::{scheduler_for, DeterminismMode, SchedulerKind};
 use crate::stats::{RunStats, WorkerStats};
 use crate::trace::MemRef;
 use crate::worker::{GoalContext, Resume, Worker, WorkerStatus};
 use pwam_compiler::CompiledProgram;
 use pwam_front::term::Term;
 use pwam_front::SymbolTable;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -47,6 +63,8 @@ pub struct EngineConfig {
     pub num_x_regs: usize,
     /// Which execution backend steps the workers.
     pub scheduler: SchedulerKind,
+    /// How much scheduling nondeterminism the backend may exploit.
+    pub determinism: DeterminismMode,
 }
 
 impl Default for EngineConfig {
@@ -59,6 +77,7 @@ impl Default for EngineConfig {
             quantum: 1,
             num_x_regs: pwam_compiler::MAX_X_REGS,
             scheduler: SchedulerKind::Interleaved,
+            determinism: DeterminismMode::Strict,
         }
     }
 }
@@ -104,8 +123,8 @@ pub struct RunResult {
 }
 
 /// One goal stolen from another worker's Goal Stack, as observed by the
-/// scheduler.  The [`crate::sched::Threaded`] backend turns these into
-/// cross-thread messages; the reference backend delivers them in place.
+/// scheduler.  The threaded backends turn these into cross-thread messages;
+/// the reference backend delivers them in place.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StealEvent {
     /// Worker that took the goal.
@@ -116,23 +135,176 @@ pub struct StealEvent {
     pub frame: u32,
 }
 
-/// The abstract-machine engine.
-pub struct Engine<'p> {
+/// Per-PE scheduling state that other PEs may inspect or update: the mirror
+/// of the Goal Stack (for stealing) and the Message Buffer allocation state
+/// (for completion messages).  Every access takes the board's lock; under
+/// the strict backends the lock is trivially uncontended, under the relaxed
+/// backend it is the word-level lock of the paper's Goal Stack / Message
+/// Buffer rows of Table 1.
+#[derive(Debug, Default)]
+pub(crate) struct PeBoard {
+    /// Goal Frames currently on this PE's Goal Stack (addresses, oldest
+    /// first); pushes come from the owner, pops from owner and thieves.
+    pub goal_frames: Vec<u32>,
+    /// Authoritative Goal-Stack allocation top.
+    pub goal_top: u32,
+    /// Next free slot in the Message Buffer (bump allocation with wrap).
+    pub msg_top: u32,
+    /// Number of unread messages in the Message Buffer.
+    pub pending_messages: u32,
+}
+
+/// A Goal Frame's words, read under the owning board's lock before the
+/// frame's storage can be reused (the arguments go straight into the
+/// thief's argument registers).
+struct GoalFrameImage {
+    frame: u32,
+    code: u32,
+    arity: u32,
+    pf: u32,
+    slot: u32,
+}
+
+/// `finished` encoding in [`EngineCore`].
+const RUNNING: u8 = 0;
+const SUCCEEDED: u8 = 1;
+const FAILED: u8 = 2;
+
+/// Everything the PEs share: program, memory, run counters, per-PE boards.
+///
+/// All mutation goes through interior mutability (atomics and small
+/// mutexes), so a `&EngineCore` can be handed to any number of OS threads;
+/// each thread pairs it with the `&mut Worker` it exclusively owns (see
+/// `Step`).
+pub struct EngineCore<'p> {
     pub program: &'p CompiledProgram,
     pub config: EngineConfig,
     pub mem: Memory,
-    pub workers: Vec<Worker>,
-    /// `Some(true)` = success, `Some(false)` = failure.
-    finished: Option<bool>,
-    steps: u64,
-    cycles: u64,
-    pub(crate) parcalls: u64,
-    pub(crate) parallel_goals: u64,
-    pub(crate) goals_actually_parallel: u64,
-    pub(crate) inferences: u64,
-    steal_cursor: usize,
-    /// Steals performed since the scheduler last drained them.
-    steal_log: Vec<StealEvent>,
+    /// Query status: `RUNNING` / `SUCCEEDED` / `FAILED`.
+    finished: AtomicU8,
+    /// Instructions executed (all PEs), flushed per slot/batch.
+    steps: AtomicU64,
+    /// Scheduling rounds (strict backends) or critical-path estimate
+    /// (relaxed backend).
+    cycles: AtomicU64,
+    pub(crate) parcalls: AtomicU64,
+    parallel_goals: AtomicU64,
+    goals_actually_parallel: AtomicU64,
+    pub(crate) inferences: AtomicU64,
+    /// Round-robin cursor over steal victims.
+    steal_cursor: AtomicUsize,
+    /// One board per PE.
+    pub(crate) boards: Vec<Mutex<PeBoard>>,
+    /// Steals performed by each PE (as thief) since the scheduler last
+    /// drained them.
+    steal_logs: Vec<Mutex<Vec<StealEvent>>>,
+    /// First engine error raised on any thread of the relaxed backend.
+    abort: Mutex<Option<EngineError>>,
+    aborted: AtomicBool,
+}
+
+impl<'p> EngineCore<'p> {
+    /// `Some(true)` once the query succeeded, `Some(false)` once it failed.
+    pub fn finished(&self) -> Option<bool> {
+        match self.finished.load(Ordering::Acquire) {
+            RUNNING => None,
+            SUCCEEDED => Some(true),
+            _ => Some(false),
+        }
+    }
+
+    /// Record the query outcome (first writer wins).
+    fn set_finished(&self, success: bool) {
+        let _ = self.finished.compare_exchange(
+            RUNNING,
+            if success { SUCCEEDED } else { FAILED },
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// Instructions executed so far across all PEs (as of the last flush).
+    pub fn steps(&self) -> u64 {
+        self.steps.load(Ordering::Relaxed)
+    }
+
+    /// Record the first engine error of a relaxed run and tell every thread
+    /// to wind down.
+    pub(crate) fn abort_with(&self, e: EngineError) {
+        let mut slot = self.abort.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        self.aborted.store(true, Ordering::Release);
+    }
+
+    /// True once some thread has aborted the run.
+    pub(crate) fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
+    }
+
+    /// Take the recorded abort error, if any.
+    pub(crate) fn take_abort(&self) -> Option<EngineError> {
+        self.abort.lock().unwrap().take()
+    }
+
+    /// Drain the steals PE `thief` performed since the last drain.
+    pub(crate) fn drain_steals_of(&self, thief: usize) -> Vec<StealEvent> {
+        std::mem::take(&mut *self.steal_logs[thief].lock().unwrap())
+    }
+
+    /// Record the critical-path cycle estimate of a relaxed run.
+    pub(crate) fn set_cycles(&self, cycles: u64) {
+        self.cycles.store(cycles, Ordering::Relaxed);
+    }
+
+    /// Classify a data address by the object kind that lives in its area
+    /// (used when the engine only knows an address, e.g. for dereferencing
+    /// and untrailing).
+    pub(crate) fn object_for_addr(&self, addr: u32) -> ObjectKind {
+        match self.mem.map.area_of(addr) {
+            Area::Heap => ObjectKind::HeapTerm,
+            Area::LocalStack => ObjectKind::EnvPermVar,
+            Area::ControlStack => ObjectKind::Marker,
+            Area::Trail => ObjectKind::TrailEntry,
+            Area::Pdl => ObjectKind::PdlEntry,
+            Area::GoalStack => ObjectKind::GoalFrame,
+            Area::MessageBuffer => ObjectKind::Message,
+        }
+    }
+}
+
+/// The abstract-machine engine: the shared core plus every worker's state.
+///
+/// Most callers go through [`crate::session::Session`]; driving the engine
+/// directly looks like this:
+///
+/// ```
+/// use pwam_compiler::{compile_program_and_query, CompileOptions};
+/// use pwam_front::{parser, SymbolTable};
+/// use rapwam::{Engine, EngineConfig};
+///
+/// let mut syms = SymbolTable::new();
+/// let program = parser::parse_program("p(1).\np(2).", &mut syms).unwrap();
+/// let query = parser::parse_query("p(X)", &mut syms).unwrap();
+/// let compiled =
+///     compile_program_and_query(&program, &query, &mut syms, CompileOptions::parallel()).unwrap();
+///
+/// let engine = Engine::new(&compiled, EngineConfig::with_workers(2));
+/// let result = engine.run(&syms).unwrap();
+/// assert!(result.outcome.is_success());
+/// ```
+pub struct Engine<'p> {
+    pub(crate) core: EngineCore<'p>,
+    pub(crate) workers: Vec<Worker>,
+}
+
+/// One worker's view of the machine: the shared core plus exclusive access
+/// to that worker's state.  All execution logic lives here; the scheduler
+/// backends differ only in how they construct and drive `Step`s.
+pub(crate) struct Step<'a, 'p> {
+    pub(crate) core: &'a EngineCore<'p>,
+    pub(crate) wk: &'a mut Worker,
 }
 
 impl<'p> Engine<'p> {
@@ -146,27 +318,43 @@ impl<'p> Engine<'p> {
         workers[0].p = program.query_start;
         workers[0].cp = program.query_start;
         workers[0].status = WorkerStatus::Running;
+        let boards = (0..config.num_workers)
+            .map(|w| {
+                Mutex::new(PeBoard {
+                    goal_frames: Vec::new(),
+                    goal_top: mem.map.area_base(w, Area::GoalStack),
+                    msg_top: mem.map.area_base(w, Area::MessageBuffer),
+                    pending_messages: 0,
+                })
+            })
+            .collect();
+        let steal_logs = (0..config.num_workers).map(|_| Mutex::new(Vec::new())).collect();
         Engine {
-            program,
-            config,
-            mem,
+            core: EngineCore {
+                program,
+                config,
+                mem,
+                finished: AtomicU8::new(RUNNING),
+                steps: AtomicU64::new(0),
+                cycles: AtomicU64::new(0),
+                parcalls: AtomicU64::new(0),
+                parallel_goals: AtomicU64::new(0),
+                goals_actually_parallel: AtomicU64::new(0),
+                inferences: AtomicU64::new(0),
+                steal_cursor: AtomicUsize::new(0),
+                boards,
+                steal_logs,
+                abort: Mutex::new(None),
+                aborted: AtomicBool::new(false),
+            },
             workers,
-            finished: None,
-            steps: 0,
-            cycles: 0,
-            parcalls: 0,
-            parallel_goals: 0,
-            goals_actually_parallel: 0,
-            inferences: 0,
-            steal_cursor: 0,
-            steal_log: Vec::new(),
         }
     }
 
     /// Run the query to completion on the configured scheduler backend and
     /// collect results.
     pub fn run(self, syms: &SymbolTable) -> EngineResult<RunResult> {
-        let scheduler = scheduler_for(self.config.scheduler);
+        let scheduler = scheduler_for(self.core.config.scheduler, self.core.config.determinism);
         let engine = scheduler.drive(self)?;
         engine.into_result(syms)
     }
@@ -174,16 +362,32 @@ impl<'p> Engine<'p> {
     /// Turn a finished engine into a [`RunResult`] (answers, statistics and
     /// the merged trace).
     pub fn into_result(mut self, syms: &SymbolTable) -> EngineResult<RunResult> {
-        debug_assert!(self.finished.is_some(), "into_result on an unfinished engine");
-        let outcome = if self.finished == Some(true) {
+        debug_assert!(self.core.finished().is_some(), "into_result on an unfinished engine");
+        let outcome = if self.core.finished() == Some(true) {
             let bindings = self.extract_answer(syms)?;
             Outcome::Success(bindings)
         } else {
             Outcome::Failure
         };
         let stats = self.collect_stats();
-        let trace = self.mem.take_trace();
+        let trace = self.core.mem.take_trace();
         Ok(RunResult { outcome, stats, trace })
+    }
+
+    /// The shared core (scheduler SPI).
+    pub(crate) fn core(&self) -> &EngineCore<'p> {
+        &self.core
+    }
+
+    /// Split the engine into its shared core and the per-PE worker states
+    /// (relaxed backend: each worker goes to its own thread).
+    pub(crate) fn into_parts(self) -> (EngineCore<'p>, Vec<Worker>) {
+        (self.core, self.workers)
+    }
+
+    /// Reassemble an engine after a split run.
+    pub(crate) fn from_parts(core: EngineCore<'p>, workers: Vec<Worker>) -> Self {
+        Engine { core, workers }
     }
 
     // -----------------------------------------------------------------
@@ -197,12 +401,14 @@ impl<'p> Engine<'p> {
     //     for w in 0..n { progress |= engine.step_slot(w)?; }
     //     engine.end_round(progress)?;
     //
-    // repeated until `finished()` reports an outcome.
+    // repeated until `finished()` reports an outcome.  The relaxed backend
+    // bypasses the round structure and drives each worker's `Step`
+    // directly.
     // -----------------------------------------------------------------
 
     /// `Some(true)` once the query succeeded, `Some(false)` once it failed.
     pub fn finished(&self) -> Option<bool> {
-        self.finished
+        self.core.finished()
     }
 
     /// Number of workers (PEs) in this engine.
@@ -212,78 +418,55 @@ impl<'p> Engine<'p> {
 
     /// Start a scheduling round.
     pub fn begin_round(&mut self) {
-        self.cycles += 1;
+        self.core.cycles.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Give worker `w` its slot of the current round (`quantum` instructions,
     /// or one scheduling action when it is idle/waiting).  Returns `true` if
     /// the worker made progress.  A no-op once the query has finished.
     pub fn step_slot(&mut self, w: usize) -> EngineResult<bool> {
-        if self.finished.is_some() {
-            return Ok(false);
-        }
-        match self.workers[w].status {
-            WorkerStatus::Stopped => Ok(false),
-            WorkerStatus::Running => {
-                for _ in 0..self.config.quantum {
-                    if self.workers[w].status != WorkerStatus::Running || self.finished.is_some() {
-                        break;
-                    }
-                    self.steps += 1;
-                    self.workers[w].instructions += 1;
-                    self.exec_instr(w)?;
-                }
-                Ok(true)
-            }
-            WorkerStatus::Idle => {
-                self.workers[w].idle_cycles += 1;
-                self.try_dispatch_work(w, Resume::Idle)
-            }
-            WorkerStatus::WaitingAtPcall { addr, pf } => {
-                self.workers[w].idle_cycles += 1;
-                // Shadow check: has the Parcall Frame completed?  The
-                // actual (traced) reads happen when the worker re-executes
-                // the pcall_wait instruction.
-                let n = self.mem.read_untraced(pf + parcall::NGOALS).expect_uint("pcall ngoals");
-                let done = self.mem.read_untraced(pf + parcall::COMPLETED).expect_uint("pcall completed");
-                if done >= n {
-                    self.workers[w].p = addr;
-                    self.workers[w].status = WorkerStatus::Running;
-                    Ok(true)
-                } else {
-                    self.try_dispatch_work(w, Resume::ToWait { addr })
-                }
-            }
-        }
+        Step { core: &self.core, wk: &mut self.workers[w] }.run_slot()
     }
 
     /// Close a scheduling round: detect deadlock and enforce the step limit.
     pub fn end_round(&mut self, any_progress: bool) -> EngineResult<()> {
-        if !any_progress && self.finished.is_none() {
+        if !any_progress && self.core.finished().is_none() {
             return Err(EngineError::Internal("scheduler deadlock: no worker can make progress".to_string()));
         }
-        if self.steps > self.config.max_steps {
-            return Err(EngineError::StepLimitExceeded { limit: self.config.max_steps });
+        if self.core.steps() > self.core.config.max_steps {
+            return Err(EngineError::StepLimitExceeded { limit: self.core.config.max_steps });
         }
         Ok(())
     }
 
     /// Drain the steals performed since the last drain (scheduler SPI).
     pub fn drain_steals(&mut self) -> Vec<StealEvent> {
-        std::mem::take(&mut self.steal_log)
+        let mut all = Vec::new();
+        for log in &self.core.steal_logs {
+            all.append(&mut log.lock().unwrap());
+        }
+        all
+    }
+
+    /// Record that `count` steal notifications reached worker `victim`
+    /// (scheduler SPI: the threaded backends deliver these over channels,
+    /// the reference backend in place).
+    pub fn deliver_steal_notices(&mut self, victim: usize, count: u64) {
+        self.workers[victim].steal_notices += count;
     }
 
     /// Verify the structural invariants of every worker's Stack Set: all
     /// tops inside their areas, the choice-point chain well-formed and its
     /// saved state inside the owning areas, trail entries pointing at
-    /// bindable words, and Goal-Stack mirrors consistent.  Scheduling (and
+    /// bindable words, and Goal-Stack boards consistent.  Scheduling (and
     /// in particular goal stealing plus the backtracking that undoes a
     /// stolen goal) must preserve all of these between rounds; the
-    /// goal-steal property tests call this after every round.
+    /// goal-steal property tests call this after every round, and the
+    /// relaxed-mode stress tests after every run.
     ///
     /// Reads memory untraced only, so checking never perturbs statistics.
     pub fn check_consistency(&self) -> Result<(), String> {
-        let map = &self.mem.map;
+        let map = &self.core.mem.map;
         for (w, wk) in self.workers.iter().enumerate() {
             let fail = |what: &str, detail: String| Err(format!("worker {w}: {what}: {detail}"));
             let within = |area: Area, addr: u32| -> bool {
@@ -307,11 +490,23 @@ impl<'p> Engine<'p> {
             if wk.e != NONE_ADDR && map.area_of(wk.e) != Area::LocalStack {
                 return fail("environment register", format!("e={} outside any local stack", wk.e));
             }
-            // The goal-frame mirror must point into this worker's own Goal
-            // Stack, below its top.
-            for &frame in &wk.goal_frames {
-                if map.owner(frame) != w || map.area_of(frame) != Area::GoalStack {
-                    return fail("goal frame mirror", format!("frame {frame} not in own goal stack"));
+            // The goal-frame board must point into this worker's own Goal
+            // Stack, below the board's top.
+            {
+                let board = self.core.boards[w].lock().unwrap();
+                if !within(Area::GoalStack, board.goal_top) {
+                    return fail("goal board top", format!("goal_top={}", board.goal_top));
+                }
+                for &frame in &board.goal_frames {
+                    if map.owner(frame) != w || map.area_of(frame) != Area::GoalStack {
+                        return fail("goal frame board", format!("frame {frame} not in own goal stack"));
+                    }
+                    if frame >= board.goal_top {
+                        return fail(
+                            "goal frame board",
+                            format!("frame {frame} above board top {}", board.goal_top),
+                        );
+                    }
                 }
             }
             // Walk the choice-point chain: frames must live in this worker's
@@ -323,25 +518,25 @@ impl<'p> Engine<'p> {
                 if map.owner(b) != w || map.area_of(b) != Area::ControlStack {
                     return fail("choice point", format!("b={b} not in own control stack"));
                 }
-                let nargs = match self.mem.read_untraced(b + choice::NARGS) {
+                let nargs = match self.core.mem.read_untraced(b + choice::NARGS) {
                     Cell::Uint(n) => n,
                     other => return fail("choice point", format!("nargs at {b} is {other:?}")),
                 };
-                let tr = match self.mem.read_untraced(choice::saved_tr(b, nargs)) {
+                let tr = match self.core.mem.read_untraced(choice::saved_tr(b, nargs)) {
                     Cell::Uint(t) => t,
                     other => return fail("choice point", format!("saved tr at {b} is {other:?}")),
                 };
                 if !within(Area::Trail, tr) || tr > wk.tr {
                     return fail("choice point", format!("saved tr {tr} outside [base, tr={}]", wk.tr));
                 }
-                let h = match self.mem.read_untraced(choice::saved_h(b, nargs)) {
+                let h = match self.core.mem.read_untraced(choice::saved_h(b, nargs)) {
                     Cell::Uint(h) => h,
                     other => return fail("choice point", format!("saved h at {b} is {other:?}")),
                 };
                 if !within(Area::Heap, h) {
                     return fail("choice point", format!("saved h {h} outside own heap"));
                 }
-                let prev = match self.mem.read_untraced(choice::prev_b(b, nargs)) {
+                let prev = match self.core.mem.read_untraced(choice::prev_b(b, nargs)) {
                     Cell::Uint(p) => p,
                     other => return fail("choice point", format!("prev b at {b} is {other:?}")),
                 };
@@ -358,7 +553,7 @@ impl<'p> Engine<'p> {
             // some worker — cross-PE bindings are legal for stolen goals).
             let mut t = map.area_base(w, Area::Trail);
             while t < wk.tr {
-                match self.mem.read_untraced(t) {
+                match self.core.mem.read_untraced(t) {
                     Cell::Uint(addr) => {
                         let area = map.area_of(addr);
                         if area != Area::Heap && area != Area::LocalStack {
@@ -373,44 +568,194 @@ impl<'p> Engine<'p> {
         Ok(())
     }
 
-    /// Record that `count` steal notifications reached worker `victim`
-    /// (scheduler SPI: the Threaded backend delivers these over channels,
-    /// the reference backend in place).
-    pub fn deliver_steal_notices(&mut self, victim: usize, count: u64) {
-        self.workers[victim].steal_notices += count;
+    // -----------------------------------------------------------------
+    // Results
+    // -----------------------------------------------------------------
+
+    fn extract_answer(&self, syms: &SymbolTable) -> EngineResult<Vec<(String, Term)>> {
+        if self.core.mem.shared_read(board::STATUS) != Cell::Uint(board::STATUS_SUCCEEDED) {
+            return Ok(Vec::new());
+        }
+        let env_addr = self.core.mem.shared_read(board::ANSWER_ENV).expect_uint("board answer env");
+        let mut out = Vec::new();
+        for (name, slot) in &self.core.program.query_vars {
+            let addr = env::y_addr(env_addr, *slot);
+            let term = extract_binding(&self.core.mem, addr, syms)?;
+            out.push((name.clone(), term));
+        }
+        Ok(out)
+    }
+
+    fn collect_stats(&self) -> RunStats {
+        let workers: Vec<WorkerStats> = self
+            .workers
+            .iter()
+            .map(|w| WorkerStats {
+                instructions: w.instructions,
+                idle_cycles: w.idle_cycles,
+                max_usage: w.max_usage(),
+                goals_stolen: w.goals_stolen,
+                steal_notices: w.steal_notices,
+            })
+            .collect();
+        let area_stats = self.core.mem.merged_stats();
+        RunStats {
+            num_workers: self.workers.len(),
+            instructions: self.core.steps(),
+            data_refs: area_stats.total.total(),
+            reads: area_stats.total.reads,
+            writes: area_stats.total.writes,
+            elapsed_cycles: self.core.cycles.load(Ordering::Relaxed),
+            parcalls: self.core.parcalls.load(Ordering::Relaxed),
+            parallel_goals: self.core.parallel_goals.load(Ordering::Relaxed),
+            goals_actually_parallel: self.core.goals_actually_parallel.load(Ordering::Relaxed),
+            inferences: self.core.inferences.load(Ordering::Relaxed),
+            area_stats,
+            workers,
+        }
+    }
+}
+
+impl<'a, 'p> Step<'a, 'p> {
+    /// This worker's index.
+    #[inline]
+    pub(crate) fn w(&self) -> usize {
+        self.wk.id as usize
+    }
+
+    /// Give this worker one slot: `quantum` instructions when running, one
+    /// scheduling action when idle or waiting.  Returns `true` if the worker
+    /// made progress.  A no-op once the query has finished.
+    pub(crate) fn run_slot(&mut self) -> EngineResult<bool> {
+        if self.core.finished().is_some() {
+            return Ok(false);
+        }
+        match self.wk.status {
+            WorkerStatus::Stopped => Ok(false),
+            WorkerStatus::Running => {
+                self.exec_batch(self.core.config.quantum)?;
+                Ok(true)
+            }
+            WorkerStatus::Idle => {
+                self.wk.idle_cycles += 1;
+                self.try_dispatch_work(Resume::Idle)
+            }
+            WorkerStatus::WaitingAtPcall { addr, pf } => {
+                self.wk.idle_cycles += 1;
+                // Shadow check: has the Parcall Frame completed?  The
+                // actual (traced) reads happen when the worker re-executes
+                // the pcall_wait instruction.
+                let n = self.core.mem.read_untraced(pf + parcall::NGOALS).expect_uint("pcall ngoals");
+                let done =
+                    self.core.mem.read_untraced(pf + parcall::COMPLETED).expect_uint("pcall completed");
+                if done >= n {
+                    self.wk.p = addr;
+                    self.wk.status = WorkerStatus::Running;
+                    Ok(true)
+                } else {
+                    self.try_dispatch_work(Resume::ToWait { addr })
+                }
+            }
+        }
+    }
+
+    /// Execute up to `max` instructions while the worker stays `Running` and
+    /// the query unfinished, flushing the executed count into the shared
+    /// step counter once at the end.  Returns the number executed.
+    pub(crate) fn exec_batch(&mut self, max: u32) -> EngineResult<u32> {
+        if self.core.steps() > self.core.config.max_steps {
+            return Err(EngineError::StepLimitExceeded { limit: self.core.config.max_steps });
+        }
+        let mut n = 0u32;
+        let result = loop {
+            if n >= max || self.wk.status != WorkerStatus::Running || self.core.finished().is_some() {
+                break Ok(());
+            }
+            self.wk.instructions += 1;
+            n += 1;
+            if let Err(e) = self.exec_instr() {
+                break Err(e);
+            }
+        };
+        if n > 0 {
+            self.core.steps.fetch_add(n as u64, Ordering::Relaxed);
+        }
+        result.map(|_| n)
     }
 
     // -----------------------------------------------------------------
     // Goal scheduling
     // -----------------------------------------------------------------
 
-    /// Try to find a Goal Frame for worker `w` (own Goal Stack first, then
+    /// Try to find a Goal Frame for this worker (own Goal Stack first, then
     /// steal round-robin) and start executing it.  Returns `true` if work
     /// was dispatched.
-    pub(crate) fn try_dispatch_work(&mut self, w: usize, resume: Resume) -> EngineResult<bool> {
+    ///
+    /// The frame's words are read *while the victim's board lock is held*:
+    /// once the lock drops, the owner may pop further frames and push new
+    /// ones over the recovered space, so a later read could observe a
+    /// half-written successor frame.  Pushes hold the same lock, which makes
+    /// the image read atomic with respect to the Goal Stack's reuse.
+    pub(crate) fn try_dispatch_work(&mut self, resume: Resume) -> EngineResult<bool> {
+        let w = self.w();
+        let core = self.core;
         // Own goal stack first (fast local path: no Marker, no message).
-        if let Some(frame) = self.workers[w].goal_frames.pop() {
-            self.workers[w].goal_top = frame;
-            self.start_goal(w, frame, resume, false)?;
+        let own = {
+            let mut b = core.boards[w].lock().unwrap();
+            if let Some(frame) = b.goal_frames.pop() {
+                b.goal_top = frame;
+                Some(self.read_goal_frame(frame))
+            } else {
+                None
+            }
+        };
+        if let Some(img) = own {
+            self.wk.goal_top = img.frame;
+            self.start_goal(img, resume, false)?;
             return Ok(true);
         }
         // Steal from another worker (round-robin over victims).
-        let n = self.workers.len();
+        let n = core.boards.len();
         for i in 0..n {
-            let victim = (self.steal_cursor + i) % n;
+            let victim = (core.steal_cursor.load(Ordering::Relaxed) + i) % n;
             if victim == w {
                 continue;
             }
-            if let Some(frame) = self.workers[victim].goal_frames.pop() {
-                self.workers[victim].goal_top = frame;
-                self.steal_cursor = (victim + 1) % n;
-                self.workers[w].goals_stolen += 1;
-                self.steal_log.push(StealEvent { thief: w, victim, frame });
-                self.start_goal(w, frame, resume, true)?;
+            let stolen = {
+                let mut b = core.boards[victim].lock().unwrap();
+                if let Some(frame) = b.goal_frames.pop() {
+                    b.goal_top = frame;
+                    Some(self.read_goal_frame(frame))
+                } else {
+                    None
+                }
+            };
+            if let Some(img) = stolen {
+                core.steal_cursor.store((victim + 1) % n, Ordering::Relaxed);
+                self.wk.goals_stolen += 1;
+                core.steal_logs[w].lock().unwrap().push(StealEvent { thief: w, victim, frame: img.frame });
+                self.start_goal(img, resume, true)?;
                 return Ok(true);
             }
         }
         Ok(false)
+    }
+
+    /// Read a Goal Frame's words (and copy its arguments into the argument
+    /// registers), producing the image `start_goal` consumes.  Callers hold
+    /// the owning board's lock.
+    fn read_goal_frame(&mut self, frame: u32) -> GoalFrameImage {
+        let pe = self.wk.id;
+        let mem = &self.core.mem;
+        let code = mem.read(pe, frame + goal_frame::CODE, ObjectKind::GoalFrame).expect_code("goal code");
+        let arity = mem.read(pe, frame + goal_frame::ARITY, ObjectKind::GoalFrame).expect_uint("goal arity");
+        let pf = mem.read(pe, frame + goal_frame::PF, ObjectKind::GoalFrame).expect_uint("goal pf");
+        let slot = mem.read(pe, frame + goal_frame::SLOT, ObjectKind::GoalFrame).expect_uint("goal slot");
+        for i in 0..arity {
+            let c = mem.read(pe, goal_frame::arg(frame, i), ObjectKind::GoalFrame);
+            self.wk.x[(i + 1) as usize] = c;
+        }
+        GoalFrameImage { frame, code, arity, pf, slot }
     }
 
     /// Begin executing the goal stored in the Goal Frame at `frame`.
@@ -421,63 +766,49 @@ impl<'p> Engine<'p> {
     /// in the Parcall Frame, completion message to the parent); local goals
     /// take the cheap path, which is where the original system's low
     /// parallelism overhead for not-actually-parallel goals comes from.
-    fn start_goal(&mut self, w: usize, frame: u32, resume: Resume, stolen: bool) -> EngineResult<()> {
-        let pe = self.workers[w].id;
-        // Read the goal frame (code, arity, parcall frame, slot, arguments).
-        let code =
-            self.mem.read(pe, frame + goal_frame::CODE, ObjectKind::GoalFrame).expect_code("goal code");
-        let arity =
-            self.mem.read(pe, frame + goal_frame::ARITY, ObjectKind::GoalFrame).expect_uint("goal arity");
-        let pf = self.mem.read(pe, frame + goal_frame::PF, ObjectKind::GoalFrame).expect_uint("goal pf");
-        let slot =
-            self.mem.read(pe, frame + goal_frame::SLOT, ObjectKind::GoalFrame).expect_uint("goal slot");
-        for i in 0..arity {
-            let c = self.mem.read(pe, goal_frame::arg(frame, i), ObjectKind::GoalFrame);
-            self.workers[w].x[(i + 1) as usize] = c;
-        }
+    fn start_goal(&mut self, img: GoalFrameImage, resume: Resume, stolen: bool) -> EngineResult<()> {
+        let w = self.w();
+        let pe = self.wk.id;
+        let mem = &self.core.mem;
+        let GoalFrameImage { frame: _, code, arity, pf, slot } = img;
 
-        // Record the pick-up in the Parcall Frame.
-        let to_sched =
-            self.mem.read(pe, pf + parcall::TO_SCHEDULE, ObjectKind::ParcallCount).expect_uint("to_schedule");
-        self.mem.write(
-            pe,
-            pf + parcall::TO_SCHEDULE,
-            Cell::Uint(to_sched.saturating_sub(1)),
-            ObjectKind::ParcallCount,
-        );
+        // Record the pick-up in the Parcall Frame (atomically: under the
+        // relaxed backend several PEs may grab goals of one parcall at
+        // once).
+        mem.rmw_uint(pe, pf + parcall::TO_SCHEDULE, ObjectKind::ParcallCount, |v| v.saturating_sub(1))?;
         if stolen {
-            self.mem.write(
+            mem.write(
                 pe,
                 parcall::slot_status(pf, slot),
                 Cell::Uint(parcall::SLOT_TAKEN),
                 ObjectKind::ParcallGlobal,
             );
-            self.mem.write(pe, parcall::slot_pe(pf, slot), Cell::Uint(w as u32), ObjectKind::ParcallGlobal);
+            mem.write(pe, parcall::slot_pe(pf, slot), Cell::Uint(w as u32), ObjectKind::ParcallGlobal);
         }
 
-        self.parallel_goals += 1;
+        self.core.parallel_goals.fetch_add(1, Ordering::Relaxed);
         if stolen {
-            self.goals_actually_parallel += 1;
+            self.core.goals_actually_parallel.fetch_add(1, Ordering::Relaxed);
         }
-        self.inferences += 1;
+        self.core.inferences.fetch_add(1, Ordering::Relaxed);
 
-        let wk = &self.workers[w];
+        let wk = &*self.wk;
         let (b, tr, h, local_top, e, cp, hb, sb) =
             (wk.b, wk.tr, wk.h, wk.local_top, wk.e, wk.cp, wk.hb, wk.stack_boundary);
 
         // Stolen goals push a Marker delimiting the new Stack Section.
         let marker_addr = if stolen {
             let m = wk.control_top;
-            self.mem.check_top(w, Area::ControlStack, m + marker::SIZE)?;
-            self.mem.write(pe, m + marker::KIND, Cell::Uint(marker::KIND_GOAL), ObjectKind::Marker);
-            self.mem.write(pe, m + marker::PF, Cell::Uint(pf), ObjectKind::Marker);
-            self.mem.write(pe, m + marker::SLOT, Cell::Uint(slot), ObjectKind::Marker);
-            self.mem.write(pe, m + marker::ENTRY_B, Cell::Uint(b), ObjectKind::Marker);
-            self.mem.write(pe, m + marker::ENTRY_TR, Cell::Uint(tr), ObjectKind::Marker);
-            self.mem.write(pe, m + marker::ENTRY_H, Cell::Uint(h), ObjectKind::Marker);
-            self.mem.write(pe, m + marker::ENTRY_LOCAL_TOP, Cell::Uint(local_top), ObjectKind::Marker);
-            self.mem.write(pe, m + marker::ENTRY_E, Cell::Uint(e), ObjectKind::Marker);
-            self.workers[w].control_top = m + marker::SIZE;
+            mem.check_top(w, Area::ControlStack, m + marker::SIZE)?;
+            mem.write(pe, m + marker::KIND, Cell::Uint(marker::KIND_GOAL), ObjectKind::Marker);
+            mem.write(pe, m + marker::PF, Cell::Uint(pf), ObjectKind::Marker);
+            mem.write(pe, m + marker::SLOT, Cell::Uint(slot), ObjectKind::Marker);
+            mem.write(pe, m + marker::ENTRY_B, Cell::Uint(b), ObjectKind::Marker);
+            mem.write(pe, m + marker::ENTRY_TR, Cell::Uint(tr), ObjectKind::Marker);
+            mem.write(pe, m + marker::ENTRY_H, Cell::Uint(h), ObjectKind::Marker);
+            mem.write(pe, m + marker::ENTRY_LOCAL_TOP, Cell::Uint(local_top), ObjectKind::Marker);
+            mem.write(pe, m + marker::ENTRY_E, Cell::Uint(e), ObjectKind::Marker);
+            self.wk.control_top = m + marker::SIZE;
             m
         } else {
             NONE_ADDR
@@ -498,9 +829,9 @@ impl<'p> Engine<'p> {
             resume,
             stolen,
         };
-        let wk = &mut self.workers[w];
+        let wk = &mut *self.wk;
         wk.goal_contexts.push(ctx);
-        wk.cp = self.program.goal_success_addr;
+        wk.cp = self.core.program.goal_success_addr;
         wk.num_args = arity as u8;
         wk.b0 = wk.b;
         wk.p = code;
@@ -511,21 +842,61 @@ impl<'p> Engine<'p> {
         Ok(())
     }
 
+    /// Commit a parallel goal's completion (success or failure) to the
+    /// Parcall Frame: notify the parent over its Message Buffer when the
+    /// goal was stolen, and atomically bump the completion counter.
+    ///
+    /// Under [`DeterminismMode::Strict`] the commit order is the reference
+    /// order (completion counter first, then the message), preserving the
+    /// golden traces; under [`DeterminismMode::Relaxed`] the counter
+    /// increment comes *last*, so a parent that sees the counter reach its
+    /// target also sees every effect of the goal.  Both orders record the
+    /// same reference multiset — only the interleaving differs.
+    fn commit_completion(&mut self, stolen: bool, pf: u32, slot: u32, msg_kind: u32) -> EngineResult<()> {
+        let w = self.w();
+        let pe = self.wk.id;
+        let mem = &self.core.mem;
+        let notify_parent = |step: &Step<'a, 'p>| -> EngineResult<()> {
+            if stolen {
+                let parent = step
+                    .core
+                    .mem
+                    .read(pe, pf + parcall::PARENT_PE, ObjectKind::ParcallLocal)
+                    .expect_uint("parent pe") as usize;
+                if parent != w {
+                    step.post_message(parent, msg_kind, pf, slot)?;
+                }
+            }
+            Ok(())
+        };
+        if self.core.config.determinism == DeterminismMode::Relaxed {
+            // Cross-PE commit: message first, counter increment last.
+            notify_parent(self)?;
+            mem.rmw_uint(pe, pf + parcall::COMPLETED, ObjectKind::ParcallCount, |v| v + 1)?;
+        } else {
+            mem.rmw_uint(pe, pf + parcall::COMPLETED, ObjectKind::ParcallCount, |v| v + 1)?;
+            notify_parent(self)?;
+        }
+        Ok(())
+    }
+
     /// Executed when a parallel goal's continuation returns (the
-    /// `goal_success` stub): record completion and resume scheduling.
-    pub(crate) fn finish_goal_success(&mut self, w: usize) -> EngineResult<()> {
-        let pe = self.workers[w].id;
-        let ctx = self.workers[w]
+    /// `goal_success` stub): record completion via [`Step::commit_completion`]
+    /// and resume scheduling.
+    pub(crate) fn finish_goal_success(&mut self) -> EngineResult<()> {
+        let pe = self.wk.id;
+        let ctx = self
+            .wk
             .goal_contexts
             .pop()
             .ok_or_else(|| EngineError::Internal("goal_success with no goal in progress".into()))?;
+        let mem = &self.core.mem;
         let (pf, slot) = if ctx.stolen {
             // Re-read the Marker (pf, slot) as the real machine would, record
             // the completed slot and notify the parent.
-            let pf = self.mem.read(pe, ctx.marker + marker::PF, ObjectKind::Marker).expect_uint("marker pf");
-            let slot =
-                self.mem.read(pe, ctx.marker + marker::SLOT, ObjectKind::Marker).expect_uint("marker slot");
-            self.mem.write(
+            let pf = mem.read(pe, ctx.marker + marker::PF, ObjectKind::Marker).expect_uint("marker pf");
+            let slot = mem.read(pe, ctx.marker + marker::SLOT, ObjectKind::Marker).expect_uint("marker slot");
+            mem.write(
                 pe,
                 parcall::slot_status(pf, slot),
                 Cell::Uint(parcall::SLOT_DONE),
@@ -535,20 +906,10 @@ impl<'p> Engine<'p> {
         } else {
             (ctx.pf, ctx.slot)
         };
-        let done =
-            self.mem.read(pe, pf + parcall::COMPLETED, ObjectKind::ParcallCount).expect_uint("completed");
-        self.mem.write(pe, pf + parcall::COMPLETED, Cell::Uint(done + 1), ObjectKind::ParcallCount);
 
-        if ctx.stolen {
-            let parent =
-                self.mem.read(pe, pf + parcall::PARENT_PE, ObjectKind::ParcallLocal).expect_uint("parent pe")
-                    as usize;
-            if parent != w {
-                self.post_message(w, parent, message::KIND_DONE, pf, slot)?;
-            }
-        }
+        self.commit_completion(ctx.stolen, pf, slot, message::KIND_DONE)?;
 
-        let wk = &mut self.workers[w];
+        let wk = &mut *self.wk;
         wk.cp = ctx.prev_cp;
         wk.e = ctx.entry_e;
         wk.hb = ctx.prev_hb;
@@ -566,30 +927,33 @@ impl<'p> Engine<'p> {
     }
 
     /// A parallel goal failed: recover the storage of its Stack Section,
-    /// mark the Parcall Frame as failed and resume scheduling.
-    pub(crate) fn fail_goal(&mut self, w: usize) -> EngineResult<()> {
-        let pe = self.workers[w].id;
-        let ctx = self.workers[w]
+    /// mark the Parcall Frame as failed and commit the completion via
+    /// [`Step::commit_completion`].
+    pub(crate) fn fail_goal(&mut self) -> EngineResult<()> {
+        let pe = self.wk.id;
+        let ctx = self
+            .wk
             .goal_contexts
             .pop()
             .ok_or_else(|| EngineError::Internal("goal failure with no goal in progress".into()))?;
         let (pf, slot) = (ctx.pf, ctx.slot);
+        let mem = &self.core.mem;
         if ctx.stolen {
             // Re-read the Marker, as the real machine recovers the Stack
             // Section through it.
             let m = ctx.marker;
-            let _ = self.mem.read(pe, m + marker::PF, ObjectKind::Marker);
-            let _ = self.mem.read(pe, m + marker::SLOT, ObjectKind::Marker);
-            let _ = self.mem.read(pe, m + marker::ENTRY_TR, ObjectKind::Marker);
-            let _ = self.mem.read(pe, m + marker::ENTRY_H, ObjectKind::Marker);
-            let _ = self.mem.read(pe, m + marker::ENTRY_LOCAL_TOP, ObjectKind::Marker);
-            let _ = self.mem.read(pe, m + marker::ENTRY_E, ObjectKind::Marker);
+            let _ = mem.read(pe, m + marker::PF, ObjectKind::Marker);
+            let _ = mem.read(pe, m + marker::SLOT, ObjectKind::Marker);
+            let _ = mem.read(pe, m + marker::ENTRY_TR, ObjectKind::Marker);
+            let _ = mem.read(pe, m + marker::ENTRY_H, ObjectKind::Marker);
+            let _ = mem.read(pe, m + marker::ENTRY_LOCAL_TOP, ObjectKind::Marker);
+            let _ = mem.read(pe, m + marker::ENTRY_E, ObjectKind::Marker);
         }
 
         // Undo the goal's bindings and recover its storage.
-        self.untrail_to(w, ctx.entry_tr)?;
+        self.untrail_to(ctx.entry_tr)?;
         {
-            let wk = &mut self.workers[w];
+            let wk = &mut *self.wk;
             wk.h = ctx.entry_h;
             wk.local_top = ctx.entry_local_top;
             wk.e = ctx.entry_e;
@@ -603,33 +967,19 @@ impl<'p> Engine<'p> {
         }
 
         // Mark the Parcall Frame.
+        let mem = &self.core.mem;
         if ctx.stolen {
-            self.mem.write(
+            mem.write(
                 pe,
                 parcall::slot_status(pf, slot),
                 Cell::Uint(parcall::SLOT_FAILED),
                 ObjectKind::ParcallGlobal,
             );
         }
-        self.mem.write(
-            pe,
-            pf + parcall::STATUS,
-            Cell::Uint(parcall::STATUS_FAILED),
-            ObjectKind::ParcallLocal,
-        );
-        let done =
-            self.mem.read(pe, pf + parcall::COMPLETED, ObjectKind::ParcallCount).expect_uint("completed");
-        self.mem.write(pe, pf + parcall::COMPLETED, Cell::Uint(done + 1), ObjectKind::ParcallCount);
-        if ctx.stolen {
-            let parent =
-                self.mem.read(pe, pf + parcall::PARENT_PE, ObjectKind::ParcallLocal).expect_uint("parent pe")
-                    as usize;
-            if parent != w {
-                self.post_message(w, parent, message::KIND_FAILED, pf, slot)?;
-            }
-        }
+        mem.write(pe, pf + parcall::STATUS, Cell::Uint(parcall::STATUS_FAILED), ObjectKind::ParcallLocal);
+        self.commit_completion(ctx.stolen, pf, slot, message::KIND_FAILED)?;
 
-        let wk = &mut self.workers[w];
+        let wk = &mut *self.wk;
         match ctx.resume {
             Resume::ToWait { addr } => {
                 wk.p = addr;
@@ -643,47 +993,45 @@ impl<'p> Engine<'p> {
     }
 
     /// Write a completion/failure message into `parent`'s Message Buffer.
-    fn post_message(
-        &mut self,
-        from: usize,
-        parent: usize,
-        kind: u32,
-        pf: u32,
-        slot: u32,
-    ) -> EngineResult<()> {
-        let pe = self.workers[from].id;
-        let base = self.workers[parent].msg_base;
-        let size = self.mem.map.config.message_words;
-        let mut top = self.workers[parent].msg_top;
+    /// The parent's board lock is held across slot allocation *and* the word
+    /// writes, so concurrent posters can never interleave on one slot.
+    fn post_message(&self, parent: usize, kind: u32, pf: u32, slot: u32) -> EngineResult<()> {
+        let pe = self.wk.id;
+        let base = self.core.mem.map.area_base(parent, Area::MessageBuffer);
+        let size = self.core.mem.map.config.message_words;
+        let mut board = self.core.boards[parent].lock().unwrap();
+        let mut top = board.msg_top;
         if top + message::SIZE > base + size {
             top = base; // wrap the circular buffer
         }
-        self.mem.write(pe, top + message::KIND, Cell::Uint(kind), ObjectKind::Message);
-        self.mem.write(pe, top + message::PF, Cell::Uint(pf), ObjectKind::Message);
-        self.mem.write(pe, top + message::SLOT, Cell::Uint(slot), ObjectKind::Message);
-        self.workers[parent].msg_top = top + message::SIZE;
-        self.workers[parent].pending_messages += 1;
+        self.core.mem.write(pe, top + message::KIND, Cell::Uint(kind), ObjectKind::Message);
+        self.core.mem.write(pe, top + message::PF, Cell::Uint(pf), ObjectKind::Message);
+        self.core.mem.write(pe, top + message::SLOT, Cell::Uint(slot), ObjectKind::Message);
+        board.msg_top = top + message::SIZE;
+        board.pending_messages += 1;
         Ok(())
     }
 
-    /// Consume the pending completion messages of worker `w` (called when a
+    /// Consume this worker's pending completion messages (called when a
     /// Parcall Frame completes), generating the corresponding read traffic.
-    pub(crate) fn consume_messages(&mut self, w: usize) {
-        let pe = self.workers[w].id;
-        let pending = self.workers[w].pending_messages;
+    pub(crate) fn consume_messages(&mut self) {
+        let w = self.w();
+        let pe = self.wk.id;
+        let mut board = self.core.boards[w].lock().unwrap();
+        let pending = board.pending_messages;
         if pending == 0 {
             return;
         }
-        let mut addr = self.workers[w].msg_top;
+        let mut addr = board.msg_top;
         for _ in 0..pending {
             // Read back the most recent messages (newest first); the values
             // only matter for the reference trace.
-            addr = addr.saturating_sub(message::SIZE).max(self.workers[w].msg_base);
-            let _ = self.mem.read(pe, addr + message::KIND, ObjectKind::Message);
-            let _ = self.mem.read(pe, addr + message::PF, ObjectKind::Message);
-            let _ = self.mem.read(pe, addr + message::SLOT, ObjectKind::Message);
+            addr = addr.saturating_sub(message::SIZE).max(self.wk.msg_base);
+            let _ = self.core.mem.read(pe, addr + message::KIND, ObjectKind::Message);
+            let _ = self.core.mem.read(pe, addr + message::PF, ObjectKind::Message);
+            let _ = self.core.mem.read(pe, addr + message::SLOT, ObjectKind::Message);
         }
-        self.workers[w].pending_messages = 0;
+        board.pending_messages = 0;
     }
 
     // -----------------------------------------------------------------
@@ -692,29 +1040,31 @@ impl<'p> Engine<'p> {
 
     /// Push a choice point whose next alternative is the code address
     /// `next_clause`.
-    pub(crate) fn push_choice_point(&mut self, w: usize, next_clause: u32) -> EngineResult<()> {
-        let pe = self.workers[w].id;
-        let nargs = self.workers[w].num_args as u32;
-        let b = self.workers[w].control_top;
-        self.mem.check_top(w, Area::ControlStack, b + choice::size(nargs))?;
-        self.mem.write(pe, b + choice::NARGS, Cell::Uint(nargs), ObjectKind::ChoicePoint);
+    pub(crate) fn push_choice_point(&mut self, next_clause: u32) -> EngineResult<()> {
+        let w = self.w();
+        let pe = self.wk.id;
+        let mem = &self.core.mem;
+        let nargs = self.wk.num_args as u32;
+        let b = self.wk.control_top;
+        mem.check_top(w, Area::ControlStack, b + choice::size(nargs))?;
+        mem.write(pe, b + choice::NARGS, Cell::Uint(nargs), ObjectKind::ChoicePoint);
         for i in 0..nargs {
-            let v = self.workers[w].x[(i + 1) as usize];
-            self.mem.write(pe, choice::arg(b, i), v, ObjectKind::ChoicePoint);
+            let v = self.wk.x[(i + 1) as usize];
+            mem.write(pe, choice::arg(b, i), v, ObjectKind::ChoicePoint);
         }
-        let wk = &self.workers[w];
+        let wk = &*self.wk;
         let (e, cp, prev_b, tr, h, pf, local_top, b0) =
             (wk.e, wk.cp, wk.b, wk.tr, wk.h, wk.pf, wk.local_top, wk.b0);
-        self.mem.write(pe, choice::saved_e(b, nargs), Cell::Uint(e), ObjectKind::ChoicePoint);
-        self.mem.write(pe, choice::saved_cp(b, nargs), Cell::Code(cp), ObjectKind::ChoicePoint);
-        self.mem.write(pe, choice::prev_b(b, nargs), Cell::Uint(prev_b), ObjectKind::ChoicePoint);
-        self.mem.write(pe, choice::next_clause(b, nargs), Cell::Code(next_clause), ObjectKind::ChoicePoint);
-        self.mem.write(pe, choice::saved_tr(b, nargs), Cell::Uint(tr), ObjectKind::ChoicePoint);
-        self.mem.write(pe, choice::saved_h(b, nargs), Cell::Uint(h), ObjectKind::ChoicePoint);
-        self.mem.write(pe, choice::saved_pf(b, nargs), Cell::Uint(pf), ObjectKind::ChoicePoint);
-        self.mem.write(pe, choice::saved_local_top(b, nargs), Cell::Uint(local_top), ObjectKind::ChoicePoint);
-        self.mem.write(pe, choice::saved_b0(b, nargs), Cell::Uint(b0), ObjectKind::ChoicePoint);
-        let wk = &mut self.workers[w];
+        mem.write(pe, choice::saved_e(b, nargs), Cell::Uint(e), ObjectKind::ChoicePoint);
+        mem.write(pe, choice::saved_cp(b, nargs), Cell::Code(cp), ObjectKind::ChoicePoint);
+        mem.write(pe, choice::prev_b(b, nargs), Cell::Uint(prev_b), ObjectKind::ChoicePoint);
+        mem.write(pe, choice::next_clause(b, nargs), Cell::Code(next_clause), ObjectKind::ChoicePoint);
+        mem.write(pe, choice::saved_tr(b, nargs), Cell::Uint(tr), ObjectKind::ChoicePoint);
+        mem.write(pe, choice::saved_h(b, nargs), Cell::Uint(h), ObjectKind::ChoicePoint);
+        mem.write(pe, choice::saved_pf(b, nargs), Cell::Uint(pf), ObjectKind::ChoicePoint);
+        mem.write(pe, choice::saved_local_top(b, nargs), Cell::Uint(local_top), ObjectKind::ChoicePoint);
+        mem.write(pe, choice::saved_b0(b, nargs), Cell::Uint(b0), ObjectKind::ChoicePoint);
+        let wk = &mut *self.wk;
         wk.b = b;
         wk.hb = wk.h;
         wk.stack_boundary = wk.local_top;
@@ -725,28 +1075,26 @@ impl<'p> Engine<'p> {
 
     /// Restore machine state from the current choice point and continue at
     /// its next-alternative address (the retry/trust driver instruction).
-    fn restore_from_choice_point(&mut self, w: usize) -> EngineResult<()> {
-        let pe = self.workers[w].id;
-        let b = self.workers[w].b;
-        let nargs = self.mem.read(pe, b + choice::NARGS, ObjectKind::ChoicePoint).expect_uint("cp nargs");
+    fn restore_from_choice_point(&mut self) -> EngineResult<()> {
+        let pe = self.wk.id;
+        let b = self.wk.b;
+        let mem = &self.core.mem;
+        let nargs = mem.read(pe, b + choice::NARGS, ObjectKind::ChoicePoint).expect_uint("cp nargs");
         for i in 0..nargs {
-            let v = self.mem.read(pe, choice::arg(b, i), ObjectKind::ChoicePoint);
-            self.workers[w].x[(i + 1) as usize] = v;
+            let v = mem.read(pe, choice::arg(b, i), ObjectKind::ChoicePoint);
+            self.wk.x[(i + 1) as usize] = v;
         }
-        let e = self.mem.read(pe, choice::saved_e(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp e");
-        let cp = self.mem.read(pe, choice::saved_cp(b, nargs), ObjectKind::ChoicePoint).expect_code("cp cp");
-        let bp =
-            self.mem.read(pe, choice::next_clause(b, nargs), ObjectKind::ChoicePoint).expect_code("cp bp");
-        let tr = self.mem.read(pe, choice::saved_tr(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp tr");
-        let h = self.mem.read(pe, choice::saved_h(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp h");
-        let pf = self.mem.read(pe, choice::saved_pf(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp pf");
-        let lt = self
-            .mem
-            .read(pe, choice::saved_local_top(b, nargs), ObjectKind::ChoicePoint)
-            .expect_uint("cp lt");
-        let b0 = self.mem.read(pe, choice::saved_b0(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp b0");
-        self.untrail_to(w, tr)?;
-        let wk = &mut self.workers[w];
+        let e = mem.read(pe, choice::saved_e(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp e");
+        let cp = mem.read(pe, choice::saved_cp(b, nargs), ObjectKind::ChoicePoint).expect_code("cp cp");
+        let bp = mem.read(pe, choice::next_clause(b, nargs), ObjectKind::ChoicePoint).expect_code("cp bp");
+        let tr = mem.read(pe, choice::saved_tr(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp tr");
+        let h = mem.read(pe, choice::saved_h(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp h");
+        let pf = mem.read(pe, choice::saved_pf(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp pf");
+        let lt =
+            mem.read(pe, choice::saved_local_top(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp lt");
+        let b0 = mem.read(pe, choice::saved_b0(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp b0");
+        self.untrail_to(tr)?;
+        let wk = &mut *self.wk;
         wk.num_args = nargs as u8;
         wk.e = e;
         wk.cp = cp;
@@ -761,50 +1109,49 @@ impl<'p> Engine<'p> {
     }
 
     /// Discard the current choice point (executed by `trust` / cut).
-    pub(crate) fn pop_choice_point(&mut self, w: usize) -> EngineResult<()> {
-        let pe = self.workers[w].id;
-        let b = self.workers[w].b;
-        let nargs = self.mem.read(pe, b + choice::NARGS, ObjectKind::ChoicePoint).expect_uint("cp nargs");
-        let prev =
-            self.mem.read(pe, choice::prev_b(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp prev");
-        self.workers[w].b = prev;
-        self.refresh_backtrack_boundaries(w)?;
-        self.recede_control_top(w);
+    pub(crate) fn pop_choice_point(&mut self) -> EngineResult<()> {
+        let pe = self.wk.id;
+        let b = self.wk.b;
+        let mem = &self.core.mem;
+        let nargs = mem.read(pe, b + choice::NARGS, ObjectKind::ChoicePoint).expect_uint("cp nargs");
+        let prev = mem.read(pe, choice::prev_b(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp prev");
+        self.wk.b = prev;
+        self.refresh_backtrack_boundaries()?;
+        self.recede_control_top();
         Ok(())
     }
 
     /// After B changed (cut / trust), refresh the `hb` / `stack_boundary`
     /// trailing boundaries from the new current choice point.
-    pub(crate) fn refresh_backtrack_boundaries(&mut self, w: usize) -> EngineResult<()> {
-        let pe = self.workers[w].id;
-        let b = self.workers[w].b;
+    pub(crate) fn refresh_backtrack_boundaries(&mut self) -> EngineResult<()> {
+        let pe = self.wk.id;
+        let b = self.wk.b;
         // Within a parallel goal, the failure boundary of the goal also acts
         // as a trailing boundary.
-        let (goal_hb, goal_sb) = match self.workers[w].goal_contexts.last() {
-            Some(_) => (self.workers[w].hb, self.workers[w].stack_boundary),
-            None => (self.workers[w].heap_base, self.workers[w].local_base),
+        let (goal_hb, goal_sb) = match self.wk.goal_contexts.last() {
+            Some(_) => (self.wk.hb, self.wk.stack_boundary),
+            None => (self.wk.heap_base, self.wk.local_base),
         };
         if b == NONE_ADDR {
-            let wk = &mut self.workers[w];
+            let wk = &mut *self.wk;
             wk.hb = goal_hb.min(wk.h);
             wk.stack_boundary = goal_sb.min(wk.local_top);
             return Ok(());
         }
-        let nargs = self.mem.read(pe, b + choice::NARGS, ObjectKind::ChoicePoint).expect_uint("cp nargs");
-        let h = self.mem.read(pe, choice::saved_h(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp h");
-        let lt = self
-            .mem
-            .read(pe, choice::saved_local_top(b, nargs), ObjectKind::ChoicePoint)
-            .expect_uint("cp lt");
-        let wk = &mut self.workers[w];
+        let mem = &self.core.mem;
+        let nargs = mem.read(pe, b + choice::NARGS, ObjectKind::ChoicePoint).expect_uint("cp nargs");
+        let h = mem.read(pe, choice::saved_h(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp h");
+        let lt =
+            mem.read(pe, choice::saved_local_top(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp lt");
+        let wk = &mut *self.wk;
         wk.hb = h;
         wk.stack_boundary = lt;
         Ok(())
     }
 
     /// Recover Control-stack space if the discarded frames were topmost.
-    pub(crate) fn recede_control_top(&mut self, w: usize) {
-        let wk = &self.workers[w];
+    pub(crate) fn recede_control_top(&mut self) {
+        let wk = &*self.wk;
         let marker_top = wk
             .goal_contexts
             .iter()
@@ -819,120 +1166,55 @@ impl<'p> Engine<'p> {
             // an untraced host-side read: `num_args` may have changed since
             // the frame was pushed, and a shorter bound would let the next
             // push clobber the live frame's saved fields.
-            let nargs = self.mem.read_untraced(wk.b + choice::NARGS).expect_uint("cp nargs");
+            let nargs = self.core.mem.read_untraced(wk.b + choice::NARGS).expect_uint("cp nargs");
             wk.b + choice::size(nargs)
         };
         let new_top = marker_top.max(b_top).max(wk.control_base);
         if new_top < wk.control_top {
-            self.workers[w].control_top = new_top;
+            self.wk.control_top = new_top;
         }
     }
 
     /// Undo trailed bindings down to `target`.
-    pub(crate) fn untrail_to(&mut self, w: usize, target: u32) -> EngineResult<()> {
-        let pe = self.workers[w].id;
-        while self.workers[w].tr > target {
-            self.workers[w].tr -= 1;
-            let taddr = self.workers[w].tr;
-            let addr = self.mem.read(pe, taddr, ObjectKind::TrailEntry).expect_uint("trail entry");
-            let obj = self.object_for_addr(addr);
-            self.mem.write(pe, addr, Cell::Ref(addr), obj);
+    pub(crate) fn untrail_to(&mut self, target: u32) -> EngineResult<()> {
+        let pe = self.wk.id;
+        while self.wk.tr > target {
+            self.wk.tr -= 1;
+            let taddr = self.wk.tr;
+            let addr = self.core.mem.read(pe, taddr, ObjectKind::TrailEntry).expect_uint("trail entry");
+            let obj = self.core.object_for_addr(addr);
+            self.core.mem.write(pe, addr, Cell::Ref(addr), obj);
         }
         Ok(())
     }
 
-    /// Handle a failure on worker `w`: either the current parallel goal
+    /// Handle a failure on this worker: either the current parallel goal
     /// fails, the whole query fails, or we backtrack into the most recent
     /// choice point.
-    pub(crate) fn backtrack(&mut self, w: usize) -> EngineResult<()> {
-        let b = self.workers[w].b;
-        let at_goal_boundary = self.workers[w].goal_contexts.last().map(|c| c.entry_b == b).unwrap_or(false);
+    pub(crate) fn backtrack(&mut self) -> EngineResult<()> {
+        let b = self.wk.b;
+        let at_goal_boundary = self.wk.goal_contexts.last().map(|c| c.entry_b == b).unwrap_or(false);
         if at_goal_boundary {
-            return self.fail_goal(w);
+            return self.fail_goal();
         }
         if b == NONE_ADDR {
-            self.mem.shared_write(board::STATUS, Cell::Uint(board::STATUS_FAILED));
-            self.finished = Some(false);
-            for wk in &mut self.workers {
-                wk.status = WorkerStatus::Stopped;
-            }
+            self.core.mem.shared_write(board::STATUS, Cell::Uint(board::STATUS_FAILED));
+            self.core.set_finished(false);
+            self.wk.status = WorkerStatus::Stopped;
             return Ok(());
         }
-        self.restore_from_choice_point(w)
+        self.restore_from_choice_point()
     }
 
     /// Called by the `halt` builtin: the query succeeded.  The answer
     /// location is published on the query board in the shared region, where
-    /// any PE (or the host) can read it.
-    pub(crate) fn query_succeeded(&mut self, w: usize) {
-        self.mem.shared_write(board::STATUS, Cell::Uint(board::STATUS_SUCCEEDED));
-        self.mem.shared_write(board::ANSWER_PE, Cell::Uint(w as u32));
-        self.mem.shared_write(board::ANSWER_ENV, Cell::Uint(self.workers[w].e));
-        self.finished = Some(true);
-        for wk in &mut self.workers {
-            wk.status = WorkerStatus::Stopped;
-        }
-    }
-
-    // -----------------------------------------------------------------
-    // Results
-    // -----------------------------------------------------------------
-
-    fn extract_answer(&self, syms: &SymbolTable) -> EngineResult<Vec<(String, Term)>> {
-        if self.mem.shared_read(board::STATUS) != Cell::Uint(board::STATUS_SUCCEEDED) {
-            return Ok(Vec::new());
-        }
-        let env_addr = self.mem.shared_read(board::ANSWER_ENV).expect_uint("board answer env");
-        let mut out = Vec::new();
-        for (name, slot) in &self.program.query_vars {
-            let addr = env::y_addr(env_addr, *slot);
-            let term = extract_binding(&self.mem, addr, syms)?;
-            out.push((name.clone(), term));
-        }
-        Ok(out)
-    }
-
-    fn collect_stats(&self) -> RunStats {
-        let workers: Vec<WorkerStats> = self
-            .workers
-            .iter()
-            .map(|w| WorkerStats {
-                instructions: w.instructions,
-                idle_cycles: w.idle_cycles,
-                max_usage: w.max_usage(),
-                goals_stolen: w.goals_stolen,
-                steal_notices: w.steal_notices,
-            })
-            .collect();
-        let area_stats = self.mem.merged_stats();
-        RunStats {
-            num_workers: self.workers.len(),
-            instructions: self.steps,
-            data_refs: area_stats.total.total(),
-            reads: area_stats.total.reads,
-            writes: area_stats.total.writes,
-            elapsed_cycles: self.cycles,
-            parcalls: self.parcalls,
-            parallel_goals: self.parallel_goals,
-            goals_actually_parallel: self.goals_actually_parallel,
-            inferences: self.inferences,
-            area_stats,
-            workers,
-        }
-    }
-
-    /// Classify a data address by the object kind that lives in its area
-    /// (used when the engine only knows an address, e.g. for dereferencing
-    /// and untrailing).
-    pub(crate) fn object_for_addr(&self, addr: u32) -> ObjectKind {
-        match self.mem.map.area_of(addr) {
-            Area::Heap => ObjectKind::HeapTerm,
-            Area::LocalStack => ObjectKind::EnvPermVar,
-            Area::ControlStack => ObjectKind::Marker,
-            Area::Trail => ObjectKind::TrailEntry,
-            Area::Pdl => ObjectKind::PdlEntry,
-            Area::GoalStack => ObjectKind::GoalFrame,
-            Area::MessageBuffer => ObjectKind::Message,
-        }
+    /// any PE (or the host) can read it, *before* the finished flag flips,
+    /// so every observer of the flag sees the answer.
+    pub(crate) fn query_succeeded(&mut self) {
+        self.core.mem.shared_write(board::STATUS, Cell::Uint(board::STATUS_SUCCEEDED));
+        self.core.mem.shared_write(board::ANSWER_PE, Cell::Uint(self.w() as u32));
+        self.core.mem.shared_write(board::ANSWER_ENV, Cell::Uint(self.wk.e));
+        self.core.set_finished(true);
+        self.wk.status = WorkerStatus::Stopped;
     }
 }

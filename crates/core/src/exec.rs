@@ -1,206 +1,213 @@
 //! Instruction dispatch: execution of one abstract-machine instruction.
+//!
+//! All instructions run as methods on `Step` — one worker's exclusive
+//! state paired with the shared [`crate::engine::EngineCore`] — so the same
+//! dispatch serves the deterministic backends (one `Step` at a time) and the
+//! relaxed backend (one `Step` per OS thread, concurrently).
 
 use crate::builtins::BuiltinOutcome;
 use crate::cell::{Cell, NONE_ADDR};
-use crate::engine::Engine;
+use crate::engine::Step;
 use crate::error::{EngineError, EngineResult};
 use crate::frames::{choice, env, goal_frame, parcall};
 use crate::known;
 use crate::layout::{Area, ObjectKind};
 use crate::worker::{Mode, Resume, WorkerStatus};
 use pwam_compiler::{CallTarget, ConstKey, Instr, Reg};
+use std::sync::atomic::Ordering;
 
-impl<'p> Engine<'p> {
-    /// Execute the instruction at the current program counter of worker `w`.
-    pub(crate) fn exec_instr(&mut self, w: usize) -> EngineResult<()> {
-        let program = self.program;
-        let p = self.workers[w].p;
+impl<'a, 'p> Step<'a, 'p> {
+    /// Execute the instruction at this worker's current program counter.
+    pub(crate) fn exec_instr(&mut self) -> EngineResult<()> {
+        let program = self.core.program;
+        let p = self.wk.p;
         let instr = &program.code[p as usize];
-        let pe = self.workers[w].id;
+        let pe = self.wk.id;
         let mut next = p + 1;
 
         match instr {
             // ---------------- put ----------------
             Instr::PutVariable { v, a } => match v {
                 Reg::X(n) => {
-                    let var = self.new_heap_var(w)?;
-                    self.workers[w].x[*n as usize] = var;
-                    self.workers[w].x[*a as usize] = var;
+                    let var = self.new_heap_var()?;
+                    self.wk.x[*n as usize] = var;
+                    self.wk.x[*a as usize] = var;
                 }
                 Reg::Y(n) => {
-                    let addr = self.y_addr(w, *n)?;
-                    self.mem.write(pe, addr, Cell::Ref(addr), ObjectKind::EnvPermVar);
-                    self.workers[w].x[*a as usize] = Cell::Ref(addr);
+                    let addr = self.y_addr(*n)?;
+                    self.core.mem.write(pe, addr, Cell::Ref(addr), ObjectKind::EnvPermVar);
+                    self.wk.x[*a as usize] = Cell::Ref(addr);
                 }
             },
             Instr::PutValue { v, a } => {
-                let c = self.read_reg(w, *v)?;
-                self.workers[w].x[*a as usize] = c;
+                let c = self.read_reg(*v)?;
+                self.wk.x[*a as usize] = c;
             }
             Instr::PutUnsafeValue { y, a } => {
-                let c = self.read_reg(w, Reg::Y(*y))?;
-                let g = self.globalize(w, c)?;
-                self.workers[w].x[*a as usize] = g;
+                let c = self.read_reg(Reg::Y(*y))?;
+                let g = self.globalize(c)?;
+                self.wk.x[*a as usize] = g;
             }
             Instr::PutConstant { c, a } => {
-                self.workers[w].x[*a as usize] = Cell::Con(*c);
+                self.wk.x[*a as usize] = Cell::Con(*c);
             }
             Instr::PutInteger { i, a } => {
-                self.workers[w].x[*a as usize] = Cell::Int(*i);
+                self.wk.x[*a as usize] = Cell::Int(*i);
             }
             Instr::PutNil { a } => {
-                self.workers[w].x[*a as usize] = Cell::Con(known::NIL);
+                self.wk.x[*a as usize] = Cell::Con(known::NIL);
             }
             Instr::PutStructure { f, n, a } => {
-                let addr = self.heap_push(w, Cell::Fun(*f, *n))?;
-                self.workers[w].x[*a as usize] = Cell::Str(addr);
-                self.workers[w].mode = Mode::Write;
+                let addr = self.heap_push(Cell::Fun(*f, *n))?;
+                self.wk.x[*a as usize] = Cell::Str(addr);
+                self.wk.mode = Mode::Write;
             }
             Instr::PutList { a } => {
-                let h = self.workers[w].h;
-                self.workers[w].x[*a as usize] = Cell::Lis(h);
-                self.workers[w].mode = Mode::Write;
+                let h = self.wk.h;
+                self.wk.x[*a as usize] = Cell::Lis(h);
+                self.wk.mode = Mode::Write;
             }
 
             // ---------------- get ----------------
             Instr::GetVariable { v, a } => {
-                let c = self.workers[w].x[*a as usize];
-                self.write_reg(w, *v, c)?;
+                let c = self.wk.x[*a as usize];
+                self.write_reg(*v, c)?;
             }
             Instr::GetValue { v, a } => {
-                let c = self.read_reg(w, *v)?;
-                let arg = self.workers[w].x[*a as usize];
-                if !self.unify(w, c, arg)? {
-                    return self.backtrack(w);
+                let c = self.read_reg(*v)?;
+                let arg = self.wk.x[*a as usize];
+                if !self.unify(c, arg)? {
+                    return self.backtrack();
                 }
             }
             Instr::GetConstant { c, a } => {
-                let arg = self.workers[w].x[*a as usize];
-                if !self.get_atomic(w, arg, Cell::Con(*c))? {
-                    return self.backtrack(w);
+                let arg = self.wk.x[*a as usize];
+                if !self.get_atomic(arg, Cell::Con(*c))? {
+                    return self.backtrack();
                 }
             }
             Instr::GetInteger { i, a } => {
-                let arg = self.workers[w].x[*a as usize];
-                if !self.get_atomic(w, arg, Cell::Int(*i))? {
-                    return self.backtrack(w);
+                let arg = self.wk.x[*a as usize];
+                if !self.get_atomic(arg, Cell::Int(*i))? {
+                    return self.backtrack();
                 }
             }
             Instr::GetNil { a } => {
-                let arg = self.workers[w].x[*a as usize];
-                if !self.get_atomic(w, arg, Cell::Con(known::NIL))? {
-                    return self.backtrack(w);
+                let arg = self.wk.x[*a as usize];
+                if !self.get_atomic(arg, Cell::Con(known::NIL))? {
+                    return self.backtrack();
                 }
             }
             Instr::GetStructure { f, n, a } => {
-                let arg = self.workers[w].x[*a as usize];
-                match self.deref(w, arg) {
+                let arg = self.wk.x[*a as usize];
+                match self.deref(arg) {
                     Cell::Ref(addr) => {
-                        let fun_addr = self.heap_push(w, Cell::Fun(*f, *n))?;
-                        self.bind(w, addr, Cell::Str(fun_addr))?;
-                        self.workers[w].mode = Mode::Write;
+                        let fun_addr = self.heap_push(Cell::Fun(*f, *n))?;
+                        self.bind(addr, Cell::Str(fun_addr))?;
+                        self.wk.mode = Mode::Write;
                     }
                     Cell::Str(pp) => {
-                        let fun = self.mem.read(pe, pp, ObjectKind::HeapTerm);
+                        let fun = self.core.mem.read(pe, pp, ObjectKind::HeapTerm);
                         match fun {
                             Cell::Fun(f2, n2) if f2 == *f && n2 == *n => {
-                                self.workers[w].s = pp + 1;
-                                self.workers[w].mode = Mode::Read;
+                                self.wk.s = pp + 1;
+                                self.wk.mode = Mode::Read;
                             }
-                            _ => return self.backtrack(w),
+                            _ => return self.backtrack(),
                         }
                     }
-                    _ => return self.backtrack(w),
+                    _ => return self.backtrack(),
                 }
             }
             Instr::GetList { a } => {
-                let arg = self.workers[w].x[*a as usize];
-                match self.deref(w, arg) {
+                let arg = self.wk.x[*a as usize];
+                match self.deref(arg) {
                     Cell::Ref(addr) => {
-                        let h = self.workers[w].h;
-                        self.bind(w, addr, Cell::Lis(h))?;
-                        self.workers[w].mode = Mode::Write;
+                        let h = self.wk.h;
+                        self.bind(addr, Cell::Lis(h))?;
+                        self.wk.mode = Mode::Write;
                     }
                     Cell::Lis(pp) => {
-                        self.workers[w].s = pp;
-                        self.workers[w].mode = Mode::Read;
+                        self.wk.s = pp;
+                        self.wk.mode = Mode::Read;
                     }
-                    _ => return self.backtrack(w),
+                    _ => return self.backtrack(),
                 }
             }
 
             // ---------------- unify ----------------
-            Instr::UnifyVariable { v } => match self.workers[w].mode {
+            Instr::UnifyVariable { v } => match self.wk.mode {
                 Mode::Read => {
-                    let s = self.workers[w].s;
-                    let c = self.mem.read(pe, s, self.object_for_addr(s));
-                    self.workers[w].s = s + 1;
-                    self.write_reg(w, *v, c)?;
+                    let s = self.wk.s;
+                    let c = self.core.mem.read(pe, s, self.core.object_for_addr(s));
+                    self.wk.s = s + 1;
+                    self.write_reg(*v, c)?;
                 }
                 Mode::Write => {
-                    let var = self.new_heap_var(w)?;
-                    self.write_reg(w, *v, var)?;
+                    let var = self.new_heap_var()?;
+                    self.write_reg(*v, var)?;
                 }
             },
-            Instr::UnifyValue { v } | Instr::UnifyLocalValue { v } => match self.workers[w].mode {
+            Instr::UnifyValue { v } | Instr::UnifyLocalValue { v } => match self.wk.mode {
                 Mode::Read => {
-                    let s = self.workers[w].s;
-                    let target = self.mem.read(pe, s, self.object_for_addr(s));
-                    self.workers[w].s = s + 1;
-                    let c = self.read_reg(w, *v)?;
-                    if !self.unify(w, c, target)? {
-                        return self.backtrack(w);
+                    let s = self.wk.s;
+                    let target = self.core.mem.read(pe, s, self.core.object_for_addr(s));
+                    self.wk.s = s + 1;
+                    let c = self.read_reg(*v)?;
+                    if !self.unify(c, target)? {
+                        return self.backtrack();
                     }
                 }
                 Mode::Write => {
-                    let c = self.read_reg(w, *v)?;
-                    let g = self.globalize(w, c)?;
-                    self.heap_push(w, g)?;
+                    let c = self.read_reg(*v)?;
+                    let g = self.globalize(c)?;
+                    self.heap_push(g)?;
                 }
             },
             Instr::UnifyConstant { c } => {
-                if !self.unify_atomic(w, Cell::Con(*c))? {
-                    return self.backtrack(w);
+                if !self.unify_atomic(Cell::Con(*c))? {
+                    return self.backtrack();
                 }
             }
             Instr::UnifyInteger { i } => {
-                if !self.unify_atomic(w, Cell::Int(*i))? {
-                    return self.backtrack(w);
+                if !self.unify_atomic(Cell::Int(*i))? {
+                    return self.backtrack();
                 }
             }
             Instr::UnifyNil => {
-                if !self.unify_atomic(w, Cell::Con(known::NIL))? {
-                    return self.backtrack(w);
+                if !self.unify_atomic(Cell::Con(known::NIL))? {
+                    return self.backtrack();
                 }
             }
-            Instr::UnifyVoid { n } => match self.workers[w].mode {
-                Mode::Read => self.workers[w].s += *n as u32,
+            Instr::UnifyVoid { n } => match self.wk.mode {
+                Mode::Read => self.wk.s += *n as u32,
                 Mode::Write => {
                     for _ in 0..*n {
-                        self.new_heap_var(w)?;
+                        self.new_heap_var()?;
                     }
                 }
             },
 
             // ---------------- control ----------------
             Instr::Allocate { n } => {
-                let e_new = self.workers[w].local_top;
-                self.mem.check_top(w, Area::LocalStack, e_new + env::size(*n as u32))?;
-                let (e_old, cp) = (self.workers[w].e, self.workers[w].cp);
-                self.mem.write(pe, e_new + env::CE, Cell::Uint(e_old), ObjectKind::EnvControl);
-                self.mem.write(pe, e_new + env::CP, Cell::Code(cp), ObjectKind::EnvControl);
-                self.mem.write(pe, e_new + env::NVARS, Cell::Uint(*n as u32), ObjectKind::EnvControl);
-                let wk = &mut self.workers[w];
+                let e_new = self.wk.local_top;
+                self.core.mem.check_top(self.w(), Area::LocalStack, e_new + env::size(*n as u32))?;
+                let (e_old, cp) = (self.wk.e, self.wk.cp);
+                self.core.mem.write(pe, e_new + env::CE, Cell::Uint(e_old), ObjectKind::EnvControl);
+                self.core.mem.write(pe, e_new + env::CP, Cell::Code(cp), ObjectKind::EnvControl);
+                self.core.mem.write(pe, e_new + env::NVARS, Cell::Uint(*n as u32), ObjectKind::EnvControl);
+                let wk = &mut *self.wk;
                 wk.e = e_new;
                 wk.local_top = e_new + env::size(*n as u32);
                 wk.update_high_water();
             }
             Instr::Deallocate => {
-                let e = self.workers[w].e;
-                let ce = self.mem.read(pe, e + env::CE, ObjectKind::EnvControl).expect_uint("env CE");
-                let cp = self.mem.read(pe, e + env::CP, ObjectKind::EnvControl).expect_code("env CP");
-                let n = self.mem.read(pe, e + env::NVARS, ObjectKind::EnvControl).expect_uint("env nvars");
-                let wk = &mut self.workers[w];
+                let e = self.wk.e;
+                let ce = self.core.mem.read(pe, e + env::CE, ObjectKind::EnvControl).expect_uint("env CE");
+                let cp = self.core.mem.read(pe, e + env::CP, ObjectKind::EnvControl).expect_code("env CP");
+                let n =
+                    self.core.mem.read(pe, e + env::NVARS, ObjectKind::EnvControl).expect_uint("env nvars");
+                let wk = &mut *self.wk;
                 if e + env::size(n) == wk.local_top {
                     wk.local_top = e;
                 }
@@ -209,16 +216,16 @@ impl<'p> Engine<'p> {
             }
             Instr::Call { target, arity } => match target {
                 CallTarget::Code(addr) => {
-                    self.inferences += 1;
-                    let wk = &mut self.workers[w];
+                    self.core.inferences.fetch_add(1, Ordering::Relaxed);
+                    let wk = &mut *self.wk;
                     wk.cp = p + 1;
                     wk.num_args = *arity;
                     wk.b0 = wk.b;
                     next = *addr;
                 }
-                CallTarget::Builtin(b) => match self.exec_builtin(w, *b)? {
+                CallTarget::Builtin(b) => match self.exec_builtin(*b)? {
                     BuiltinOutcome::Succeed => {}
-                    BuiltinOutcome::Fail => return self.backtrack(w),
+                    BuiltinOutcome::Fail => return self.backtrack(),
                     BuiltinOutcome::Halted => return Ok(()),
                 },
                 CallTarget::Unresolved(_) => {
@@ -230,15 +237,15 @@ impl<'p> Engine<'p> {
             },
             Instr::Execute { target, arity } => match target {
                 CallTarget::Code(addr) => {
-                    self.inferences += 1;
-                    let wk = &mut self.workers[w];
+                    self.core.inferences.fetch_add(1, Ordering::Relaxed);
+                    let wk = &mut *self.wk;
                     wk.num_args = *arity;
                     wk.b0 = wk.b;
                     next = *addr;
                 }
-                CallTarget::Builtin(b) => match self.exec_builtin(w, *b)? {
-                    BuiltinOutcome::Succeed => next = self.workers[w].cp,
-                    BuiltinOutcome::Fail => return self.backtrack(w),
+                CallTarget::Builtin(b) => match self.exec_builtin(*b)? {
+                    BuiltinOutcome::Succeed => next = self.wk.cp,
+                    BuiltinOutcome::Fail => return self.backtrack(),
                     BuiltinOutcome::Halted => return Ok(()),
                 },
                 CallTarget::Unresolved(_) => {
@@ -249,38 +256,49 @@ impl<'p> Engine<'p> {
                 }
             },
             Instr::Proceed => {
-                next = self.workers[w].cp;
+                next = self.wk.cp;
             }
-            Instr::CallBuiltin { b } => match self.exec_builtin(w, *b)? {
+            Instr::CallBuiltin { b } => match self.exec_builtin(*b)? {
                 BuiltinOutcome::Succeed => {}
-                BuiltinOutcome::Fail => return self.backtrack(w),
+                BuiltinOutcome::Fail => return self.backtrack(),
                 BuiltinOutcome::Halted => return Ok(()),
             },
 
             // ---------------- choice points & indexing ----------------
             Instr::Try { addr } => {
-                self.push_choice_point(w, p + 1)?;
+                self.push_choice_point(p + 1)?;
                 next = *addr;
             }
             Instr::Retry { addr } => {
-                let b = self.workers[w].b;
-                let nargs =
-                    self.mem.read(pe, b + choice::NARGS, ObjectKind::ChoicePoint).expect_uint("cp nargs");
-                self.mem.write(pe, choice::next_clause(b, nargs), Cell::Code(p + 1), ObjectKind::ChoicePoint);
+                let b = self.wk.b;
+                let nargs = self
+                    .core
+                    .mem
+                    .read(pe, b + choice::NARGS, ObjectKind::ChoicePoint)
+                    .expect_uint("cp nargs");
+                self.core.mem.write(
+                    pe,
+                    choice::next_clause(b, nargs),
+                    Cell::Code(p + 1),
+                    ObjectKind::ChoicePoint,
+                );
                 next = *addr;
             }
             Instr::Trust { addr } => {
-                self.pop_choice_point(w)?;
+                self.pop_choice_point()?;
                 next = *addr;
             }
             Instr::TryMeElse { else_ } => {
-                self.push_choice_point(w, *else_)?;
+                self.push_choice_point(*else_)?;
             }
             Instr::RetryMeElse { else_ } => {
-                let b = self.workers[w].b;
-                let nargs =
-                    self.mem.read(pe, b + choice::NARGS, ObjectKind::ChoicePoint).expect_uint("cp nargs");
-                self.mem.write(
+                let b = self.wk.b;
+                let nargs = self
+                    .core
+                    .mem
+                    .read(pe, b + choice::NARGS, ObjectKind::ChoicePoint)
+                    .expect_uint("cp nargs");
+                self.core.mem.write(
                     pe,
                     choice::next_clause(b, nargs),
                     Cell::Code(*else_),
@@ -288,11 +306,11 @@ impl<'p> Engine<'p> {
                 );
             }
             Instr::TrustMe => {
-                self.pop_choice_point(w)?;
+                self.pop_choice_point()?;
             }
             Instr::SwitchOnTerm { var, con, lis, stru } => {
-                let arg = self.workers[w].x[1];
-                next = match self.deref(w, arg) {
+                let arg = self.wk.x[1];
+                next = match self.deref(arg) {
                     Cell::Ref(_) => *var,
                     Cell::Con(_) | Cell::Int(_) => *con,
                     Cell::Lis(_) => *lis,
@@ -306,19 +324,19 @@ impl<'p> Engine<'p> {
                 };
             }
             Instr::SwitchOnConstant { table, default } => {
-                let arg = self.workers[w].x[1];
-                let key = match self.deref(w, arg) {
+                let arg = self.wk.x[1];
+                let key = match self.deref(arg) {
                     Cell::Con(a) => ConstKey::Atom(a),
                     Cell::Int(i) => ConstKey::Int(i),
-                    _ => return self.backtrack(w),
+                    _ => return self.backtrack(),
                 };
                 next = table.iter().find(|(k, _)| *k == key).map(|(_, a)| *a).unwrap_or(*default);
             }
             Instr::SwitchOnStructure { table, default } => {
-                let arg = self.workers[w].x[1];
-                match self.deref(w, arg) {
+                let arg = self.wk.x[1];
+                match self.deref(arg) {
                     Cell::Str(pp) => {
-                        let fun = self.mem.read(pe, pp, ObjectKind::HeapTerm);
+                        let fun = self.core.mem.read(pe, pp, ObjectKind::HeapTerm);
                         match fun {
                             Cell::Fun(f, n) => {
                                 next = table
@@ -327,10 +345,10 @@ impl<'p> Engine<'p> {
                                     .map(|(_, a)| *a)
                                     .unwrap_or(*default);
                             }
-                            _ => return self.backtrack(w),
+                            _ => return self.backtrack(),
                         }
                     }
-                    _ => return self.backtrack(w),
+                    _ => return self.backtrack(),
                 }
             }
 
@@ -345,61 +363,62 @@ impl<'p> Engine<'p> {
                 // Capture the cut barrier: choice points older than the call
                 // of the current predicate survive a cut, everything newer
                 // (including the clause-selection choice point) is discarded.
-                let b0 = self.workers[w].b0;
-                self.write_reg(w, Reg::Y(*y), Cell::Uint(b0))?;
+                let b0 = self.wk.b0;
+                self.write_reg(Reg::Y(*y), Cell::Uint(b0))?;
             }
             Instr::CutTo { y } => {
-                let target = self.read_reg(w, Reg::Y(*y))?.expect_uint("cut barrier");
-                if self.workers[w].b != target {
-                    self.workers[w].b = target;
-                    self.refresh_backtrack_boundaries(w)?;
-                    self.recede_control_top(w);
+                let target = self.read_reg(Reg::Y(*y))?.expect_uint("cut barrier");
+                if self.wk.b != target {
+                    self.wk.b = target;
+                    self.refresh_backtrack_boundaries()?;
+                    self.recede_control_top();
                 }
             }
 
             // ---------------- builtins handled above; parallel below ----
             Instr::CheckGround { v, else_ } => {
-                let c = self.read_reg(w, *v)?;
-                if !self.is_ground(w, c)? {
+                let c = self.read_reg(*v)?;
+                if !self.is_ground(c)? {
                     next = *else_;
                 }
             }
             Instr::CheckIndep { v1, v2, else_ } => {
-                let c1 = self.read_reg(w, *v1)?;
-                let c2 = self.read_reg(w, *v2)?;
-                if !self.independent(w, c1, c2)? {
+                let c1 = self.read_reg(*v1)?;
+                let c2 = self.read_reg(*v2)?;
+                if !self.independent(c1, c2)? {
                     next = *else_;
                 }
             }
             Instr::PcallAlloc { n } => {
                 let n = *n as u32;
-                let pf_new = self.workers[w].local_top;
-                self.mem.check_top(w, Area::LocalStack, pf_new + parcall::size(n))?;
-                let prev = self.workers[w].pf;
-                self.mem.write(pe, pf_new + parcall::NGOALS, Cell::Uint(n), ObjectKind::ParcallLocal);
-                self.mem.write(pe, pf_new + parcall::TO_SCHEDULE, Cell::Uint(n), ObjectKind::ParcallCount);
-                self.mem.write(pe, pf_new + parcall::COMPLETED, Cell::Uint(0), ObjectKind::ParcallCount);
-                self.mem.write(
+                let pf_new = self.wk.local_top;
+                self.core.mem.check_top(self.w(), Area::LocalStack, pf_new + parcall::size(n))?;
+                let prev = self.wk.pf;
+                let mem = &self.core.mem;
+                mem.write(pe, pf_new + parcall::NGOALS, Cell::Uint(n), ObjectKind::ParcallLocal);
+                mem.write(pe, pf_new + parcall::TO_SCHEDULE, Cell::Uint(n), ObjectKind::ParcallCount);
+                mem.write(pe, pf_new + parcall::COMPLETED, Cell::Uint(0), ObjectKind::ParcallCount);
+                mem.write(
                     pe,
                     pf_new + parcall::STATUS,
                     Cell::Uint(parcall::STATUS_OK),
                     ObjectKind::ParcallLocal,
                 );
-                self.mem.write(
+                mem.write(
                     pe,
                     pf_new + parcall::PARENT_PE,
-                    Cell::Uint(w as u32),
+                    Cell::Uint(self.w() as u32),
                     ObjectKind::ParcallLocal,
                 );
-                self.mem.write(pe, pf_new + parcall::PREV_PF, Cell::Uint(prev), ObjectKind::ParcallLocal);
+                mem.write(pe, pf_new + parcall::PREV_PF, Cell::Uint(prev), ObjectKind::ParcallLocal);
                 // The per-goal slots are written lazily, when a goal is
                 // actually taken by another PE; goals the parent executes
                 // itself never touch them.
-                let wk = &mut self.workers[w];
+                let wk = &mut *self.wk;
                 wk.pf = pf_new;
                 wk.local_top = pf_new + parcall::size(n);
                 wk.update_high_water();
-                self.parcalls += 1;
+                self.core.parcalls.fetch_add(1, Ordering::Relaxed);
             }
             Instr::PcallGoal { target, arity, slot } => {
                 let code = match target {
@@ -412,51 +431,67 @@ impl<'p> Engine<'p> {
                     }
                 };
                 let arity = *arity as u32;
-                let pf = self.workers[w].pf;
-                let g = self.workers[w].goal_top;
-                self.mem.check_top(w, Area::GoalStack, g + goal_frame::size(arity))?;
-                self.mem.write(pe, g + goal_frame::CODE, Cell::Code(code), ObjectKind::GoalFrame);
-                self.mem.write(pe, g + goal_frame::ARITY, Cell::Uint(arity), ObjectKind::GoalFrame);
-                self.mem.write(pe, g + goal_frame::PF, Cell::Uint(pf), ObjectKind::GoalFrame);
-                self.mem.write(pe, g + goal_frame::SLOT, Cell::Uint(*slot as u32), ObjectKind::GoalFrame);
-                for i in 0..arity {
-                    let c = self.workers[w].x[(i + 1) as usize];
-                    let g_c = self.globalize(w, c)?;
-                    self.mem.write(pe, goal_frame::arg(g, i), g_c, ObjectKind::GoalFrame);
+                let pf = self.wk.pf;
+                // The own board's lock is held across top read, word writes
+                // and the push: a thief popping concurrently can then never
+                // observe a half-written frame.  (`core` is copied out of
+                // `self` so the guard does not pin `self` while globalize
+                // mutates the worker.)
+                let w = self.w();
+                let core = self.core;
+                {
+                    let mut board = core.boards[w].lock().unwrap();
+                    let g = board.goal_top;
+                    core.mem.check_top(w, Area::GoalStack, g + goal_frame::size(arity))?;
+                    core.mem.write(pe, g + goal_frame::CODE, Cell::Code(code), ObjectKind::GoalFrame);
+                    core.mem.write(pe, g + goal_frame::ARITY, Cell::Uint(arity), ObjectKind::GoalFrame);
+                    core.mem.write(pe, g + goal_frame::PF, Cell::Uint(pf), ObjectKind::GoalFrame);
+                    core.mem.write(pe, g + goal_frame::SLOT, Cell::Uint(*slot as u32), ObjectKind::GoalFrame);
+                    for i in 0..arity {
+                        let c = self.wk.x[(i + 1) as usize];
+                        let g_c = self.globalize(c)?;
+                        core.mem.write(pe, goal_frame::arg(g, i), g_c, ObjectKind::GoalFrame);
+                    }
+                    board.goal_frames.push(g);
+                    board.goal_top = g + goal_frame::size(arity);
+                    self.wk.goal_top = board.goal_top;
                 }
-                let wk = &mut self.workers[w];
-                wk.goal_frames.push(g);
-                wk.goal_top = g + goal_frame::size(arity);
-                wk.update_high_water();
+                self.wk.update_high_water();
             }
             Instr::PcallWait => {
-                let pf = self.workers[w].pf;
+                let pf = self.wk.pf;
                 if pf == NONE_ADDR {
                     return Err(EngineError::BadInstruction {
                         addr: p,
                         what: "pcall_wait without a Parcall Frame".into(),
                     });
                 }
-                let n =
-                    self.mem.read(pe, pf + parcall::NGOALS, ObjectKind::ParcallLocal).expect_uint("ngoals");
+                let n = self
+                    .core
+                    .mem
+                    .read(pe, pf + parcall::NGOALS, ObjectKind::ParcallLocal)
+                    .expect_uint("ngoals");
                 let done = self
+                    .core
                     .mem
                     .read(pe, pf + parcall::COMPLETED, ObjectKind::ParcallCount)
                     .expect_uint("completed");
                 if done >= n {
                     let status = self
+                        .core
                         .mem
                         .read(pe, pf + parcall::STATUS, ObjectKind::ParcallLocal)
                         .expect_uint("status");
-                    self.consume_messages(w);
+                    self.consume_messages();
                     if status != parcall::STATUS_OK {
-                        return self.backtrack(w);
+                        return self.backtrack();
                     }
                     let prev = self
+                        .core
                         .mem
                         .read(pe, pf + parcall::PREV_PF, ObjectKind::ParcallLocal)
                         .expect_uint("prev pf");
-                    let wk = &mut self.workers[w];
+                    let wk = &mut *self.wk;
                     if pf + parcall::size(n) == wk.local_top {
                         wk.local_top = pf;
                     }
@@ -465,14 +500,14 @@ impl<'p> Engine<'p> {
                 } else {
                     // Not complete yet: pick up a goal (own stack first, then
                     // steal) or wait.
-                    if !self.try_dispatch_work(w, Resume::ToWait { addr: p })? {
-                        self.workers[w].status = WorkerStatus::WaitingAtPcall { addr: p, pf };
+                    if !self.try_dispatch_work(Resume::ToWait { addr: p })? {
+                        self.wk.status = WorkerStatus::WaitingAtPcall { addr: p, pf };
                     }
                     return Ok(());
                 }
             }
             Instr::GoalSuccess => {
-                return self.finish_goal_success(w);
+                return self.finish_goal_success();
             }
 
             // ---------------- misc ----------------
@@ -480,25 +515,25 @@ impl<'p> Engine<'p> {
                 next = *addr;
             }
             Instr::FailInstr => {
-                return self.backtrack(w);
+                return self.backtrack();
             }
             Instr::Halt => {
-                self.query_succeeded(w);
+                self.query_succeeded();
                 return Ok(());
             }
             Instr::NoOp => {}
         }
 
-        self.workers[w].p = next;
+        self.wk.p = next;
         Ok(())
     }
 
     /// Shared implementation of `get_constant` / `get_integer` / `get_nil`:
     /// unify the argument register with an atomic cell.
-    fn get_atomic(&mut self, w: usize, arg: Cell, atomic: Cell) -> EngineResult<bool> {
-        match self.deref(w, arg) {
+    fn get_atomic(&mut self, arg: Cell, atomic: Cell) -> EngineResult<bool> {
+        match self.deref(arg) {
             Cell::Ref(addr) => {
-                self.bind(w, addr, atomic)?;
+                self.bind(addr, atomic)?;
                 Ok(true)
             }
             other => Ok(other == atomic),
@@ -506,20 +541,20 @@ impl<'p> Engine<'p> {
     }
 
     /// Shared implementation of write/read mode `unify_constant` and friends.
-    fn unify_atomic(&mut self, w: usize, atomic: Cell) -> EngineResult<bool> {
-        let pe = self.workers[w].id;
-        match self.workers[w].mode {
+    fn unify_atomic(&mut self, atomic: Cell) -> EngineResult<bool> {
+        let pe = self.wk.id;
+        match self.wk.mode {
             Mode::Write => {
-                self.heap_push(w, atomic)?;
+                self.heap_push(atomic)?;
                 Ok(true)
             }
             Mode::Read => {
-                let s = self.workers[w].s;
-                let c = self.mem.read(pe, s, self.object_for_addr(s));
-                self.workers[w].s = s + 1;
-                match self.deref(w, c) {
+                let s = self.wk.s;
+                let c = self.core.mem.read(pe, s, self.core.object_for_addr(s));
+                self.wk.s = s + 1;
+                match self.deref(c) {
                     Cell::Ref(addr) => {
-                        self.bind(w, addr, atomic)?;
+                        self.bind(addr, atomic)?;
                         Ok(true)
                     }
                     other => Ok(other == atomic),

@@ -56,11 +56,13 @@ pub mod unify;
 pub mod worker;
 
 pub use cell::{Cell, NONE_ADDR};
-pub use engine::{Engine, EngineConfig, Outcome, RunResult, StealEvent};
+pub use engine::{Engine, EngineConfig, EngineCore, Outcome, RunResult, StealEvent};
 pub use error::{EngineError, EngineResult};
 pub use layout::{Area, Locality, MemoryConfig, ObjectKind};
 pub use mem::{Memory, StackSetArena};
-pub use sched::{Interleaved, Scheduler, SchedulerKind, Threaded};
+pub use sched::{
+    scheduler_for, DeterminismMode, Interleaved, Scheduler, SchedulerKind, Threaded, ThreadedRelaxed,
+};
 pub use session::{QueryOptions, Session, SessionError};
 pub use stats::{RunStats, WorkerStats};
 pub use trace::{AreaStats, MemRef};

@@ -9,12 +9,32 @@
 //! * optionally append a full [`MemRef`] record to the arena's trace buffer.
 //!
 //! Sharding the storage per PE mirrors the paper's architecture: each PE's
-//! Stack Set is physically its own allocation, so later backends can hand a
-//! whole arena to an OS thread.  Global word addresses remain stable — the
-//! [`AddressMap`] translates them to an (arena, offset) pair — and a
+//! Stack Set is physically its own allocation, so an execution backend can
+//! hand a whole arena to an OS thread.  Global word addresses remain stable —
+//! the [`AddressMap`] translates them to an (arena, offset) pair — and a
 //! deterministic merge (every reference carries a global sequence number)
 //! reproduces the single interleaved trace the cache simulator consumes,
 //! byte-for-byte.
+//!
+//! # Concurrency
+//!
+//! Each arena sits behind its own mutex and the sequence counter is atomic,
+//! so the memory is shared-state safe: any number of OS threads may access
+//! it concurrently, and an access is one short critical section on the
+//! *owning* arena's lock.  This models the paper's shared-memory machine
+//! directly — a PE reaches into another PE's Stack Set only for the Global
+//! object kinds of Table 1, so in steady state every lock is uncontended and
+//! almost all traffic stays on the accessing thread's own arena.  Under the
+//! strict (token-ring or interleaved) backends only one thread touches the
+//! memory at a time and the recorded order is exactly the reference order;
+//! under the relaxed backend the per-reference order is whatever the race
+//! produced (the sequence numbers still give a total order for the merge).
+//!
+//! Read-modify-write sequences that must be atomic under concurrency (the
+//! Parcall Frame scheduling/completion counters) use [`Memory::rmw_uint`],
+//! which holds the owning arena's lock across the read and the write while
+//! recording exactly the same two references the split read/write pair
+//! would have recorded.
 //!
 //! Answer extraction and debugging use [`Memory::read_untraced`] so that
 //! inspecting a result does not perturb the measured reference counts.  The
@@ -25,6 +45,8 @@ use crate::cell::Cell;
 use crate::error::{EngineError, EngineResult};
 use crate::layout::{AddressMap, Area, MemoryConfig, ObjectKind, SHARED_REGION_WORDS};
 use crate::trace::{AreaStats, MemRef};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// One reference record tagged with its position in the global interleaving
 /// order, so per-arena trace buffers can be merged deterministically.
@@ -59,40 +81,41 @@ impl StackSetArena {
         }
     }
 
-    /// Reference counters for accesses that landed in this arena.
-    pub fn stats(&self) -> &AreaStats {
-        &self.stats
-    }
-
-    /// Number of words in this arena (one full Stack Set).
-    pub fn len(&self) -> usize {
-        self.words.len()
-    }
-
-    /// True if the arena holds no words (never the case in practice).
-    pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
-    }
-
-    /// Number of trace records currently buffered in this arena.
-    pub fn trace_len(&self) -> usize {
-        self.trace.as_ref().map_or(0, Vec::len)
+    /// Record one reference in this arena's counters (and trace buffer).
+    fn record(&mut self, seq: &AtomicU64, pe: u8, addr: u32, write: bool, object: ObjectKind) -> usize {
+        let r = MemRef {
+            pe,
+            addr,
+            write,
+            area: object.area(),
+            object,
+            locality: object.locality(),
+            locked: object.locked(),
+        };
+        self.stats.record(&r);
+        // The global sequence counter only orders trace records; skipping it
+        // when tracing is off keeps the hot path free of a shared cache line
+        // that every thread of the relaxed backend would otherwise fight over.
+        if let Some(t) = &mut self.trace {
+            t.push(SeqRef { seq: seq.fetch_add(1, Ordering::Relaxed), r });
+        }
+        (addr - self.base) as usize
     }
 }
 
-/// The word-addressed data memory, sharded into one arena per PE.
+/// The word-addressed data memory, sharded into one lockable arena per PE.
 ///
 /// The public address space is unchanged from the flat layout: word `addr`
 /// belongs to arena `map.owner(addr)` at offset `addr - arena.base`, and the
 /// shared region sits above the last Stack Set.
 #[derive(Debug)]
 pub struct Memory {
-    arenas: Vec<StackSetArena>,
+    arenas: Vec<Mutex<StackSetArena>>,
     /// The shared coordination region (query board); untraced by design.
-    shared: Vec<Cell>,
+    shared: Mutex<Vec<Cell>>,
     pub map: AddressMap,
     /// Next global sequence number (total references recorded so far).
-    seq: u64,
+    seq: AtomicU64,
     collect_trace: bool,
 }
 
@@ -102,15 +125,24 @@ impl Memory {
         let map = AddressMap::new(config, num_workers);
         let set_words = config.stack_set_words();
         let arenas = (0..num_workers)
-            .map(|w| StackSetArena::new(w as u32 * set_words, set_words, num_workers, collect_trace))
+            .map(|w| {
+                Mutex::new(StackSetArena::new(w as u32 * set_words, set_words, num_workers, collect_trace))
+            })
             .collect();
-        Memory { arenas, shared: vec![Cell::Empty; SHARED_REGION_WORDS as usize], map, seq: 0, collect_trace }
+        Memory {
+            arenas,
+            shared: Mutex::new(vec![Cell::Empty; SHARED_REGION_WORDS as usize]),
+            map,
+            seq: AtomicU64::new(0),
+            collect_trace,
+        }
     }
 
     /// Total number of words in the memory: every Stack Set arena plus the
     /// shared region.
     pub fn len(&self) -> usize {
-        self.arenas.iter().map(StackSetArena::len).sum::<usize>() + self.shared.len()
+        self.arenas.iter().map(|a| a.lock().unwrap().words.len()).sum::<usize>()
+            + self.shared.lock().unwrap().len()
     }
 
     /// True if the memory holds no words.  Since the shared region always
@@ -119,9 +151,19 @@ impl Memory {
         self.len() == 0
     }
 
-    /// The per-PE Stack Set arenas.
-    pub fn arenas(&self) -> &[StackSetArena] {
-        &self.arenas
+    /// Number of Stack Set arenas (one per PE).
+    pub fn num_arenas(&self) -> usize {
+        self.arenas.len()
+    }
+
+    /// A snapshot of one arena's reference counters.
+    pub fn arena_stats(&self, worker: usize) -> AreaStats {
+        self.arenas[worker].lock().unwrap().stats.clone()
+    }
+
+    /// Number of trace records currently buffered in one arena.
+    pub fn trace_len(&self, worker: usize) -> usize {
+        self.arenas[worker].lock().unwrap().trace.as_ref().map_or(0, Vec::len)
     }
 
     /// Merge every arena's counters into one aggregate view (what a flat
@@ -129,7 +171,7 @@ impl Memory {
     pub fn merged_stats(&self) -> AreaStats {
         let mut total = AreaStats::new(self.map.num_workers);
         for a in &self.arenas {
-            total.merge(&a.stats);
+            total.merge(&a.lock().unwrap().stats);
         }
         total
     }
@@ -140,22 +182,23 @@ impl Memory {
     ///
     /// Every recorded reference carries the value of a global sequence
     /// counter, so the merge is a deterministic sort that reproduces the
-    /// exact order in which the references were issued — the merged trace is
-    /// byte-for-byte the trace a single flat buffer would have collected.
+    /// exact order in which the references were issued — under a strict
+    /// backend the merged trace is byte-for-byte the trace a single flat
+    /// buffer would have collected; under the relaxed backend it is the
+    /// total order the race actually produced.
     pub fn take_trace(&mut self) -> Option<Vec<MemRef>> {
         if !self.collect_trace {
             return None;
         }
-        let mut all: Vec<SeqRef> = Vec::with_capacity(self.seq as usize);
+        let mut all: Vec<SeqRef> = Vec::with_capacity(*self.seq.get_mut() as usize);
         for a in &mut self.arenas {
+            let a = a.get_mut().unwrap();
             if let Some(t) = &mut a.trace {
                 all.append(t);
             }
-        }
-        self.collect_trace = false;
-        for a in &mut self.arenas {
             a.trace = None;
         }
+        self.collect_trace = false;
         all.sort_unstable_by_key(|s| s.seq);
         Some(all.into_iter().map(|s| s.r).collect())
     }
@@ -165,41 +208,69 @@ impl Memory {
         self.collect_trace
     }
 
-    fn record(&mut self, pe: u8, addr: u32, write: bool, object: ObjectKind) -> (usize, usize) {
-        let area = object.area();
-        debug_assert_eq!(self.map.area_of(addr), area, "object kind {object:?} used outside its area");
-        let owner = self.map.owner(addr);
-        let arena = &mut self.arenas[owner];
-        let r =
-            MemRef { pe, addr, write, area, object, locality: object.locality(), locked: object.locked() };
-        arena.stats.record(&r);
-        if let Some(t) = &mut arena.trace {
-            t.push(SeqRef { seq: self.seq, r });
-        }
-        self.seq += 1;
-        (owner, (addr - arena.base) as usize)
-    }
-
     /// Read one word, recording the reference in the owning arena.
     #[inline]
-    pub fn read(&mut self, pe: u8, addr: u32, object: ObjectKind) -> Cell {
-        let (owner, offset) = self.record(pe, addr, false, object);
-        self.arenas[owner].words[offset]
+    pub fn read(&self, pe: u8, addr: u32, object: ObjectKind) -> Cell {
+        debug_assert_eq!(
+            self.map.area_of(addr),
+            object.area(),
+            "object kind {object:?} used outside its area"
+        );
+        let mut arena = self.arenas[self.map.owner(addr)].lock().unwrap();
+        let offset = arena.record(&self.seq, pe, addr, false, object);
+        arena.words[offset]
     }
 
     /// Write one word, recording the reference in the owning arena.
     #[inline]
-    pub fn write(&mut self, pe: u8, addr: u32, value: Cell, object: ObjectKind) {
-        let (owner, offset) = self.record(pe, addr, true, object);
-        self.arenas[owner].words[offset] = value;
+    pub fn write(&self, pe: u8, addr: u32, value: Cell, object: ObjectKind) {
+        debug_assert_eq!(
+            self.map.area_of(addr),
+            object.area(),
+            "object kind {object:?} used outside its area"
+        );
+        let mut arena = self.arenas[self.map.owner(addr)].lock().unwrap();
+        let offset = arena.record(&self.seq, pe, addr, true, object);
+        arena.words[offset] = value;
+    }
+
+    /// Atomically read the unsigned word at `addr`, apply `f`, and write the
+    /// result back, holding the owning arena's lock across both accesses.
+    ///
+    /// Records exactly the read reference followed by the write reference —
+    /// the same traffic as a split [`Memory::read`]/[`Memory::write`] pair —
+    /// so strict-mode traces are unchanged, while concurrent updates of the
+    /// same counter word (Parcall Frame scheduling/completion counts under
+    /// the relaxed backend) can no longer lose increments.  Returns the value
+    /// read.
+    pub fn rmw_uint(
+        &self,
+        pe: u8,
+        addr: u32,
+        object: ObjectKind,
+        f: impl FnOnce(u32) -> u32,
+    ) -> EngineResult<u32> {
+        debug_assert_eq!(
+            self.map.area_of(addr),
+            object.area(),
+            "object kind {object:?} used outside its area"
+        );
+        let mut arena = self.arenas[self.map.owner(addr)].lock().unwrap();
+        let offset = arena.record(&self.seq, pe, addr, false, object);
+        let old = match arena.words[offset] {
+            Cell::Uint(v) => v,
+            other => return Err(EngineError::Internal(format!("rmw on non-uint word at {addr}: {other:?}"))),
+        };
+        let offset = arena.record(&self.seq, pe, addr, true, object);
+        arena.words[offset] = Cell::Uint(f(old));
+        Ok(old)
     }
 
     /// Read one word without recording a reference (answer extraction,
     /// debugging, scheduler shadow checks).
     #[inline]
     pub fn read_untraced(&self, addr: u32) -> Cell {
-        let owner = self.map.owner(addr);
-        let arena = &self.arenas[owner];
+        let arena = self.arenas[self.map.owner(addr)].lock().unwrap();
         arena.words[(addr - arena.base) as usize]
     }
 
@@ -208,13 +279,13 @@ impl Memory {
     /// storage model.
     #[inline]
     pub fn shared_read(&self, slot: u32) -> Cell {
-        self.shared[slot as usize]
+        self.shared.lock().unwrap()[slot as usize]
     }
 
     /// Write a word of the shared region (query board).  Untraced.
     #[inline]
-    pub fn shared_write(&mut self, slot: u32, value: Cell) {
-        self.shared[slot as usize] = value;
+    pub fn shared_write(&self, slot: u32, value: Cell) {
+        self.shared.lock().unwrap()[slot as usize] = value;
     }
 
     /// Check that `addr` (the next free word) still lies inside `area` of
@@ -244,7 +315,7 @@ mod tests {
 
     #[test]
     fn read_write_round_trip() {
-        let mut m = mem();
+        let m = mem();
         let base = m.area_base(0, Area::Heap);
         m.write(0, base, Cell::Int(7), ObjectKind::HeapTerm);
         assert_eq!(m.read(0, base, ObjectKind::HeapTerm), Cell::Int(7));
@@ -284,8 +355,8 @@ mod tests {
             m.write(0, h0 + i, Cell::Int(i as i64), ObjectKind::HeapTerm);
             m.write(1, h1 + i, Cell::Int(i as i64), ObjectKind::HeapTerm);
         }
-        assert_eq!(m.arenas()[0].trace_len(), 4);
-        assert_eq!(m.arenas()[1].trace_len(), 4);
+        assert_eq!(m.trace_len(0), 4);
+        assert_eq!(m.trace_len(1), 4);
         let t = m.take_trace().unwrap();
         let addrs: Vec<u32> = t.iter().map(|r| r.addr).collect();
         assert_eq!(addrs, vec![h0, h1, h0 + 1, h1 + 1, h0 + 2, h1 + 2, h0 + 3, h1 + 3]);
@@ -293,15 +364,15 @@ mod tests {
 
     #[test]
     fn cross_pe_accesses_land_in_the_owning_arena() {
-        let mut m = mem();
+        let m = mem();
         let h1 = m.area_base(1, Area::Heap);
         // PE 0 writes into PE 1's heap: the reference is accounted to
         // arena 1 (the owner), attributed to issuing PE 0.
         m.write(0, h1, Cell::Int(9), ObjectKind::HeapTerm);
-        assert_eq!(m.arenas()[0].stats().total.total(), 0);
-        assert_eq!(m.arenas()[1].stats().total.writes, 1);
-        assert_eq!(m.arenas()[1].stats().per_pe[0].writes, 1);
-        assert_eq!(m.arenas()[1].stats().per_pe[1].total(), 0);
+        assert_eq!(m.arena_stats(0).total.total(), 0);
+        assert_eq!(m.arena_stats(1).total.writes, 1);
+        assert_eq!(m.arena_stats(1).per_pe[0].writes, 1);
+        assert_eq!(m.arena_stats(1).per_pe[1].total(), 0);
     }
 
     #[test]
@@ -312,6 +383,44 @@ mod tests {
         assert_eq!(m.read_untraced(base), Cell::Int(3));
         assert_eq!(m.merged_stats().total.total(), 1, "only the traced write counts");
         assert_eq!(m.take_trace().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn rmw_records_a_read_then_a_write() {
+        let mut m = mem();
+        let pf = m.area_base(0, Area::LocalStack);
+        m.write(0, pf, Cell::Uint(3), ObjectKind::ParcallCount);
+        let old = m.rmw_uint(1, pf, ObjectKind::ParcallCount, |v| v + 1).unwrap();
+        assert_eq!(old, 3);
+        assert_eq!(m.read_untraced(pf), Cell::Uint(4));
+        let t = m.take_trace().unwrap();
+        assert_eq!(t.len(), 3);
+        assert!(!t[1].write, "rmw records the read first");
+        assert!(t[2].write, "then the write");
+        assert_eq!(t[1].pe, 1);
+        assert_eq!(t[2].addr, pf);
+        // Counter-word corruption is an engine error, not a panic.
+        m.write(0, pf, Cell::Int(-1), ObjectKind::ParcallCount);
+        assert!(m.rmw_uint(0, pf, ObjectKind::ParcallCount, |v| v).is_err());
+    }
+
+    #[test]
+    fn concurrent_rmw_never_loses_increments() {
+        let m = Memory::new(MemoryConfig::small(), 2, false);
+        let pf = m.area_base(0, Area::LocalStack);
+        m.write(0, pf, Cell::Uint(0), ObjectKind::ParcallCount);
+        std::thread::scope(|s| {
+            for pe in 0..2u8 {
+                let m = &m;
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        m.rmw_uint(pe, pf, ObjectKind::ParcallCount, |v| v + 1).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(m.read_untraced(pf), Cell::Uint(2000));
+        assert_eq!(m.merged_stats().total.total(), 4001);
     }
 
     #[test]

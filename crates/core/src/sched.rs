@@ -2,27 +2,50 @@
 //!
 //! The engine exposes a small scheduler SPI — [`Engine::begin_round`],
 //! [`Engine::step_slot`], [`Engine::end_round`], [`Engine::finished`] — and
-//! a [`Scheduler`] drives it until the query completes.  Two backends ship
-//! with the crate:
+//! a [`Scheduler`] drives it until the query completes.  Three backends ship
+//! with the crate, selected by a [`SchedulerKind`] plus a
+//! [`DeterminismMode`]:
 //!
 //! * [`Interleaved`] — the reference semantics: one host thread steps every
 //!   worker round-robin, `quantum` instructions per slot.  This is the
 //!   deterministic software-interleaved methodology of the paper's emulator.
-//! * [`Threaded`] — one OS thread per PE, connected in a ring over crossbeam
-//!   channels.  A scheduling token carrying the engine travels the ring, so
-//!   every worker is stepped on its own thread while the global instruction
-//!   interleaving — and therefore the answer set, the per-area reference
-//!   counts and the merged trace — stays exactly the reference order.
-//!   Goal-steal notifications travel as real cross-thread messages to the
-//!   victim's thread instead of the thief poking the victim's bookkeeping
-//!   host-side.  Later backends can relax the token into per-arena locks;
-//!   the differential test suite pins the semantics they must preserve.
+//! * [`Threaded`] (strict) — one OS thread per PE, connected in a ring over
+//!   crossbeam channels.  A scheduling token carrying the engine travels the
+//!   ring, so every worker is stepped on its own thread while the global
+//!   instruction interleaving — and therefore the answer set, the per-area
+//!   reference counts and the merged trace — stays exactly the reference
+//!   order.  The token serialises execution: it proves the threading
+//!   machinery, not the speedup.
+//! * [`ThreadedRelaxed`] — true per-arena parallel execution: every OS
+//!   thread free-runs over its *own* worker and Stack Set arena, with no
+//!   token at all.  Cross-PE traffic — goal-steal pops, completion-counter
+//!   updates, messages, bindings that cross an arena boundary — goes through
+//!   the per-arena locks and per-PE boards of the shared
+//!   [`crate::engine::EngineCore`], and steal notifications travel over
+//!   crossbeam channels to the victim's thread.
+//!
+//! # What relaxed determinism does and does not change
+//!
+//! The CGE independence conditions guarantee that parallel goals never bind
+//! the same variable, so the **answer set is identical** in every mode, as
+//! are the schedule-invariant work counters (parcalls, parallel goals,
+//! logical inferences).  What the relaxed mode gives up is the *placement*
+//! determinism of the strict schedule: which PE steals which goal — and
+//! therefore how many goals take the stolen path (Markers, Parcall-Frame
+//! global slots, Messages) instead of the parent's cheap local path — is
+//! decided by an actual race, exactly as on the paper's real hardware.
+//! Reference counts for those scheduling-artifact objects, the trace
+//! interleaving and the per-PE attribution may therefore differ run to run;
+//! the differential suite pins the invariants and the strict backends remain
+//! the byte-exact reference.
 
 use crate::engine::Engine;
 use crate::error::{EngineError, EngineResult};
+use crate::worker::WorkerStatus;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use serde::{Deserialize, Serialize};
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// Which execution backend steps the workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
@@ -31,12 +54,19 @@ pub enum SchedulerKind {
     /// reference semantics).
     #[default]
     Interleaved,
-    /// One OS thread per PE over a token ring of crossbeam channels.
+    /// One OS thread per PE.  [`DeterminismMode`] selects between the
+    /// token-ring (strict) and free-running (relaxed) drivers.
     Threaded,
 }
 
 impl SchedulerKind {
     /// Parse a `--scheduler` / env-var value.
+    ///
+    /// ```
+    /// use rapwam::SchedulerKind;
+    /// assert_eq!(SchedulerKind::parse("threaded"), Some(SchedulerKind::Threaded));
+    /// assert_eq!(SchedulerKind::parse("turbo"), None);
+    /// ```
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "interleaved" => Some(SchedulerKind::Interleaved),
@@ -54,8 +84,54 @@ impl SchedulerKind {
     }
 }
 
+/// How much scheduling nondeterminism the backend may exploit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DeterminismMode {
+    /// Reproduce the reference interleaving exactly: identical answers,
+    /// counts *and* traces.  The `Threaded` backend serialises through a
+    /// scheduling token.
+    #[default]
+    Strict,
+    /// Free-running threads: identical answers and schedule-invariant
+    /// counters, but steal placement, trace interleaving and per-PE
+    /// attribution are racy.  This is the mode that turns `--threads N`
+    /// into wall-clock speedup.
+    Relaxed,
+}
+
+impl DeterminismMode {
+    /// Parse a `--determinism` / env-var value.
+    ///
+    /// ```
+    /// use rapwam::DeterminismMode;
+    /// assert_eq!(DeterminismMode::parse("relaxed"), Some(DeterminismMode::Relaxed));
+    /// assert_eq!(DeterminismMode::parse("chaotic"), None);
+    /// ```
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "strict" => Some(DeterminismMode::Strict),
+            "relaxed" => Some(DeterminismMode::Relaxed),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeterminismMode::Strict => "strict",
+            DeterminismMode::Relaxed => "relaxed",
+        }
+    }
+}
+
 /// An execution backend: drives an engine from its initial state to
 /// `finished()`, returning the engine for answer/statistics extraction.
+///
+/// ```
+/// use rapwam::{scheduler_for, DeterminismMode, SchedulerKind};
+/// let backend = scheduler_for(SchedulerKind::Threaded, DeterminismMode::Relaxed);
+/// assert_eq!(backend.name(), "threaded-relaxed");
+/// ```
 pub trait Scheduler {
     /// Backend name (for reporting).
     fn name(&self) -> &'static str;
@@ -64,11 +140,14 @@ pub trait Scheduler {
     fn drive<'p>(&self, engine: Engine<'p>) -> EngineResult<Engine<'p>>;
 }
 
-/// Resolve a [`SchedulerKind`] to its backend implementation.
-pub fn scheduler_for(kind: SchedulerKind) -> Box<dyn Scheduler> {
-    match kind {
-        SchedulerKind::Interleaved => Box::new(Interleaved),
-        SchedulerKind::Threaded => Box::new(Threaded),
+/// Resolve a [`SchedulerKind`] × [`DeterminismMode`] to its backend
+/// implementation.  The interleaved backend is deterministic by
+/// construction, so it ignores the mode.
+pub fn scheduler_for(kind: SchedulerKind, determinism: DeterminismMode) -> Box<dyn Scheduler> {
+    match (kind, determinism) {
+        (SchedulerKind::Interleaved, _) => Box::new(Interleaved),
+        (SchedulerKind::Threaded, DeterminismMode::Strict) => Box::new(Threaded),
+        (SchedulerKind::Threaded, DeterminismMode::Relaxed) => Box::new(ThreadedRelaxed),
     }
 }
 
@@ -100,7 +179,8 @@ impl Scheduler for Interleaved {
     }
 }
 
-/// Messages exchanged between the per-PE threads of the [`Threaded`] backend.
+/// Messages exchanged between the per-PE threads of the strict [`Threaded`]
+/// backend.
 enum Msg<'p> {
     /// The scheduling token: whoever holds it steps its worker, then passes
     /// it to the next PE in the ring.
@@ -121,12 +201,13 @@ struct Token<'p> {
     round_open: bool,
 }
 
-/// One OS thread per PE.  A scheduling token (carrying the engine) travels a
-/// ring of crossbeam channels; the thread holding it steps its own worker.
-/// Because the token enforces the reference round-robin order, the Threaded
-/// backend produces the same answers, reference counts and merged trace as
-/// [`Interleaved`] — the property the differential tests pin down — while
-/// every instruction is executed on the thread of the PE it belongs to.
+/// One OS thread per PE under a scheduling token (strict determinism).  A
+/// token (carrying the engine) travels a ring of crossbeam channels; the
+/// thread holding it steps its own worker.  Because the token enforces the
+/// reference round-robin order, this backend produces the same answers,
+/// reference counts and merged trace as [`Interleaved`] — the property the
+/// differential tests pin down — while every instruction is executed on the
+/// thread of the PE it belongs to.  [`ThreadedRelaxed`] retires the token.
 pub struct Threaded;
 
 impl Scheduler for Threaded {
@@ -183,7 +264,7 @@ enum Flow {
     Stop,
 }
 
-/// The body of one PE's OS thread.
+/// The body of one PE's OS thread (strict token ring).
 fn pe_thread<'p>(
     w: usize,
     n: usize,
@@ -298,6 +379,162 @@ fn handle_token<'p>(
     Flow::Continue
 }
 
+// ---------------------------------------------------------------------
+// The relaxed backend: free-running threads over owned arenas.
+// ---------------------------------------------------------------------
+
+/// Instructions a relaxed worker executes between channel polls and shared
+/// bookkeeping flushes.  Large enough to amortise the poll, small enough
+/// that completion/steal notifications are observed promptly.
+const RELAXED_BATCH: u32 = 128;
+
+/// Idle polls between global-progress checks of the stall watchdog.
+const STALL_CHECK_INTERVAL: u32 = 256;
+
+/// How long every worker may observe a completely stalled machine (no
+/// instruction executed anywhere, nothing to steal) before the run aborts.
+/// Valid programs never stall: a waiting parent's goals are always
+/// executable by some PE.  This is a safety net for engine bugs, so tests
+/// hang for seconds, not forever.
+const STALL_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// True per-arena parallel execution (relaxed determinism): one free-running
+/// OS thread per PE, each mutating only its own worker state and Stack Set
+/// arena through `Step`; cross-PE traffic rides the
+/// per-arena locks, the per-PE boards and the steal-note channels.  No
+/// scheduling token exists, so `--threads N` buys real wall-clock speedup;
+/// see the module docs for exactly which observables stay invariant.
+pub struct ThreadedRelaxed;
+
+impl Scheduler for ThreadedRelaxed {
+    fn name(&self) -> &'static str {
+        "threaded-relaxed"
+    }
+
+    fn drive<'p>(&self, engine: Engine<'p>) -> EngineResult<Engine<'p>> {
+        let n = engine.num_workers();
+        let (core, mut workers) = engine.into_parts();
+        // One steal-note channel per victim.  The driver keeps a receiver
+        // clone per channel to drain notes that arrive after the victim's
+        // thread has already exited (each note is consumed exactly once:
+        // either by the victim thread or by the final drain).
+        let (txs, rxs): (Vec<Sender<()>>, Vec<Receiver<()>>) = (0..n).map(|_| unbounded()).unzip();
+        let driver_rxs: Vec<Receiver<()>> = rxs.iter().map(Receiver::clone).collect();
+
+        thread::scope(|scope| {
+            for ((w, wk), rx) in workers.iter_mut().enumerate().zip(rxs) {
+                let core = &core;
+                let txs = txs.clone();
+                scope.spawn(move || {
+                    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        relaxed_pe_loop(core, w, wk, &rx, &txs)
+                    }));
+                    match run {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => core.abort_with(e),
+                        Err(payload) => {
+                            // Wind the other threads down, then let the
+                            // panic re-raise through the scope join.
+                            core.abort_with(EngineError::Internal(format!(
+                                "relaxed scheduler: worker {w} thread panicked"
+                            )));
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                });
+            }
+        });
+
+        let mut engine = Engine::from_parts(core, workers);
+        for (victim, rx) in driver_rxs.iter().enumerate() {
+            let mut count = 0u64;
+            while rx.try_recv().is_ok() {
+                count += 1;
+            }
+            if count > 0 {
+                engine.deliver_steal_notices(victim, count);
+            }
+        }
+        if let Some(e) = engine.core().take_abort() {
+            return Err(e);
+        }
+        if engine.finished().is_none() {
+            return Err(EngineError::Internal("relaxed scheduler exited without an outcome".into()));
+        }
+        // Rounds do not exist without the token; report the critical-path
+        // estimate (the busiest worker's slot count) as elapsed cycles.
+        let critical_path = engine.workers.iter().map(|w| w.instructions + w.idle_cycles).max().unwrap_or(0);
+        engine.core().set_cycles(critical_path);
+        Ok(engine)
+    }
+}
+
+/// The body of one PE's free-running thread.
+fn relaxed_pe_loop(
+    core: &crate::engine::EngineCore<'_>,
+    w: usize,
+    wk: &mut crate::worker::Worker,
+    rx: &Receiver<()>,
+    txs: &[Sender<()>],
+) -> EngineResult<()> {
+    let mut step = crate::engine::Step { core, wk };
+    let mut idle_spins: u32 = 0;
+    let mut last_steps = core.steps();
+    let mut stall_since: Option<Instant> = None;
+    loop {
+        if core.finished().is_some() || core.is_aborted() {
+            return Ok(());
+        }
+        // Fold in the steal notices thieves sent to this victim.
+        while rx.try_recv().is_ok() {
+            step.wk.steal_notices += 1;
+        }
+        let progress = match step.wk.status {
+            WorkerStatus::Stopped => return Ok(()),
+            WorkerStatus::Running => step.exec_batch(RELAXED_BATCH)? > 0,
+            _ => step.run_slot()?,
+        };
+        // Steals this worker just performed become real cross-thread
+        // messages to each victim's thread.
+        for ev in core.drain_steals_of(w) {
+            debug_assert_eq!(ev.thief, w);
+            let _ = txs[ev.victim].send(());
+        }
+        if progress {
+            idle_spins = 0;
+            stall_since = None;
+            continue;
+        }
+        // Nothing to do: back off, and watch for a machine-wide stall.  The
+        // ramp matters on oversubscribed hosts: an idle PE that spins hard
+        // steals the core from the PE doing the work, so after a short spin
+        // phase it yields, then parks in 100µs naps (bounding steal latency
+        // at well under the grain of the goals worth stealing).
+        idle_spins = idle_spins.saturating_add(1);
+        if idle_spins <= 16 {
+            std::hint::spin_loop();
+        } else if idle_spins <= 256 {
+            thread::yield_now();
+        } else {
+            thread::sleep(Duration::from_micros(100));
+        }
+        if idle_spins.is_multiple_of(STALL_CHECK_INTERVAL) {
+            let now = core.steps();
+            if now != last_steps {
+                last_steps = now;
+                stall_since = None;
+            } else {
+                let since = *stall_since.get_or_insert_with(Instant::now);
+                if since.elapsed() > STALL_TIMEOUT {
+                    return Err(EngineError::Internal(format!(
+                        "relaxed scheduler stalled: worker {w} idle with no global progress for {STALL_TIMEOUT:?}"
+                    )));
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,8 +549,26 @@ mod tests {
     }
 
     #[test]
-    fn scheduler_for_resolves_both_backends() {
-        assert_eq!(scheduler_for(SchedulerKind::Interleaved).name(), "interleaved");
-        assert_eq!(scheduler_for(SchedulerKind::Threaded).name(), "threaded");
+    fn determinism_mode_parses() {
+        assert_eq!(DeterminismMode::parse("strict"), Some(DeterminismMode::Strict));
+        assert_eq!(DeterminismMode::parse("relaxed"), Some(DeterminismMode::Relaxed));
+        assert_eq!(DeterminismMode::parse("bogus"), None);
+        assert_eq!(DeterminismMode::default(), DeterminismMode::Strict);
+        assert_eq!(DeterminismMode::Relaxed.name(), "relaxed");
+    }
+
+    #[test]
+    fn scheduler_for_resolves_every_backend() {
+        assert_eq!(scheduler_for(SchedulerKind::Interleaved, DeterminismMode::Strict).name(), "interleaved");
+        assert_eq!(
+            scheduler_for(SchedulerKind::Interleaved, DeterminismMode::Relaxed).name(),
+            "interleaved",
+            "the interleaved backend is deterministic by construction"
+        );
+        assert_eq!(scheduler_for(SchedulerKind::Threaded, DeterminismMode::Strict).name(), "threaded");
+        assert_eq!(
+            scheduler_for(SchedulerKind::Threaded, DeterminismMode::Relaxed).name(),
+            "threaded-relaxed"
+        );
     }
 }

@@ -9,7 +9,7 @@
 use crate::engine::{Engine, EngineConfig, RunResult};
 use crate::error::EngineError;
 use crate::layout::MemoryConfig;
-use crate::sched::SchedulerKind;
+use crate::sched::{DeterminismMode, SchedulerKind};
 use pwam_compiler::{compile_program_and_query, CompileError, CompileOptions, CompiledProgram};
 use pwam_front::clause::Program;
 use pwam_front::error::FrontError;
@@ -69,6 +69,11 @@ pub struct QueryOptions {
     /// Execution backend: deterministic interleaving (the reference) or one
     /// OS thread per PE.
     pub scheduler: SchedulerKind,
+    /// Strict (reference interleaving, the default) or relaxed determinism.
+    /// Relaxed only changes how the `Threaded` backend drives the PEs: the
+    /// threads free-run over their own arenas instead of serialising
+    /// through a scheduling token.  Answers are identical either way.
+    pub determinism: DeterminismMode,
 }
 
 impl Default for QueryOptions {
@@ -80,6 +85,7 @@ impl Default for QueryOptions {
             memory: MemoryConfig::default(),
             max_steps: 2_000_000_000,
             scheduler: SchedulerKind::Interleaved,
+            determinism: DeterminismMode::Strict,
         }
     }
 }
@@ -95,9 +101,29 @@ impl QueryOptions {
         QueryOptions { parallel: true, workers: n, ..Default::default() }
     }
 
-    /// RAP-WAM with `n` PEs, each on its own OS thread.
+    /// RAP-WAM with `n` PEs, each on its own OS thread (strict: the token
+    /// ring reproduces the reference interleaving exactly).
     pub fn threaded(n: usize) -> Self {
         QueryOptions { scheduler: SchedulerKind::Threaded, ..QueryOptions::parallel(n) }
+    }
+
+    /// RAP-WAM with `n` PEs, each free-running on its own OS thread
+    /// (relaxed determinism: same answers, real wall-clock speedup).
+    ///
+    /// ```
+    /// use rapwam::session::{QueryOptions, Session};
+    ///
+    /// let mut session = Session::new(
+    ///     "sum([], 0).\n\
+    ///      sum([X|Xs], S) :- (ground(Xs) | sum(Xs, S1) & q(X, X2)), S is S1 + X2.\n\
+    ///      q(X, Y) :- Y is X * X.",
+    /// ).unwrap();
+    /// let result = session.run("sum([1,2,3], S)", &QueryOptions::relaxed(4)).unwrap();
+    /// let s = result.outcome.binding("S").unwrap();
+    /// assert_eq!(session.render(s), "14");
+    /// ```
+    pub fn relaxed(n: usize) -> Self {
+        QueryOptions { determinism: DeterminismMode::Relaxed, ..QueryOptions::threaded(n) }
     }
 
     /// Enable trace collection.
@@ -115,6 +141,13 @@ impl QueryOptions {
     /// Select the execution backend.
     pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Select the determinism mode (only meaningful for the `Threaded`
+    /// backend; the interleaved reference is strict by construction).
+    pub fn with_determinism(mut self, determinism: DeterminismMode) -> Self {
+        self.determinism = determinism;
         self
     }
 }
@@ -173,6 +206,7 @@ impl Session {
             quantum: 1,
             num_x_regs: pwam_compiler::MAX_X_REGS,
             scheduler: options.scheduler,
+            determinism: options.determinism,
         };
         let engine = Engine::new(&compiled, config);
         Ok(engine.run(&self.syms)?)

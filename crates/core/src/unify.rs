@@ -3,22 +3,31 @@
 //! Unification uses the worker's PDL area as its explicit work stack, so the
 //! PDL traffic of deep structure unifications shows up in the reference
 //! trace exactly as in the paper's storage model.
+//!
+//! All operations run on a `Step` (one worker's exclusive state plus the
+//! shared core).  Under the relaxed backend several workers unify
+//! concurrently; the CGE independence conditions guarantee that two goals
+//! running in parallel never bind the same variable, and every single-word
+//! access is atomic (the owning arena's lock), so no torn cell is ever
+//! observed.  Bindings into *another* PE's arena are always trailed
+//! (conditional trailing applies only within the own Stack Set), which keeps
+//! the trail traffic independent of which PE happened to execute the goal.
 
 use crate::cell::{Cell, NONE_ADDR};
-use crate::engine::Engine;
+use crate::engine::Step;
 use crate::error::{EngineError, EngineResult};
 use crate::frames::env;
 use crate::layout::{Area, ObjectKind};
 use pwam_compiler::Reg;
 
-impl<'p> Engine<'p> {
+impl<'a, 'p> Step<'a, 'p> {
     // -----------------------------------------------------------------
     // Registers
     // -----------------------------------------------------------------
 
     /// Address of permanent variable `Yn` in the current environment.
-    pub(crate) fn y_addr(&self, w: usize, n: u16) -> EngineResult<u32> {
-        let e = self.workers[w].e;
+    pub(crate) fn y_addr(&self, n: u16) -> EngineResult<u32> {
+        let e = self.wk.e;
         if e == NONE_ADDR {
             return Err(EngineError::Internal("Y register used without an environment".into()));
         }
@@ -26,28 +35,26 @@ impl<'p> Engine<'p> {
     }
 
     /// Read a register operand (X directly, Y through the environment).
-    pub(crate) fn read_reg(&mut self, w: usize, reg: Reg) -> EngineResult<Cell> {
+    pub(crate) fn read_reg(&self, reg: Reg) -> EngineResult<Cell> {
         match reg {
-            Reg::X(n) => Ok(self.workers[w].x[n as usize]),
+            Reg::X(n) => Ok(self.wk.x[n as usize]),
             Reg::Y(n) => {
-                let addr = self.y_addr(w, n)?;
-                let pe = self.workers[w].id;
-                Ok(self.mem.read(pe, addr, ObjectKind::EnvPermVar))
+                let addr = self.y_addr(n)?;
+                Ok(self.core.mem.read(self.wk.id, addr, ObjectKind::EnvPermVar))
             }
         }
     }
 
     /// Write a register operand.
-    pub(crate) fn write_reg(&mut self, w: usize, reg: Reg, value: Cell) -> EngineResult<()> {
+    pub(crate) fn write_reg(&mut self, reg: Reg, value: Cell) -> EngineResult<()> {
         match reg {
             Reg::X(n) => {
-                self.workers[w].x[n as usize] = value;
+                self.wk.x[n as usize] = value;
                 Ok(())
             }
             Reg::Y(n) => {
-                let addr = self.y_addr(w, n)?;
-                let pe = self.workers[w].id;
-                self.mem.write(pe, addr, value, ObjectKind::EnvPermVar);
+                let addr = self.y_addr(n)?;
+                self.core.mem.write(self.wk.id, addr, value, ObjectKind::EnvPermVar);
                 Ok(())
             }
         }
@@ -57,37 +64,35 @@ impl<'p> Engine<'p> {
     // Heap variables, dereferencing, binding
     // -----------------------------------------------------------------
 
-    /// Allocate a fresh unbound variable on worker `w`'s heap.
-    pub(crate) fn new_heap_var(&mut self, w: usize) -> EngineResult<Cell> {
-        let pe = self.workers[w].id;
-        let h = self.workers[w].h;
-        self.mem.check_top(w, Area::Heap, h)?;
-        self.mem.write(pe, h, Cell::Ref(h), ObjectKind::HeapTerm);
-        self.workers[w].h = h + 1;
-        self.workers[w].update_high_water();
+    /// Allocate a fresh unbound variable on this worker's heap.
+    pub(crate) fn new_heap_var(&mut self) -> EngineResult<Cell> {
+        let h = self.wk.h;
+        self.core.mem.check_top(self.w(), Area::Heap, h)?;
+        self.core.mem.write(self.wk.id, h, Cell::Ref(h), ObjectKind::HeapTerm);
+        self.wk.h = h + 1;
+        self.wk.update_high_water();
         Ok(Cell::Ref(h))
     }
 
-    /// Push one cell onto worker `w`'s heap.
-    pub(crate) fn heap_push(&mut self, w: usize, cell: Cell) -> EngineResult<u32> {
-        let pe = self.workers[w].id;
-        let h = self.workers[w].h;
-        self.mem.check_top(w, Area::Heap, h)?;
-        self.mem.write(pe, h, cell, ObjectKind::HeapTerm);
-        self.workers[w].h = h + 1;
-        self.workers[w].update_high_water();
+    /// Push one cell onto this worker's heap.
+    pub(crate) fn heap_push(&mut self, cell: Cell) -> EngineResult<u32> {
+        let h = self.wk.h;
+        self.core.mem.check_top(self.w(), Area::Heap, h)?;
+        self.core.mem.write(self.wk.id, h, cell, ObjectKind::HeapTerm);
+        self.wk.h = h + 1;
+        self.wk.update_high_water();
         Ok(h)
     }
 
     /// Follow reference chains until reaching an unbound variable or a
     /// non-reference cell.  Every hop reads memory (and is traced).
-    pub(crate) fn deref(&mut self, w: usize, mut cell: Cell) -> Cell {
-        let pe = self.workers[w].id;
+    pub(crate) fn deref(&self, mut cell: Cell) -> Cell {
+        let pe = self.wk.id;
         loop {
             match cell {
                 Cell::Ref(a) => {
-                    let obj = self.object_for_addr(a);
-                    let next = self.mem.read(pe, a, obj);
+                    let obj = self.core.object_for_addr(a);
+                    let next = self.core.mem.read(pe, a, obj);
                     if next == Cell::Ref(a) {
                         return cell; // unbound variable at a
                     }
@@ -100,17 +105,17 @@ impl<'p> Engine<'p> {
 
     /// Record `addr` on the trail if the binding must be undone on
     /// backtracking (conditional trailing).
-    pub(crate) fn trail_if_needed(&mut self, w: usize, addr: u32) -> EngineResult<()> {
-        let wk = &self.workers[w];
-        let area = self.mem.map.area_of(addr);
-        let owner = self.mem.map.owner(addr);
+    pub(crate) fn trail_if_needed(&mut self, addr: u32) -> EngineResult<()> {
+        let w = self.w();
+        let area = self.core.mem.map.area_of(addr);
+        let owner = self.core.mem.map.owner(addr);
         let must_trail = if owner != w {
             // Bindings into another worker's areas are always trailed.
             true
         } else {
             match area {
-                Area::Heap => addr < wk.hb,
-                Area::LocalStack => addr < wk.stack_boundary,
+                Area::Heap => addr < self.wk.hb,
+                Area::LocalStack => addr < self.wk.stack_boundary,
                 // Goal-frame arguments and the like: be conservative.
                 _ => true,
             }
@@ -118,29 +123,27 @@ impl<'p> Engine<'p> {
         if !must_trail {
             return Ok(());
         }
-        let pe = self.workers[w].id;
-        let tr = self.workers[w].tr;
-        self.mem.check_top(w, Area::Trail, tr)?;
-        self.mem.write(pe, tr, Cell::Uint(addr), ObjectKind::TrailEntry);
-        self.workers[w].tr = tr + 1;
-        self.workers[w].update_high_water();
+        let tr = self.wk.tr;
+        self.core.mem.check_top(w, Area::Trail, tr)?;
+        self.core.mem.write(self.wk.id, tr, Cell::Uint(addr), ObjectKind::TrailEntry);
+        self.wk.tr = tr + 1;
+        self.wk.update_high_water();
         Ok(())
     }
 
     /// Bind the unbound variable at `addr` to `value`.
-    pub(crate) fn bind(&mut self, w: usize, addr: u32, value: Cell) -> EngineResult<()> {
-        self.trail_if_needed(w, addr)?;
-        let pe = self.workers[w].id;
-        let obj = self.object_for_addr(addr);
-        self.mem.write(pe, addr, value, obj);
+    pub(crate) fn bind(&mut self, addr: u32, value: Cell) -> EngineResult<()> {
+        self.trail_if_needed(addr)?;
+        let obj = self.core.object_for_addr(addr);
+        self.core.mem.write(self.wk.id, addr, value, obj);
         Ok(())
     }
 
     /// Bind two unbound variables together, choosing a direction that never
     /// leaves a heap cell pointing into a (shorter-lived) local stack.
-    fn bind_vars(&mut self, w: usize, a1: u32, a2: u32) -> EngineResult<()> {
-        let area1 = self.mem.map.area_of(a1);
-        let area2 = self.mem.map.area_of(a2);
+    fn bind_vars(&mut self, a1: u32, a2: u32) -> EngineResult<()> {
+        let area1 = self.core.mem.map.area_of(a1);
+        let area2 = self.core.mem.map.area_of(a2);
         let (from, to) = match (area1, area2) {
             (Area::Heap, Area::Heap) => {
                 if a1 > a2 {
@@ -159,7 +162,7 @@ impl<'p> Engine<'p> {
                 }
             }
         };
-        self.bind(w, from, Cell::Ref(to))
+        self.bind(from, Cell::Ref(to))
     }
 
     /// If `cell` dereferences to an unbound variable living on a local
@@ -167,12 +170,12 @@ impl<'p> Engine<'p> {
     /// variable).  Used by `put_unsafe_value`, write-mode `unify_value` and
     /// Goal-Frame argument copying, so no other PE ever needs to reference a
     /// local-stack cell.
-    pub(crate) fn globalize(&mut self, w: usize, cell: Cell) -> EngineResult<Cell> {
-        let d = self.deref(w, cell);
+    pub(crate) fn globalize(&mut self, cell: Cell) -> EngineResult<Cell> {
+        let d = self.deref(cell);
         if let Cell::Ref(a) = d {
-            if self.mem.map.area_of(a) == Area::LocalStack {
-                let hv = self.new_heap_var(w)?;
-                self.bind(w, a, hv)?;
+            if self.core.mem.map.area_of(a) == Area::LocalStack {
+                let hv = self.new_heap_var()?;
+                self.bind(a, hv)?;
                 return Ok(hv);
             }
         }
@@ -185,32 +188,36 @@ impl<'p> Engine<'p> {
 
     /// Full unification of two cells.  Returns `Ok(false)` on mismatch
     /// (the caller backtracks).
-    pub(crate) fn unify(&mut self, w: usize, c1: Cell, c2: Cell) -> EngineResult<bool> {
-        let pe = self.workers[w].id;
+    pub(crate) fn unify(&mut self, c1: Cell, c2: Cell) -> EngineResult<bool> {
+        let pe = self.wk.id;
+        let w = self.w();
+        // `core` is copied out of `self` so the PDL helper can run while
+        // `self` stays free for bind/deref calls.
+        let core = self.core;
         // The PDL holds pairs of cells still to be unified.
-        let pdl_base = self.workers[w].pdl_base;
+        let pdl_base = self.wk.pdl_base;
         let mut pdl = pdl_base;
-        let push = |engine: &mut Self, pdl: &mut u32, a: Cell, b: Cell| -> EngineResult<()> {
-            engine.mem.check_top(w, Area::Pdl, *pdl + 1)?;
-            engine.mem.write(pe, *pdl, a, ObjectKind::PdlEntry);
-            engine.mem.write(pe, *pdl + 1, b, ObjectKind::PdlEntry);
+        let push = |pdl: &mut u32, a: Cell, b: Cell| -> EngineResult<()> {
+            core.mem.check_top(w, Area::Pdl, *pdl + 1)?;
+            core.mem.write(pe, *pdl, a, ObjectKind::PdlEntry);
+            core.mem.write(pe, *pdl + 1, b, ObjectKind::PdlEntry);
             *pdl += 2;
             Ok(())
         };
-        push(self, &mut pdl, c1, c2)?;
+        push(&mut pdl, c1, c2)?;
         while pdl > pdl_base {
             pdl -= 2;
-            let a = self.mem.read(pe, pdl, ObjectKind::PdlEntry);
-            let b = self.mem.read(pe, pdl + 1, ObjectKind::PdlEntry);
-            let d1 = self.deref(w, a);
-            let d2 = self.deref(w, b);
+            let a = core.mem.read(pe, pdl, ObjectKind::PdlEntry);
+            let b = core.mem.read(pe, pdl + 1, ObjectKind::PdlEntry);
+            let d1 = self.deref(a);
+            let d2 = self.deref(b);
             if d1 == d2 {
                 continue;
             }
             match (d1, d2) {
-                (Cell::Ref(a1), Cell::Ref(a2)) => self.bind_vars(w, a1, a2)?,
-                (Cell::Ref(a1), other) => self.bind(w, a1, other)?,
-                (other, Cell::Ref(a2)) => self.bind(w, a2, other)?,
+                (Cell::Ref(a1), Cell::Ref(a2)) => self.bind_vars(a1, a2)?,
+                (Cell::Ref(a1), other) => self.bind(a1, other)?,
+                (other, Cell::Ref(a2)) => self.bind(a2, other)?,
                 (Cell::Int(i), Cell::Int(j)) => {
                     if i != j {
                         return Ok(false);
@@ -222,22 +229,22 @@ impl<'p> Engine<'p> {
                     }
                 }
                 (Cell::Lis(p1), Cell::Lis(p2)) => {
-                    let h1 = self.mem.read(pe, p1, ObjectKind::HeapTerm);
-                    let h2 = self.mem.read(pe, p2, ObjectKind::HeapTerm);
-                    let t1 = self.mem.read(pe, p1 + 1, ObjectKind::HeapTerm);
-                    let t2 = self.mem.read(pe, p2 + 1, ObjectKind::HeapTerm);
-                    push(self, &mut pdl, h1, h2)?;
-                    push(self, &mut pdl, t1, t2)?;
+                    let h1 = core.mem.read(pe, p1, ObjectKind::HeapTerm);
+                    let h2 = core.mem.read(pe, p2, ObjectKind::HeapTerm);
+                    let t1 = core.mem.read(pe, p1 + 1, ObjectKind::HeapTerm);
+                    let t2 = core.mem.read(pe, p2 + 1, ObjectKind::HeapTerm);
+                    push(&mut pdl, h1, h2)?;
+                    push(&mut pdl, t1, t2)?;
                 }
                 (Cell::Str(p1), Cell::Str(p2)) => {
-                    let f1 = self.mem.read(pe, p1, ObjectKind::HeapTerm);
-                    let f2 = self.mem.read(pe, p2, ObjectKind::HeapTerm);
+                    let f1 = core.mem.read(pe, p1, ObjectKind::HeapTerm);
+                    let f2 = core.mem.read(pe, p2, ObjectKind::HeapTerm);
                     match (f1, f2) {
                         (Cell::Fun(n1, a1), Cell::Fun(n2, a2)) if n1 == n2 && a1 == a2 => {
                             for i in 0..a1 as u32 {
-                                let x = self.mem.read(pe, p1 + 1 + i, ObjectKind::HeapTerm);
-                                let y = self.mem.read(pe, p2 + 1 + i, ObjectKind::HeapTerm);
-                                push(self, &mut pdl, x, y)?;
+                                let x = core.mem.read(pe, p1 + 1 + i, ObjectKind::HeapTerm);
+                                let y = core.mem.read(pe, p2 + 1 + i, ObjectKind::HeapTerm);
+                                push(&mut pdl, x, y)?;
                             }
                         }
                         _ => return Ok(false),
@@ -254,8 +261,8 @@ impl<'p> Engine<'p> {
     // -----------------------------------------------------------------
 
     /// Collect the addresses of all unbound variables reachable from `cell`.
-    pub(crate) fn collect_unbound(&mut self, w: usize, cell: Cell, out: &mut Vec<u32>) -> EngineResult<()> {
-        let pe = self.workers[w].id;
+    pub(crate) fn collect_unbound(&self, cell: Cell, out: &mut Vec<u32>) -> EngineResult<()> {
+        let pe = self.wk.id;
         let mut work = vec![cell];
         let mut visited = 0usize;
         while let Some(c) = work.pop() {
@@ -263,19 +270,19 @@ impl<'p> Engine<'p> {
             if visited > 10_000_000 {
                 return Err(EngineError::Internal("term too large during variable scan".into()));
             }
-            match self.deref(w, c) {
+            match self.deref(c) {
                 Cell::Ref(a) => out.push(a),
                 Cell::Lis(p) => {
-                    let h = self.mem.read(pe, p, ObjectKind::HeapTerm);
-                    let t = self.mem.read(pe, p + 1, ObjectKind::HeapTerm);
+                    let h = self.core.mem.read(pe, p, ObjectKind::HeapTerm);
+                    let t = self.core.mem.read(pe, p + 1, ObjectKind::HeapTerm);
                     work.push(h);
                     work.push(t);
                 }
                 Cell::Str(p) => {
-                    let f = self.mem.read(pe, p, ObjectKind::HeapTerm);
+                    let f = self.core.mem.read(pe, p, ObjectKind::HeapTerm);
                     if let Cell::Fun(_, n) = f {
                         for i in 0..n as u32 {
-                            let a = self.mem.read(pe, p + 1 + i, ObjectKind::HeapTerm);
+                            let a = self.core.mem.read(pe, p + 1 + i, ObjectKind::HeapTerm);
                             work.push(a);
                         }
                     }
@@ -287,33 +294,33 @@ impl<'p> Engine<'p> {
     }
 
     /// True if the term reachable from `cell` contains no unbound variables.
-    pub(crate) fn is_ground(&mut self, w: usize, cell: Cell) -> EngineResult<bool> {
+    pub(crate) fn is_ground(&self, cell: Cell) -> EngineResult<bool> {
         let mut vars = Vec::new();
-        self.collect_unbound(w, cell, &mut vars)?;
+        self.collect_unbound(cell, &mut vars)?;
         Ok(vars.is_empty())
     }
 
     /// True if the terms reachable from `c1` and `c2` share no unbound
     /// variable (the `indep/2` run-time check of the CGE conditions).
-    pub(crate) fn independent(&mut self, w: usize, c1: Cell, c2: Cell) -> EngineResult<bool> {
+    pub(crate) fn independent(&self, c1: Cell, c2: Cell) -> EngineResult<bool> {
         let mut v1 = Vec::new();
-        self.collect_unbound(w, c1, &mut v1)?;
+        self.collect_unbound(c1, &mut v1)?;
         if v1.is_empty() {
             return Ok(true);
         }
         v1.sort_unstable();
         let mut v2 = Vec::new();
-        self.collect_unbound(w, c2, &mut v2)?;
+        self.collect_unbound(c2, &mut v2)?;
         Ok(!v2.iter().any(|a| v1.binary_search(a).is_ok()))
     }
 
     /// Structural equality (`==/2`): equal without any binding.
-    pub(crate) fn struct_eq(&mut self, w: usize, c1: Cell, c2: Cell) -> EngineResult<bool> {
-        let pe = self.workers[w].id;
+    pub(crate) fn struct_eq(&self, c1: Cell, c2: Cell) -> EngineResult<bool> {
+        let pe = self.wk.id;
         let mut work = vec![(c1, c2)];
         while let Some((a, b)) = work.pop() {
-            let d1 = self.deref(w, a);
-            let d2 = self.deref(w, b);
+            let d1 = self.deref(a);
+            let d2 = self.deref(b);
             match (d1, d2) {
                 (Cell::Ref(x), Cell::Ref(y)) => {
                     if x != y {
@@ -331,21 +338,21 @@ impl<'p> Engine<'p> {
                     }
                 }
                 (Cell::Lis(p1), Cell::Lis(p2)) => {
-                    let h1 = self.mem.read(pe, p1, ObjectKind::HeapTerm);
-                    let h2 = self.mem.read(pe, p2, ObjectKind::HeapTerm);
-                    let t1 = self.mem.read(pe, p1 + 1, ObjectKind::HeapTerm);
-                    let t2 = self.mem.read(pe, p2 + 1, ObjectKind::HeapTerm);
+                    let h1 = self.core.mem.read(pe, p1, ObjectKind::HeapTerm);
+                    let h2 = self.core.mem.read(pe, p2, ObjectKind::HeapTerm);
+                    let t1 = self.core.mem.read(pe, p1 + 1, ObjectKind::HeapTerm);
+                    let t2 = self.core.mem.read(pe, p2 + 1, ObjectKind::HeapTerm);
                     work.push((h1, h2));
                     work.push((t1, t2));
                 }
                 (Cell::Str(p1), Cell::Str(p2)) => {
-                    let f1 = self.mem.read(pe, p1, ObjectKind::HeapTerm);
-                    let f2 = self.mem.read(pe, p2, ObjectKind::HeapTerm);
+                    let f1 = self.core.mem.read(pe, p1, ObjectKind::HeapTerm);
+                    let f2 = self.core.mem.read(pe, p2, ObjectKind::HeapTerm);
                     match (f1, f2) {
                         (Cell::Fun(n1, a1), Cell::Fun(n2, a2)) if n1 == n2 && a1 == a2 => {
                             for i in 0..a1 as u32 {
-                                let x = self.mem.read(pe, p1 + 1 + i, ObjectKind::HeapTerm);
-                                let y = self.mem.read(pe, p2 + 1 + i, ObjectKind::HeapTerm);
+                                let x = self.core.mem.read(pe, p1 + 1 + i, ObjectKind::HeapTerm);
+                                let y = self.core.mem.read(pe, p2 + 1 + i, ObjectKind::HeapTerm);
                                 work.push((x, y));
                             }
                         }

@@ -2,11 +2,14 @@
 //!
 //! Each worker is a complete WAM: a register file plus top pointers into its
 //! own Stack Set.  The only additions over the sequential WAM are the Parcall
-//! Frame register (`pf`), the Goal Stack / Message Buffer tops, and a small
-//! host-side scheduling stack that remembers how to resume after a parallel
-//! goal finishes (the RAP-WAM encodes the same information in Markers; we
-//! keep a host-side mirror so the scheduler does not have to re-read memory
-//! for every decision).
+//! Frame register (`pf`), the Goal Stack top, and a small host-side
+//! scheduling stack that remembers how to resume after a parallel goal
+//! finishes (the RAP-WAM encodes the same information in Markers; we keep a
+//! host-side mirror so the scheduler does not have to re-read memory for
+//! every decision).  State that *other* PEs must see — the Goal-Stack
+//! mirror used for stealing and the Message-Buffer allocation state — lives
+//! on the per-PE boards of [`crate::engine::EngineCore`], not here: a
+//! `Worker` is always owned exclusively by the thread stepping it.
 
 use crate::cell::{Cell, NONE_ADDR};
 use crate::layout::{AddressMap, Area};
@@ -124,20 +127,14 @@ pub struct Worker {
     pub local_top: u32,
     /// Control-stack allocation top.
     pub control_top: u32,
-    /// Goal-stack allocation top.
+    /// Goal-stack allocation top (the owner's mirror of the authoritative
+    /// top on this PE's shared board, refreshed on every own-stack push/pop;
+    /// other PEs shrink the board top when they steal).
     pub goal_top: u32,
-    /// Next free slot in the Message Buffer (treated as a bump buffer that
-    /// wraps; completion messages are tiny and consumed promptly).
-    pub msg_top: u32,
     /// Scheduling status.
     pub status: WorkerStatus,
     /// Host-side stack of in-progress parallel goals.
     pub goal_contexts: Vec<GoalContext>,
-    /// Host-side mirror of the goal frames currently on this worker's Goal
-    /// Stack (addresses, oldest first).
-    pub goal_frames: Vec<u32>,
-    /// Number of unread messages in the Message Buffer.
-    pub pending_messages: u32,
     /// Executed instruction count.
     pub instructions: u64,
     /// Cycles spent idle or waiting.
@@ -194,11 +191,8 @@ impl Worker {
             local_top: local_base,
             control_top: control_base,
             goal_top: goal_base,
-            msg_top: msg_base,
             status: WorkerStatus::Idle,
             goal_contexts: Vec::new(),
-            goal_frames: Vec::new(),
-            pending_messages: 0,
             instructions: 0,
             idle_cycles: 0,
             goals_stolen: 0,

@@ -1,12 +1,28 @@
 //! The experiment harness run end-to-end on small inputs: every table and
 //! figure entry point must produce data with the paper's qualitative shape.
+//!
+//! The suite honours `PWAM_SCHEDULER` / `PWAM_DETERMINISM` like the
+//! binaries do.  Under relaxed determinism two classes of assertions are
+//! skipped: elapsed-cycle speedup (rounds do not exist without the
+//! scheduling token — relaxed runs report a critical-path estimate) and
+//! goal-placement counts (which PE steals which goal is an actual race,
+//! and on a single-core host the parent usually wins).  Everything
+//! answer- and work-invariant stays asserted in both modes.
 
 use pwam_suite::cachesim::Protocol;
 use pwam_suite::harness::experiments::{
-    ablation_alloc, ablation_bus, figure2, figure4, mlips, table1, table2, table3, ExperimentScale,
+    ablation_alloc, ablation_bus, determinism, figure2, figure4, mlips, table1, table2, table3,
+    ExperimentScale,
 };
+use pwam_suite::rapwam::DeterminismMode;
 
 const SCALE: ExperimentScale = ExperimentScale::Small;
+
+/// True when the run is schedule-deterministic, i.e. placement- and
+/// cycle-based assertions are meaningful.
+fn strict() -> bool {
+    determinism() == DeterminismMode::Strict
+}
 
 #[test]
 fn table1_lists_all_twelve_storage_objects() {
@@ -25,7 +41,9 @@ fn table2_shows_bounded_overhead_and_parallel_goals() {
     for row in &t.rows {
         assert!(row.refs_rapwam >= row.refs_wam, "{}: parallel work below sequential", row.benchmark);
         assert!(row.overhead < 0.8, "{}: overhead {:.2} is implausible", row.benchmark, row.overhead);
-        assert!(row.goals_in_parallel > 0, "{}: no goals executed in parallel", row.benchmark);
+        if strict() {
+            assert!(row.goals_in_parallel > 0, "{}: no goals executed in parallel", row.benchmark);
+        }
         assert!(row.refs_per_instruction > 1.0 && row.refs_per_instruction < 8.0);
     }
     // matrix has the coarsest grain and therefore the lowest overhead.
@@ -43,10 +61,14 @@ fn figure2_work_stays_bounded_and_speedup_grows() {
         assert!(p.work_pct_of_wam < 200.0, "work exploded at {} PEs: {}", p.pes, p.work_pct_of_wam);
     }
     // Speed-up must increase from 1 to 8 PEs (deriv has enough parallelism
-    // even at the small scale).
-    let s1 = fig.points[0].speedup;
-    let s8 = fig.points[3].speedup;
-    assert!(s8 > s1 * 1.5, "speed-up did not grow: {s1} -> {s8}");
+    // even at the small scale).  Elapsed cycles are an emulation metric of
+    // the strict backends; relaxed runs report a critical-path estimate
+    // instead, so the growth assertion only holds under strict determinism.
+    if strict() {
+        let s1 = fig.points[0].speedup;
+        let s8 = fig.points[3].speedup;
+        assert!(s8 > s1 * 1.5, "speed-up did not grow: {s1} -> {s8}");
+    }
     // Work on 1 PE must not exceed work on 8 PEs by much (overhead grows
     // with actual parallelism, not the other way around).
     assert!(fig.points[0].work_pct_of_wam <= fig.points[3].work_pct_of_wam + 10.0);
