@@ -1,0 +1,282 @@
+//! `pwam-load` — drive N concurrent clients against a `pwam-serve`
+//! instance and report throughput, latency percentiles and pool
+//! statistics.
+//!
+//! ```text
+//! pwam-load --addr HOST:PORT [--clients N] [--requests M]
+//!           [--benchmarks deriv,tak,qsort,queens] [--workers W]
+//!           [--scheduler interleaved|threaded] [--determinism strict|relaxed]
+//!           [--deadline-ms N] [--require-reuse] [--shutdown] [--json]
+//! ```
+//!
+//! Every client cycles through the selected registry benchmarks (at
+//! `Scale::Small`) and validates each rendered answer against the
+//! registry's expected value.  The process exits non-zero when any
+//! protocol/server error or wrong answer is observed, and — under
+//! `--require-reuse` — when the server reports no warm engine reuse, so CI
+//! can gate on both.
+
+use pwam_bench::cli::arg_value;
+use pwam_benchmarks::{benchmark, runner::Validation, Benchmark, BenchmarkId, Scale};
+use pwam_server::{Client, QueryRequest, Response};
+use rapwam::{DeterminismMode, SchedulerKind};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+fn num_arg(args: &[String], key: &str) -> Option<u64> {
+    arg_value(args, key).map(|v| match v.parse() {
+        Ok(n) => n,
+        Err(_) => usage_error(&format!("{key} {v} (expected a number)")),
+    })
+}
+
+fn usage_error(what: &str) -> ! {
+    eprintln!("invalid argument: {what}");
+    std::process::exit(2);
+}
+
+/// The rendered answer the registry expects for a benchmark's query
+/// variable, if its validation pins one.
+fn expected_binding(b: &Benchmark) -> Option<(String, String)> {
+    let render_list = |items: &[i64]| {
+        let inner: Vec<String> = items.iter().map(|i| i.to_string()).collect();
+        format!("[{}]", inner.join(","))
+    };
+    match &b.validation {
+        Validation::EqualsInt { variable, expected } => Some((variable.clone(), expected.to_string())),
+        Validation::EqualsList { variable, expected } => Some((variable.clone(), render_list(expected))),
+        Validation::EqualsAtom { variable, expected } => Some((variable.clone(), expected.clone())),
+        Validation::EqualsMatrix { variable, expected } => {
+            let rows: Vec<String> = expected.iter().map(|r| render_list(r)).collect();
+            Some((variable.clone(), format!("[{}]", rows.join(","))))
+        }
+        Validation::MatchesSequential { .. } | Validation::SucceedsOnly => None,
+    }
+}
+
+#[derive(Debug, Default, Clone, Serialize)]
+struct ClientTally {
+    requests: u64,
+    errors: u64,
+    wrong_answers: u64,
+    warm: u64,
+    latencies_us: Vec<u64>,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    clients: usize,
+    requests: u64,
+    errors: u64,
+    wrong_answers: u64,
+    warm_responses: u64,
+    elapsed_ms: u64,
+    throughput_rps: f64,
+    latency_mean_us: u64,
+    latency_p50_us: u64,
+    latency_p99_us: u64,
+    pool_warm_hits: u64,
+    pool_cold_builds: u64,
+    pool_rejections: u64,
+    pool_queue_timeouts: u64,
+    pool_max_queue_depth: u64,
+    server_protocol_errors: u64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: pwam-load --addr HOST:PORT [--clients N] [--requests M]\n\
+             \x20                [--benchmarks deriv,tak,qsort,queens] [--workers W]\n\
+             \x20                [--scheduler NAME] [--determinism NAME] [--deadline-ms N]\n\
+             \x20                [--require-reuse] [--shutdown] [--json]"
+        );
+        return;
+    }
+    let addr = arg_value(&args, "--addr").unwrap_or_else(|| usage_error("--addr is required"));
+    let clients = num_arg(&args, "--clients").unwrap_or(4).max(1) as usize;
+    let requests = num_arg(&args, "--requests").unwrap_or(25).max(1);
+    let workers = num_arg(&args, "--workers").unwrap_or(2).max(1) as usize;
+    let deadline_ms = num_arg(&args, "--deadline-ms");
+    let scheduler = match arg_value(&args, "--scheduler") {
+        None => SchedulerKind::Interleaved,
+        Some(name) => SchedulerKind::parse(&name).unwrap_or_else(|| {
+            usage_error(&format!("--scheduler {name} (expected interleaved or threaded)"))
+        }),
+    };
+    let determinism = match arg_value(&args, "--determinism") {
+        None => DeterminismMode::Strict,
+        Some(name) => DeterminismMode::parse(&name)
+            .unwrap_or_else(|| usage_error(&format!("--determinism {name} (expected strict or relaxed)"))),
+    };
+    let bench_names =
+        arg_value(&args, "--benchmarks").unwrap_or_else(|| "deriv,tak,qsort,queens".to_string());
+    let benches: Vec<Benchmark> = bench_names
+        .split(',')
+        .map(|name| {
+            let id = BenchmarkId::parse(name.trim())
+                .unwrap_or_else(|| usage_error(&format!("--benchmarks {name} (unknown benchmark)")));
+            benchmark(id, Scale::Small)
+        })
+        .collect();
+    let json = args.iter().any(|a| a == "--json");
+    let require_reuse = args.iter().any(|a| a == "--require-reuse");
+    let send_shutdown = args.iter().any(|a| a == "--shutdown");
+
+    // Pool stats before the run, so the report shows this run's deltas.
+    let before = Client::connect(&addr).and_then(|mut c| c.stats()).unwrap_or_else(|e| {
+        eprintln!("pwam-load: cannot reach server at {addr}: {e}");
+        std::process::exit(1);
+    });
+
+    let started = Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client_idx| {
+                let addr = addr.clone();
+                let benches = &benches;
+                s.spawn(move || {
+                    let mut tally = ClientTally::default();
+                    let mut client = match Client::connect(&addr) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            eprintln!("client {client_idx}: connect failed: {e}");
+                            tally.errors += 1;
+                            return tally;
+                        }
+                    };
+                    for i in 0..requests {
+                        let b = &benches[(client_idx + i as usize) % benches.len()];
+                        let req = QueryRequest {
+                            program: b.program.clone(),
+                            query: b.query.clone(),
+                            workers,
+                            parallel: true,
+                            scheduler,
+                            determinism,
+                            deadline_ms,
+                        };
+                        let sent = Instant::now();
+                        tally.requests += 1;
+                        match client.query(req) {
+                            Ok(Response::Answer(a)) => {
+                                tally.latencies_us.push(sent.elapsed().as_micros() as u64);
+                                if a.warm {
+                                    tally.warm += 1;
+                                }
+                                let ok = match expected_binding(b) {
+                                    _ if !a.success => false,
+                                    Some((var, expected)) => {
+                                        a.bindings.iter().any(|(n, v)| n == &var && v == &expected)
+                                    }
+                                    None => true,
+                                };
+                                if !ok {
+                                    tally.wrong_answers += 1;
+                                    eprintln!(
+                                        "client {client_idx}: {} answered wrongly: success={} bindings={:?}",
+                                        b.id.name(),
+                                        a.success,
+                                        a.bindings
+                                    );
+                                }
+                            }
+                            Ok(other) => {
+                                tally.errors += 1;
+                                eprintln!("client {client_idx}: {} error: {other:?}", b.id.name());
+                            }
+                            Err(e) => {
+                                tally.errors += 1;
+                                eprintln!("client {client_idx}: transport error: {e}");
+                                return tally;
+                            }
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let elapsed = started.elapsed();
+
+    let after = Client::connect(&addr).and_then(|mut c| c.stats()).unwrap_or_default();
+    if send_shutdown {
+        if let Ok(mut c) = Client::connect(&addr) {
+            let _ = c.shutdown();
+        }
+    }
+
+    let mut latencies: Vec<u64> = tallies.iter().flat_map(|t| t.latencies_us.iter().copied()).collect();
+    latencies.sort_unstable();
+    let total_requests: u64 = tallies.iter().map(|t| t.requests).sum();
+    let errors: u64 = tallies.iter().map(|t| t.errors).sum();
+    let wrong: u64 = tallies.iter().map(|t| t.wrong_answers).sum();
+    let warm: u64 = tallies.iter().map(|t| t.warm).sum();
+    let delta = |key: &str| after.get(key).unwrap_or(0).saturating_sub(before.get(key).unwrap_or(0));
+    let mean = if latencies.is_empty() { 0 } else { latencies.iter().sum::<u64>() / latencies.len() as u64 };
+
+    let report = Report {
+        clients,
+        requests: total_requests,
+        errors,
+        wrong_answers: wrong,
+        warm_responses: warm,
+        elapsed_ms: elapsed.as_millis() as u64,
+        throughput_rps: total_requests as f64 / elapsed.as_secs_f64().max(1e-9),
+        latency_mean_us: mean,
+        latency_p50_us: percentile(&latencies, 0.50),
+        latency_p99_us: percentile(&latencies, 0.99),
+        pool_warm_hits: delta("pool_warm_hits"),
+        pool_cold_builds: delta("pool_cold_builds"),
+        pool_rejections: delta("pool_rejections"),
+        pool_queue_timeouts: delta("pool_queue_timeouts"),
+        pool_max_queue_depth: after.get("pool_max_queue_depth").unwrap_or(0),
+        server_protocol_errors: delta("protocol_errors"),
+    };
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&report).expect("serialise"));
+    } else {
+        println!("pwam-load: {} clients x {} requests against {addr}", report.clients, requests);
+        println!(
+            "  {} requests in {:?}  ({:.1} req/s)",
+            report.requests,
+            Duration::from_millis(report.elapsed_ms),
+            report.throughput_rps
+        );
+        println!(
+            "  latency  mean {}us  p50 {}us  p99 {}us",
+            report.latency_mean_us, report.latency_p50_us, report.latency_p99_us
+        );
+        println!(
+            "  pool     warm {}  cold {}  rejected {}  queue-timeout {}  max-depth {}",
+            report.pool_warm_hits,
+            report.pool_cold_builds,
+            report.pool_rejections,
+            report.pool_queue_timeouts,
+            report.pool_max_queue_depth
+        );
+        println!(
+            "  errors   transport/server {}  wrong answers {}  protocol {}",
+            report.errors, report.wrong_answers, report.server_protocol_errors
+        );
+    }
+
+    if errors > 0 || wrong > 0 || report.server_protocol_errors > 0 {
+        std::process::exit(1);
+    }
+    if require_reuse && report.pool_warm_hits == 0 {
+        eprintln!("pwam-load: --require-reuse: the server reported no warm engine reuse");
+        std::process::exit(1);
+    }
+}

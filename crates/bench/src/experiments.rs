@@ -109,6 +109,7 @@ fn options(workers: usize, parallel: bool, trace: bool) -> QueryOptions {
         max_steps: 2_000_000_000,
         scheduler: scheduler(),
         determinism: determinism(),
+        ..QueryOptions::default()
     }
 }
 

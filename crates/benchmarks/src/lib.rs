@@ -15,14 +15,17 @@
 //! unit tests.
 //!
 //! Beyond the paper's four programs the registry also carries `boyer`, a
-//! Boyer-Moore-style tautology prover (a ROADMAP addition): [`BenchmarkId::ALL`] stays
-//! the paper's suite so every table/figure reproduction is unchanged, while
-//! [`BenchmarkId::EXTENDED`] / [`extended_benchmarks`] include the extras.
+//! Boyer-Moore-style tautology prover, and `queens`, a generate-and-test
+//! N-queens whose candidate tests are CGEs (ROADMAP additions):
+//! [`BenchmarkId::ALL`] stays the paper's suite so every table/figure
+//! reproduction is unchanged, while [`BenchmarkId::EXTENDED`] /
+//! [`extended_benchmarks`] include the extras.
 
 pub mod boyer;
 pub mod deriv;
 pub mod matrix;
 pub mod qsort;
+pub mod queens;
 pub mod runner;
 pub mod tak;
 
@@ -38,6 +41,7 @@ pub enum BenchmarkId {
     Qsort,
     Matrix,
     Boyer,
+    Queens,
 }
 
 impl BenchmarkId {
@@ -47,8 +51,14 @@ impl BenchmarkId {
         [BenchmarkId::Deriv, BenchmarkId::Tak, BenchmarkId::Qsort, BenchmarkId::Matrix];
 
     /// The paper's suite plus the registry additions.
-    pub const EXTENDED: [BenchmarkId; 5] =
-        [BenchmarkId::Deriv, BenchmarkId::Tak, BenchmarkId::Qsort, BenchmarkId::Matrix, BenchmarkId::Boyer];
+    pub const EXTENDED: [BenchmarkId; 6] = [
+        BenchmarkId::Deriv,
+        BenchmarkId::Tak,
+        BenchmarkId::Qsort,
+        BenchmarkId::Matrix,
+        BenchmarkId::Boyer,
+        BenchmarkId::Queens,
+    ];
 
     /// The name used in the paper's tables.
     pub fn name(self) -> &'static str {
@@ -58,7 +68,13 @@ impl BenchmarkId {
             BenchmarkId::Qsort => "qsort",
             BenchmarkId::Matrix => "matrix",
             BenchmarkId::Boyer => "boyer",
+            BenchmarkId::Queens => "queens",
         }
+    }
+
+    /// Look a benchmark up by its registry name.
+    pub fn parse(name: &str) -> Option<BenchmarkId> {
+        BenchmarkId::EXTENDED.iter().copied().find(|id| id.name() == name)
     }
 }
 
@@ -94,6 +110,7 @@ pub fn benchmark(id: BenchmarkId, scale: Scale) -> Benchmark {
         BenchmarkId::Qsort => qsort::build(scale),
         BenchmarkId::Matrix => matrix::build(scale),
         BenchmarkId::Boyer => boyer::build(scale),
+        BenchmarkId::Queens => queens::build(scale),
     }
 }
 
@@ -118,9 +135,16 @@ mod tests {
     }
 
     #[test]
-    fn extended_registry_adds_boyer() {
+    fn extended_registry_adds_boyer_and_queens() {
         let names: Vec<_> = BenchmarkId::EXTENDED.iter().map(|b| b.name()).collect();
-        assert_eq!(names, vec!["deriv", "tak", "qsort", "matrix", "boyer"]);
+        assert_eq!(names, vec!["deriv", "tak", "qsort", "matrix", "boyer", "queens"]);
+    }
+
+    #[test]
+    fn ids_parse_by_name() {
+        assert_eq!(BenchmarkId::parse("queens"), Some(BenchmarkId::Queens));
+        assert_eq!(BenchmarkId::parse("tak"), Some(BenchmarkId::Tak));
+        assert_eq!(BenchmarkId::parse("nope"), None);
     }
 
     #[test]
@@ -132,7 +156,7 @@ mod tests {
                 assert!(!b.program.is_empty());
                 assert!(!b.query.is_empty());
             }
-            assert_eq!(extended_benchmarks(scale).len(), 5);
+            assert_eq!(extended_benchmarks(scale).len(), 6);
         }
     }
 }

@@ -1,0 +1,137 @@
+//! `queens` — N-queens by generate-and-test (registry addition).
+//!
+//! A mid-weight *nondeterministic* workload for the serving layer's load
+//! harness: `perm/2` enumerates board permutations through deep
+//! backtracking, and the safety test of each candidate is a CGE — checking
+//! one queen against the queens behind it is independent of checking the
+//! rest, so a failed candidate backtracks *across completed Parcall Frames*
+//! back into the generator.  None of the paper's four programs (nor `boyer`)
+//! combines heavy sequential backtracking with AND-parallel testing this
+//! way, which is exactly the stress the engine's Marker/Parcall recovery
+//! machinery needs.
+//!
+//! The first solution is deterministic (lexicographically smallest safe
+//! permutation, by clause order), so the host-side reference replays the
+//! same search order and the benchmark validates the exact board.
+
+use crate::{runner::Validation, Benchmark, BenchmarkId, Scale};
+
+/// The annotated program.
+pub const PROGRAM: &str = r#"
+queens(N, Qs) :- range(1, N, Ns), perm(Ns, Qs), safe(Qs).
+
+range(N, N, [N]) :- !.
+range(I, N, [I|T]) :- I < N, J is I + 1, range(J, N, T).
+
+sel(X, [X|T], T).
+sel(X, [H|T], [H|R]) :- sel(X, T, R).
+
+perm([], []).
+perm(L, [X|T]) :- sel(X, L, R), perm(R, T).
+
+safe([]).
+safe([Q|Qs]) :- (ground(Q), ground(Qs) | no_attack(Q, Qs, 1) & safe(Qs)).
+
+no_attack(_, [], _).
+no_attack(Q, [P|Ps], D) :- Q =\= P + D, P =\= Q + D, D1 is D + 1, no_attack(Q, Ps, D1).
+"#;
+
+/// Board size at each scale.
+pub fn board_size(scale: Scale) -> usize {
+    match scale {
+        Scale::Small => 5,
+        Scale::Paper => 7,
+        Scale::Large => 8,
+    }
+}
+
+/// Host-side reference: the first safe permutation in the exact order the
+/// Prolog program enumerates them (lexicographic over `[1..=n]`, because
+/// `sel/3` takes list elements front to back).
+pub fn first_solution(n: usize) -> Option<Vec<i64>> {
+    fn search(remaining: &[i64], placed: &mut Vec<i64>, out: &mut Option<Vec<i64>>) {
+        if out.is_some() {
+            return;
+        }
+        if remaining.is_empty() {
+            if is_safe(placed) {
+                *out = Some(placed.clone());
+            }
+            return;
+        }
+        for i in 0..remaining.len() {
+            let mut rest = remaining.to_vec();
+            let q = rest.remove(i);
+            placed.push(q);
+            search(&rest, placed, out);
+            placed.pop();
+            if out.is_some() {
+                return;
+            }
+        }
+    }
+    let board: Vec<i64> = (1..=n as i64).collect();
+    let mut out = None;
+    search(&board, &mut Vec::new(), &mut out);
+    out
+}
+
+/// True when no two queens of the (column-ordered) board attack each other.
+pub fn is_safe(board: &[i64]) -> bool {
+    board.iter().enumerate().all(|(i, &q)| {
+        board[i + 1..]
+            .iter()
+            .enumerate()
+            .all(|(d, &p)| q != p && q != p + (d as i64 + 1) && p != q + (d as i64 + 1))
+    })
+}
+
+/// Build the benchmark instance.
+pub fn build(scale: Scale) -> Benchmark {
+    let n = board_size(scale);
+    let expected = first_solution(n).expect("n-queens has a solution at every registry scale");
+    Benchmark {
+        id: BenchmarkId::Queens,
+        scale,
+        program: PROGRAM.to_string(),
+        query: format!("queens({n}, Qs)"),
+        validation: Validation::EqualsList { variable: "Qs".to_string(), expected },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn safety_check_matches_known_boards() {
+        assert!(is_safe(&[1, 3, 5, 2, 4]));
+        assert!(is_safe(&[2, 4, 6, 1, 3, 5]));
+        assert!(!is_safe(&[1, 2, 3, 4, 5]), "a diagonal of queens all attack");
+        assert!(!is_safe(&[1, 1]), "same row attacks");
+    }
+
+    #[test]
+    fn first_solutions_are_the_lexicographic_ones() {
+        assert_eq!(first_solution(4), Some(vec![2, 4, 1, 3]));
+        assert_eq!(first_solution(5), Some(vec![1, 3, 5, 2, 4]));
+        assert_eq!(first_solution(6), Some(vec![2, 4, 6, 1, 3, 5]));
+        assert_eq!(first_solution(8), Some(vec![1, 5, 8, 6, 3, 7, 2, 4]));
+        assert_eq!(first_solution(3), None, "3-queens has no solution");
+    }
+
+    #[test]
+    fn benchmark_builds_at_every_scale() {
+        for scale in [Scale::Small, Scale::Paper, Scale::Large] {
+            let b = build(scale);
+            assert!(b.query.starts_with("queens("));
+            match &b.validation {
+                Validation::EqualsList { expected, .. } => {
+                    assert_eq!(expected.len(), board_size(scale));
+                    assert!(is_safe(expected));
+                }
+                other => panic!("unexpected validation {other:?}"),
+            }
+        }
+    }
+}

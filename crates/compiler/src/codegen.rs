@@ -611,12 +611,19 @@ fn compile_cge(ctx: &mut ClauseCtx, cge: &Cge, chunk: &mut ChunkBuilder) -> Comp
         }
     }
 
-    // The Parcall Frame only tracks the goals that are made available for
-    // pick-up on the Goal Stack; the leftmost branch is executed locally by
-    // the parent (as in the RAP-WAM), so it needs no Goal Frame and no slot.
-    chunk.emit(Instr::PcallAlloc { n: (branch_calls.len() - 1) as u8 });
+    // Every branch goes onto the Goal Stack, and the parent proceeds
+    // straight to `pcall_wait`, where it picks its own goals back up through
+    // the cheap local path (no Marker, no message) unless an idle PE stole
+    // them first.  The parent must *not* execute a branch inline between the
+    // pushes and the wait: if that branch failed, the parent would backtrack
+    // while sibling Goal Frames are still scheduled (or already stolen and
+    // in flight), and their later pick-up/completion would act on a dead,
+    // possibly reused Parcall Frame.  Entering the wait first means failure
+    // always arrives through the goal-completion protocol, which drains
+    // every sibling before the parent backtracks.
+    chunk.emit(Instr::PcallAlloc { n: branch_calls.len() as u8 });
     let seen_before = ctx.seen.clone();
-    for (k, t) in branch_calls.iter().enumerate().skip(1) {
+    for (k, t) in branch_calls.iter().enumerate() {
         ctx.reset_scratch();
         let (f, n) = t.functor().expect("branch call has a functor");
         if let Term::Struct(_, args) = t {
@@ -625,12 +632,9 @@ fn compile_cge(ctx: &mut ClauseCtx, cge: &Cge, chunk: &mut ChunkBuilder) -> Comp
         chunk.emit(Instr::PcallGoal {
             target: CallTarget::Unresolved(PredRef { name: f, arity: n as u8 }),
             arity: n as u8,
-            slot: (k - 1) as u8,
+            slot: k as u8,
         });
     }
-    // Execute the leftmost branch locally, then wait for the others.
-    ctx.reset_scratch();
-    compile_user_call(ctx, branch_calls[0], false, false, chunk)?;
     chunk.emit(Instr::PcallWait);
     let seen_after_parallel = ctx.seen.clone();
 
@@ -761,22 +765,23 @@ mod tests {
         );
         assert_eq!(count_matching(&code, |i| matches!(i, Instr::CheckGround { .. })), 1);
         assert_eq!(count_matching(&code, |i| matches!(i, Instr::CheckIndep { .. })), 1);
-        // Only the non-leftmost branch gets a Goal Frame; the leftmost one is
-        // executed locally by the parent.
-        assert_eq!(count_matching(&code, |i| matches!(i, Instr::PcallAlloc { n: 1 })), 1);
-        assert_eq!(count_matching(&code, |i| matches!(i, Instr::PcallGoal { .. })), 1);
+        // Every branch gets a Goal Frame; the parent re-acquires its own
+        // goals at `pcall_wait` through the local path, so a branch failure
+        // always travels the goal-completion protocol.
+        assert_eq!(count_matching(&code, |i| matches!(i, Instr::PcallAlloc { n: 2 })), 1);
+        assert_eq!(count_matching(&code, |i| matches!(i, Instr::PcallGoal { .. })), 2);
         assert_eq!(count_matching(&code, |i| matches!(i, Instr::PcallWait)), 1);
-        // one local call on the parallel path plus two calls on the fallback
-        assert_eq!(count_matching(&code, |i| matches!(i, Instr::Call { .. })), 3);
+        // no inline call on the parallel path; two calls on the fallback
+        assert_eq!(count_matching(&code, |i| matches!(i, Instr::Call { .. })), 2);
         assert_eq!(count_matching(&code, |i| matches!(i, Instr::Jump { .. })), 1);
     }
 
     #[test]
     fn unconditional_cge_has_no_fallback() {
         let (code, _) = compile_first("f(X,Y) :- (g(X) & h(Y)).", CompileOptions::parallel());
-        assert_eq!(count_matching(&code, |i| matches!(i, Instr::PcallGoal { .. })), 1);
-        // exactly one call: the locally executed leftmost branch
-        assert_eq!(count_matching(&code, |i| matches!(i, Instr::Call { .. })), 1);
+        assert_eq!(count_matching(&code, |i| matches!(i, Instr::PcallGoal { .. })), 2);
+        // no sequential fallback, and no inline call on the parallel path
+        assert_eq!(count_matching(&code, |i| matches!(i, Instr::Call { .. })), 0);
         assert_eq!(count_matching(&code, |i| matches!(i, Instr::Jump { .. })), 0);
     }
 

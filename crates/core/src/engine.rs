@@ -45,6 +45,7 @@ use pwam_front::term::Term;
 use pwam_front::SymbolTable;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -65,6 +66,15 @@ pub struct EngineConfig {
     pub scheduler: SchedulerKind,
     /// How much scheduling nondeterminism the backend may exploit.
     pub determinism: DeterminismMode,
+    /// How long the relaxed backend may observe a completely stalled machine
+    /// (no instruction executed anywhere, nothing to steal) before aborting.
+    /// Valid programs never stall; this is the safety net for engine bugs,
+    /// sized so tests hang for seconds, not forever.
+    pub stall_timeout: Duration,
+    /// Wall-clock budget for the run.  `None` (the default) means unlimited;
+    /// the serving layer sets it to enforce per-request deadlines, reusing
+    /// the same periodic progress checks as the stall watchdog.
+    pub time_budget: Option<Duration>,
 }
 
 impl Default for EngineConfig {
@@ -78,6 +88,8 @@ impl Default for EngineConfig {
             num_x_regs: pwam_compiler::MAX_X_REGS,
             scheduler: SchedulerKind::Interleaved,
             determinism: DeterminismMode::Strict,
+            stall_timeout: Duration::from_secs(5),
+            time_budget: None,
         }
     }
 }
@@ -201,6 +213,9 @@ pub struct EngineCore<'p> {
     /// First engine error raised on any thread of the relaxed backend.
     abort: Mutex<Option<EngineError>>,
     aborted: AtomicBool,
+    /// When the run started (re-armed by `run`/`reset`); the reference point
+    /// for the `time_budget` deadline.
+    started: Instant,
 }
 
 impl<'p> EngineCore<'p> {
@@ -246,6 +261,18 @@ impl<'p> EngineCore<'p> {
     /// Take the recorded abort error, if any.
     pub(crate) fn take_abort(&self) -> Option<EngineError> {
         self.abort.lock().unwrap().take()
+    }
+
+    /// Fail the run if its wall-clock budget is exhausted.  Cheap when no
+    /// budget is set; callers still rate-limit the check because
+    /// `Instant::now` is not free on the per-instruction path.
+    pub(crate) fn check_deadline(&self) -> EngineResult<()> {
+        if let Some(budget) = self.config.time_budget {
+            if self.started.elapsed() > budget {
+                return Err(EngineError::DeadlineExceeded { budget });
+            }
+        }
+        Ok(())
     }
 
     /// Drain the steals PE `thief` performed since the last drain.
@@ -310,9 +337,33 @@ pub(crate) struct Step<'a, 'p> {
 impl<'p> Engine<'p> {
     /// Create an engine ready to run the program's query.
     pub fn new(program: &'p CompiledProgram, config: EngineConfig) -> Self {
+        let mem = Memory::new(config.memory, config.num_workers, config.collect_trace);
+        Engine::build(program, config, mem)
+    }
+
+    /// Create an engine around a recycled [`Memory`] (the warm-engine path
+    /// of a serving pool).  When the memory's shape — per-worker area sizes
+    /// and worker count — matches the configuration, its arenas are reset in
+    /// place and reused, skipping the allocation that dominates engine
+    /// construction; otherwise a fresh memory is allocated.  Returns the
+    /// engine and whether the arenas were actually reused.
+    pub fn with_recycled_memory(
+        program: &'p CompiledProgram,
+        config: EngineConfig,
+        mut memory: Memory,
+    ) -> (Self, bool) {
+        if memory.map.config == config.memory && memory.map.num_workers == config.num_workers {
+            memory.reset(config.collect_trace);
+            (Engine::build(program, config, memory), true)
+        } else {
+            (Engine::new(program, config), false)
+        }
+    }
+
+    /// Assemble an engine around an already-allocated (pristine) memory.
+    fn build(program: &'p CompiledProgram, config: EngineConfig, mem: Memory) -> Self {
         assert!(config.num_workers >= 1, "at least one worker is required");
         assert!(config.num_workers <= 255, "at most 255 workers are supported");
-        let mem = Memory::new(config.memory, config.num_workers, config.collect_trace);
         let mut workers: Vec<Worker> =
             (0..config.num_workers).map(|i| Worker::new(i as u8, &mem.map, config.num_x_regs)).collect();
         workers[0].p = program.query_start;
@@ -346,6 +397,7 @@ impl<'p> Engine<'p> {
                 steal_logs,
                 abort: Mutex::new(None),
                 aborted: AtomicBool::new(false),
+                started: Instant::now(),
             },
             workers,
         }
@@ -354,15 +406,32 @@ impl<'p> Engine<'p> {
     /// Run the query to completion on the configured scheduler backend and
     /// collect results.
     pub fn run(self, syms: &SymbolTable) -> EngineResult<RunResult> {
+        let (result, _engine) = self.run_reusable(syms)?;
+        Ok(result)
+    }
+
+    /// Like [`Engine::run`], but also hands the finished engine back so the
+    /// caller can [`Engine::reset`] it (same program) or recover its arenas
+    /// with [`Engine::into_memory`] (different program).  On error the
+    /// engine is lost — a pool simply rebuilds cold on the next request.
+    pub fn run_reusable(mut self, syms: &SymbolTable) -> EngineResult<(RunResult, Engine<'p>)> {
+        self.core.started = Instant::now();
         let scheduler = scheduler_for(self.core.config.scheduler, self.core.config.determinism);
-        let engine = scheduler.drive(self)?;
-        engine.into_result(syms)
+        let mut engine = scheduler.drive(self)?;
+        let result = engine.take_result(syms)?;
+        Ok((result, engine))
     }
 
     /// Turn a finished engine into a [`RunResult`] (answers, statistics and
     /// the merged trace).
     pub fn into_result(mut self, syms: &SymbolTable) -> EngineResult<RunResult> {
-        debug_assert!(self.core.finished().is_some(), "into_result on an unfinished engine");
+        self.take_result(syms)
+    }
+
+    /// Extract the [`RunResult`] of a finished engine, leaving the engine
+    /// behind for reuse (the trace buffer, if any, is drained).
+    pub fn take_result(&mut self, syms: &SymbolTable) -> EngineResult<RunResult> {
+        debug_assert!(self.core.finished().is_some(), "take_result on an unfinished engine");
         let outcome = if self.core.finished() == Some(true) {
             let bindings = self.extract_answer(syms)?;
             Outcome::Success(bindings)
@@ -372,6 +441,56 @@ impl<'p> Engine<'p> {
         let stats = self.collect_stats();
         let trace = self.core.mem.take_trace();
         Ok(RunResult { outcome, stats, trace })
+    }
+
+    /// Return a finished engine to a pristine state **without freeing its
+    /// arenas**, ready to run the same program's query again: every touched
+    /// memory word is cleared, the workers, boards and counters are reborn,
+    /// and tracing is re-armed per the configuration.  This is the
+    /// reusable-engine path of the serving layer — per-PE Stack Sets are
+    /// long-lived resources (the paper's whole locality story), so a warm
+    /// engine skips the arena allocation that dominates cold construction.
+    ///
+    /// A reset engine is observationally identical to a fresh one: the
+    /// differential suite pins byte-identical answers, per-area counts and
+    /// traces between fresh and reset-and-reused engines.
+    pub fn reset(&mut self) {
+        let core = &mut self.core;
+        core.mem.reset(core.config.collect_trace);
+        for wk in self.workers.iter_mut() {
+            *wk = Worker::new(wk.id, &core.mem.map, core.config.num_x_regs);
+        }
+        self.workers[0].p = core.program.query_start;
+        self.workers[0].cp = core.program.query_start;
+        self.workers[0].status = WorkerStatus::Running;
+        for (w, board) in core.boards.iter_mut().enumerate() {
+            let b = board.get_mut().unwrap();
+            b.goal_frames.clear();
+            b.goal_top = core.mem.map.area_base(w, Area::GoalStack);
+            b.msg_top = core.mem.map.area_base(w, Area::MessageBuffer);
+            b.pending_messages = 0;
+        }
+        for log in core.steal_logs.iter_mut() {
+            log.get_mut().unwrap().clear();
+        }
+        *core.finished.get_mut() = RUNNING;
+        *core.steps.get_mut() = 0;
+        *core.cycles.get_mut() = 0;
+        *core.parcalls.get_mut() = 0;
+        *core.parallel_goals.get_mut() = 0;
+        *core.goals_actually_parallel.get_mut() = 0;
+        *core.inferences.get_mut() = 0;
+        *core.steal_cursor.get_mut() = 0;
+        *core.abort.get_mut().unwrap() = None;
+        *core.aborted.get_mut() = false;
+        core.started = Instant::now();
+    }
+
+    /// Tear the engine down to its [`Memory`], keeping the arena allocations
+    /// alive for [`Engine::with_recycled_memory`] (the pool's warm path
+    /// across *different* compiled programs).
+    pub fn into_memory(self) -> Memory {
+        self.core.mem
     }
 
     /// The shared core (scheduler SPI).
@@ -435,6 +554,12 @@ impl<'p> Engine<'p> {
         }
         if self.core.steps() > self.core.config.max_steps {
             return Err(EngineError::StepLimitExceeded { limit: self.core.config.max_steps });
+        }
+        // Per-request deadline, checked every 1024 rounds so `Instant::now`
+        // stays off the per-instruction path (a round is `num_workers`
+        // slots, so the check granularity is a few thousand instructions).
+        if self.core.cycles.load(Ordering::Relaxed) & 0x3ff == 0 {
+            self.core.check_deadline()?;
         }
         Ok(())
     }
@@ -793,8 +918,8 @@ impl<'a, 'p> Step<'a, 'p> {
         self.core.inferences.fetch_add(1, Ordering::Relaxed);
 
         let wk = &*self.wk;
-        let (b, tr, h, local_top, e, cp, hb, sb) =
-            (wk.b, wk.tr, wk.h, wk.local_top, wk.e, wk.cp, wk.hb, wk.stack_boundary);
+        let (b, tr, h, local_top, e, cp, hb, sb, entry_pf) =
+            (wk.b, wk.tr, wk.h, wk.local_top, wk.e, wk.cp, wk.hb, wk.stack_boundary, wk.pf);
 
         // Stolen goals push a Marker delimiting the new Stack Section.
         let marker_addr = if stolen {
@@ -817,6 +942,7 @@ impl<'a, 'p> Step<'a, 'p> {
         let ctx = GoalContext {
             marker: marker_addr,
             pf,
+            entry_pf,
             slot,
             entry_b: b,
             entry_tr: tr,
@@ -914,6 +1040,16 @@ impl<'a, 'p> Step<'a, 'p> {
         wk.e = ctx.entry_e;
         wk.hb = ctx.prev_hb;
         wk.stack_boundary = ctx.prev_stack_boundary;
+        wk.pf = ctx.entry_pf;
+        // Parallel goals commit to their first solution: choice points the
+        // goal created are discarded on success.  Leaving them live would
+        // let a later failure backtrack *into* a completed parallel goal,
+        // whose Parcall/Goal-Frame bookkeeping (completion counters, slot
+        // statuses, reclaimed frames) is not re-wound by the choice-point
+        // machinery — re-entering such a choice point acts on dead state.
+        // Deterministic goals (every registry benchmark's CGE bodies) leave
+        // no choice points behind, so for them this is a no-op.
+        wk.b = ctx.entry_b;
         match ctx.resume {
             Resume::ToWait { addr } => {
                 wk.p = addr;
@@ -923,6 +1059,7 @@ impl<'a, 'p> Step<'a, 'p> {
                 wk.status = WorkerStatus::Idle;
             }
         }
+        self.recede_control_top();
         Ok(())
     }
 
@@ -961,6 +1098,7 @@ impl<'a, 'p> Step<'a, 'p> {
             wk.cp = ctx.prev_cp;
             wk.hb = ctx.prev_hb;
             wk.stack_boundary = ctx.prev_stack_boundary;
+            wk.pf = ctx.entry_pf;
             if ctx.stolen {
                 wk.control_top = ctx.marker; // the marker itself is recovered
             }

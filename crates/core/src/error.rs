@@ -2,6 +2,7 @@
 
 use crate::layout::Area;
 use std::fmt;
+use std::time::Duration;
 
 /// A fatal error raised by the abstract machine.
 ///
@@ -14,6 +15,9 @@ pub enum EngineError {
     OutOfMemory { worker: usize, area: Area },
     /// The step budget was exhausted before the query finished.
     StepLimitExceeded { limit: u64 },
+    /// The wall-clock budget was exhausted before the query finished
+    /// (per-request deadlines of the serving layer).
+    DeadlineExceeded { budget: Duration },
     /// `is/2` or a comparison was applied to an unbound variable.
     Instantiation { context: &'static str },
     /// An arithmetic expression contained a non-numeric term.
@@ -34,6 +38,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::StepLimitExceeded { limit } => {
                 write!(f, "step limit of {limit} instructions exceeded")
+            }
+            EngineError::DeadlineExceeded { budget } => {
+                write!(f, "deadline exceeded: query ran past its time budget of {budget:?}")
             }
             EngineError::Instantiation { context } => {
                 write!(f, "arguments insufficiently instantiated in {context}")

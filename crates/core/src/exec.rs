@@ -209,7 +209,17 @@ impl<'a, 'p> Step<'a, 'p> {
                     self.core.mem.read(pe, e + env::NVARS, ObjectKind::EnvControl).expect_uint("env nvars");
                 let wk = &mut *self.wk;
                 if e + env::size(n) == wk.local_top {
-                    wk.local_top = e;
+                    // Recover the frame's space, but never below the current
+                    // choice point's protected region (`stack_boundary` is
+                    // the local top the newest choice point saved): a
+                    // choice point pushed after this environment was
+                    // allocated restores `saved_e` into it on backtracking,
+                    // so its slots must survive until then.  This is the
+                    // split-stack analogue of the single-stack WAM's
+                    // `E = max(E, B)` allocation rule; without it a later
+                    // `allocate` reuses the frame and the resumed
+                    // alternative reads clobbered (or dangling) slots.
+                    wk.local_top = e.max(wk.stack_boundary);
                 }
                 wk.cp = cp;
                 wk.e = ce;
@@ -493,7 +503,9 @@ impl<'a, 'p> Step<'a, 'p> {
                         .expect_uint("prev pf");
                     let wk = &mut *self.wk;
                     if pf + parcall::size(n) == wk.local_top {
-                        wk.local_top = pf;
+                        // As in `deallocate`: never recede below the current
+                        // choice point's protected local region.
+                        wk.local_top = pf.max(wk.stack_boundary);
                     }
                     wk.pf = prev;
                     // fall through to the continuation

@@ -69,6 +69,10 @@ pub struct StackSetArena {
     /// This arena's slice of the reference trace (when enabled), in issue
     /// order and tagged with global sequence numbers.
     trace: Option<Vec<SeqRef>>,
+    /// One past the highest offset ever written; [`Memory::reset`] only has
+    /// to clear this prefix, so recycling a warm arena costs proportional to
+    /// what the previous run used, not the arena's capacity.
+    touched: usize,
 }
 
 impl StackSetArena {
@@ -78,6 +82,7 @@ impl StackSetArena {
             words: vec![Cell::Empty; words as usize],
             stats: AreaStats::new(num_workers),
             trace: if collect_trace { Some(Vec::new()) } else { None },
+            touched: 0,
         }
     }
 
@@ -232,6 +237,25 @@ impl Memory {
         let mut arena = self.arenas[self.map.owner(addr)].lock().unwrap();
         let offset = arena.record(&self.seq, pe, addr, true, object);
         arena.words[offset] = value;
+        arena.touched = arena.touched.max(offset + 1);
+    }
+
+    /// Return the memory to its pristine post-allocation state without
+    /// freeing the arenas: every word written since allocation (or the last
+    /// reset) is cleared, the reference counters and trace buffers are
+    /// reborn, and the global sequence counter restarts.  The warm-engine
+    /// path of the serving layer goes through here.
+    pub fn reset(&mut self, collect_trace: bool) {
+        for a in &mut self.arenas {
+            let a = a.get_mut().unwrap();
+            a.words[..a.touched].fill(Cell::Empty);
+            a.touched = 0;
+            a.stats = AreaStats::new(self.map.num_workers);
+            a.trace = if collect_trace { Some(Vec::new()) } else { None };
+        }
+        self.shared.get_mut().unwrap().fill(Cell::Empty);
+        *self.seq.get_mut() = 0;
+        self.collect_trace = collect_trace;
     }
 
     /// Atomically read the unsigned word at `addr`, apply `f`, and write the
@@ -263,6 +287,7 @@ impl Memory {
         };
         let offset = arena.record(&self.seq, pe, addr, true, object);
         arena.words[offset] = Cell::Uint(f(old));
+        arena.touched = arena.touched.max(offset + 1);
         Ok(old)
     }
 
@@ -451,6 +476,31 @@ mod tests {
         assert!(!m.tracing());
         assert!(m.take_trace().is_none());
         assert_eq!(m.merged_stats().total.writes, 1);
+    }
+
+    #[test]
+    fn reset_clears_touched_words_counters_and_trace() {
+        let mut m = mem();
+        let h0 = m.area_base(0, Area::Heap);
+        let h1 = m.area_base(1, Area::Heap);
+        m.write(0, h0 + 3, Cell::Int(9), ObjectKind::HeapTerm);
+        m.write(1, h1, Cell::Int(7), ObjectKind::HeapTerm);
+        m.shared_write(0, Cell::Uint(1));
+        m.reset(true);
+        assert_eq!(m.read_untraced(h0 + 3), Cell::Empty);
+        assert_eq!(m.read_untraced(h1), Cell::Empty);
+        assert_eq!(m.shared_read(0), Cell::Empty);
+        assert_eq!(m.merged_stats().total.total(), 0);
+        assert!(m.tracing());
+        // A reset memory behaves exactly like a fresh one.
+        m.write(0, h0, Cell::Int(1), ObjectKind::HeapTerm);
+        let t = m.take_trace().unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].addr, h0);
+        // Reset can also disarm tracing for the next run.
+        m.reset(false);
+        assert!(!m.tracing());
+        assert!(m.take_trace().is_none());
     }
 
     #[test]

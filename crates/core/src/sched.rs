@@ -391,12 +391,9 @@ const RELAXED_BATCH: u32 = 128;
 /// Idle polls between global-progress checks of the stall watchdog.
 const STALL_CHECK_INTERVAL: u32 = 256;
 
-/// How long every worker may observe a completely stalled machine (no
-/// instruction executed anywhere, nothing to steal) before the run aborts.
-/// Valid programs never stall: a waiting parent's goals are always
-/// executable by some PE.  This is a safety net for engine bugs, so tests
-/// hang for seconds, not forever.
-const STALL_TIMEOUT: Duration = Duration::from_secs(5);
+/// Executed batches between wall-clock deadline checks of a busy relaxed
+/// worker (idle workers piggyback on the stall-watchdog polls instead).
+const DEADLINE_CHECK_BATCHES: u32 = 8;
 
 /// True per-arena parallel execution (relaxed determinism): one free-running
 /// OS thread per PE, each mutating only its own worker state and Stack Set
@@ -477,8 +474,10 @@ fn relaxed_pe_loop(
     rx: &Receiver<()>,
     txs: &[Sender<()>],
 ) -> EngineResult<()> {
+    let stall_timeout = core.config.stall_timeout;
     let mut step = crate::engine::Step { core, wk };
     let mut idle_spins: u32 = 0;
+    let mut busy_batches: u32 = 0;
     let mut last_steps = core.steps();
     let mut stall_since: Option<Instant> = None;
     loop {
@@ -503,6 +502,10 @@ fn relaxed_pe_loop(
         if progress {
             idle_spins = 0;
             stall_since = None;
+            busy_batches += 1;
+            if busy_batches.is_multiple_of(DEADLINE_CHECK_BATCHES) {
+                core.check_deadline()?;
+            }
             continue;
         }
         // Nothing to do: back off, and watch for a machine-wide stall.  The
@@ -519,15 +522,16 @@ fn relaxed_pe_loop(
             thread::sleep(Duration::from_micros(100));
         }
         if idle_spins.is_multiple_of(STALL_CHECK_INTERVAL) {
+            core.check_deadline()?;
             let now = core.steps();
             if now != last_steps {
                 last_steps = now;
                 stall_since = None;
             } else {
                 let since = *stall_since.get_or_insert_with(Instant::now);
-                if since.elapsed() > STALL_TIMEOUT {
+                if since.elapsed() > stall_timeout {
                     return Err(EngineError::Internal(format!(
-                        "relaxed scheduler stalled: worker {w} idle with no global progress for {STALL_TIMEOUT:?}"
+                        "relaxed scheduler stalled: worker {w} idle with no global progress for {stall_timeout:?}"
                     )));
                 }
             }

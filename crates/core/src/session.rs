@@ -9,13 +9,17 @@
 use crate::engine::{Engine, EngineConfig, RunResult};
 use crate::error::EngineError;
 use crate::layout::MemoryConfig;
+use crate::mem::Memory;
 use crate::sched::{DeterminismMode, SchedulerKind};
 use pwam_compiler::{compile_program_and_query, CompileError, CompileOptions, CompiledProgram};
 use pwam_front::clause::Program;
 use pwam_front::error::FrontError;
 use pwam_front::parser::{parse_program, parse_query};
 use pwam_front::SymbolTable;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Everything that can go wrong between source text and an answer.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,6 +78,12 @@ pub struct QueryOptions {
     /// threads free-run over their own arenas instead of serialising
     /// through a scheduling token.  Answers are identical either way.
     pub determinism: DeterminismMode,
+    /// How long the relaxed backend tolerates a machine-wide stall before
+    /// aborting (a safety net for engine bugs; default 5s).
+    pub stall_timeout: Duration,
+    /// Wall-clock budget for the run (`None` = unlimited).  The serving
+    /// layer sets this to enforce per-request deadlines.
+    pub time_budget: Option<Duration>,
 }
 
 impl Default for QueryOptions {
@@ -86,6 +96,8 @@ impl Default for QueryOptions {
             max_steps: 2_000_000_000,
             scheduler: SchedulerKind::Interleaved,
             determinism: DeterminismMode::Strict,
+            stall_timeout: Duration::from_secs(5),
+            time_budget: None,
         }
     }
 }
@@ -150,12 +162,53 @@ impl QueryOptions {
         self.determinism = determinism;
         self
     }
+
+    /// Override the relaxed-mode stall-watchdog timeout.
+    pub fn with_stall_timeout(mut self, timeout: Duration) -> Self {
+        self.stall_timeout = timeout;
+        self
+    }
+
+    /// Bound the run's wall-clock time (the engine aborts with
+    /// [`EngineError::DeadlineExceeded`] when the budget runs out).
+    pub fn with_time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// The [`EngineConfig`] these options describe.
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            num_workers: self.workers,
+            memory: self.memory,
+            collect_trace: self.trace,
+            max_steps: self.max_steps,
+            quantum: 1,
+            num_x_regs: pwam_compiler::MAX_X_REGS,
+            scheduler: self.scheduler,
+            determinism: self.determinism,
+            stall_timeout: self.stall_timeout,
+            time_budget: self.time_budget,
+        }
+    }
 }
 
-/// A loaded Prolog program plus its symbol table.
+/// A loaded Prolog program plus its symbol table and a cache of compiled
+/// queries.
+///
+/// Compilation output is immutable, so [`Session::prepare`] hands out
+/// [`Arc<CompiledProgram>`] handles that can be cached and re-run any number
+/// of times — the serving layer's program cache is built on exactly this:
+/// compile once, run on every request.
 pub struct Session {
     syms: SymbolTable,
     program: Program,
+    /// Compiled (program, query) units keyed by query text and compilation
+    /// mode; invalidated when the program changes.
+    compiled: HashMap<(String, bool), Arc<CompiledProgram>>,
+    /// Cache telemetry: (hits, misses) of [`Session::prepare`].
+    prepare_hits: u64,
+    prepare_misses: u64,
 }
 
 impl Session {
@@ -163,13 +216,15 @@ impl Session {
     pub fn new(program_src: &str) -> Result<Self, SessionError> {
         let mut syms = SymbolTable::new();
         let program = parse_program(program_src, &mut syms)?;
-        Ok(Session { syms, program })
+        Ok(Session { syms, program, compiled: HashMap::new(), prepare_hits: 0, prepare_misses: 0 })
     }
 
     /// Append more clauses to the program (e.g. a driver or extra data).
+    /// Invalidates the compiled-query cache.
     pub fn add_clauses(&mut self, src: &str) -> Result<(), SessionError> {
         let extra = parse_program(src, &mut self.syms)?;
         self.program.extend_from(&extra, &self.syms);
+        self.compiled.clear();
         Ok(())
     }
 
@@ -195,21 +250,74 @@ impl Session {
         Ok(compile_program_and_query(&self.program, &query, &mut self.syms, opts)?)
     }
 
-    /// Compile and run a query.
+    /// Compile a query (or return the cached compilation) as a shareable
+    /// handle that [`Session::run_prepared`] can execute any number of times
+    /// without recompiling.
+    pub fn prepare(&mut self, query_src: &str, parallel: bool) -> Result<Arc<CompiledProgram>, SessionError> {
+        let key = (query_src.to_string(), parallel);
+        if let Some(c) = self.compiled.get(&key) {
+            self.prepare_hits += 1;
+            return Ok(Arc::clone(c));
+        }
+        let compiled = Arc::new(self.compile(query_src, parallel)?);
+        self.prepare_misses += 1;
+        // Long-lived sessions (the serving layer) see client-supplied query
+        // text: bound the cache so it cannot grow without limit.  Overflow
+        // drops the map wholesale — recompiling is cheap next to running.
+        if self.compiled.len() >= 1024 {
+            self.compiled.clear();
+        }
+        self.compiled.insert(key, Arc::clone(&compiled));
+        Ok(compiled)
+    }
+
+    /// Number of compiled queries currently cached.
+    pub fn prepared_queries(&self) -> usize {
+        self.compiled.len()
+    }
+
+    /// Cache telemetry of [`Session::prepare`]: `(hits, misses)`.
+    pub fn prepare_stats(&self) -> (u64, u64) {
+        (self.prepare_hits, self.prepare_misses)
+    }
+
+    /// Compile and run a query.  Compilations are cached, so re-running the
+    /// same query skips the front end and the compiler entirely.
     pub fn run(&mut self, query_src: &str, options: &QueryOptions) -> Result<RunResult, SessionError> {
-        let compiled = self.compile(query_src, options.parallel)?;
-        let config = EngineConfig {
-            num_workers: options.workers,
-            memory: options.memory,
-            collect_trace: options.trace,
-            max_steps: options.max_steps,
-            quantum: 1,
-            num_x_regs: pwam_compiler::MAX_X_REGS,
-            scheduler: options.scheduler,
-            determinism: options.determinism,
-        };
-        let engine = Engine::new(&compiled, config);
+        let compiled = self.prepare(query_src, options.parallel)?;
+        self.run_prepared(&compiled, options)
+    }
+
+    /// Run an already-compiled query on a fresh engine.  Takes `&self`: a
+    /// prepared query can be executed from many threads against one shared
+    /// session (the serving layer holds the session behind a read lock).
+    pub fn run_prepared(
+        &self,
+        compiled: &CompiledProgram,
+        options: &QueryOptions,
+    ) -> Result<RunResult, SessionError> {
+        let engine = Engine::new(compiled, options.engine_config());
         Ok(engine.run(&self.syms)?)
+    }
+
+    /// Run an already-compiled query, recycling the arenas of `memory` when
+    /// its shape fits (the warm-engine path).  Returns the result, the
+    /// engine's memory for the next reuse, and whether the arenas were
+    /// actually recycled.  On an engine error the memory is consumed — the
+    /// caller's next request simply builds cold.
+    pub fn run_prepared_reusing(
+        &self,
+        compiled: &CompiledProgram,
+        options: &QueryOptions,
+        memory: Option<Memory>,
+    ) -> Result<(RunResult, Memory, bool), SessionError> {
+        let config = options.engine_config();
+        let (engine, warm) = match memory {
+            Some(m) => Engine::with_recycled_memory(compiled, config, m),
+            None => (Engine::new(compiled, config), false),
+        };
+        let (result, engine) = engine.run_reusable(&self.syms)?;
+        Ok((result, engine.into_memory(), warm))
     }
 
     /// Render an answer term as text.

@@ -47,6 +47,12 @@ pub struct GoalContext {
     pub marker: u32,
     /// Parcall Frame the goal belongs to.
     pub pf: u32,
+    /// This worker's `pf` register at goal entry.  Restored when the goal
+    /// completes *or fails*: on the failure path no `pcall_wait` walks the
+    /// `PREV_PF` chain back, and a stale `pf` would make every enclosing
+    /// wait re-read the innermost failed Parcall Frame and cascade failure
+    /// without draining its own in-flight goals.
+    pub entry_pf: u32,
     /// Slot index within the Parcall Frame.
     pub slot: u32,
     /// Choice-point register at goal entry (failure boundary).

@@ -279,8 +279,11 @@ fn sequential_and_parallel_reference_counts_are_close_on_one_pe() {
     assert!(ratio >= 1.0, "parallel mode cannot do less work than sequential ({ratio})");
     // fib annotates *every* recursion level, which is the most extreme
     // granularity possible; the paper's benchmarks are coarser and show
-    // ~15% overhead (checked by the figure2 harness on deriv).
-    assert!(ratio < 1.8, "overhead of {ratio} on one PE is implausibly high");
+    // ~15% overhead (checked by the figure2 harness on deriv).  Every
+    // branch of a parcall now takes the Goal-Frame path (the parent
+    // re-acquires its own goals at `pcall_wait` instead of running one
+    // inline), so the finest-granularity worst case sits just under 2x.
+    assert!(ratio < 2.0, "overhead of {ratio} on one PE is implausibly high");
 }
 
 #[test]

@@ -1,0 +1,61 @@
+//! A small blocking client for the wire protocol (used by `pwam-load`,
+//! the integration tests and the examples).
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, QueryRequest, Request, Response, StatsResponse,
+};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to a `pwam-serve` instance.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Send one request and wait for its response.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &encode_request(req))?;
+        let payload = read_frame(&mut self.stream)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection"))?;
+        decode_response(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Run a query.
+    pub fn query(&mut self, q: QueryRequest) -> io::Result<Response> {
+        self.request(&Request::Query(Box::new(q)))
+    }
+
+    /// Fetch server statistics.
+    pub fn stats(&mut self) -> io::Result<StatsResponse> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => {
+                Err(io::Error::new(io::ErrorKind::InvalidData, format!("expected stats, got {other:?}")))
+            }
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(io::Error::new(io::ErrorKind::InvalidData, format!("expected pong, got {other:?}"))),
+        }
+    }
+
+    /// Ask the server to shut down.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.request(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(io::Error::new(io::ErrorKind::InvalidData, format!("expected bye, got {other:?}"))),
+        }
+    }
+}

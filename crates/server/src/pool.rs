@@ -1,0 +1,302 @@
+//! The warm engine pool: a fixed number of execution slots, each keeping
+//! the arenas ([`rapwam::Memory`]) of its last run alive for reuse.
+//!
+//! The paper's whole performance story is that per-PE Stack Sets are
+//! long-lived resources with strong locality; a serving layer that
+//! reallocates them per query throws that away.  The pool keeps one
+//! recyclable memory per slot: a request that acquires a slot whose memory
+//! matches its shape (area sizes × worker count) runs *warm* — the arenas
+//! are reset in place, which costs proportional to what the previous query
+//! touched, not to their capacity.
+//!
+//! The pool doubles as the admission controller: at most `size` queries
+//! execute concurrently, at most `max_queue` more may wait (bounded
+//! queueing), and a waiter gives up when its deadline or the queue timeout
+//! passes.  Everything beyond that is rejected immediately — under
+//! overload the server sheds load instead of collapsing.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use rapwam::Memory;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Pool sizing and queueing policy.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Number of engine slots (concurrent queries).
+    pub size: usize,
+    /// Maximum number of requests allowed to wait for a slot; the rest are
+    /// rejected outright.
+    pub max_queue: usize,
+    /// Upper bound on how long a queued request waits for a slot (the
+    /// request deadline applies too, whichever is sooner).
+    pub queue_timeout: Duration,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig { size: 4, max_queue: 32, queue_timeout: Duration::from_secs(5) }
+    }
+}
+
+/// Why an acquisition failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcquireError {
+    /// The wait queue is full (admission control).
+    Rejected,
+    /// No slot freed up within the wait budget.
+    Timeout,
+}
+
+/// Monotonic pool counters.
+#[derive(Debug, Default)]
+struct PoolCounters {
+    requests: AtomicU64,
+    warm_hits: AtomicU64,
+    cold_builds: AtomicU64,
+    rejections: AtomicU64,
+    queue_timeouts: AtomicU64,
+    run_errors: AtomicU64,
+    queue_depth: AtomicUsize,
+    max_queue_depth: AtomicUsize,
+}
+
+/// A point-in-time view of the pool counters.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct PoolStats {
+    /// Slots acquired (successful admissions).
+    pub requests: u64,
+    /// Runs that reused a slot's warm arenas.
+    pub warm_hits: u64,
+    /// Runs that had to allocate fresh arenas (first use or shape change).
+    pub cold_builds: u64,
+    /// Requests turned away because the queue was full.
+    pub rejections: u64,
+    /// Requests that gave up waiting for a slot.
+    pub queue_timeouts: u64,
+    /// Runs that ended in an engine error (their memory is not recycled).
+    pub run_errors: u64,
+    /// Requests currently waiting for a slot.
+    pub queue_depth: u64,
+    /// High-water mark of the wait queue.
+    pub max_queue_depth: u64,
+}
+
+/// The pool itself.  Slots travel over a channel: acquiring is a (bounded,
+/// timed) receive, releasing is a send.
+pub struct EnginePool {
+    config: PoolConfig,
+    slots_tx: Sender<Option<Memory>>,
+    slots_rx: Receiver<Option<Memory>>,
+    counters: PoolCounters,
+}
+
+impl EnginePool {
+    /// Create a pool with `config.size` empty (cold) slots.
+    pub fn new(config: PoolConfig) -> Self {
+        assert!(config.size >= 1, "pool needs at least one slot");
+        let (slots_tx, slots_rx) = unbounded();
+        for _ in 0..config.size {
+            slots_tx.send(None).expect("fresh channel");
+        }
+        EnginePool { config, slots_tx, slots_rx, counters: PoolCounters::default() }
+    }
+
+    /// The pool's configuration.
+    pub fn config(&self) -> &PoolConfig {
+        &self.config
+    }
+
+    /// Acquire a slot.  A free slot is taken immediately; otherwise the
+    /// request queues — unless `max_queue` requests are already waiting
+    /// ([`AcquireError::Rejected`]) — and waits at most
+    /// `min(queue_timeout, wait_budget)` ([`AcquireError::Timeout`]).
+    pub fn acquire(&self, wait_budget: Option<Duration>) -> Result<SlotGuard<'_>, AcquireError> {
+        // Fast path: a free slot means no queueing at all — but only while
+        // nobody is parked waiting, otherwise a stream of newcomers could
+        // barge released slots ahead of the queue and starve the waiters
+        // into spurious timeouts.
+        if self.counters.queue_depth.load(Ordering::Acquire) == 0 {
+            if let Ok(memory) = self.slots_rx.try_recv() {
+                self.counters.requests.fetch_add(1, Ordering::Relaxed);
+                return Ok(SlotGuard { pool: self, memory, returned: false });
+            }
+        }
+        // Admission control: count ourselves into the wait queue, reject if
+        // it is full.  `fetch_add` + check is one atomic op; the transient
+        // overshoot it allows is bounded by the concurrently-arriving
+        // requests, which is the precision admission control needs.
+        let depth = self.counters.queue_depth.fetch_add(1, Ordering::AcqRel);
+        if depth >= self.config.max_queue {
+            self.counters.queue_depth.fetch_sub(1, Ordering::AcqRel);
+            self.counters.rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(AcquireError::Rejected);
+        }
+        self.counters.max_queue_depth.fetch_max(depth + 1, Ordering::Relaxed);
+        let timeout = match wait_budget {
+            Some(budget) => budget.min(self.config.queue_timeout),
+            None => self.config.queue_timeout,
+        };
+        let got = self.slots_rx.recv_timeout(timeout);
+        self.counters.queue_depth.fetch_sub(1, Ordering::AcqRel);
+        match got {
+            Ok(memory) => {
+                self.counters.requests.fetch_add(1, Ordering::Relaxed);
+                Ok(SlotGuard { pool: self, memory, returned: false })
+            }
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                self.counters.queue_timeouts.fetch_add(1, Ordering::Relaxed);
+                Err(AcquireError::Timeout)
+            }
+        }
+    }
+
+    /// Record whether a run reused warm arenas.
+    pub fn record_run(&self, warm: bool) {
+        if warm {
+            self.counters.warm_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.counters.cold_builds.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a run that died with an engine error (its memory is lost).
+    pub fn record_error(&self) {
+        self.counters.run_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> PoolStats {
+        let c = &self.counters;
+        PoolStats {
+            requests: c.requests.load(Ordering::Relaxed),
+            warm_hits: c.warm_hits.load(Ordering::Relaxed),
+            cold_builds: c.cold_builds.load(Ordering::Relaxed),
+            rejections: c.rejections.load(Ordering::Relaxed),
+            queue_timeouts: c.queue_timeouts.load(Ordering::Relaxed),
+            run_errors: c.run_errors.load(Ordering::Relaxed),
+            queue_depth: c.queue_depth.load(Ordering::Relaxed) as u64,
+            max_queue_depth: c.max_queue_depth.load(Ordering::Relaxed) as u64,
+        }
+    }
+}
+
+/// An acquired pool slot.  Take the recycled memory with
+/// [`SlotGuard::take_memory`], hand the engine's memory back with
+/// [`SlotGuard::put_memory`]; dropping the guard returns the slot to the
+/// pool either way (empty if the run errored out).
+pub struct SlotGuard<'a> {
+    pool: &'a EnginePool,
+    memory: Option<Memory>,
+    returned: bool,
+}
+
+impl SlotGuard<'_> {
+    /// The slot's recycled memory from a previous run, if any.
+    pub fn take_memory(&mut self) -> Option<Memory> {
+        self.memory.take()
+    }
+
+    /// Store the memory to recycle on this slot's next run.
+    pub fn put_memory(&mut self, memory: Memory) {
+        self.memory = Some(memory);
+    }
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        if !self.returned {
+            self.returned = true;
+            // The pool outlives every guard, so the channel is open.
+            let _ = self.pool.slots_tx.send(self.memory.take());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapwam::MemoryConfig;
+
+    fn small_pool(size: usize, max_queue: usize) -> EnginePool {
+        EnginePool::new(PoolConfig { size, max_queue, queue_timeout: Duration::from_millis(50) })
+    }
+
+    #[test]
+    fn slots_start_cold_and_keep_memory_warm() {
+        let pool = small_pool(1, 4);
+        {
+            let mut slot = pool.acquire(None).unwrap();
+            assert!(slot.take_memory().is_none(), "first acquisition is cold");
+            slot.put_memory(Memory::new(MemoryConfig::small(), 2, false));
+        }
+        let mut slot = pool.acquire(None).unwrap();
+        let mem = slot.take_memory().expect("second acquisition sees the recycled memory");
+        assert_eq!(mem.num_arenas(), 2);
+    }
+
+    #[test]
+    fn exhausted_pool_times_out_waiters() {
+        let pool = small_pool(1, 1);
+        let _held = pool.acquire(None).unwrap();
+        assert!(matches!(pool.acquire(Some(Duration::from_millis(10))), Err(AcquireError::Timeout)));
+        let stats = pool.stats();
+        assert_eq!(stats.queue_timeouts, 1);
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.max_queue_depth, 1);
+    }
+
+    #[test]
+    fn zero_queue_rejects_as_soon_as_the_pool_is_busy() {
+        let pool = small_pool(1, 0);
+        let _held = pool.acquire(None).unwrap();
+        assert!(matches!(pool.acquire(None), Err(AcquireError::Rejected)));
+        assert_eq!(pool.stats().rejections, 1);
+    }
+
+    #[test]
+    fn overfull_queue_rejects_immediately() {
+        let pool = small_pool(1, 1);
+        let _held = pool.acquire(None).unwrap();
+        std::thread::scope(|s| {
+            // One thread parks in the queue; once it is inside, a second
+            // arrival must be rejected without waiting.
+            let waiter = s.spawn(|| pool.acquire(Some(Duration::from_millis(200))));
+            while pool.stats().queue_depth == 0 {
+                std::thread::yield_now();
+            }
+            let second = pool.acquire(Some(Duration::from_millis(200)));
+            assert!(matches!(second, Err(AcquireError::Rejected)));
+            assert!(matches!(waiter.join().unwrap(), Err(AcquireError::Timeout)));
+        });
+        assert_eq!(pool.stats().rejections, 1);
+    }
+
+    #[test]
+    fn released_slot_unblocks_a_waiter() {
+        let pool = small_pool(1, 4);
+        let held = pool.acquire(None).unwrap();
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| pool.acquire(Some(Duration::from_secs(5))).map(|_| ()));
+            while pool.stats().queue_depth == 0 {
+                std::thread::yield_now();
+            }
+            drop(held);
+            assert!(waiter.join().unwrap().is_ok());
+        });
+    }
+
+    #[test]
+    fn run_accounting_reaches_the_stats() {
+        let pool = small_pool(2, 2);
+        pool.record_run(true);
+        pool.record_run(true);
+        pool.record_run(false);
+        pool.record_error();
+        let stats = pool.stats();
+        assert_eq!(stats.warm_hits, 2);
+        assert_eq!(stats.cold_builds, 1);
+        assert_eq!(stats.run_errors, 1);
+    }
+}

@@ -1,0 +1,333 @@
+//! The TCP server: one accept loop, one worker thread per connection, the
+//! shared [`EnginePool`] + [`ProgramCache`] behind an `Arc`.
+
+use crate::cache::ProgramCache;
+use crate::pool::{AcquireError, EnginePool, PoolConfig};
+use crate::protocol::{self, AnswerResponse, ErrorKind, QueryRequest, Request, Response, StatsResponse};
+use rapwam::session::{QueryOptions, SessionError};
+use rapwam::{EngineError, MemoryConfig, Outcome};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Engine-pool sizing and queueing policy.
+    pub pool: PoolConfig,
+    /// Maximum number of cached programs.
+    pub max_programs: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Relaxed-mode stall-watchdog timeout passed to every engine.
+    pub stall_timeout: Duration,
+    /// Per-worker Stack Set sizes for every engine the server builds.  One
+    /// fixed shape keeps the pool's recycled arenas reusable across
+    /// requests (a request only builds cold when its *worker count*
+    /// differs from the slot's previous run).
+    pub memory: MemoryConfig,
+    /// Upper bound on the per-request worker count (each worker is a full
+    /// Stack Set of `memory` words).
+    pub max_workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            pool: PoolConfig::default(),
+            max_programs: 64,
+            default_deadline: Some(Duration::from_secs(10)),
+            stall_timeout: Duration::from_secs(5),
+            // Moderate Stack Sets (~350K words per worker): large enough
+            // for every registry benchmark at small/paper scale, small
+            // enough that a pool of warm engines stays cheap to hold.
+            memory: MemoryConfig {
+                heap_words: 1 << 18,
+                local_words: 1 << 16,
+                control_words: 1 << 16,
+                trail_words: 1 << 14,
+                pdl_words: 1 << 11,
+                goal_stack_words: 1 << 12,
+                message_words: 1 << 8,
+            },
+            max_workers: 16,
+        }
+    }
+}
+
+/// Per-server request counters (the pool and cache keep their own).
+#[derive(Debug, Default)]
+pub(crate) struct ServerCounters {
+    pub connections: AtomicU64,
+    pub queries: AtomicU64,
+    pub protocol_errors: AtomicU64,
+    pub compile_errors: AtomicU64,
+    pub engine_errors: AtomicU64,
+    pub deadline_errors: AtomicU64,
+}
+
+/// State shared by every connection thread.
+pub(crate) struct ServerState {
+    pub config: ServerConfig,
+    pub pool: EnginePool,
+    pub cache: ProgramCache,
+    pub counters: ServerCounters,
+    pub shutdown: AtomicBool,
+}
+
+/// A running server.  Dropping the handle does *not* stop it; call
+/// [`Server::shutdown`] (or send a `shutdown` request over the wire).
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            pool: EnginePool::new(config.pool.clone()),
+            cache: ProgramCache::new(config.max_programs),
+            counters: ServerCounters::default(),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+        let accept_state = Arc::clone(&state);
+        let accept_thread = thread::Builder::new()
+            .name("pwam-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_state))?;
+        Ok(Server { addr, state, accept_thread: Some(accept_thread) })
+    }
+
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Statistics as wire key/value pairs (same view the `stats` request
+    /// returns).
+    pub fn stats(&self) -> StatsResponse {
+        stats_response(&self.state)
+    }
+
+    /// Stop accepting connections and join the accept loop.  In-flight
+    /// connection threads finish their current request and exit when their
+    /// client disconnects.
+    pub fn shutdown(mut self) {
+        self.state.shutdown.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Block until the server shuts down (a `shutdown` request arrives).
+    pub fn wait(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+    loop {
+        let conn = listener.accept();
+        if state.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match conn {
+            Ok((stream, _)) => {
+                state.counters.connections.fetch_add(1, Ordering::Relaxed);
+                let conn_state = Arc::clone(&state);
+                let _ = thread::Builder::new()
+                    .name("pwam-conn".to_string())
+                    .spawn(move || handle_connection(stream, conn_state));
+            }
+            Err(_) => {
+                if state.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                // Transient accept error: keep serving.
+            }
+        }
+    }
+}
+
+/// Serve one connection: a sequence of framed requests.
+fn handle_connection(mut stream: TcpStream, state: Arc<ServerState>) {
+    loop {
+        let payload = match protocol::read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // client closed
+            Err(_) => {
+                state.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        let response = match protocol::decode_request(&payload) {
+            Ok(Request::Ping) => Response::Pong,
+            Ok(Request::Stats) => Response::Stats(stats_response(&state)),
+            Ok(Request::Shutdown) => {
+                state.shutdown.store(true, Ordering::Release);
+                let reply = protocol::encode_response(&Response::Bye);
+                let _ = protocol::write_frame(&mut stream, &reply);
+                // Unblock the accept loop so the server exits.
+                if let Ok(addr) = stream.local_addr() {
+                    let _ = TcpStream::connect(addr);
+                }
+                return;
+            }
+            Ok(Request::Query(q)) => handle_query(&state, *q),
+            Err(e) => {
+                state.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                Response::Error { kind: ErrorKind::Protocol, message: e.to_string() }
+            }
+        };
+        let reply = protocol::encode_response(&response);
+        if protocol::write_frame(&mut stream, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+/// Execute one query request against the cache + pool.
+fn handle_query(state: &ServerState, req: QueryRequest) -> Response {
+    state.counters.queries.fetch_add(1, Ordering::Relaxed);
+    if req.workers == 0 || req.workers > state.config.max_workers {
+        state.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        return Response::Error {
+            kind: ErrorKind::Protocol,
+            message: format!("workers must be 1..={}", state.config.max_workers),
+        };
+    }
+    let arrived = Instant::now();
+    let deadline = req.deadline_ms.map(Duration::from_millis).or(state.config.default_deadline);
+
+    // Program + query compilation (cached).
+    let entry = match state.cache.entry(&req.program) {
+        Ok(e) => e,
+        Err(e) => return compile_error(state, e),
+    };
+    let compiled = match entry.prepared(&req.query, req.parallel) {
+        Ok(c) => c,
+        Err(e) => return compile_error(state, e),
+    };
+
+    // Admission: one pool slot per running engine.
+    let mut slot = match state.pool.acquire(deadline) {
+        Ok(s) => s,
+        Err(AcquireError::Rejected) => {
+            return Response::Error {
+                kind: ErrorKind::Rejected,
+                message: "server is at capacity (wait queue full)".to_string(),
+            }
+        }
+        Err(AcquireError::Timeout) => {
+            return Response::Error {
+                kind: ErrorKind::QueueTimeout,
+                message: "no engine slot freed up within the wait budget".to_string(),
+            }
+        }
+    };
+
+    // The deadline covers the whole request: compile + queue wait eat into
+    // the engine's remaining time budget.
+    let remaining = deadline.map(|d| d.saturating_sub(arrived.elapsed()));
+    if remaining.is_some_and(|r| r.is_zero()) {
+        state.counters.deadline_errors.fetch_add(1, Ordering::Relaxed);
+        return Response::Error {
+            kind: ErrorKind::Deadline,
+            message: "deadline exhausted before the engine could start".to_string(),
+        };
+    }
+    let options = QueryOptions {
+        parallel: req.parallel,
+        workers: req.workers,
+        memory: state.config.memory,
+        scheduler: req.scheduler,
+        determinism: req.determinism,
+        stall_timeout: state.config.stall_timeout,
+        time_budget: remaining,
+        ..QueryOptions::default()
+    };
+
+    let recycled = slot.take_memory();
+    let started = Instant::now();
+    let session = entry.session.read().unwrap();
+    match session.run_prepared_reusing(&compiled, &options, recycled) {
+        Ok((result, memory, warm)) => {
+            slot.put_memory(memory);
+            state.pool.record_run(warm);
+            let bindings = match &result.outcome {
+                Outcome::Success(b) => b.iter().map(|(n, t)| (n.clone(), session.render(t))).collect(),
+                Outcome::Failure => Vec::new(),
+            };
+            Response::Answer(AnswerResponse {
+                success: result.outcome.is_success(),
+                bindings,
+                warm,
+                elapsed_us: started.elapsed().as_micros() as u64,
+                instructions: result.stats.instructions,
+                inferences: result.stats.inferences,
+                parcalls: result.stats.parcalls,
+            })
+        }
+        Err(e) => {
+            state.pool.record_error();
+            let (kind, counter) = match &e {
+                SessionError::Engine(EngineError::DeadlineExceeded { .. }) => {
+                    (ErrorKind::Deadline, &state.counters.deadline_errors)
+                }
+                _ => (ErrorKind::Engine, &state.counters.engine_errors),
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            Response::Error { kind, message: e.to_string() }
+        }
+    }
+}
+
+fn compile_error(state: &ServerState, e: SessionError) -> Response {
+    state.counters.compile_errors.fetch_add(1, Ordering::Relaxed);
+    Response::Error { kind: ErrorKind::Compile, message: e.to_string() }
+}
+
+/// Flatten pool + cache + server counters into the wire stats shape.
+fn stats_response(state: &ServerState) -> StatsResponse {
+    let pool = state.pool.stats();
+    let cache = state.cache.stats();
+    let c = &state.counters;
+    StatsResponse {
+        fields: vec![
+            ("pool_size".to_string(), state.config.pool.size as u64),
+            ("pool_requests".to_string(), pool.requests),
+            ("pool_warm_hits".to_string(), pool.warm_hits),
+            ("pool_cold_builds".to_string(), pool.cold_builds),
+            ("pool_rejections".to_string(), pool.rejections),
+            ("pool_queue_timeouts".to_string(), pool.queue_timeouts),
+            ("pool_run_errors".to_string(), pool.run_errors),
+            ("pool_queue_depth".to_string(), pool.queue_depth),
+            ("pool_max_queue_depth".to_string(), pool.max_queue_depth),
+            ("cache_program_hits".to_string(), cache.program_hits),
+            ("cache_program_misses".to_string(), cache.program_misses),
+            ("cache_evictions".to_string(), cache.evictions),
+            ("cache_programs".to_string(), cache.programs),
+            ("cache_compiled_queries".to_string(), cache.compiled_queries),
+            ("connections".to_string(), c.connections.load(Ordering::Relaxed)),
+            ("queries".to_string(), c.queries.load(Ordering::Relaxed)),
+            ("protocol_errors".to_string(), c.protocol_errors.load(Ordering::Relaxed)),
+            ("compile_errors".to_string(), c.compile_errors.load(Ordering::Relaxed)),
+            ("engine_errors".to_string(), c.engine_errors.load(Ordering::Relaxed)),
+            ("deadline_errors".to_string(), c.deadline_errors.load(Ordering::Relaxed)),
+        ],
+    }
+}

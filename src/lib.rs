@@ -10,4 +10,5 @@ pub use pwam_benchmarks as benchmarks;
 pub use pwam_cachesim as cachesim;
 pub use pwam_compiler as compiler;
 pub use pwam_front as front;
+pub use pwam_server as server;
 pub use rapwam;
