@@ -35,9 +35,10 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
-    println!("Note: this engine schedules every CGE branch through a Goal Frame (the");
-    println!("last-goal-inline optimisation needs backward execution to be sound on");
-    println!("failure, which is an open item), so its overhead sits above the paper's.");
+    println!("Note: the parent executes the leftmost CGE branch inline (last-goal-");
+    println!("inline optimisation, made sound by backward execution / parcall");
+    println!("cancellation), so 1-PE work sits close to the WAM; overhead grows with");
+    println!("actual parallelism as goals are stolen onto other PEs.");
     println!("Paper: overhead for deriv is on the order of 15% for up to 40 processors,");
     println!("and RAP-WAM work on 1 PE is very close to WAM work.");
 

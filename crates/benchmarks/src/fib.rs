@@ -1,0 +1,79 @@
+//! `fib` — doubly recursive Fibonacci with every level annotated
+//! (registry addition).
+//!
+//! The two recursive calls of each step are independent once the (ground)
+//! integer arguments are computed, and *every* recursion level is a CGE —
+//! the finest AND-parallel granularity possible, which makes `fib` the
+//! worst case for parallelism-management overhead and therefore the
+//! sharpest probe of the last-goal-inline optimisation: with the leftmost
+//! branch executed inline by the parent, the 1-PE instruction overhead over
+//! the sequential WAM must stay under 1.8× (the overhead gate pins it).
+
+use crate::{runner::Validation, Benchmark, BenchmarkId, Scale};
+
+/// The annotated program.
+pub const PROGRAM: &str = r#"
+fib(0, 0).
+fib(1, 1).
+fib(N, F) :-
+    N > 1,
+    N1 is N - 1,
+    N2 is N - 2,
+    ( ground(N1), ground(N2) | fib(N1, F1) & fib(N2, F2) ),
+    F is F1 + F2.
+"#;
+
+/// Input argument at each scale.
+pub fn input(scale: Scale) -> i64 {
+    match scale {
+        Scale::Small => 12,
+        Scale::Paper => 17,
+        Scale::Large => 21,
+    }
+}
+
+/// Host-side reference implementation used for validation.
+pub fn fib(n: i64) -> i64 {
+    let (mut a, mut b) = (0i64, 1i64);
+    for _ in 0..n {
+        let next = a + b;
+        a = b;
+        b = next;
+    }
+    a
+}
+
+/// Build the benchmark instance.
+pub fn build(scale: Scale) -> Benchmark {
+    let n = input(scale);
+    Benchmark {
+        id: BenchmarkId::Fib,
+        scale,
+        program: PROGRAM.to_string(),
+        query: format!("fib({n}, F)"),
+        validation: Validation::EqualsInt { variable: "F".to_string(), expected: fib(n) },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_benchmark_with_session, validate};
+    use rapwam::session::QueryOptions;
+
+    #[test]
+    fn reference_fib_values() {
+        assert_eq!(fib(0), 0);
+        assert_eq!(fib(1), 1);
+        assert_eq!(fib(12), 144);
+        assert_eq!(fib(17), 1597);
+    }
+
+    #[test]
+    fn small_fib_validates_in_parallel() {
+        let b = build(Scale::Small);
+        let (session, result) = run_benchmark_with_session(&b, &QueryOptions::parallel(4)).unwrap();
+        validate(&b, &session, &result).unwrap();
+        assert!(result.stats.parcalls > 0);
+    }
+}

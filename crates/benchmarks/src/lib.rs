@@ -15,15 +15,22 @@
 //! unit tests.
 //!
 //! Beyond the paper's four programs the registry also carries `boyer`, a
-//! Boyer-Moore-style tautology prover, and `queens`, a generate-and-test
-//! N-queens whose candidate tests are CGEs (ROADMAP additions):
-//! [`BenchmarkId::ALL`] stays the paper's suite so every table/figure
-//! reproduction is unchanged, while [`BenchmarkId::EXTENDED`] /
-//! [`extended_benchmarks`] include the extras.
+//! Boyer-Moore-style tautology prover, `queens`, a generate-and-test
+//! N-queens whose candidate tests are CGEs, and `fib`, the
+//! finest-granularity worst case for parallelism overhead (ROADMAP
+//! additions): [`BenchmarkId::ALL`] stays the paper's suite so every
+//! table/figure reproduction is unchanged, while [`BenchmarkId::EXTENDED`]
+//! / [`extended_benchmarks`] include the extras.
+//!
+//! The [`overhead`] module measures the RAP-WAM-on-1-PE-vs-sequential-WAM
+//! instruction overhead per registry program; a regression gate pins the
+//! paper's headline numbers (deriv ≤ 1.30).
 
 pub mod boyer;
 pub mod deriv;
+pub mod fib;
 pub mod matrix;
+pub mod overhead;
 pub mod qsort;
 pub mod queens;
 pub mod runner;
@@ -42,6 +49,7 @@ pub enum BenchmarkId {
     Matrix,
     Boyer,
     Queens,
+    Fib,
 }
 
 impl BenchmarkId {
@@ -51,13 +59,14 @@ impl BenchmarkId {
         [BenchmarkId::Deriv, BenchmarkId::Tak, BenchmarkId::Qsort, BenchmarkId::Matrix];
 
     /// The paper's suite plus the registry additions.
-    pub const EXTENDED: [BenchmarkId; 6] = [
+    pub const EXTENDED: [BenchmarkId; 7] = [
         BenchmarkId::Deriv,
         BenchmarkId::Tak,
         BenchmarkId::Qsort,
         BenchmarkId::Matrix,
         BenchmarkId::Boyer,
         BenchmarkId::Queens,
+        BenchmarkId::Fib,
     ];
 
     /// The name used in the paper's tables.
@@ -69,6 +78,7 @@ impl BenchmarkId {
             BenchmarkId::Matrix => "matrix",
             BenchmarkId::Boyer => "boyer",
             BenchmarkId::Queens => "queens",
+            BenchmarkId::Fib => "fib",
         }
     }
 
@@ -111,6 +121,7 @@ pub fn benchmark(id: BenchmarkId, scale: Scale) -> Benchmark {
         BenchmarkId::Matrix => matrix::build(scale),
         BenchmarkId::Boyer => boyer::build(scale),
         BenchmarkId::Queens => queens::build(scale),
+        BenchmarkId::Fib => fib::build(scale),
     }
 }
 
@@ -135,9 +146,9 @@ mod tests {
     }
 
     #[test]
-    fn extended_registry_adds_boyer_and_queens() {
+    fn extended_registry_adds_boyer_queens_and_fib() {
         let names: Vec<_> = BenchmarkId::EXTENDED.iter().map(|b| b.name()).collect();
-        assert_eq!(names, vec!["deriv", "tak", "qsort", "matrix", "boyer", "queens"]);
+        assert_eq!(names, vec!["deriv", "tak", "qsort", "matrix", "boyer", "queens", "fib"]);
     }
 
     #[test]
@@ -156,7 +167,7 @@ mod tests {
                 assert!(!b.program.is_empty());
                 assert!(!b.query.is_empty());
             }
-            assert_eq!(extended_benchmarks(scale).len(), 6);
+            assert_eq!(extended_benchmarks(scale).len(), 7);
         }
     }
 }

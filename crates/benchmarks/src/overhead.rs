@@ -1,0 +1,134 @@
+//! RAP-WAM-vs-sequential overhead measurement — the regression harness
+//! behind the paper's headline claim.
+//!
+//! The paper reports that running the parallel RAP-WAM on *one* PE costs
+//! only a small constant factor over the sequential WAM (~15% for `deriv`),
+//! because the parallelism machinery the parent actually touches for goals
+//! nobody steals is tiny: with the last-goal-inline optimisation the
+//! leftmost CGE branch runs with no Goal Frame at all, and only the
+//! scheduled siblings pay for frame pushes and the completion protocol.
+//!
+//! [`measure`] runs one registry benchmark twice on a single interleaved PE
+//! — compiled sequentially (plain WAM) and compiled in parallel (RAP-WAM) —
+//! and reports the instruction and data-reference ratios.  The
+//! `overhead_gate` integration test pins [`instruction_overhead_bound`] per
+//! registry program (deriv ≤ 1.30, fib ≤ 1.8, …) so a regression in the
+//! inline path or the parcall protocol fails CI instead of silently
+//! re-inflating the overhead.
+
+use crate::runner::{run_benchmark_with_session, validate};
+use crate::{benchmark, BenchmarkId, Scale};
+use rapwam::session::QueryOptions;
+
+/// Overhead of one benchmark: parallel-on-1-PE work relative to sequential.
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadReport {
+    pub id: BenchmarkId,
+    pub scale: Scale,
+    /// Whether the parallel run used the last-goal-inline optimisation.
+    pub inline_first_goal: bool,
+    /// Abstract-machine instructions executed by the sequential WAM run.
+    pub seq_instructions: u64,
+    /// Instructions executed by the RAP-WAM run on one PE.
+    pub par_instructions: u64,
+    /// Data references of the sequential WAM run.
+    pub seq_refs: u64,
+    /// Data references of the RAP-WAM run on one PE.
+    pub par_refs: u64,
+}
+
+impl OverheadReport {
+    /// `par_instructions / seq_instructions` — the gated quantity.
+    pub fn instruction_ratio(&self) -> f64 {
+        self.par_instructions as f64 / self.seq_instructions as f64
+    }
+
+    /// `par_refs / seq_refs` (the paper's Figure 2 measures references).
+    pub fn ref_ratio(&self) -> f64 {
+        self.par_refs as f64 / self.seq_refs as f64
+    }
+}
+
+/// Run `id` at `scale` sequentially and in parallel on one interleaved PE
+/// (validating both answers) and report the overhead.
+pub fn measure(id: BenchmarkId, scale: Scale, inline_first_goal: bool) -> OverheadReport {
+    let bench = benchmark(id, scale);
+    let seq = {
+        let (session, result) = run_benchmark_with_session(&bench, &QueryOptions::sequential())
+            .unwrap_or_else(|e| panic!("{}: sequential run failed: {e}", id.name()));
+        validate(&bench, &session, &result).unwrap_or_else(|e| panic!("{e}"));
+        result
+    };
+    let mut par_opts = QueryOptions::parallel(1);
+    par_opts.inline_first_goal = inline_first_goal;
+    let par = {
+        let (session, result) = run_benchmark_with_session(&bench, &par_opts)
+            .unwrap_or_else(|e| panic!("{}: parallel run failed: {e}", id.name()));
+        validate(&bench, &session, &result).unwrap_or_else(|e| panic!("{e}"));
+        result
+    };
+    OverheadReport {
+        id,
+        scale,
+        inline_first_goal,
+        seq_instructions: seq.stats.instructions,
+        par_instructions: par.stats.instructions,
+        seq_refs: seq.stats.data_refs,
+        par_refs: par.stats.data_refs,
+    }
+}
+
+/// The gated 1-PE instruction-overhead bound per registry program (parallel
+/// instructions ≤ bound × sequential instructions, with the
+/// last-goal-inline optimisation on).
+///
+/// The deriv and fib bounds are the headline contract (the paper's ~15%
+/// for deriv plus headroom for this engine's protocol reads; fib annotates
+/// every recursion level, the finest granularity possible).  The remaining
+/// bounds were measured after the optimisation landed and carry ~10%
+/// headroom — they exist so a protocol regression anywhere in the registry
+/// trips the gate, not to certify a paper number.
+pub fn instruction_overhead_bound(id: BenchmarkId) -> f64 {
+    match id {
+        // Headline bounds (measured 1.09 and 1.19 at Scale::Small).
+        BenchmarkId::Deriv => 1.30,
+        BenchmarkId::Fib => 1.80,
+        // Measured + headroom.
+        BenchmarkId::Tak => 1.25,
+        BenchmarkId::Qsort => 1.15,
+        BenchmarkId::Matrix => 1.10,
+        BenchmarkId::Boyer => 1.20,
+        // Generate-and-test: parcall cancellation retracts the doomed
+        // sibling checks a failed candidate would otherwise run, so even
+        // the backtracking-heavy workload stays close to the WAM.
+        BenchmarkId::Queens => 1.15,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_ratios_divide() {
+        let r = OverheadReport {
+            id: BenchmarkId::Deriv,
+            scale: Scale::Small,
+            inline_first_goal: true,
+            seq_instructions: 1000,
+            par_instructions: 1150,
+            seq_refs: 2000,
+            par_refs: 2600,
+        };
+        assert!((r.instruction_ratio() - 1.15).abs() < 1e-12);
+        assert!((r.ref_ratio() - 1.30).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_registry_program_has_a_bound() {
+        for id in BenchmarkId::EXTENDED {
+            let bound = instruction_overhead_bound(id);
+            assert!(bound > 1.0 && bound <= 2.0, "{}: implausible bound {bound}", id.name());
+        }
+    }
+}

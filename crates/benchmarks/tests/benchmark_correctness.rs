@@ -71,19 +71,22 @@ fn reference_counts_are_plausible_for_every_benchmark() {
 #[test]
 fn parallel_work_matches_sequential_work_within_overhead_bounds() {
     // The RAP-WAM on one PE should perform the sequential work plus a modest
-    // parallelism-management overhead (the paper reports ~15% for deriv,
-    // which is its fine-granularity worst case).  `queens` gets a wider
-    // bound: a parcall whose branch fails still drains its already-scheduled
-    // siblings (the completion protocol), so a generate-and-test program
-    // that rejects most candidates pays for speculative sibling work a
-    // sequential run short-circuits past — intrinsic to the execution
-    // model, not a bookkeeping overhead.
+    // parallelism-management overhead (the paper reports ~15% for deriv).
+    // With the last-goal-inline optimisation the leftmost branch of every
+    // CGE runs on the parent without Goal-Frame traffic, and parcall
+    // cancellation retracts the doomed siblings of a failed branch — so
+    // even `queens` (generate-and-test, rejects most candidates) no longer
+    // pays for speculative sibling work a sequential run short-circuits
+    // past.  `fib` annotates every recursion level and stays the
+    // fine-granularity worst case.  (The `overhead_gate` suite pins
+    // per-benchmark *instruction* bounds; this is the coarse
+    // reference-count sanity check.)
     for id in BenchmarkId::EXTENDED {
         let b = benchmark(id, Scale::Small);
         let seq = runner::run_benchmark(&b, &QueryOptions::sequential()).unwrap();
         let par = runner::run_benchmark(&b, &QueryOptions::parallel(1)).unwrap();
         let ratio = par.result.stats.data_refs as f64 / seq.result.stats.data_refs as f64;
-        let bound = if id == BenchmarkId::Queens { 2.5 } else { 1.6 };
+        let bound = if id == BenchmarkId::Fib { 1.7 } else { 1.5 };
         assert!(ratio >= 0.99, "{}: parallel work below sequential work ({ratio})", id.name());
         assert!(ratio < bound, "{}: overhead on one PE is implausibly high ({ratio})", id.name());
     }

@@ -1,0 +1,64 @@
+//! The overhead-regression gate: RAP-WAM on one interleaved PE must stay
+//! within a small constant factor of the sequential WAM on every registry
+//! program — the paper's headline claim (~15% management overhead for
+//! deriv), restored by the last-goal-inline optimisation and enforced here
+//! so it cannot silently regress again.
+//!
+//! The CI `overhead-gate` job runs this suite on the full registry.
+
+use pwam_benchmarks::overhead::{instruction_overhead_bound, measure};
+use pwam_benchmarks::{BenchmarkId, Scale};
+
+#[test]
+fn registry_overhead_stays_within_bounds() {
+    for id in BenchmarkId::EXTENDED {
+        let report = measure(id, Scale::Small, true);
+        let ratio = report.instruction_ratio();
+        let bound = instruction_overhead_bound(id);
+        println!(
+            "{:>6}: instructions {:>8} (WAM) -> {:>8} (RAP-WAM 1 PE), ratio {:.3} (bound {:.2}), refs {:.3}",
+            id.name(),
+            report.seq_instructions,
+            report.par_instructions,
+            ratio,
+            bound,
+            report.ref_ratio(),
+        );
+        assert!(
+            ratio >= 1.0,
+            "{}: parallel mode cannot do less work than sequential ({ratio:.3})",
+            id.name()
+        );
+        assert!(
+            ratio <= bound,
+            "{}: 1-PE instruction overhead {ratio:.3} exceeds the gate {bound:.2} — \
+             the parallelism-management fast path regressed",
+            id.name()
+        );
+    }
+}
+
+/// The headline pair the ISSUE pins explicitly, asserted by name so a bound
+/// edit cannot quietly weaken them.
+#[test]
+fn headline_bounds_are_the_papers() {
+    assert!(instruction_overhead_bound(BenchmarkId::Deriv) <= 1.30);
+    assert!(instruction_overhead_bound(BenchmarkId::Fib) <= 1.80);
+}
+
+/// Turning the optimisation off must still produce correct answers (the
+/// Goal-Frame-everywhere path stays testable), just with more overhead.
+#[test]
+fn inline_off_is_correct_but_slower() {
+    for id in [BenchmarkId::Deriv, BenchmarkId::Fib] {
+        let with_inline = measure(id, Scale::Small, true);
+        let without = measure(id, Scale::Small, false);
+        assert!(
+            without.par_instructions > with_inline.par_instructions,
+            "{}: inline execution should save instructions ({} !> {})",
+            id.name(),
+            without.par_instructions,
+            with_inline.par_instructions,
+        );
+    }
+}

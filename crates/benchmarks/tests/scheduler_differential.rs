@@ -60,19 +60,21 @@ fn interleaved_trace_matches_pre_sharding_goldens() {
     // pre-sharding engine's flat-memory traces when the arenas landed;
     // they freeze the reference trace so any later drift in the sharded
     // memory, the seq-keyed merge, or the reference tagging fails this
-    // test.  Regenerated when the CGE compilation scheme changed (every
-    // branch now goes through a Goal Frame and the parent re-acquires its
-    // own goals at `pcall_wait`, fixing parent-backtracks-past-scheduled-
-    // goals corruption): the *semantics* of that change were pinned by the
-    // answer/count equalities of the rest of this suite before the
-    // fingerprints were refreshed.
+    // test.  Regenerated (see `examples/trace_goldens.rs`) when the
+    // last-goal-inline optimisation returned: the leftmost CGE branch now
+    // runs inline on the parent (no Goal Frame traffic), the Parcall Frame
+    // gained its ENTRY_B word, and `pcall_wait` reads it to commit the
+    // parcall to its first solution — the *semantics* of that change were
+    // pinned by the answer/count equalities of the rest of this suite (and
+    // the inline-on/off differentials in `parcall_cancel_properties`)
+    // before the fingerprints were refreshed.
     let goldens: [(BenchmarkId, usize, usize, u64); 6] = [
-        (BenchmarkId::Deriv, 1, 1931, 0x59942539a4f145b1),
-        (BenchmarkId::Deriv, 2, 1967, 0x92e82c726ba0b008),
-        (BenchmarkId::Deriv, 4, 2113, 0xdf7034f4bfb36cb1),
-        (BenchmarkId::Qsort, 1, 7640, 0x57416ae5d9634ec4),
-        (BenchmarkId::Qsort, 2, 7784, 0xf534063ffc78c032),
-        (BenchmarkId::Qsort, 4, 8546, 0xf78093a124e312fd),
+        (BenchmarkId::Deriv, 1, 1705, 0x00039f020862ae8b),
+        (BenchmarkId::Deriv, 2, 1725, 0xb43083a3afa69624),
+        (BenchmarkId::Deriv, 4, 1799, 0x17e6133e190bb124),
+        (BenchmarkId::Qsort, 1, 7156, 0x848390a5f70a965f),
+        (BenchmarkId::Qsort, 2, 7258, 0x3e11f48376def7bf),
+        (BenchmarkId::Qsort, 4, 7406, 0x0a34a0ac7e187616),
     ];
     for (id, workers, len, fp) in goldens {
         let b = benchmark(id, Scale::Small);
@@ -150,11 +152,15 @@ fn schedulers_agree_on_the_paper_suite() {
         assert_eq!(fingerprint(&ti), fingerprint(&tt), "{}: traces differ", id.name());
 
         // The Threaded backend must have delivered one steal notice per
-        // stolen goal over its channels.
+        // stolen goal and one cancel notice per cancel_goal request over
+        // its channels.
         let stolen: u64 = rt.stats.workers.iter().map(|w| w.goals_stolen).sum();
         let notices: u64 = rt.stats.workers.iter().map(|w| w.steal_notices).sum();
         assert_eq!(stolen, rt.stats.goals_actually_parallel, "{}: steal accounting", id.name());
         assert_eq!(notices, stolen, "{}: lost steal notices", id.name());
+        let cancel_notices: u64 = rt.stats.workers.iter().map(|w| w.cancel_notices).sum();
+        assert_eq!(cancel_notices, rt.stats.cancel_requests, "{}: lost cancel notices", id.name());
+        assert_eq!(rt.stats.cancel_requests, ri.stats.cancel_requests, "{}: cancel requests", id.name());
     }
 }
 
@@ -187,19 +193,46 @@ fn relaxed_mode_agrees_on_answers_and_logical_work() {
         };
         assert_eq!(render(&si, &ri), render(&sr, &rr), "{}: answers differ", id.name());
 
-        // Schedule-invariant work counters are identical: the same parcalls
-        // execute, every parallel goal is picked up exactly once, and the
-        // logical inference count does not depend on placement.
-        assert_eq!(ri.stats.parcalls, rr.stats.parcalls, "{}: parcalls", id.name());
-        assert_eq!(ri.stats.parallel_goals, rr.stats.parallel_goals, "{}: parallel goals", id.name());
-        assert_eq!(ri.stats.inferences, rr.stats.inferences, "{}: inferences", id.name());
+        // Whether a program's parcalls ever *fail* is a logical property (a
+        // CGE goal fails or it does not; independence makes that
+        // schedule-free until a first failure exists), and without a
+        // failure no schedule can trigger backward execution — so the
+        // reference run's `parcall_failures` counter selects which
+        // contract applies.  (Whether a given failure still finds its
+        // frame incomplete — and therefore cancels — *is* timing, which is
+        // why the selector keys on failures, not on cancellations, and on
+        // the reference run, not the relaxed one.)
+        if ri.stats.parcall_failures == 0 {
+            // No parcall ever fails, hence no backward execution anywhere:
+            // the same parcalls execute, every parallel goal is picked up
+            // exactly once, and the logical inference count does not
+            // depend on placement.
+            assert_eq!(ri.stats.parcalls, rr.stats.parcalls, "{}: parcalls", id.name());
+            assert_eq!(ri.stats.parallel_goals, rr.stats.parallel_goals, "{}: parallel goals", id.name());
+            assert_eq!(ri.stats.inferences, rr.stats.inferences, "{}: inferences", id.name());
+            assert_eq!(rr.stats.parcalls_cancelled, 0, "{}: relaxed-only cancellation", id.name());
+        } else {
+            // Backward execution ran (queens: failed candidates cancel
+            // their sibling safety checks).  How much doomed work each
+            // retraction skips — and how much an aborted in-flight goal had
+            // already executed (including its own nested parcalls) —
+            // depends on the race between failure and steal, so *no* work
+            // counter is schedule-invariant here (with enough PEs even the
+            // retraction count can be zero: every sibling is already stolen
+            // by the time its parcall fails); the strict backends remain
+            // the byte-exact reference, and this suite pins the answer set
+            // plus the steal/cancel accounting below.
+        }
 
-        // Steal accounting stays exact even though placement is racy: one
-        // notice reaches the victim (or the final reconciliation) per steal.
+        // Steal and cancel accounting stay exact even though placement is
+        // racy: one notice reaches the victim/executor (or the final
+        // reconciliation drain) per event.
         let stolen: u64 = rr.stats.workers.iter().map(|w| w.goals_stolen).sum();
         let notices: u64 = rr.stats.workers.iter().map(|w| w.steal_notices).sum();
         assert_eq!(stolen, rr.stats.goals_actually_parallel, "{}: steal accounting", id.name());
         assert_eq!(notices, stolen, "{}: lost steal notices", id.name());
+        let cancel_notices: u64 = rr.stats.workers.iter().map(|w| w.cancel_notices).sum();
+        assert_eq!(cancel_notices, rr.stats.cancel_requests, "{}: lost cancel notices", id.name());
     }
 }
 

@@ -69,6 +69,24 @@ pub fn is_builtin_call(term: &Term, syms: &SymbolTable) -> bool {
     }
 }
 
+/// The call term of a CGE's leftmost branch when that branch is eligible
+/// for inline execution on the parent PE (the last-goal-inline
+/// optimisation): exactly one non-builtin user call.
+///
+/// Today every CGE that reaches codegen satisfies this — the parser
+/// requires at least two branches, lifting reduces each branch to a single
+/// user call, and `compile_cge` rejects anything else before asking — so
+/// for compilable programs this returns `Some`.  It is still the single
+/// place that *defines* eligibility: if branch shapes are ever loosened
+/// (e.g. builtin-only branches), codegen automatically keeps those CGEs on
+/// the Goal-Frame-everywhere path instead of inlining something unsound.
+pub fn cge_inline_call<'a>(branches: &'a [pwam_front::clause::Body], syms: &SymbolTable) -> Option<&'a Term> {
+    match branches.first()?.goals.as_slice() {
+        [Goal::Call(t)] if !is_builtin_call(t, syms) => Some(t),
+        _ => None,
+    }
+}
+
 fn collect_term_vars(
     term: &Term,
     chunk: usize,

@@ -4,15 +4,18 @@
 //! choice instructions of its own; clause selection (try/retry/trust chains
 //! and switch dispatch) is generated per-predicate by [`crate::index`].
 //!
-//! The parallel path of a CGE compiles to
+//! The parallel path of a CGE with `k` branches compiles (with the
+//! last-goal-inline optimisation, the default) to
 //!
 //! ```text
 //!     check_ground  Yk, Lseq        % one per run-time condition
 //!     check_indep   Yi, Yj, Lseq
-//!     pcall_alloc   N               % Parcall Frame with N slots
-//!     <put args of branch 1>        % into A1..Aa1
-//!     pcall_goal    p1/a1, slot 0   % Goal Frame onto the Goal Stack
-//!     ...
+//!     pcall_alloc   N               % Parcall Frame, N = k - 1 slots
+//!     <put args of branch 2>        % into A1..Aa2
+//!     pcall_goal    p2/a2, slot 0   % Goal Frame onto the Goal Stack
+//!     ...                           % branches 3..k, slots 1..N-1
+//!     <put args of branch 1>
+//!     call          p1/a1           % leftmost branch inline, no Goal Frame
 //!     pcall_wait                    % schedule / steal / wait
 //!     jump          Lcont
 //! Lseq:                             % sequential fallback
@@ -22,11 +25,16 @@
 //! ```
 //!
 //! which is the instruction-level shape described for the RAP-WAM in the
-//! paper (goal frames created from the argument registers, a Parcall Frame
-//! carrying completion counts, and a wait point that doubles as the local
-//! scheduling loop).
+//! paper: goal frames created from the argument registers, a Parcall Frame
+//! carrying completion counts, a wait point that doubles as the local
+//! scheduling loop — and the parent executing the first goal itself, so the
+//! parallelism overhead concentrates on the goals other PEs might steal.
+//! An inline branch failing before `pcall_wait` is made sound by the
+//! engine's parcall cancellation (backward execution); compiling with
+//! `inline_first_goal` off pushes every branch through the Goal-Frame path
+//! instead.
 
-use crate::classify::{analyze_clause, is_builtin_call, ClauseAnalysis};
+use crate::classify::{analyze_clause, cge_inline_call, is_builtin_call, ClauseAnalysis};
 use crate::error::{CompileError, CompileResult};
 use crate::instr::{Builtin, CallTarget, CodeAddr, Instr, PredRef, Reg};
 use pwam_front::clause::{Cge, CgeCondition, Clause, Goal};
@@ -42,22 +50,36 @@ pub struct CompileOptions {
     pub parallel: bool,
     /// Generate first-argument indexing (switch_on_term and friends).
     pub indexing: bool,
+    /// Execute the leftmost CGE branch inline on the parent PE, without a
+    /// Goal Frame (the paper's last-goal-inline optimisation: the
+    /// parallelism overhead concentrates on goals that may actually run
+    /// elsewhere).  Sound because the engine performs parcall cancellation
+    /// when the inline branch fails before `pcall_wait`.  On by default;
+    /// turn it off to force every branch through the Goal-Frame path.
+    pub inline_first_goal: bool,
 }
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        CompileOptions { parallel: true, indexing: true }
+        CompileOptions::parallel()
     }
 }
 
 impl CompileOptions {
     /// Options for the sequential WAM baseline.
     pub fn sequential() -> Self {
-        CompileOptions { parallel: false, indexing: true }
+        CompileOptions { parallel: false, indexing: true, inline_first_goal: true }
     }
     /// Options for the parallel RAP-WAM.
     pub fn parallel() -> Self {
-        CompileOptions { parallel: true, indexing: true }
+        CompileOptions { parallel: true, indexing: true, inline_first_goal: true }
+    }
+    /// Disable the last-goal-inline optimisation (every CGE branch takes
+    /// the Goal-Frame path; used by the differential suites to pin both
+    /// compilation schemes against each other).
+    pub fn without_inline_first_goal(mut self) -> Self {
+        self.inline_first_goal = false;
+        self
     }
 }
 
@@ -611,19 +633,22 @@ fn compile_cge(ctx: &mut ClauseCtx, cge: &Cge, chunk: &mut ChunkBuilder) -> Comp
         }
     }
 
-    // Every branch goes onto the Goal Stack, and the parent proceeds
-    // straight to `pcall_wait`, where it picks its own goals back up through
-    // the cheap local path (no Marker, no message) unless an idle PE stole
-    // them first.  The parent must *not* execute a branch inline between the
-    // pushes and the wait: if that branch failed, the parent would backtrack
-    // while sibling Goal Frames are still scheduled (or already stolen and
-    // in flight), and their later pick-up/completion would act on a dead,
-    // possibly reused Parcall Frame.  Entering the wait first means failure
-    // always arrives through the goal-completion protocol, which drains
-    // every sibling before the parent backtracks.
-    chunk.emit(Instr::PcallAlloc { n: branch_calls.len() as u8 });
+    // With the last-goal-inline optimisation the parent schedules branches
+    // 2..k as Goal Frames and executes the leftmost branch itself, inline,
+    // before entering `pcall_wait` — no Goal Frame, no Marker, no message
+    // for the goal that would otherwise just be picked straight back up.
+    // If the inline branch fails before the wait, the engine's parcall
+    // cancellation retracts the un-stolen siblings and drains the in-flight
+    // ones through the completion protocol, so the failure is sound (this
+    // is what PR 4 lacked when it disabled the optimisation).  With the
+    // optimisation off, every branch goes onto the Goal Stack and the
+    // parent re-acquires its own goals at the wait through the local path.
     let seen_before = ctx.seen.clone();
-    for (k, t) in branch_calls.iter().enumerate() {
+    let inline_call =
+        if ctx.opts.inline_first_goal { cge_inline_call(&cge.branches, ctx.syms) } else { None };
+    let scheduled = if inline_call.is_some() { &branch_calls[1..] } else { &branch_calls[..] };
+    chunk.emit(Instr::PcallAlloc { n: scheduled.len() as u8 });
+    for (k, t) in scheduled.iter().enumerate() {
         ctx.reset_scratch();
         let (f, n) = t.functor().expect("branch call has a functor");
         if let Term::Struct(_, args) = t {
@@ -634,6 +659,13 @@ fn compile_cge(ctx: &mut ClauseCtx, cge: &Cge, chunk: &mut ChunkBuilder) -> Comp
             arity: n as u8,
             slot: k as u8,
         });
+    }
+    if let Some(first) = inline_call {
+        // The scheduled branches are compiled (and executed) before the
+        // inline one, so a shared variable's first occurrence is created
+        // before any sibling reads it.
+        ctx.reset_scratch();
+        compile_user_call(ctx, first, false, false, chunk)?;
     }
     chunk.emit(Instr::PcallWait);
     let seen_after_parallel = ctx.seen.clone();
@@ -765,24 +797,50 @@ mod tests {
         );
         assert_eq!(count_matching(&code, |i| matches!(i, Instr::CheckGround { .. })), 1);
         assert_eq!(count_matching(&code, |i| matches!(i, Instr::CheckIndep { .. })), 1);
+        // Last-goal-inline: only the rightmost branch is scheduled as a
+        // Goal Frame; the leftmost runs inline on the parent before the
+        // wait.
+        assert_eq!(count_matching(&code, |i| matches!(i, Instr::PcallAlloc { n: 1 })), 1);
+        assert_eq!(count_matching(&code, |i| matches!(i, Instr::PcallGoal { .. })), 1);
+        assert_eq!(count_matching(&code, |i| matches!(i, Instr::PcallWait)), 1);
+        // one inline call on the parallel path, two on the fallback
+        assert_eq!(count_matching(&code, |i| matches!(i, Instr::Call { .. })), 3);
+        assert_eq!(count_matching(&code, |i| matches!(i, Instr::Jump { .. })), 1);
+        // the inline call sits immediately before pcall_wait
+        let wait = code.iter().position(|i| matches!(i, Instr::PcallWait)).unwrap();
+        assert!(matches!(code[wait - 1], Instr::Call { .. }));
+    }
+
+    #[test]
+    fn disabling_inline_pushes_every_branch() {
+        let (code, _) = compile_first(
+            "f(X,Y,Z) :- (ground(Y), indep(X,Z) | g(X,Y) & h(Y,Z)).",
+            CompileOptions::parallel().without_inline_first_goal(),
+        );
         // Every branch gets a Goal Frame; the parent re-acquires its own
-        // goals at `pcall_wait` through the local path, so a branch failure
-        // always travels the goal-completion protocol.
+        // goals at `pcall_wait` through the local path.
         assert_eq!(count_matching(&code, |i| matches!(i, Instr::PcallAlloc { n: 2 })), 1);
         assert_eq!(count_matching(&code, |i| matches!(i, Instr::PcallGoal { .. })), 2);
-        assert_eq!(count_matching(&code, |i| matches!(i, Instr::PcallWait)), 1);
         // no inline call on the parallel path; two calls on the fallback
         assert_eq!(count_matching(&code, |i| matches!(i, Instr::Call { .. })), 2);
-        assert_eq!(count_matching(&code, |i| matches!(i, Instr::Jump { .. })), 1);
     }
 
     #[test]
     fn unconditional_cge_has_no_fallback() {
         let (code, _) = compile_first("f(X,Y) :- (g(X) & h(Y)).", CompileOptions::parallel());
-        assert_eq!(count_matching(&code, |i| matches!(i, Instr::PcallGoal { .. })), 2);
-        // no sequential fallback, and no inline call on the parallel path
-        assert_eq!(count_matching(&code, |i| matches!(i, Instr::Call { .. })), 0);
+        assert_eq!(count_matching(&code, |i| matches!(i, Instr::PcallGoal { .. })), 1);
+        // no sequential fallback; exactly the inline call on the parallel path
+        assert_eq!(count_matching(&code, |i| matches!(i, Instr::Call { .. })), 1);
         assert_eq!(count_matching(&code, |i| matches!(i, Instr::Jump { .. })), 0);
+    }
+
+    #[test]
+    fn three_branch_cge_schedules_two_goals() {
+        let (code, _) = compile_first("f(X,Y,Z) :- (g(X) & h(Y) & k(Z)).", CompileOptions::parallel());
+        assert_eq!(count_matching(&code, |i| matches!(i, Instr::PcallAlloc { n: 2 })), 1);
+        assert_eq!(count_matching(&code, |i| matches!(i, Instr::PcallGoal { slot: 0, .. })), 1);
+        assert_eq!(count_matching(&code, |i| matches!(i, Instr::PcallGoal { slot: 1, .. })), 1);
+        assert_eq!(count_matching(&code, |i| matches!(i, Instr::Call { .. })), 1);
     }
 
     #[test]

@@ -20,8 +20,9 @@
 //!   hands each worker to its own OS thread.
 //!
 //! Scheduling is *on demand*: `pcall_goal` pushes Goal Frames onto the
-//! issuing worker's Goal Stack, and both the waiting parent and any idle
-//! worker may pick them up.  Completion is recorded in the Parcall Frame's
+//! issuing worker's Goal Stack; the waiting parent picks its own goals back
+//! up through the cheap local path, and *idle* workers steal the rest (a
+//! waiting worker never steals — see [`Step::try_dispatch_work`]).  Completion is recorded in the Parcall Frame's
 //! counters and (for stolen goals) signalled through the parent's Message
 //! Buffer, generating exactly the locked/global traffic the paper's Table 1
 //! describes.  Cross-PE completion uses a *commit protocol* whose last
@@ -147,6 +148,24 @@ pub struct StealEvent {
     pub frame: u32,
 }
 
+/// One `cancel_goal` request posted during parcall cancellation (backward
+/// execution), as observed by the scheduler.  Like [`StealEvent`]s, the
+/// semantic content travels through the shared per-PE boards; the scheduler
+/// additionally transports these as cross-thread notifications to the
+/// executor's thread (channel messages on the threaded backends, in-place
+/// delivery on the reference one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CancelEvent {
+    /// Worker that owns the cancelled Parcall Frame.
+    pub canceller: usize,
+    /// Worker currently executing the in-flight goal being cancelled.
+    pub executor: usize,
+    /// The cancelled Parcall Frame.
+    pub pf: u32,
+    /// Slot index of the in-flight goal within the frame.
+    pub slot: u32,
+}
+
 /// Per-PE scheduling state that other PEs may inspect or update: the mirror
 /// of the Goal Stack (for stealing) and the Message Buffer allocation state
 /// (for completion messages).  Every access takes the board's lock; under
@@ -164,6 +183,11 @@ pub(crate) struct PeBoard {
     pub msg_top: u32,
     /// Number of unread messages in the Message Buffer.
     pub pending_messages: u32,
+    /// Pending `cancel_goal` requests `(pf, slot)` for in-flight stolen
+    /// goals this PE is executing, posted by the cancelling parent under
+    /// this board's lock and drained by the owner at instruction-batch
+    /// boundaries.
+    pub cancel_requests: Vec<(u32, u32)>,
 }
 
 /// A Goal Frame's words, read under the owning board's lock before the
@@ -203,13 +227,32 @@ pub struct EngineCore<'p> {
     parallel_goals: AtomicU64,
     goals_actually_parallel: AtomicU64,
     pub(crate) inferences: AtomicU64,
+    /// Failures that reached a parallel-goal boundary or crossed a Parcall
+    /// Frame on the failing worker's `PF` chain.  Zero here is a *logical*
+    /// property (independence makes every goal's success or failure
+    /// schedule-free until a first failure exists), so a reference run with
+    /// zero guarantees no schedule can trigger backward execution.
+    parcall_failures: AtomicU64,
+    /// Parcall Frames cancelled by backward execution.
+    parcalls_cancelled: AtomicU64,
+    /// Goal Frames retracted un-executed during cancellation.
+    goals_cancelled: AtomicU64,
+    /// `cancel_goal` requests posted for in-flight stolen goals.
+    cancel_requests: AtomicU64,
     /// Round-robin cursor over steal victims.
     steal_cursor: AtomicUsize,
     /// One board per PE.
     pub(crate) boards: Vec<Mutex<PeBoard>>,
+    /// Cheap "this PE has pending cancel_goal requests" flags, so the hot
+    /// execution path pays one relaxed atomic load instead of a board lock.
+    cancel_flags: Vec<AtomicBool>,
     /// Steals performed by each PE (as thief) since the scheduler last
     /// drained them.
     steal_logs: Vec<Mutex<Vec<StealEvent>>>,
+    /// `cancel_goal` requests posted by each PE (as canceller) since the
+    /// scheduler last drained them (notification transport, like
+    /// `steal_logs`).
+    cancel_logs: Vec<Mutex<Vec<CancelEvent>>>,
     /// First engine error raised on any thread of the relaxed backend.
     abort: Mutex<Option<EngineError>>,
     aborted: AtomicBool,
@@ -278,6 +321,12 @@ impl<'p> EngineCore<'p> {
     /// Drain the steals PE `thief` performed since the last drain.
     pub(crate) fn drain_steals_of(&self, thief: usize) -> Vec<StealEvent> {
         std::mem::take(&mut *self.steal_logs[thief].lock().unwrap())
+    }
+
+    /// Drain the `cancel_goal` requests PE `canceller` posted since the
+    /// last drain.
+    pub(crate) fn drain_cancels_of(&self, canceller: usize) -> Vec<CancelEvent> {
+        std::mem::take(&mut *self.cancel_logs[canceller].lock().unwrap())
     }
 
     /// Record the critical-path cycle estimate of a relaxed run.
@@ -376,10 +425,13 @@ impl<'p> Engine<'p> {
                     goal_top: mem.map.area_base(w, Area::GoalStack),
                     msg_top: mem.map.area_base(w, Area::MessageBuffer),
                     pending_messages: 0,
+                    cancel_requests: Vec::new(),
                 })
             })
             .collect();
         let steal_logs = (0..config.num_workers).map(|_| Mutex::new(Vec::new())).collect();
+        let cancel_logs = (0..config.num_workers).map(|_| Mutex::new(Vec::new())).collect();
+        let cancel_flags = (0..config.num_workers).map(|_| AtomicBool::new(false)).collect();
         Engine {
             core: EngineCore {
                 program,
@@ -392,9 +444,15 @@ impl<'p> Engine<'p> {
                 parallel_goals: AtomicU64::new(0),
                 goals_actually_parallel: AtomicU64::new(0),
                 inferences: AtomicU64::new(0),
+                parcall_failures: AtomicU64::new(0),
+                parcalls_cancelled: AtomicU64::new(0),
+                goals_cancelled: AtomicU64::new(0),
+                cancel_requests: AtomicU64::new(0),
                 steal_cursor: AtomicUsize::new(0),
                 boards,
+                cancel_flags,
                 steal_logs,
+                cancel_logs,
                 abort: Mutex::new(None),
                 aborted: AtomicBool::new(false),
                 started: Instant::now(),
@@ -469,9 +527,16 @@ impl<'p> Engine<'p> {
             b.goal_top = core.mem.map.area_base(w, Area::GoalStack);
             b.msg_top = core.mem.map.area_base(w, Area::MessageBuffer);
             b.pending_messages = 0;
+            b.cancel_requests.clear();
         }
         for log in core.steal_logs.iter_mut() {
             log.get_mut().unwrap().clear();
+        }
+        for log in core.cancel_logs.iter_mut() {
+            log.get_mut().unwrap().clear();
+        }
+        for flag in core.cancel_flags.iter_mut() {
+            *flag.get_mut() = false;
         }
         *core.finished.get_mut() = RUNNING;
         *core.steps.get_mut() = 0;
@@ -480,6 +545,10 @@ impl<'p> Engine<'p> {
         *core.parallel_goals.get_mut() = 0;
         *core.goals_actually_parallel.get_mut() = 0;
         *core.inferences.get_mut() = 0;
+        *core.parcall_failures.get_mut() = 0;
+        *core.parcalls_cancelled.get_mut() = 0;
+        *core.goals_cancelled.get_mut() = 0;
+        *core.cancel_requests.get_mut() = 0;
         *core.steal_cursor.get_mut() = 0;
         *core.abort.get_mut().unwrap() = None;
         *core.aborted.get_mut() = false;
@@ -578,6 +647,31 @@ impl<'p> Engine<'p> {
     /// the reference backend in place).
     pub fn deliver_steal_notices(&mut self, victim: usize, count: u64) {
         self.workers[victim].steal_notices += count;
+    }
+
+    /// Drain the `cancel_goal` requests posted since the last drain
+    /// (scheduler SPI, mirroring [`Engine::drain_steals`]).
+    pub fn drain_cancels(&mut self) -> Vec<CancelEvent> {
+        let mut all = Vec::new();
+        for log in &self.core.cancel_logs {
+            all.append(&mut log.lock().unwrap());
+        }
+        all
+    }
+
+    /// Record that `count` cancel notifications reached worker `executor`
+    /// (scheduler SPI: the threaded backends deliver these over channels,
+    /// the reference backend in place).
+    pub fn deliver_cancel_notices(&mut self, executor: usize, count: u64) {
+        self.workers[executor].cancel_notices += count;
+    }
+
+    /// Goal Frames still sitting on any PE's board.  Zero once a query has
+    /// finished: success implies every parcall completed, and failure drains
+    /// (or retracts) every scheduled goal through the cancellation protocol
+    /// — a nonzero count after a run is a leak.
+    pub fn pending_goal_frames(&self) -> usize {
+        self.core.boards.iter().map(|b| b.lock().unwrap().goal_frames.len()).sum()
     }
 
     /// Verify the structural invariants of every worker's Stack Set: all
@@ -721,6 +815,8 @@ impl<'p> Engine<'p> {
                 max_usage: w.max_usage(),
                 goals_stolen: w.goals_stolen,
                 steal_notices: w.steal_notices,
+                cancel_notices: w.cancel_notices,
+                goals_aborted: w.goals_aborted,
             })
             .collect();
         let area_stats = self.core.mem.merged_stats();
@@ -735,6 +831,10 @@ impl<'p> Engine<'p> {
             parallel_goals: self.core.parallel_goals.load(Ordering::Relaxed),
             goals_actually_parallel: self.core.goals_actually_parallel.load(Ordering::Relaxed),
             inferences: self.core.inferences.load(Ordering::Relaxed),
+            parcall_failures: self.core.parcall_failures.load(Ordering::Relaxed),
+            parcalls_cancelled: self.core.parcalls_cancelled.load(Ordering::Relaxed),
+            goals_cancelled: self.core.goals_cancelled.load(Ordering::Relaxed),
+            cancel_requests: self.core.cancel_requests.load(Ordering::Relaxed),
             area_stats,
             workers,
         }
@@ -767,18 +867,35 @@ impl<'a, 'p> Step<'a, 'p> {
             }
             WorkerStatus::WaitingAtPcall { addr, pf } => {
                 self.wk.idle_cycles += 1;
-                // Shadow check: has the Parcall Frame completed?  The
+                // Shadow check: has the Parcall Frame completed (or begun
+                // failing, which the wait answers with cancellation)?  The
                 // actual (traced) reads happen when the worker re-executes
                 // the pcall_wait instruction.
                 let n = self.core.mem.read_untraced(pf + parcall::NGOALS).expect_uint("pcall ngoals");
                 let done =
                     self.core.mem.read_untraced(pf + parcall::COMPLETED).expect_uint("pcall completed");
-                if done >= n {
+                let status = self.core.mem.read_untraced(pf + parcall::STATUS).expect_uint("pcall status");
+                if done >= n || status == parcall::STATUS_FAILED {
                     self.wk.p = addr;
                     self.wk.status = WorkerStatus::Running;
                     Ok(true)
                 } else {
                     self.try_dispatch_work(Resume::ToWait { addr })
+                }
+            }
+            WorkerStatus::Cancelling { pf } => {
+                self.wk.idle_cycles += 1;
+                // Shadow check, as for `WaitingAtPcall`: once every goal of
+                // the cancelled frame has committed (completed, failed,
+                // aborted or retracted), resume the deferred backtrack.
+                let n = self.core.mem.read_untraced(pf + parcall::NGOALS).expect_uint("pcall ngoals");
+                let done =
+                    self.core.mem.read_untraced(pf + parcall::COMPLETED).expect_uint("pcall completed");
+                if done >= n {
+                    self.finish_cancellation(pf)?;
+                    Ok(true)
+                } else {
+                    Ok(false)
                 }
             }
         }
@@ -790,6 +907,12 @@ impl<'a, 'p> Step<'a, 'p> {
     pub(crate) fn exec_batch(&mut self, max: u32) -> EngineResult<u32> {
         if self.core.steps() > self.core.config.max_steps {
             return Err(EngineError::StepLimitExceeded { limit: self.core.config.max_steps });
+        }
+        // `cancel_goal` requests are honoured at batch boundaries — the
+        // machine state is between instructions, so aborting an in-flight
+        // stolen goal here is exactly a goal failure at a clean point.
+        if self.core.cancel_flags[self.w()].load(Ordering::Acquire) {
+            self.process_cancel_requests()?;
         }
         let mut n = 0u32;
         let result = loop {
@@ -813,8 +936,20 @@ impl<'a, 'p> Step<'a, 'p> {
     // -----------------------------------------------------------------
 
     /// Try to find a Goal Frame for this worker (own Goal Stack first, then
-    /// steal round-robin) and start executing it.  Returns `true` if work
-    /// was dispatched.
+    /// — for *idle* workers — steal round-robin) and start executing it.
+    /// Returns `true` if work was dispatched.
+    ///
+    /// A worker waiting at `pcall_wait` only picks up goals from its own
+    /// board, as in the paper (stealing is how *idle* PEs find work).
+    /// Letting waiting parents steal unrelated goals stacks foreign Stack
+    /// Sections above their open Parcall Frames — with the leftmost branch
+    /// executed inline the parent's board is often empty at the wait, and
+    /// the resulting leapfrog chains were measured to inflate the
+    /// local-stack high-water by ~30x on relaxed fib, far past what the
+    /// program's own nesting ever needs.  Restricting steals to idle
+    /// workers bounds every worker's stacks by its own subtree depth while
+    /// keeping load balancing: each goal's owner can always execute it at
+    /// its wait, and genuinely idle PEs still take anything.
     ///
     /// The frame's words are read *while the victim's board lock is held*:
     /// once the lock drops, the owner may pop further frames and push new
@@ -838,6 +973,9 @@ impl<'a, 'p> Step<'a, 'p> {
             self.wk.goal_top = img.frame;
             self.start_goal(img, resume, false)?;
             return Ok(true);
+        }
+        if matches!(resume, Resume::ToWait { .. }) {
+            return Ok(false);
         }
         // Steal from another worker (round-robin over victims).
         let n = core.boards.len();
@@ -902,13 +1040,16 @@ impl<'a, 'p> Step<'a, 'p> {
         // once).
         mem.rmw_uint(pe, pf + parcall::TO_SCHEDULE, ObjectKind::ParcallCount, |v| v.saturating_sub(1))?;
         if stolen {
+            // The executing-PE word goes first: a cancelling parent that
+            // observes `SLOT_TAKEN` must also observe a valid executor id
+            // for its `cancel_goal` request (relaxed backend).
+            mem.write(pe, parcall::slot_pe(pf, slot), Cell::Uint(w as u32), ObjectKind::ParcallGlobal);
             mem.write(
                 pe,
                 parcall::slot_status(pf, slot),
                 Cell::Uint(parcall::SLOT_TAKEN),
                 ObjectKind::ParcallGlobal,
             );
-            mem.write(pe, parcall::slot_pe(pf, slot), Cell::Uint(w as u32), ObjectKind::ParcallGlobal);
         }
 
         self.core.parallel_goals.fetch_add(1, Ordering::Relaxed);
@@ -1067,6 +1208,19 @@ impl<'a, 'p> Step<'a, 'p> {
     /// mark the Parcall Frame as failed and commit the completion via
     /// [`Step::commit_completion`].
     pub(crate) fn fail_goal(&mut self) -> EngineResult<()> {
+        self.unwind_goal(false)
+    }
+
+    /// Like [`Step::fail_goal`], but for a goal aborted by a `cancel_goal`
+    /// request: the slot and message record the cancellation instead of a
+    /// logical failure.  Either way the goal commits through the completion
+    /// protocol, which is what keeps the cancelling parent's drain sound.
+    fn abort_goal(&mut self) -> EngineResult<()> {
+        self.wk.goals_aborted += 1;
+        self.unwind_goal(true)
+    }
+
+    fn unwind_goal(&mut self, cancelled: bool) -> EngineResult<()> {
         let pe = self.wk.id;
         let ctx = self
             .wk
@@ -1104,18 +1258,21 @@ impl<'a, 'p> Step<'a, 'p> {
             }
         }
 
-        // Mark the Parcall Frame.
+        // Mark the Parcall Frame.  The status merge is a `max`: plain
+        // failure never downgrades a frame already under cancellation, and
+        // concurrent writers (relaxed backend) cannot lose each other's
+        // update because `rmw_uint` holds the arena lock.
         let mem = &self.core.mem;
+        let (slot_mark, msg_kind, status_mark) = if cancelled {
+            (parcall::SLOT_CANCELLED, message::KIND_CANCELLED, parcall::STATUS_CANCELLED)
+        } else {
+            (parcall::SLOT_FAILED, message::KIND_FAILED, parcall::STATUS_FAILED)
+        };
         if ctx.stolen {
-            mem.write(
-                pe,
-                parcall::slot_status(pf, slot),
-                Cell::Uint(parcall::SLOT_FAILED),
-                ObjectKind::ParcallGlobal,
-            );
+            mem.write(pe, parcall::slot_status(pf, slot), Cell::Uint(slot_mark), ObjectKind::ParcallGlobal);
         }
-        mem.write(pe, pf + parcall::STATUS, Cell::Uint(parcall::STATUS_FAILED), ObjectKind::ParcallLocal);
-        self.commit_completion(ctx.stolen, pf, slot, message::KIND_FAILED)?;
+        mem.rmw_uint(pe, pf + parcall::STATUS, ObjectKind::ParcallLocal, |v| v.max(status_mark))?;
+        self.commit_completion(ctx.stolen, pf, slot, msg_kind)?;
 
         let wk = &mut *self.wk;
         match ctx.resume {
@@ -1259,15 +1416,22 @@ impl<'a, 'p> Step<'a, 'p> {
         Ok(())
     }
 
-    /// After B changed (cut / trust), refresh the `hb` / `stack_boundary`
-    /// trailing boundaries from the new current choice point.
+    /// After B changed (cut / trust / the parcall's first-solution commit),
+    /// refresh the `hb` / `stack_boundary` trailing boundaries from the new
+    /// current choice point.
     pub(crate) fn refresh_backtrack_boundaries(&mut self) -> EngineResult<()> {
         let pe = self.wk.id;
         let b = self.wk.b;
-        // Within a parallel goal, the failure boundary of the goal also acts
-        // as a trailing boundary.
+        // With no choice point left, the failure boundary is the enclosing
+        // parallel goal's *entry* state (what `start_goal` set), or the
+        // area bases outside any goal.  The entry values matter: using the
+        // worker's current `hb`/`stack_boundary` here would freeze a
+        // boundary raised by a since-discarded choice point — e.g. the
+        // clause-selection point of an inline `fib(1)` leaf — below which
+        // no environment or Parcall Frame could ever be reclaimed again,
+        // leaking local stack proportional to the call tree.
         let (goal_hb, goal_sb) = match self.wk.goal_contexts.last() {
-            Some(_) => (self.wk.hb, self.wk.stack_boundary),
+            Some(c) => (c.entry_h, c.entry_local_top),
             None => (self.wk.heap_base, self.wk.local_base),
         };
         if b == NONE_ADDR {
@@ -1329,10 +1493,56 @@ impl<'a, 'p> Step<'a, 'p> {
     /// Handle a failure on this worker: either the current parallel goal
     /// fails, the whole query fails, or we backtrack into the most recent
     /// choice point.
+    ///
+    /// Before the failure target is restored, backward execution runs: if
+    /// the restore would cross an *incomplete* Parcall Frame on this
+    /// worker's `PF` chain (the parent of an inline CGE branch failing
+    /// before `pcall_wait`), the frame is cancelled — un-stolen Goal Frames
+    /// retracted, `cancel_goal` sent after in-flight ones — and the
+    /// backtrack is deferred until the frame's completion counter drains.
     pub(crate) fn backtrack(&mut self) -> EngineResult<()> {
+        self.backtrack_with(true)
+    }
+
+    /// The body of [`Step::backtrack`].  `record_failure` is true for an
+    /// original failure and false when `finish_cancellation` resumes a
+    /// deferred one, so `parcall_failures` counts each logical failure
+    /// exactly once — at its originating backtrack, whether it then fails
+    /// a goal, restores a choice point, or fails the query.
+    fn backtrack_with(&mut self, record_failure: bool) -> EngineResult<()> {
         let b = self.wk.b;
         let at_goal_boundary = self.wk.goal_contexts.last().map(|c| c.entry_b == b).unwrap_or(false);
+        let mut crossing = false;
+        if self.wk.pf != NONE_ADDR {
+            // Where would this failure leave the PF register?  Restoring a
+            // choice point rewinds it to the frame open when the choice
+            // point was pushed; failing a parallel goal rewinds it to the
+            // goal-entry value; failing the query abandons the whole chain.
+            let target_pf = if at_goal_boundary {
+                self.wk.goal_contexts.last().map(|c| c.entry_pf).unwrap_or(NONE_ADDR)
+            } else if b == NONE_ADDR {
+                NONE_ADDR
+            } else {
+                let nargs = self.core.mem.read_untraced(b + choice::NARGS).expect_uint("cp nargs");
+                self.core.mem.read_untraced(choice::saved_pf(b, nargs)).expect_uint("cp pf")
+            };
+            crossing = self.wk.pf != target_pf;
+            if crossing {
+                if record_failure {
+                    self.core.parcall_failures.fetch_add(1, Ordering::Relaxed);
+                }
+                if self.begin_parcall_cancellation(target_pf)? {
+                    // Deferred: the worker is now `Cancelling`; the failure
+                    // resumes from `finish_cancellation` once the frame
+                    // drains.
+                    return Ok(());
+                }
+            }
+        }
         if at_goal_boundary {
+            if record_failure && !crossing {
+                self.core.parcall_failures.fetch_add(1, Ordering::Relaxed);
+            }
             return self.fail_goal();
         }
         if b == NONE_ADDR {
@@ -1342,6 +1552,204 @@ impl<'a, 'p> Step<'a, 'p> {
             return Ok(());
         }
         self.restore_from_choice_point()
+    }
+
+    /// Walk this worker's Parcall-Frame chain from `PF` down to (exclusive)
+    /// `target_pf`, cancelling every incomplete frame on the way: retract
+    /// its un-stolen Goal Frames, post `cancel_goal` for the in-flight
+    /// stolen ones, and account the retractions so the completion counter
+    /// still converges to `NGOALS`.  Returns `true` when some frame still
+    /// has goals in flight — the worker is parked in
+    /// [`WorkerStatus::Cancelling`] and the caller's failure is deferred —
+    /// and `false` once every frame down to the target has fully drained.
+    fn begin_parcall_cancellation(&mut self, target_pf: u32) -> EngineResult<bool> {
+        let pe = self.wk.id;
+        let mut pf = self.wk.pf;
+        while pf != target_pf && pf != NONE_ADDR {
+            let status =
+                self.core.mem.read(pe, pf + parcall::STATUS, ObjectKind::ParcallLocal).expect_uint("status");
+            let n =
+                self.core.mem.read(pe, pf + parcall::NGOALS, ObjectKind::ParcallLocal).expect_uint("ngoals");
+            let done = self
+                .core
+                .mem
+                .read(pe, pf + parcall::COMPLETED, ObjectKind::ParcallCount)
+                .expect_uint("completed");
+            if done < n {
+                if status != parcall::STATUS_CANCELLED {
+                    self.cancel_parcall_frame(pf)?;
+                }
+                let done = self
+                    .core
+                    .mem
+                    .read(pe, pf + parcall::COMPLETED, ObjectKind::ParcallCount)
+                    .expect_uint("completed");
+                if done < n {
+                    self.wk.status = WorkerStatus::Cancelling { pf };
+                    return Ok(true);
+                }
+            }
+            self.consume_messages();
+            pf = self
+                .core
+                .mem
+                .read(pe, pf + parcall::PREV_PF, ObjectKind::ParcallLocal)
+                .expect_uint("prev pf");
+        }
+        Ok(false)
+    }
+
+    /// Cancel one Parcall Frame: mark it, retract its un-stolen Goal Frames
+    /// from this worker's board (each is accounted as completed so the
+    /// counter still converges), and post a `cancel_goal` request to the
+    /// executor of every in-flight stolen slot.  In-flight goals are never
+    /// abandoned: they drain through the completion protocol, either by
+    /// finishing normally or by aborting at the executor's next batch
+    /// boundary.
+    pub(crate) fn cancel_parcall_frame(&mut self, pf: u32) -> EngineResult<()> {
+        let pe = self.wk.id;
+        let w = self.w();
+        let mem = &self.core.mem;
+        mem.rmw_uint(pe, pf + parcall::STATUS, ObjectKind::ParcallLocal, |v| {
+            v.max(parcall::STATUS_CANCELLED)
+        })?;
+        self.core.parcalls_cancelled.fetch_add(1, Ordering::Relaxed);
+
+        // Retract the frame's un-stolen Goal Frames under the board lock
+        // (which serialises against thieves popping concurrently): once the
+        // lock drops, every remaining goal of this frame is either already
+        // committed or in an executor's hands.
+        let mut retracted = 0u32;
+        {
+            let mut board = self.core.boards[w].lock().unwrap();
+            let mut kept = Vec::with_capacity(board.goal_frames.len());
+            for &frame in board.goal_frames.iter() {
+                let frame_pf =
+                    mem.read(pe, frame + goal_frame::PF, ObjectKind::GoalFrame).expect_uint("goal pf");
+                if frame_pf == pf {
+                    let slot =
+                        mem.read(pe, frame + goal_frame::SLOT, ObjectKind::GoalFrame).expect_uint("slot");
+                    mem.write(
+                        pe,
+                        parcall::slot_status(pf, slot),
+                        Cell::Uint(parcall::SLOT_CANCELLED),
+                        ObjectKind::ParcallGlobal,
+                    );
+                    retracted += 1;
+                } else {
+                    kept.push(frame);
+                }
+            }
+            board.goal_frames = kept;
+            board.goal_top = match board.goal_frames.last() {
+                Some(&top) => {
+                    let arity =
+                        mem.read(pe, top + goal_frame::ARITY, ObjectKind::GoalFrame).expect_uint("arity");
+                    top + goal_frame::size(arity)
+                }
+                None => self.wk.goal_base,
+            };
+            self.wk.goal_top = board.goal_top;
+        }
+        for _ in 0..retracted {
+            mem.rmw_uint(pe, pf + parcall::TO_SCHEDULE, ObjectKind::ParcallCount, |v| v.saturating_sub(1))?;
+            mem.rmw_uint(pe, pf + parcall::COMPLETED, ObjectKind::ParcallCount, |v| v + 1)?;
+        }
+        self.core.goals_cancelled.fetch_add(retracted as u64, Ordering::Relaxed);
+
+        // `cancel_goal` for every in-flight stolen slot.  Slots are written
+        // lazily, so an untouched word means the goal was never stolen
+        // (pending — just retracted — or executed by this worker through
+        // the local path).
+        let n = mem.read(pe, pf + parcall::NGOALS, ObjectKind::ParcallLocal).expect_uint("ngoals");
+        for k in 0..n {
+            let status = mem.read(pe, parcall::slot_status(pf, k), ObjectKind::ParcallGlobal);
+            if status != Cell::Uint(parcall::SLOT_TAKEN) {
+                continue;
+            }
+            let executor = mem
+                .read(pe, parcall::slot_pe(pf, k), ObjectKind::ParcallGlobal)
+                .expect_uint("slot pe") as usize;
+            if executor == w {
+                continue; // cannot happen: own goals take the local path
+            }
+            {
+                let mut board = self.core.boards[executor].lock().unwrap();
+                board.cancel_requests.push((pf, k));
+            }
+            self.core.cancel_flags[executor].store(true, Ordering::Release);
+            self.core.cancel_requests.fetch_add(1, Ordering::Relaxed);
+            self.core.cancel_logs[w].lock().unwrap().push(CancelEvent {
+                canceller: w,
+                executor,
+                pf,
+                slot: k,
+            });
+        }
+        Ok(())
+    }
+
+    /// A cancelled frame has fully drained: re-read its counters as the
+    /// real machine would, consume the completion messages, and resume the
+    /// deferred backtrack (which may immediately cancel the next frame on
+    /// the chain).
+    fn finish_cancellation(&mut self, pf: u32) -> EngineResult<()> {
+        let pe = self.wk.id;
+        let _ = self.core.mem.read(pe, pf + parcall::NGOALS, ObjectKind::ParcallLocal);
+        let _ = self.core.mem.read(pe, pf + parcall::COMPLETED, ObjectKind::ParcallCount);
+        self.consume_messages();
+        self.wk.status = WorkerStatus::Running;
+        // Resuming the *same* logical failure: don't re-count it.
+        self.backtrack_with(false)
+    }
+
+    /// Drain this worker's pending `cancel_goal` requests.  A request is
+    /// honoured — the goal aborted through [`Step::abort_goal`] — only when
+    /// the named goal is the worker's *innermost* activity, it has no
+    /// Parcall Frame of its own still open (`PF` back at the goal-entry
+    /// value), **and** the live frame at that address confirms the abort:
+    /// its status is cancelled and its slot still records this worker as
+    /// the taken executor.  The confirmation closes an ABA hole — a stale
+    /// request naming a frame address that was freed and re-allocated must
+    /// not kill the healthy goal of the new incarnation (whose status is
+    /// OK).  Requests that fail any check are dropped and the goal runs to
+    /// completion, which is always sound.
+    fn process_cancel_requests(&mut self) -> EngineResult<()> {
+        let w = self.w();
+        let pe = self.wk.id;
+        let requests = {
+            let mut board = self.core.boards[w].lock().unwrap();
+            self.core.cancel_flags[w].store(false, Ordering::Release);
+            std::mem::take(&mut board.cancel_requests)
+        };
+        for (pf, slot) in requests {
+            let ctx_matches = match self.wk.goal_contexts.last() {
+                Some(c) => c.stolen && c.pf == pf && c.slot == slot && self.wk.pf == c.entry_pf,
+                None => false,
+            };
+            if !ctx_matches || self.wk.status != WorkerStatus::Running {
+                continue;
+            }
+            // The matching context pins the frame live (its parent cannot
+            // pass the drain while this goal is uncommitted), so these
+            // words are valid whatever incarnation the request came from.
+            let mem = &self.core.mem;
+            let status = mem.read(pe, pf + parcall::STATUS, ObjectKind::ParcallLocal).expect_uint("status");
+            let slot_status = mem
+                .read(pe, parcall::slot_status(pf, slot), ObjectKind::ParcallGlobal)
+                .expect_uint("slot status");
+            if status != parcall::STATUS_CANCELLED || slot_status != parcall::SLOT_TAKEN {
+                continue;
+            }
+            // Safe to read only behind a TAKEN status (the thief writes its
+            // id first; a PENDING slot's executor word is uninitialised).
+            let slot_pe =
+                mem.read(pe, parcall::slot_pe(pf, slot), ObjectKind::ParcallGlobal).expect_uint("slot pe");
+            if slot_pe as usize == w {
+                self.abort_goal()?;
+            }
+        }
+        Ok(())
     }
 
     /// Called by the `halt` builtin: the query succeeded.  The answer

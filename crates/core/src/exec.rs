@@ -421,9 +421,24 @@ impl<'a, 'p> Step<'a, 'p> {
                     ObjectKind::ParcallLocal,
                 );
                 mem.write(pe, pf_new + parcall::PREV_PF, Cell::Uint(prev), ObjectKind::ParcallLocal);
-                // The per-goal slots are written lazily, when a goal is
-                // actually taken by another PE; goals the parent executes
-                // itself never touch them.
+                // The parcall's backtrack point: `pcall_wait` commits the
+                // CGE to its first solution by restoring B to this value,
+                // discarding any choice points the inline branch left.
+                mem.write(pe, pf_new + parcall::ENTRY_B, Cell::Uint(self.wk.b), ObjectKind::ParcallLocal);
+                // Slot statuses start PENDING: the local stack reuses
+                // backtracked-over words, so cancellation's slot scan must
+                // never see a stale cell that happens to read as TAKEN.
+                // The executing-PE words stay lazy — they are read only
+                // behind a genuine TAKEN status, which a thief writes
+                // *after* its own PE id.
+                for k in 0..n {
+                    mem.write(
+                        pe,
+                        parcall::slot_status(pf_new, k),
+                        Cell::Uint(parcall::SLOT_PENDING),
+                        ObjectKind::ParcallGlobal,
+                    );
+                }
                 let wk = &mut *self.wk;
                 wk.pf = pf_new;
                 wk.local_top = pf_new + parcall::size(n);
@@ -493,6 +508,22 @@ impl<'a, 'p> Step<'a, 'p> {
                         .read(pe, pf + parcall::STATUS, ObjectKind::ParcallLocal)
                         .expect_uint("status");
                     self.consume_messages();
+                    // Commit the parcall to its first solution: discard any
+                    // choice points the inline first branch left behind,
+                    // mirroring the per-goal commit of the scheduled goals.
+                    // (A cut inside the branch can never reach below the
+                    // frame's entry B — barriers are captured at or above
+                    // it — so this only ever discards, never resurrects.)
+                    let entry_b = self
+                        .core
+                        .mem
+                        .read(pe, pf + parcall::ENTRY_B, ObjectKind::ParcallLocal)
+                        .expect_uint("entry b");
+                    if self.wk.b != entry_b {
+                        self.wk.b = entry_b;
+                        self.refresh_backtrack_boundaries()?;
+                        self.recede_control_top();
+                    }
                     if status != parcall::STATUS_OK {
                         return self.backtrack();
                     }
@@ -510,8 +541,22 @@ impl<'a, 'p> Step<'a, 'p> {
                     wk.pf = prev;
                     // fall through to the continuation
                 } else {
-                    // Not complete yet: pick up a goal (own stack first, then
-                    // steal) or wait.
+                    // Not complete yet.  If some goal already failed, start
+                    // backward execution on the frame — retract the goals
+                    // still sitting un-stolen on the board and send
+                    // `cancel_goal` after the in-flight ones — instead of
+                    // executing doomed siblings; the wait then drains the
+                    // remainder through the completion protocol.  Otherwise
+                    // pick up one of our own goals or wait (idle PEs do
+                    // the stealing).
+                    let status = self
+                        .core
+                        .mem
+                        .read(pe, pf + parcall::STATUS, ObjectKind::ParcallLocal)
+                        .expect_uint("status");
+                    if status == parcall::STATUS_FAILED {
+                        self.cancel_parcall_frame(pf)?;
+                    }
                     if !self.try_dispatch_work(Resume::ToWait { addr: p })? {
                         self.wk.status = WorkerStatus::WaitingAtPcall { addr: p, pf };
                     }

@@ -110,15 +110,26 @@ pub mod marker {
 
 /// Parcall Frame (Local stack).
 ///
+/// `N` counts the goals *scheduled through the Goal Stack*: with the
+/// last-goal-inline optimisation the parent executes the leftmost CGE branch
+/// itself, without a Goal Frame or a slot, so a CGE of `k` branches
+/// allocates a frame with `N = k - 1`.
+///
 /// ```text
-/// PF+0       number of parallel goals N
+/// PF+0       number of scheduled parallel goals N
 /// PF+1       goals still to be scheduled        (count, locked)
 /// PF+2       goals completed                    (count, locked)
-/// PF+3       status (0 = ok, 1 = failed)
+/// PF+3       status (0 = ok, 1 = failed, 2 = cancelled)
 /// PF+4       parent PE id
 /// PF+5       previous PF
-/// PF+6+2k    status of goal k (0 pending, 1 taken, 2 done, 3 failed)
-/// PF+7+2k    PE executing goal k
+/// PF+6       parent's B at pcall_alloc (the parcall's backtrack point:
+///            pcall_wait commits the inline branch to its first solution by
+///            restoring it, mirroring the commit of scheduled goals)
+/// PF+7+2k    status of goal k (0 pending, 1 taken, 2 done, 3 failed,
+///            4 cancelled) — initialised to pending by `pcall_alloc`, so
+///            cancellation's slot scan never reads a stale reused word
+/// PF+8+2k    PE executing goal k (written lazily by the thief, before it
+///            sets the status to taken; read only behind a taken status)
 /// ```
 pub mod parcall {
     pub const NGOALS: u32 = 0;
@@ -127,13 +138,23 @@ pub mod parcall {
     pub const STATUS: u32 = 3;
     pub const PARENT_PE: u32 = 4;
     pub const PREV_PF: u32 = 5;
-    pub const HEADER: u32 = 6;
+    pub const ENTRY_B: u32 = 6;
+    pub const HEADER: u32 = 7;
     pub const STATUS_OK: u32 = 0;
     pub const STATUS_FAILED: u32 = 1;
+    /// Backward execution has begun on this frame: un-stolen Goal Frames are
+    /// retracted and in-flight ones drain through the completion protocol.
+    /// Ordered above `STATUS_FAILED` so status updates can use a
+    /// `max`-merge: a failing in-flight goal never downgrades a cancelled
+    /// frame back to merely failed.
+    pub const STATUS_CANCELLED: u32 = 2;
     pub const SLOT_PENDING: u32 = 0;
     pub const SLOT_TAKEN: u32 = 1;
     pub const SLOT_DONE: u32 = 2;
     pub const SLOT_FAILED: u32 = 3;
+    /// The goal was retracted un-executed (or aborted mid-flight) by
+    /// parcall cancellation.
+    pub const SLOT_CANCELLED: u32 = 4;
     pub fn slot_status(pf: u32, k: u32) -> u32 {
         pf + HEADER + 2 * k
     }
@@ -171,7 +192,7 @@ pub mod goal_frame {
 /// Completion / failure message (Message Buffer).
 ///
 /// ```text
-/// +0  kind (1 = goal completed, 2 = goal failed)
+/// +0  kind (1 = goal completed, 2 = goal failed, 3 = goal cancelled)
 /// +1  Parcall Frame address
 /// +2  slot index
 /// ```
@@ -182,6 +203,9 @@ pub mod message {
     pub const SIZE: u32 = 3;
     pub const KIND_DONE: u32 = 1;
     pub const KIND_FAILED: u32 = 2;
+    /// The goal was aborted by a `cancel_goal` request from the parent's
+    /// backward execution; it still commits through the normal protocol.
+    pub const KIND_CANCELLED: u32 = 3;
 }
 
 #[cfg(test)]
@@ -207,10 +231,14 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn parcall_layout() {
-        assert_eq!(parcall::size(2), 10);
-        assert_eq!(parcall::slot_status(200, 0), 206);
-        assert_eq!(parcall::slot_pe(200, 1), 209);
+        assert_eq!(parcall::size(2), 11);
+        assert_eq!(parcall::slot_status(200, 0), 207);
+        assert_eq!(parcall::slot_pe(200, 1), 210);
+        // Status merge order: cancellation must dominate plain failure.
+        assert!(parcall::STATUS_CANCELLED > parcall::STATUS_FAILED);
+        assert!(parcall::STATUS_FAILED > parcall::STATUS_OK);
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod unify;
 pub mod worker;
 
 pub use cell::{Cell, NONE_ADDR};
-pub use engine::{Engine, EngineConfig, EngineCore, Outcome, RunResult, StealEvent};
+pub use engine::{CancelEvent, Engine, EngineConfig, EngineCore, Outcome, RunResult, StealEvent};
 pub use error::{EngineError, EngineResult};
 pub use layout::{Area, Locality, MemoryConfig, ObjectKind};
 pub use mem::{Memory, StackSetArena};

@@ -172,8 +172,19 @@ impl Scheduler for Interleaved {
                 for ev in engine.drain_steals() {
                     engine.deliver_steal_notices(ev.victim, 1);
                 }
+                for ev in engine.drain_cancels() {
+                    engine.deliver_cancel_notices(ev.executor, 1);
+                }
             }
             engine.end_round(progress)?;
+        }
+        // The finishing slot may itself have stolen or cancelled; fold the
+        // tail so notification accounting stays exact.
+        for ev in engine.drain_steals() {
+            engine.deliver_steal_notices(ev.victim, 1);
+        }
+        for ev in engine.drain_cancels() {
+            engine.deliver_cancel_notices(ev.executor, 1);
         }
         Ok(engine)
     }
@@ -187,6 +198,10 @@ enum Msg<'p> {
     Token(Box<Token<'p>>),
     /// A goal was taken from this PE's Goal Stack by `thief`.
     StealNote { thief: usize, frame: u32 },
+    /// An in-flight goal this PE is executing was cancelled by `canceller`
+    /// (backward execution).  The semantic request rides the shared boards;
+    /// this message is the cross-thread notification, like `StealNote`.
+    CancelNote { canceller: usize },
     /// The query finished (or errored); the thread should exit.
     Shutdown,
 }
@@ -220,9 +235,10 @@ impl Scheduler for Threaded {
         let (txs, rxs): (Vec<Sender<Msg<'p>>>, Vec<Receiver<Msg<'p>>>) = (0..n).map(|_| unbounded()).unzip();
         let (done_tx, done_rx) = unbounded::<EngineResult<Engine<'p>>>();
         // Final-reconciliation channel: on shutdown every thread reports the
-        // steal notes it had not yet folded into the engine, so none are
-        // lost when the query finishes in the same round as a steal.
-        let (notes_tx, notes_rx) = unbounded::<(usize, u64)>();
+        // steal and cancel notes it had not yet folded into the engine, so
+        // none are lost when the query finishes in the same round as the
+        // event.
+        let (notes_tx, notes_rx) = unbounded::<(usize, u64, u64)>();
 
         thread::scope(|scope| {
             for (w, rx) in rxs.into_iter().enumerate() {
@@ -271,13 +287,14 @@ fn pe_thread<'p>(
     rx: Receiver<Msg<'p>>,
     txs: Vec<Sender<Msg<'p>>>,
     done_tx: Sender<EngineResult<Engine<'p>>>,
-    notes_tx: Sender<(usize, u64)>,
-    notes_rx: Receiver<(usize, u64)>,
+    notes_tx: Sender<(usize, u64, u64)>,
+    notes_rx: Receiver<(usize, u64, u64)>,
 ) {
-    // Steal notes received while another PE holds the token; folded into the
-    // engine's books the next time the token arrives here, or reported over
-    // the reconciliation channel at shutdown.
+    // Steal/cancel notes received while another PE holds the token; folded
+    // into the engine's books the next time the token arrives here, or
+    // reported over the reconciliation channel at shutdown.
     let mut pending_notes: u64 = 0;
+    let mut pending_cancel_notes: u64 = 0;
     loop {
         let msg = match rx.recv() {
             Ok(m) => m,
@@ -285,19 +302,32 @@ fn pe_thread<'p>(
         };
         match msg {
             Msg::Shutdown => {
-                let _ = notes_tx.send((w, pending_notes));
+                let _ = notes_tx.send((w, pending_notes, pending_cancel_notes));
                 return;
             }
             Msg::StealNote { thief, frame } => {
                 debug_assert!(thief != w, "worker {w} cannot steal goal frame {frame:#x} from itself");
                 pending_notes += 1;
             }
+            Msg::CancelNote { canceller } => {
+                debug_assert!(canceller != w, "worker {w} cannot cancel its own in-flight goal");
+                pending_cancel_notes += 1;
+            }
             Msg::Token(token) => {
                 // A panic while holding the token would leave every other
                 // thread blocked on its channel: tear the ring down first,
                 // then let the panic propagate through the scope.
                 let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    handle_token(w, n, token, &mut pending_notes, &txs, &done_tx, &notes_rx)
+                    handle_token(
+                        w,
+                        n,
+                        token,
+                        &mut pending_notes,
+                        &mut pending_cancel_notes,
+                        &txs,
+                        &done_tx,
+                        &notes_rx,
+                    )
                 }));
                 match handled {
                     Ok(Flow::Continue) => {}
@@ -316,19 +346,25 @@ fn pe_thread<'p>(
 }
 
 /// Handle one visit of the scheduling token at PE `w`.
+#[allow(clippy::too_many_arguments)]
 fn handle_token<'p>(
     w: usize,
     n: usize,
     mut token: Box<Token<'p>>,
     pending_notes: &mut u64,
+    pending_cancel_notes: &mut u64,
     txs: &[Sender<Msg<'p>>],
     done_tx: &Sender<EngineResult<Engine<'p>>>,
-    notes_rx: &Receiver<(usize, u64)>,
+    notes_rx: &Receiver<(usize, u64, u64)>,
 ) -> Flow {
     let engine = &mut token.engine;
     if *pending_notes > 0 {
         engine.deliver_steal_notices(w, *pending_notes);
         *pending_notes = 0;
+    }
+    if *pending_cancel_notes > 0 {
+        engine.deliver_cancel_notices(w, *pending_cancel_notes);
+        *pending_cancel_notes = 0;
     }
     // PE 0 is the round closer: finish the previous round, check for
     // completion, open the next round.
@@ -341,14 +377,17 @@ fn handle_token<'p>(
             }
         }
         if engine.finished().is_some() {
-            // Reconcile steal notes still pending on the other threads (a
-            // goal stolen in the finishing round may not have reached its
-            // victim's books yet): every thread reports its count on
-            // shutdown, and no further token will circulate.
+            // Reconcile steal/cancel notes still pending on the other
+            // threads (an event from the finishing round may not have
+            // reached its target's books yet): every thread reports its
+            // counts on shutdown, and no further token will circulate.
             shutdown_ring(txs, w);
             for _ in 0..n - 1 {
                 match notes_rx.recv() {
-                    Ok((victim, count)) => engine.deliver_steal_notices(victim, count),
+                    Ok((peer, steals, cancels)) => {
+                        engine.deliver_steal_notices(peer, steals);
+                        engine.deliver_cancel_notices(peer, cancels);
+                    }
                     Err(_) => break, // a thread died; stats stay partial
                 }
             }
@@ -367,11 +406,15 @@ fn handle_token<'p>(
             return Flow::Stop;
         }
     }
-    // Stolen goals become real cross-thread messages: notify each victim's
-    // thread over its channel.
+    // Stolen goals and cancel requests become real cross-thread messages:
+    // notify each victim's / executor's thread over its channel.
     for ev in token.engine.drain_steals() {
         debug_assert_eq!(ev.thief, w);
         let _ = txs[ev.victim].send(Msg::StealNote { thief: ev.thief, frame: ev.frame });
+    }
+    for ev in token.engine.drain_cancels() {
+        debug_assert_eq!(ev.canceller, w);
+        let _ = txs[ev.executor].send(Msg::CancelNote { canceller: ev.canceller });
     }
     if txs[(w + 1) % n].send(Msg::Token(token)).is_err() {
         return Flow::Stop; // next thread already shut down
@@ -411,12 +454,14 @@ impl Scheduler for ThreadedRelaxed {
     fn drive<'p>(&self, engine: Engine<'p>) -> EngineResult<Engine<'p>> {
         let n = engine.num_workers();
         let (core, mut workers) = engine.into_parts();
-        // One steal-note channel per victim.  The driver keeps a receiver
-        // clone per channel to drain notes that arrive after the victim's
+        // One note channel per PE, carrying steal notices (as the victim)
+        // and cancel notices (as the executor).  The driver keeps a
+        // receiver clone per channel to drain notes that arrive after the
         // thread has already exited (each note is consumed exactly once:
-        // either by the victim thread or by the final drain).
-        let (txs, rxs): (Vec<Sender<()>>, Vec<Receiver<()>>) = (0..n).map(|_| unbounded()).unzip();
-        let driver_rxs: Vec<Receiver<()>> = rxs.iter().map(Receiver::clone).collect();
+        // either by the owning thread or by the final drain).
+        let (txs, rxs): (Vec<Sender<RelaxedNote>>, Vec<Receiver<RelaxedNote>>) =
+            (0..n).map(|_| unbounded()).unzip();
+        let driver_rxs: Vec<Receiver<RelaxedNote>> = rxs.iter().map(Receiver::clone).collect();
 
         thread::scope(|scope| {
             for ((w, wk), rx) in workers.iter_mut().enumerate().zip(rxs) {
@@ -443,13 +488,19 @@ impl Scheduler for ThreadedRelaxed {
         });
 
         let mut engine = Engine::from_parts(core, workers);
-        for (victim, rx) in driver_rxs.iter().enumerate() {
-            let mut count = 0u64;
-            while rx.try_recv().is_ok() {
-                count += 1;
+        for (pe, rx) in driver_rxs.iter().enumerate() {
+            let (mut steals, mut cancels) = (0u64, 0u64);
+            while let Ok(note) = rx.try_recv() {
+                match note {
+                    RelaxedNote::Steal => steals += 1,
+                    RelaxedNote::Cancel => cancels += 1,
+                }
             }
-            if count > 0 {
-                engine.deliver_steal_notices(victim, count);
+            if steals > 0 {
+                engine.deliver_steal_notices(pe, steals);
+            }
+            if cancels > 0 {
+                engine.deliver_cancel_notices(pe, cancels);
             }
         }
         if let Some(e) = engine.core().take_abort() {
@@ -466,13 +517,22 @@ impl Scheduler for ThreadedRelaxed {
     }
 }
 
+/// A cross-thread notification of the relaxed backend (the semantic content
+/// of both kinds rides the shared boards; these keep the per-worker books).
+enum RelaxedNote {
+    /// A goal was taken from this PE's Goal Stack.
+    Steal,
+    /// An in-flight goal this PE is executing was cancelled.
+    Cancel,
+}
+
 /// The body of one PE's free-running thread.
 fn relaxed_pe_loop(
     core: &crate::engine::EngineCore<'_>,
     w: usize,
     wk: &mut crate::worker::Worker,
-    rx: &Receiver<()>,
-    txs: &[Sender<()>],
+    rx: &Receiver<RelaxedNote>,
+    txs: &[Sender<RelaxedNote>],
 ) -> EngineResult<()> {
     let stall_timeout = core.config.stall_timeout;
     let mut step = crate::engine::Step { core, wk };
@@ -484,20 +544,27 @@ fn relaxed_pe_loop(
         if core.finished().is_some() || core.is_aborted() {
             return Ok(());
         }
-        // Fold in the steal notices thieves sent to this victim.
-        while rx.try_recv().is_ok() {
-            step.wk.steal_notices += 1;
+        // Fold in the steal/cancel notices other PEs sent this one.
+        while let Ok(note) = rx.try_recv() {
+            match note {
+                RelaxedNote::Steal => step.wk.steal_notices += 1,
+                RelaxedNote::Cancel => step.wk.cancel_notices += 1,
+            }
         }
         let progress = match step.wk.status {
             WorkerStatus::Stopped => return Ok(()),
             WorkerStatus::Running => step.exec_batch(RELAXED_BATCH)? > 0,
             _ => step.run_slot()?,
         };
-        // Steals this worker just performed become real cross-thread
-        // messages to each victim's thread.
+        // Steals and cancel requests this worker just performed become real
+        // cross-thread messages to each victim's / executor's thread.
         for ev in core.drain_steals_of(w) {
             debug_assert_eq!(ev.thief, w);
-            let _ = txs[ev.victim].send(());
+            let _ = txs[ev.victim].send(RelaxedNote::Steal);
+        }
+        for ev in core.drain_cancels_of(w) {
+            debug_assert_eq!(ev.canceller, w);
+            let _ = txs[ev.executor].send(RelaxedNote::Cancel);
         }
         if progress {
             idle_spins = 0;

@@ -62,6 +62,12 @@ impl From<EngineError> for SessionError {
 pub struct QueryOptions {
     /// Compile CGEs to parallel code (RAP-WAM) or plain sequential code (WAM).
     pub parallel: bool,
+    /// Execute the leftmost branch of each CGE inline on the parent PE
+    /// (the paper's last-goal-inline optimisation, made sound by parcall
+    /// cancellation).  On by default; turning it off forces every branch
+    /// through the Goal-Frame path, which the differential suites use to
+    /// pin both compilation schemes against each other.
+    pub inline_first_goal: bool,
     /// Number of workers (PEs).
     pub workers: usize,
     /// Collect the full memory-reference trace.
@@ -90,6 +96,7 @@ impl Default for QueryOptions {
     fn default() -> Self {
         QueryOptions {
             parallel: true,
+            inline_first_goal: true,
             workers: 1,
             trace: false,
             memory: MemoryConfig::default(),
@@ -142,6 +149,19 @@ impl QueryOptions {
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
         self
+    }
+
+    /// Disable the last-goal-inline optimisation (every CGE branch takes
+    /// the Goal-Frame path).
+    pub fn without_inline_first_goal(mut self) -> Self {
+        self.inline_first_goal = false;
+        self
+    }
+
+    /// The [`CompileOptions`] these options describe.
+    pub fn compile_options(&self) -> CompileOptions {
+        let base = if self.parallel { CompileOptions::parallel() } else { CompileOptions::sequential() };
+        CompileOptions { inline_first_goal: self.inline_first_goal, ..base }
     }
 
     /// Override the per-worker memory sizes.
@@ -203,9 +223,10 @@ impl QueryOptions {
 pub struct Session {
     syms: SymbolTable,
     program: Program,
-    /// Compiled (program, query) units keyed by query text and compilation
-    /// mode; invalidated when the program changes.
-    compiled: HashMap<(String, bool), Arc<CompiledProgram>>,
+    /// Compiled (program, query) units keyed by query text and the full
+    /// compilation mode (parallel × indexing × inline-first-goal);
+    /// invalidated when the program changes.
+    compiled: HashMap<(String, bool, bool, bool), Arc<CompiledProgram>>,
     /// Cache telemetry: (hits, misses) of [`Session::prepare`].
     prepare_hits: u64,
     prepare_misses: u64,
@@ -245,8 +266,17 @@ impl Session {
 
     /// Compile the program with a query without running it.
     pub fn compile(&mut self, query_src: &str, parallel: bool) -> Result<CompiledProgram, SessionError> {
-        let query = parse_query(query_src, &mut self.syms)?;
         let opts = if parallel { CompileOptions::parallel() } else { CompileOptions::sequential() };
+        self.compile_with(query_src, opts)
+    }
+
+    /// Compile the program with a query under explicit [`CompileOptions`].
+    pub fn compile_with(
+        &mut self,
+        query_src: &str,
+        opts: CompileOptions,
+    ) -> Result<CompiledProgram, SessionError> {
+        let query = parse_query(query_src, &mut self.syms)?;
         Ok(compile_program_and_query(&self.program, &query, &mut self.syms, opts)?)
     }
 
@@ -254,12 +284,23 @@ impl Session {
     /// handle that [`Session::run_prepared`] can execute any number of times
     /// without recompiling.
     pub fn prepare(&mut self, query_src: &str, parallel: bool) -> Result<Arc<CompiledProgram>, SessionError> {
-        let key = (query_src.to_string(), parallel);
+        let opts = if parallel { CompileOptions::parallel() } else { CompileOptions::sequential() };
+        self.prepare_with(query_src, opts)
+    }
+
+    /// Like [`Session::prepare`], with explicit [`CompileOptions`] (the
+    /// cache key covers the parallel and inline-first-goal modes).
+    pub fn prepare_with(
+        &mut self,
+        query_src: &str,
+        opts: CompileOptions,
+    ) -> Result<Arc<CompiledProgram>, SessionError> {
+        let key = (query_src.to_string(), opts.parallel, opts.indexing, opts.inline_first_goal);
         if let Some(c) = self.compiled.get(&key) {
             self.prepare_hits += 1;
             return Ok(Arc::clone(c));
         }
-        let compiled = Arc::new(self.compile(query_src, parallel)?);
+        let compiled = Arc::new(self.compile_with(query_src, opts)?);
         self.prepare_misses += 1;
         // Long-lived sessions (the serving layer) see client-supplied query
         // text: bound the cache so it cannot grow without limit.  Overflow
@@ -284,7 +325,7 @@ impl Session {
     /// Compile and run a query.  Compilations are cached, so re-running the
     /// same query skips the front end and the compiler entirely.
     pub fn run(&mut self, query_src: &str, options: &QueryOptions) -> Result<RunResult, SessionError> {
-        let compiled = self.prepare(query_src, options.parallel)?;
+        let compiled = self.prepare_with(query_src, options.compile_options())?;
         self.run_prepared(&compiled, options)
     }
 

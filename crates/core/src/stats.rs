@@ -18,6 +18,12 @@ pub struct WorkerStats {
     pub goals_stolen: u64,
     /// Steal notifications this worker received as a victim.
     pub steal_notices: u64,
+    /// `cancel_goal` notifications this worker received as the executor of
+    /// an in-flight stolen goal.
+    pub cancel_notices: u64,
+    /// Stolen goals this worker aborted mid-flight on a `cancel_goal`
+    /// request.
+    pub goals_aborted: u64,
 }
 
 /// Statistics of one engine run.
@@ -45,6 +51,21 @@ pub struct RunStats {
     pub goals_actually_parallel: u64,
     /// Number of logical inferences (user predicate calls) performed.
     pub inferences: u64,
+    /// Failures that reached a parallel-goal boundary or crossed a Parcall
+    /// Frame, counted once per originating failure (deferred-cancellation
+    /// resumptions and cancel-induced aborts do not re-count).  Zero is a
+    /// logical (schedule-free) property of the program: a reference run
+    /// reporting zero guarantees no schedule can trigger backward
+    /// execution, which is what the differential suite keys its
+    /// counter-equality contract on.
+    pub parcall_failures: u64,
+    /// Parcall Frames cancelled by backward execution (a parent failing
+    /// past an incomplete frame, or a failed goal dooming its siblings).
+    pub parcalls_cancelled: u64,
+    /// Goal Frames retracted un-executed during parcall cancellation.
+    pub goals_cancelled: u64,
+    /// `cancel_goal` requests posted for in-flight stolen goals.
+    pub cancel_requests: u64,
     /// Detailed per-area / per-object reference counters.
     pub area_stats: AreaStats,
     /// Per-worker summaries.

@@ -25,8 +25,8 @@ pub enum Mode {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Resume {
     /// Return to the `pcall_wait` instruction at this code address (the
-    /// worker is the parent of some Parcall Frame, or picked up extra work
-    /// while waiting).
+    /// worker is the parent of some Parcall Frame, executing one of its
+    /// own goals through the local path while it waits).
     ToWait { addr: u32 },
     /// Go back to the idle loop (the worker stole the goal while idle).
     Idle,
@@ -85,6 +85,14 @@ pub enum WorkerStatus {
     /// Blocked in `pcall_wait` at `addr` until Parcall Frame `pf` completes
     /// (may still pick up other goals meanwhile).
     WaitingAtPcall { addr: u32, pf: u32 },
+    /// Backward execution: this worker failed past the (incomplete) Parcall
+    /// Frame `pf` it owns.  Its un-stolen Goal Frames have been retracted
+    /// and `cancel_goal` requests sent for the in-flight ones; the worker
+    /// now waits for the frame's completion counter to drain before it
+    /// resumes the deferred backtrack.  Unlike `WaitingAtPcall` the worker
+    /// does not pick up new work: its registers hold the suspended failure
+    /// state.
+    Cancelling { pf: u32 },
     /// No work; looking for goals to steal.
     Idle,
     /// The query has finished (success or failure); the worker is stopped.
@@ -150,6 +158,12 @@ pub struct Worker {
     /// Steal notifications received as a victim (delivered by the scheduler:
     /// over channels on the Threaded backend, in place on the reference one).
     pub steal_notices: u64,
+    /// `cancel_goal` notifications received as the executor of an in-flight
+    /// stolen goal (delivered by the scheduler alongside steal notices).
+    pub cancel_notices: u64,
+    /// Stolen goals this worker aborted mid-flight on a `cancel_goal`
+    /// request (each still committed through the completion protocol).
+    pub goals_aborted: u64,
     /// High-water marks for storage-usage statistics.
     pub max_h: u32,
     pub max_local_top: u32,
@@ -203,6 +217,8 @@ impl Worker {
             idle_cycles: 0,
             goals_stolen: 0,
             steal_notices: 0,
+            cancel_notices: 0,
+            goals_aborted: 0,
             max_h: heap_base,
             max_local_top: local_base,
             max_control_top: control_base,

@@ -1,0 +1,183 @@
+//! Property tests for parcall cancellation (backward execution): random CGE
+//! programs whose *inline* (leftmost) branch fails before `pcall_wait`, so
+//! the parent must retract its un-stolen sibling Goal Frames and drain the
+//! in-flight stolen ones through the completion protocol before its failure
+//! may proceed.
+//!
+//! Pinned properties, for every generated program:
+//!
+//! * identical answers across Interleaved / Threaded-Strict /
+//!   Threaded-Relaxed × both `inline_first_goal` settings (six
+//!   configurations), all equal to the sequential WAM reference;
+//! * no leaked Goal Frames after the run (every scheduled goal was picked
+//!   up, retracted, or aborted — nothing is abandoned on a board);
+//! * [`Engine::check_consistency`] clean after the run.
+//!
+//! The worker count honours `PWAM_THREADS` (default 4); CI runs this suite
+//! at 2 and 8 threads in relaxed mode.
+
+use proptest::prelude::*;
+use rapwam::session::{QueryOptions, Session};
+use rapwam::{scheduler_for, DeterminismMode, Engine, EngineConfig, MemoryConfig, Outcome, SchedulerKind};
+
+/// Worker count for the parallel runs (`PWAM_THREADS`, default 4).
+fn threads() -> usize {
+    std::env::var("PWAM_THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(4)
+}
+
+/// Shape of one generated program: the inline branch performs `fail_work`
+/// reductions and then fails, while `sibling_work[i]` sized siblings run in
+/// parallel (stealable, possibly in flight when the inline branch dies).
+/// With `nested` the failing CGE sits inside the inline branch of an outer
+/// CGE, so cancellation must walk a Parcall-Frame *chain*.
+#[derive(Debug, Clone)]
+struct Shape {
+    fail_work: u32,
+    sibling_work: Vec<u32>,
+    nested: bool,
+}
+
+fn shape() -> impl Strategy<Value = Shape> {
+    (0u32..12, prop::collection::vec(0u32..24, 1..4), any::<bool>())
+        .prop_map(|(fail_work, sibling_work, nested)| Shape { fail_work, sibling_work, nested })
+}
+
+/// Build the program source for a shape.  `attempt/1` first tries the
+/// doomed CGE (whose leftmost branch always fails after `fail_work`
+/// reductions), then falls back to a clause that reports which siblings
+/// were configured — so the query succeeds *through* the cancellation.
+fn program(s: &Shape) -> String {
+    let mut src = String::from(
+        "work(0).\n\
+         work(N) :- N > 0, N1 is N - 1, work(N1).\n\
+         bad(K) :- work(K), fail.\n\
+         good(K, K) :- work(K).\n",
+    );
+    let branches: Vec<String> =
+        s.sibling_work.iter().enumerate().map(|(i, w)| format!("good({w}, X{i})")).collect();
+    let doomed_body = format!("(bad({}) & {})", s.fail_work, branches.join(" & "));
+    if s.nested {
+        // The doomed CGE is itself the inline branch of an outer CGE: its
+        // failure must cancel the inner frame, then fail `inner/0`, which
+        // is the outer frame's inline branch — cancelling that one too.
+        src.push_str(&format!("inner :- {doomed_body}.\n"));
+        src.push_str(&format!(
+            "doomed(R) :- (inner & good({}, Y)), R = never(Y).\n",
+            s.sibling_work.first().copied().unwrap_or(1)
+        ));
+    } else {
+        src.push_str(&format!("doomed(R) :- {doomed_body}, R = never.\n"));
+    }
+    src.push_str("attempt(R) :- doomed(R).\n");
+    src.push_str(&format!("attempt(recovered({})).\n", s.sibling_work.len()));
+    src
+}
+
+/// Run on a given backend through the engine API (so the finished engine is
+/// still around for the leak and consistency checks), returning the
+/// rendered answer.
+fn run_config(
+    src: &str,
+    scheduler: SchedulerKind,
+    determinism: DeterminismMode,
+    inline_first_goal: bool,
+    workers: usize,
+) -> String {
+    let mut session = Session::new(src).expect("program parses");
+    let mut copts = pwam_compiler::CompileOptions::parallel();
+    copts.inline_first_goal = inline_first_goal;
+    let compiled = session.compile_with("attempt(R)", copts).expect("query compiles");
+    let config = EngineConfig {
+        num_workers: workers,
+        memory: MemoryConfig::small(),
+        scheduler,
+        determinism,
+        ..EngineConfig::default()
+    };
+    let engine = Engine::new(&compiled, config);
+    let engine = scheduler_for(scheduler, determinism).drive(engine).expect("drive");
+    assert_eq!(
+        engine.pending_goal_frames(),
+        0,
+        "leaked goal frames ({scheduler:?} {determinism:?} inline={inline_first_goal})"
+    );
+    engine.check_consistency().unwrap_or_else(|e| {
+        panic!("inconsistent stack sets ({scheduler:?} {determinism:?} inline={inline_first_goal}): {e}")
+    });
+    let result = engine.into_result(session.symbols()).expect("result extraction");
+    match &result.outcome {
+        Outcome::Success(_) => session.render(result.outcome.binding("R").expect("R bound")),
+        Outcome::Failure => "failure".to_string(),
+    }
+}
+
+/// The sequential WAM reference answer.
+fn run_sequential(src: &str) -> String {
+    let mut session = Session::new(src).expect("program parses");
+    let r = session.run("attempt(R)", &QueryOptions::sequential()).expect("sequential run");
+    match &r.outcome {
+        Outcome::Success(_) => session.render(r.outcome.binding("R").expect("R bound")),
+        Outcome::Failure => "failure".to_string(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn inline_branch_failure_cancels_soundly(s in shape()) {
+        let src = program(&s);
+        let seq = run_sequential(&src);
+        let workers = threads();
+        for inline in [true, false] {
+            for (scheduler, determinism) in [
+                (SchedulerKind::Interleaved, DeterminismMode::Strict),
+                (SchedulerKind::Threaded, DeterminismMode::Strict),
+                (SchedulerKind::Threaded, DeterminismMode::Relaxed),
+            ] {
+                let got = run_config(&src, scheduler, determinism, inline, workers);
+                prop_assert!(
+                    got == seq,
+                    "{scheduler:?} {determinism:?} inline={inline}: got {got}, sequential reference {seq}"
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic companion: a doomed CGE with heavy siblings on one PE must
+/// actually *retract* them (backward execution), not execute them — the
+/// retraction is visible in the stats and in the instruction count.
+#[test]
+fn cancellation_retracts_unstolen_siblings_on_one_pe() {
+    let s = Shape { fail_work: 0, sibling_work: vec![200, 200, 200], nested: false };
+    let src = program(&s);
+    let mut session = Session::new(&src).expect("program parses");
+    let r = session.run("attempt(R)", &QueryOptions::parallel(1)).expect("run");
+    assert!(r.outcome.is_success());
+    assert!(r.stats.parcalls_cancelled >= 1, "no parcall was cancelled: {:?}", r.stats);
+    assert_eq!(r.stats.goals_cancelled, 3, "all three un-stolen siblings must be retracted");
+    // The doomed siblings (600 reductions) were skipped: the whole run must
+    // be far smaller than the work it cancelled.
+    assert!(
+        r.stats.instructions < 600,
+        "cancelled work was still executed ({} instructions)",
+        r.stats.instructions
+    );
+}
+
+/// Deterministic companion for the chain case: a nested doomed CGE cancels
+/// the inner frame first, then the outer one, on every backend.
+#[test]
+fn nested_cancellation_walks_the_frame_chain() {
+    let s = Shape { fail_work: 2, sibling_work: vec![30, 30], nested: true };
+    let src = program(&s);
+    let seq = run_sequential(&src);
+    for workers in [1, 2, threads()] {
+        let mut session = Session::new(&src).expect("program parses");
+        let r = session.run("attempt(R)", &QueryOptions::parallel(workers)).expect("run");
+        assert!(r.outcome.is_success());
+        assert_eq!(session.render(r.outcome.binding("R").unwrap()), seq, "{workers} workers");
+        assert!(r.stats.parcalls_cancelled >= 2, "chain cancellation missing: {:?}", r.stats);
+    }
+}

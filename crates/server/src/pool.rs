@@ -9,17 +9,25 @@
 //! are reset in place, which costs proportional to what the previous query
 //! touched, not to their capacity.
 //!
+//! Slots are recycled in **LIFO order, preferring warm slots**: a release
+//! pushes onto a stack and an acquire takes the most recently used slot
+//! that still holds arenas (falling back to the newest cold one).  The old
+//! FIFO recycle order rotated through every slot, so a large pool took
+//! `size` requests before *any* slot ran warm twice; with LIFO a
+//! low-concurrency trickle keeps hitting the same hot arenas — the pool
+//! warms up at the speed of its actual concurrency, not its capacity.
+//!
 //! The pool doubles as the admission controller: at most `size` queries
 //! execute concurrently, at most `max_queue` more may wait (bounded
 //! queueing), and a waiter gives up when its deadline or the queue timeout
 //! passes.  Everything beyond that is rejected immediately — under
 //! overload the server sheds load instead of collapsing.
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use rapwam::Memory;
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::time::Duration;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Pool sizing and queueing policy.
 #[derive(Debug, Clone)]
@@ -83,24 +91,38 @@ pub struct PoolStats {
     pub max_queue_depth: u64,
 }
 
-/// The pool itself.  Slots travel over a channel: acquiring is a (bounded,
-/// timed) receive, releasing is a send.
+/// The pool itself.  Free slots live on a stack under a mutex: releasing
+/// pushes, acquiring pops the most recently used slot that still holds
+/// recycled arenas (so warm slots are reused first), and waiters park on a
+/// condvar.
 pub struct EnginePool {
     config: PoolConfig,
-    slots_tx: Sender<Option<Memory>>,
-    slots_rx: Receiver<Option<Memory>>,
+    slots: Mutex<Vec<Option<Memory>>>,
+    available: Condvar,
     counters: PoolCounters,
+}
+
+/// Pop the preferred free slot: the newest warm one, else the newest cold
+/// one.  (`rposition` keeps it LIFO within each class.)
+fn take_slot(slots: &mut Vec<Option<Memory>>) -> Option<Option<Memory>> {
+    if slots.is_empty() {
+        return None;
+    }
+    let pos = slots.iter().rposition(Option::is_some).unwrap_or(slots.len() - 1);
+    Some(slots.remove(pos))
 }
 
 impl EnginePool {
     /// Create a pool with `config.size` empty (cold) slots.
     pub fn new(config: PoolConfig) -> Self {
         assert!(config.size >= 1, "pool needs at least one slot");
-        let (slots_tx, slots_rx) = unbounded();
-        for _ in 0..config.size {
-            slots_tx.send(None).expect("fresh channel");
+        let slots = (0..config.size).map(|_| None).collect();
+        EnginePool {
+            config,
+            slots: Mutex::new(slots),
+            available: Condvar::new(),
+            counters: PoolCounters::default(),
         }
-        EnginePool { config, slots_tx, slots_rx, counters: PoolCounters::default() }
     }
 
     /// The pool's configuration.
@@ -118,7 +140,7 @@ impl EnginePool {
         // barge released slots ahead of the queue and starve the waiters
         // into spurious timeouts.
         if self.counters.queue_depth.load(Ordering::Acquire) == 0 {
-            if let Ok(memory) = self.slots_rx.try_recv() {
+            if let Some(memory) = take_slot(&mut self.slots.lock().unwrap()) {
                 self.counters.requests.fetch_add(1, Ordering::Relaxed);
                 return Ok(SlotGuard { pool: self, memory, returned: false });
             }
@@ -138,17 +160,25 @@ impl EnginePool {
             Some(budget) => budget.min(self.config.queue_timeout),
             None => self.config.queue_timeout,
         };
-        let got = self.slots_rx.recv_timeout(timeout);
-        self.counters.queue_depth.fetch_sub(1, Ordering::AcqRel);
-        match got {
-            Ok(memory) => {
+        let deadline = Instant::now() + timeout;
+        let mut slots = self.slots.lock().unwrap();
+        loop {
+            if let Some(memory) = take_slot(&mut slots) {
+                drop(slots);
+                self.counters.queue_depth.fetch_sub(1, Ordering::AcqRel);
                 self.counters.requests.fetch_add(1, Ordering::Relaxed);
-                Ok(SlotGuard { pool: self, memory, returned: false })
+                return Ok(SlotGuard { pool: self, memory, returned: false });
             }
-            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+            let now = Instant::now();
+            if now >= deadline {
+                drop(slots);
+                self.counters.queue_depth.fetch_sub(1, Ordering::AcqRel);
                 self.counters.queue_timeouts.fetch_add(1, Ordering::Relaxed);
-                Err(AcquireError::Timeout)
+                return Err(AcquireError::Timeout);
             }
+            let (guard, _timed_out) =
+                self.available.wait_timeout(slots, deadline - now).expect("pool lock poisoned");
+            slots = guard;
         }
     }
 
@@ -208,8 +238,10 @@ impl Drop for SlotGuard<'_> {
     fn drop(&mut self) {
         if !self.returned {
             self.returned = true;
-            // The pool outlives every guard, so the channel is open.
-            let _ = self.pool.slots_tx.send(self.memory.take());
+            // Push on top of the stack: the next acquire reuses this
+            // (warmest) slot first.
+            self.pool.slots.lock().unwrap().push(self.memory.take());
+            self.pool.available.notify_one();
         }
     }
 }
@@ -234,6 +266,44 @@ mod tests {
         let mut slot = pool.acquire(None).unwrap();
         let mem = slot.take_memory().expect("second acquisition sees the recycled memory");
         assert_eq!(mem.num_arenas(), 2);
+    }
+
+    #[test]
+    fn acquire_prefers_the_warm_slot_over_untouched_cold_ones() {
+        // A pool larger than the offered concurrency must warm up at the
+        // speed of that concurrency: with LIFO recycle order the single
+        // released (warm) slot is reused immediately, even though three
+        // never-touched cold slots are also free.  The old FIFO channel
+        // rotated through all four slots before any ran warm twice.
+        let pool = small_pool(4, 4);
+        {
+            let mut slot = pool.acquire(None).unwrap();
+            assert!(slot.take_memory().is_none(), "first acquisition is cold");
+            slot.put_memory(Memory::new(MemoryConfig::small(), 2, false));
+        }
+        for round in 0..3 {
+            let mut slot = pool.acquire(None).unwrap();
+            let mem = slot
+                .take_memory()
+                .unwrap_or_else(|| panic!("round {round}: warm slot not preferred over cold ones"));
+            slot.put_memory(mem);
+        }
+    }
+
+    #[test]
+    fn acquire_prefers_warm_even_below_a_cold_top_of_stack() {
+        // Release order warm-then-cold leaves a cold slot on top of the
+        // stack; the acquire must still dig out the newest *warm* slot
+        // (an errored run returns its slot empty — that must not shadow a
+        // good one).
+        let pool = small_pool(2, 4);
+        let mut a = pool.acquire(None).unwrap();
+        let b = pool.acquire(None).unwrap();
+        a.put_memory(Memory::new(MemoryConfig::small(), 2, false));
+        drop(a); // warm
+        drop(b); // cold, now on top
+        let mut slot = pool.acquire(None).unwrap();
+        assert!(slot.take_memory().is_some(), "warm slot must be preferred over the cold top");
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! Regenerate the golden trace fingerprints pinned by
+//! `crates/benchmarks/tests/scheduler_differential.rs`.
+//!
+//! Run after any *intentional* change to the reference trace (compilation
+//! scheme, frame layouts, protocol reads/writes) and paste the printed rows
+//! into the golden table — but only once the answer/count equalities of the
+//! rest of the differential suite have validated the change's semantics:
+//!
+//! ```text
+//! cargo run --release --example trace_goldens
+//! ```
+
+use pwam_benchmarks::{benchmark, run_benchmark_with_session, BenchmarkId, Scale};
+use rapwam::session::QueryOptions;
+use rapwam::{MemRef, ObjectKind};
+
+/// FNV-1a over every field of every reference, in trace order (identical to
+/// the differential suite's fingerprint).
+fn fingerprint(trace: &[MemRef]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for r in trace {
+        mix(r.pe);
+        for b in r.addr.to_le_bytes() {
+            mix(b);
+        }
+        mix(r.write as u8);
+        mix(r.area.index() as u8);
+        mix(ObjectKind::ALL.iter().position(|o| *o == r.object).unwrap() as u8);
+        mix(matches!(r.locality, rapwam::Locality::Global) as u8);
+        mix(r.locked as u8);
+    }
+    h
+}
+
+fn main() {
+    let goldens = [
+        (BenchmarkId::Deriv, 1),
+        (BenchmarkId::Deriv, 2),
+        (BenchmarkId::Deriv, 4),
+        (BenchmarkId::Qsort, 1),
+        (BenchmarkId::Qsort, 2),
+        (BenchmarkId::Qsort, 4),
+    ];
+    println!("// (benchmark, workers, trace length, fingerprint)");
+    for (id, workers) in goldens {
+        let b = benchmark(id, Scale::Small);
+        let o = QueryOptions { trace: true, ..QueryOptions::parallel(workers) };
+        let (_, r) = run_benchmark_with_session(&b, &o).expect("benchmark runs");
+        let t = r.trace.expect("trace requested");
+        println!("(BenchmarkId::{id:?}, {workers}, {len}, {fp:#018x}),", len = t.len(), fp = fingerprint(&t));
+    }
+}

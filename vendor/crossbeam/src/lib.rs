@@ -121,6 +121,11 @@ pub mod channel {
         /// `recv_timeout`: drains buffered messages first, reports a
         /// disconnect once the last sender is gone, and otherwise gives up
         /// when the deadline passes.
+        ///
+        /// Kept even while the workspace has no caller (the engine pool's
+        /// bounded acquire used it before moving to a warm-preferring LIFO
+        /// stack): the shim mirrors the real crate's surface so swapping in
+        /// crates.io crossbeam stays a manifest-only change.
         pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
             let deadline = std::time::Instant::now() + timeout;
             let mut state = self.0.queue.lock().unwrap();
