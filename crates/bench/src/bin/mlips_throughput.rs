@@ -1,0 +1,62 @@
+//! Measure executor throughput (MIPS: millions of abstract-machine
+//! instructions per second) through both dispatch paths — the flattened
+//! pre-decoded fast path and the classic pre-flattening baseline — and
+//! write the comparison to `BENCH_mlips.json`.
+//!
+//! This is the host-speed companion to the `mlips` binary (which
+//! regenerates the paper's Section 3.3 back-of-envelope model from
+//! reference counts): that one predicts what 1988 hardware would do, this
+//! one measures what the executor actually does on the current host.  The
+//! `mlips-gate` CI job runs the same comparison as a test with
+//! per-benchmark floors.
+//!
+//! Usage: `mlips_throughput [--runs N] [--out PATH] [--paper-scale]`
+
+use pwam_benchmarks::mlips::{compare_dispatch_paths, MlipsComparison};
+use pwam_benchmarks::{BenchmarkId, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut runs = 5usize;
+    let mut out = String::from("BENCH_mlips.json");
+    let mut scale = Scale::Paper;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--runs" => {
+                i += 1;
+                runs = args.get(i).and_then(|s| s.parse().ok()).expect("--runs N");
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned().expect("--out PATH");
+            }
+            "--small-scale" => scale = Scale::Small,
+            "--paper-scale" => scale = Scale::Paper,
+            other => panic!("unknown argument: {other}"),
+        }
+        i += 1;
+    }
+
+    let mut reports: Vec<MlipsComparison> = Vec::new();
+    println!(
+        "{:<8} {:>12} {:>14} {:>11} {:>9} {:>7}",
+        "bench", "instrs", "classic MIPS", "flat MIPS", "speedup", "floor"
+    );
+    for id in BenchmarkId::EXTENDED {
+        let c = compare_dispatch_paths(id, scale, runs);
+        println!(
+            "{:<8} {:>12} {:>14.2} {:>11.2} {:>8.2}x {:>7.2}",
+            id.name(),
+            c.instructions,
+            c.classic_mips,
+            c.flat_mips,
+            c.speedup,
+            c.floor
+        );
+        reports.push(c);
+    }
+    let json = serde_json::to_string_pretty(&reports).expect("serialise");
+    std::fs::write(&out, json + "\n").expect("write report");
+    println!("wrote {out}");
+}

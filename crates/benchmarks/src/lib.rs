@@ -30,6 +30,7 @@ pub mod boyer;
 pub mod deriv;
 pub mod fib;
 pub mod matrix;
+pub mod mlips;
 pub mod overhead;
 pub mod qsort;
 pub mod queens;

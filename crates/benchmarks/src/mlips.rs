@@ -1,0 +1,175 @@
+//! MLIPS throughput harness: raw abstract-machine instructions per second.
+//!
+//! The overhead gate ([`crate::overhead`]) pins *instruction counts* — how
+//! much work the RAP-WAM does relative to the sequential WAM.  This module
+//! measures the orthogonal quantity: how fast the host executor retires
+//! those instructions.  [`measure_mlips`] runs one registry benchmark on a
+//! single strict interleaved PE, times the engine run (compilation and
+//! engine construction excluded), and reports millions of instructions per
+//! second over the best of `runs` attempts.
+//!
+//! Because wall-clock throughput is machine-dependent, the regression gate
+//! (`mlips_gate` integration test) does not pin absolute numbers.  Instead
+//! it measures the flattened executor *and* the classic pre-flattening
+//! dispatch path ([`rapwam::session::QueryOptions::classic_dispatch`]) on
+//! the same machine in the same process, and gates the ratio: the dense
+//! pre-decoded fast path must stay at least [`mlips_speedup_floor`] times
+//! faster than the baseline per benchmark.  The measured values are
+//! recorded in `BENCH_mlips.json` at the repository root so the raw-speed
+//! trajectory is visible across PRs.
+
+use crate::{benchmark, BenchmarkId, Scale};
+use rapwam::session::{QueryOptions, Session};
+use rapwam::{Engine, Outcome};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Throughput of one benchmark on one strict interleaved PE.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MlipsReport {
+    pub id: BenchmarkId,
+    pub scale: Scale,
+    /// Whether the run used the classic (pre-flattening) dispatch path.
+    pub classic_dispatch: bool,
+    /// Abstract-machine instructions executed by one run.
+    pub instructions: u64,
+    /// Best wall-clock engine time over all attempts, in seconds.
+    pub best_secs: f64,
+    /// Number of timed attempts.
+    pub runs: usize,
+}
+
+impl MlipsReport {
+    /// Millions of abstract-machine instructions retired per second.
+    pub fn mips(&self) -> f64 {
+        self.instructions as f64 / self.best_secs / 1e6
+    }
+}
+
+/// Time `id` at `scale` on one strict interleaved PE and report the best-of
+/// -`runs` throughput.  Only the engine run is timed: compilation is cached
+/// by the session and engine construction (arena allocation) happens before
+/// the clock starts.
+pub fn measure_mlips(id: BenchmarkId, scale: Scale, runs: usize, classic_dispatch: bool) -> MlipsReport {
+    let bench = benchmark(id, scale);
+    let mut session =
+        Session::new(&bench.program).unwrap_or_else(|e| panic!("{}: parse failed: {e}", id.name()));
+    let options = QueryOptions { classic_dispatch, ..QueryOptions::parallel(1) };
+    let compiled = session
+        .prepare_with(&bench.query, options.compile_options())
+        .unwrap_or_else(|e| panic!("{}: compile failed: {e}", id.name()));
+    let mut config = options.engine_config();
+    // On a single PE the quantum changes nothing semantically (there is no
+    // other worker to interleave with) but it decides how often the driver
+    // re-enters `exec_batch`.  The default of 1 would measure the
+    // per-entry overhead of the driver, not the dispatch loop; a large
+    // quantum lets both paths run their batch loop properly (and is what
+    // any throughput-minded embedding would configure).  Applied to the
+    // classic path too, so the comparison stays entry-for-entry fair.
+    config.quantum = 4096;
+
+    let runs = runs.max(1);
+    let mut best_secs = f64::INFINITY;
+    let mut instructions = 0;
+    for _ in 0..runs {
+        let engine = Engine::new(&compiled, config.clone());
+        let start = Instant::now();
+        let result =
+            engine.run(session.symbols()).unwrap_or_else(|e| panic!("{}: run failed: {e}", id.name()));
+        let secs = start.elapsed().as_secs_f64();
+        assert!(matches!(result.outcome, Outcome::Success(_)), "{}: benchmark query failed", id.name());
+        instructions = result.stats.instructions;
+        best_secs = best_secs.min(secs.max(1e-9));
+    }
+    MlipsReport { id, scale, classic_dispatch, instructions, best_secs, runs }
+}
+
+/// One benchmark's entry in `BENCH_mlips.json`: the flattened fast path
+/// against the classic dispatch baseline, measured back to back on the same
+/// machine.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MlipsComparison {
+    pub id: BenchmarkId,
+    pub scale: Scale,
+    pub instructions: u64,
+    /// MIPS through the classic (pre-flattening) dispatch path.
+    pub classic_mips: f64,
+    /// MIPS through the flattened (dense pre-decoded) fast path.
+    pub flat_mips: f64,
+    /// `flat_mips / classic_mips` — the gated quantity.
+    pub speedup: f64,
+    /// The per-benchmark floor the gate enforces on `speedup`.
+    pub floor: f64,
+}
+
+/// Measure one benchmark through both dispatch paths and report the gated
+/// comparison.  The paths are interleaved run by run (classic, flat,
+/// classic, flat, …) so a load spike on the host penalises both equally.
+pub fn compare_dispatch_paths(id: BenchmarkId, scale: Scale, runs: usize) -> MlipsComparison {
+    let classic = measure_mlips(id, scale, runs, true);
+    let flat = measure_mlips(id, scale, runs, false);
+    // One more alternating round, keeping each path's best: guards the
+    // ratio against one-sided interference from the host.
+    let classic2 = measure_mlips(id, scale, runs, true);
+    let flat2 = measure_mlips(id, scale, runs, false);
+    let classic_mips = classic.mips().max(classic2.mips());
+    let flat_mips = flat.mips().max(flat2.mips());
+    MlipsComparison {
+        id,
+        scale,
+        instructions: flat.instructions,
+        classic_mips,
+        flat_mips,
+        speedup: flat_mips / classic_mips,
+        floor: mlips_speedup_floor(id),
+    }
+}
+
+/// The gated flattened-over-classic throughput floor per registry program.
+///
+/// tak and deriv carry the ISSUE's headline requirement (≥ 1.3× over the
+/// pre-flattening baseline); the rest of the registry is gated at "no
+/// slower than the classic path" with a little measurement headroom, so a
+/// regression that re-introduces per-access locking or bounds-checked
+/// fetch anywhere trips the gate.
+pub fn mlips_speedup_floor(id: BenchmarkId) -> f64 {
+    match id {
+        BenchmarkId::Tak | BenchmarkId::Deriv => 1.3,
+        _ => 0.95,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mips_divides() {
+        let r = MlipsReport {
+            id: BenchmarkId::Tak,
+            scale: Scale::Small,
+            classic_dispatch: false,
+            instructions: 2_000_000,
+            best_secs: 0.5,
+            runs: 3,
+        };
+        assert!((r.mips() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn headline_floors_are_the_issues() {
+        assert!(mlips_speedup_floor(BenchmarkId::Tak) >= 1.3);
+        assert!(mlips_speedup_floor(BenchmarkId::Deriv) >= 1.3);
+        for id in BenchmarkId::EXTENDED {
+            assert!(mlips_speedup_floor(id) > 0.0);
+        }
+    }
+
+    #[test]
+    fn harness_measures_a_small_run() {
+        let r = measure_mlips(BenchmarkId::Deriv, Scale::Small, 1, false);
+        assert!(r.instructions > 0);
+        assert!(r.best_secs > 0.0);
+        assert!(r.mips() > 0.0);
+    }
+}

@@ -269,3 +269,67 @@ fn threaded_backend_reports_engine_errors() {
     let err = s.run("loop", &o).unwrap_err();
     assert!(err.to_string().contains("step limit"), "unexpected error: {err}");
 }
+
+/// The flattened pre-decoded dispatch path (PR 6) must be observationally
+/// pure: running the same benchmark through the classic enum-fetch loop
+/// (`classic_dispatch`, always-locked arenas) and through the flat path
+/// (dense stream, serial-arena fast path, cached instruction pointer) must
+/// produce identical answers, aggregate counters, per-area counts, and
+/// byte-identical merged traces — on both serialized backends.
+#[test]
+fn flat_dispatch_is_trace_identical_to_classic() {
+    for id in [BenchmarkId::Deriv, BenchmarkId::Tak, BenchmarkId::Qsort] {
+        for scheduler in [SchedulerKind::Interleaved, SchedulerKind::Threaded] {
+            let b = benchmark(id, Scale::Small);
+            let flat_opts = opts(scheduler);
+            let classic_opts = QueryOptions { classic_dispatch: true, ..flat_opts.clone() };
+            let (sf, rf) = run_benchmark_with_session(&b, &flat_opts).unwrap();
+            let (sc, rc) = run_benchmark_with_session(&b, &classic_opts).unwrap();
+
+            validate(&b, &sf, &rf).unwrap();
+            validate(&b, &sc, &rc).unwrap();
+            let render = |s: &rapwam::Session, r: &rapwam::RunResult| -> Vec<(String, String)> {
+                match &r.outcome {
+                    rapwam::Outcome::Success(bind) => {
+                        bind.iter().map(|(n, t)| (n.clone(), s.render(t))).collect()
+                    }
+                    rapwam::Outcome::Failure => panic!("{} failed", id.name()),
+                }
+            };
+            assert_eq!(render(&sf, &rf), render(&sc, &rc), "{} {scheduler:?}: answers differ", id.name());
+
+            assert_eq!(rf.stats.instructions, rc.stats.instructions, "{}: instructions", id.name());
+            assert_eq!(rf.stats.inferences, rc.stats.inferences, "{}: inferences", id.name());
+            assert_eq!(rf.stats.data_refs, rc.stats.data_refs, "{}: total refs", id.name());
+            assert_eq!(rf.stats.elapsed_cycles, rc.stats.elapsed_cycles, "{}: cycles", id.name());
+            for area in Area::ALL {
+                assert_eq!(
+                    rf.stats.area_stats.area(area),
+                    rc.stats.area_stats.area(area),
+                    "{} {scheduler:?}: {} counts differ",
+                    id.name(),
+                    area.name()
+                );
+            }
+            for object in ObjectKind::ALL {
+                assert_eq!(
+                    rf.stats.area_stats.object(object),
+                    rc.stats.area_stats.object(object),
+                    "{} {scheduler:?}: {} counts differ",
+                    id.name(),
+                    object.name()
+                );
+            }
+
+            let tf = rf.trace.expect("flat trace");
+            let tc = rc.trace.expect("classic trace");
+            assert_eq!(tf.len(), tc.len(), "{} {scheduler:?}: trace lengths differ", id.name());
+            assert_eq!(
+                fingerprint(&tf),
+                fingerprint(&tc),
+                "{} {scheduler:?}: flat dispatch drifted from the classic trace",
+                id.name()
+            );
+        }
+    }
+}

@@ -36,6 +36,7 @@
 
 pub mod classify;
 pub mod codegen;
+pub mod dense;
 pub mod disasm;
 pub mod error;
 pub mod index;
@@ -45,6 +46,7 @@ pub mod loader;
 pub mod program;
 
 pub use codegen::{ChunkBuilder, CompileOptions, QueryInfo};
+pub use dense::{decode_reg, encode_reg, DenseCode, DenseInstr, DenseOp};
 pub use error::{CompileError, CompileResult};
 pub use instr::{Builtin, CallTarget, CodeAddr, ConstKey, Instr, PredRef, Reg};
 pub use loader::compile_program_and_query;

@@ -2,6 +2,7 @@
 //! resolve call targets and the shared failure stub.
 
 use crate::codegen::{compile_clause, ChunkBuilder, CompileOptions};
+use crate::dense::DenseCode;
 use crate::error::{CompileError, CompileResult};
 use crate::index::compile_predicate;
 use crate::instr::{Builtin, CallTarget, CodeAddr, Instr, FAIL_SENTINEL};
@@ -100,8 +101,10 @@ pub fn compile_program_and_query(
         });
     }
 
+    let dense = DenseCode::build(&code);
     Ok(CompiledProgram {
         code,
+        dense,
         predicates,
         predicate_order,
         query_start,

@@ -1,6 +1,7 @@
 //! The loaded program representation handed to the abstract machine.
 
 use crate::codegen::CompileOptions;
+use crate::dense::DenseCode;
 use crate::instr::{CodeAddr, Instr};
 use pwam_front::atoms::Atom;
 use std::collections::HashMap;
@@ -15,6 +16,9 @@ use std::collections::HashMap;
 pub struct CompiledProgram {
     /// The code area.
     pub code: Vec<Instr>,
+    /// The same code pre-decoded into the executor's dense fixed-width
+    /// stream (index `i` is instruction address `i`, as in `code`).
+    pub dense: DenseCode,
     /// Entry points of user predicates.
     pub predicates: HashMap<(Atom, u8), CodeAddr>,
     /// Predicate entry points in definition order (for stable reporting).

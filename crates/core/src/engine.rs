@@ -22,7 +22,7 @@
 //! Scheduling is *on demand*: `pcall_goal` pushes Goal Frames onto the
 //! issuing worker's Goal Stack; the waiting parent picks its own goals back
 //! up through the cheap local path, and *idle* workers steal the rest (a
-//! waiting worker never steals — see [`Step::try_dispatch_work`]).  Completion is recorded in the Parcall Frame's
+//! waiting worker never steals — see `Step::try_dispatch_work`).  Completion is recorded in the Parcall Frame's
 //! counters and (for stolen goals) signalled through the parent's Message
 //! Buffer, generating exactly the locked/global traffic the paper's Table 1
 //! describes.  Cross-PE completion uses a *commit protocol* whose last
@@ -76,6 +76,11 @@ pub struct EngineConfig {
     /// the serving layer sets it to enforce per-request deadlines, reusing
     /// the same periodic progress checks as the stall watchdog.
     pub time_budget: Option<Duration>,
+    /// Execute through the classic (pre-flattening) dispatch path: indexed
+    /// `Vec<Instr>` fetch and always-locked arena access.  The MLIPS gate
+    /// measures the flattened fast path against this baseline on the same
+    /// machine; the differential suite pins both paths byte-identical.
+    pub classic_dispatch: bool,
 }
 
 impl Default for EngineConfig {
@@ -91,6 +96,7 @@ impl Default for EngineConfig {
             determinism: DeterminismMode::Strict,
             stall_timeout: Duration::from_secs(5),
             time_budget: None,
+            classic_dispatch: false,
         }
     }
 }
@@ -219,7 +225,7 @@ pub struct EngineCore<'p> {
     /// Query status: `RUNNING` / `SUCCEEDED` / `FAILED`.
     finished: AtomicU8,
     /// Instructions executed (all PEs), flushed per slot/batch.
-    steps: AtomicU64,
+    pub(crate) steps: AtomicU64,
     /// Scheduling rounds (strict backends) or critical-path estimate
     /// (relaxed backend).
     cycles: AtomicU64,
@@ -410,9 +416,19 @@ impl<'p> Engine<'p> {
     }
 
     /// Assemble an engine around an already-allocated (pristine) memory.
-    fn build(program: &'p CompiledProgram, config: EngineConfig, mem: Memory) -> Self {
+    fn build(program: &'p CompiledProgram, config: EngineConfig, mut mem: Memory) -> Self {
         assert!(config.num_workers >= 1, "at least one worker is required");
         assert!(config.num_workers <= 255, "at most 255 workers are supported");
+        // Only the relaxed threaded backend lets more than one thread touch
+        // the memory at a time; every other backend serialises access by
+        // construction (interleaved: single thread; strict threaded: the
+        // token channel's send/recv orders the handoff), so those runs may
+        // skip the per-arena locks.  The classic dispatch path keeps them:
+        // it prices the pre-flattening cost model the MLIPS gate compares
+        // against.
+        let relaxed =
+            config.scheduler == SchedulerKind::Threaded && config.determinism == DeterminismMode::Relaxed;
+        mem.set_serial(!config.classic_dispatch && !relaxed);
         let mut workers: Vec<Worker> =
             (0..config.num_workers).map(|i| Worker::new(i as u8, &mem.map, config.num_x_regs)).collect();
         workers[0].p = program.query_start;
@@ -817,6 +833,7 @@ impl<'p> Engine<'p> {
                 steal_notices: w.steal_notices,
                 cancel_notices: w.cancel_notices,
                 goals_aborted: w.goals_aborted,
+                goals_while_cancelling: w.goals_while_cancelling,
             })
             .collect();
         let area_stats = self.core.mem.merged_stats();
@@ -895,7 +912,14 @@ impl<'a, 'p> Step<'a, 'p> {
                     self.finish_cancellation(pf)?;
                     Ok(true)
                 } else {
-                    Ok(false)
+                    // The drain can take arbitrarily long (an in-flight
+                    // stolen goal only honours its `cancel_goal` at a batch
+                    // boundary, and may legitimately run to completion), so
+                    // a cancelling parent is not condemned to spin: it
+                    // steals goals from *other* PEs meanwhile, exactly like
+                    // an idle worker.  See `try_dispatch_work` for why only
+                    // stolen (never own-board) goals are safe here.
+                    self.try_dispatch_work(Resume::ToCancel { pf })
                 }
             }
         }
@@ -904,6 +928,10 @@ impl<'a, 'p> Step<'a, 'p> {
     /// Execute up to `max` instructions while the worker stays `Running` and
     /// the query unfinished, flushing the executed count into the shared
     /// step counter once at the end.  Returns the number executed.
+    ///
+    /// Dispatches through the flattened pre-decoded fast path by default;
+    /// `EngineConfig::classic_dispatch` selects the original enum-fetch
+    /// loop (the MLIPS gate's same-machine baseline).
     pub(crate) fn exec_batch(&mut self, max: u32) -> EngineResult<u32> {
         if self.core.steps() > self.core.config.max_steps {
             return Err(EngineError::StepLimitExceeded { limit: self.core.config.max_steps });
@@ -911,9 +939,22 @@ impl<'a, 'p> Step<'a, 'p> {
         // `cancel_goal` requests are honoured at batch boundaries — the
         // machine state is between instructions, so aborting an in-flight
         // stolen goal here is exactly a goal failure at a clean point.
-        if self.core.cancel_flags[self.w()].load(Ordering::Acquire) {
+        // Requests that were not safely abortable when they arrived stay in
+        // `pending_cancels` and are re-checked here until the goal either
+        // becomes the innermost activity (and aborts) or commits.
+        if self.core.cancel_flags[self.w()].load(Ordering::Acquire) || !self.wk.pending_cancels.is_empty() {
             self.process_cancel_requests()?;
         }
+        if self.core.config.classic_dispatch {
+            self.exec_batch_classic(max)
+        } else {
+            self.exec_batch_flat(max)
+        }
+    }
+
+    /// The classic (pre-flattening) execution loop: enum fetch through
+    /// `exec_instr`, `wk.p` written back after every instruction.
+    fn exec_batch_classic(&mut self, max: u32) -> EngineResult<u32> {
         let mut n = 0u32;
         let result = loop {
             if n >= max || self.wk.status != WorkerStatus::Running || self.core.finished().is_some() {
@@ -956,11 +997,25 @@ impl<'a, 'p> Step<'a, 'p> {
     /// ones over the recovered space, so a later read could observe a
     /// half-written successor frame.  Pushes hold the same lock, which makes
     /// the image read atomic with respect to the Goal Stack's reuse.
+    /// A *cancelling* parent ([`Resume::ToCancel`]) is the mirror image: it
+    /// only **steals**, never pops its own board.  Its own remaining frames
+    /// belong to outer Parcall Frames of its own clause, whose goals share
+    /// permanent variables with the suspended failure state — executing one
+    /// locally would interleave that goal's trail section with the
+    /// deferred backtrack's untrail range, and the section cannot be
+    /// discarded soundly on success (the bindings reach the parent's own
+    /// cells).  A goal stolen from another PE binds only cells of an
+    /// *independent* parcall's dataflow, so its successful Stack Section
+    /// can be frozen in place (see `Worker::frozen_h`) and its trail
+    /// section dropped without the deferred backtrack ever observing it.
     pub(crate) fn try_dispatch_work(&mut self, resume: Resume) -> EngineResult<bool> {
         let w = self.w();
         let core = self.core;
-        // Own goal stack first (fast local path: no Marker, no message).
-        let own = {
+        // Own goal stack first (fast local path: no Marker, no message) —
+        // except under `ToCancel`, per above.
+        let own = if matches!(resume, Resume::ToCancel { .. }) {
+            None
+        } else {
             let mut b = core.boards[w].lock().unwrap();
             if let Some(frame) = b.goal_frames.pop() {
                 b.goal_top = frame;
@@ -1055,6 +1110,9 @@ impl<'a, 'p> Step<'a, 'p> {
         self.core.parallel_goals.fetch_add(1, Ordering::Relaxed);
         if stolen {
             self.core.goals_actually_parallel.fetch_add(1, Ordering::Relaxed);
+        }
+        if matches!(resume, Resume::ToCancel { .. }) {
+            self.wk.goals_while_cancelling += 1;
         }
         self.core.inferences.fetch_add(1, Ordering::Relaxed);
 
@@ -1191,10 +1249,26 @@ impl<'a, 'p> Step<'a, 'p> {
         // Deterministic goals (every registry benchmark's CGE bodies) leave
         // no choice points behind, so for them this is a no-op.
         wk.b = ctx.entry_b;
+        wk.cp_top = NONE_ADDR;
         match ctx.resume {
             Resume::ToWait { addr } => {
                 wk.p = addr;
                 wk.status = WorkerStatus::Running;
+            }
+            Resume::ToCancel { pf } => {
+                // The goal succeeded while this worker's own state is a
+                // suspended failure.  Its results belong to another Parcall
+                // Frame but live in *our* Stack Set, above the suspended
+                // state — freeze them: the deferred backtrack's restore
+                // targets are clamped to these floors so the section
+                // survives, and the goal's trail entries are dropped so the
+                // backtrack never unbinds the frozen result (every entry in
+                // the section points into the independent parcall's
+                // dataflow, never into our own failing branch).
+                wk.frozen_h = wk.frozen_h.max(wk.h);
+                wk.frozen_local = wk.frozen_local.max(wk.local_top);
+                wk.tr = ctx.entry_tr;
+                wk.status = WorkerStatus::Cancelling { pf };
             }
             Resume::Idle => {
                 wk.status = WorkerStatus::Idle;
@@ -1245,10 +1319,15 @@ impl<'a, 'p> Step<'a, 'p> {
         self.untrail_to(ctx.entry_tr)?;
         {
             let wk = &mut *self.wk;
-            wk.h = ctx.entry_h;
-            wk.local_top = ctx.entry_local_top;
+            // Entry tops are clamped to the frozen floors: a goal started
+            // before a `ToCancel` success froze a section would otherwise
+            // reclaim it here.  (Goals started *after* the freeze have
+            // entry tops at or above the floors, making this a no-op.)
+            wk.h = ctx.entry_h.max(wk.frozen_h);
+            wk.local_top = ctx.entry_local_top.max(wk.frozen_local);
             wk.e = ctx.entry_e;
             wk.b = ctx.entry_b;
+            wk.cp_top = NONE_ADDR;
             wk.cp = ctx.prev_cp;
             wk.hb = ctx.prev_hb;
             wk.stack_boundary = ctx.prev_stack_boundary;
@@ -1279,6 +1358,12 @@ impl<'a, 'p> Step<'a, 'p> {
             Resume::ToWait { addr } => {
                 wk.p = addr;
                 wk.status = WorkerStatus::Running;
+            }
+            Resume::ToCancel { pf: parent_pf } => {
+                // Failure path: the goal's whole Stack Section was just
+                // unwound, so there is nothing to freeze — re-park and keep
+                // waiting for the cancelled frame to drain.
+                wk.status = WorkerStatus::Cancelling { pf: parent_pf };
             }
             Resume::Idle => {
                 wk.status = WorkerStatus::Idle;
@@ -1364,6 +1449,7 @@ impl<'a, 'p> Step<'a, 'p> {
         wk.hb = wk.h;
         wk.stack_boundary = wk.local_top;
         wk.control_top = b + choice::size(nargs);
+        wk.cp_top = wk.control_top;
         wk.update_high_water();
         Ok(())
     }
@@ -1393,6 +1479,14 @@ impl<'a, 'p> Step<'a, 'p> {
         wk.num_args = nargs as u8;
         wk.e = e;
         wk.cp = cp;
+        // Restore targets are clamped to the frozen floors (sections of
+        // `ToCancel` goals that succeeded during a cancellation): the saved
+        // tops predate the frozen section, and restoring below it would
+        // reclaim results an independent Parcall Frame still references.
+        // Outside cancellation the floors sit at the area bases and the
+        // clamp is the identity.
+        let h = h.max(wk.frozen_h);
+        let lt = lt.max(wk.frozen_local);
         wk.h = h;
         wk.hb = h;
         wk.pf = pf;
@@ -1400,6 +1494,7 @@ impl<'a, 'p> Step<'a, 'p> {
         wk.stack_boundary = lt;
         wk.b0 = b0;
         wk.p = bp;
+        wk.cp_top = b + choice::size(nargs);
         Ok(())
     }
 
@@ -1411,6 +1506,7 @@ impl<'a, 'p> Step<'a, 'p> {
         let nargs = mem.read(pe, b + choice::NARGS, ObjectKind::ChoicePoint).expect_uint("cp nargs");
         let prev = mem.read(pe, choice::prev_b(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp prev");
         self.wk.b = prev;
+        self.wk.cp_top = NONE_ADDR; // recomputed lazily by recede_control_top
         self.refresh_backtrack_boundaries()?;
         self.recede_control_top();
         Ok(())
@@ -1436,8 +1532,8 @@ impl<'a, 'p> Step<'a, 'p> {
         };
         if b == NONE_ADDR {
             let wk = &mut *self.wk;
-            wk.hb = goal_hb.min(wk.h);
-            wk.stack_boundary = goal_sb.min(wk.local_top);
+            wk.hb = goal_hb.max(wk.frozen_h).min(wk.h);
+            wk.stack_boundary = goal_sb.max(wk.frozen_local).min(wk.local_top);
             return Ok(());
         }
         let mem = &self.core.mem;
@@ -1446,8 +1542,11 @@ impl<'a, 'p> Step<'a, 'p> {
         let lt =
             mem.read(pe, choice::saved_local_top(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp lt");
         let wk = &mut *self.wk;
-        wk.hb = h;
-        wk.stack_boundary = lt;
+        // Clamped like the restore targets: bindings into a frozen section
+        // must be trailed (the section is never reclaimed wholesale), and a
+        // backtrack can only restore tops down to the floor.
+        wk.hb = h.max(wk.frozen_h);
+        wk.stack_boundary = lt.max(wk.frozen_local);
         Ok(())
     }
 
@@ -1463,14 +1562,30 @@ impl<'a, 'p> Step<'a, 'p> {
             .unwrap_or(wk.control_base);
         let b_top = if wk.b == NONE_ADDR {
             wk.control_base
+        } else if wk.cp_top != NONE_ADDR {
+            // Fast path: the frame extent is cached in the worker's
+            // register file (set by `push_choice_point` / the previous
+            // recomputation), so the hot success path touches no memory.
+            debug_assert_eq!(
+                wk.cp_top,
+                wk.b + choice::size(
+                    self.core.mem.read_untraced(wk.b + choice::NARGS).expect_uint("cp nargs")
+                )
+            );
+            wk.cp_top
         } else {
             // The frame's true extent comes from its saved argument count —
             // an untraced host-side read: `num_args` may have changed since
             // the frame was pushed, and a shorter bound would let the next
-            // push clobber the live frame's saved fields.
+            // push clobber the live frame's saved fields.  Cache it: `b`
+            // only changes through sites that refresh or invalidate
+            // `cp_top`, so the value stays good until the next cut/pop.
             let nargs = self.core.mem.read_untraced(wk.b + choice::NARGS).expect_uint("cp nargs");
-            wk.b + choice::size(nargs)
+            let top = wk.b + choice::size(nargs);
+            self.wk.cp_top = top;
+            top
         };
+        let wk = &*self.wk;
         let new_top = marker_top.max(b_top).max(wk.control_base);
         if new_top < wk.control_top {
             self.wk.control_top = new_top;
@@ -1703,31 +1818,45 @@ impl<'a, 'p> Step<'a, 'p> {
         self.backtrack_with(false)
     }
 
-    /// Drain this worker's pending `cancel_goal` requests.  A request is
-    /// honoured — the goal aborted through [`Step::abort_goal`] — only when
-    /// the named goal is the worker's *innermost* activity, it has no
-    /// Parcall Frame of its own still open (`PF` back at the goal-entry
-    /// value), **and** the live frame at that address confirms the abort:
-    /// its status is cancelled and its slot still records this worker as
-    /// the taken executor.  The confirmation closes an ABA hole — a stale
-    /// request naming a frame address that was freed and re-allocated must
-    /// not kill the healthy goal of the new incarnation (whose status is
-    /// OK).  Requests that fail any check are dropped and the goal runs to
-    /// completion, which is always sound.
+    /// Drain this worker's `cancel_goal` requests.  A request is honoured —
+    /// the goal aborted through [`Step::abort_goal`] — only when the named
+    /// goal is the worker's *innermost* activity, it has no Parcall Frame
+    /// of its own still open (`PF` back at the goal-entry value), **and**
+    /// the live frame at that address confirms the abort: its status is
+    /// cancelled and its slot still records this worker as the taken
+    /// executor.  The confirmation closes an ABA hole — a stale request
+    /// naming a frame address that was freed and re-allocated must not
+    /// kill the healthy goal of the new incarnation (whose status is OK).
+    ///
+    /// A request whose target is still live on this worker's context stack
+    /// but **not** safely abortable right now — the goal called deeper
+    /// work, opened its own Parcall Frame, or the worker is mid-transition
+    /// — is *kept pending* and re-checked at every subsequent batch
+    /// boundary until the goal either becomes abortable or commits.
+    /// (Dropping it, as this function used to, let the doomed goal run to
+    /// completion whenever the request arrived at an unlucky boundary.)
+    /// Only requests with no matching live context (the goal already
+    /// committed, or the address was recycled) are discarded.
     fn process_cancel_requests(&mut self) -> EngineResult<()> {
         let w = self.w();
         let pe = self.wk.id;
-        let requests = {
+        let mut requests = std::mem::take(&mut self.wk.pending_cancels);
+        if self.core.cancel_flags[w].load(Ordering::Acquire) {
             let mut board = self.core.boards[w].lock().unwrap();
             self.core.cancel_flags[w].store(false, Ordering::Release);
-            std::mem::take(&mut board.cancel_requests)
-        };
+            requests.extend(std::mem::take(&mut board.cancel_requests));
+        }
         for (pf, slot) in requests {
+            let live = self.wk.goal_contexts.iter().any(|c| c.stolen && c.pf == pf && c.slot == slot);
+            if !live {
+                continue; // committed (or recycled address): nothing to abort
+            }
             let ctx_matches = match self.wk.goal_contexts.last() {
                 Some(c) => c.stolen && c.pf == pf && c.slot == slot && self.wk.pf == c.entry_pf,
                 None => false,
             };
             if !ctx_matches || self.wk.status != WorkerStatus::Running {
+                self.wk.pending_cancels.push((pf, slot));
                 continue;
             }
             // The matching context pins the frame live (its parent cannot

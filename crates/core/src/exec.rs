@@ -1,9 +1,25 @@
-//! Instruction dispatch: execution of one abstract-machine instruction.
+//! Instruction dispatch: execution of abstract-machine instructions.
 //!
 //! All instructions run as methods on `Step` — one worker's exclusive
 //! state paired with the shared [`crate::engine::EngineCore`] — so the same
 //! dispatch serves the deterministic backends (one `Step` at a time) and the
 //! relaxed backend (one `Step` per OS thread, concurrently).
+//!
+//! Two dispatch paths execute the same program:
+//!
+//! * **Flattened** (`Step::exec_batch_flat`, the default): fetches from
+//!   the pre-decoded fixed-width [`DenseInstr`] stream with an unchecked
+//!   indexed load, keeps the program counter in a local across the batch
+//!   (written back to `wk.p` only at batch exit and at control transfers
+//!   that leave the loop), and dispatches through `Step::exec_flat`,
+//!   whose handlers return a `Flow` telling the loop how the counter
+//!   moves.
+//! * **Classic** (`Step::exec_instr`, behind
+//!   `EngineConfig::classic_dispatch`): the original indexed `Vec<Instr>`
+//!   fetch with `wk.p` written back after every instruction.  Retained as
+//!   the pre-flattening cost model the MLIPS gate measures against, and as
+//!   a differential oracle — both paths must produce byte-identical
+//!   answers, counters and traces.
 
 use crate::builtins::BuiltinOutcome;
 use crate::cell::{Cell, NONE_ADDR};
@@ -13,8 +29,22 @@ use crate::frames::{choice, env, goal_frame, parcall};
 use crate::known;
 use crate::layout::{Area, ObjectKind};
 use crate::worker::{Mode, Resume, WorkerStatus};
-use pwam_compiler::{CallTarget, ConstKey, Instr, Reg};
+use pwam_compiler::{decode_reg, CallTarget, CodeAddr, ConstKey, DenseInstr, DenseOp, Instr, Reg};
+use pwam_front::atoms::Atom;
 use std::sync::atomic::Ordering;
+
+/// How the flattened dispatch loop advances the program counter after one
+/// instruction.
+pub(crate) enum Flow {
+    /// Fall through to the next instruction.
+    Next,
+    /// Transfer control to an explicit address.
+    Jump(CodeAddr),
+    /// The handler moved `wk.p` itself (backtracking, goal start/finish) or
+    /// left the running state (park, halt, query failure): reload the local
+    /// counter from the worker and re-check the loop conditions.
+    Reload,
+}
 
 impl<'a, 'p> Step<'a, 'p> {
     /// Execute the instruction at this worker's current program counter.
@@ -380,6 +410,7 @@ impl<'a, 'p> Step<'a, 'p> {
                 let target = self.read_reg(Reg::Y(*y))?.expect_uint("cut barrier");
                 if self.wk.b != target {
                     self.wk.b = target;
+                    self.wk.cp_top = NONE_ADDR;
                     self.refresh_backtrack_boundaries()?;
                     self.recede_control_top();
                 }
@@ -521,6 +552,7 @@ impl<'a, 'p> Step<'a, 'p> {
                         .expect_uint("entry b");
                     if self.wk.b != entry_b {
                         self.wk.b = entry_b;
+                        self.wk.cp_top = NONE_ADDR;
                         self.refresh_backtrack_boundaries()?;
                         self.recede_control_top();
                     }
@@ -617,6 +649,657 @@ impl<'a, 'p> Step<'a, 'p> {
                     other => Ok(other == atomic),
                 }
             }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Flattened dispatch (the default fast path)
+    // -----------------------------------------------------------------
+
+    /// Execute up to `max` instructions through the dense pre-decoded
+    /// stream, keeping the program counter in a local for the whole batch.
+    ///
+    /// The counter is written back to `wk.p` at the safe points where
+    /// something else may observe or redirect it: batch exit (steal/cancel
+    /// boundaries, `end_round`), parking at `pcall_wait`, and before
+    /// returning an error.  Handlers that transfer control through the
+    /// worker (backtracking, goal start/finish) update `wk.p` themselves
+    /// and return [`Flow::Reload`].
+    pub(crate) fn exec_batch_flat(&mut self, max: u32) -> EngineResult<u32> {
+        let core = self.core;
+        let dense = core.program.dense.code.as_slice();
+        let mut n = 0u32;
+        let mut p = self.wk.p;
+        let result = loop {
+            if n >= max || self.wk.status != WorkerStatus::Running || core.finished().is_some() {
+                break Ok(());
+            }
+            self.wk.instructions += 1;
+            n += 1;
+            debug_assert!((p as usize) < dense.len(), "program counter out of the code area");
+            // SAFETY: every code address in a loaded program (entry points,
+            // saved continuations, choice-point alternatives) lies inside
+            // the code area, and the dense stream has exactly one slot per
+            // instruction; the debug assertion above checks the invariant
+            // in debug builds.
+            let di = unsafe { *dense.get_unchecked(p as usize) };
+            match self.exec_flat(di, p) {
+                Ok(Flow::Next) => p += 1,
+                Ok(Flow::Jump(addr)) => p = addr,
+                Ok(Flow::Reload) => p = self.wk.p,
+                Err(e) => {
+                    self.wk.p = p;
+                    break Err(e);
+                }
+            }
+        };
+        self.wk.p = p;
+        if n > 0 {
+            core.steps.fetch_add(n as u64, Ordering::Relaxed);
+        }
+        result.map(|_| n)
+    }
+
+    /// Execute one pre-decoded instruction.  `p` is its address; semantics
+    /// are arm-for-arm those of [`Step::exec_instr`] (the differential suite
+    /// pins both paths to byte-identical traces).
+    #[inline(always)]
+    fn exec_flat(&mut self, di: DenseInstr, p: CodeAddr) -> EngineResult<Flow> {
+        let pe = self.wk.id;
+        match di.op {
+            // ---------------- put ----------------
+            DenseOp::PutVariable => {
+                match decode_reg(di.b) {
+                    Reg::X(n) => {
+                        let var = self.new_heap_var()?;
+                        self.wk.x[n as usize] = var;
+                        self.wk.x[di.c as usize] = var;
+                    }
+                    Reg::Y(n) => {
+                        let addr = self.y_addr(n)?;
+                        self.core.mem.write(pe, addr, Cell::Ref(addr), ObjectKind::EnvPermVar);
+                        self.wk.x[di.c as usize] = Cell::Ref(addr);
+                    }
+                }
+                Ok(Flow::Next)
+            }
+            DenseOp::PutValue => {
+                let c = self.read_reg(decode_reg(di.b))?;
+                self.wk.x[di.c as usize] = c;
+                Ok(Flow::Next)
+            }
+            DenseOp::PutUnsafeValue => {
+                let c = self.read_reg(Reg::Y(di.b))?;
+                let g = self.globalize(c)?;
+                self.wk.x[di.c as usize] = g;
+                Ok(Flow::Next)
+            }
+            DenseOp::PutConstant => {
+                self.wk.x[di.b as usize] = Cell::Con(Atom(di.c));
+                Ok(Flow::Next)
+            }
+            DenseOp::PutInteger => {
+                self.wk.x[di.b as usize] = Cell::Int(self.dense_int(di.c));
+                Ok(Flow::Next)
+            }
+            DenseOp::PutNil => {
+                self.wk.x[di.b as usize] = Cell::Con(known::NIL);
+                Ok(Flow::Next)
+            }
+            DenseOp::PutStructure => {
+                let addr = self.heap_push(Cell::Fun(Atom(di.c), di.a))?;
+                self.wk.x[di.b as usize] = Cell::Str(addr);
+                self.wk.mode = Mode::Write;
+                Ok(Flow::Next)
+            }
+            DenseOp::PutList => {
+                let h = self.wk.h;
+                self.wk.x[di.b as usize] = Cell::Lis(h);
+                self.wk.mode = Mode::Write;
+                Ok(Flow::Next)
+            }
+
+            // ---------------- get ----------------
+            DenseOp::GetVariable => {
+                let c = self.wk.x[di.c as usize];
+                self.write_reg(decode_reg(di.b), c)?;
+                Ok(Flow::Next)
+            }
+            DenseOp::GetValue => {
+                let c = self.read_reg(decode_reg(di.b))?;
+                let arg = self.wk.x[di.c as usize];
+                if !self.unify(c, arg)? {
+                    self.backtrack()?;
+                    return Ok(Flow::Reload);
+                }
+                Ok(Flow::Next)
+            }
+            DenseOp::GetConstant => {
+                let arg = self.wk.x[di.b as usize];
+                if !self.get_atomic(arg, Cell::Con(Atom(di.c)))? {
+                    self.backtrack()?;
+                    return Ok(Flow::Reload);
+                }
+                Ok(Flow::Next)
+            }
+            DenseOp::GetInteger => {
+                let arg = self.wk.x[di.b as usize];
+                if !self.get_atomic(arg, Cell::Int(self.dense_int(di.c)))? {
+                    self.backtrack()?;
+                    return Ok(Flow::Reload);
+                }
+                Ok(Flow::Next)
+            }
+            DenseOp::GetNil => {
+                let arg = self.wk.x[di.b as usize];
+                if !self.get_atomic(arg, Cell::Con(known::NIL))? {
+                    self.backtrack()?;
+                    return Ok(Flow::Reload);
+                }
+                Ok(Flow::Next)
+            }
+            DenseOp::GetStructure => {
+                let arg = self.wk.x[di.b as usize];
+                match self.deref(arg) {
+                    Cell::Ref(addr) => {
+                        let fun_addr = self.heap_push(Cell::Fun(Atom(di.c), di.a))?;
+                        self.bind(addr, Cell::Str(fun_addr))?;
+                        self.wk.mode = Mode::Write;
+                    }
+                    Cell::Str(pp) => {
+                        let fun = self.core.mem.read(pe, pp, ObjectKind::HeapTerm);
+                        match fun {
+                            Cell::Fun(f2, n2) if f2 == Atom(di.c) && n2 == di.a => {
+                                self.wk.s = pp + 1;
+                                self.wk.mode = Mode::Read;
+                            }
+                            _ => {
+                                self.backtrack()?;
+                                return Ok(Flow::Reload);
+                            }
+                        }
+                    }
+                    _ => {
+                        self.backtrack()?;
+                        return Ok(Flow::Reload);
+                    }
+                }
+                Ok(Flow::Next)
+            }
+            DenseOp::GetList => {
+                let arg = self.wk.x[di.b as usize];
+                match self.deref(arg) {
+                    Cell::Ref(addr) => {
+                        let h = self.wk.h;
+                        self.bind(addr, Cell::Lis(h))?;
+                        self.wk.mode = Mode::Write;
+                    }
+                    Cell::Lis(pp) => {
+                        self.wk.s = pp;
+                        self.wk.mode = Mode::Read;
+                    }
+                    _ => {
+                        self.backtrack()?;
+                        return Ok(Flow::Reload);
+                    }
+                }
+                Ok(Flow::Next)
+            }
+
+            // ---------------- unify ----------------
+            DenseOp::UnifyVariable => {
+                match self.wk.mode {
+                    Mode::Read => {
+                        let s = self.wk.s;
+                        let c = self.core.mem.read(pe, s, self.core.object_for_addr(s));
+                        self.wk.s = s + 1;
+                        self.write_reg(decode_reg(di.b), c)?;
+                    }
+                    Mode::Write => {
+                        let var = self.new_heap_var()?;
+                        self.write_reg(decode_reg(di.b), var)?;
+                    }
+                }
+                Ok(Flow::Next)
+            }
+            DenseOp::UnifyValue => {
+                match self.wk.mode {
+                    Mode::Read => {
+                        let s = self.wk.s;
+                        let target = self.core.mem.read(pe, s, self.core.object_for_addr(s));
+                        self.wk.s = s + 1;
+                        let c = self.read_reg(decode_reg(di.b))?;
+                        if !self.unify(c, target)? {
+                            self.backtrack()?;
+                            return Ok(Flow::Reload);
+                        }
+                    }
+                    Mode::Write => {
+                        let c = self.read_reg(decode_reg(di.b))?;
+                        let g = self.globalize(c)?;
+                        self.heap_push(g)?;
+                    }
+                }
+                Ok(Flow::Next)
+            }
+            DenseOp::UnifyConstant => {
+                if !self.unify_atomic(Cell::Con(Atom(di.c)))? {
+                    self.backtrack()?;
+                    return Ok(Flow::Reload);
+                }
+                Ok(Flow::Next)
+            }
+            DenseOp::UnifyInteger => {
+                if !self.unify_atomic(Cell::Int(self.dense_int(di.c)))? {
+                    self.backtrack()?;
+                    return Ok(Flow::Reload);
+                }
+                Ok(Flow::Next)
+            }
+            DenseOp::UnifyNil => {
+                if !self.unify_atomic(Cell::Con(known::NIL))? {
+                    self.backtrack()?;
+                    return Ok(Flow::Reload);
+                }
+                Ok(Flow::Next)
+            }
+            DenseOp::UnifyVoid => {
+                match self.wk.mode {
+                    Mode::Read => self.wk.s += di.a as u32,
+                    Mode::Write => {
+                        for _ in 0..di.a {
+                            self.new_heap_var()?;
+                        }
+                    }
+                }
+                Ok(Flow::Next)
+            }
+
+            // ---------------- control ----------------
+            DenseOp::Allocate => {
+                let n = di.b;
+                let e_new = self.wk.local_top;
+                self.core.mem.check_top(self.w(), Area::LocalStack, e_new + env::size(n as u32))?;
+                let (e_old, cp) = (self.wk.e, self.wk.cp);
+                self.core.mem.write(pe, e_new + env::CE, Cell::Uint(e_old), ObjectKind::EnvControl);
+                self.core.mem.write(pe, e_new + env::CP, Cell::Code(cp), ObjectKind::EnvControl);
+                self.core.mem.write(pe, e_new + env::NVARS, Cell::Uint(n as u32), ObjectKind::EnvControl);
+                let wk = &mut *self.wk;
+                wk.e = e_new;
+                wk.local_top = e_new + env::size(n as u32);
+                wk.update_high_water();
+                Ok(Flow::Next)
+            }
+            DenseOp::Deallocate => {
+                let e = self.wk.e;
+                let ce = self.core.mem.read(pe, e + env::CE, ObjectKind::EnvControl).expect_uint("env CE");
+                let cp = self.core.mem.read(pe, e + env::CP, ObjectKind::EnvControl).expect_code("env CP");
+                let n =
+                    self.core.mem.read(pe, e + env::NVARS, ObjectKind::EnvControl).expect_uint("env nvars");
+                let wk = &mut *self.wk;
+                if e + env::size(n) == wk.local_top {
+                    // See `exec_instr`: recover the frame's space, but never
+                    // below the newest choice point's protected region.
+                    wk.local_top = e.max(wk.stack_boundary);
+                }
+                wk.cp = cp;
+                wk.e = ce;
+                Ok(Flow::Next)
+            }
+            DenseOp::CallCode => {
+                self.core.inferences.fetch_add(1, Ordering::Relaxed);
+                let wk = &mut *self.wk;
+                wk.cp = p + 1;
+                wk.num_args = di.a;
+                wk.b0 = wk.b;
+                Ok(Flow::Jump(di.c))
+            }
+            DenseOp::CallBuiltin => match self.exec_builtin(self.dense_builtin(di.c))? {
+                BuiltinOutcome::Succeed => Ok(Flow::Next),
+                BuiltinOutcome::Fail => {
+                    self.backtrack()?;
+                    Ok(Flow::Reload)
+                }
+                BuiltinOutcome::Halted => Ok(Flow::Reload),
+            },
+            DenseOp::ExecuteCode => {
+                self.core.inferences.fetch_add(1, Ordering::Relaxed);
+                let wk = &mut *self.wk;
+                wk.num_args = di.a;
+                wk.b0 = wk.b;
+                Ok(Flow::Jump(di.c))
+            }
+            DenseOp::ExecuteBuiltin => match self.exec_builtin(self.dense_builtin(di.c))? {
+                BuiltinOutcome::Succeed => Ok(Flow::Jump(self.wk.cp)),
+                BuiltinOutcome::Fail => {
+                    self.backtrack()?;
+                    Ok(Flow::Reload)
+                }
+                BuiltinOutcome::Halted => Ok(Flow::Reload),
+            },
+            DenseOp::CallUnresolved | DenseOp::ExecuteUnresolved => {
+                Err(EngineError::BadInstruction { addr: p, what: "unresolved call target".into() })
+            }
+            DenseOp::Proceed => Ok(Flow::Jump(self.wk.cp)),
+
+            // ---------------- choice points & indexing ----------------
+            DenseOp::Try => {
+                self.push_choice_point(p + 1)?;
+                Ok(Flow::Jump(di.c))
+            }
+            DenseOp::Retry => {
+                self.retry_update_next_clause(p + 1)?;
+                Ok(Flow::Jump(di.c))
+            }
+            DenseOp::Trust => {
+                self.pop_choice_point()?;
+                Ok(Flow::Jump(di.c))
+            }
+            DenseOp::TryMeElse => {
+                self.push_choice_point(di.c)?;
+                Ok(Flow::Next)
+            }
+            DenseOp::RetryMeElse => {
+                self.retry_update_next_clause(di.c)?;
+                Ok(Flow::Next)
+            }
+            DenseOp::TrustMe => {
+                self.pop_choice_point()?;
+                Ok(Flow::Next)
+            }
+            DenseOp::SwitchOnTerm => {
+                let quad = self.core.program.dense.term_quads[di.c as usize];
+                let arg = self.wk.x[1];
+                let next = match self.deref(arg) {
+                    Cell::Ref(_) => quad[0],
+                    Cell::Con(_) | Cell::Int(_) => quad[1],
+                    Cell::Lis(_) => quad[2],
+                    Cell::Str(_) => quad[3],
+                    other => {
+                        return Err(EngineError::BadInstruction {
+                            addr: p,
+                            what: format!("switch_on_term saw a control cell {other:?}"),
+                        })
+                    }
+                };
+                Ok(Flow::Jump(next))
+            }
+            DenseOp::SwitchOnConstant => {
+                let arg = self.wk.x[1];
+                let key = match self.deref(arg) {
+                    Cell::Con(a) => ConstKey::Atom(a),
+                    Cell::Int(i) => ConstKey::Int(i),
+                    _ => {
+                        self.backtrack()?;
+                        return Ok(Flow::Reload);
+                    }
+                };
+                let table = &self.core.program.dense.const_tables[di.c as usize];
+                let next = table.iter().find(|(k, _)| *k == key).map(|(_, a)| *a).unwrap_or(di.d);
+                Ok(Flow::Jump(next))
+            }
+            DenseOp::SwitchOnStructure => {
+                let arg = self.wk.x[1];
+                match self.deref(arg) {
+                    Cell::Str(pp) => {
+                        let fun = self.core.mem.read(pe, pp, ObjectKind::HeapTerm);
+                        match fun {
+                            Cell::Fun(f, n) => {
+                                let table = &self.core.program.dense.struct_tables[di.c as usize];
+                                let next = table
+                                    .iter()
+                                    .find(|((tf, tn), _)| *tf == f && *tn == n)
+                                    .map(|(_, a)| *a)
+                                    .unwrap_or(di.d);
+                                Ok(Flow::Jump(next))
+                            }
+                            _ => {
+                                self.backtrack()?;
+                                Ok(Flow::Reload)
+                            }
+                        }
+                    }
+                    _ => {
+                        self.backtrack()?;
+                        Ok(Flow::Reload)
+                    }
+                }
+            }
+
+            // ---------------- cut ----------------
+            DenseOp::NeckCut => Err(EngineError::BadInstruction {
+                addr: p,
+                what: "neck_cut is not emitted by this compiler".into(),
+            }),
+            DenseOp::GetLevel => {
+                let b0 = self.wk.b0;
+                self.write_reg(Reg::Y(di.b), Cell::Uint(b0))?;
+                Ok(Flow::Next)
+            }
+            DenseOp::CutTo => {
+                let target = self.read_reg(Reg::Y(di.b))?.expect_uint("cut barrier");
+                if self.wk.b != target {
+                    self.wk.b = target;
+                    self.wk.cp_top = NONE_ADDR;
+                    self.refresh_backtrack_boundaries()?;
+                    self.recede_control_top();
+                }
+                Ok(Flow::Next)
+            }
+
+            // ---------------- parallel ----------------
+            DenseOp::CheckGround => {
+                let c = self.read_reg(decode_reg(di.b))?;
+                if !self.is_ground(c)? {
+                    return Ok(Flow::Jump(di.c));
+                }
+                Ok(Flow::Next)
+            }
+            DenseOp::CheckIndep => {
+                let c1 = self.read_reg(decode_reg(di.b))?;
+                let c2 = self.read_reg(decode_reg(di.c as u16))?;
+                if !self.independent(c1, c2)? {
+                    return Ok(Flow::Jump(di.d));
+                }
+                Ok(Flow::Next)
+            }
+            DenseOp::PcallAlloc => {
+                self.pcall_alloc(di.a as u32)?;
+                Ok(Flow::Next)
+            }
+            DenseOp::PcallGoal => {
+                self.pcall_goal(di.c, di.a as u32, di.b as u32)?;
+                Ok(Flow::Next)
+            }
+            DenseOp::PcallGoalBad => {
+                // Reproduce the classic path's diagnostic, including the
+                // offending target (cold path: re-read the enum form).
+                let what = match &self.core.program.code[p as usize] {
+                    Instr::PcallGoal { target, .. } => {
+                        format!("pcall_goal target must be user code, found {target:?}")
+                    }
+                    _ => "pcall_goal target must be user code".to_string(),
+                };
+                Err(EngineError::BadInstruction { addr: p, what })
+            }
+            DenseOp::PcallWait => self.pcall_wait(p),
+            DenseOp::GoalSuccess => {
+                self.finish_goal_success()?;
+                Ok(Flow::Reload)
+            }
+
+            // ---------------- misc ----------------
+            DenseOp::Jump => Ok(Flow::Jump(di.c)),
+            DenseOp::FailInstr => {
+                self.backtrack()?;
+                Ok(Flow::Reload)
+            }
+            DenseOp::Halt => {
+                // `wk.p` intentionally keeps pointing at the halt
+                // instruction, as on the classic path.
+                self.wk.p = p;
+                self.query_succeeded();
+                Ok(Flow::Reload)
+            }
+            DenseOp::NoOp => Ok(Flow::Next),
+        }
+    }
+
+    /// Fetch an integer literal from the dense pool.
+    #[inline(always)]
+    fn dense_int(&self, idx: u32) -> i64 {
+        debug_assert!((idx as usize) < self.core.program.dense.ints.len());
+        // SAFETY: pool indices are emitted by `DenseCode::build` and always
+        // in bounds.
+        unsafe { *self.core.program.dense.ints.get_unchecked(idx as usize) }
+    }
+
+    /// Fetch a builtin operand from the dense pool.
+    #[inline(always)]
+    fn dense_builtin(&self, idx: u32) -> pwam_compiler::Builtin {
+        debug_assert!((idx as usize) < self.core.program.dense.builtins.len());
+        // SAFETY: as for `dense_int`.
+        unsafe { *self.core.program.dense.builtins.get_unchecked(idx as usize) }
+    }
+
+    /// `retry` / `retry_me_else`: redirect the current choice point's
+    /// next-clause word.
+    #[inline(always)]
+    fn retry_update_next_clause(&mut self, alt: CodeAddr) -> EngineResult<()> {
+        let pe = self.wk.id;
+        let b = self.wk.b;
+        let nargs =
+            self.core.mem.read(pe, b + choice::NARGS, ObjectKind::ChoicePoint).expect_uint("cp nargs");
+        self.core.mem.write(pe, choice::next_clause(b, nargs), Cell::Code(alt), ObjectKind::ChoicePoint);
+        Ok(())
+    }
+
+    /// `pcall_alloc`: push a Parcall Frame with `n` goal slots.
+    fn pcall_alloc(&mut self, n: u32) -> EngineResult<()> {
+        let pe = self.wk.id;
+        let pf_new = self.wk.local_top;
+        self.core.mem.check_top(self.w(), Area::LocalStack, pf_new + parcall::size(n))?;
+        let prev = self.wk.pf;
+        let mem = &self.core.mem;
+        mem.write(pe, pf_new + parcall::NGOALS, Cell::Uint(n), ObjectKind::ParcallLocal);
+        mem.write(pe, pf_new + parcall::TO_SCHEDULE, Cell::Uint(n), ObjectKind::ParcallCount);
+        mem.write(pe, pf_new + parcall::COMPLETED, Cell::Uint(0), ObjectKind::ParcallCount);
+        mem.write(pe, pf_new + parcall::STATUS, Cell::Uint(parcall::STATUS_OK), ObjectKind::ParcallLocal);
+        mem.write(pe, pf_new + parcall::PARENT_PE, Cell::Uint(self.w() as u32), ObjectKind::ParcallLocal);
+        mem.write(pe, pf_new + parcall::PREV_PF, Cell::Uint(prev), ObjectKind::ParcallLocal);
+        // The parcall's backtrack point: `pcall_wait` commits the CGE to its
+        // first solution by restoring B to this value.
+        mem.write(pe, pf_new + parcall::ENTRY_B, Cell::Uint(self.wk.b), ObjectKind::ParcallLocal);
+        // Slot statuses start PENDING — see `exec_instr` for why the scan
+        // must never observe a stale TAKEN cell.
+        for k in 0..n {
+            mem.write(
+                pe,
+                parcall::slot_status(pf_new, k),
+                Cell::Uint(parcall::SLOT_PENDING),
+                ObjectKind::ParcallGlobal,
+            );
+        }
+        let wk = &mut *self.wk;
+        wk.pf = pf_new;
+        wk.local_top = pf_new + parcall::size(n);
+        wk.update_high_water();
+        self.core.parcalls.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// `pcall_goal`: push a Goal Frame for `code` onto this worker's board.
+    fn pcall_goal(&mut self, code: CodeAddr, arity: u32, slot: u32) -> EngineResult<()> {
+        let pe = self.wk.id;
+        let pf = self.wk.pf;
+        // The own board's lock is held across top read, word writes and the
+        // push — see `exec_instr` for the race this prevents.
+        let w = self.w();
+        let core = self.core;
+        {
+            let mut board = core.boards[w].lock().unwrap();
+            let g = board.goal_top;
+            core.mem.check_top(w, Area::GoalStack, g + goal_frame::size(arity))?;
+            core.mem.write(pe, g + goal_frame::CODE, Cell::Code(code), ObjectKind::GoalFrame);
+            core.mem.write(pe, g + goal_frame::ARITY, Cell::Uint(arity), ObjectKind::GoalFrame);
+            core.mem.write(pe, g + goal_frame::PF, Cell::Uint(pf), ObjectKind::GoalFrame);
+            core.mem.write(pe, g + goal_frame::SLOT, Cell::Uint(slot), ObjectKind::GoalFrame);
+            for i in 0..arity {
+                let c = self.wk.x[(i + 1) as usize];
+                let g_c = self.globalize(c)?;
+                core.mem.write(pe, goal_frame::arg(g, i), g_c, ObjectKind::GoalFrame);
+            }
+            board.goal_frames.push(g);
+            board.goal_top = g + goal_frame::size(arity);
+            self.wk.goal_top = board.goal_top;
+        }
+        self.wk.update_high_water();
+        Ok(())
+    }
+
+    /// `pcall_wait` for the flattened path; `p` is the instruction's own
+    /// address (the wait re-executes it until the frame completes).
+    fn pcall_wait(&mut self, p: CodeAddr) -> EngineResult<Flow> {
+        let pe = self.wk.id;
+        let pf = self.wk.pf;
+        if pf == NONE_ADDR {
+            return Err(EngineError::BadInstruction {
+                addr: p,
+                what: "pcall_wait without a Parcall Frame".into(),
+            });
+        }
+        let n = self.core.mem.read(pe, pf + parcall::NGOALS, ObjectKind::ParcallLocal).expect_uint("ngoals");
+        let done = self
+            .core
+            .mem
+            .read(pe, pf + parcall::COMPLETED, ObjectKind::ParcallCount)
+            .expect_uint("completed");
+        if done >= n {
+            let status =
+                self.core.mem.read(pe, pf + parcall::STATUS, ObjectKind::ParcallLocal).expect_uint("status");
+            self.consume_messages();
+            // Commit the parcall to its first solution — see `exec_instr`.
+            let entry_b = self
+                .core
+                .mem
+                .read(pe, pf + parcall::ENTRY_B, ObjectKind::ParcallLocal)
+                .expect_uint("entry b");
+            if self.wk.b != entry_b {
+                self.wk.b = entry_b;
+                self.wk.cp_top = NONE_ADDR;
+                self.refresh_backtrack_boundaries()?;
+                self.recede_control_top();
+            }
+            if status != parcall::STATUS_OK {
+                self.backtrack()?;
+                return Ok(Flow::Reload);
+            }
+            let prev = self
+                .core
+                .mem
+                .read(pe, pf + parcall::PREV_PF, ObjectKind::ParcallLocal)
+                .expect_uint("prev pf");
+            let wk = &mut *self.wk;
+            if pf + parcall::size(n) == wk.local_top {
+                // As in `deallocate`: never recede below the protected region.
+                wk.local_top = pf.max(wk.stack_boundary);
+            }
+            wk.pf = prev;
+            Ok(Flow::Next)
+        } else {
+            // Not complete yet — mirror `exec_instr`: cancel a failing frame,
+            // then execute one of our own goals or park.  The program counter
+            // stays at the wait instruction.
+            self.wk.p = p;
+            let status =
+                self.core.mem.read(pe, pf + parcall::STATUS, ObjectKind::ParcallLocal).expect_uint("status");
+            if status == parcall::STATUS_FAILED {
+                self.cancel_parcall_frame(pf)?;
+            }
+            if !self.try_dispatch_work(Resume::ToWait { addr: p })? {
+                self.wk.status = WorkerStatus::WaitingAtPcall { addr: p, pf };
+            }
+            Ok(Flow::Reload)
         }
     }
 }

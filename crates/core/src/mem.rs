@@ -45,6 +45,7 @@ use crate::cell::Cell;
 use crate::error::{EngineError, EngineResult};
 use crate::layout::{AddressMap, Area, MemoryConfig, ObjectKind, SHARED_REGION_WORDS};
 use crate::trace::{AreaStats, MemRef};
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -108,6 +109,33 @@ impl StackSetArena {
     }
 }
 
+/// One arena plus the lock that guards it when the memory is shared.
+///
+/// The arena lives in an [`UnsafeCell`] rather than inside the mutex so a
+/// backend that serialises memory access *by construction* (interleaved
+/// round-robin, or the token ring of the strict threaded scheduler) can
+/// reach it without an atomic operation per reference — the lock is only
+/// taken when [`Memory::serial`] is off.
+#[derive(Debug)]
+struct ArenaSlot {
+    cell: UnsafeCell<StackSetArena>,
+    lock: Mutex<()>,
+}
+
+// SAFETY: the arena behind `cell` is only accessed through
+// `Memory::with_arena`, which either holds `lock` for the duration of the
+// access or runs in serial mode, where the execution backend guarantees at
+// most one thread touches the memory at a time (with the backend's
+// channel/join synchronisation providing the happens-before edges between
+// consecutive accessors).
+unsafe impl Sync for ArenaSlot {}
+
+impl ArenaSlot {
+    fn new(arena: StackSetArena) -> Self {
+        ArenaSlot { cell: UnsafeCell::new(arena), lock: Mutex::new(()) }
+    }
+}
+
 /// The word-addressed data memory, sharded into one lockable arena per PE.
 ///
 /// The public address space is unchanged from the flat layout: word `addr`
@@ -115,13 +143,17 @@ impl StackSetArena {
 /// shared region sits above the last Stack Set.
 #[derive(Debug)]
 pub struct Memory {
-    arenas: Vec<Mutex<StackSetArena>>,
+    arenas: Vec<ArenaSlot>,
     /// The shared coordination region (query board); untraced by design.
     shared: Mutex<Vec<Cell>>,
     pub map: AddressMap,
     /// Next global sequence number (total references recorded so far).
     seq: AtomicU64,
     collect_trace: bool,
+    /// When set, arena accesses skip the per-arena lock entirely.  Sound
+    /// only while the execution backend serialises every memory access (see
+    /// [`Memory::set_serial`]); the default is the always-locked shared mode.
+    serial: bool,
 }
 
 impl Memory {
@@ -131,7 +163,12 @@ impl Memory {
         let set_words = config.stack_set_words();
         let arenas = (0..num_workers)
             .map(|w| {
-                Mutex::new(StackSetArena::new(w as u32 * set_words, set_words, num_workers, collect_trace))
+                ArenaSlot::new(StackSetArena::new(
+                    w as u32 * set_words,
+                    set_words,
+                    num_workers,
+                    collect_trace,
+                ))
             })
             .collect();
         Memory {
@@ -140,13 +177,53 @@ impl Memory {
             map,
             seq: AtomicU64::new(0),
             collect_trace,
+            serial: false,
+        }
+    }
+
+    /// Switch the memory between serial (lock-free) and shared (per-arena
+    /// locked) access.
+    ///
+    /// # Soundness contract
+    ///
+    /// Serial mode may only be enabled while the execution backend
+    /// guarantees that at most one thread performs memory accesses at any
+    /// moment, with a happens-before edge between consecutive accessors.
+    /// The interleaved scheduler (single-threaded by construction) and the
+    /// strict threaded scheduler (its token channel's send/recv pair orders
+    /// the handoff) both qualify; the relaxed backend, where workers run
+    /// free, does not and must keep the locks.  The classic dispatch path
+    /// also keeps the locks so it prices the pre-flattening cost model.
+    pub fn set_serial(&mut self, serial: bool) {
+        self.serial = serial;
+    }
+
+    /// Whether arena accesses currently bypass the per-arena locks.
+    pub fn serial(&self) -> bool {
+        self.serial
+    }
+
+    /// Run `f` with exclusive access to arena `idx`, taking its lock unless
+    /// the memory is in serial mode.
+    #[inline(always)]
+    fn with_arena<R>(&self, idx: usize, f: impl FnOnce(&mut StackSetArena) -> R) -> R {
+        let slot = &self.arenas[idx];
+        if self.serial {
+            // SAFETY: serial mode promises external serialisation of all
+            // accessors (see `set_serial`), so the exclusive borrow cannot
+            // alias another live borrow.
+            f(unsafe { &mut *slot.cell.get() })
+        } else {
+            let _guard = slot.lock.lock().unwrap();
+            // SAFETY: `lock` is held for the whole access.
+            f(unsafe { &mut *slot.cell.get() })
         }
     }
 
     /// Total number of words in the memory: every Stack Set arena plus the
     /// shared region.
     pub fn len(&self) -> usize {
-        self.arenas.iter().map(|a| a.lock().unwrap().words.len()).sum::<usize>()
+        (0..self.arenas.len()).map(|i| self.with_arena(i, |a| a.words.len())).sum::<usize>()
             + self.shared.lock().unwrap().len()
     }
 
@@ -163,20 +240,20 @@ impl Memory {
 
     /// A snapshot of one arena's reference counters.
     pub fn arena_stats(&self, worker: usize) -> AreaStats {
-        self.arenas[worker].lock().unwrap().stats.clone()
+        self.with_arena(worker, |a| a.stats.clone())
     }
 
     /// Number of trace records currently buffered in one arena.
     pub fn trace_len(&self, worker: usize) -> usize {
-        self.arenas[worker].lock().unwrap().trace.as_ref().map_or(0, Vec::len)
+        self.with_arena(worker, |a| a.trace.as_ref().map_or(0, Vec::len))
     }
 
     /// Merge every arena's counters into one aggregate view (what a flat
     /// memory would have counted).
     pub fn merged_stats(&self) -> AreaStats {
         let mut total = AreaStats::new(self.map.num_workers);
-        for a in &self.arenas {
-            total.merge(&a.lock().unwrap().stats);
+        for i in 0..self.arenas.len() {
+            self.with_arena(i, |a| total.merge(&a.stats));
         }
         total
     }
@@ -196,8 +273,8 @@ impl Memory {
             return None;
         }
         let mut all: Vec<SeqRef> = Vec::with_capacity(*self.seq.get_mut() as usize);
-        for a in &mut self.arenas {
-            let a = a.get_mut().unwrap();
+        for slot in &mut self.arenas {
+            let a = slot.cell.get_mut();
             if let Some(t) = &mut a.trace {
                 all.append(t);
             }
@@ -221,9 +298,10 @@ impl Memory {
             object.area(),
             "object kind {object:?} used outside its area"
         );
-        let mut arena = self.arenas[self.map.owner(addr)].lock().unwrap();
-        let offset = arena.record(&self.seq, pe, addr, false, object);
-        arena.words[offset]
+        self.with_arena(self.map.owner(addr), |arena| {
+            let offset = arena.record(&self.seq, pe, addr, false, object);
+            arena.words[offset]
+        })
     }
 
     /// Write one word, recording the reference in the owning arena.
@@ -234,10 +312,11 @@ impl Memory {
             object.area(),
             "object kind {object:?} used outside its area"
         );
-        let mut arena = self.arenas[self.map.owner(addr)].lock().unwrap();
-        let offset = arena.record(&self.seq, pe, addr, true, object);
-        arena.words[offset] = value;
-        arena.touched = arena.touched.max(offset + 1);
+        self.with_arena(self.map.owner(addr), |arena| {
+            let offset = arena.record(&self.seq, pe, addr, true, object);
+            arena.words[offset] = value;
+            arena.touched = arena.touched.max(offset + 1);
+        });
     }
 
     /// Return the memory to its pristine post-allocation state without
@@ -246,8 +325,8 @@ impl Memory {
     /// reborn, and the global sequence counter restarts.  The warm-engine
     /// path of the serving layer goes through here.
     pub fn reset(&mut self, collect_trace: bool) {
-        for a in &mut self.arenas {
-            let a = a.get_mut().unwrap();
+        for slot in &mut self.arenas {
+            let a = slot.cell.get_mut();
             a.words[..a.touched].fill(Cell::Empty);
             a.touched = 0;
             a.stats = AreaStats::new(self.map.num_workers);
@@ -279,24 +358,26 @@ impl Memory {
             object.area(),
             "object kind {object:?} used outside its area"
         );
-        let mut arena = self.arenas[self.map.owner(addr)].lock().unwrap();
-        let offset = arena.record(&self.seq, pe, addr, false, object);
-        let old = match arena.words[offset] {
-            Cell::Uint(v) => v,
-            other => return Err(EngineError::Internal(format!("rmw on non-uint word at {addr}: {other:?}"))),
-        };
-        let offset = arena.record(&self.seq, pe, addr, true, object);
-        arena.words[offset] = Cell::Uint(f(old));
-        arena.touched = arena.touched.max(offset + 1);
-        Ok(old)
+        self.with_arena(self.map.owner(addr), |arena| {
+            let offset = arena.record(&self.seq, pe, addr, false, object);
+            let old = match arena.words[offset] {
+                Cell::Uint(v) => v,
+                other => {
+                    return Err(EngineError::Internal(format!("rmw on non-uint word at {addr}: {other:?}")))
+                }
+            };
+            let offset = arena.record(&self.seq, pe, addr, true, object);
+            arena.words[offset] = Cell::Uint(f(old));
+            arena.touched = arena.touched.max(offset + 1);
+            Ok(old)
+        })
     }
 
     /// Read one word without recording a reference (answer extraction,
     /// debugging, scheduler shadow checks).
     #[inline]
     pub fn read_untraced(&self, addr: u32) -> Cell {
-        let arena = self.arenas[self.map.owner(addr)].lock().unwrap();
-        arena.words[(addr - arena.base) as usize]
+        self.with_arena(self.map.owner(addr), |arena| arena.words[(addr - arena.base) as usize])
     }
 
     /// Read a word of the shared region (query board).  Untraced: the shared
@@ -501,6 +582,43 @@ mod tests {
         m.reset(false);
         assert!(!m.tracing());
         assert!(m.take_trace().is_none());
+    }
+
+    #[test]
+    fn serial_mode_counts_and_traces_identically() {
+        let mut locked = mem();
+        let mut serial = mem();
+        serial.set_serial(true);
+        assert!(serial.serial() && !locked.serial());
+        for m in [&locked, &serial] {
+            let h0 = m.area_base(0, Area::Heap);
+            let h1 = m.area_base(1, Area::Heap);
+            m.write(0, h0, Cell::Int(5), ObjectKind::HeapTerm);
+            m.write(1, h1, Cell::Int(6), ObjectKind::HeapTerm);
+            assert_eq!(m.read(0, h1, ObjectKind::HeapTerm), Cell::Int(6));
+            m.rmw_uint(0, m.area_base(0, Area::LocalStack), ObjectKind::ParcallCount, |v| v).unwrap_err();
+        }
+        let ls = locked.merged_stats();
+        let ss = serial.merged_stats();
+        assert_eq!(ls.total.reads, ss.total.reads);
+        assert_eq!(ls.total.writes, ss.total.writes);
+        let lt: Vec<_> = locked.take_trace().unwrap();
+        let st: Vec<_> = serial.take_trace().unwrap();
+        assert_eq!(lt.len(), st.len());
+        for (a, b) in lt.iter().zip(st.iter()) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+
+    #[test]
+    fn reset_preserves_the_serial_flag() {
+        let mut m = mem();
+        m.set_serial(true);
+        m.reset(true);
+        assert!(m.serial());
+        let h = m.area_base(0, Area::Heap);
+        m.write(0, h, Cell::Int(2), ObjectKind::HeapTerm);
+        assert_eq!(m.read(0, h, ObjectKind::HeapTerm), Cell::Int(2));
     }
 
     #[test]

@@ -90,6 +90,12 @@ pub struct QueryOptions {
     /// Wall-clock budget for the run (`None` = unlimited).  The serving
     /// layer sets this to enforce per-request deadlines.
     pub time_budget: Option<Duration>,
+    /// Run the executor through the classic (pre-flattening) dispatch path:
+    /// indexed `Vec<Instr>` fetch and always-locked arena access.  Off by
+    /// default; the MLIPS gate turns it on to measure the flattened fast
+    /// path against the baseline on the same machine, and the differential
+    /// suite uses it to pin both dispatch paths against each other.
+    pub classic_dispatch: bool,
 }
 
 impl Default for QueryOptions {
@@ -105,6 +111,7 @@ impl Default for QueryOptions {
             determinism: DeterminismMode::Strict,
             stall_timeout: Duration::from_secs(5),
             time_budget: None,
+            classic_dispatch: false,
         }
     }
 }
@@ -196,6 +203,12 @@ impl QueryOptions {
         self
     }
 
+    /// Execute through the classic (pre-flattening) dispatch path.
+    pub fn with_classic_dispatch(mut self) -> Self {
+        self.classic_dispatch = true;
+        self
+    }
+
     /// The [`EngineConfig`] these options describe.
     pub fn engine_config(&self) -> EngineConfig {
         EngineConfig {
@@ -209,6 +222,7 @@ impl QueryOptions {
             determinism: self.determinism,
             stall_timeout: self.stall_timeout,
             time_budget: self.time_budget,
+            classic_dispatch: self.classic_dispatch,
         }
     }
 }

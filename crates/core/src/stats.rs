@@ -24,6 +24,10 @@ pub struct WorkerStats {
     /// Stolen goals this worker aborted mid-flight on a `cancel_goal`
     /// request.
     pub goals_aborted: u64,
+    /// Goals this worker started while parked in backward execution
+    /// (waiting for a cancelled Parcall Frame to drain) — useful work done
+    /// mid-cancellation.
+    pub goals_while_cancelling: u64,
 }
 
 /// Statistics of one engine run.

@@ -28,6 +28,14 @@ pub enum Resume {
     /// worker is the parent of some Parcall Frame, executing one of its
     /// own goals through the local path while it waits).
     ToWait { addr: u32 },
+    /// Return to backward execution: the worker is the parent of the
+    /// cancelled Parcall Frame `pf` and picked this goal up while waiting
+    /// for the frame's completion counter to drain.  On completion the
+    /// worker re-parks in [`WorkerStatus::Cancelling`]; if the goal
+    /// *succeeded*, its Stack Section is frozen (see `Worker::frozen_h`) so
+    /// the deferred backtrack cannot reclaim results another Parcall Frame
+    /// still needs.
+    ToCancel { pf: u32 },
     /// Go back to the idle loop (the worker stole the goal while idle).
     Idle,
 }
@@ -117,6 +125,30 @@ pub struct Worker {
     /// slot so that a later cut discards exactly the choice points created
     /// since the call — including the clause-selection choice point.
     pub b0: u32,
+    /// Cached Control-stack extent (one past the last word) of the choice
+    /// point `b` currently points at, or `NONE_ADDR` when unknown.  This is
+    /// the flattened executor's frame-register cache for the one frame word
+    /// the hot path re-reads — the frame's saved argument count, needed by
+    /// `recede_control_top` to bound the live frame.  Maintained wherever
+    /// `b` changes: set by `push_choice_point` (the size is known there),
+    /// invalidated by cut / pop / goal unwind, and recomputed lazily from
+    /// memory on the first recede after an invalidation.
+    pub cp_top: u32,
+    /// Frozen heap floor: restore targets (`saved H` in choice points, goal
+    /// entry state) are clamped to at least this address.  Raised when a
+    /// goal executed under [`Resume::ToCancel`] succeeds: its results sit
+    /// in this worker's Stack Set but belong to a *different* Parcall
+    /// Frame, so the deferred backtrack that follows the cancellation must
+    /// not reclaim them.  Never lowered during a run.
+    pub frozen_h: u32,
+    /// Local-stack counterpart of `frozen_h`.
+    pub frozen_local: u32,
+    /// `cancel_goal` requests `(pf, slot)` delivered to this worker that
+    /// were not safely abortable at the batch boundary where they arrived
+    /// (the target goal was live but not the innermost context).  They are
+    /// re-checked at every subsequent batch boundary until the goal either
+    /// becomes abortable or commits.
+    pub pending_cancels: Vec<(u32, u32)>,
     /// Heap top.
     pub h: u32,
     /// Heap backtrack boundary (bindings below this must be trailed).
@@ -164,6 +196,10 @@ pub struct Worker {
     /// Stolen goals this worker aborted mid-flight on a `cancel_goal`
     /// request (each still committed through the completion protocol).
     pub goals_aborted: u64,
+    /// Goals this worker started while parked in
+    /// [`WorkerStatus::Cancelling`] — useful work done while a cancelled
+    /// Parcall Frame's completion counter drains.
+    pub goals_while_cancelling: u64,
     /// High-water marks for storage-usage statistics.
     pub max_h: u32,
     pub max_local_top: u32,
@@ -198,6 +234,10 @@ impl Worker {
             e: NONE_ADDR,
             b: NONE_ADDR,
             b0: NONE_ADDR,
+            cp_top: NONE_ADDR,
+            frozen_h: heap_base,
+            frozen_local: local_base,
+            pending_cancels: Vec::new(),
             h: heap_base,
             hb: heap_base,
             stack_boundary: local_base,
@@ -219,6 +259,7 @@ impl Worker {
             steal_notices: 0,
             cancel_notices: 0,
             goals_aborted: 0,
+            goals_while_cancelling: 0,
             max_h: heap_base,
             max_local_top: local_base,
             max_control_top: control_base,

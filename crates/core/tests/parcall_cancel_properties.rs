@@ -166,6 +166,73 @@ fn cancellation_retracts_unstolen_siblings_on_one_pe() {
     );
 }
 
+/// Scenario shared by the two mid-cancellation regression tests below.
+///
+/// On two PEs: worker 0 runs the doomed CGE whose inline branch (`bad`)
+/// fails only after 30 reductions, so worker 1 has long since stolen
+/// `sib/1` *and opened sib's own inner Parcall Frame* by the time the
+/// `cancel_goal` request lands.  That pins two fixed bugs at once:
+///
+/// * worker 1 cannot honour the request at the boundary where it arrives
+///   (its `PF` is the inner frame, not the goal-entry value) — the request
+///   must stay pending until the inner frame completes, then abort `sib`
+///   before its 200-reduction tail runs;
+/// * worker 0, parked in `Cancelling` until `sib` commits, must meanwhile
+///   steal the inner frame's scheduled `work(60)` goal from worker 1's
+///   board and execute it — useful work mid-cancellation.
+fn mid_cancellation_program() -> &'static str {
+    "work(0).\n\
+     work(N) :- N > 0, N1 is N - 1, work(N1).\n\
+     bad :- work(30), fail.\n\
+     sib(R) :- (work(60) & work(60)), work(200), R = done.\n\
+     doomed(R) :- (bad & sib(X)), R = never(X).\n\
+     attempt(R) :- doomed(R).\n\
+     attempt(recovered).\n"
+}
+
+/// Regression (PR 6): a `Cancelling` parent used to park until its frame
+/// drained.  With `Resume::ToCancel` it steals goals meanwhile — the
+/// `goals_while_cancelling` stat proves the parent did real work between
+/// starting the cancellation and resuming its deferred backtrack.
+#[test]
+fn cancelling_parent_steals_work_while_the_frame_drains() {
+    let src = mid_cancellation_program();
+    let seq = run_sequential(src);
+    let mut session = Session::new(src).expect("program parses");
+    let r = session.run("attempt(R)", &QueryOptions::parallel(2)).expect("run");
+    assert!(r.outcome.is_success());
+    assert_eq!(session.render(r.outcome.binding("R").unwrap()), seq);
+    let mid: u64 = r.stats.workers.iter().map(|w| w.goals_while_cancelling).sum();
+    assert!(
+        mid >= 1,
+        "the cancelling parent picked up no goal while its frame drained: {:?}",
+        r.stats.workers
+    );
+}
+
+/// Regression (PR 6): a `cancel_goal` request arriving while its target
+/// had its own Parcall Frame open used to be silently dropped, letting the
+/// doomed goal run to completion.  It must instead stay pending and abort
+/// the goal at the first boundary where it *is* safely abortable (here:
+/// right after the inner frame's `pcall_wait` completes, before the
+/// 200-reduction tail).
+#[test]
+fn deferred_cancel_request_eventually_aborts_the_goal() {
+    let src = mid_cancellation_program();
+    let seq = run_sequential(src);
+    let mut session = Session::new(src).expect("program parses");
+    let r = session.run("attempt(R)", &QueryOptions::parallel(2)).expect("run");
+    assert!(r.outcome.is_success());
+    assert_eq!(session.render(r.outcome.binding("R").unwrap()), seq);
+    assert!(r.stats.cancel_requests >= 1, "no cancel request was ever posted: {:?}", r.stats);
+    let aborted: u64 = r.stats.workers.iter().map(|w| w.goals_aborted).sum();
+    assert!(
+        aborted >= 1,
+        "the deferred cancel request never fired; the doomed goal ran to completion: {:?}",
+        r.stats.workers
+    );
+}
+
 /// Deterministic companion for the chain case: a nested doomed CGE cancels
 /// the inner frame first, then the outer one, on every backend.
 #[test]
