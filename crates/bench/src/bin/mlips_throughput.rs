@@ -1,7 +1,7 @@
 //! Measure executor throughput (MIPS: millions of abstract-machine
 //! instructions per second) through both dispatch paths — the flattened
 //! pre-decoded fast path and the classic pre-flattening baseline — and
-//! write the comparison to `BENCH_mlips.json`.
+//! record the comparison in `BENCH_mlips.json`.
 //!
 //! This is the host-speed companion to the `mlips` binary (which
 //! regenerates the paper's Section 3.3 back-of-envelope model from
@@ -10,10 +10,19 @@
 //! `mlips-gate` CI job runs the same comparison as a test with
 //! per-benchmark floors.
 //!
+//! The output file is append-only across invocations: the new run becomes
+//! `latest` and is pushed onto `history`, so the raw-speed trajectory
+//! accumulates across PRs.  A pre-existing flat-array file (the original
+//! format) is migrated into the first history entry.  The scheduler and
+//! worker count come from `PWAM_MLIPS_SCHED` / `PWAM_MLIPS_THREADS` (see
+//! `pwam_benchmarks::mlips::mlips_configuration`) and are recorded per
+//! report.
+//!
 //! Usage: `mlips_throughput [--runs N] [--out PATH] [--paper-scale]`
 
-use pwam_benchmarks::mlips::{compare_dispatch_paths, MlipsComparison};
+use pwam_benchmarks::mlips::{compare_dispatch_paths, MlipsComparison, MlipsFile};
 use pwam_benchmarks::{BenchmarkId, Scale};
+use std::time::{SystemTime, UNIX_EPOCH};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -56,7 +65,14 @@ fn main() {
         );
         reports.push(c);
     }
-    let json = serde_json::to_string_pretty(&reports).expect("serialise");
+
+    let mut file = match std::fs::read_to_string(&out) {
+        Ok(existing) => MlipsFile::parse_or_default(&existing),
+        Err(_) => MlipsFile::default(),
+    };
+    let now = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+    file.record(now, reports);
+    let json = serde_json::to_string_pretty(&file).expect("serialise");
     std::fs::write(&out, json + "\n").expect("write report");
-    println!("wrote {out}");
+    println!("wrote {out} ({} recorded runs)", file.history.len());
 }

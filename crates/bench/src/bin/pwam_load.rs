@@ -81,6 +81,12 @@ struct Report {
     pool_queue_timeouts: u64,
     pool_max_queue_depth: u64,
     server_protocol_errors: u64,
+    /// Abstract-machine instructions this run added to the server's
+    /// cumulative counter.
+    server_instructions: u64,
+    /// The server's cumulative throughput after the run, in thousandths of
+    /// a MLIPS.
+    server_mlips_x1000: u64,
 }
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -242,6 +248,8 @@ fn main() {
         pool_queue_timeouts: delta("pool_queue_timeouts"),
         pool_max_queue_depth: after.get("pool_max_queue_depth").unwrap_or(0),
         server_protocol_errors: delta("protocol_errors"),
+        server_instructions: delta("instructions"),
+        server_mlips_x1000: after.get("mlips_x1000").unwrap_or(0),
     };
 
     if json {
@@ -267,6 +275,11 @@ fn main() {
             report.pool_max_queue_depth
         );
         println!(
+            "  engine   {} instructions  cumulative {:.3} MLIPS",
+            report.server_instructions,
+            report.server_mlips_x1000 as f64 / 1000.0
+        );
+        println!(
             "  errors   transport/server {}  wrong answers {}  protocol {}",
             report.errors, report.wrong_answers, report.server_protocol_errors
         );
@@ -277,6 +290,13 @@ fn main() {
     }
     if require_reuse && report.pool_warm_hits == 0 {
         eprintln!("pwam-load: --require-reuse: the server reported no warm engine reuse");
+        std::process::exit(1);
+    }
+    // Smoke assertion on the stats verb itself: a run that completed
+    // queries must have moved the server's cumulative instruction counter.
+    let completed = total_requests.saturating_sub(errors);
+    if completed > 0 && report.server_instructions == 0 {
+        eprintln!("pwam-load: server stats reported zero executed instructions after {completed} queries");
         std::process::exit(1);
     }
 }

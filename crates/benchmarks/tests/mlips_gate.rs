@@ -29,12 +29,16 @@ fn flat_dispatch_meets_per_benchmark_floors() {
         eprintln!("skipping MLIPS floors in a debug build");
         return;
     }
-    // The headline pair the ISSUE pins (tak and deriv at >= 1.3x), plus one
-    // guard benchmark.  Paper scale: the runs are still only a few
-    // milliseconds each, and the smallest scale is too short for the
+    // The headline pair (tak and deriv), one guard benchmark (qsort), and
+    // the goal-transition-heavy pair (queens and fib — dominated by
+    // goal-finish/pickup boundaries, so they gate the driver-free
+    // transitions specifically).  Paper scale: the runs are still only a
+    // few milliseconds each, and the smallest scale is too short for the
     // speedup to converge (the fixed engine set-up cost dilutes the
     // dispatch-loop gain).  The CI job runs the full extended suite.
-    for id in [BenchmarkId::Deriv, BenchmarkId::Tak, BenchmarkId::Qsort] {
+    for id in
+        [BenchmarkId::Deriv, BenchmarkId::Tak, BenchmarkId::Qsort, BenchmarkId::Queens, BenchmarkId::Fib]
+    {
         let c = compare_dispatch_paths(id, Scale::Paper, 3);
         println!(
             "{:>6}: {:>8} instrs, classic {:>7.2} MIPS -> flat {:>7.2} MIPS, speedup {:.3} (floor {:.2})",

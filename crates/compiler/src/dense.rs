@@ -59,7 +59,11 @@ use pwam_front::atoms::Atom;
 /// identical), and `UnifyLocalValue` collapses into `UnifyValue` (the
 /// executor treats them the same).  Ill-formed operands that the classic
 /// path reports at run time (`Unresolved` targets, builtin `pcall_goal`
-/// targets, `neck_cut`) keep dedicated opcodes that raise the same errors.
+/// targets) keep dedicated opcodes that raise the same errors.  `NeckCut`
+/// executes for real in both paths: it commits to the clause by cutting
+/// the choice-point stack back to the level captured at call time
+/// (`wk.b0`), with a regression test pinning flat and classic to identical
+/// answers and counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum DenseOp {

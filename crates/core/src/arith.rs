@@ -12,8 +12,7 @@ impl<'a, 'p> Step<'a, 'p> {
     /// Supported functors: integers, `+/2`, `-/2`, `*/2`, `///2` (integer
     /// division), `mod/2`, `//2` (also integer division, as is conventional
     /// for integer-only Prolog arithmetic), and unary `-/1` / `+/1`.
-    pub(crate) fn eval_arith(&self, cell: Cell) -> EngineResult<i64> {
-        let pe = self.wk.id;
+    pub(crate) fn eval_arith(&mut self, cell: Cell) -> EngineResult<i64> {
         match self.deref(cell) {
             Cell::Int(v) => Ok(v),
             Cell::Ref(_) => Err(EngineError::Instantiation { context: "arithmetic expression" }),
@@ -21,7 +20,7 @@ impl<'a, 'p> Step<'a, 'p> {
                 context: format!("atom {a:?} is not an arithmetic expression"),
             }),
             Cell::Str(p) => {
-                let f = self.core.mem.read(pe, p, ObjectKind::HeapTerm);
+                let f = self.mem_read(p, ObjectKind::HeapTerm);
                 let (name, arity) = match f {
                     Cell::Fun(name, arity) => (name, arity),
                     other => {
@@ -32,7 +31,7 @@ impl<'a, 'p> Step<'a, 'p> {
                 };
                 match arity {
                     1 => {
-                        let a = self.core.mem.read(pe, p + 1, ObjectKind::HeapTerm);
+                        let a = self.mem_read(p + 1, ObjectKind::HeapTerm);
                         let v = self.eval_arith(a)?;
                         match name {
                             n if n == known::MINUS => Ok(-v),
@@ -43,8 +42,8 @@ impl<'a, 'p> Step<'a, 'p> {
                         }
                     }
                     2 => {
-                        let a = self.core.mem.read(pe, p + 1, ObjectKind::HeapTerm);
-                        let b = self.core.mem.read(pe, p + 2, ObjectKind::HeapTerm);
+                        let a = self.mem_read(p + 1, ObjectKind::HeapTerm);
+                        let b = self.mem_read(p + 2, ObjectKind::HeapTerm);
                         let x = self.eval_arith(a)?;
                         let y = self.eval_arith(b)?;
                         match name {

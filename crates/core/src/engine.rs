@@ -506,6 +506,14 @@ impl<'p> Engine<'p> {
     /// behind for reuse (the trace buffer, if any, is drained).
     pub fn take_result(&mut self, syms: &SymbolTable) -> EngineResult<RunResult> {
         debug_assert!(self.core.finished().is_some(), "take_result on an unfinished engine");
+        // Fold any reference counts the fast path still holds in worker
+        // registers into the arena counters before reading them out.  (The
+        // flat batch loop flushes at every exit, so this only catches work
+        // done outside a batch, e.g. a deferred backtrack resumed from the
+        // scheduler.)
+        for wk in self.workers.iter_mut() {
+            self.core.mem.flush_delta(wk.id as usize, &mut wk.ref_delta);
+        }
         let outcome = if self.core.finished() == Some(true) {
             let bindings = self.extract_answer(syms)?;
             Outcome::Success(bindings)
@@ -863,6 +871,119 @@ impl<'a, 'p> Step<'a, 'p> {
     #[inline]
     pub(crate) fn w(&self) -> usize {
         self.wk.id as usize
+    }
+
+    // -----------------------------------------------------------------
+    // Own-arena fast-path accessors
+    // -----------------------------------------------------------------
+    //
+    // When the memory is in serial mode with tracing off ([`Memory::fast`]),
+    // accesses that land in this worker's own Stack Set skip the arena
+    // dispatch entirely: the word moves through [`Memory::serial_read`] /
+    // [`Memory::serial_write`] and the reference is *counted* in the
+    // worker-local [`crate::trace::RefDelta`], which `flush_ref_delta`
+    // folds back into the arena's counters at batch boundaries.  Aggregate
+    // statistics are identical to unbatched accounting (the access itself
+    // still happens at the same point in the instruction stream); with
+    // tracing on the fast path is disabled and every access takes the fully
+    // recorded path, so traces are byte-for-byte unchanged.
+
+    /// Whether `addr` lies in this worker's own Stack Set.
+    #[inline(always)]
+    fn own_addr(&self, addr: u32) -> bool {
+        addr >= self.wk.heap_base && addr < self.wk.arena_end
+    }
+
+    /// Read one word, through the unrecorded own-arena path when available.
+    #[inline(always)]
+    pub(crate) fn mem_read(&mut self, addr: u32, object: ObjectKind) -> Cell {
+        if self.core.mem.fast() && self.own_addr(addr) {
+            debug_assert_eq!(self.core.mem.map.area_of(addr), object.area());
+            self.wk.ref_delta.count(object, false);
+            self.core.mem.serial_read(self.wk.id as usize, addr - self.wk.heap_base)
+        } else {
+            self.core.mem.read(self.wk.id, addr, object)
+        }
+    }
+
+    /// Write one word, through the unrecorded own-arena path when available.
+    #[inline(always)]
+    pub(crate) fn mem_write(&mut self, addr: u32, value: Cell, object: ObjectKind) {
+        if self.core.mem.fast() && self.own_addr(addr) {
+            debug_assert_eq!(self.core.mem.map.area_of(addr), object.area());
+            self.wk.ref_delta.count(object, true);
+            self.core.mem.serial_write(self.wk.id as usize, addr - self.wk.heap_base, value);
+        } else {
+            self.core.mem.write(self.wk.id, addr, value, object);
+        }
+    }
+
+    /// Classify an address *known to lie in this worker's own arena* by the
+    /// object kind of its area — the register-resident counterpart of
+    /// [`EngineCore::object_for_addr`], comparing against the worker's
+    /// cached area boundaries instead of dividing through the address map.
+    #[inline(always)]
+    pub(crate) fn own_object_kind(&self, addr: u32) -> ObjectKind {
+        debug_assert!(self.own_addr(addr));
+        let wk = &*self.wk;
+        if addr < wk.local_base {
+            ObjectKind::HeapTerm
+        } else if addr < wk.control_base {
+            ObjectKind::EnvPermVar
+        } else if addr < wk.trail_base {
+            ObjectKind::Marker
+        } else if addr < wk.pdl_base {
+            ObjectKind::TrailEntry
+        } else if addr < wk.goal_base {
+            ObjectKind::PdlEntry
+        } else if addr < wk.msg_base {
+            ObjectKind::GoalFrame
+        } else {
+            ObjectKind::Message
+        }
+    }
+
+    /// Classify a data address as [`EngineCore::object_for_addr`] would,
+    /// taking the boundary-register path for own-arena addresses.
+    #[inline(always)]
+    pub(crate) fn object_for_addr(&self, addr: u32) -> ObjectKind {
+        if self.own_addr(addr) {
+            self.own_object_kind(addr)
+        } else {
+            self.core.object_for_addr(addr)
+        }
+    }
+
+    /// Bounds-check a stack top against a worker-cached area end (the same
+    /// check as [`Memory::check_top`], without recomputing the end from the
+    /// address map).
+    #[inline(always)]
+    pub(crate) fn check_cached_top(&self, end: u32, area: Area, addr: u32) -> EngineResult<()> {
+        debug_assert_eq!(end, self.core.mem.map.area_end(self.w(), area));
+        if addr >= end {
+            Err(EngineError::OutOfMemory { worker: self.w(), area })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Fold this worker's deferred fast-path reference counts into its
+    /// arena's counters (no-op when nothing is deferred).
+    #[inline]
+    pub(crate) fn flush_ref_delta(&mut self) {
+        if self.wk.ref_delta.total != 0 {
+            self.core.mem.flush_delta(self.wk.id as usize, &mut self.wk.ref_delta);
+        }
+    }
+
+    /// Drop the cached topmost-environment words.  Called wherever `E` is
+    /// restored from saved state (choice-point restore, goal wind-down):
+    /// the cache only ever describes the environment the worker itself
+    /// just allocated, so any other transition simply falls back to real
+    /// frame reads.
+    #[inline(always)]
+    pub(crate) fn invalidate_env_cache(&mut self) {
+        self.wk.env_cache_e = NONE_ADDR;
     }
 
     /// Give this worker one slot: `quantum` instructions when running, one
@@ -1237,6 +1358,7 @@ impl<'a, 'p> Step<'a, 'p> {
         let wk = &mut *self.wk;
         wk.cp = ctx.prev_cp;
         wk.e = ctx.entry_e;
+        wk.env_cache_e = NONE_ADDR; // E restored from the goal context
         wk.hb = ctx.prev_hb;
         wk.stack_boundary = ctx.prev_stack_boundary;
         wk.pf = ctx.entry_pf;
@@ -1326,6 +1448,7 @@ impl<'a, 'p> Step<'a, 'p> {
             wk.h = ctx.entry_h.max(wk.frozen_h);
             wk.local_top = ctx.entry_local_top.max(wk.frozen_local);
             wk.e = ctx.entry_e;
+            wk.env_cache_e = NONE_ADDR; // E restored from the goal context
             wk.b = ctx.entry_b;
             wk.cp_top = NONE_ADDR;
             wk.cp = ctx.prev_cp;
@@ -1421,29 +1544,26 @@ impl<'a, 'p> Step<'a, 'p> {
     /// Push a choice point whose next alternative is the code address
     /// `next_clause`.
     pub(crate) fn push_choice_point(&mut self, next_clause: u32) -> EngineResult<()> {
-        let w = self.w();
-        let pe = self.wk.id;
-        let mem = &self.core.mem;
         let nargs = self.wk.num_args as u32;
         let b = self.wk.control_top;
-        mem.check_top(w, Area::ControlStack, b + choice::size(nargs))?;
-        mem.write(pe, b + choice::NARGS, Cell::Uint(nargs), ObjectKind::ChoicePoint);
+        self.check_cached_top(self.wk.control_end, Area::ControlStack, b + choice::size(nargs))?;
+        self.mem_write(b + choice::NARGS, Cell::Uint(nargs), ObjectKind::ChoicePoint);
         for i in 0..nargs {
             let v = self.wk.x[(i + 1) as usize];
-            mem.write(pe, choice::arg(b, i), v, ObjectKind::ChoicePoint);
+            self.mem_write(choice::arg(b, i), v, ObjectKind::ChoicePoint);
         }
         let wk = &*self.wk;
         let (e, cp, prev_b, tr, h, pf, local_top, b0) =
             (wk.e, wk.cp, wk.b, wk.tr, wk.h, wk.pf, wk.local_top, wk.b0);
-        mem.write(pe, choice::saved_e(b, nargs), Cell::Uint(e), ObjectKind::ChoicePoint);
-        mem.write(pe, choice::saved_cp(b, nargs), Cell::Code(cp), ObjectKind::ChoicePoint);
-        mem.write(pe, choice::prev_b(b, nargs), Cell::Uint(prev_b), ObjectKind::ChoicePoint);
-        mem.write(pe, choice::next_clause(b, nargs), Cell::Code(next_clause), ObjectKind::ChoicePoint);
-        mem.write(pe, choice::saved_tr(b, nargs), Cell::Uint(tr), ObjectKind::ChoicePoint);
-        mem.write(pe, choice::saved_h(b, nargs), Cell::Uint(h), ObjectKind::ChoicePoint);
-        mem.write(pe, choice::saved_pf(b, nargs), Cell::Uint(pf), ObjectKind::ChoicePoint);
-        mem.write(pe, choice::saved_local_top(b, nargs), Cell::Uint(local_top), ObjectKind::ChoicePoint);
-        mem.write(pe, choice::saved_b0(b, nargs), Cell::Uint(b0), ObjectKind::ChoicePoint);
+        self.mem_write(choice::saved_e(b, nargs), Cell::Uint(e), ObjectKind::ChoicePoint);
+        self.mem_write(choice::saved_cp(b, nargs), Cell::Code(cp), ObjectKind::ChoicePoint);
+        self.mem_write(choice::prev_b(b, nargs), Cell::Uint(prev_b), ObjectKind::ChoicePoint);
+        self.mem_write(choice::next_clause(b, nargs), Cell::Code(next_clause), ObjectKind::ChoicePoint);
+        self.mem_write(choice::saved_tr(b, nargs), Cell::Uint(tr), ObjectKind::ChoicePoint);
+        self.mem_write(choice::saved_h(b, nargs), Cell::Uint(h), ObjectKind::ChoicePoint);
+        self.mem_write(choice::saved_pf(b, nargs), Cell::Uint(pf), ObjectKind::ChoicePoint);
+        self.mem_write(choice::saved_local_top(b, nargs), Cell::Uint(local_top), ObjectKind::ChoicePoint);
+        self.mem_write(choice::saved_b0(b, nargs), Cell::Uint(b0), ObjectKind::ChoicePoint);
         let wk = &mut *self.wk;
         wk.b = b;
         wk.hb = wk.h;
@@ -1457,24 +1577,26 @@ impl<'a, 'p> Step<'a, 'p> {
     /// Restore machine state from the current choice point and continue at
     /// its next-alternative address (the retry/trust driver instruction).
     fn restore_from_choice_point(&mut self) -> EngineResult<()> {
-        let pe = self.wk.id;
         let b = self.wk.b;
-        let mem = &self.core.mem;
-        let nargs = mem.read(pe, b + choice::NARGS, ObjectKind::ChoicePoint).expect_uint("cp nargs");
+        let nargs = self.mem_read(b + choice::NARGS, ObjectKind::ChoicePoint).expect_uint("cp nargs");
         for i in 0..nargs {
-            let v = mem.read(pe, choice::arg(b, i), ObjectKind::ChoicePoint);
+            let v = self.mem_read(choice::arg(b, i), ObjectKind::ChoicePoint);
             self.wk.x[(i + 1) as usize] = v;
         }
-        let e = mem.read(pe, choice::saved_e(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp e");
-        let cp = mem.read(pe, choice::saved_cp(b, nargs), ObjectKind::ChoicePoint).expect_code("cp cp");
-        let bp = mem.read(pe, choice::next_clause(b, nargs), ObjectKind::ChoicePoint).expect_code("cp bp");
-        let tr = mem.read(pe, choice::saved_tr(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp tr");
-        let h = mem.read(pe, choice::saved_h(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp h");
-        let pf = mem.read(pe, choice::saved_pf(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp pf");
+        let e = self.mem_read(choice::saved_e(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp e");
+        let cp = self.mem_read(choice::saved_cp(b, nargs), ObjectKind::ChoicePoint).expect_code("cp cp");
+        let bp = self.mem_read(choice::next_clause(b, nargs), ObjectKind::ChoicePoint).expect_code("cp bp");
+        let tr = self.mem_read(choice::saved_tr(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp tr");
+        let h = self.mem_read(choice::saved_h(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp h");
+        let pf = self.mem_read(choice::saved_pf(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp pf");
         let lt =
-            mem.read(pe, choice::saved_local_top(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp lt");
-        let b0 = mem.read(pe, choice::saved_b0(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp b0");
+            self.mem_read(choice::saved_local_top(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp lt");
+        let b0 = self.mem_read(choice::saved_b0(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp b0");
         self.untrail_to(tr)?;
+        // `E` is being restored from saved state, not from this worker's own
+        // allocation path — the topmost-environment cache no longer
+        // describes it.
+        self.invalidate_env_cache();
         let wk = &mut *self.wk;
         wk.num_args = nargs as u8;
         wk.e = e;
@@ -1500,11 +1622,9 @@ impl<'a, 'p> Step<'a, 'p> {
 
     /// Discard the current choice point (executed by `trust` / cut).
     pub(crate) fn pop_choice_point(&mut self) -> EngineResult<()> {
-        let pe = self.wk.id;
         let b = self.wk.b;
-        let mem = &self.core.mem;
-        let nargs = mem.read(pe, b + choice::NARGS, ObjectKind::ChoicePoint).expect_uint("cp nargs");
-        let prev = mem.read(pe, choice::prev_b(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp prev");
+        let nargs = self.mem_read(b + choice::NARGS, ObjectKind::ChoicePoint).expect_uint("cp nargs");
+        let prev = self.mem_read(choice::prev_b(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp prev");
         self.wk.b = prev;
         self.wk.cp_top = NONE_ADDR; // recomputed lazily by recede_control_top
         self.refresh_backtrack_boundaries()?;
@@ -1516,7 +1636,6 @@ impl<'a, 'p> Step<'a, 'p> {
     /// refresh the `hb` / `stack_boundary` trailing boundaries from the new
     /// current choice point.
     pub(crate) fn refresh_backtrack_boundaries(&mut self) -> EngineResult<()> {
-        let pe = self.wk.id;
         let b = self.wk.b;
         // With no choice point left, the failure boundary is the enclosing
         // parallel goal's *entry* state (what `start_goal` set), or the
@@ -1536,11 +1655,10 @@ impl<'a, 'p> Step<'a, 'p> {
             wk.stack_boundary = goal_sb.max(wk.frozen_local).min(wk.local_top);
             return Ok(());
         }
-        let mem = &self.core.mem;
-        let nargs = mem.read(pe, b + choice::NARGS, ObjectKind::ChoicePoint).expect_uint("cp nargs");
-        let h = mem.read(pe, choice::saved_h(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp h");
+        let nargs = self.mem_read(b + choice::NARGS, ObjectKind::ChoicePoint).expect_uint("cp nargs");
+        let h = self.mem_read(choice::saved_h(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp h");
         let lt =
-            mem.read(pe, choice::saved_local_top(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp lt");
+            self.mem_read(choice::saved_local_top(b, nargs), ObjectKind::ChoicePoint).expect_uint("cp lt");
         let wk = &mut *self.wk;
         // Clamped like the restore targets: bindings into a frozen section
         // must be trailed (the section is never reclaimed wholesale), and a
@@ -1594,13 +1712,12 @@ impl<'a, 'p> Step<'a, 'p> {
 
     /// Undo trailed bindings down to `target`.
     pub(crate) fn untrail_to(&mut self, target: u32) -> EngineResult<()> {
-        let pe = self.wk.id;
         while self.wk.tr > target {
             self.wk.tr -= 1;
             let taddr = self.wk.tr;
-            let addr = self.core.mem.read(pe, taddr, ObjectKind::TrailEntry).expect_uint("trail entry");
-            let obj = self.core.object_for_addr(addr);
-            self.core.mem.write(pe, addr, Cell::Ref(addr), obj);
+            let addr = self.mem_read(taddr, ObjectKind::TrailEntry).expect_uint("trail entry");
+            let obj = self.object_for_addr(addr);
+            self.mem_write(addr, Cell::Ref(addr), obj);
         }
         Ok(())
     }

@@ -394,10 +394,21 @@ impl<'a, 'p> Step<'a, 'p> {
 
             // ---------------- cut ----------------
             Instr::NeckCut => {
-                return Err(EngineError::BadInstruction {
-                    addr: p,
-                    what: "neck_cut is not emitted by this compiler".into(),
-                })
+                // Cut immediately after head unification: discard every
+                // choice point pushed since the current predicate was
+                // called (clause selection included), restoring B to the
+                // barrier captured in B0 at the call.  This compiler's
+                // clause bodies route cuts through `get_level`/`cut_to`,
+                // but the instruction is part of the abstract machine's
+                // surface (hand-written or externally generated code), so
+                // both dispatch paths implement it.
+                let target = self.wk.b0;
+                if self.wk.b != target {
+                    self.wk.b = target;
+                    self.wk.cp_top = NONE_ADDR;
+                    self.refresh_backtrack_boundaries()?;
+                    self.recede_control_top();
+                }
             }
             Instr::GetLevel { y } => {
                 // Capture the cut barrier: choice points older than the call
@@ -631,7 +642,6 @@ impl<'a, 'p> Step<'a, 'p> {
 
     /// Shared implementation of write/read mode `unify_constant` and friends.
     fn unify_atomic(&mut self, atomic: Cell) -> EngineResult<bool> {
-        let pe = self.wk.id;
         match self.wk.mode {
             Mode::Write => {
                 self.heap_push(atomic)?;
@@ -639,7 +649,8 @@ impl<'a, 'p> Step<'a, 'p> {
             }
             Mode::Read => {
                 let s = self.wk.s;
-                let c = self.core.mem.read(pe, s, self.core.object_for_addr(s));
+                let obj = self.object_for_addr(s);
+                let c = self.mem_read(s, obj);
                 self.wk.s = s + 1;
                 match self.deref(c) {
                     Cell::Ref(addr) => {
@@ -665,39 +676,75 @@ impl<'a, 'p> Step<'a, 'p> {
     /// returning an error.  Handlers that transfer control through the
     /// worker (backtracking, goal start/finish) update `wk.p` themselves
     /// and return [`Flow::Reload`].
+    /// The loop is two-level: the outer level re-checks the full set of
+    /// exit conditions (budget, worker status, query completion), while the
+    /// hot inner level checks only the instruction budget.  This is sound
+    /// because every handler that can park the worker or finish the query
+    /// returns [`Flow::Reload`] (or an error) — `Next`/`Jump` outcomes
+    /// leave the worker `Running` and the query open by construction, so
+    /// re-testing those conditions per instruction is pure overhead.  Under
+    /// the relaxed backend another PE may finish the query mid-batch; the
+    /// worker then runs at most the rest of its (small, fixed) relaxed
+    /// batch before the driver observes the flag, exactly as it may already
+    /// overrun by the instructions in flight before its next boundary.
     pub(crate) fn exec_batch_flat(&mut self, max: u32) -> EngineResult<u32> {
         let core = self.core;
         let dense = core.program.dense.code.as_slice();
         let mut n = 0u32;
         let mut p = self.wk.p;
-        let result = loop {
+        let result = 'outer: loop {
             if n >= max || self.wk.status != WorkerStatus::Running || core.finished().is_some() {
                 break Ok(());
             }
-            self.wk.instructions += 1;
-            n += 1;
-            debug_assert!((p as usize) < dense.len(), "program counter out of the code area");
-            // SAFETY: every code address in a loaded program (entry points,
-            // saved continuations, choice-point alternatives) lies inside
-            // the code area, and the dense stream has exactly one slot per
-            // instruction; the debug assertion above checks the invariant
-            // in debug builds.
-            let di = unsafe { *dense.get_unchecked(p as usize) };
-            match self.exec_flat(di, p) {
-                Ok(Flow::Next) => p += 1,
-                Ok(Flow::Jump(addr)) => p = addr,
-                Ok(Flow::Reload) => p = self.wk.p,
-                Err(e) => {
-                    self.wk.p = p;
-                    break Err(e);
+            loop {
+                self.wk.instructions += 1;
+                n += 1;
+                debug_assert!((p as usize) < dense.len(), "program counter out of the code area");
+                // SAFETY: every code address in a loaded program (entry
+                // points, saved continuations, choice-point alternatives)
+                // lies inside the code area, and the dense stream has
+                // exactly one slot per instruction; the debug assertion
+                // above checks the invariant in debug builds.
+                let di = unsafe { *dense.get_unchecked(p as usize) };
+                match self.exec_flat(di, p) {
+                    Ok(Flow::Next) => p += 1,
+                    Ok(Flow::Jump(addr)) => p = addr,
+                    Ok(Flow::Reload) => {
+                        p = self.wk.p;
+                        continue 'outer;
+                    }
+                    Err(e) => {
+                        self.wk.p = p;
+                        break 'outer Err(e);
+                    }
+                }
+                if n >= max {
+                    break 'outer Ok(());
                 }
             }
         };
         self.wk.p = p;
+        // Batch boundary: fold the deferred fast-path reference counts back
+        // into the arena counters before the driver (or another PE's view
+        // of the statistics) can observe them.
+        self.flush_ref_delta();
         if n > 0 {
             core.steps.fetch_add(n as u64, Ordering::Relaxed);
         }
         result.map(|_| n)
+    }
+
+    /// Handle a failure inside the flat loop: run the backward-execution
+    /// machinery, then — when the worker is still `Running` (the common
+    /// case: the failure restored one of this PE's own choice points) —
+    /// continue at the restored `wk.p` without re-entering the outer loop.
+    /// Cold outcomes (goal failure that parks the worker, deferred
+    /// cancellation, query failure) return [`Flow::Reload`], whose
+    /// condition re-check routes control back to the driver.
+    #[inline(always)]
+    fn fail(&mut self) -> EngineResult<Flow> {
+        self.backtrack()?;
+        Ok(if self.wk.status == WorkerStatus::Running { Flow::Jump(self.wk.p) } else { Flow::Reload })
     }
 
     /// Execute one pre-decoded instruction.  `p` is its address; semantics
@@ -705,7 +752,6 @@ impl<'a, 'p> Step<'a, 'p> {
     /// pins both paths to byte-identical traces).
     #[inline(always)]
     fn exec_flat(&mut self, di: DenseInstr, p: CodeAddr) -> EngineResult<Flow> {
-        let pe = self.wk.id;
         match di.op {
             // ---------------- put ----------------
             DenseOp::PutVariable => {
@@ -717,7 +763,7 @@ impl<'a, 'p> Step<'a, 'p> {
                     }
                     Reg::Y(n) => {
                         let addr = self.y_addr(n)?;
-                        self.core.mem.write(pe, addr, Cell::Ref(addr), ObjectKind::EnvPermVar);
+                        self.mem_write(addr, Cell::Ref(addr), ObjectKind::EnvPermVar);
                         self.wk.x[di.c as usize] = Cell::Ref(addr);
                     }
                 }
@@ -769,32 +815,28 @@ impl<'a, 'p> Step<'a, 'p> {
                 let c = self.read_reg(decode_reg(di.b))?;
                 let arg = self.wk.x[di.c as usize];
                 if !self.unify(c, arg)? {
-                    self.backtrack()?;
-                    return Ok(Flow::Reload);
+                    return self.fail();
                 }
                 Ok(Flow::Next)
             }
             DenseOp::GetConstant => {
                 let arg = self.wk.x[di.b as usize];
                 if !self.get_atomic(arg, Cell::Con(Atom(di.c)))? {
-                    self.backtrack()?;
-                    return Ok(Flow::Reload);
+                    return self.fail();
                 }
                 Ok(Flow::Next)
             }
             DenseOp::GetInteger => {
                 let arg = self.wk.x[di.b as usize];
                 if !self.get_atomic(arg, Cell::Int(self.dense_int(di.c)))? {
-                    self.backtrack()?;
-                    return Ok(Flow::Reload);
+                    return self.fail();
                 }
                 Ok(Flow::Next)
             }
             DenseOp::GetNil => {
                 let arg = self.wk.x[di.b as usize];
                 if !self.get_atomic(arg, Cell::Con(known::NIL))? {
-                    self.backtrack()?;
-                    return Ok(Flow::Reload);
+                    return self.fail();
                 }
                 Ok(Flow::Next)
             }
@@ -807,21 +849,19 @@ impl<'a, 'p> Step<'a, 'p> {
                         self.wk.mode = Mode::Write;
                     }
                     Cell::Str(pp) => {
-                        let fun = self.core.mem.read(pe, pp, ObjectKind::HeapTerm);
+                        let fun = self.mem_read(pp, ObjectKind::HeapTerm);
                         match fun {
                             Cell::Fun(f2, n2) if f2 == Atom(di.c) && n2 == di.a => {
                                 self.wk.s = pp + 1;
                                 self.wk.mode = Mode::Read;
                             }
                             _ => {
-                                self.backtrack()?;
-                                return Ok(Flow::Reload);
+                                return self.fail();
                             }
                         }
                     }
                     _ => {
-                        self.backtrack()?;
-                        return Ok(Flow::Reload);
+                        return self.fail();
                     }
                 }
                 Ok(Flow::Next)
@@ -839,8 +879,7 @@ impl<'a, 'p> Step<'a, 'p> {
                         self.wk.mode = Mode::Read;
                     }
                     _ => {
-                        self.backtrack()?;
-                        return Ok(Flow::Reload);
+                        return self.fail();
                     }
                 }
                 Ok(Flow::Next)
@@ -851,7 +890,8 @@ impl<'a, 'p> Step<'a, 'p> {
                 match self.wk.mode {
                     Mode::Read => {
                         let s = self.wk.s;
-                        let c = self.core.mem.read(pe, s, self.core.object_for_addr(s));
+                        let obj = self.object_for_addr(s);
+                        let c = self.mem_read(s, obj);
                         self.wk.s = s + 1;
                         self.write_reg(decode_reg(di.b), c)?;
                     }
@@ -866,12 +906,12 @@ impl<'a, 'p> Step<'a, 'p> {
                 match self.wk.mode {
                     Mode::Read => {
                         let s = self.wk.s;
-                        let target = self.core.mem.read(pe, s, self.core.object_for_addr(s));
+                        let obj = self.object_for_addr(s);
+                        let target = self.mem_read(s, obj);
                         self.wk.s = s + 1;
                         let c = self.read_reg(decode_reg(di.b))?;
                         if !self.unify(c, target)? {
-                            self.backtrack()?;
-                            return Ok(Flow::Reload);
+                            return self.fail();
                         }
                     }
                     Mode::Write => {
@@ -884,22 +924,19 @@ impl<'a, 'p> Step<'a, 'p> {
             }
             DenseOp::UnifyConstant => {
                 if !self.unify_atomic(Cell::Con(Atom(di.c)))? {
-                    self.backtrack()?;
-                    return Ok(Flow::Reload);
+                    return self.fail();
                 }
                 Ok(Flow::Next)
             }
             DenseOp::UnifyInteger => {
                 if !self.unify_atomic(Cell::Int(self.dense_int(di.c)))? {
-                    self.backtrack()?;
-                    return Ok(Flow::Reload);
+                    return self.fail();
                 }
                 Ok(Flow::Next)
             }
             DenseOp::UnifyNil => {
                 if !self.unify_atomic(Cell::Con(known::NIL))? {
-                    self.backtrack()?;
-                    return Ok(Flow::Reload);
+                    return self.fail();
                 }
                 Ok(Flow::Next)
             }
@@ -917,25 +954,58 @@ impl<'a, 'p> Step<'a, 'p> {
 
             // ---------------- control ----------------
             DenseOp::Allocate => {
-                let n = di.b;
+                let n = di.b as u32;
                 let e_new = self.wk.local_top;
-                self.core.mem.check_top(self.w(), Area::LocalStack, e_new + env::size(n as u32))?;
+                self.check_cached_top(self.wk.local_end, Area::LocalStack, e_new + env::size(n))?;
                 let (e_old, cp) = (self.wk.e, self.wk.cp);
-                self.core.mem.write(pe, e_new + env::CE, Cell::Uint(e_old), ObjectKind::EnvControl);
-                self.core.mem.write(pe, e_new + env::CP, Cell::Code(cp), ObjectKind::EnvControl);
-                self.core.mem.write(pe, e_new + env::NVARS, Cell::Uint(n as u32), ObjectKind::EnvControl);
+                self.mem_write(e_new + env::CE, Cell::Uint(e_old), ObjectKind::EnvControl);
+                self.mem_write(e_new + env::CP, Cell::Code(cp), ObjectKind::EnvControl);
+                self.mem_write(e_new + env::NVARS, Cell::Uint(n), ObjectKind::EnvControl);
                 let wk = &mut *self.wk;
                 wk.e = e_new;
-                wk.local_top = e_new + env::size(n as u32);
+                wk.local_top = e_new + env::size(n);
+                // Keep the frame's control words register-resident: a
+                // `deallocate` reaching this frame while it is still the
+                // topmost environment consumes them without re-reading the
+                // frame (the reads are accounted as if performed).
+                wk.env_cache_e = e_new;
+                wk.env_cache_ce = e_old;
+                wk.env_cache_cp = cp;
+                wk.env_cache_n = n;
                 wk.update_high_water();
                 Ok(Flow::Next)
             }
             DenseOp::Deallocate => {
                 let e = self.wk.e;
-                let ce = self.core.mem.read(pe, e + env::CE, ObjectKind::EnvControl).expect_uint("env CE");
-                let cp = self.core.mem.read(pe, e + env::CP, ObjectKind::EnvControl).expect_code("env CP");
-                let n =
-                    self.core.mem.read(pe, e + env::NVARS, ObjectKind::EnvControl).expect_uint("env nvars");
+                let (ce, cp, n) = if self.core.mem.fast() && self.wk.env_cache_e == e {
+                    // Register-cache hit: the continuation words were
+                    // written by this worker's own `allocate` and nothing
+                    // restored `E` since (every such transition drops the
+                    // cache).  Account the three frame reads the machine
+                    // performs here so aggregate counters stay identical
+                    // to the uncached path.
+                    debug_assert_eq!(
+                        self.core.mem.read_untraced(e + env::CE).expect_uint("env CE"),
+                        self.wk.env_cache_ce
+                    );
+                    debug_assert_eq!(
+                        self.core.mem.read_untraced(e + env::CP).expect_code("env CP"),
+                        self.wk.env_cache_cp
+                    );
+                    debug_assert_eq!(
+                        self.core.mem.read_untraced(e + env::NVARS).expect_uint("env nvars"),
+                        self.wk.env_cache_n
+                    );
+                    let wk = &mut *self.wk;
+                    wk.ref_delta.counts[ObjectKind::EnvControl.index()][0] += 3;
+                    wk.ref_delta.total += 3;
+                    (wk.env_cache_ce, wk.env_cache_cp, wk.env_cache_n)
+                } else {
+                    let ce = self.mem_read(e + env::CE, ObjectKind::EnvControl).expect_uint("env CE");
+                    let cp = self.mem_read(e + env::CP, ObjectKind::EnvControl).expect_code("env CP");
+                    let n = self.mem_read(e + env::NVARS, ObjectKind::EnvControl).expect_uint("env nvars");
+                    (ce, cp, n)
+                };
                 let wk = &mut *self.wk;
                 if e + env::size(n) == wk.local_top {
                     // See `exec_instr`: recover the frame's space, but never
@@ -944,6 +1014,9 @@ impl<'a, 'p> Step<'a, 'p> {
                 }
                 wk.cp = cp;
                 wk.e = ce;
+                // The popped frame is gone; the parent's words were never
+                // cached.
+                wk.env_cache_e = NONE_ADDR;
                 Ok(Flow::Next)
             }
             DenseOp::CallCode => {
@@ -956,10 +1029,7 @@ impl<'a, 'p> Step<'a, 'p> {
             }
             DenseOp::CallBuiltin => match self.exec_builtin(self.dense_builtin(di.c))? {
                 BuiltinOutcome::Succeed => Ok(Flow::Next),
-                BuiltinOutcome::Fail => {
-                    self.backtrack()?;
-                    Ok(Flow::Reload)
-                }
+                BuiltinOutcome::Fail => self.fail(),
                 BuiltinOutcome::Halted => Ok(Flow::Reload),
             },
             DenseOp::ExecuteCode => {
@@ -971,10 +1041,7 @@ impl<'a, 'p> Step<'a, 'p> {
             }
             DenseOp::ExecuteBuiltin => match self.exec_builtin(self.dense_builtin(di.c))? {
                 BuiltinOutcome::Succeed => Ok(Flow::Jump(self.wk.cp)),
-                BuiltinOutcome::Fail => {
-                    self.backtrack()?;
-                    Ok(Flow::Reload)
-                }
+                BuiltinOutcome::Fail => self.fail(),
                 BuiltinOutcome::Halted => Ok(Flow::Reload),
             },
             DenseOp::CallUnresolved | DenseOp::ExecuteUnresolved => {
@@ -1030,8 +1097,7 @@ impl<'a, 'p> Step<'a, 'p> {
                     Cell::Con(a) => ConstKey::Atom(a),
                     Cell::Int(i) => ConstKey::Int(i),
                     _ => {
-                        self.backtrack()?;
-                        return Ok(Flow::Reload);
+                        return self.fail();
                     }
                 };
                 let table = &self.core.program.dense.const_tables[di.c as usize];
@@ -1042,7 +1108,7 @@ impl<'a, 'p> Step<'a, 'p> {
                 let arg = self.wk.x[1];
                 match self.deref(arg) {
                     Cell::Str(pp) => {
-                        let fun = self.core.mem.read(pe, pp, ObjectKind::HeapTerm);
+                        let fun = self.mem_read(pp, ObjectKind::HeapTerm);
                         match fun {
                             Cell::Fun(f, n) => {
                                 let table = &self.core.program.dense.struct_tables[di.c as usize];
@@ -1053,24 +1119,25 @@ impl<'a, 'p> Step<'a, 'p> {
                                     .unwrap_or(di.d);
                                 Ok(Flow::Jump(next))
                             }
-                            _ => {
-                                self.backtrack()?;
-                                Ok(Flow::Reload)
-                            }
+                            _ => self.fail(),
                         }
                     }
-                    _ => {
-                        self.backtrack()?;
-                        Ok(Flow::Reload)
-                    }
+                    _ => self.fail(),
                 }
             }
 
             // ---------------- cut ----------------
-            DenseOp::NeckCut => Err(EngineError::BadInstruction {
-                addr: p,
-                what: "neck_cut is not emitted by this compiler".into(),
-            }),
+            DenseOp::NeckCut => {
+                // Cut to the call-time barrier `B0` — see `exec_instr`.
+                let target = self.wk.b0;
+                if self.wk.b != target {
+                    self.wk.b = target;
+                    self.wk.cp_top = NONE_ADDR;
+                    self.refresh_backtrack_boundaries()?;
+                    self.recede_control_top();
+                }
+                Ok(Flow::Next)
+            }
             DenseOp::GetLevel => {
                 let b0 = self.wk.b0;
                 self.write_reg(Reg::Y(di.b), Cell::Uint(b0))?;
@@ -1125,15 +1192,20 @@ impl<'a, 'p> Step<'a, 'p> {
             DenseOp::PcallWait => self.pcall_wait(p),
             DenseOp::GoalSuccess => {
                 self.finish_goal_success()?;
-                Ok(Flow::Reload)
+                // A parent resumed at its wait (`Resume::ToWait`) is
+                // `Running` again with `wk.p` at the wait instruction:
+                // continue inline rather than bouncing through the driver.
+                // Idle/cancelling wind-downs park and take the cold exit.
+                if self.wk.status == WorkerStatus::Running {
+                    Ok(Flow::Jump(self.wk.p))
+                } else {
+                    Ok(Flow::Reload)
+                }
             }
 
             // ---------------- misc ----------------
             DenseOp::Jump => Ok(Flow::Jump(di.c)),
-            DenseOp::FailInstr => {
-                self.backtrack()?;
-                Ok(Flow::Reload)
-            }
+            DenseOp::FailInstr => self.fail(),
             DenseOp::Halt => {
                 // `wk.p` intentionally keeps pointing at the halt
                 // instruction, as on the classic path.
@@ -1166,11 +1238,9 @@ impl<'a, 'p> Step<'a, 'p> {
     /// next-clause word.
     #[inline(always)]
     fn retry_update_next_clause(&mut self, alt: CodeAddr) -> EngineResult<()> {
-        let pe = self.wk.id;
         let b = self.wk.b;
-        let nargs =
-            self.core.mem.read(pe, b + choice::NARGS, ObjectKind::ChoicePoint).expect_uint("cp nargs");
-        self.core.mem.write(pe, choice::next_clause(b, nargs), Cell::Code(alt), ObjectKind::ChoicePoint);
+        let nargs = self.mem_read(b + choice::NARGS, ObjectKind::ChoicePoint).expect_uint("cp nargs");
+        self.mem_write(choice::next_clause(b, nargs), Cell::Code(alt), ObjectKind::ChoicePoint);
         Ok(())
     }
 
@@ -1178,7 +1248,7 @@ impl<'a, 'p> Step<'a, 'p> {
     fn pcall_alloc(&mut self, n: u32) -> EngineResult<()> {
         let pe = self.wk.id;
         let pf_new = self.wk.local_top;
-        self.core.mem.check_top(self.w(), Area::LocalStack, pf_new + parcall::size(n))?;
+        self.check_cached_top(self.wk.local_end, Area::LocalStack, pf_new + parcall::size(n))?;
         let prev = self.wk.pf;
         let mem = &self.core.mem;
         mem.write(pe, pf_new + parcall::NGOALS, Cell::Uint(n), ObjectKind::ParcallLocal);
@@ -1271,8 +1341,7 @@ impl<'a, 'p> Step<'a, 'p> {
                 self.recede_control_top();
             }
             if status != parcall::STATUS_OK {
-                self.backtrack()?;
-                return Ok(Flow::Reload);
+                return self.fail();
             }
             let prev = self
                 .core
@@ -1298,8 +1367,13 @@ impl<'a, 'p> Step<'a, 'p> {
             }
             if !self.try_dispatch_work(Resume::ToWait { addr: p })? {
                 self.wk.status = WorkerStatus::WaitingAtPcall { addr: p, pf };
+                return Ok(Flow::Reload);
             }
-            Ok(Flow::Reload)
+            // A goal from our own board was dispatched: `start_goal` left
+            // the worker `Running` with `wk.p` at the goal's entry point —
+            // stay in the flat loop instead of exiting to the driver.
+            debug_assert_eq!(self.wk.status, WorkerStatus::Running);
+            Ok(Flow::Jump(self.wk.p))
         }
     }
 }

@@ -145,6 +145,14 @@ impl ObjectKind {
         }
     }
 
+    /// Stable index into Table 1 order (the position of `self` in
+    /// [`ObjectKind::ALL`]).  The discriminant *is* the table position, so
+    /// statistics tables index in O(1) instead of scanning `ALL`.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// All object kinds, in Table 1 order.
     pub const ALL: [ObjectKind; 12] = [
         ObjectKind::EnvControl,
@@ -303,28 +311,33 @@ pub mod board {
 pub struct AddressMap {
     pub config: MemoryConfig,
     pub num_workers: usize,
+    /// Cached `config.stack_set_words()`: `owner`/`area_of` sit on the
+    /// memory-access path, and recomputing the six-term sum per call costs
+    /// more than the division it feeds.
+    set_words: u32,
 }
 
 impl AddressMap {
     pub fn new(config: MemoryConfig, num_workers: usize) -> Self {
-        AddressMap { config, num_workers }
+        let set_words = config.stack_set_words();
+        AddressMap { config, num_workers, set_words }
     }
 
     /// Total size of the data memory in words: one Stack Set per worker plus
     /// the shared region.
     pub fn total_words(&self) -> u64 {
-        self.config.stack_set_words() as u64 * self.num_workers as u64 + SHARED_REGION_WORDS as u64
+        self.set_words as u64 * self.num_workers as u64 + SHARED_REGION_WORDS as u64
     }
 
     /// Base address of the shared region (one past the last Stack Set).
     pub fn shared_base(&self) -> u32 {
-        self.config.stack_set_words() * self.num_workers as u32
+        self.set_words * self.num_workers as u32
     }
 
     /// Base address of `area` in the Stack Set of `worker`.
     pub fn area_base(&self, worker: usize, area: Area) -> u32 {
         debug_assert!(worker < self.num_workers);
-        worker as u32 * self.config.stack_set_words() + self.config.area_offset(area)
+        worker as u32 * self.set_words + self.config.area_offset(area)
     }
 
     /// One-past-the-end address of `area` in the Stack Set of `worker`.
@@ -334,14 +347,15 @@ impl AddressMap {
 
     /// Which worker owns a global address (must lie inside a Stack Set, not
     /// the shared region).
+    #[inline(always)]
     pub fn owner(&self, addr: u32) -> usize {
         debug_assert!(addr < self.shared_base(), "address {addr} lies in the shared region");
-        (addr / self.config.stack_set_words()) as usize
+        (addr / self.set_words) as usize
     }
 
     /// Which area a global address belongs to.
     pub fn area_of(&self, addr: u32) -> Area {
-        let within = addr % self.config.stack_set_words();
+        let within = addr % self.set_words;
         // Walk the areas in layout order; there are only seven.
         for area in Area::ALL {
             let start = self.config.area_offset(area);
@@ -416,6 +430,13 @@ mod tests {
         }
         for o in [ParcallLocal, ParcallGlobal, ParcallCount, Marker, GoalFrame, Message] {
             assert!(!o.in_wam());
+        }
+    }
+
+    #[test]
+    fn object_index_is_the_table1_position() {
+        for (i, o) in ObjectKind::ALL.iter().enumerate() {
+            assert_eq!(o.index(), i);
         }
     }
 

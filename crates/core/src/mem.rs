@@ -44,7 +44,7 @@
 use crate::cell::Cell;
 use crate::error::{EngineError, EngineResult};
 use crate::layout::{AddressMap, Area, MemoryConfig, ObjectKind, SHARED_REGION_WORDS};
-use crate::trace::{AreaStats, MemRef};
+use crate::trace::{AreaStats, MemRef, RefDelta};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -201,6 +201,58 @@ impl Memory {
     /// Whether arena accesses currently bypass the per-arena locks.
     pub fn serial(&self) -> bool {
         self.serial
+    }
+
+    /// Whether the batched-accounting fast path is available: serial mode
+    /// (no locks to take) *and* tracing off (no per-reference record to
+    /// append, and no sequence number to claim).  When this is true, the
+    /// executor may serve own-arena accesses through the private
+    /// `serial_read` / `serial_write` helpers and count them in the
+    /// worker's [`RefDelta`] instead of the arena's [`AreaStats`]; the
+    /// flush ([`Memory::flush_delta`]) restores identical aggregate counts.
+    #[inline(always)]
+    pub fn fast(&self) -> bool {
+        self.serial && !self.collect_trace
+    }
+
+    /// Read one word of arena `idx` at `offset` without recording — the
+    /// caller accounts the reference in a [`RefDelta`].  Only callable in
+    /// serial mode (checked in debug builds); same soundness argument as
+    /// the serial branch of `with_arena`.
+    #[inline(always)]
+    pub(crate) fn serial_read(&self, idx: usize, offset: u32) -> Cell {
+        debug_assert!(self.serial);
+        // SAFETY: serial mode promises external serialisation of all
+        // accessors (see `set_serial`), so this shared access cannot alias
+        // a live exclusive borrow.
+        unsafe { (&(*self.arenas[idx].cell.get()).words)[offset as usize] }
+    }
+
+    /// Write one word of arena `idx` at `offset` without recording — the
+    /// caller accounts the reference in a [`RefDelta`].  Maintains the
+    /// arena's `touched` high-water mark exactly like [`Memory::write`].
+    #[inline(always)]
+    pub(crate) fn serial_write(&self, idx: usize, offset: u32, value: Cell) {
+        debug_assert!(self.serial);
+        // SAFETY: as in `serial_read`; serial mode makes this the only
+        // live borrow.
+        let a = unsafe { &mut *self.arenas[idx].cell.get() };
+        a.words[offset as usize] = value;
+        a.touched = a.touched.max(offset as usize + 1);
+    }
+
+    /// Fold a worker's batched fast-path reference counts into its own
+    /// arena's counters and clear the delta.  Called at batch boundaries
+    /// and before counters are read out, so aggregate statistics are
+    /// indistinguishable from unbatched accounting.  (Fast-path accesses
+    /// are own-arena by construction, so `own` — the worker id — is always
+    /// the arena every deferred count belongs to.)
+    pub fn flush_delta(&self, own: usize, delta: &mut RefDelta) {
+        if delta.total == 0 {
+            return;
+        }
+        self.with_arena(own, |a| a.stats.bulk_record(own as u8, &delta.counts));
+        delta.clear();
     }
 
     /// Run `f` with exclusive access to arena `idx`, taking its lock unless
@@ -608,6 +660,43 @@ mod tests {
         for (a, b) in lt.iter().zip(st.iter()) {
             assert_eq!(format!("{a:?}"), format!("{b:?}"));
         }
+    }
+
+    #[test]
+    fn fast_path_flush_counts_identically_to_recorded_accesses() {
+        let slow = Memory::new(MemoryConfig::small(), 1, false);
+        let mut fast = Memory::new(MemoryConfig::small(), 1, false);
+        fast.set_serial(true);
+        assert!(fast.fast());
+        assert!(!slow.fast(), "locked mode must not advertise the fast path");
+        // Same access pattern through both paths (arena 0's base is 0, so
+        // global addresses double as offsets).
+        let h = slow.area_base(0, Area::Heap);
+        let t = slow.area_base(0, Area::Trail);
+        slow.write(0, h, Cell::Int(1), ObjectKind::HeapTerm);
+        assert_eq!(slow.read(0, h, ObjectKind::HeapTerm), Cell::Int(1));
+        slow.write(0, t, Cell::Uint(7), ObjectKind::TrailEntry);
+        let mut delta = RefDelta::default();
+        fast.serial_write(0, h, Cell::Int(1));
+        delta.count(ObjectKind::HeapTerm, true);
+        assert_eq!(fast.serial_read(0, h), Cell::Int(1));
+        delta.count(ObjectKind::HeapTerm, false);
+        fast.serial_write(0, t, Cell::Uint(7));
+        delta.count(ObjectKind::TrailEntry, true);
+        // Before the flush nothing is visible; after it the aggregates match.
+        assert_eq!(fast.merged_stats().total.total(), 0);
+        fast.flush_delta(0, &mut delta);
+        assert_eq!(delta.total, 0);
+        let (fs, ss) = (fast.merged_stats(), slow.merged_stats());
+        assert_eq!(fs.total, ss.total);
+        assert_eq!(fs.per_area, ss.per_area);
+        assert_eq!(fs.per_object, ss.per_object);
+        assert_eq!(fs.global_refs, ss.global_refs);
+        assert_eq!(fs.local_refs, ss.local_refs);
+        assert_eq!(fs.per_pe, ss.per_pe);
+        // The touched high-water mark is maintained, so reset still clears.
+        fast.reset(false);
+        assert_eq!(fast.serial_read(0, h), Cell::Empty);
     }
 
     #[test]

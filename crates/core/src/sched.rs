@@ -429,6 +429,15 @@ fn handle_token<'p>(
 /// Instructions a relaxed worker executes between channel polls and shared
 /// bookkeeping flushes.  Large enough to amortise the poll, small enough
 /// that completion/steal notifications are observed promptly.
+///
+/// This is also the status-staleness bound of the flat executor's batch
+/// loop: within a batch, driver-free goal transitions keep the worker in
+/// the dense stream without re-reading the shared finished/abort flags, so
+/// a free-running PE can overrun a query finish by up to one batch of
+/// instructions.  That tail work is discarded with the worker's arenas —
+/// relaxed mode never reports per-PE reference attribution as exact — and
+/// the strict backends are unaffected (their interleavings check between
+/// slots).
 const RELAXED_BATCH: u32 = 128;
 
 /// Idle polls between global-progress checks of the stall watchdog.

@@ -75,8 +75,7 @@ impl AreaStats {
     pub fn record(&mut self, r: &MemRef) {
         self.total.add(r.write);
         self.per_area[r.area.index()].add(r.write);
-        let oi = ObjectKind::ALL.iter().position(|o| *o == r.object).expect("known object kind");
-        self.per_object[oi].add(r.write);
+        self.per_object[r.object.index()].add(r.write);
         match r.locality {
             Locality::Global => self.global_refs += 1,
             Locality::Local => self.local_refs += 1,
@@ -89,6 +88,39 @@ impl AreaStats {
         }
     }
 
+    /// Fold a worker's batched fast-path counts ([`RefDelta`]) into these
+    /// counters.  `counts[object.index()]` is `[reads, writes]`; area,
+    /// locality and lock tags are derived from the object kind exactly as
+    /// [`AreaStats::record`] would have derived them per reference, so the
+    /// totals are identical to having recorded each access individually.
+    pub fn bulk_record(&mut self, pe: u8, counts: &[[u64; 2]; 12]) {
+        for (oi, &[reads, writes]) in counts.iter().enumerate() {
+            let t = reads + writes;
+            if t == 0 {
+                continue;
+            }
+            let o = ObjectKind::ALL[oi];
+            self.total.reads += reads;
+            self.total.writes += writes;
+            let ai = o.area().index();
+            self.per_area[ai].reads += reads;
+            self.per_area[ai].writes += writes;
+            self.per_object[oi].reads += reads;
+            self.per_object[oi].writes += writes;
+            match o.locality() {
+                Locality::Global => self.global_refs += t,
+                Locality::Local => self.local_refs += t,
+            }
+            if o.locked() {
+                self.locked_refs += t;
+            }
+            if let Some(pe) = self.per_pe.get_mut(pe as usize) {
+                pe.reads += reads;
+                pe.writes += writes;
+            }
+        }
+    }
+
     /// Counters for one area.
     pub fn area(&self, a: Area) -> RwCount {
         self.per_area[a.index()]
@@ -96,8 +128,7 @@ impl AreaStats {
 
     /// Counters for one object kind.
     pub fn object(&self, o: ObjectKind) -> RwCount {
-        let oi = ObjectKind::ALL.iter().position(|k| *k == o).expect("known object kind");
-        self.per_object[oi]
+        self.per_object[o.index()]
     }
 
     /// Fraction of references that touch Global-tagged objects.
@@ -132,6 +163,37 @@ impl AreaStats {
             self.per_pe[i].reads += pe.reads;
             self.per_pe[i].writes += pe.writes;
         }
+    }
+}
+
+/// Worker-local batched reference accounting for the serial-mode fast path.
+///
+/// When tracing is off, the flattened executor counts own-arena accesses
+/// here (one array index + add per access) instead of updating the arena's
+/// [`AreaStats`] per reference, and folds the accumulated counts into the
+/// owning arena via [`AreaStats::bulk_record`] at batch boundaries.  Only
+/// *counts* are deferred — the access itself still happens at the same
+/// point in the instruction stream — so flushing at any time yields the
+/// same aggregate statistics as unbatched accounting.
+#[derive(Debug, Clone, Default)]
+pub struct RefDelta {
+    /// `counts[object.index()]` = `[reads, writes]`.
+    pub counts: [[u64; 2]; 12],
+    /// Total deferred references (zero ⇒ nothing to flush).
+    pub total: u64,
+}
+
+impl RefDelta {
+    /// Count one access to `object` (a read unless `write`).
+    #[inline(always)]
+    pub fn count(&mut self, object: ObjectKind, write: bool) {
+        self.counts[object.index()][write as usize] += 1;
+        self.total += 1;
+    }
+
+    /// Reset to empty (after a flush).
+    pub fn clear(&mut self) {
+        *self = RefDelta::default();
     }
 }
 
@@ -189,5 +251,38 @@ mod tests {
     #[test]
     fn empty_stats_have_zero_global_fraction() {
         assert_eq!(AreaStats::new(1).global_fraction(), 0.0);
+    }
+
+    #[test]
+    fn bulk_record_matches_per_reference_recording() {
+        // Record a mixed access pattern one reference at a time...
+        let mut direct = AreaStats::new(3);
+        let mut delta = RefDelta::default();
+        let pattern: &[(bool, ObjectKind, u64)] = &[
+            (false, ObjectKind::HeapTerm, 7),
+            (true, ObjectKind::HeapTerm, 3),
+            (false, ObjectKind::EnvControl, 4),
+            (true, ObjectKind::TrailEntry, 2),
+            (false, ObjectKind::GoalFrame, 5),
+            (true, ObjectKind::ParcallCount, 1),
+        ];
+        for &(write, object, times) in pattern {
+            for _ in 0..times {
+                direct.record(&sample(2, write, object));
+                delta.count(object, write);
+            }
+        }
+        // ...and in one bulk flush: every aggregate must be identical.
+        let mut bulk = AreaStats::new(3);
+        bulk.bulk_record(2, &delta.counts);
+        assert_eq!(bulk.total, direct.total);
+        assert_eq!(bulk.per_area, direct.per_area);
+        assert_eq!(bulk.per_object, direct.per_object);
+        assert_eq!(bulk.global_refs, direct.global_refs);
+        assert_eq!(bulk.local_refs, direct.local_refs);
+        assert_eq!(bulk.locked_refs, direct.locked_refs);
+        assert_eq!(bulk.per_pe, direct.per_pe);
+        delta.clear();
+        assert_eq!(delta.total, 0);
     }
 }

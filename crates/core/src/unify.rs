@@ -35,12 +35,12 @@ impl<'a, 'p> Step<'a, 'p> {
     }
 
     /// Read a register operand (X directly, Y through the environment).
-    pub(crate) fn read_reg(&self, reg: Reg) -> EngineResult<Cell> {
+    pub(crate) fn read_reg(&mut self, reg: Reg) -> EngineResult<Cell> {
         match reg {
             Reg::X(n) => Ok(self.wk.x[n as usize]),
             Reg::Y(n) => {
                 let addr = self.y_addr(n)?;
-                Ok(self.core.mem.read(self.wk.id, addr, ObjectKind::EnvPermVar))
+                Ok(self.mem_read(addr, ObjectKind::EnvPermVar))
             }
         }
     }
@@ -54,7 +54,7 @@ impl<'a, 'p> Step<'a, 'p> {
             }
             Reg::Y(n) => {
                 let addr = self.y_addr(n)?;
-                self.core.mem.write(self.wk.id, addr, value, ObjectKind::EnvPermVar);
+                self.mem_write(addr, value, ObjectKind::EnvPermVar);
                 Ok(())
             }
         }
@@ -67,8 +67,8 @@ impl<'a, 'p> Step<'a, 'p> {
     /// Allocate a fresh unbound variable on this worker's heap.
     pub(crate) fn new_heap_var(&mut self) -> EngineResult<Cell> {
         let h = self.wk.h;
-        self.core.mem.check_top(self.w(), Area::Heap, h)?;
-        self.core.mem.write(self.wk.id, h, Cell::Ref(h), ObjectKind::HeapTerm);
+        self.check_cached_top(self.wk.heap_end, Area::Heap, h)?;
+        self.mem_write(h, Cell::Ref(h), ObjectKind::HeapTerm);
         self.wk.h = h + 1;
         self.wk.update_high_water();
         Ok(Cell::Ref(h))
@@ -77,22 +77,22 @@ impl<'a, 'p> Step<'a, 'p> {
     /// Push one cell onto this worker's heap.
     pub(crate) fn heap_push(&mut self, cell: Cell) -> EngineResult<u32> {
         let h = self.wk.h;
-        self.core.mem.check_top(self.w(), Area::Heap, h)?;
-        self.core.mem.write(self.wk.id, h, cell, ObjectKind::HeapTerm);
+        self.check_cached_top(self.wk.heap_end, Area::Heap, h)?;
+        self.mem_write(h, cell, ObjectKind::HeapTerm);
         self.wk.h = h + 1;
         self.wk.update_high_water();
         Ok(h)
     }
 
     /// Follow reference chains until reaching an unbound variable or a
-    /// non-reference cell.  Every hop reads memory (and is traced).
-    pub(crate) fn deref(&self, mut cell: Cell) -> Cell {
-        let pe = self.wk.id;
+    /// non-reference cell.  Every hop reads memory (and is counted, traced
+    /// when tracing is on).
+    pub(crate) fn deref(&mut self, mut cell: Cell) -> Cell {
         loop {
             match cell {
                 Cell::Ref(a) => {
-                    let obj = self.core.object_for_addr(a);
-                    let next = self.core.mem.read(pe, a, obj);
+                    let obj = self.object_for_addr(a);
+                    let next = self.mem_read(a, obj);
                     if next == Cell::Ref(a) {
                         return cell; // unbound variable at a
                     }
@@ -106,26 +106,26 @@ impl<'a, 'p> Step<'a, 'p> {
     /// Record `addr` on the trail if the binding must be undone on
     /// backtracking (conditional trailing).
     pub(crate) fn trail_if_needed(&mut self, addr: u32) -> EngineResult<()> {
-        let w = self.w();
-        let area = self.core.mem.map.area_of(addr);
-        let owner = self.core.mem.map.owner(addr);
-        let must_trail = if owner != w {
-            // Bindings into another worker's areas are always trailed.
+        // Pure register arithmetic against the worker's cached area
+        // boundaries — no address-map division on the hot path.  Bindings
+        // into another worker's areas are always trailed; own goal-frame
+        // arguments and the like conservatively so.
+        let wk = &*self.wk;
+        let must_trail = if addr < wk.heap_base || addr >= wk.arena_end {
             true
+        } else if addr < wk.local_base {
+            addr < wk.hb // own heap: conditional on the backtrack boundary
+        } else if addr < wk.control_base {
+            addr < wk.stack_boundary // own local stack
         } else {
-            match area {
-                Area::Heap => addr < self.wk.hb,
-                Area::LocalStack => addr < self.wk.stack_boundary,
-                // Goal-frame arguments and the like: be conservative.
-                _ => true,
-            }
+            true
         };
         if !must_trail {
             return Ok(());
         }
         let tr = self.wk.tr;
-        self.core.mem.check_top(w, Area::Trail, tr)?;
-        self.core.mem.write(self.wk.id, tr, Cell::Uint(addr), ObjectKind::TrailEntry);
+        self.check_cached_top(self.wk.trail_end, Area::Trail, tr)?;
+        self.mem_write(tr, Cell::Uint(addr), ObjectKind::TrailEntry);
         self.wk.tr = tr + 1;
         self.wk.update_high_water();
         Ok(())
@@ -134,8 +134,8 @@ impl<'a, 'p> Step<'a, 'p> {
     /// Bind the unbound variable at `addr` to `value`.
     pub(crate) fn bind(&mut self, addr: u32, value: Cell) -> EngineResult<()> {
         self.trail_if_needed(addr)?;
-        let obj = self.core.object_for_addr(addr);
-        self.core.mem.write(self.wk.id, addr, value, obj);
+        let obj = self.object_for_addr(addr);
+        self.mem_write(addr, value, obj);
         Ok(())
     }
 
@@ -186,29 +186,27 @@ impl<'a, 'p> Step<'a, 'p> {
     // Unification
     // -----------------------------------------------------------------
 
+    /// Push a pair of cells onto the PDL work stack.
+    #[inline(always)]
+    fn pdl_push(&mut self, pdl: &mut u32, a: Cell, b: Cell) -> EngineResult<()> {
+        self.check_cached_top(self.wk.pdl_end, Area::Pdl, *pdl + 1)?;
+        self.mem_write(*pdl, a, ObjectKind::PdlEntry);
+        self.mem_write(*pdl + 1, b, ObjectKind::PdlEntry);
+        *pdl += 2;
+        Ok(())
+    }
+
     /// Full unification of two cells.  Returns `Ok(false)` on mismatch
     /// (the caller backtracks).
     pub(crate) fn unify(&mut self, c1: Cell, c2: Cell) -> EngineResult<bool> {
-        let pe = self.wk.id;
-        let w = self.w();
-        // `core` is copied out of `self` so the PDL helper can run while
-        // `self` stays free for bind/deref calls.
-        let core = self.core;
         // The PDL holds pairs of cells still to be unified.
         let pdl_base = self.wk.pdl_base;
         let mut pdl = pdl_base;
-        let push = |pdl: &mut u32, a: Cell, b: Cell| -> EngineResult<()> {
-            core.mem.check_top(w, Area::Pdl, *pdl + 1)?;
-            core.mem.write(pe, *pdl, a, ObjectKind::PdlEntry);
-            core.mem.write(pe, *pdl + 1, b, ObjectKind::PdlEntry);
-            *pdl += 2;
-            Ok(())
-        };
-        push(&mut pdl, c1, c2)?;
+        self.pdl_push(&mut pdl, c1, c2)?;
         while pdl > pdl_base {
             pdl -= 2;
-            let a = core.mem.read(pe, pdl, ObjectKind::PdlEntry);
-            let b = core.mem.read(pe, pdl + 1, ObjectKind::PdlEntry);
+            let a = self.mem_read(pdl, ObjectKind::PdlEntry);
+            let b = self.mem_read(pdl + 1, ObjectKind::PdlEntry);
             let d1 = self.deref(a);
             let d2 = self.deref(b);
             if d1 == d2 {
@@ -229,22 +227,22 @@ impl<'a, 'p> Step<'a, 'p> {
                     }
                 }
                 (Cell::Lis(p1), Cell::Lis(p2)) => {
-                    let h1 = core.mem.read(pe, p1, ObjectKind::HeapTerm);
-                    let h2 = core.mem.read(pe, p2, ObjectKind::HeapTerm);
-                    let t1 = core.mem.read(pe, p1 + 1, ObjectKind::HeapTerm);
-                    let t2 = core.mem.read(pe, p2 + 1, ObjectKind::HeapTerm);
-                    push(&mut pdl, h1, h2)?;
-                    push(&mut pdl, t1, t2)?;
+                    let h1 = self.mem_read(p1, ObjectKind::HeapTerm);
+                    let h2 = self.mem_read(p2, ObjectKind::HeapTerm);
+                    let t1 = self.mem_read(p1 + 1, ObjectKind::HeapTerm);
+                    let t2 = self.mem_read(p2 + 1, ObjectKind::HeapTerm);
+                    self.pdl_push(&mut pdl, h1, h2)?;
+                    self.pdl_push(&mut pdl, t1, t2)?;
                 }
                 (Cell::Str(p1), Cell::Str(p2)) => {
-                    let f1 = core.mem.read(pe, p1, ObjectKind::HeapTerm);
-                    let f2 = core.mem.read(pe, p2, ObjectKind::HeapTerm);
+                    let f1 = self.mem_read(p1, ObjectKind::HeapTerm);
+                    let f2 = self.mem_read(p2, ObjectKind::HeapTerm);
                     match (f1, f2) {
                         (Cell::Fun(n1, a1), Cell::Fun(n2, a2)) if n1 == n2 && a1 == a2 => {
                             for i in 0..a1 as u32 {
-                                let x = core.mem.read(pe, p1 + 1 + i, ObjectKind::HeapTerm);
-                                let y = core.mem.read(pe, p2 + 1 + i, ObjectKind::HeapTerm);
-                                push(&mut pdl, x, y)?;
+                                let x = self.mem_read(p1 + 1 + i, ObjectKind::HeapTerm);
+                                let y = self.mem_read(p2 + 1 + i, ObjectKind::HeapTerm);
+                                self.pdl_push(&mut pdl, x, y)?;
                             }
                         }
                         _ => return Ok(false),
@@ -261,8 +259,7 @@ impl<'a, 'p> Step<'a, 'p> {
     // -----------------------------------------------------------------
 
     /// Collect the addresses of all unbound variables reachable from `cell`.
-    pub(crate) fn collect_unbound(&self, cell: Cell, out: &mut Vec<u32>) -> EngineResult<()> {
-        let pe = self.wk.id;
+    pub(crate) fn collect_unbound(&mut self, cell: Cell, out: &mut Vec<u32>) -> EngineResult<()> {
         let mut work = vec![cell];
         let mut visited = 0usize;
         while let Some(c) = work.pop() {
@@ -273,16 +270,16 @@ impl<'a, 'p> Step<'a, 'p> {
             match self.deref(c) {
                 Cell::Ref(a) => out.push(a),
                 Cell::Lis(p) => {
-                    let h = self.core.mem.read(pe, p, ObjectKind::HeapTerm);
-                    let t = self.core.mem.read(pe, p + 1, ObjectKind::HeapTerm);
+                    let h = self.mem_read(p, ObjectKind::HeapTerm);
+                    let t = self.mem_read(p + 1, ObjectKind::HeapTerm);
                     work.push(h);
                     work.push(t);
                 }
                 Cell::Str(p) => {
-                    let f = self.core.mem.read(pe, p, ObjectKind::HeapTerm);
+                    let f = self.mem_read(p, ObjectKind::HeapTerm);
                     if let Cell::Fun(_, n) = f {
                         for i in 0..n as u32 {
-                            let a = self.core.mem.read(pe, p + 1 + i, ObjectKind::HeapTerm);
+                            let a = self.mem_read(p + 1 + i, ObjectKind::HeapTerm);
                             work.push(a);
                         }
                     }
@@ -294,7 +291,7 @@ impl<'a, 'p> Step<'a, 'p> {
     }
 
     /// True if the term reachable from `cell` contains no unbound variables.
-    pub(crate) fn is_ground(&self, cell: Cell) -> EngineResult<bool> {
+    pub(crate) fn is_ground(&mut self, cell: Cell) -> EngineResult<bool> {
         let mut vars = Vec::new();
         self.collect_unbound(cell, &mut vars)?;
         Ok(vars.is_empty())
@@ -302,7 +299,7 @@ impl<'a, 'p> Step<'a, 'p> {
 
     /// True if the terms reachable from `c1` and `c2` share no unbound
     /// variable (the `indep/2` run-time check of the CGE conditions).
-    pub(crate) fn independent(&self, c1: Cell, c2: Cell) -> EngineResult<bool> {
+    pub(crate) fn independent(&mut self, c1: Cell, c2: Cell) -> EngineResult<bool> {
         let mut v1 = Vec::new();
         self.collect_unbound(c1, &mut v1)?;
         if v1.is_empty() {
@@ -315,8 +312,7 @@ impl<'a, 'p> Step<'a, 'p> {
     }
 
     /// Structural equality (`==/2`): equal without any binding.
-    pub(crate) fn struct_eq(&self, c1: Cell, c2: Cell) -> EngineResult<bool> {
-        let pe = self.wk.id;
+    pub(crate) fn struct_eq(&mut self, c1: Cell, c2: Cell) -> EngineResult<bool> {
         let mut work = vec![(c1, c2)];
         while let Some((a, b)) = work.pop() {
             let d1 = self.deref(a);
@@ -338,21 +334,21 @@ impl<'a, 'p> Step<'a, 'p> {
                     }
                 }
                 (Cell::Lis(p1), Cell::Lis(p2)) => {
-                    let h1 = self.core.mem.read(pe, p1, ObjectKind::HeapTerm);
-                    let h2 = self.core.mem.read(pe, p2, ObjectKind::HeapTerm);
-                    let t1 = self.core.mem.read(pe, p1 + 1, ObjectKind::HeapTerm);
-                    let t2 = self.core.mem.read(pe, p2 + 1, ObjectKind::HeapTerm);
+                    let h1 = self.mem_read(p1, ObjectKind::HeapTerm);
+                    let h2 = self.mem_read(p2, ObjectKind::HeapTerm);
+                    let t1 = self.mem_read(p1 + 1, ObjectKind::HeapTerm);
+                    let t2 = self.mem_read(p2 + 1, ObjectKind::HeapTerm);
                     work.push((h1, h2));
                     work.push((t1, t2));
                 }
                 (Cell::Str(p1), Cell::Str(p2)) => {
-                    let f1 = self.core.mem.read(pe, p1, ObjectKind::HeapTerm);
-                    let f2 = self.core.mem.read(pe, p2, ObjectKind::HeapTerm);
+                    let f1 = self.mem_read(p1, ObjectKind::HeapTerm);
+                    let f2 = self.mem_read(p2, ObjectKind::HeapTerm);
                     match (f1, f2) {
                         (Cell::Fun(n1, a1), Cell::Fun(n2, a2)) if n1 == n2 && a1 == a2 => {
                             for i in 0..a1 as u32 {
-                                let x = self.core.mem.read(pe, p1 + 1 + i, ObjectKind::HeapTerm);
-                                let y = self.core.mem.read(pe, p2 + 1 + i, ObjectKind::HeapTerm);
+                                let x = self.mem_read(p1 + 1 + i, ObjectKind::HeapTerm);
+                                let y = self.mem_read(p2 + 1 + i, ObjectKind::HeapTerm);
                                 work.push((x, y));
                             }
                         }

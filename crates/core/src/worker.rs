@@ -13,6 +13,7 @@
 
 use crate::cell::{Cell, NONE_ADDR};
 use crate::layout::{AddressMap, Area};
+use crate::trace::RefDelta;
 
 /// Read/write mode of the unify instructions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -214,6 +215,36 @@ pub struct Worker {
     pub pdl_base: u32,
     pub goal_base: u32,
     pub msg_base: u32,
+    // Area ends, cached so overflow checks on the hot allocation paths
+    // (`heap_push`, `allocate`, trailing, PDL pushes, choice points) compare
+    // against a register instead of recomputing `AddressMap::area_end`.
+    pub heap_end: u32,
+    pub local_end: u32,
+    pub control_end: u32,
+    pub trail_end: u32,
+    pub pdl_end: u32,
+    /// One past the last word of this worker's whole Stack Set (equals
+    /// `msg_base + message_words`).  `heap_base..arena_end` is the own-arena
+    /// address test the serial-mode fast path uses in place of
+    /// `AddressMap::owner`.
+    pub arena_end: u32,
+    /// Batched reference accounting for the serial-mode fast path: counts
+    /// accumulated here instead of in the arena's `AreaStats`, flushed by
+    /// `Memory::flush_delta` at batch boundaries and before stats are read.
+    pub ref_delta: RefDelta,
+    /// E-frame register cache: the environment address whose control words
+    /// (CE / CP / NVARS) are cached in the three registers below, or
+    /// `NONE_ADDR`.  Written by `allocate` (which creates those words),
+    /// consumed by `deallocate`, and invalidated wherever `e` is restored
+    /// from saved state (choice points, goal entry/exit) — see the
+    /// invariants note on `Step::invalidate_env_cache`.
+    pub env_cache_e: u32,
+    /// Cached continuation environment (`env::CE`) of `env_cache_e`.
+    pub env_cache_ce: u32,
+    /// Cached continuation pointer (`env::CP`) of `env_cache_e`.
+    pub env_cache_cp: u32,
+    /// Cached slot count (`env::NVARS`) of `env_cache_e`.
+    pub env_cache_n: u32,
 }
 
 impl Worker {
@@ -227,6 +258,12 @@ impl Worker {
         let pdl_base = map.area_base(w, Area::Pdl);
         let goal_base = map.area_base(w, Area::GoalStack);
         let msg_base = map.area_base(w, Area::MessageBuffer);
+        let heap_end = map.area_end(w, Area::Heap);
+        let local_end = map.area_end(w, Area::LocalStack);
+        let control_end = map.area_end(w, Area::ControlStack);
+        let trail_end = map.area_end(w, Area::Trail);
+        let pdl_end = map.area_end(w, Area::Pdl);
+        let arena_end = map.area_end(w, Area::MessageBuffer);
         Worker {
             id,
             p: 0,
@@ -272,6 +309,17 @@ impl Worker {
             pdl_base,
             goal_base,
             msg_base,
+            heap_end,
+            local_end,
+            control_end,
+            trail_end,
+            pdl_end,
+            arena_end,
+            ref_delta: RefDelta::default(),
+            env_cache_e: NONE_ADDR,
+            env_cache_ce: NONE_ADDR,
+            env_cache_cp: 0,
+            env_cache_n: 0,
         }
     }
 

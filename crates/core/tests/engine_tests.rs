@@ -481,3 +481,48 @@ fn cut_with_fewer_live_args_does_not_clobber_wider_choice_points() {
     let (_, r) = run(program, "taut(if(a, if(b, t, t), if(b, t, t)), [], [])", &QueryOptions::parallel(2));
     assert!(r.outcome.is_success());
 }
+
+#[test]
+fn neck_cut_commits_to_the_first_matching_clause() {
+    // The compiler routes source-level cuts through `get_level`/`cut_to`,
+    // so `neck_cut` only appears in hand-written or externally generated
+    // code — build one by patching a compiled program: replace the first
+    // body call of `p(1) :- s, s.` with `neck_cut`, turning the clause
+    // into `p(1) :- !, s.`.
+    use pwam_compiler::{DenseCode, Instr};
+    use rapwam::{Engine, EngineConfig};
+
+    let src = "s.\nq(2).\np(1) :- s, s.\np(2).";
+    let mut session = Session::new(src).unwrap();
+    let mut prog = session.compile("p(X), q(X)", false).unwrap();
+
+    let run_prog = |prog: &pwam_compiler::CompiledProgram, config: EngineConfig| {
+        Engine::new(prog, config).run(session.symbols()).unwrap()
+    };
+
+    // Unpatched, the query backtracks out of p/1's first clause and finds
+    // the X = 2 solution.
+    let r = run_prog(&prog, QueryOptions::sequential().engine_config());
+    assert!(r.outcome.is_success(), "without neck_cut the query must succeed via p(2)");
+
+    // Patch: the first `call` after p/1's entry is the first body goal of
+    // its first clause, right after head unification.
+    let p_atom = session.symbols().lookup("p").expect("p interned");
+    let entry = prog.entry(p_atom, 1).expect("p/1 compiled");
+    let call_at = (entry as usize..prog.code.len())
+        .find(|i| matches!(prog.code[*i], Instr::Call { .. }))
+        .expect("p/1 clause 1 has a body call");
+    prog.code[call_at] = Instr::NeckCut;
+    prog.dense = DenseCode::build(&prog.code);
+
+    // Patched, the neck cut discards p/1's clause choice point before the
+    // body runs: q(1) fails and there is nothing left to retry.
+    let flat = run_prog(&prog, QueryOptions::sequential().engine_config());
+    assert_eq!(flat.outcome, Outcome::Failure, "neck_cut must commit p/1 to its first clause");
+
+    // Both dispatch paths must execute the patched instruction identically.
+    let classic = run_prog(&prog, QueryOptions::sequential().with_classic_dispatch().engine_config());
+    assert_eq!(classic.outcome, Outcome::Failure);
+    assert_eq!(flat.stats.instructions, classic.stats.instructions);
+    assert_eq!(flat.stats.data_refs, classic.stats.data_refs);
+}

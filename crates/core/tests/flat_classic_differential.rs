@@ -1,0 +1,164 @@
+//! Property-based differential between the two dispatch paths.
+//!
+//! `scheduler_differential.rs` (in the benchmarks crate) pins flat-vs-classic
+//! equality on the fixed paper suite; this suite generates *random programs*
+//! — random fact tables, backtracking searches with and without cuts,
+//! optional CGEs — and checks that the flattened pre-decoded path and the
+//! classic enum-fetch path remain observationally identical on every one:
+//! same answers, same aggregate counters, same per-area/per-object reference
+//! counts, and byte-identical traces when tracing is on.
+//!
+//! Each case also runs both paths *untraced*, which is the configuration
+//! where the flat path's fast lane is live (serial arena access + batched
+//! `RefDelta` accounting + the register caches), and asserts the untraced
+//! counters equal the traced ones — proving the batching and caching are
+//! invisible to the statistics.
+
+use proptest::prelude::*;
+use rapwam::session::{QueryOptions, Session};
+use rapwam::{Area, MemRef, ObjectKind, Outcome, RunResult};
+
+/// FNV-1a over every field of every reference, in trace order — the same
+/// fingerprint the golden-trace suite uses.
+fn fingerprint(trace: &[MemRef]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for r in trace {
+        mix(r.pe);
+        for b in r.addr.to_le_bytes() {
+            mix(b);
+        }
+        mix(r.write as u8);
+        mix(r.area.index() as u8);
+        mix(ObjectKind::ALL.iter().position(|o| *o == r.object).unwrap() as u8);
+        mix(matches!(r.locality, rapwam::Locality::Global) as u8);
+        mix(r.locked as u8);
+    }
+    h
+}
+
+#[derive(Debug, Clone)]
+struct Case {
+    /// Random fact table `f(K, V).` — clause-selection fodder.
+    facts: Vec<(i64, i64)>,
+    /// Query list for the backtracking search.
+    list: Vec<i64>,
+    /// Search threshold.
+    k: i64,
+    /// Commit the search to its first hit with a cut.
+    cut: bool,
+    /// Route the search through a CGE (`&`) so parcalls execute.
+    parallel: bool,
+    /// Worker count for the engine.
+    workers: usize,
+}
+
+fn program(c: &Case) -> String {
+    let mut p = String::new();
+    // Sentinel clause outside the generated value range, so f/2 exists even
+    // when the random table is empty (and the search can still fail on it).
+    p.push_str("f(99, 99).\n");
+    for (k, v) in &c.facts {
+        p.push_str(&format!("f({k}, {v}).\n"));
+    }
+    p.push_str("pick(X, [X|_]).\npick(X, [_|T]) :- pick(X, T).\n");
+    // The search backtracks through `pick` alternatives, consults the
+    // random fact table, and optionally commits with a cut.
+    let commit = if c.cut { ", !" } else { "" };
+    p.push_str(&format!("good(X, L, K) :- pick(X, L), X > K, f(X, _){commit}.\n"));
+    if c.parallel {
+        p.push_str(
+            "search(L, K, pair(A, B)) :- \
+             (ground(L), ground(K) | good(A, L, K) & good(B, L, K)).\n",
+        );
+    } else {
+        p.push_str("search(L, K, pair(A, B)) :- good(A, L, K), good(B, L, K).\n");
+    }
+    p.push_str("search(_, _, none).\n");
+    p
+}
+
+fn query(c: &Case) -> String {
+    let items: Vec<String> = c.list.iter().map(|i| i.to_string()).collect();
+    format!("search([{}], {}, R)", items.join(","), c.k)
+}
+
+fn render(s: &Session, r: &RunResult) -> String {
+    match &r.outcome {
+        Outcome::Success(_) => s.render(r.outcome.binding("R").expect("R bound")),
+        Outcome::Failure => "failure".to_string(),
+    }
+}
+
+fn run(c: &Case, classic: bool, trace: bool) -> (String, RunResult) {
+    let mut s = Session::new(&program(c)).expect("program parses");
+    let opts = QueryOptions { trace, classic_dispatch: classic, ..QueryOptions::parallel(c.workers) };
+    let r = s.run(&query(c), &opts).expect("query runs");
+    (render(&s, &r), r)
+}
+
+/// Assert every schedule-invariant observable matches between two runs.
+fn assert_counters_equal(a: &RunResult, b: &RunResult, what: &str) {
+    assert_eq!(a.stats.instructions, b.stats.instructions, "{what}: instructions");
+    assert_eq!(a.stats.inferences, b.stats.inferences, "{what}: inferences");
+    assert_eq!(a.stats.data_refs, b.stats.data_refs, "{what}: total refs");
+    assert_eq!(a.stats.reads, b.stats.reads, "{what}: reads");
+    assert_eq!(a.stats.writes, b.stats.writes, "{what}: writes");
+    assert_eq!(a.stats.elapsed_cycles, b.stats.elapsed_cycles, "{what}: cycles");
+    assert_eq!(a.stats.parcalls, b.stats.parcalls, "{what}: parcalls");
+    for area in Area::ALL {
+        assert_eq!(
+            a.stats.area_stats.area(area),
+            b.stats.area_stats.area(area),
+            "{what}: {} counts",
+            area.name()
+        );
+    }
+    for object in ObjectKind::ALL {
+        assert_eq!(
+            a.stats.area_stats.object(object),
+            b.stats.area_stats.object(object),
+            "{what}: {} counts",
+            object.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn flat_and_classic_agree_on_random_programs(
+        facts in prop::collection::vec((-10i64..10, -10i64..10), 0..6),
+        list in prop::collection::vec(-10i64..10, 1..7),
+        k in -10i64..10,
+        cut in any::<bool>(),
+        parallel in any::<bool>(),
+        workers in 1usize..4,
+    ) {
+        let c = Case { facts, list, k, cut, parallel, workers };
+
+        // Traced: byte-identical merged traces plus equal counters.
+        let (ans_flat, traced_flat) = run(&c, false, true);
+        let (ans_classic, traced_classic) = run(&c, true, true);
+        prop_assert_eq!(&ans_flat, &ans_classic);
+        assert_counters_equal(&traced_flat, &traced_classic, "traced flat vs classic");
+        let tf = traced_flat.trace.as_ref().expect("flat trace");
+        let tc = traced_classic.trace.as_ref().expect("classic trace");
+        prop_assert_eq!(tf.len(), tc.len());
+        prop_assert_eq!(fingerprint(tf), fingerprint(tc));
+
+        // Untraced: the flat fast lane (serial arenas, RefDelta batching,
+        // register caches) is live here.  Counters must match classic, and
+        // must match the traced run — batching is invisible.
+        let (ans_fast, fast) = run(&c, false, false);
+        let (ans_slow, slow) = run(&c, true, false);
+        prop_assert_eq!(&ans_fast, &ans_flat);
+        prop_assert_eq!(&ans_slow, &ans_classic);
+        assert_counters_equal(&fast, &slow, "untraced flat vs classic");
+        assert_counters_equal(&fast, &traced_flat, "untraced vs traced flat");
+    }
+}

@@ -70,6 +70,11 @@ pub(crate) struct ServerCounters {
     pub compile_errors: AtomicU64,
     pub engine_errors: AtomicU64,
     pub deadline_errors: AtomicU64,
+    /// Abstract-machine instructions retired by successful queries.
+    pub instructions: AtomicU64,
+    /// Wall-clock engine time of successful queries, in microseconds —
+    /// the denominator of the cumulative-MLIPS figure in `stats`.
+    pub engine_micros: AtomicU64,
 }
 
 /// State shared by every connection thread.
@@ -272,11 +277,14 @@ fn handle_query(state: &ServerState, req: QueryRequest) -> Response {
                 Outcome::Success(b) => b.iter().map(|(n, t)| (n.clone(), session.render(t))).collect(),
                 Outcome::Failure => Vec::new(),
             };
+            let elapsed_us = started.elapsed().as_micros() as u64;
+            state.counters.instructions.fetch_add(result.stats.instructions, Ordering::Relaxed);
+            state.counters.engine_micros.fetch_add(elapsed_us, Ordering::Relaxed);
             Response::Answer(AnswerResponse {
                 success: result.outcome.is_success(),
                 bindings,
                 warm,
-                elapsed_us: started.elapsed().as_micros() as u64,
+                elapsed_us,
                 instructions: result.stats.instructions,
                 inferences: result.stats.inferences,
                 parcalls: result.stats.parcalls,
@@ -306,6 +314,9 @@ fn stats_response(state: &ServerState) -> StatsResponse {
     let pool = state.pool.stats();
     let cache = state.cache.stats();
     let c = &state.counters;
+    let instructions = c.instructions.load(Ordering::Relaxed);
+    let engine_micros = c.engine_micros.load(Ordering::Relaxed);
+    let mlips_x1000 = (instructions * 1000).checked_div(engine_micros).unwrap_or(0);
     StatsResponse {
         fields: vec![
             ("pool_size".to_string(), state.config.pool.size as u64),
@@ -328,6 +339,12 @@ fn stats_response(state: &ServerState) -> StatsResponse {
             ("compile_errors".to_string(), c.compile_errors.load(Ordering::Relaxed)),
             ("engine_errors".to_string(), c.engine_errors.load(Ordering::Relaxed)),
             ("deadline_errors".to_string(), c.deadline_errors.load(Ordering::Relaxed)),
+            ("instructions".to_string(), instructions),
+            ("engine_micros".to_string(), engine_micros),
+            // Cumulative throughput across every completed query, in
+            // thousandths of a MLIPS (instructions/µs == MIPS, scaled so
+            // the integer wire format keeps three decimal places).
+            ("mlips_x1000".to_string(), mlips_x1000),
         ],
     }
 }

@@ -43,6 +43,14 @@ fn ping_stats_and_simple_query() {
     let stats = client.stats().unwrap();
     assert_eq!(stats.get("queries"), Some(1));
     assert_eq!(stats.get("cache_programs"), Some(1));
+    // The stats verb reports cumulative executed instructions and the
+    // derived cumulative throughput: after one successful query the
+    // instruction counter must equal that query's answer-level count (and
+    // the MLIPS figure is present — 0 only if the run was faster than the
+    // microsecond clock).
+    assert_eq!(stats.get("instructions"), Some(a.instructions));
+    assert!(stats.get("engine_micros").is_some());
+    assert!(stats.get("mlips_x1000").is_some());
     server.shutdown();
 }
 

@@ -1,25 +1,225 @@
 //! Vendored offline stand-in for `serde_json`.
 //!
 //! Renders the [`serde::value::Value`] tree produced by the vendored `serde`
-//! stand-in as JSON text. Only serialization is implemented — nothing in the
-//! workspace parses JSON yet.
+//! stand-in as JSON text, and parses JSON text back into a [`Value`] tree
+//! ([`from_str`]).  Typed deserialization is not implemented — callers that
+//! read JSON walk the `Value` tree through its accessors.
 
 use std::fmt;
 
 pub use serde::value::Value;
 
-/// Error type kept for signature compatibility; serialization into an
-/// in-memory string cannot fail in this stand-in.
+/// Serialization into an in-memory string cannot fail in this stand-in;
+/// parsing reports the failure position and cause.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("serde_json stand-in error")
+        f.write_str(&self.0)
     }
 }
 
 impl std::error::Error for Error {}
+
+/// Parse JSON text into a [`Value`] tree.
+///
+/// The real `serde_json::from_str` is generic over `Deserialize`; the
+/// stand-in supports the `Value` target only, which is the surface this
+/// workspace uses for reading its own recorded files.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the JSON document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("invalid \\u escape"))?;
+                            // Surrogate pairs are not emitted by the writer
+                            // half of this stand-in; map lone surrogates to
+                            // the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| self.err("invalid number"))?;
+        if !float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>().map(Value::Float).map_err(|_| self.err("invalid number"))
+    }
+}
 
 pub fn to_value<T: serde::Serialize>(value: &T) -> Value {
     value.to_value()
@@ -31,4 +231,41 @@ pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
 
 pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
     Ok(value.to_value().to_json_pretty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_its_own_output() {
+        let v = Value::Object(vec![
+            ("name".to_string(), Value::Str("q\"uo\\te\n".to_string())),
+            ("count".to_string(), Value::UInt(42)),
+            ("delta".to_string(), Value::Int(-7)),
+            ("ratio".to_string(), Value::Float(1.5)),
+            ("flag".to_string(), Value::Bool(true)),
+            ("none".to_string(), Value::Null),
+            ("items".to_string(), Value::Array(vec![Value::UInt(1), Value::Str("two".to_string())])),
+            ("empty".to_string(), Value::Array(vec![])),
+        ]);
+        assert_eq!(from_str(&v.to_json()).unwrap(), v);
+        assert_eq!(from_str(&v.to_json_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "\"open", "{\"a\" 1}", "[] trailing", "nul"] {
+            assert!(from_str(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn integral_floats_parse_as_floats() {
+        // The writer renders integral floats as "1.0" so they stay
+        // distinguishable from ints; the parser must keep that round trip.
+        assert_eq!(from_str("1.0").unwrap(), Value::Float(1.0));
+        assert_eq!(from_str("10").unwrap(), Value::UInt(10));
+        assert_eq!(from_str("-10").unwrap(), Value::Int(-10));
+    }
 }
