@@ -6,19 +6,23 @@
 //! pwam-load --addr HOST:PORT [--clients N] [--requests M]
 //!           [--benchmarks deriv,tak,qsort,queens] [--workers W]
 //!           [--scheduler interleaved|threaded] [--determinism strict|relaxed]
-//!           [--deadline-ms N] [--require-reuse] [--shutdown] [--json]
+//!           [--deadline-ms N] [--cursor-every N] [--require-reuse]
+//!           [--shutdown] [--json]
 //! ```
 //!
 //! Every client cycles through the selected registry benchmarks (at
 //! `Scale::Small`) and validates each rendered answer against the
-//! registry's expected value.  The process exits non-zero when any
-//! protocol/server error or wrong answer is observed, and — under
-//! `--require-reuse` — when the server reports no warm engine reuse, so CI
-//! can gate on both.
+//! registry's expected value.  With `--cursor-every N`, every Nth request
+//! is issued through the cursor verbs instead — `query-open`, `query-next`
+//! to exhaustion, implicit auto-close — mixing parked-cursor churn into
+//! the plain-query load and validating the streamed first answer the same
+//! way.  The process exits non-zero when any protocol/server error or
+//! wrong answer is observed, and — under `--require-reuse` — when the
+//! server reports no warm engine reuse, so CI can gate on both.
 
 use pwam_bench::cli::arg_value;
 use pwam_benchmarks::{benchmark, runner::Validation, Benchmark, BenchmarkId, Scale};
-use pwam_server::{Client, QueryRequest, Response};
+use pwam_server::{AnswerResponse, Client, QueryRequest, Response};
 use rapwam::{DeterminismMode, SchedulerKind};
 use serde::Serialize;
 use std::time::{Duration, Instant};
@@ -60,6 +64,10 @@ struct ClientTally {
     errors: u64,
     wrong_answers: u64,
     warm: u64,
+    /// Requests issued through the cursor verbs.
+    cursor_streams: u64,
+    /// Answers streamed across all cursor requests.
+    cursor_answers: u64,
     latencies_us: Vec<u64>,
 }
 
@@ -80,6 +88,17 @@ struct Report {
     pool_rejections: u64,
     pool_queue_timeouts: u64,
     pool_max_queue_depth: u64,
+    /// Requests driven through the cursor verbs and the answers they
+    /// streamed.
+    cursor_streams: u64,
+    cursor_answers: u64,
+    /// Cursor-table deltas reported by the server over the run.
+    server_cursors_opened: u64,
+    server_cursors_closed: u64,
+    server_cursors_evicted: u64,
+    /// Cursors still parked when the run ended (should be 0 — every
+    /// stream runs to exhaustion).
+    server_parked_cursors: u64,
     server_protocol_errors: u64,
     /// Abstract-machine instructions this run added to the server's
     /// cumulative counter.
@@ -88,6 +107,20 @@ struct Report {
     /// a MLIPS.
     server_mlips_x1000: u64,
 }
+
+/// Check one answer against the registry's pinned value for `b`.
+fn answer_ok(b: &Benchmark, a: &AnswerResponse) -> bool {
+    match expected_binding(b) {
+        _ if !a.success => false,
+        Some((var, expected)) => a.bindings.iter().any(|(n, v)| n == &var && v == &expected),
+        None => true,
+    }
+}
+
+/// Upper bound on answers drained per cursor stream (the registry
+/// benchmarks are deterministic, but a misbehaving server must not hang
+/// the load generator).
+const MAX_STREAM_ANSWERS: u64 = 64;
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
@@ -104,7 +137,7 @@ fn main() {
             "usage: pwam-load --addr HOST:PORT [--clients N] [--requests M]\n\
              \x20                [--benchmarks deriv,tak,qsort,queens] [--workers W]\n\
              \x20                [--scheduler NAME] [--determinism NAME] [--deadline-ms N]\n\
-             \x20                [--require-reuse] [--shutdown] [--json]"
+             \x20                [--cursor-every N] [--require-reuse] [--shutdown] [--json]"
         );
         return;
     }
@@ -113,6 +146,9 @@ fn main() {
     let requests = num_arg(&args, "--requests").unwrap_or(25).max(1);
     let workers = num_arg(&args, "--workers").unwrap_or(2).max(1) as usize;
     let deadline_ms = num_arg(&args, "--deadline-ms");
+    // 0 = plain queries only; N = every Nth request per client streams
+    // through a cursor instead.
+    let cursor_every = num_arg(&args, "--cursor-every").unwrap_or(0) as usize;
     let scheduler = match arg_value(&args, "--scheduler") {
         None => SchedulerKind::Interleaved,
         Some(name) => SchedulerKind::parse(&name).unwrap_or_else(|| {
@@ -173,20 +209,75 @@ fn main() {
                         };
                         let sent = Instant::now();
                         tally.requests += 1;
+                        let use_cursor = cursor_every > 0 && (i as usize).is_multiple_of(cursor_every);
+                        if use_cursor {
+                            // Stream the same benchmark through the cursor
+                            // verbs: open, next to exhaustion (auto-close),
+                            // validating the first answer.
+                            tally.cursor_streams += 1;
+                            let cursor = match client.query_open(req) {
+                                Ok(id) => id,
+                                Err(e) => {
+                                    tally.errors += 1;
+                                    eprintln!("client {client_idx}: {} query-open failed: {e}", b.id.name());
+                                    continue;
+                                }
+                            };
+                            let mut first: Option<AnswerResponse> = None;
+                            let mut answers = 0;
+                            loop {
+                                match client.query_next(cursor) {
+                                    Ok(Some(a)) => {
+                                        answers += 1;
+                                        if first.is_none() {
+                                            first = Some(a);
+                                        }
+                                        if answers >= MAX_STREAM_ANSWERS {
+                                            let _ = client.query_close(cursor);
+                                            break;
+                                        }
+                                    }
+                                    Ok(None) => break,
+                                    Err(e) => {
+                                        tally.errors += 1;
+                                        eprintln!(
+                                            "client {client_idx}: {} query-next failed: {e}",
+                                            b.id.name()
+                                        );
+                                        break;
+                                    }
+                                }
+                            }
+                            tally.latencies_us.push(sent.elapsed().as_micros() as u64);
+                            tally.cursor_answers += answers;
+                            match first {
+                                Some(a) => {
+                                    if a.warm {
+                                        tally.warm += 1;
+                                    }
+                                    if !answer_ok(b, &a) {
+                                        tally.wrong_answers += 1;
+                                        eprintln!(
+                                            "client {client_idx}: {} streamed a wrong first answer: {:?}",
+                                            b.id.name(),
+                                            a.bindings
+                                        );
+                                    }
+                                }
+                                None => {
+                                    tally.wrong_answers += 1;
+                                    eprintln!("client {client_idx}: {} streamed no answers", b.id.name());
+                                }
+                            }
+                            continue;
+                        }
                         match client.query(req) {
                             Ok(Response::Answer(a)) => {
                                 tally.latencies_us.push(sent.elapsed().as_micros() as u64);
                                 if a.warm {
                                     tally.warm += 1;
                                 }
-                                let ok = match expected_binding(b) {
-                                    _ if !a.success => false,
-                                    Some((var, expected)) => {
-                                        a.bindings.iter().any(|(n, v)| n == &var && v == &expected)
-                                    }
-                                    None => true,
-                                };
-                                if !ok {
+                                if !answer_ok(b, &a) {
                                     tally.wrong_answers += 1;
                                     eprintln!(
                                         "client {client_idx}: {} answered wrongly: success={} bindings={:?}",
@@ -228,6 +319,8 @@ fn main() {
     let errors: u64 = tallies.iter().map(|t| t.errors).sum();
     let wrong: u64 = tallies.iter().map(|t| t.wrong_answers).sum();
     let warm: u64 = tallies.iter().map(|t| t.warm).sum();
+    let cursor_streams: u64 = tallies.iter().map(|t| t.cursor_streams).sum();
+    let cursor_answers: u64 = tallies.iter().map(|t| t.cursor_answers).sum();
     let delta = |key: &str| after.get(key).unwrap_or(0).saturating_sub(before.get(key).unwrap_or(0));
     let mean = if latencies.is_empty() { 0 } else { latencies.iter().sum::<u64>() / latencies.len() as u64 };
 
@@ -247,6 +340,12 @@ fn main() {
         pool_rejections: delta("pool_rejections"),
         pool_queue_timeouts: delta("pool_queue_timeouts"),
         pool_max_queue_depth: after.get("pool_max_queue_depth").unwrap_or(0),
+        cursor_streams,
+        cursor_answers,
+        server_cursors_opened: delta("cursors_opened"),
+        server_cursors_closed: delta("cursors_closed"),
+        server_cursors_evicted: delta("cursors_evicted"),
+        server_parked_cursors: after.get("parked_cursors").unwrap_or(0),
         server_protocol_errors: delta("protocol_errors"),
         server_instructions: delta("instructions"),
         server_mlips_x1000: after.get("mlips_x1000").unwrap_or(0),
@@ -279,6 +378,17 @@ fn main() {
             report.server_instructions,
             report.server_mlips_x1000 as f64 / 1000.0
         );
+        if report.cursor_streams > 0 {
+            println!(
+                "  cursors  {} streams / {} answers  opened {}  closed {}  evicted {}  parked {}",
+                report.cursor_streams,
+                report.cursor_answers,
+                report.server_cursors_opened,
+                report.server_cursors_closed,
+                report.server_cursors_evicted,
+                report.server_parked_cursors
+            );
+        }
         println!(
             "  errors   transport/server {}  wrong answers {}  protocol {}",
             report.errors, report.wrong_answers, report.server_protocol_errors

@@ -38,6 +38,7 @@
 //! | `Allocate` | | `n` | | |
 //! | `CallCode`/`ExecuteCode` | arity | | entry addr | |
 //! | `CallBuiltin`/`ExecuteBuiltin` | | | builtin-pool index | |
+//! | `CallHost`/`ExecuteHost` | arity | | host-registry index | |
 //! | `TryMeElse`/`RetryMeElse`/`Try`/`Retry`/`Trust`/`Jump` | | | code addr | |
 //! | `SwitchOnTerm` | | | quad-pool index | |
 //! | `SwitchOnConstant`/`SwitchOnStructure` | | | table-pool index | default addr |
@@ -92,9 +93,11 @@ pub enum DenseOp {
     Deallocate,
     CallCode,
     CallBuiltin,
+    CallHost,
     CallUnresolved,
     ExecuteCode,
     ExecuteBuiltin,
+    ExecuteHost,
     ExecuteUnresolved,
     Proceed,
     TryMeElse,
@@ -274,6 +277,7 @@ impl DenseCode {
                 CallTarget::Builtin(b) => {
                     DenseInstr { c: self.builtin(*b), ..DenseInstr::op(O::CallBuiltin) }
                 }
+                CallTarget::Host(h) => DenseInstr { a: *arity, c: *h, ..DenseInstr::op(O::CallHost) },
                 CallTarget::Unresolved(_) => DenseInstr::op(O::CallUnresolved),
             },
             Instr::Execute { target, arity } => match target {
@@ -283,6 +287,7 @@ impl DenseCode {
                 CallTarget::Builtin(b) => {
                     DenseInstr { c: self.builtin(*b), ..DenseInstr::op(O::ExecuteBuiltin) }
                 }
+                CallTarget::Host(h) => DenseInstr { a: *arity, c: *h, ..DenseInstr::op(O::ExecuteHost) },
                 CallTarget::Unresolved(_) => DenseInstr::op(O::ExecuteUnresolved),
             },
             Instr::Proceed => DenseInstr::op(O::Proceed),

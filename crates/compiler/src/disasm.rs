@@ -10,6 +10,7 @@ fn target_str(t: &CallTarget, entries: &HashMap<u32, String>) -> String {
     match t {
         CallTarget::Code(a) => entries.get(a).cloned().unwrap_or_else(|| format!("@{a}")),
         CallTarget::Builtin(b) => format!("builtin {b:?}"),
+        CallTarget::Host(h) => format!("host #{h}"),
         CallTarget::Unresolved(pr) => format!("unresolved {:?}/{}", pr.name, pr.arity),
     }
 }

@@ -58,6 +58,10 @@ pub enum CallTarget {
     Code(CodeAddr),
     /// An escape to a built-in predicate.
     Builtin(Builtin),
+    /// A host predicate registered on the session: the index into the
+    /// compiled program's host registry ([`crate::CompiledProgram::hosts`]).
+    /// Executing it suspends the engine so the host can service the call.
+    Host(u32),
 }
 
 /// Built-in (escape) predicates.  They operate on the argument registers

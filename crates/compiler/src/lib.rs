@@ -49,7 +49,7 @@ pub use codegen::{ChunkBuilder, CompileOptions, QueryInfo};
 pub use dense::{decode_reg, encode_reg, DenseCode, DenseInstr, DenseOp};
 pub use error::{CompileError, CompileResult};
 pub use instr::{Builtin, CallTarget, CodeAddr, ConstKey, Instr, PredRef, Reg};
-pub use loader::compile_program_and_query;
+pub use loader::{compile_program_and_query, compile_program_and_query_with_hosts};
 pub use program::CompiledProgram;
 
 /// Maximum number of X registers a worker provides (arguments + temporaries

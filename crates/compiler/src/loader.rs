@@ -24,6 +24,23 @@ pub fn compile_program_and_query(
     syms: &mut SymbolTable,
     opts: CompileOptions,
 ) -> CompileResult<CompiledProgram> {
+    compile_program_and_query_with_hosts(program, query, syms, opts, &[])
+}
+
+/// Like [`compile_program_and_query`], with a registry of *host predicates*:
+/// `(name, arity)` pairs the embedding application services at run time.
+/// Calls to a host predicate compile to `CallTarget::Host(i)` where `i`
+/// indexes [`CompiledProgram::hosts`].  User-defined predicates shadow host
+/// registrations; hosts shadow builtins.  A host predicate cannot appear as
+/// a parallel (CGE) goal — its suspension would park the whole machine while
+/// sibling goals still run.
+pub fn compile_program_and_query_with_hosts(
+    program: &Program,
+    query: &Body,
+    syms: &mut SymbolTable,
+    opts: CompileOptions,
+    hosts: &[(pwam_front::atoms::Atom, u8)],
+) -> CompileResult<CompiledProgram> {
     // ----- CGE lifting -----
     let mut lifter = Lifter::new();
     let mut lifted = lifter.lift_program(program, syms);
@@ -67,6 +84,18 @@ pub fn compile_program_and_query(
     let query_start = code.len() as CodeAddr;
     append_relocated(&mut code, qchunk, query_start);
 
+    // ----- host registry -----
+    // Deterministic order: as registered, first registration of a
+    // `(name, arity)` pair wins.
+    let mut host_index: HashMap<(pwam_front::atoms::Atom, u8), u32> = HashMap::new();
+    let mut host_names: Vec<(String, u8)> = Vec::new();
+    for &(name, arity) in hosts {
+        host_index.entry((name, arity)).or_insert_with(|| {
+            host_names.push((syms.name(name).to_string(), arity));
+            (host_names.len() - 1) as u32
+        });
+    }
+
     // ----- resolution -----
     // Validate call targets first so we can produce a good error message.
     for instr in &code {
@@ -75,10 +104,18 @@ pub fn compile_program_and_query(
         {
             if let CallTarget::Unresolved(pr) = target {
                 let defined = predicates.contains_key(&(pr.name, pr.arity));
+                let host = host_index.contains_key(&(pr.name, pr.arity));
                 let builtin = Builtin::lookup(syms.name(pr.name), pr.arity as usize).is_some();
-                if !defined && !builtin {
+                if !defined && !host && !builtin {
                     return Err(CompileError::new(format!(
                         "undefined predicate {}/{}",
+                        syms.name(pr.name),
+                        pr.arity
+                    )));
+                }
+                if host && !defined && matches!(instr, Instr::PcallGoal { .. }) {
+                    return Err(CompileError::new(format!(
+                        "host predicate {}/{} cannot be a parallel goal",
                         syms.name(pr.name),
                         pr.arity
                     )));
@@ -92,6 +129,8 @@ pub fn compile_program_and_query(
             CallTarget::Unresolved(pr) => {
                 if let Some(&addr) = predicates.get(&(pr.name, pr.arity)) {
                     CallTarget::Code(addr)
+                } else if let Some(&h) = host_index.get(&(pr.name, pr.arity)) {
+                    CallTarget::Host(h)
                 } else {
                     let b = Builtin::lookup(syms.name(pr.name), pr.arity as usize).expect("validated above");
                     CallTarget::Builtin(b)
@@ -112,6 +151,7 @@ pub fn compile_program_and_query(
         query_vars: qinfo.vars,
         fail_addr,
         goal_success_addr,
+        hosts: host_names,
         options: opts,
     })
 }

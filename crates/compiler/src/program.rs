@@ -33,6 +33,11 @@ pub struct CompiledProgram {
     pub fail_addr: CodeAddr,
     /// Address of the parallel-goal success stub.
     pub goal_success_addr: CodeAddr,
+    /// Host predicates the program was compiled against, in registry order:
+    /// `CallTarget::Host(i)` / `DenseOp::CallHost`'s `c` operand index this
+    /// table.  Resolved names (not atoms) so the serving layer can match
+    /// them against its registry without the symbol table.
+    pub hosts: Vec<(String, u8)>,
     /// Options the program was compiled with.
     pub options: CompileOptions,
 }

@@ -16,16 +16,33 @@ const MAX_NODES: usize = 10_000_000;
 
 /// Extract the term bound to the cell stored at `addr`.
 pub fn extract_binding(mem: &Memory, addr: u32, syms: &SymbolTable) -> EngineResult<Term> {
-    let cell = mem.read_untraced(addr);
-    let mut budget = MAX_NODES;
-    extract_cell(mem, cell, syms, &mut budget)
+    let _ = syms; // names resolve lazily at render time
+    extract_binding_raw(mem, addr)
 }
 
 /// Extract the term a cell denotes.
-// `syms` stays in the signature (and recursion) so callers keep one shape
-// even though extraction currently resolves names lazily at render time.
-#[allow(clippy::only_used_in_recursion)]
+// `syms` stays in the signature so callers keep one shape even though
+// extraction resolves names lazily at render time.
 pub fn extract_cell(mem: &Memory, cell: Cell, syms: &SymbolTable, budget: &mut usize) -> EngineResult<Term> {
+    let _ = syms;
+    extract_node(mem, cell, budget)
+}
+
+/// Symbol-table-free variant of [`extract_binding`]: resumable cursors use
+/// it to read answers out of a parked engine without holding the session's
+/// symbol table (rendering happens later, at the serving layer).
+pub fn extract_binding_raw(mem: &Memory, addr: u32) -> EngineResult<Term> {
+    let cell = mem.read_untraced(addr);
+    extract_cell_raw(mem, cell)
+}
+
+/// Symbol-table-free variant of [`extract_cell`] with a fresh node budget.
+pub fn extract_cell_raw(mem: &Memory, cell: Cell) -> EngineResult<Term> {
+    let mut budget = MAX_NODES;
+    extract_node(mem, cell, &mut budget)
+}
+
+fn extract_node(mem: &Memory, cell: Cell, budget: &mut usize) -> EngineResult<Term> {
     if *budget == 0 {
         return Err(EngineError::Internal("term too large (or cyclic) during extraction".into()));
     }
@@ -35,8 +52,8 @@ pub fn extract_cell(mem: &Memory, cell: Cell, syms: &SymbolTable, budget: &mut u
         Cell::Int(i) => Ok(Term::Int(i)),
         Cell::Con(a) => Ok(Term::Atom(a)),
         Cell::Lis(p) => {
-            let head = extract_cell(mem, mem.read_untraced(p), syms, budget)?;
-            let tail = extract_cell(mem, mem.read_untraced(p + 1), syms, budget)?;
+            let head = extract_node(mem, mem.read_untraced(p), budget)?;
+            let tail = extract_node(mem, mem.read_untraced(p + 1), budget)?;
             Ok(Term::Struct(known::DOT, vec![head, tail]))
         }
         Cell::Str(p) => {
@@ -50,7 +67,7 @@ pub fn extract_cell(mem: &Memory, cell: Cell, syms: &SymbolTable, budget: &mut u
             };
             let mut args = Vec::with_capacity(n as usize);
             for i in 0..n as u32 {
-                args.push(extract_cell(mem, mem.read_untraced(p + 1 + i), syms, budget)?);
+                args.push(extract_node(mem, mem.read_untraced(p + 1 + i), budget)?);
             }
             Ok(Term::Struct(f, args))
         }

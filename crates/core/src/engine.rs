@@ -35,6 +35,7 @@ use crate::answer::extract_binding;
 use crate::cell::{Cell, NONE_ADDR};
 use crate::error::{EngineError, EngineResult};
 use crate::frames::{choice, env, goal_frame, marker, message, parcall};
+use crate::known;
 use crate::layout::{board, Area, MemoryConfig, ObjectKind};
 use crate::mem::Memory;
 use crate::sched::{scheduler_for, DeterminismMode, SchedulerKind};
@@ -141,6 +142,68 @@ pub struct RunResult {
     pub trace: Option<Vec<MemRef>>,
 }
 
+/// What a resumable run ([`Engine::run_resumable`] / [`Engine::resume`])
+/// returned control for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The query ran to a terminal state: either it failed (no/none further
+    /// answers) or the caller committed to the last answer.  Read the final
+    /// [`RunResult`] with [`Engine::take_result`] / [`Engine::into_result`].
+    Complete,
+    /// Execution is parked between instructions, waiting on the host.
+    Suspended(SuspendReason),
+}
+
+/// Why a resumable engine suspended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SuspendReason {
+    /// An answer is available ([`Engine::answer_bindings`]).  Resume with
+    /// [`HostResult::Redo`] to fail back into the engine for the next
+    /// answer, or [`HostResult::Commit`] to accept it and finish.
+    AnswerReady,
+    /// A registered host predicate was called.  `args` are the call's
+    /// argument terms (extracted from the machine state); resume with
+    /// [`HostResult::Succeed`] (optionally binding arguments) or
+    /// [`HostResult::Fail`].
+    HostCall {
+        /// The host predicate's name (from the compiled program's registry).
+        name: String,
+        /// The call's arguments, as terms.  Unbound variables appear as
+        /// `Term::Var("_G…")` and can be bound through
+        /// [`HostResult::Succeed`] by argument position.
+        args: Vec<Term>,
+    },
+}
+
+/// The host's reply when re-entering a suspended engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostResult {
+    /// After [`SuspendReason::AnswerReady`]: reject the answer and
+    /// backtrack for the next one.
+    Redo,
+    /// After [`SuspendReason::AnswerReady`]: accept the answer and finish
+    /// the query (the cursor's cut).
+    Commit,
+    /// After [`SuspendReason::HostCall`]: the host predicate succeeds,
+    /// unifying each `(index, term)` pair with the argument at that
+    /// 0-based position.  A non-unifiable binding fails the call instead.
+    Succeed(Vec<(usize, Term)>),
+    /// After [`SuspendReason::HostCall`]: the host predicate fails;
+    /// execution backtracks.
+    Fail,
+}
+
+/// The suspension record `call_host` leaves behind for [`Engine::resume`].
+pub(crate) struct PendingHostCall {
+    /// Worker that executed the `call_host` (its `p` already points at the
+    /// continuation).
+    worker: usize,
+    /// Index into the compiled program's host registry.
+    host: u32,
+    /// The call's argument cells (`X1..Xn` at the suspension point).
+    args: Vec<Cell>,
+}
+
 /// One goal stolen from another worker's Goal Stack, as observed by the
 /// scheduler.  The threaded backends turn these into cross-thread messages;
 /// the reference backend delivers them in place.
@@ -211,6 +274,13 @@ struct GoalFrameImage {
 const RUNNING: u8 = 0;
 const SUCCEEDED: u8 = 1;
 const FAILED: u8 = 2;
+/// Execution stopped at a host-predicate call (`call_host`); the machine
+/// state is parked between instructions and [`Engine::resume`] re-enters it.
+/// Note `SUCCEEDED` doubles as the answer-boundary suspension: a first
+/// solution is terminal for [`Engine::run`] but resumable (via
+/// [`HostResult::Redo`]) for a cursor, so the hot success path needs no new
+/// state.
+const SUSPENDED: u8 = 3;
 
 /// Everything the PEs share: program, memory, run counters, per-PE boards.
 ///
@@ -262,6 +332,12 @@ pub struct EngineCore<'p> {
     /// First engine error raised on any thread of the relaxed backend.
     abort: Mutex<Option<EngineError>>,
     aborted: AtomicBool,
+    /// The host call the engine suspended at (`finished == SUSPENDED`).
+    /// Written exactly once per suspension, by the worker that won the
+    /// RUNNING→SUSPENDED race in [`Step::suspend_host`]; taken by
+    /// [`Engine::resume`].  Off the hot path: programs without host
+    /// predicates never touch it.
+    pending_host: Mutex<Option<PendingHostCall>>,
     /// When the run started (re-armed by `run`/`reset`); the reference point
     /// for the `time_budget` deadline.
     started: Instant,
@@ -269,12 +345,29 @@ pub struct EngineCore<'p> {
 
 impl<'p> EngineCore<'p> {
     /// `Some(true)` once the query succeeded, `Some(false)` once it failed.
+    /// A *suspended* engine (parked at a host call) reports `None`: it has
+    /// no outcome yet.  Drivers must gate on `EngineCore::halted`, which
+    /// also covers suspension.
     pub fn finished(&self) -> Option<bool> {
         match self.finished.load(Ordering::Acquire) {
-            RUNNING => None,
+            RUNNING | SUSPENDED => None,
             SUCCEEDED => Some(true),
             _ => Some(false),
         }
+    }
+
+    /// True once execution must stop handing out slots: the query succeeded,
+    /// failed, or suspended at a host call.  This is the drivers' exit gate;
+    /// [`EngineCore::finished`] stays the *outcome* accessor.
+    #[inline]
+    pub(crate) fn halted(&self) -> bool {
+        self.finished.load(Ordering::Acquire) != RUNNING
+    }
+
+    /// Raw `finished` state (RUNNING/SUCCEEDED/FAILED/SUSPENDED).
+    #[inline]
+    fn state(&self) -> u8 {
+        self.finished.load(Ordering::Acquire)
     }
 
     /// Record the query outcome (first writer wins).
@@ -471,6 +564,7 @@ impl<'p> Engine<'p> {
                 cancel_logs,
                 abort: Mutex::new(None),
                 aborted: AtomicBool::new(false),
+                pending_host: Mutex::new(None),
                 started: Instant::now(),
             },
             workers,
@@ -492,8 +586,169 @@ impl<'p> Engine<'p> {
         self.core.started = Instant::now();
         let scheduler = scheduler_for(self.core.config.scheduler, self.core.config.determinism);
         let mut engine = scheduler.drive(self)?;
+        if engine.core.state() == SUSPENDED {
+            return Err(EngineError::Internal(
+                "query suspended at a host call; drive it through a cursor (run_resumable/resume)"
+                    .to_string(),
+            ));
+        }
         let result = engine.take_result(syms)?;
         Ok((result, engine))
+    }
+
+    /// Run the query until it completes **or suspends** — at the first
+    /// answer ([`SuspendReason::AnswerReady`]) or at a host-predicate call
+    /// ([`SuspendReason::HostCall`]).  The engine comes back with its entire
+    /// machine state parked between instructions (worker registers, env/cp
+    /// caches and `RefDelta` flushed at the suspension point, [`Memory`]
+    /// intact) so [`Engine::resume`] re-enters exactly where execution left
+    /// off.
+    pub fn run_resumable(mut self) -> EngineResult<(RunOutcome, Engine<'p>)> {
+        self.core.started = Instant::now();
+        self.drive_resumable()
+    }
+
+    /// Re-enter a suspended engine with the host's reply.
+    ///
+    /// Valid pairings: [`SuspendReason::AnswerReady`] takes
+    /// [`HostResult::Redo`] or [`HostResult::Commit`];
+    /// [`SuspendReason::HostCall`] takes [`HostResult::Succeed`] or
+    /// [`HostResult::Fail`].  Anything else (including resuming an engine
+    /// that already completed) is an [`EngineError::Internal`].
+    pub fn resume(mut self, result: HostResult) -> EngineResult<(RunOutcome, Engine<'p>)> {
+        // Each `resume` leg is a fresh request from the serving layer's point
+        // of view, so the deadline clock re-arms here.
+        self.core.started = Instant::now();
+        match self.core.state() {
+            SUCCEEDED => match result {
+                HostResult::Commit => Ok((RunOutcome::Complete, self)),
+                HostResult::Redo => {
+                    // Fail back into the engine: restore RUNNING, revive the
+                    // worker that produced the answer (the only stopped one
+                    // — a worker stops only through query success or query
+                    // failure) and backtrack it into the next alternative.
+                    self.core.finished.store(RUNNING, Ordering::Release);
+                    self.core.mem.shared_write(board::STATUS, Cell::Uint(board::STATUS_RUNNING));
+                    let w =
+                        self.core.mem.shared_read(board::ANSWER_PE).expect_uint("board answer pe") as usize;
+                    self.workers[w].status = WorkerStatus::Running;
+                    Step { core: &self.core, wk: &mut self.workers[w] }.backtrack()?;
+                    self.drive_resumable()
+                }
+                other => Err(EngineError::Internal(format!(
+                    "resume at an answer boundary expects Redo or Commit, got {other:?}"
+                ))),
+            },
+            SUSPENDED => {
+                if !matches!(result, HostResult::Succeed(_) | HostResult::Fail) {
+                    return Err(EngineError::Internal(format!(
+                        "resume at a host call expects Succeed or Fail, got {result:?}"
+                    )));
+                }
+                let pending = self
+                    .core
+                    .pending_host
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("suspended engine without a pending host call");
+                let w = pending.worker;
+                self.core.finished.store(RUNNING, Ordering::Release);
+                match result {
+                    HostResult::Succeed(bindings) => {
+                        let mut step = Step { core: &self.core, wk: &mut self.workers[w] };
+                        let mut ok = true;
+                        let mut var_memo = std::collections::HashMap::new();
+                        for (idx, term) in &bindings {
+                            let Some(&arg) = pending.args.get(*idx) else {
+                                return Err(EngineError::Internal(format!(
+                                    "host binding index {idx} out of range for {} argument(s)",
+                                    pending.args.len()
+                                )));
+                            };
+                            let cell = step.build_term(term, &mut var_memo)?;
+                            if !step.unify(arg, cell)? {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if !ok {
+                            step.backtrack()?;
+                        }
+                        self.drive_resumable()
+                    }
+                    _ => {
+                        Step { core: &self.core, wk: &mut self.workers[w] }.backtrack()?;
+                        self.drive_resumable()
+                    }
+                }
+            }
+            FAILED => Err(EngineError::Internal("resume on a completed engine".to_string())),
+            _ => Err(EngineError::Internal("resume on an engine that is still running".to_string())),
+        }
+    }
+
+    /// Drive the scheduler until the engine halts, then classify the halt.
+    /// Drivers return immediately when the engine is already halted (e.g. a
+    /// `resume(Redo)` whose backtrack exhausted the last choice point).
+    fn drive_resumable(self) -> EngineResult<(RunOutcome, Engine<'p>)> {
+        let scheduler = scheduler_for(self.core.config.scheduler, self.core.config.determinism);
+        let engine = scheduler.drive(self)?;
+        let outcome = engine.current_outcome()?;
+        Ok((outcome, engine))
+    }
+
+    /// Classify a halted engine's state as a [`RunOutcome`].
+    fn current_outcome(&self) -> EngineResult<RunOutcome> {
+        match self.core.state() {
+            SUCCEEDED => Ok(RunOutcome::Suspended(SuspendReason::AnswerReady)),
+            FAILED => Ok(RunOutcome::Complete),
+            SUSPENDED => {
+                let guard = self.core.pending_host.lock().unwrap();
+                let pending = guard.as_ref().expect("suspended engine without a pending host call");
+                let name = self
+                    .core
+                    .program
+                    .hosts
+                    .get(pending.host as usize)
+                    .map(|(n, _)| n.clone())
+                    .unwrap_or_else(|| format!("$host{}", pending.host));
+                let mut args = Vec::with_capacity(pending.args.len());
+                for &cell in &pending.args {
+                    args.push(crate::answer::extract_cell_raw(&self.core.mem, cell)?);
+                }
+                Ok(RunOutcome::Suspended(SuspendReason::HostCall { name, args }))
+            }
+            _ => Err(EngineError::Internal("scheduler returned without halting the engine".to_string())),
+        }
+    }
+
+    /// The current answer's query-variable bindings, without symbol-table
+    /// rendering (variables print as `_G<addr>`; atoms keep their interned
+    /// [`pwam_front::Atom`] inside the returned [`Term`]s).  Only meaningful
+    /// while suspended at [`SuspendReason::AnswerReady`].
+    pub fn answer_bindings(&self) -> EngineResult<Vec<(String, Term)>> {
+        if self.core.mem.shared_read(board::STATUS) != Cell::Uint(board::STATUS_SUCCEEDED) {
+            return Ok(Vec::new());
+        }
+        let env_addr = self.core.mem.shared_read(board::ANSWER_ENV).expect_uint("board answer env");
+        let mut out = Vec::new();
+        for (name, slot) in &self.core.program.query_vars {
+            let addr = env::y_addr(env_addr, *slot);
+            let term = crate::answer::extract_binding_raw(&self.core.mem, addr)?;
+            out.push((name.clone(), term));
+        }
+        Ok(out)
+    }
+
+    /// Run statistics of the engine as it stands (usable mid-suspension).
+    pub fn stats(&self) -> RunStats {
+        self.collect_stats()
+    }
+
+    /// Drain the memory-reference trace collected so far, if tracing is on.
+    pub fn take_trace(&mut self) -> Option<Vec<MemRef>> {
+        self.core.mem.take_trace()
     }
 
     /// Turn a finished engine into a [`RunResult`] (answers, statistics and
@@ -576,6 +831,7 @@ impl<'p> Engine<'p> {
         *core.steal_cursor.get_mut() = 0;
         *core.abort.get_mut().unwrap() = None;
         *core.aborted.get_mut() = false;
+        *core.pending_host.get_mut().unwrap() = None;
         core.started = Instant::now();
     }
 
@@ -623,6 +879,12 @@ impl<'p> Engine<'p> {
         self.core.finished()
     }
 
+    /// True once the engine has succeeded, failed or suspended — the
+    /// drivers' exit condition (see `EngineCore::halted`).
+    pub fn halted(&self) -> bool {
+        self.core.halted()
+    }
+
     /// Number of workers (PEs) in this engine.
     pub fn num_workers(&self) -> usize {
         self.workers.len()
@@ -642,7 +904,7 @@ impl<'p> Engine<'p> {
 
     /// Close a scheduling round: detect deadlock and enforce the step limit.
     pub fn end_round(&mut self, any_progress: bool) -> EngineResult<()> {
-        if !any_progress && self.core.finished().is_none() {
+        if !any_progress && !self.core.halted() {
             return Err(EngineError::Internal("scheduler deadlock: no worker can make progress".to_string()));
         }
         if self.core.steps() > self.core.config.max_steps {
@@ -990,7 +1252,7 @@ impl<'a, 'p> Step<'a, 'p> {
     /// scheduling action when idle or waiting.  Returns `true` if the worker
     /// made progress.  A no-op once the query has finished.
     pub(crate) fn run_slot(&mut self) -> EngineResult<bool> {
-        if self.core.finished().is_some() {
+        if self.core.halted() {
             return Ok(false);
         }
         match self.wk.status {
@@ -1078,7 +1340,7 @@ impl<'a, 'p> Step<'a, 'p> {
     fn exec_batch_classic(&mut self, max: u32) -> EngineResult<u32> {
         let mut n = 0u32;
         let result = loop {
-            if n >= max || self.wk.status != WorkerStatus::Running || self.core.finished().is_some() {
+            if n >= max || self.wk.status != WorkerStatus::Running || self.core.halted() {
                 break Ok(());
             }
             self.wk.instructions += 1;
@@ -2008,5 +2270,73 @@ impl<'a, 'p> Step<'a, 'p> {
         self.core.mem.shared_write(board::ANSWER_ENV, Cell::Uint(self.wk.e));
         self.core.set_finished(true);
         self.wk.status = WorkerStatus::Stopped;
+    }
+
+    /// Execute a `call_host`: flip the machine RUNNING→SUSPENDED so every
+    /// driver winds down at this instruction boundary, record the call for
+    /// [`Engine::resume`], and point this worker's `p` at the continuation.
+    ///
+    /// Returns `false` on a lost race (another worker succeeded, failed or
+    /// suspended first): the caller must leave `p` at the `call_host`
+    /// instruction so it re-executes when (if) control ever comes back —
+    /// re-execution is idempotent because the argument registers are
+    /// untouched.  The inference is counted only on the winning path for
+    /// the same reason.
+    pub(crate) fn suspend_host(&mut self, host: u32, arity: u8, cont: u32) -> bool {
+        if self
+            .core
+            .finished
+            .compare_exchange(RUNNING, SUSPENDED, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return false;
+        }
+        let args: Vec<Cell> = (1..=arity as usize).map(|i| self.wk.x[i]).collect();
+        *self.core.pending_host.lock().unwrap() = Some(PendingHostCall { worker: self.w(), host, args });
+        self.core.inferences.fetch_add(1, Ordering::Relaxed);
+        self.wk.p = cont;
+        true
+    }
+
+    /// Build a source-level [`Term`] on this worker's heap, for unifying a
+    /// host predicate's output bindings into the machine.  Variables are
+    /// memoized by name in `memo` so one [`HostResult::Succeed`] reply
+    /// shares variables across its bindings.
+    pub(crate) fn build_term(
+        &mut self,
+        term: &Term,
+        memo: &mut std::collections::HashMap<String, Cell>,
+    ) -> EngineResult<Cell> {
+        match term {
+            Term::Int(i) => Ok(Cell::Int(*i)),
+            Term::Atom(a) => Ok(Cell::Con(*a)),
+            Term::Var(name) => {
+                if let Some(&cell) = memo.get(name) {
+                    return Ok(cell);
+                }
+                let cell = self.new_heap_var()?;
+                memo.insert(name.clone(), cell);
+                Ok(cell)
+            }
+            Term::Struct(f, args) if *f == known::DOT && args.len() == 2 => {
+                let head = self.build_term(&args[0], memo)?;
+                let tail = self.build_term(&args[1], memo)?;
+                let p = self.heap_push(head)?;
+                self.heap_push(tail)?;
+                Ok(Cell::Lis(p))
+            }
+            Term::Struct(f, args) if args.is_empty() => Ok(Cell::Con(*f)),
+            Term::Struct(f, args) => {
+                let mut cells = Vec::with_capacity(args.len());
+                for arg in args {
+                    cells.push(self.build_term(arg, memo)?);
+                }
+                let p = self.heap_push(Cell::Fun(*f, args.len() as u8))?;
+                for cell in cells {
+                    self.heap_push(cell)?;
+                }
+                Ok(Cell::Str(p))
+            }
+        }
     }
 }

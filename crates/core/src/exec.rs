@@ -268,6 +268,13 @@ impl<'a, 'p> Step<'a, 'p> {
                     BuiltinOutcome::Fail => return self.backtrack(),
                     BuiltinOutcome::Halted => return Ok(()),
                 },
+                CallTarget::Host(h) => {
+                    // Park the machine at this boundary; on a lost race `p`
+                    // stays here (early return skips the write-back below)
+                    // and the instruction re-executes after resume.
+                    self.suspend_host(*h, *arity, p + 1);
+                    return Ok(());
+                }
                 CallTarget::Unresolved(_) => {
                     return Err(EngineError::BadInstruction {
                         addr: p,
@@ -288,6 +295,12 @@ impl<'a, 'p> Step<'a, 'p> {
                     BuiltinOutcome::Fail => return self.backtrack(),
                     BuiltinOutcome::Halted => return Ok(()),
                 },
+                CallTarget::Host(h) => {
+                    // Last-call shape: the continuation is the saved `cp`.
+                    let cont = self.wk.cp;
+                    self.suspend_host(*h, *arity, cont);
+                    return Ok(());
+                }
                 CallTarget::Unresolved(_) => {
                     return Err(EngineError::BadInstruction {
                         addr: p,
@@ -693,7 +706,7 @@ impl<'a, 'p> Step<'a, 'p> {
         let mut n = 0u32;
         let mut p = self.wk.p;
         let result = 'outer: loop {
-            if n >= max || self.wk.status != WorkerStatus::Running || core.finished().is_some() {
+            if n >= max || self.wk.status != WorkerStatus::Running || core.halted() {
                 break Ok(());
             }
             loop {
@@ -1044,6 +1057,21 @@ impl<'a, 'p> Step<'a, 'p> {
                 BuiltinOutcome::Fail => self.fail(),
                 BuiltinOutcome::Halted => Ok(Flow::Reload),
             },
+            DenseOp::CallHost => {
+                if !self.suspend_host(di.c, di.a, p + 1) {
+                    // Lost the halt race: keep `p` at this instruction so it
+                    // re-executes if control ever comes back.
+                    self.wk.p = p;
+                }
+                Ok(Flow::Reload)
+            }
+            DenseOp::ExecuteHost => {
+                let cont = self.wk.cp;
+                if !self.suspend_host(di.c, di.a, cont) {
+                    self.wk.p = p;
+                }
+                Ok(Flow::Reload)
+            }
             DenseOp::CallUnresolved | DenseOp::ExecuteUnresolved => {
                 Err(EngineError::BadInstruction { addr: p, what: "unresolved call target".into() })
             }

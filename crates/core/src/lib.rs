@@ -56,13 +56,17 @@ pub mod unify;
 pub mod worker;
 
 pub use cell::{Cell, NONE_ADDR};
-pub use engine::{CancelEvent, Engine, EngineConfig, EngineCore, Outcome, RunResult, StealEvent};
+pub use engine::{
+    CancelEvent, Engine, EngineConfig, EngineCore, HostResult, Outcome, RunOutcome, RunResult, StealEvent,
+    SuspendReason,
+};
 pub use error::{EngineError, EngineResult};
 pub use layout::{Area, Locality, MemoryConfig, ObjectKind};
 pub use mem::{Memory, StackSetArena};
+pub use pwam_front::term::Term;
 pub use sched::{
     scheduler_for, DeterminismMode, Interleaved, Scheduler, SchedulerKind, Threaded, ThreadedRelaxed,
 };
-pub use session::{QueryOptions, Session, SessionError};
+pub use session::{HostFn, QueryCursor, QueryOptions, Session, SessionError};
 pub use stats::{RunStats, WorkerStats};
 pub use trace::{AreaStats, MemRef};

@@ -161,11 +161,11 @@ impl Scheduler for Interleaved {
 
     fn drive<'p>(&self, mut engine: Engine<'p>) -> EngineResult<Engine<'p>> {
         let n = engine.num_workers();
-        while engine.finished().is_none() {
+        while !engine.halted() {
             engine.begin_round();
             let mut progress = false;
             for w in 0..n {
-                if engine.finished().is_some() {
+                if engine.halted() {
                     break;
                 }
                 progress |= engine.step_slot(w)?;
@@ -376,7 +376,7 @@ fn handle_token<'p>(
                 return Flow::Stop;
             }
         }
-        if engine.finished().is_some() {
+        if engine.halted() {
             // Reconcile steal/cancel notes still pending on the other
             // threads (an event from the finishing round may not have
             // reached its target's books yet): every thread reports its
@@ -515,7 +515,7 @@ impl Scheduler for ThreadedRelaxed {
         if let Some(e) = engine.core().take_abort() {
             return Err(e);
         }
-        if engine.finished().is_none() {
+        if !engine.halted() {
             return Err(EngineError::Internal("relaxed scheduler exited without an outcome".into()));
         }
         // Rounds do not exist without the token; report the critical-path
@@ -550,7 +550,7 @@ fn relaxed_pe_loop(
     let mut last_steps = core.steps();
     let mut stall_since: Option<Instant> = None;
     loop {
-        if core.finished().is_some() || core.is_aborted() {
+        if core.halted() || core.is_aborted() {
             return Ok(());
         }
         // Fold in the steal/cancel notices other PEs sent this one.

@@ -6,15 +6,18 @@
 //! engine, returning the answer bindings, the run statistics and optionally
 //! the full memory-reference trace.
 
-use crate::engine::{Engine, EngineConfig, RunResult};
+use crate::engine::{Engine, EngineConfig, HostResult, RunOutcome, RunResult, SuspendReason};
 use crate::error::EngineError;
 use crate::layout::MemoryConfig;
 use crate::mem::Memory;
 use crate::sched::{DeterminismMode, SchedulerKind};
-use pwam_compiler::{compile_program_and_query, CompileError, CompileOptions, CompiledProgram};
+use crate::stats::RunStats;
+use crate::trace::MemRef;
+use pwam_compiler::{compile_program_and_query_with_hosts, CompileError, CompileOptions, CompiledProgram};
 use pwam_front::clause::Program;
 use pwam_front::error::FrontError;
 use pwam_front::parser::{parse_program, parse_query};
+use pwam_front::term::Term;
 use pwam_front::SymbolTable;
 use std::collections::HashMap;
 use std::fmt;
@@ -241,17 +244,58 @@ pub struct Session {
     /// compilation mode (parallel × indexing × inline-first-goal);
     /// invalidated when the program changes.
     compiled: HashMap<(String, bool, bool, bool), Arc<CompiledProgram>>,
+    /// Host predicates: closures the embedding application services when a
+    /// query calls them.  Threaded into every compilation, so registering
+    /// one invalidates the compiled-query cache.
+    hosts: HashMap<(String, u8), Arc<HostFn>>,
     /// Cache telemetry: (hits, misses) of [`Session::prepare`].
     prepare_hits: u64,
     prepare_misses: u64,
 }
+
+/// A host predicate's implementation: called with the goal's argument terms,
+/// it returns `None` to fail or `Some(bindings)` to succeed, where each
+/// `(index, term)` binding unifies `term` with the argument at that 0-based
+/// position (an un-unifiable binding fails the call like any unification
+/// mismatch would).
+pub type HostFn = dyn Fn(&[Term]) -> Option<Vec<(usize, Term)>> + Send + Sync;
 
 impl Session {
     /// Parse a program from source text.
     pub fn new(program_src: &str) -> Result<Self, SessionError> {
         let mut syms = SymbolTable::new();
         let program = parse_program(program_src, &mut syms)?;
-        Ok(Session { syms, program, compiled: HashMap::new(), prepare_hits: 0, prepare_misses: 0 })
+        Ok(Session {
+            syms,
+            program,
+            compiled: HashMap::new(),
+            hosts: HashMap::new(),
+            prepare_hits: 0,
+            prepare_misses: 0,
+        })
+    }
+
+    /// Register a host predicate `name/arity`.  Queries compiled after this
+    /// call resolve matching goals to the engine's `call_host` opcode; when
+    /// one executes, the engine suspends and the cursor machinery calls `f`
+    /// with the argument terms.  User-defined predicates of the same name
+    /// and arity shadow the host; the host shadows builtins.  Registering
+    /// invalidates the compiled-query cache (later registrations of the
+    /// same `name/arity` replace the closure).
+    pub fn register_host<F>(&mut self, name: &str, arity: u8, f: F)
+    where
+        F: Fn(&[Term]) -> Option<Vec<(usize, Term)>> + Send + Sync + 'static,
+    {
+        self.hosts.insert((name.to_string(), arity), Arc::new(f));
+        self.compiled.clear();
+    }
+
+    /// The registered host predicates, sorted (the compile-time registry
+    /// order).
+    pub fn registered_hosts(&self) -> Vec<(String, u8)> {
+        let mut out: Vec<(String, u8)> = self.hosts.keys().cloned().collect();
+        out.sort();
+        out
     }
 
     /// Append more clauses to the program (e.g. a driver or extra data).
@@ -291,7 +335,12 @@ impl Session {
         opts: CompileOptions,
     ) -> Result<CompiledProgram, SessionError> {
         let query = parse_query(query_src, &mut self.syms)?;
-        Ok(compile_program_and_query(&self.program, &query, &mut self.syms, opts)?)
+        // Deterministic registry order: sorted by (name, arity).
+        let mut host_names: Vec<(String, u8)> = self.hosts.keys().cloned().collect();
+        host_names.sort();
+        let host_list: Vec<(pwam_front::atoms::Atom, u8)> =
+            host_names.iter().map(|(n, a)| (self.syms.intern(n), *a)).collect();
+        Ok(compile_program_and_query_with_hosts(&self.program, &query, &mut self.syms, opts, &host_list)?)
     }
 
     /// Compile a query (or return the cached compilation) as a shareable
@@ -378,5 +427,215 @@ impl Session {
     /// Render an answer term as text.
     pub fn render(&self, term: &pwam_front::term::Term) -> String {
         pwam_front::pretty::term_to_string(term, &self.syms)
+    }
+
+    /// Open an all-solutions cursor over an already-compiled query.
+    ///
+    /// The cursor owns its engine (built cold, or warm around `memory` when
+    /// its shape fits) and a handle to the compiled program, so it can be
+    /// parked anywhere — out of a pool slot, across requests — and stepped
+    /// with [`QueryCursor::next`] whenever the consumer wants another
+    /// answer.  Nothing runs until the first `next`.  Host-predicate calls
+    /// are serviced transparently from this session's registry; opening
+    /// fails if the program references a host predicate that is no longer
+    /// registered.
+    pub fn open_cursor(
+        &self,
+        compiled: &Arc<CompiledProgram>,
+        options: &QueryOptions,
+        memory: Option<Memory>,
+    ) -> Result<QueryCursor, SessionError> {
+        let mut host_fns = HashMap::new();
+        for (name, arity) in &compiled.hosts {
+            let f = self.hosts.get(&(name.clone(), *arity)).ok_or_else(|| {
+                SessionError::Engine(EngineError::Internal(format!(
+                    "host predicate {name}/{arity} is not registered on this session"
+                )))
+            })?;
+            host_fns.insert((name.clone(), *arity), Arc::clone(f));
+        }
+        Ok(QueryCursor::open(Arc::clone(compiled), options.engine_config(), memory, host_fns))
+    }
+}
+
+/// Where a [`QueryCursor`] stands in its answer stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CursorState {
+    /// Opened, nothing run yet: the first [`QueryCursor::next`] starts the
+    /// query.
+    Fresh,
+    /// Suspended at an answer boundary; `next` fails back into the engine
+    /// for the following answer, [`QueryCursor::commit`] accepts this one.
+    AtAnswer,
+    /// The stream is exhausted, committed, or dead after an error.
+    Done,
+}
+
+/// An owned, parkable all-solutions query: the resumable [`Engine`] plus
+/// the [`Arc<CompiledProgram>`] it executes, bundled so the pair can move
+/// between threads and outlive any pool slot.
+///
+/// `engine` borrows the program behind `program`'s `Arc` allocation.  That
+/// is sound because the allocation's address is stable for the `Arc`'s
+/// lifetime, the struct keeps the `Arc` alive at least as long as the
+/// engine, and the field order below drops the engine first.  The forged
+/// `'static` lifetime never escapes this struct's API.
+pub struct QueryCursor {
+    /// Declared before `program` so it drops first.
+    engine: Option<Engine<'static>>,
+    state: CursorState,
+    /// Host implementations resolved at open time, keyed like
+    /// `CompiledProgram::hosts` entries.
+    host_fns: HashMap<(String, u8), Arc<HostFn>>,
+    /// Keeps the engine's program allocation alive.
+    program: Arc<CompiledProgram>,
+}
+
+impl QueryCursor {
+    fn open(
+        program: Arc<CompiledProgram>,
+        config: EngineConfig,
+        memory: Option<Memory>,
+        host_fns: HashMap<(String, u8), Arc<HostFn>>,
+    ) -> QueryCursor {
+        // SAFETY: see the struct-level comment — the referent lives behind
+        // `program`'s Arc allocation, which this struct holds for at least
+        // the engine's lifetime, and drop order retires the engine first.
+        let program_ref: &'static CompiledProgram = unsafe { &*Arc::as_ptr(&program) };
+        let engine = match memory {
+            Some(m) => Engine::with_recycled_memory(program_ref, config, m).0,
+            None => Engine::new(program_ref, config),
+        };
+        QueryCursor { engine: Some(engine), state: CursorState::Fresh, host_fns, program }
+    }
+
+    /// The compiled program this cursor executes.
+    pub fn program(&self) -> &Arc<CompiledProgram> {
+        &self.program
+    }
+
+    /// Produce the next answer, or `None` once the stream is exhausted (or
+    /// the cursor was committed).  Host-predicate suspensions are serviced
+    /// internally; only answer boundaries surface.  On an engine error the
+    /// cursor is dead: the error is returned and every later call yields
+    /// `None`.
+    // Deliberately named like `Iterator::next`, but fallible — an
+    // `Iterator<Item = Result<...>>` impl would invert the natural
+    // `Result<Option<_>>` shape.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<Vec<(String, Term)>>, SessionError> {
+        if self.state == CursorState::Done {
+            return Ok(None);
+        }
+        let engine = self.engine.take().expect("live cursor without an engine");
+        let mut step = match self.state {
+            CursorState::Fresh => engine.run_resumable(),
+            CursorState::AtAnswer => engine.resume(HostResult::Redo),
+            CursorState::Done => unreachable!(),
+        };
+        loop {
+            match step {
+                Err(e) => {
+                    self.state = CursorState::Done;
+                    return Err(e.into());
+                }
+                Ok((RunOutcome::Complete, engine)) => {
+                    self.engine = Some(engine);
+                    self.state = CursorState::Done;
+                    return Ok(None);
+                }
+                Ok((RunOutcome::Suspended(SuspendReason::AnswerReady), engine)) => {
+                    match engine.answer_bindings() {
+                        Ok(bindings) => {
+                            self.engine = Some(engine);
+                            self.state = CursorState::AtAnswer;
+                            return Ok(Some(bindings));
+                        }
+                        Err(e) => {
+                            self.state = CursorState::Done;
+                            return Err(e.into());
+                        }
+                    }
+                }
+                Ok((RunOutcome::Suspended(SuspendReason::HostCall { name, args }), engine)) => {
+                    let key = (name, args.len() as u8);
+                    let Some(f) = self.host_fns.get(&key) else {
+                        self.state = CursorState::Done;
+                        return Err(SessionError::Engine(EngineError::Internal(format!(
+                            "host predicate {}/{} is not registered on this cursor",
+                            key.0, key.1
+                        ))));
+                    };
+                    let reply = match f(&args) {
+                        Some(bindings) => HostResult::Succeed(bindings),
+                        None => HostResult::Fail,
+                    };
+                    step = engine.resume(reply);
+                }
+            }
+        }
+    }
+
+    /// Accept the answer the cursor currently stands at and finish the
+    /// query (the cursor's cut): the engine halts cleanly and later
+    /// [`QueryCursor::next`] calls return `None`.
+    pub fn commit(&mut self) -> Result<(), SessionError> {
+        if self.state != CursorState::AtAnswer {
+            return Err(SessionError::Engine(EngineError::Internal(
+                "commit without a pending answer".to_string(),
+            )));
+        }
+        let engine = self.engine.take().expect("live cursor without an engine");
+        match engine.resume(HostResult::Commit) {
+            Ok((_, engine)) => {
+                self.engine = Some(engine);
+                self.state = CursorState::Done;
+                Ok(())
+            }
+            Err(e) => {
+                self.state = CursorState::Done;
+                Err(e.into())
+            }
+        }
+    }
+
+    /// True once the stream is exhausted, committed or dead.
+    pub fn is_done(&self) -> bool {
+        self.state == CursorState::Done
+    }
+
+    /// True while the cursor stands at an unconsumed answer.
+    pub fn at_answer(&self) -> bool {
+        self.state == CursorState::AtAnswer
+    }
+
+    /// Close the cursor, recovering the engine's arenas for a pool's warm
+    /// path (`None` if the engine was lost to an error).
+    pub fn close(self) -> Option<Memory> {
+        let QueryCursor { engine, .. } = self;
+        engine.map(|e| e.into_memory())
+    }
+
+    /// Goal Frames still parked on the suspended engine's boards (see
+    /// [`Engine::pending_goal_frames`]); `0` if the engine was lost.
+    pub fn pending_goal_frames(&self) -> usize {
+        self.engine.as_ref().map_or(0, |e| e.pending_goal_frames())
+    }
+
+    /// Structural invariants of the suspended engine (see
+    /// [`Engine::check_consistency`]); trivially `Ok` if the engine was
+    /// lost.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        self.engine.as_ref().map_or(Ok(()), |e| e.check_consistency())
+    }
+
+    /// Run statistics so far (`None` if the engine was lost).
+    pub fn stats(&self) -> Option<RunStats> {
+        self.engine.as_ref().map(|e| e.stats())
+    }
+
+    /// Drain the memory-reference trace collected so far, if tracing is on.
+    pub fn take_trace(&mut self) -> Option<Vec<MemRef>> {
+        self.engine.as_mut().and_then(|e| e.take_trace())
     }
 }

@@ -2,7 +2,8 @@
 //! the integration tests and the examples).
 
 use crate::protocol::{
-    decode_response, encode_request, read_frame, write_frame, QueryRequest, Request, Response, StatsResponse,
+    decode_response, encode_request, read_frame, write_frame, AnswerResponse, QueryRequest, Request,
+    Response, StatsResponse,
 };
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -31,6 +32,42 @@ impl Client {
     /// Run a query.
     pub fn query(&mut self, q: QueryRequest) -> io::Result<Response> {
         self.request(&Request::Query(Box::new(q)))
+    }
+
+    /// Open an all-solutions cursor; returns its id.  Server-side errors
+    /// (rejection, compile failure) surface as `InvalidData` — use
+    /// [`Client::request`] directly to inspect the error kind.
+    pub fn query_open(&mut self, q: QueryRequest) -> io::Result<u64> {
+        match self.request(&Request::QueryOpen(Box::new(q)))? {
+            Response::CursorOpened { cursor } => Ok(cursor),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected cursor-opened, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Step a cursor to its next answer.  `Ok(Some(answer))` at an answer,
+    /// `Ok(None)` once the stream is exhausted (the cursor is auto-closed).
+    pub fn query_next(&mut self, cursor: u64) -> io::Result<Option<AnswerResponse>> {
+        match self.request(&Request::QueryNext { cursor })? {
+            Response::Answer(a) if a.success => Ok(Some(a)),
+            Response::Answer(_) => Ok(None),
+            other => {
+                Err(io::Error::new(io::ErrorKind::InvalidData, format!("expected an answer, got {other:?}")))
+            }
+        }
+    }
+
+    /// Discard a cursor before exhausting it.
+    pub fn query_close(&mut self, cursor: u64) -> io::Result<()> {
+        match self.request(&Request::QueryClose { cursor })? {
+            Response::CursorClosed => Ok(()),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected cursor-closed, got {other:?}"),
+            )),
+        }
     }
 
     /// Fetch server statistics.

@@ -45,6 +45,6 @@ pub mod server;
 
 pub use cache::{CacheStats, ProgramCache};
 pub use client::Client;
-pub use pool::{AcquireError, EnginePool, PoolConfig, PoolStats};
+pub use pool::{AcquireError, CursorStats, CursorTable, EnginePool, ParkedQuery, PoolConfig, PoolStats};
 pub use protocol::{AnswerResponse, ErrorKind, QueryRequest, Request, Response, StatsResponse};
 pub use server::{Server, ServerConfig};

@@ -23,10 +23,12 @@
 //! passes.  Everything beyond that is rejected immediately — under
 //! overload the server sheds load instead of collapsing.
 
-use rapwam::Memory;
+use crate::cache::CacheEntry;
+use rapwam::{Memory, QueryCursor};
 use serde::Serialize;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Pool sizing and queueing policy.
@@ -242,6 +244,144 @@ impl Drop for SlotGuard<'_> {
             // (warmest) slot first.
             self.pool.slots.lock().unwrap().push(self.memory.take());
             self.pool.available.notify_one();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parked cursors
+// ---------------------------------------------------------------------
+
+/// A suspended all-solutions query parked *out of* its pool slot.
+///
+/// The whole point of the resumable engine is that a query waiting for its
+/// client to ask for the next answer should not occupy an execution slot:
+/// the engine (with its full Stack Set) moves into this table, the slot
+/// goes back to the pool, and a later `query-next` re-admits the cursor
+/// through the normal acquire path like any other run.
+pub struct ParkedQuery {
+    /// The suspended engine + program bundle.
+    pub cursor: QueryCursor,
+    /// Keeps the program's session (and its symbol table, needed to render
+    /// answer terms) alive even if the program cache evicts the entry.
+    pub entry: Arc<CacheEntry>,
+    /// Whether the cursor's engine was built on recycled arenas.
+    pub warm: bool,
+    /// Cumulative instruction count at the previous answer boundary, so
+    /// each `query-next` leg can report a delta into the server counters.
+    pub instructions_seen: u64,
+    /// Engine wall-clock microseconds charged to the server counters so
+    /// far.
+    pub micros_seen: u64,
+    /// Refreshed on every cursor operation; the eviction clock.
+    pub last_used: Instant,
+}
+
+/// Counters of the cursor table.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct CursorStats {
+    /// Cursors currently parked.
+    pub parked: u64,
+    /// Cursors ever opened.
+    pub opened: u64,
+    /// Cursors closed by the client or auto-closed on exhaustion/error.
+    pub closed: u64,
+    /// Cursors reclaimed by the idle-eviction deadline.
+    pub evicted: u64,
+}
+
+/// The parked-cursor table: id → [`ParkedQuery`], with lazy idle eviction.
+///
+/// There is no eviction thread; every cursor operation (and every stats
+/// request) first sweeps out cursors idle past `idle_timeout`.  A client
+/// that abandons a cursor therefore costs one engine's arenas for at most
+/// the deadline plus the gap to the next cursor touch — and since an
+/// abandoned cursor is only a parked struct, not a thread or a slot,
+/// that is purely memory, never capacity.
+pub struct CursorTable {
+    idle_timeout: Duration,
+    capacity: usize,
+    next_id: AtomicU64,
+    parked: Mutex<HashMap<u64, ParkedQuery>>,
+    opened: AtomicU64,
+    closed: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl CursorTable {
+    /// A table holding at most `capacity` parked cursors, each evictable
+    /// after `idle_timeout` without a touch.
+    pub fn new(idle_timeout: Duration, capacity: usize) -> Self {
+        CursorTable {
+            idle_timeout,
+            capacity,
+            next_id: AtomicU64::new(1),
+            parked: Mutex::new(HashMap::new()),
+            opened: AtomicU64::new(0),
+            closed: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured idle deadline.
+    pub fn idle_timeout(&self) -> Duration {
+        self.idle_timeout
+    }
+
+    /// Drop every cursor idle past the deadline (their engines' arenas are
+    /// freed with them).  Returns how many were evicted.
+    pub fn evict_idle(&self) -> usize {
+        let now = Instant::now();
+        let mut parked = self.parked.lock().unwrap();
+        let before = parked.len();
+        parked.retain(|_, p| now.duration_since(p.last_used) <= self.idle_timeout);
+        let evicted = before - parked.len();
+        if evicted > 0 {
+            self.evicted.fetch_add(evicted as u64, Ordering::Relaxed);
+        }
+        evicted
+    }
+
+    /// Park a cursor, assigning its wire id.  `None` when the table is
+    /// full — the caller reports an admission rejection and the cursor
+    /// (with its arenas) is dropped.
+    pub fn park(&self, parked: ParkedQuery) -> Option<u64> {
+        let mut map = self.parked.lock().unwrap();
+        if map.len() >= self.capacity {
+            return None;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        map.insert(id, parked);
+        self.opened.fetch_add(1, Ordering::Relaxed);
+        Some(id)
+    }
+
+    /// Remove a cursor for stepping or closing.  While it is out of the
+    /// table a concurrent operation on the same id sees "unknown cursor" —
+    /// one operation at a time per cursor, by construction.
+    pub fn take(&self, id: u64) -> Option<ParkedQuery> {
+        self.parked.lock().unwrap().remove(&id)
+    }
+
+    /// Put a stepped cursor back under its id with a fresh idle clock.
+    pub fn repark(&self, id: u64, mut parked: ParkedQuery) {
+        parked.last_used = Instant::now();
+        self.parked.lock().unwrap().insert(id, parked);
+    }
+
+    /// Record a cursor closed (client `query-close`, exhaustion, or death
+    /// by engine error).  The caller has already dropped or consumed it.
+    pub fn note_closed(&self) {
+        self.closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> CursorStats {
+        CursorStats {
+            parked: self.parked.lock().unwrap().len() as u64,
+            opened: self.opened.load(Ordering::Relaxed),
+            closed: self.closed.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
         }
     }
 }

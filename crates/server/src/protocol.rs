@@ -41,6 +41,16 @@
 //! (each binding is a `name-bytes value-bytes` header line followed by the
 //! two counted sections — rendered terms may contain *any* characters,
 //! including newlines from quoted atoms, without escaping).
+//!
+//! All-solutions streaming uses three cursor verbs.  `query-open` carries
+//! the same body as `query` but runs nothing: the server parks a resumable
+//! engine and replies `cursor-opened` with a `cursor` id.  Each
+//! `query-next` (a `cursor N` header, no body) steps that engine to its
+//! next answer and replies with a normal `answer` frame; `outcome failure`
+//! means the stream is exhausted and the cursor is already gone.
+//! `query-close` discards the cursor early and replies `cursor-closed`.
+//! Cursors idle past the server's eviction deadline are reclaimed; any
+//! verb naming a reclaimed (or never-opened) id gets a `cursor` error.
 
 use rapwam::{DeterminismMode, SchedulerKind};
 use std::io::{self, Read, Write};
@@ -64,6 +74,9 @@ pub enum ErrorKind {
     Deadline,
     /// The engine aborted (out of memory, step limit, internal error).
     Engine,
+    /// A cursor operation named an unknown id (never opened, already
+    /// closed, or reclaimed by idle eviction).
+    Cursor,
 }
 
 impl ErrorKind {
@@ -75,6 +88,7 @@ impl ErrorKind {
             ErrorKind::QueueTimeout => "queue-timeout",
             ErrorKind::Deadline => "deadline",
             ErrorKind::Engine => "engine",
+            ErrorKind::Cursor => "cursor",
         }
     }
 
@@ -86,6 +100,7 @@ impl ErrorKind {
             "queue-timeout" => ErrorKind::QueueTimeout,
             "deadline" => ErrorKind::Deadline,
             "engine" => ErrorKind::Engine,
+            "cursor" => ErrorKind::Cursor,
             _ => return None,
         })
     }
@@ -128,6 +143,19 @@ impl Default for QueryRequest {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     Query(Box<QueryRequest>),
+    /// Open an all-solutions cursor over a query (nothing runs yet); the
+    /// server answers [`Response::CursorOpened`] with the cursor id.
+    QueryOpen(Box<QueryRequest>),
+    /// Step a cursor to its next answer.  An `answer` response with
+    /// `outcome failure` means the stream is exhausted and the cursor was
+    /// auto-closed.
+    QueryNext {
+        cursor: u64,
+    },
+    /// Discard a cursor (and the suspended engine parked behind it).
+    QueryClose {
+        cursor: u64,
+    },
     /// Pool/cache statistics.
     Stats,
     /// Liveness check.
@@ -181,6 +209,12 @@ pub enum Response {
     Pong,
     /// Acknowledges a shutdown request.
     Bye,
+    /// A cursor was opened; `cursor` names it in `query-next`/`query-close`.
+    CursorOpened {
+        cursor: u64,
+    },
+    /// Acknowledges `query-close`.
+    CursorClosed,
 }
 
 // ---------------------------------------------------------------------
@@ -284,6 +318,22 @@ fn take_bytes<'a>(body: &'a str, n: usize, what: &str) -> Result<(&'a str, &'a s
     Ok(body.split_at(n))
 }
 
+/// Encode the shared body of `query` / `query-open` after the verb line.
+fn encode_query_body(out: &mut String, q: &QueryRequest) {
+    out.push_str(&format!("workers {}\n", q.workers));
+    out.push_str(&format!("parallel {}\n", q.parallel));
+    out.push_str(&format!("scheduler {}\n", q.scheduler.name()));
+    out.push_str(&format!("determinism {}\n", q.determinism.name()));
+    if let Some(ms) = q.deadline_ms {
+        out.push_str(&format!("deadline-ms {ms}\n"));
+    }
+    out.push_str(&format!("program-bytes {}\n", q.program.len()));
+    out.push_str(&format!("query-bytes {}\n", q.query.len()));
+    out.push('\n');
+    out.push_str(&q.program);
+    out.push_str(&q.query);
+}
+
 /// Encode a request payload.
 pub fn encode_request(req: &Request) -> String {
     match req {
@@ -291,23 +341,52 @@ pub fn encode_request(req: &Request) -> String {
         Request::Ping => "ping\n".to_string(),
         Request::Shutdown => "shutdown\n".to_string(),
         Request::Query(q) => {
-            let mut out = String::new();
-            out.push_str("query\n");
-            out.push_str(&format!("workers {}\n", q.workers));
-            out.push_str(&format!("parallel {}\n", q.parallel));
-            out.push_str(&format!("scheduler {}\n", q.scheduler.name()));
-            out.push_str(&format!("determinism {}\n", q.determinism.name()));
-            if let Some(ms) = q.deadline_ms {
-                out.push_str(&format!("deadline-ms {ms}\n"));
-            }
-            out.push_str(&format!("program-bytes {}\n", q.program.len()));
-            out.push_str(&format!("query-bytes {}\n", q.query.len()));
-            out.push('\n');
-            out.push_str(&q.program);
-            out.push_str(&q.query);
+            let mut out = String::from("query\n");
+            encode_query_body(&mut out, q);
             out
         }
+        Request::QueryOpen(q) => {
+            let mut out = String::from("query-open\n");
+            encode_query_body(&mut out, q);
+            out
+        }
+        Request::QueryNext { cursor } => format!("query-next\ncursor {cursor}\n"),
+        Request::QueryClose { cursor } => format!("query-close\ncursor {cursor}\n"),
     }
+}
+
+/// Decode the shared body of `query` / `query-open` after the verb line.
+fn decode_query_body(rest: &str) -> Result<QueryRequest, ParseError> {
+    let s = split_sections(rest)?;
+    let mut q = QueryRequest::default();
+    if let Some(w) = header_u64(&s, "workers")? {
+        q.workers = w as usize;
+    }
+    if let Some(p) = header(&s, "parallel") {
+        q.parallel = p == "true";
+    }
+    if let Some(sch) = header(&s, "scheduler") {
+        q.scheduler = SchedulerKind::parse(sch).ok_or_else(|| bad(format!("unknown scheduler {sch:?}")))?;
+    }
+    if let Some(d) = header(&s, "determinism") {
+        q.determinism = DeterminismMode::parse(d).ok_or_else(|| bad(format!("unknown determinism {d:?}")))?;
+    }
+    q.deadline_ms = header_u64(&s, "deadline-ms")?;
+    let program_bytes =
+        header_u64(&s, "program-bytes")?.ok_or_else(|| bad("query without program-bytes"))? as usize;
+    let query_bytes =
+        header_u64(&s, "query-bytes")?.ok_or_else(|| bad("query without query-bytes"))? as usize;
+    let (program, rest) = take_bytes(s.body, program_bytes, "program")?;
+    let (query, _) = take_bytes(rest, query_bytes, "query")?;
+    q.program = program.to_string();
+    q.query = query.to_string();
+    Ok(q)
+}
+
+/// Parse the `cursor` header of a `query-next` / `query-close` payload.
+fn decode_cursor_id(rest: &str, verb: &str) -> Result<u64, ParseError> {
+    let s = split_sections(rest)?;
+    header_u64(&s, "cursor")?.ok_or_else(|| bad(format!("{verb} without a cursor id")))
 }
 
 /// Decode a request payload.
@@ -317,34 +396,10 @@ pub fn decode_request(payload: &str) -> Result<Request, ParseError> {
         "stats" => Ok(Request::Stats),
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
-        "query" => {
-            let s = split_sections(rest)?;
-            let mut q = QueryRequest::default();
-            if let Some(w) = header_u64(&s, "workers")? {
-                q.workers = w as usize;
-            }
-            if let Some(p) = header(&s, "parallel") {
-                q.parallel = p == "true";
-            }
-            if let Some(sch) = header(&s, "scheduler") {
-                q.scheduler =
-                    SchedulerKind::parse(sch).ok_or_else(|| bad(format!("unknown scheduler {sch:?}")))?;
-            }
-            if let Some(d) = header(&s, "determinism") {
-                q.determinism =
-                    DeterminismMode::parse(d).ok_or_else(|| bad(format!("unknown determinism {d:?}")))?;
-            }
-            q.deadline_ms = header_u64(&s, "deadline-ms")?;
-            let program_bytes =
-                header_u64(&s, "program-bytes")?.ok_or_else(|| bad("query without program-bytes"))? as usize;
-            let query_bytes =
-                header_u64(&s, "query-bytes")?.ok_or_else(|| bad("query without query-bytes"))? as usize;
-            let (program, rest) = take_bytes(s.body, program_bytes, "program")?;
-            let (query, _) = take_bytes(rest, query_bytes, "query")?;
-            q.program = program.to_string();
-            q.query = query.to_string();
-            Ok(Request::Query(Box::new(q)))
-        }
+        "query" => Ok(Request::Query(Box::new(decode_query_body(rest)?))),
+        "query-open" => Ok(Request::QueryOpen(Box::new(decode_query_body(rest)?))),
+        "query-next" => Ok(Request::QueryNext { cursor: decode_cursor_id(rest, verb)? }),
+        "query-close" => Ok(Request::QueryClose { cursor: decode_cursor_id(rest, verb)? }),
         other => Err(bad(format!("unknown request verb {other:?}"))),
     }
 }
@@ -354,6 +409,8 @@ pub fn encode_response(resp: &Response) -> String {
     match resp {
         Response::Pong => "pong\n".to_string(),
         Response::Bye => "bye\n".to_string(),
+        Response::CursorOpened { cursor } => format!("cursor-opened\ncursor {cursor}\n"),
+        Response::CursorClosed => "cursor-closed\n".to_string(),
         Response::Stats(stats) => {
             let mut out = String::new();
             out.push_str("stats\n");
@@ -396,6 +453,8 @@ pub fn decode_response(payload: &str) -> Result<Response, ParseError> {
     match verb {
         "pong" => Ok(Response::Pong),
         "bye" => Ok(Response::Bye),
+        "cursor-opened" => Ok(Response::CursorOpened { cursor: decode_cursor_id(rest, "cursor-opened")? }),
+        "cursor-closed" => Ok(Response::CursorClosed),
         "stats" => {
             let s = split_sections(rest)?;
             let mut fields = Vec::new();
@@ -469,6 +528,13 @@ mod tests {
                 determinism: DeterminismMode::Relaxed,
                 deadline_ms: Some(2500),
             })),
+            Request::QueryOpen(Box::new(QueryRequest {
+                program: "p(1).\np(2).\n".to_string(),
+                query: "p(X)".to_string(),
+                ..QueryRequest::default()
+            })),
+            Request::QueryNext { cursor: 17 },
+            Request::QueryClose { cursor: u64::MAX },
         ];
         for req in reqs {
             let encoded = encode_request(&req);
@@ -481,6 +547,9 @@ mod tests {
         let resps = vec![
             Response::Pong,
             Response::Bye,
+            Response::CursorOpened { cursor: 42 },
+            Response::CursorClosed,
+            Response::Error { kind: ErrorKind::Cursor, message: "unknown cursor 9".to_string() },
             Response::Stats(StatsResponse {
                 fields: vec![("warm_hits".to_string(), 7), ("cold_builds".to_string(), 2)],
             }),
@@ -534,6 +603,9 @@ mod tests {
     fn malformed_requests_are_parse_errors() {
         assert!(decode_request("warp\n").is_err());
         assert!(decode_request("query\nworkers four\n\n").is_err());
+        assert!(decode_request("query-next\n").is_err(), "query-next needs a cursor id");
+        assert!(decode_request("query-close\ncursor many\n").is_err());
+        assert!(decode_response("cursor-opened\n").is_err());
         assert!(decode_request("query\nprogram-bytes 10\nquery-bytes 0\n\nshort").is_err());
         assert!(decode_response("answer\noutcome success\nbindings 2\n\n1 1\nX1\n").is_err());
     }

@@ -2,7 +2,7 @@
 //! shared [`EnginePool`] + [`ProgramCache`] behind an `Arc`.
 
 use crate::cache::ProgramCache;
-use crate::pool::{AcquireError, EnginePool, PoolConfig};
+use crate::pool::{AcquireError, CursorTable, EnginePool, ParkedQuery, PoolConfig, SlotGuard};
 use crate::protocol::{self, AnswerResponse, ErrorKind, QueryRequest, Request, Response, StatsResponse};
 use rapwam::session::{QueryOptions, SessionError};
 use rapwam::{EngineError, MemoryConfig, Outcome};
@@ -34,6 +34,12 @@ pub struct ServerConfig {
     /// Upper bound on the per-request worker count (each worker is a full
     /// Stack Set of `memory` words).
     pub max_workers: usize,
+    /// How long a parked cursor may sit untouched before idle eviction
+    /// reclaims it (lazily, on the next cursor or stats request).
+    pub cursor_idle_timeout: Duration,
+    /// Upper bound on concurrently parked cursors; `query-open` beyond it
+    /// is rejected (each parked cursor holds a full engine's arenas).
+    pub max_cursors: usize,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +63,8 @@ impl Default for ServerConfig {
                 message_words: 1 << 8,
             },
             max_workers: 16,
+            cursor_idle_timeout: Duration::from_secs(60),
+            max_cursors: 128,
         }
     }
 }
@@ -82,6 +90,7 @@ pub(crate) struct ServerState {
     pub config: ServerConfig,
     pub pool: EnginePool,
     pub cache: ProgramCache,
+    pub cursors: CursorTable,
     pub counters: ServerCounters,
     pub shutdown: AtomicBool,
 }
@@ -102,6 +111,7 @@ impl Server {
         let state = Arc::new(ServerState {
             pool: EnginePool::new(config.pool.clone()),
             cache: ProgramCache::new(config.max_programs),
+            cursors: CursorTable::new(config.cursor_idle_timeout, config.max_cursors),
             counters: ServerCounters::default(),
             shutdown: AtomicBool::new(false),
             config,
@@ -193,6 +203,9 @@ fn handle_connection(mut stream: TcpStream, state: Arc<ServerState>) {
                 return;
             }
             Ok(Request::Query(q)) => handle_query(&state, *q),
+            Ok(Request::QueryOpen(q)) => handle_query_open(&state, *q),
+            Ok(Request::QueryNext { cursor }) => handle_query_next(&state, cursor),
+            Ok(Request::QueryClose { cursor }) => handle_query_close(&state, cursor),
             Err(e) => {
                 state.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
                 Response::Error { kind: ErrorKind::Protocol, message: e.to_string() }
@@ -309,10 +322,203 @@ fn compile_error(state: &ServerState, e: SessionError) -> Response {
     Response::Error { kind: ErrorKind::Compile, message: e.to_string() }
 }
 
+/// Map a failed pool acquisition to its wire error.
+fn acquire_error(e: AcquireError) -> Response {
+    match e {
+        AcquireError::Rejected => Response::Error {
+            kind: ErrorKind::Rejected,
+            message: "server is at capacity (wait queue full)".to_string(),
+        },
+        AcquireError::Timeout => Response::Error {
+            kind: ErrorKind::QueueTimeout,
+            message: "no engine slot freed up within the wait budget".to_string(),
+        },
+    }
+}
+
+/// Open a cursor: compile, borrow a pool slot just long enough to take its
+/// recycled arenas, build the resumable engine around them, and park it.
+/// Nothing executes — the first `query-next` starts the query — so the
+/// slot goes straight back to the pool and open never blocks behind
+/// engine work beyond the acquire itself.
+fn handle_query_open(state: &ServerState, req: QueryRequest) -> Response {
+    state.cursors.evict_idle();
+    if req.workers == 0 || req.workers > state.config.max_workers {
+        state.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        return Response::Error {
+            kind: ErrorKind::Protocol,
+            message: format!("workers must be 1..={}", state.config.max_workers),
+        };
+    }
+    // The request deadline becomes the *per-leg* time budget: `resume`
+    // re-arms the engine clock, so each `query-next` gets the full budget
+    // rather than the whole stream sharing one.
+    let deadline = req.deadline_ms.map(Duration::from_millis).or(state.config.default_deadline);
+
+    let entry = match state.cache.entry(&req.program) {
+        Ok(e) => e,
+        Err(e) => return compile_error(state, e),
+    };
+    let compiled = match entry.prepared(&req.query, req.parallel) {
+        Ok(c) => c,
+        Err(e) => return compile_error(state, e),
+    };
+
+    // Borrow a slot only to inherit its warm arenas; the engine parks
+    // outside the pool and the slot returns (empty) immediately.
+    let recycled = match state.pool.acquire(deadline) {
+        Ok(mut slot) => slot.take_memory(),
+        Err(e) => return acquire_error(e),
+    };
+    let warm = recycled.is_some();
+    state.pool.record_run(warm);
+    let options = QueryOptions {
+        parallel: req.parallel,
+        workers: req.workers,
+        memory: state.config.memory,
+        scheduler: req.scheduler,
+        determinism: req.determinism,
+        stall_timeout: state.config.stall_timeout,
+        time_budget: deadline,
+        ..QueryOptions::default()
+    };
+    let cursor = {
+        let session = entry.session.read().unwrap();
+        match session.open_cursor(&compiled, &options, recycled) {
+            Ok(c) => c,
+            Err(e) => {
+                state.counters.engine_errors.fetch_add(1, Ordering::Relaxed);
+                return Response::Error { kind: ErrorKind::Engine, message: e.to_string() };
+            }
+        }
+    };
+    let parked =
+        ParkedQuery { cursor, entry, warm, instructions_seen: 0, micros_seen: 0, last_used: Instant::now() };
+    match state.cursors.park(parked) {
+        Some(id) => Response::CursorOpened { cursor: id },
+        None => Response::Error {
+            kind: ErrorKind::Rejected,
+            message: format!("cursor table is full ({} parked)", state.config.max_cursors),
+        },
+    }
+}
+
+/// Step a parked cursor to its next answer.  The cursor is re-admitted
+/// through the pool (it competes for a slot like any run — that is the
+/// admission-control story), but keeps its own arenas: the slot's memory
+/// is left untouched for the plain-query warm path.
+fn handle_query_next(state: &ServerState, id: u64) -> Response {
+    state.cursors.evict_idle();
+    let Some(mut parked) = state.cursors.take(id) else {
+        return unknown_cursor(id);
+    };
+    let slot = match state.pool.acquire(None) {
+        Ok(s) => s,
+        Err(e) => {
+            // Couldn't get a slot: the cursor is untouched, put it back.
+            state.cursors.repark(id, parked);
+            return acquire_error(e);
+        }
+    };
+    let started = Instant::now();
+    match parked.cursor.next() {
+        Ok(Some(bindings)) => {
+            let rendered = {
+                let session = parked.entry.session.read().unwrap();
+                bindings.iter().map(|(n, t)| (n.clone(), session.render(t))).collect()
+            };
+            let answer = cursor_answer(state, &mut parked, started, true, rendered);
+            state.cursors.repark(id, parked);
+            Response::Answer(answer)
+        }
+        Ok(None) => {
+            // Exhausted: auto-close, recycling the cursor's arenas into
+            // the slot we hold so the next plain query runs warm.
+            let answer = cursor_answer(state, &mut parked, started, false, Vec::new());
+            retire_cursor(state, parked, Some(slot));
+            Response::Answer(answer)
+        }
+        Err(e) => {
+            // The engine is dead; so is the cursor (its memory with it).
+            state.pool.record_error();
+            state.cursors.note_closed();
+            let (kind, counter) = match &e {
+                SessionError::Engine(EngineError::DeadlineExceeded { .. }) => {
+                    (ErrorKind::Deadline, &state.counters.deadline_errors)
+                }
+                _ => (ErrorKind::Engine, &state.counters.engine_errors),
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            Response::Error { kind, message: e.to_string() }
+        }
+    }
+}
+
+/// Discard a parked cursor.
+fn handle_query_close(state: &ServerState, id: u64) -> Response {
+    state.cursors.evict_idle();
+    match state.cursors.take(id) {
+        Some(parked) => {
+            retire_cursor(state, parked, None);
+            Response::CursorClosed
+        }
+        None => unknown_cursor(id),
+    }
+}
+
+fn unknown_cursor(id: u64) -> Response {
+    Response::Error {
+        kind: ErrorKind::Cursor,
+        message: format!("unknown cursor {id} (never opened, already closed, or evicted)"),
+    }
+}
+
+/// Build the `answer` frame for one cursor leg and charge its instruction
+/// and wall-clock deltas to the server's throughput counters.
+fn cursor_answer(
+    state: &ServerState,
+    parked: &mut ParkedQuery,
+    started: Instant,
+    success: bool,
+    bindings: Vec<(String, String)>,
+) -> AnswerResponse {
+    let stats = parked.cursor.stats().unwrap_or_default();
+    let elapsed_us = started.elapsed().as_micros() as u64;
+    let delta = stats.instructions.saturating_sub(parked.instructions_seen);
+    parked.instructions_seen = stats.instructions;
+    parked.micros_seen += elapsed_us;
+    state.counters.instructions.fetch_add(delta, Ordering::Relaxed);
+    state.counters.engine_micros.fetch_add(elapsed_us, Ordering::Relaxed);
+    AnswerResponse {
+        success,
+        bindings,
+        warm: parked.warm,
+        elapsed_us,
+        // Cumulative over the cursor's lifetime, like the one-shot path's
+        // whole-run numbers.
+        instructions: stats.instructions,
+        inferences: stats.inferences,
+        parcalls: stats.parcalls,
+    }
+}
+
+/// Close a finished (or explicitly closed) cursor, recovering its arenas
+/// into `slot` when one is held so the pool's warm path inherits them.
+fn retire_cursor(state: &ServerState, parked: ParkedQuery, slot: Option<SlotGuard<'_>>) {
+    let ParkedQuery { cursor, .. } = parked;
+    let memory = cursor.close();
+    if let (Some(mut slot), Some(memory)) = (slot, memory) {
+        slot.put_memory(memory);
+    }
+    state.cursors.note_closed();
+}
+
 /// Flatten pool + cache + server counters into the wire stats shape.
 fn stats_response(state: &ServerState) -> StatsResponse {
+    state.cursors.evict_idle();
     let pool = state.pool.stats();
     let cache = state.cache.stats();
+    let cursors = state.cursors.stats();
     let c = &state.counters;
     let instructions = c.instructions.load(Ordering::Relaxed);
     let engine_micros = c.engine_micros.load(Ordering::Relaxed);
@@ -333,6 +539,10 @@ fn stats_response(state: &ServerState) -> StatsResponse {
             ("cache_evictions".to_string(), cache.evictions),
             ("cache_programs".to_string(), cache.programs),
             ("cache_compiled_queries".to_string(), cache.compiled_queries),
+            ("parked_cursors".to_string(), cursors.parked),
+            ("cursors_opened".to_string(), cursors.opened),
+            ("cursors_closed".to_string(), cursors.closed),
+            ("cursors_evicted".to_string(), cursors.evicted),
             ("connections".to_string(), c.connections.load(Ordering::Relaxed)),
             ("queries".to_string(), c.queries.load(Ordering::Relaxed)),
             ("protocol_errors".to_string(), c.protocol_errors.load(Ordering::Relaxed)),

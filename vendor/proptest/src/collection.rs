@@ -17,12 +17,39 @@ pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
     VecStrategy { element, size }
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
         let span = (self.size.end - self.size.start) as u64;
         let len = self.size.start + rng.below(span) as usize;
         (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let min = self.size.start;
+        let mut out: Vec<Vec<S::Value>> = Vec::new();
+        // Truncations first (most aggressive): down to the minimum
+        // length, then dropping half the excess, then one element.
+        if value.len() > min {
+            for len in [min, min + (value.len() - min) / 2, value.len() - 1] {
+                if len < value.len() && !out.iter().any(|v| v.len() == len) {
+                    out.push(value[..len].to_vec());
+                }
+            }
+        }
+        // Then element-wise: each position replaced by its own most
+        // aggressive shrink, length held fixed.
+        for (i, elem) in value.iter().enumerate() {
+            if let Some(smaller) = self.element.shrink(elem).into_iter().next() {
+                let mut copy = value.clone();
+                copy[i] = smaller;
+                out.push(copy);
+            }
+        }
+        out
     }
 }

@@ -6,8 +6,17 @@
 //! `prop::sample::select`, `any::<T>()`, and the `proptest!` /
 //! `prop_assert*!` macros. Generation is deterministic (seeded from the test
 //! name), and failing cases are reported with their generated inputs via the
-//! test's panic message — but there is **no shrinking** and no persistence
-//! of failing seeds.
+//! test's panic message.
+//!
+//! Shrinking is **naive**: there is no value tree. When a case fails, the
+//! runner asks each argument's strategy for strictly smaller variants of
+//! the failing value ([`strategy::Strategy::shrink`] — numeric ranges jump
+//! to zero/start then halve the distance, collections truncate), greedily
+//! adopts any variant that still fails, and repeats until nothing smaller
+//! fails or a fixed attempt budget runs out. Non-invertible combinators
+//! (`prop_map`, `prop_oneof!`, boxed strategies) don't shrink — their
+//! values are reported as generated. There is no persistence of failing
+//! seeds.
 
 pub mod arbitrary;
 pub mod collection;
@@ -67,6 +76,16 @@ macro_rules! prop_assert_eq {
             right
         );
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`: {}\n  left: `{:?}`\n right: `{:?}`",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
 }
 
 #[macro_export]
@@ -80,10 +99,90 @@ macro_rules! prop_assert_ne {
             right
         );
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`: {}\n  left: `{:?}`\n right: `{:?}`",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Run one case and, on failure, greedily shrink it: adopt any strategy-
+/// proposed smaller input that still fails, until none does or the attempt
+/// budget runs out. Panics inside the body (plain `assert!`s, `unwrap`s)
+/// are caught and treated as failures so they shrink too. Returns `None`
+/// when the case passes, else the smallest failing input, its error, and
+/// how many shrink steps were taken.
+#[doc(hidden)]
+pub fn run_and_shrink<S, F>(
+    strategy: &S,
+    value: S::Value,
+    run: &F,
+) -> Option<(S::Value, test_runner::TestCaseError, usize)>
+where
+    S: strategy::Strategy,
+    F: Fn(&S::Value) -> Result<(), test_runner::TestCaseError>,
+{
+    use test_runner::TestCaseError;
+
+    fn attempt<T>(run: &impl Fn(&T) -> Result<(), TestCaseError>, value: &T) -> Result<(), TestCaseError> {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(value))) {
+            Ok(outcome) => outcome,
+            Err(payload) => Err(TestCaseError::fail(
+                payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "test body panicked".to_string()),
+            )),
+        }
+    }
+
+    let mut err = match attempt(run, &value) {
+        Ok(()) => return None,
+        Err(e) => e,
+    };
+    let mut value = value;
+    let mut steps = 0usize;
+    let mut budget = 256usize;
+    'outer: while budget > 0 {
+        for candidate in strategy.shrink(&value) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if let Err(candidate_err) = attempt(run, &candidate) {
+                value = candidate;
+                err = candidate_err;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    Some((value, err, steps))
+}
+
+/// Pins a case-runner closure's argument type to `&S::Value` at its
+/// definition site, so the types of the destructured test arguments are
+/// known while the body is inferred (a bare `|values: &_|` closure would
+/// be inferred before its later use unifies the types).
+#[doc(hidden)]
+pub fn bind_case<S, F>(_strategy: &S, run: F) -> F
+where
+    S: strategy::Strategy,
+    F: Fn(&S::Value) -> Result<(), test_runner::TestCaseError>,
+{
+    run
 }
 
 /// The test-defining macro. Each `fn name(pat in strategy, ...) { body }`
-/// becomes a `#[test]` that runs `config.cases` deterministic cases.
+/// becomes a `#[test]` that runs `config.cases` deterministic cases; a
+/// failing case is naively shrunk (see the crate docs) before reporting.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)]
@@ -93,16 +192,21 @@ macro_rules! proptest {
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $config;
                 let mut rng = $crate::test_runner::Rng::from_name(stringify!($name));
+                let strategy = ($($strat,)+);
                 for case in 0..config.cases {
-                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
-                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
-                        (|| {
-                            $body
-                            ::std::result::Result::Ok(())
-                        })();
-                    if let ::std::result::Result::Err(err) = outcome {
-                        panic!("proptest {} failed at case {}/{}: {}",
-                               stringify!($name), case + 1, config.cases, err);
+                    let values = $crate::strategy::Strategy::generate(&strategy, &mut rng);
+                    let run = $crate::bind_case(&strategy, |values| {
+                        let ($($arg,)+) = ::std::clone::Clone::clone(values);
+                        $body
+                        ::std::result::Result::Ok(())
+                    });
+                    if let ::std::option::Option::Some((smallest, err, steps)) =
+                        $crate::run_and_shrink(&strategy, values, &run)
+                    {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}\n  smallest failing input after {} shrink step(s): {:?}",
+                            stringify!($name), case + 1, config.cases, err, steps, smallest
+                        );
                     }
                 }
             }
@@ -114,4 +218,66 @@ macro_rules! proptest {
             $($(#[$meta])* fn $name($($arg in $strat),+) $body)*
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn ranges_shrink_toward_zero_then_halve() {
+        let spans_zero = -100i64..100;
+        assert_eq!(spans_zero.shrink(&80), vec![0, 40]);
+        assert_eq!(spans_zero.shrink(&-80), vec![0, -40]);
+        assert_eq!(spans_zero.shrink(&0), Vec::<i64>::new());
+
+        let positive = 10i64..100;
+        assert_eq!(positive.shrink(&50), vec![10, 30]);
+        assert_eq!(positive.shrink(&10), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn vecs_truncate_then_shrink_elements() {
+        let s = crate::collection::vec(0i64..100, 1..8);
+        let candidates = s.shrink(&vec![7, 9, 11]);
+        assert!(candidates.contains(&vec![7]), "truncation to the minimum length");
+        assert!(candidates.contains(&vec![7, 9]), "dropping one element");
+        assert!(candidates.contains(&vec![0, 9, 11]), "shrinking one element in place");
+        assert!(s.shrink(&vec![0]).is_empty(), "minimal vectors have nowhere to go");
+    }
+
+    #[test]
+    fn tuples_shrink_one_component_at_a_time() {
+        let s = (0i64..100, 0i64..100);
+        let candidates = s.shrink(&(8, 12));
+        assert!(candidates.contains(&(0, 12)));
+        assert!(candidates.contains(&(8, 0)));
+        assert!(!candidates.contains(&(0, 0)), "only one component moves per step");
+    }
+
+    #[test]
+    fn filters_only_propose_candidates_that_still_pass() {
+        let even = (0i64..100).prop_filter("even", |n| n % 2 == 0);
+        for candidate in even.shrink(&62) {
+            assert_eq!(candidate % 2, 0, "shrink must respect the filter");
+        }
+    }
+
+    #[test]
+    fn failing_cases_shrink_to_the_smallest_failure() {
+        // `x < 10` fails for every generated value; greedy shrinking must
+        // land exactly on the range's lower boundary.
+        proptest! {
+            #![proptest_config(crate::test_runner::ProptestConfig::with_cases(3))]
+            fn always_fails(x in 10i64..1000) {
+                prop_assert!(x < 10, "x = {x} is not below 10");
+            }
+        }
+        let message = *std::panic::catch_unwind(always_fails)
+            .expect_err("the property must fail")
+            .downcast::<String>()
+            .expect("panic message is a String");
+        assert!(message.contains("smallest failing input"), "message: {message}");
+        assert!(message.contains("(10,)"), "expected the boundary value 10, got: {message}");
+    }
 }

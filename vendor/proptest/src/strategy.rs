@@ -6,11 +6,22 @@ use std::rc::Rc;
 use crate::test_runner::Rng;
 
 /// A generator of random values. Unlike real proptest there is no value
-/// tree and no shrinking: a strategy simply produces a value from an RNG.
+/// tree: a strategy produces a value directly from an RNG, and shrinking
+/// is a separate naive pass over failing values ([`Strategy::shrink`]).
 pub trait Strategy {
     type Value;
 
     fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Propose strictly "smaller" variants of a failing value, most
+    /// aggressive first: numeric ranges pull toward zero (or the range
+    /// start) and halve the remaining distance; collections truncate.
+    /// The default proposes nothing, which keeps non-invertible
+    /// combinators (`prop_map`, `prop_oneof!`, boxed strategies) sound —
+    /// they simply don't shrink.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     fn prop_map<U, F>(self, map: F) -> Map<Self, F>
     where
@@ -145,6 +156,12 @@ where
         }
         panic!("prop_filter `{}` rejected 1000 candidates in a row", self.reason);
     }
+
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        // Shrink through to the inner strategy, keeping only candidates
+        // that still satisfy the filter.
+        self.strategy.shrink(value).into_iter().filter(|v| (self.filter)(v)).collect()
+    }
 }
 
 /// Uniform choice between strategies, built by `prop_oneof!`.
@@ -177,6 +194,25 @@ macro_rules! impl_range_strategy {
                     let span = (self.end as i128 - self.start as i128) as u64;
                     (self.start as i128 + rng.below(span) as i128) as $t
                 }
+
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    // Pull toward the smallest-magnitude value the range
+                    // admits (zero when it spans zero, else the start):
+                    // jump straight there, then halve the distance.
+                    let anchor: $t = if (self.start as i128) <= 0 && 0 < (self.end as i128) {
+                        0 as $t
+                    } else {
+                        self.start
+                    };
+                    let halfway = ((*value as i128 + anchor as i128) / 2) as $t;
+                    let mut out = Vec::new();
+                    for candidate in [anchor, halfway] {
+                        if candidate != *value && !out.contains(&candidate) {
+                            out.push(candidate);
+                        }
+                    }
+                    out
+                }
             }
         )*
     };
@@ -187,11 +223,27 @@ impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 macro_rules! impl_tuple_strategy {
     ($(($($name:ident . $idx:tt),+))*) => {
         $(
-            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+)
+            where
+                $($name::Value: Clone,)+
+            {
                 type Value = ($($name::Value,)+);
 
                 fn generate(&self, rng: &mut Rng) -> Self::Value {
                     ($(self.$idx.generate(rng),)+)
+                }
+
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    // One component shrunk at a time, the rest held fixed.
+                    let mut out = Vec::new();
+                    $(
+                        for candidate in self.$idx.shrink(&value.$idx) {
+                            let mut copy = value.clone();
+                            copy.$idx = candidate;
+                            out.push(copy);
+                        }
+                    )+
+                    out
                 }
             }
         )*
