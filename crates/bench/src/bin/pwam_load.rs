@@ -22,10 +22,11 @@
 
 use pwam_bench::cli::arg_value;
 use pwam_benchmarks::{benchmark, runner::Validation, Benchmark, BenchmarkId, Scale};
+use pwam_obs::{parse_histogram, Histogram};
 use pwam_server::{AnswerResponse, Client, QueryRequest, Response};
 use rapwam::{DeterminismMode, SchedulerKind};
 use serde::Serialize;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 fn num_arg(args: &[String], key: &str) -> Option<u64> {
     arg_value(args, key).map(|v| match v.parse() {
@@ -69,6 +70,10 @@ struct ClientTally {
     /// Answers streamed across all cursor requests.
     cursor_answers: u64,
     latencies_us: Vec<u64>,
+    /// Plain-query latencies only (no cursor streams): the population the
+    /// server's `pwam_query_request_us` histogram observes, so these are
+    /// what the metrics cross-check compares against.
+    plain_latencies_us: Vec<u64>,
 }
 
 #[derive(Debug, Serialize)]
@@ -106,6 +111,89 @@ struct Report {
     /// The server's cumulative throughput after the run, in thousandths of
     /// a MLIPS.
     server_mlips_x1000: u64,
+    /// Bucket bounds of the server-side whole-request latency percentiles
+    /// over this run's window (from the `metrics` scrape; 0 when the
+    /// server predates the verb or no plain query ran).
+    server_request_p50_bound_us: u64,
+    server_request_p99_bound_us: u64,
+}
+
+/// One recorded `pwam-load` invocation in `BENCH_server.json`.
+#[derive(Debug, Clone, Serialize)]
+struct ServerBenchRun {
+    /// Seconds since the Unix epoch when the run was recorded.
+    unix_secs: u64,
+    clients: usize,
+    requests: u64,
+    throughput_rps: f64,
+    latency_p50_us: u64,
+    latency_p99_us: u64,
+    /// Server-side request-latency bucket bounds for the same window.
+    server_request_p50_bound_us: u64,
+    server_request_p99_bound_us: u64,
+    server_mlips_x1000: u64,
+    pool_warm_hits: u64,
+    pool_cold_builds: u64,
+}
+
+/// On-disk shape of `BENCH_server.json`, mirroring `BENCH_mlips.json`:
+/// the most recent run plus every previously recorded one, so the serving
+/// tier accumulates a perf trajectory across PRs.
+#[derive(Debug, Clone, Default, Serialize)]
+struct ServerBenchFile {
+    latest: Option<ServerBenchRun>,
+    history: Vec<ServerBenchRun>,
+}
+
+fn bench_run_from_value(v: &serde_json::Value) -> Option<ServerBenchRun> {
+    Some(ServerBenchRun {
+        unix_secs: v.get("unix_secs")?.as_u64()?,
+        clients: v.get("clients")?.as_u64()? as usize,
+        requests: v.get("requests")?.as_u64()?,
+        throughput_rps: v.get("throughput_rps")?.as_f64()?,
+        latency_p50_us: v.get("latency_p50_us")?.as_u64()?,
+        latency_p99_us: v.get("latency_p99_us")?.as_u64()?,
+        server_request_p50_bound_us: v.get("server_request_p50_bound_us")?.as_u64()?,
+        server_request_p99_bound_us: v.get("server_request_p99_bound_us")?.as_u64()?,
+        server_mlips_x1000: v.get("server_mlips_x1000")?.as_u64()?,
+        pool_warm_hits: v.get("pool_warm_hits")?.as_u64()?,
+        pool_cold_builds: v.get("pool_cold_builds")?.as_u64()?,
+    })
+}
+
+impl ServerBenchFile {
+    /// Parse an existing `BENCH_server.json`; unparseable or absent
+    /// content starts a fresh trajectory.
+    fn parse_or_default(json: &str) -> ServerBenchFile {
+        let Ok(v) = serde_json::from_str(json) else { return ServerBenchFile::default() };
+        let parsed = || -> Option<ServerBenchFile> {
+            let latest = match v.get("latest") {
+                Some(l) if l.get("unix_secs").is_some() => Some(bench_run_from_value(l)?),
+                _ => None,
+            };
+            let history =
+                v.get("history")?.as_array()?.iter().map(bench_run_from_value).collect::<Option<Vec<_>>>()?;
+            Some(ServerBenchFile { latest, history })
+        }();
+        parsed.unwrap_or_default()
+    }
+}
+
+/// Compare a client-side percentile value against the server histogram's
+/// bucket bound for the same percentile: they must land within one log₂
+/// bucket of each other (the histogram's resolution).  Returns an error
+/// description on a mismatch.
+fn cross_check(name: &str, client_us: u64, server_bound_us: u64) -> Result<(), String> {
+    let client_bucket = Histogram::bucket_index(client_us) as i64;
+    let server_bucket = Histogram::bucket_index(server_bound_us) as i64;
+    if (client_bucket - server_bucket).abs() <= 1 {
+        Ok(())
+    } else {
+        Err(format!(
+            "{name}: client {client_us}us (bucket {client_bucket}) vs server bound \
+             {server_bound_us}us (bucket {server_bucket}) differ by more than one bucket"
+        ))
+    }
 }
 
 /// Check one answer against the registry's pinned value for `b`.
@@ -137,7 +225,8 @@ fn main() {
             "usage: pwam-load --addr HOST:PORT [--clients N] [--requests M]\n\
              \x20                [--benchmarks deriv,tak,qsort,queens] [--workers W]\n\
              \x20                [--scheduler NAME] [--determinism NAME] [--deadline-ms N]\n\
-             \x20                [--cursor-every N] [--require-reuse] [--shutdown] [--json]"
+             \x20                [--cursor-every N] [--require-reuse] [--shutdown] [--json]\n\
+             \x20                [--bench-out BENCH_server.json]"
         );
         return;
     }
@@ -173,12 +262,21 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let require_reuse = args.iter().any(|a| a == "--require-reuse");
     let send_shutdown = args.iter().any(|a| a == "--shutdown");
+    let bench_out = arg_value(&args, "--bench-out");
 
     // Pool stats before the run, so the report shows this run's deltas.
     let before = Client::connect(&addr).and_then(|mut c| c.stats()).unwrap_or_else(|e| {
         eprintln!("pwam-load: cannot reach server at {addr}: {e}");
         std::process::exit(1);
     });
+    // Metrics scrape before the run: differencing the request-latency
+    // histogram across the run isolates this run's window even against a
+    // long-lived server.
+    let before_request_hist = Client::connect(&addr)
+        .ok()
+        .and_then(|mut c| c.metrics().ok())
+        .and_then(|text| parse_histogram(&text, "pwam_query_request_us"))
+        .unwrap_or_default();
 
     let started = Instant::now();
     let tallies: Vec<ClientTally> = std::thread::scope(|s| {
@@ -273,7 +371,9 @@ fn main() {
                         }
                         match client.query(req) {
                             Ok(Response::Answer(a)) => {
-                                tally.latencies_us.push(sent.elapsed().as_micros() as u64);
+                                let us = sent.elapsed().as_micros() as u64;
+                                tally.latencies_us.push(us);
+                                tally.plain_latencies_us.push(us);
                                 if a.warm {
                                     tally.warm += 1;
                                 }
@@ -307,6 +407,13 @@ fn main() {
     let elapsed = started.elapsed();
 
     let after = Client::connect(&addr).and_then(|mut c| c.stats()).unwrap_or_default();
+    // End-of-run metrics scrape: the request-latency histogram for this
+    // run's window, for the client/server percentile cross-check.
+    let request_window = Client::connect(&addr)
+        .ok()
+        .and_then(|mut c| c.metrics().ok())
+        .and_then(|text| parse_histogram(&text, "pwam_query_request_us"))
+        .map(|h| h.since(&before_request_hist));
     if send_shutdown {
         if let Ok(mut c) = Client::connect(&addr) {
             let _ = c.shutdown();
@@ -323,6 +430,24 @@ fn main() {
     let cursor_answers: u64 = tallies.iter().map(|t| t.cursor_answers).sum();
     let delta = |key: &str| after.get(key).unwrap_or(0).saturating_sub(before.get(key).unwrap_or(0));
     let mean = if latencies.is_empty() { 0 } else { latencies.iter().sum::<u64>() / latencies.len() as u64 };
+
+    // Client/server latency cross-check: the client-side plain-query
+    // percentiles must land within one log₂ bucket of the server's
+    // request-latency histogram for the same window.  Loopback transport
+    // adds microseconds, not buckets, so a wider gap means one of the two
+    // measurements is lying.
+    let mut plain: Vec<u64> = tallies.iter().flat_map(|t| t.plain_latencies_us.iter().copied()).collect();
+    plain.sort_unstable();
+    let server_p50 = request_window.as_ref().and_then(|w| w.percentile_bound(50.0)).unwrap_or(0);
+    let server_p99 = request_window.as_ref().and_then(|w| w.percentile_bound(99.0)).unwrap_or(0);
+    let mut cross_check_failures: Vec<String> = Vec::new();
+    if !plain.is_empty() && server_p50 > 0 {
+        for (name, p, bound) in [("p50", 0.50, server_p50), ("p99", 0.99, server_p99)] {
+            if let Err(e) = cross_check(name, percentile(&plain, p), bound) {
+                cross_check_failures.push(e);
+            }
+        }
+    }
 
     let report = Report {
         clients,
@@ -349,6 +474,8 @@ fn main() {
         server_protocol_errors: delta("protocol_errors"),
         server_instructions: delta("instructions"),
         server_mlips_x1000: after.get("mlips_x1000").unwrap_or(0),
+        server_request_p50_bound_us: server_p50,
+        server_request_p99_bound_us: server_p99,
     };
 
     if json {
@@ -365,6 +492,12 @@ fn main() {
             "  latency  mean {}us  p50 {}us  p99 {}us",
             report.latency_mean_us, report.latency_p50_us, report.latency_p99_us
         );
+        if report.server_request_p50_bound_us > 0 {
+            println!(
+                "  server   request p50 <= {}us  p99 <= {}us  (metrics histogram)",
+                report.server_request_p50_bound_us, report.server_request_p99_bound_us
+            );
+        }
         println!(
             "  pool     warm {}  cold {}  rejected {}  queue-timeout {}  max-depth {}",
             report.pool_warm_hits,
@@ -395,7 +528,39 @@ fn main() {
         );
     }
 
-    if errors > 0 || wrong > 0 || report.server_protocol_errors > 0 {
+    // Record the run in the serving tier's perf-trajectory file (same
+    // {latest, history[]} shape as BENCH_mlips.json).
+    if let Some(path) = bench_out {
+        let mut file = std::fs::read_to_string(&path)
+            .map(|json| ServerBenchFile::parse_or_default(&json))
+            .unwrap_or_default();
+        let run = ServerBenchRun {
+            unix_secs: SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0),
+            clients: report.clients,
+            requests: report.requests,
+            throughput_rps: report.throughput_rps,
+            latency_p50_us: report.latency_p50_us,
+            latency_p99_us: report.latency_p99_us,
+            server_request_p50_bound_us: report.server_request_p50_bound_us,
+            server_request_p99_bound_us: report.server_request_p99_bound_us,
+            server_mlips_x1000: report.server_mlips_x1000,
+            pool_warm_hits: report.pool_warm_hits,
+            pool_cold_builds: report.pool_cold_builds,
+        };
+        file.latest = Some(run.clone());
+        file.history.push(run);
+        let json = serde_json::to_string_pretty(&file).expect("serialise bench record");
+        if let Err(e) = std::fs::write(&path, json + "\n") {
+            eprintln!("pwam-load: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("pwam-load: recorded run in {path} ({} total)", file.history.len());
+    }
+
+    for failure in &cross_check_failures {
+        eprintln!("pwam-load: latency cross-check failed: {failure}");
+    }
+    if errors > 0 || wrong > 0 || report.server_protocol_errors > 0 || !cross_check_failures.is_empty() {
         std::process::exit(1);
     }
     if require_reuse && report.pool_warm_hits == 0 {

@@ -60,6 +60,7 @@ pub fn compile_program_and_query_with_hosts(
     // ----- predicates -----
     let mut predicates: HashMap<(pwam_front::atoms::Atom, u8), CodeAddr> = HashMap::new();
     let mut predicate_order = Vec::new();
+    let mut predicate_names = Vec::new();
     for &(name, arity) in &lifted.predicate_order {
         if arity > u8::MAX as usize {
             return Err(CompileError::new(format!(
@@ -74,6 +75,7 @@ pub fn compile_program_and_query_with_hosts(
         append_relocated(&mut code, chunk, base);
         predicates.insert((name, arity as u8), base);
         predicate_order.push(((name, arity as u8), base));
+        predicate_names.push((syms.name(name).to_string(), arity as u8, base));
     }
 
     // ----- query -----
@@ -146,6 +148,7 @@ pub fn compile_program_and_query_with_hosts(
         dense,
         predicates,
         predicate_order,
+        predicate_names,
         query_start,
         query_env_size: qinfo.env_size,
         query_vars: qinfo.vars,

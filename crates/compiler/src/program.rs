@@ -23,6 +23,12 @@ pub struct CompiledProgram {
     pub predicates: HashMap<(Atom, u8), CodeAddr>,
     /// Predicate entry points in definition order (for stable reporting).
     pub predicate_order: Vec<((Atom, u8), CodeAddr)>,
+    /// Resolved predicate names in definition order, parallel to
+    /// `predicate_order`: `(name, arity, entry)`.  Like [`Self::hosts`],
+    /// names are materialised at compile time so downstream layers (the
+    /// engine's per-predicate profile, the serving tier's metrics) can
+    /// label code addresses without the symbol table.
+    pub predicate_names: Vec<(String, u8, CodeAddr)>,
     /// Entry point of the compiled query.
     pub query_start: CodeAddr,
     /// Size of the query environment (number of `Y` slots).
@@ -67,5 +73,15 @@ impl CompiledProgram {
             }
         }
         best.map(|(k, _)| k)
+    }
+
+    /// The resolved `name/arity` label of the predicate whose entry point
+    /// is exactly `addr`, if any.  Call targets always name entry points,
+    /// so this is the lookup the per-predicate profile uses.
+    pub fn predicate_label_at(&self, addr: CodeAddr) -> Option<String> {
+        self.predicate_names
+            .iter()
+            .find(|(_, _, entry)| *entry == addr)
+            .map(|(name, arity, _)| format!("{name}/{arity}"))
     }
 }

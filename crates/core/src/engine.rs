@@ -45,6 +45,7 @@ use crate::worker::{GoalContext, Resume, Worker, WorkerStatus};
 use pwam_compiler::CompiledProgram;
 use pwam_front::term::Term;
 use pwam_front::SymbolTable;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -524,6 +525,13 @@ impl<'p> Engine<'p> {
         mem.set_serial(!config.classic_dispatch && !relaxed);
         let mut workers: Vec<Worker> =
             (0..config.num_workers).map(|i| Worker::new(i as u8, &mem.map, config.num_x_regs)).collect();
+        for wk in &mut workers {
+            // Per-predicate profile storage, indexed by code address (entry
+            // points of the predicates actually called).  The query body is
+            // charged to `query_start` until the first call.
+            wk.prof_counts = vec![0; program.code_len()];
+            wk.prof_pred = program.query_start;
+        }
         workers[0].p = program.query_start;
         workers[0].cp = program.query_start;
         workers[0].status = WorkerStatus::Running;
@@ -795,7 +803,14 @@ impl<'p> Engine<'p> {
         let core = &mut self.core;
         core.mem.reset(core.config.collect_trace);
         for wk in self.workers.iter_mut() {
+            // Recycle the profile buffer across resets: the program (and so
+            // the code length) is fixed for the engine's lifetime.
+            let mut prof = std::mem::take(&mut wk.prof_counts);
             *wk = Worker::new(wk.id, &core.mem.map, core.config.num_x_regs);
+            prof.clear();
+            prof.resize(core.program.code_len(), 0);
+            wk.prof_counts = prof;
+            wk.prof_pred = core.program.query_start;
         }
         self.workers[0].p = core.program.query_start;
         self.workers[0].cp = core.program.query_start;
@@ -1104,9 +1119,16 @@ impl<'p> Engine<'p> {
                 cancel_notices: w.cancel_notices,
                 goals_aborted: w.goals_aborted,
                 goals_while_cancelling: w.goals_while_cancelling,
+                steal_attempts: w.steal_attempts,
+                backoff_yields: w.backoff_yields,
+                backoff_parks: w.backoff_parks,
+                park_micros: w.park_micros,
+                batch_exits_budget: w.batch_exits_budget,
+                batch_exits_park: w.batch_exits_park,
             })
             .collect();
         let area_stats = self.core.mem.merged_stats();
+        let predicate_profile = self.collect_predicate_profile();
         RunStats {
             num_workers: self.workers.len(),
             instructions: self.core.steps(),
@@ -1124,7 +1146,66 @@ impl<'p> Engine<'p> {
             cancel_requests: self.core.cancel_requests.load(Ordering::Relaxed),
             area_stats,
             workers,
+            predicate_profile,
         }
+    }
+
+    /// Merge the workers' per-predicate instruction attribution and label
+    /// it with resolved names.  Read-only: the run still to be charged on
+    /// each worker (`Worker::prof_residual`) is added without flushing, so
+    /// this is safe to call between batches (cursor stats) as well as
+    /// after completion.
+    fn collect_predicate_profile(&self) -> Vec<(String, u64)> {
+        if self.core.config.classic_dispatch {
+            // The classic path carries no profiling hooks (it is the MLIPS
+            // gate's uninstrumented baseline); the workers' untouched
+            // attribution state would mis-report everything as `$query`.
+            return Vec::new();
+        }
+        let mut by_addr: HashMap<u32, u64> = HashMap::new();
+        for w in &self.workers {
+            for (addr, count) in w.prof_counts.iter().enumerate() {
+                if *count != 0 {
+                    *by_addr.entry(addr as u32).or_default() += count;
+                }
+            }
+            let (pred, run) = w.prof_residual();
+            if run != 0 {
+                *by_addr.entry(pred).or_default() += run;
+            }
+        }
+        let program = self.core.program;
+        let mut out: Vec<(String, u64)> = by_addr
+            .into_iter()
+            .map(|(addr, count)| {
+                let label = program.predicate_label_at(addr).unwrap_or_else(|| {
+                    // The only attribution keys that are not predicate
+                    // entry points are the query body itself and (after a
+                    // deep failure) code reached by restored continuations.
+                    if addr >= program.query_start {
+                        "$query".to_string()
+                    } else {
+                        match program.predicate_containing(addr) {
+                            Some((_, arity)) => format!("@{addr}/{arity}"),
+                            None => format!("@{addr}"),
+                        }
+                    }
+                });
+                (label, count)
+            })
+            .collect();
+        // Collapse duplicate labels (several keys can resolve to `$query`).
+        out.sort();
+        out.dedup_by(|(bn, bc), (an, ac)| {
+            if an == bn {
+                *ac += *bc;
+                true
+            } else {
+                false
+            }
+        });
+        out.sort_by(|(an, ac), (bn, bc)| bc.cmp(ac).then_with(|| an.cmp(bn)));
+        out
     }
 }
 
@@ -1415,7 +1496,10 @@ impl<'a, 'p> Step<'a, 'p> {
         if matches!(resume, Resume::ToWait { .. }) {
             return Ok(false);
         }
-        // Steal from another worker (round-robin over victims).
+        // Steal from another worker (round-robin over victims).  One scan
+        // over every victim counts as one attempt; `goals_stolen` below
+        // counts the attempts that found work.
+        self.wk.steal_attempts += 1;
         let n = core.boards.len();
         for i in 0..n {
             let victim = (core.steal_cursor.load(Ordering::Relaxed) + i) % n;
@@ -1539,6 +1623,9 @@ impl<'a, 'p> Step<'a, 'p> {
         };
         let wk = &mut *self.wk;
         wk.goal_contexts.push(ctx);
+        // Goal bodies start at a fresh predicate: move the profiling
+        // attribution key along with the program counter.
+        wk.prof_switch(code);
         wk.cp = self.core.program.goal_success_addr;
         wk.num_args = arity as u8;
         wk.b0 = wk.b;

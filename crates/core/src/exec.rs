@@ -744,6 +744,17 @@ impl<'a, 'p> Step<'a, 'p> {
         if n > 0 {
             core.steps.fetch_add(n as u64, Ordering::Relaxed);
         }
+        // Scheduler telemetry: classify the exit cause — quantum exhausted
+        // (the driver re-enters immediately) against leaving the running
+        // state (parked at a wait, idle, cancelled, or query over).  One
+        // predictable branch per batch, amortised over `max` instructions.
+        if result.is_ok() {
+            if self.wk.status == WorkerStatus::Running && !core.halted() {
+                self.wk.batch_exits_budget += 1;
+            } else {
+                self.wk.batch_exits_park += 1;
+            }
+        }
         result.map(|_| n)
     }
 
@@ -1035,6 +1046,7 @@ impl<'a, 'p> Step<'a, 'p> {
             DenseOp::CallCode => {
                 self.core.inferences.fetch_add(1, Ordering::Relaxed);
                 let wk = &mut *self.wk;
+                wk.prof_switch(di.c);
                 wk.cp = p + 1;
                 wk.num_args = di.a;
                 wk.b0 = wk.b;
@@ -1048,6 +1060,7 @@ impl<'a, 'p> Step<'a, 'p> {
             DenseOp::ExecuteCode => {
                 self.core.inferences.fetch_add(1, Ordering::Relaxed);
                 let wk = &mut *self.wk;
+                wk.prof_switch(di.c);
                 wk.num_args = di.a;
                 wk.b0 = wk.b;
                 Ok(Flow::Jump(di.c))

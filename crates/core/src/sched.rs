@@ -593,8 +593,19 @@ fn relaxed_pe_loop(
         if idle_spins <= 16 {
             std::hint::spin_loop();
         } else if idle_spins <= 256 {
+            // Telemetry rides the ladder's existing branch structure: the
+            // rung-entry transitions are counted once per idle episode and
+            // the park time is the nap count times the fixed nap length —
+            // no clock reads on the idle path.
+            if idle_spins == 17 {
+                step.wk.backoff_yields += 1;
+            }
             thread::yield_now();
         } else {
+            if idle_spins == 257 {
+                step.wk.backoff_parks += 1;
+            }
+            step.wk.park_micros += 100;
             thread::sleep(Duration::from_micros(100));
         }
         if idle_spins.is_multiple_of(STALL_CHECK_INTERVAL) {

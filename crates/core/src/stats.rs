@@ -28,6 +28,22 @@ pub struct WorkerStats {
     /// (waiting for a cancelled Parcall Frame to drain) — useful work done
     /// mid-cancellation.
     pub goals_while_cancelling: u64,
+    /// Steal scans this worker ran while looking for work (each sweeps
+    /// every other PE's Goal Stack once; `goals_stolen` counts successes).
+    pub steal_attempts: u64,
+    /// Idle-backoff transitions from spinning to yielding (relaxed
+    /// backend's idle ladder; zero on the strict backends).
+    pub backoff_yields: u64,
+    /// Idle-backoff transitions from yielding to timed parking (relaxed
+    /// backend).
+    pub backoff_parks: u64,
+    /// Microseconds spent in timed parks while idle (relaxed backend).
+    pub park_micros: u64,
+    /// Flat-dispatch batch exits caused by quantum/step-budget exhaustion.
+    pub batch_exits_budget: u64,
+    /// Flat-dispatch batch exits caused by leaving the running state
+    /// (parked at a `pcall_wait`, went idle, cancelling, query finished).
+    pub batch_exits_park: u64,
 }
 
 /// Statistics of one engine run.
@@ -74,6 +90,13 @@ pub struct RunStats {
     pub area_stats: AreaStats,
     /// Per-worker summaries.
     pub workers: Vec<WorkerStats>,
+    /// Per-predicate instruction attribution from the flat dispatch path:
+    /// `("name/arity", instructions)` sorted by decreasing count (ties by
+    /// name).  Attribution is call-granular — instructions between two call
+    /// boundaries are charged to the predicate entered at the first — and
+    /// the query body itself appears as `$query`.  Empty under the classic
+    /// dispatch path, which stays the uninstrumented MLIPS baseline.
+    pub predicate_profile: Vec<(String, u64)>,
 }
 
 impl RunStats {

@@ -201,6 +201,41 @@ pub struct Worker {
     /// [`WorkerStatus::Cancelling`] — useful work done while a cancelled
     /// Parcall Frame's completion counter drains.
     pub goals_while_cancelling: u64,
+    /// Steal scans this worker ran while looking for work (each scan sweeps
+    /// the other PEs' Goal Stacks once; `goals_stolen` counts the scans
+    /// that found a goal).  Worker-local like every other counter here:
+    /// incremented off the dispatch hot path and read only through
+    /// [`crate::stats::WorkerStats`].
+    pub steal_attempts: u64,
+    /// Idle-backoff transitions from spinning to yielding (relaxed
+    /// backend's idle ladder).
+    pub backoff_yields: u64,
+    /// Idle-backoff transitions from yielding to timed parking (relaxed
+    /// backend's idle ladder).
+    pub backoff_parks: u64,
+    /// Microseconds spent in timed parks while idle (relaxed backend).
+    pub park_micros: u64,
+    /// Batch exits whose cause was quantum/step-budget exhaustion while
+    /// still `Running` (the scheduler will re-enter immediately).
+    pub batch_exits_budget: u64,
+    /// Batch exits whose cause was leaving `Running`: parked at a
+    /// `pcall_wait`, went idle after goal completion, cancelled, or the
+    /// whole query finished.
+    pub batch_exits_park: u64,
+    /// Per-predicate instruction attribution for the flat dispatch path:
+    /// entry address of the predicate currently being charged.  Updated at
+    /// call/execute boundaries only, so attribution is call-granular: the
+    /// tail of a clause body after its last call is charged to the callee.
+    pub prof_pred: u32,
+    /// Value of `instructions` when `prof_pred` last changed; the
+    /// difference to the live counter is the run still to be charged.
+    pub prof_mark: u64,
+    /// Instructions charged per predicate entry address, indexed by code
+    /// address.  Sized by the engine to the program's code length (the
+    /// profile rides the existing `instructions` counter, so the dispatch
+    /// loop itself is untouched; charging happens on call boundaries and
+    /// costs a subtraction and an indexed add).
+    pub prof_counts: Vec<u64>,
     /// High-water marks for storage-usage statistics.
     pub max_h: u32,
     pub max_local_top: u32,
@@ -297,6 +332,15 @@ impl Worker {
             cancel_notices: 0,
             goals_aborted: 0,
             goals_while_cancelling: 0,
+            steal_attempts: 0,
+            backoff_yields: 0,
+            backoff_parks: 0,
+            park_micros: 0,
+            batch_exits_budget: 0,
+            batch_exits_park: 0,
+            prof_pred: 0,
+            prof_mark: 0,
+            prof_counts: Vec::new(),
             max_h: heap_base,
             max_local_top: local_base,
             max_control_top: control_base,
@@ -335,6 +379,29 @@ impl Worker {
     /// Words of heap currently in use.
     pub fn heap_used(&self) -> u32 {
         self.h - self.heap_base
+    }
+
+    /// Charge the instruction run since the last predicate switch to the
+    /// current predicate and move the attribution key to `entry`.  Called
+    /// at call/execute boundaries and at parallel-goal starts — never per
+    /// instruction.
+    #[inline]
+    pub fn prof_switch(&mut self, entry: u32) {
+        let run = self.instructions - self.prof_mark;
+        if run != 0 {
+            if let Some(slot) = self.prof_counts.get_mut(self.prof_pred as usize) {
+                *slot += run;
+            }
+            self.prof_mark = self.instructions;
+        }
+        self.prof_pred = entry;
+    }
+
+    /// The `(predicate entry, instruction run)` not yet charged to
+    /// `prof_counts` — lets read-only stats collection see exact numbers
+    /// between batches without mutating the worker.
+    pub fn prof_residual(&self) -> (u32, u64) {
+        (self.prof_pred, self.instructions - self.prof_mark)
     }
 
     /// Maximum words of each area ever in use: (heap, local, control, trail, goal).

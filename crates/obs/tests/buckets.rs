@@ -1,0 +1,78 @@
+//! Histogram bucket-boundary properties.  The bucket map is pure
+//! (`Histogram::bucket_index`), so the properties are checked exhaustively
+//! at every power-of-two boundary and over a deterministic pseudo-random
+//! sweep of the full `u64` range (hand-rolled LCG — this crate takes no
+//! dependencies, dev or otherwise).
+
+use pwam_obs::{Histogram, HISTOGRAM_BUCKETS};
+
+/// The invariant behind the Prometheus `le` convention: an observation
+/// lands in the smallest bucket whose inclusive upper bound admits it.
+fn assert_bucket_invariants(v: u64) {
+    let i = Histogram::bucket_index(v);
+    assert!(i < HISTOGRAM_BUCKETS, "index out of range for {v}");
+    if i < HISTOGRAM_BUCKETS - 1 {
+        assert!(v <= Histogram::bucket_bound(i), "{v} exceeds its bucket bound 2^{i}");
+    } else {
+        // +Inf bucket: the value must overflow every finite bound.
+        assert!(v > Histogram::bucket_bound(HISTOGRAM_BUCKETS - 2));
+    }
+    if i > 0 {
+        assert!(v > Histogram::bucket_bound(i - 1), "{v} should have fit in the previous bucket (index {i})");
+    }
+}
+
+#[test]
+fn zero_and_one_share_the_first_bucket() {
+    assert_eq!(Histogram::bucket_index(0), 0);
+    assert_eq!(Histogram::bucket_index(1), 0);
+    assert_eq!(Histogram::bucket_index(2), 1);
+}
+
+#[test]
+fn every_power_of_two_boundary_is_tight() {
+    for k in 0..64u32 {
+        let b = 1u64 << k;
+        assert_bucket_invariants(b);
+        assert_bucket_invariants(b.saturating_sub(1));
+        assert_bucket_invariants(b.saturating_add(1));
+        if k < (HISTOGRAM_BUCKETS - 1) as u32 {
+            // 2^k sits exactly on bucket k's inclusive bound...
+            assert_eq!(Histogram::bucket_index(b), k as usize);
+            // ...and 2^k + 1 spills into the next bucket.
+            let next = (k as usize + 1).min(HISTOGRAM_BUCKETS - 1);
+            assert_eq!(Histogram::bucket_index(b + 1), next);
+        } else {
+            assert_eq!(Histogram::bucket_index(b), HISTOGRAM_BUCKETS - 1);
+        }
+    }
+    assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+}
+
+#[test]
+fn random_sweep_holds_the_invariants() {
+    // Deterministic 64-bit LCG (Knuth's MMIX constants).
+    let mut state: u64 = 0x9E3779B97F4A7C15;
+    for _ in 0..200_000 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        // Vary magnitude: shift by the top bits so small values are hit too.
+        let v = state >> (state >> 58);
+        assert_bucket_invariants(v);
+    }
+}
+
+#[test]
+fn observations_land_where_the_index_says() {
+    let h = Histogram::new();
+    let values = [0u64, 1, 2, 3, 4, 5, 1023, 1024, 1025, u64::MAX];
+    for &v in &values {
+        h.observe(v);
+    }
+    let counts = h.bucket_counts();
+    let mut expected = [0u64; HISTOGRAM_BUCKETS];
+    for &v in &values {
+        expected[Histogram::bucket_index(v)] += 1;
+    }
+    assert_eq!(counts, expected);
+    assert_eq!(h.count(), values.len() as u64);
+}

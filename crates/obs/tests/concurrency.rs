@@ -1,0 +1,93 @@
+//! Concurrent hammering: totals must be exact, not approximate.  Eight
+//! threads per metric (the serving tier's default pool width times two)
+//! update shared handles; relaxed atomics may reorder but `fetch_add`
+//! cannot lose updates, so every assertion is an equality.
+
+use pwam_obs::{Counter, CounterVec, Histogram, Registry};
+use std::sync::Arc;
+
+const THREADS: u64 = 8;
+const PER_THREAD: u64 = 100_000;
+
+#[test]
+fn counter_hammer_is_exact() {
+    let c = Arc::new(Counter::new());
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let c = Arc::clone(&c);
+            s.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(c.get(), THREADS * PER_THREAD);
+}
+
+#[test]
+fn histogram_hammer_is_exact() {
+    let h = Arc::new(Histogram::new());
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let h = Arc::clone(&h);
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Deterministic spread across many buckets.
+                    h.observe((t * PER_THREAD + i) % 5000);
+                }
+            });
+        }
+    });
+    assert_eq!(h.count(), THREADS * PER_THREAD);
+    // Every thread observes the same residue multiset, so the sum is
+    // THREADS times the closed-form sum of 0..PER_THREAD taken mod 5000.
+    let one_thread: u64 = (0..PER_THREAD).map(|i| i % 5000).sum();
+    assert_eq!(h.sum(), THREADS * one_thread);
+    let buckets = h.bucket_counts();
+    assert_eq!(buckets.iter().sum::<u64>(), THREADS * PER_THREAD);
+}
+
+#[test]
+fn counter_vec_hammer_is_exact() {
+    let v = Arc::new(CounterVec::new("pe"));
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let v = Arc::clone(&v);
+            s.spawn(move || {
+                let label = (t % 4).to_string();
+                let c = v.with(&label);
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            });
+        }
+    });
+    let snapshot = v.snapshot();
+    assert_eq!(snapshot.len(), 4);
+    for (_, total) in &snapshot {
+        assert_eq!(*total, 2 * PER_THREAD);
+    }
+}
+
+#[test]
+fn render_is_safe_during_updates() {
+    let r = Arc::new(Registry::new());
+    let c = r.counter("spin_total", "Updated while rendering.");
+    std::thread::scope(|s| {
+        let writer = {
+            let c = Arc::clone(&c);
+            s.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            })
+        };
+        for _ in 0..100 {
+            let text = r.render();
+            assert!(text.contains("spin_total"));
+        }
+        writer.join().unwrap();
+    });
+    assert_eq!(c.get(), PER_THREAD);
+}

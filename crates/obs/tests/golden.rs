@@ -1,0 +1,46 @@
+//! Golden test pinning the exposition text format byte for byte.  The
+//! `metrics` verb's output is scraped by `pwam-load`, the CI smoke job,
+//! and (in spirit) any Prometheus-compatible collector: format drift is a
+//! breaking change and must show up as a diff here.
+
+use pwam_obs::Registry;
+
+#[test]
+fn exposition_format_is_pinned() {
+    let r = Registry::new();
+    let queries = r.counter("pwam_queries_total", "Queries served.");
+    queries.add(3);
+    let busy = r.gauge("pwam_pool_busy_slots", "Engine slots in use.");
+    busy.set(2);
+    let lat = r.histogram("pwam_query_execute_us", "Engine execute leg.");
+    lat.observe(1);
+    lat.observe(5);
+    let steals = r.counter_vec("pwam_pe_steals_total", "Goals stolen per PE.", "pe");
+    steals.add("0", 4);
+    steals.add("1", 1);
+
+    let mut expected = String::new();
+    expected.push_str("# HELP pwam_queries_total Queries served.\n");
+    expected.push_str("# TYPE pwam_queries_total counter\n");
+    expected.push_str("pwam_queries_total 3\n");
+    expected.push_str("# HELP pwam_pool_busy_slots Engine slots in use.\n");
+    expected.push_str("# TYPE pwam_pool_busy_slots gauge\n");
+    expected.push_str("pwam_pool_busy_slots 2\n");
+    expected.push_str("# HELP pwam_query_execute_us Engine execute leg.\n");
+    expected.push_str("# TYPE pwam_query_execute_us histogram\n");
+    // log2 buckets: le = 2^0 .. 2^30, then +Inf.  The observations 1 and 5
+    // make the cumulative counts 1 up to le="4" and 2 from le="8" on.
+    for i in 0..31u32 {
+        let cumulative = if i < 3 { 1 } else { 2 };
+        expected.push_str(&format!("pwam_query_execute_us_bucket{{le=\"{}\"}} {}\n", 1u64 << i, cumulative));
+    }
+    expected.push_str("pwam_query_execute_us_bucket{le=\"+Inf\"} 2\n");
+    expected.push_str("pwam_query_execute_us_sum 6\n");
+    expected.push_str("pwam_query_execute_us_count 2\n");
+    expected.push_str("# HELP pwam_pe_steals_total Goals stolen per PE.\n");
+    expected.push_str("# TYPE pwam_pe_steals_total counter\n");
+    expected.push_str("pwam_pe_steals_total{pe=\"0\"} 4\n");
+    expected.push_str("pwam_pe_steals_total{pe=\"1\"} 1\n");
+
+    assert_eq!(r.render(), expected);
+}

@@ -80,6 +80,27 @@ impl Client {
         }
     }
 
+    /// Fetch the Prometheus-style metrics exposition.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            other => {
+                Err(io::Error::new(io::ErrorKind::InvalidData, format!("expected metrics, got {other:?}")))
+            }
+        }
+    }
+
+    /// Fetch the flight recorder's newest `limit` lifecycle events (all
+    /// retained events when `None`), one per line, oldest first.
+    pub fn events(&mut self, limit: Option<u64>) -> io::Result<String> {
+        match self.request(&Request::Events { limit })? {
+            Response::Events { text } => Ok(text),
+            other => {
+                Err(io::Error::new(io::ErrorKind::InvalidData, format!("expected events, got {other:?}")))
+            }
+        }
+    }
+
     /// Liveness check.
     pub fn ping(&mut self) -> io::Result<()> {
         match self.request(&Request::Ping)? {

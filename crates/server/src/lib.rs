@@ -14,7 +14,12 @@
 //!   (bounded queueing, per-request deadlines, load shedding);
 //! * a **length-prefixed text protocol** ([`protocol`]) served over
 //!   `std::net::TcpListener` with one worker thread per connection
-//!   ([`server::Server`]), plus a small blocking [`client::Client`].
+//!   ([`server::Server`]), plus a small blocking [`client::Client`];
+//! * an **observability plane** ([`metrics`]): a lock-free metric
+//!   registry spanning every layer — request-latency histograms, per-PE
+//!   scheduler telemetry, per-predicate instruction profiles, pool and
+//!   cursor gauges — scraped through the `metrics` verb, and a bounded
+//!   flight recorder of query lifecycle events behind `events`.
 //!
 //! Start a server in-process:
 //!
@@ -39,12 +44,14 @@
 
 pub mod cache;
 pub mod client;
+pub mod metrics;
 pub mod pool;
 pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheStats, ProgramCache};
 pub use client::Client;
+pub use metrics::{FlightRecorder, FLIGHT_RECORDER_CAP};
 pub use pool::{AcquireError, CursorStats, CursorTable, EnginePool, ParkedQuery, PoolConfig, PoolStats};
 pub use protocol::{AnswerResponse, ErrorKind, QueryRequest, Request, Response, StatsResponse};
 pub use server::{Server, ServerConfig};

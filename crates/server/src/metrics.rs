@@ -1,0 +1,473 @@
+//! The server's observability plane: a [`pwam_obs`] metric registry wired
+//! over every layer of the stack, plus a bounded flight recorder of query
+//! lifecycle events.
+//!
+//! Three kinds of series live here, distinguished by where the truth is:
+//!
+//! * **Histograms** are the source of truth for request latency.  The
+//!   handlers observe into them directly (three relaxed `fetch_add`s per
+//!   observation — no locks on the request path).
+//! * **Mirrored counters** shadow monotonic totals whose truth lives in
+//!   another subsystem (the server counters, the pool, the cache, the
+//!   cursor table).  `ServerMetrics::render` copies the upstream values
+//!   in immediately before rendering, so the exposition is always a
+//!   consistent read of the owning atomics and the request path pays
+//!   nothing twice.
+//! * **Folded counters** aggregate per-run engine statistics
+//!   ([`rapwam::RunStats`]) that only exist when a run completes: per-PE
+//!   scheduler telemetry and the per-predicate instruction profile.
+//!   `ServerMetrics::record_run` folds one run's worth in on the
+//!   (already cold) completion path.
+
+use crate::server::ServerState;
+use pwam_obs::{Counter, CounterVec, Gauge, Histogram, Registry};
+use rapwam::RunStats;
+use std::collections::{HashSet, VecDeque};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Per-run cap on predicate-profile series folded into the registry: only
+/// the top `PROFILE_TOP_PER_RUN` predicates of each run are charged by
+/// name; the rest of the run's profile lands on the `other` series.
+const PROFILE_TOP_PER_RUN: usize = 16;
+
+/// Global cap on distinct predicate label values (protects the exposition
+/// from unbounded cardinality across many programs).  Once reached, new
+/// names fold into `other`; already-known names keep accumulating.
+const PROFILE_MAX_SERIES: usize = 256;
+
+/// Default capacity of the flight-recorder ring.
+pub const FLIGHT_RECORDER_CAP: usize = 256;
+
+/// The metric registry plus handles to every series the server updates.
+pub(crate) struct ServerMetrics {
+    registry: Registry,
+
+    // --- latency histograms (observed on the request path) ---
+    /// Time a plain query spent waiting for a pool slot.
+    pub queue_wait_us: Arc<Histogram>,
+    /// Program + query compilation time (cache hits observe ~0).
+    pub compile_us: Arc<Histogram>,
+    /// Engine wall-clock of a successful plain query.
+    pub execute_us: Arc<Histogram>,
+    /// Engine wall-clock of one `query-next` resume leg.
+    pub resume_us: Arc<Histogram>,
+    /// Whole-request wall-clock of a plain query, arrival to response
+    /// build.  This is the series `pwam-load` cross-checks its client-side
+    /// percentiles against.
+    pub request_us: Arc<Histogram>,
+
+    // --- mirrored monotonic counters (synced at render time) ---
+    connections: Arc<Counter>,
+    queries: Arc<Counter>,
+    protocol_errors: Arc<Counter>,
+    compile_errors: Arc<Counter>,
+    engine_errors: Arc<Counter>,
+    deadline_errors: Arc<Counter>,
+    instructions: Arc<Counter>,
+    engine_micros: Arc<Counter>,
+    pool_requests: Arc<Counter>,
+    pool_warm_hits: Arc<Counter>,
+    pool_cold_builds: Arc<Counter>,
+    pool_rejections: Arc<Counter>,
+    pool_queue_timeouts: Arc<Counter>,
+    pool_run_errors: Arc<Counter>,
+    cache_program_hits: Arc<Counter>,
+    cache_program_misses: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+    cursors_opened: Arc<Counter>,
+    cursors_closed: Arc<Counter>,
+    cursors_evicted: Arc<Counter>,
+
+    // --- gauges (set at render time) ---
+    pool_busy_slots: Arc<Gauge>,
+    pool_queue_depth: Arc<Gauge>,
+    cursors_parked: Arc<Gauge>,
+    cache_programs: Arc<Gauge>,
+
+    // --- per-PE scheduler telemetry (folded per completed run) ---
+    pe_steal_attempts: Arc<CounterVec>,
+    pe_steals: Arc<CounterVec>,
+    pe_backoff_yields: Arc<CounterVec>,
+    pe_backoff_parks: Arc<CounterVec>,
+    pe_park_micros: Arc<CounterVec>,
+    pe_cancel_notices: Arc<CounterVec>,
+    pe_goals_aborted: Arc<CounterVec>,
+    pe_batch_exits_budget: Arc<CounterVec>,
+    pe_batch_exits_park: Arc<CounterVec>,
+    cancel_requests: Arc<Counter>,
+
+    // --- per-predicate profile (folded per completed run) ---
+    predicate_instructions: Arc<CounterVec>,
+}
+
+impl ServerMetrics {
+    pub fn new() -> Self {
+        let registry = Registry::new();
+        let queue_wait_us = registry.histogram(
+            "pwam_query_queue_wait_us",
+            "Microseconds a plain query waited for an engine-pool slot.",
+        );
+        let compile_us = registry.histogram(
+            "pwam_query_compile_us",
+            "Microseconds spent compiling the program and query (cached hits are ~0).",
+        );
+        let execute_us = registry
+            .histogram("pwam_query_execute_us", "Engine wall-clock microseconds of a completed plain query.");
+        let resume_us = registry.histogram(
+            "pwam_query_resume_us",
+            "Engine wall-clock microseconds of one query-next resume leg.",
+        );
+        let request_us = registry.histogram(
+            "pwam_query_request_us",
+            "Whole-request microseconds of a plain query, arrival to response.",
+        );
+        let connections = registry.counter("pwam_connections_total", "Connections accepted by the server.");
+        let queries = registry.counter("pwam_queries_total", "Plain query requests received.");
+        let protocol_errors =
+            registry.counter("pwam_protocol_errors_total", "Requests rejected as malformed.");
+        let compile_errors =
+            registry.counter("pwam_compile_errors_total", "Requests that failed to compile.");
+        let engine_errors =
+            registry.counter("pwam_engine_errors_total", "Runs that died with an engine error.");
+        let deadline_errors =
+            registry.counter("pwam_deadline_errors_total", "Runs cut short by their deadline.");
+        let instructions = registry.counter(
+            "pwam_instructions_total",
+            "Abstract-machine instructions retired by successful queries.",
+        );
+        let engine_micros = registry
+            .counter("pwam_engine_micros_total", "Engine wall-clock microseconds of successful queries.");
+        let pool_requests = registry.counter("pwam_pool_requests_total", "Pool slots acquired (admissions).");
+        let pool_warm_hits =
+            registry.counter("pwam_pool_warm_hits_total", "Runs that reused a slot's warm arenas.");
+        let pool_cold_builds =
+            registry.counter("pwam_pool_cold_builds_total", "Runs that allocated fresh arenas.");
+        let pool_rejections =
+            registry.counter("pwam_pool_rejections_total", "Requests turned away by a full wait queue.");
+        let pool_queue_timeouts =
+            registry.counter("pwam_pool_queue_timeouts_total", "Requests that gave up waiting for a slot.");
+        let pool_run_errors =
+            registry.counter("pwam_pool_run_errors_total", "Runs whose memory was lost to an engine error.");
+        let cache_program_hits = registry.counter("pwam_cache_program_hits_total", "Program-cache hits.");
+        let cache_program_misses =
+            registry.counter("pwam_cache_program_misses_total", "Program-cache misses (compiles).");
+        let cache_evictions =
+            registry.counter("pwam_cache_evictions_total", "Programs evicted from the cache.");
+        let cursors_opened = registry.counter("pwam_cursors_opened_total", "Cursors ever opened.");
+        let cursors_closed = registry.counter("pwam_cursors_closed_total", "Cursors closed or exhausted.");
+        let cursors_evicted =
+            registry.counter("pwam_cursors_evicted_total", "Cursors reclaimed by idle eviction.");
+        let pool_busy_slots = registry.gauge("pwam_pool_busy_slots", "Pool slots currently executing a run.");
+        let pool_queue_depth =
+            registry.gauge("pwam_pool_queue_depth", "Requests currently waiting for a slot.");
+        let cursors_parked = registry.gauge("pwam_cursors_parked", "Cursors currently parked.");
+        let cache_programs = registry.gauge("pwam_cache_programs", "Programs currently cached.");
+        let pe_steal_attempts = registry.counter_vec(
+            "pwam_pe_steal_attempts_total",
+            "Steal scans per PE (each sweeps every other PE's Goal Stack once).",
+            "pe",
+        );
+        let pe_steals = registry.counter_vec(
+            "pwam_pe_steals_total",
+            "Goals taken from another PE's Goal Stack, per stealing PE.",
+            "pe",
+        );
+        let pe_backoff_yields = registry.counter_vec(
+            "pwam_pe_backoff_yields_total",
+            "Idle-ladder transitions from spinning to yielding, per PE (relaxed backend).",
+            "pe",
+        );
+        let pe_backoff_parks = registry.counter_vec(
+            "pwam_pe_backoff_parks_total",
+            "Idle-ladder transitions from yielding to timed parking, per PE (relaxed backend).",
+            "pe",
+        );
+        let pe_park_micros = registry.counter_vec(
+            "pwam_pe_park_micros_total",
+            "Microseconds spent in idle timed parks, per PE (relaxed backend).",
+            "pe",
+        );
+        let pe_cancel_notices = registry.counter_vec(
+            "pwam_pe_cancel_notices_total",
+            "cancel_goal notifications received per PE (backward execution).",
+            "pe",
+        );
+        let pe_goals_aborted = registry.counter_vec(
+            "pwam_pe_goals_aborted_total",
+            "Stolen goals aborted mid-flight on a cancel_goal request, per PE.",
+            "pe",
+        );
+        let pe_batch_exits_budget = registry.counter_vec(
+            "pwam_pe_batch_exits_budget_total",
+            "Flat-dispatch batch exits caused by quantum exhaustion, per PE.",
+            "pe",
+        );
+        let pe_batch_exits_park = registry.counter_vec(
+            "pwam_pe_batch_exits_park_total",
+            "Flat-dispatch batch exits caused by leaving the running state, per PE.",
+            "pe",
+        );
+        let cancel_requests = registry
+            .counter("pwam_cancel_requests_total", "cancel_goal requests posted for in-flight stolen goals.");
+        let predicate_instructions = registry.counter_vec(
+            "pwam_predicate_instructions_total",
+            "Abstract-machine instructions attributed per predicate (flat dispatch only; \
+             low-volume predicates fold into the `other` series).",
+            "predicate",
+        );
+        ServerMetrics {
+            registry,
+            queue_wait_us,
+            compile_us,
+            execute_us,
+            resume_us,
+            request_us,
+            connections,
+            queries,
+            protocol_errors,
+            compile_errors,
+            engine_errors,
+            deadline_errors,
+            instructions,
+            engine_micros,
+            pool_requests,
+            pool_warm_hits,
+            pool_cold_builds,
+            pool_rejections,
+            pool_queue_timeouts,
+            pool_run_errors,
+            cache_program_hits,
+            cache_program_misses,
+            cache_evictions,
+            cursors_opened,
+            cursors_closed,
+            cursors_evicted,
+            pool_busy_slots,
+            pool_queue_depth,
+            cursors_parked,
+            cache_programs,
+            pe_steal_attempts,
+            pe_steals,
+            pe_backoff_yields,
+            pe_backoff_parks,
+            pe_park_micros,
+            pe_cancel_notices,
+            pe_goals_aborted,
+            pe_batch_exits_budget,
+            pe_batch_exits_park,
+            cancel_requests,
+            predicate_instructions,
+        }
+    }
+
+    /// Fold one completed run's engine statistics into the per-PE and
+    /// per-predicate families.  Called on run completion — already a cold
+    /// path next to arena recycling and response rendering.
+    pub fn record_run(&self, stats: &RunStats) {
+        for (pe, w) in stats.workers.iter().enumerate() {
+            let pe = pe.to_string();
+            let charge = |vec: &CounterVec, n: u64| {
+                if n != 0 {
+                    vec.add(&pe, n);
+                }
+            };
+            charge(&self.pe_steal_attempts, w.steal_attempts);
+            charge(&self.pe_steals, w.goals_stolen);
+            charge(&self.pe_backoff_yields, w.backoff_yields);
+            charge(&self.pe_backoff_parks, w.backoff_parks);
+            charge(&self.pe_park_micros, w.park_micros);
+            charge(&self.pe_cancel_notices, w.cancel_notices);
+            charge(&self.pe_goals_aborted, w.goals_aborted);
+            charge(&self.pe_batch_exits_budget, w.batch_exits_budget);
+            charge(&self.pe_batch_exits_park, w.batch_exits_park);
+        }
+        if stats.cancel_requests != 0 {
+            self.cancel_requests.add(stats.cancel_requests);
+        }
+        if !stats.predicate_profile.is_empty() {
+            let known: HashSet<String> =
+                self.predicate_instructions.snapshot().into_iter().map(|(k, _)| k).collect();
+            let mut distinct = known.len();
+            for (i, (name, count)) in stats.predicate_profile.iter().enumerate() {
+                // The profile is sorted by decreasing count, so the head is
+                // the run's top predicates; everything past the per-run cap
+                // (or past the global cardinality cap) folds into `other`.
+                let head = i < PROFILE_TOP_PER_RUN;
+                let fits = known.contains(name) || distinct < PROFILE_MAX_SERIES;
+                if head && fits {
+                    if !known.contains(name) {
+                        distinct += 1;
+                    }
+                    self.predicate_instructions.add(name, *count);
+                } else {
+                    self.predicate_instructions.add("other", *count);
+                }
+            }
+        }
+    }
+
+    /// Sync the mirrored counters and gauges from their owning structures,
+    /// then render the full exposition.
+    pub fn render(&self, state: &ServerState) -> String {
+        let pool = state.pool.stats();
+        let cache = state.cache.stats();
+        let cursors = state.cursors.stats();
+        let c = &state.counters;
+        use std::sync::atomic::Ordering::Relaxed;
+        self.connections.store(c.connections.load(Relaxed));
+        self.queries.store(c.queries.load(Relaxed));
+        self.protocol_errors.store(c.protocol_errors.load(Relaxed));
+        self.compile_errors.store(c.compile_errors.load(Relaxed));
+        self.engine_errors.store(c.engine_errors.load(Relaxed));
+        self.deadline_errors.store(c.deadline_errors.load(Relaxed));
+        self.instructions.store(c.instructions.load(Relaxed));
+        self.engine_micros.store(c.engine_micros.load(Relaxed));
+        self.pool_requests.store(pool.requests);
+        self.pool_warm_hits.store(pool.warm_hits);
+        self.pool_cold_builds.store(pool.cold_builds);
+        self.pool_rejections.store(pool.rejections);
+        self.pool_queue_timeouts.store(pool.queue_timeouts);
+        self.pool_run_errors.store(pool.run_errors);
+        self.cache_program_hits.store(cache.program_hits);
+        self.cache_program_misses.store(cache.program_misses);
+        self.cache_evictions.store(cache.evictions);
+        self.cursors_opened.store(cursors.opened);
+        self.cursors_closed.store(cursors.closed);
+        self.cursors_evicted.store(cursors.evicted);
+        self.pool_busy_slots.set(state.pool.busy_slots() as u64);
+        self.pool_queue_depth.set(pool.queue_depth);
+        self.cursors_parked.set(cursors.parked);
+        self.cache_programs.set(cache.programs);
+        self.registry.render()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------
+
+/// A bounded ring buffer of query lifecycle events, rendered as one
+/// timestamped line per event (newest last):
+///
+/// ```text
+/// <millis-since-start> <event> key=value ...
+/// ```
+///
+/// Events: `query` (one-shot query completed), `open` / `resume` /
+/// `close` / `evict` (cursor lifecycle).  The ring holds the last
+/// [`FLIGHT_RECORDER_CAP`] events; older ones fall off the front.  One
+/// mutex guards the ring — event recording happens once per *request*,
+/// not per instruction, so contention is bounded by request throughput.
+pub struct FlightRecorder {
+    epoch: Instant,
+    cap: usize,
+    ring: Mutex<VecDeque<String>>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `cap` events.
+    pub fn new(cap: usize) -> Self {
+        FlightRecorder { epoch: Instant::now(), cap, ring: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Append one event line, evicting the oldest when full.  `detail` is
+    /// free-form `key=value` pairs; it must not contain newlines.
+    pub fn record(&self, event: &str, detail: &str) {
+        let t_ms = self.epoch.elapsed().as_millis();
+        let line =
+            if detail.is_empty() { format!("{t_ms} {event}") } else { format!("{t_ms} {event} {detail}") };
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(line);
+    }
+
+    /// The newest `limit` events (all of them when `None`), oldest first,
+    /// one per line.
+    pub fn render(&self, limit: Option<u64>) -> String {
+        let ring = self.ring.lock().unwrap();
+        let take = limit.map(|l| l as usize).unwrap_or(ring.len()).min(ring.len());
+        let mut out = String::new();
+        for line in ring.iter().skip(ring.len() - take) {
+            let _ = writeln!(out, "{line}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flight_recorder_ring_evicts_oldest() {
+        let fr = FlightRecorder::new(3);
+        for i in 0..5 {
+            fr.record("query", &format!("n={i}"));
+        }
+        let all = fr.render(None);
+        let lines: Vec<&str> = all.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("n=2"), "oldest surviving event: {all}");
+        assert!(lines[2].contains("n=4"), "newest event last: {all}");
+    }
+
+    #[test]
+    fn flight_recorder_limit_takes_newest() {
+        let fr = FlightRecorder::new(8);
+        for i in 0..4 {
+            fr.record("open", &format!("cursor={i}"));
+        }
+        let two = fr.render(Some(2));
+        assert_eq!(two.lines().count(), 2);
+        assert!(two.contains("cursor=2") && two.contains("cursor=3"), "{two}");
+        // A limit beyond the ring size returns everything.
+        assert_eq!(fr.render(Some(100)).lines().count(), 4);
+        // Zero yields an empty (but valid) body.
+        assert_eq!(fr.render(Some(0)), "");
+    }
+
+    #[test]
+    fn record_run_folds_pe_and_predicate_series() {
+        use rapwam::WorkerStats;
+        let m = ServerMetrics::new();
+        let stats = RunStats {
+            cancel_requests: 2,
+            workers: vec![
+                WorkerStats { steal_attempts: 7, goals_stolen: 3, ..Default::default() },
+                WorkerStats { steal_attempts: 4, park_micros: 500, ..Default::default() },
+            ],
+            predicate_profile: vec![("app/3".to_string(), 90), ("nrev/2".to_string(), 10)],
+            ..Default::default()
+        };
+        m.record_run(&stats);
+        m.record_run(&stats);
+        let pe: Vec<(String, u64)> = m.pe_steal_attempts.snapshot();
+        assert_eq!(pe, vec![("0".to_string(), 14), ("1".to_string(), 8)]);
+        assert_eq!(m.pe_steals.snapshot(), vec![("0".to_string(), 6)]);
+        assert_eq!(m.pe_park_micros.snapshot(), vec![("1".to_string(), 1000)]);
+        assert_eq!(m.cancel_requests.get(), 4);
+        let preds = m.predicate_instructions.snapshot();
+        assert_eq!(preds, vec![("app/3".to_string(), 180), ("nrev/2".to_string(), 20)]);
+    }
+
+    #[test]
+    fn predicate_profile_tail_folds_into_other() {
+        let m = ServerMetrics::new();
+        // A profile longer than the per-run cap: the head is charged by
+        // name, the tail lands on `other`.
+        let profile: Vec<(String, u64)> =
+            (0..PROFILE_TOP_PER_RUN + 5).map(|i| (format!("p{i}/1"), 100 - i as u64)).collect();
+        let stats = RunStats { predicate_profile: profile, ..Default::default() };
+        m.record_run(&stats);
+        let preds = m.predicate_instructions.snapshot();
+        let other = preds.iter().find(|(k, _)| k == "other").map(|(_, v)| *v).unwrap_or(0);
+        let expected_other: u64 =
+            (PROFILE_TOP_PER_RUN..PROFILE_TOP_PER_RUN + 5).map(|i| 100 - i as u64).sum();
+        assert_eq!(other, expected_other);
+        assert_eq!(preds.len(), PROFILE_TOP_PER_RUN + 1);
+    }
+}

@@ -132,6 +132,12 @@ impl EnginePool {
         &self.config
     }
 
+    /// Slots currently executing a run (configured size minus the free
+    /// stack).  A gauge reading for the telemetry plane.
+    pub fn busy_slots(&self) -> usize {
+        self.config.size - self.slots.lock().unwrap().len()
+    }
+
     /// Acquire a slot.  A free slot is taken immediately; otherwise the
     /// request queues — unless `max_queue` requests are already waiting
     /// ([`AcquireError::Rejected`]) — and waits at most
@@ -329,15 +335,21 @@ impl CursorTable {
     }
 
     /// Drop every cursor idle past the deadline (their engines' arenas are
-    /// freed with them).  Returns how many were evicted.
-    pub fn evict_idle(&self) -> usize {
+    /// freed with them).  Returns the ids of the evicted cursors so the
+    /// caller can log each eviction to the flight recorder.
+    pub fn evict_idle(&self) -> Vec<u64> {
         let now = Instant::now();
         let mut parked = self.parked.lock().unwrap();
-        let before = parked.len();
-        parked.retain(|_, p| now.duration_since(p.last_used) <= self.idle_timeout);
-        let evicted = before - parked.len();
-        if evicted > 0 {
-            self.evicted.fetch_add(evicted as u64, Ordering::Relaxed);
+        let mut evicted = Vec::new();
+        parked.retain(|id, p| {
+            let keep = now.duration_since(p.last_used) <= self.idle_timeout;
+            if !keep {
+                evicted.push(*id);
+            }
+            keep
+        });
+        if !evicted.is_empty() {
+            self.evicted.fetch_add(evicted.len() as u64, Ordering::Relaxed);
         }
         evicted
     }

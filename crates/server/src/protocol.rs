@@ -158,6 +158,16 @@ pub enum Request {
     },
     /// Pool/cache statistics.
     Stats,
+    /// Full metric exposition (Prometheus-style text) — latency
+    /// histograms, per-PE scheduler telemetry, pool/cursor gauges,
+    /// per-predicate instruction attribution.
+    Metrics,
+    /// Recent query lifecycle events from the flight recorder, newest
+    /// last.  `limit` caps how many events are returned (`None` = all
+    /// currently buffered).
+    Events {
+        limit: Option<u64>,
+    },
     /// Liveness check.
     Ping,
     /// Ask the server to stop accepting connections and exit.
@@ -215,6 +225,15 @@ pub enum Response {
     },
     /// Acknowledges `query-close`.
     CursorClosed,
+    /// Metric exposition text (Prometheus-style; may contain blank lines
+    /// and arbitrary label values, hence the counted body section).
+    Metrics {
+        text: String,
+    },
+    /// Flight-recorder event log, one event per line, oldest first.
+    Events {
+        text: String,
+    },
 }
 
 // ---------------------------------------------------------------------
@@ -338,6 +357,9 @@ fn encode_query_body(out: &mut String, q: &QueryRequest) {
 pub fn encode_request(req: &Request) -> String {
     match req {
         Request::Stats => "stats\n".to_string(),
+        Request::Metrics => "metrics\n".to_string(),
+        Request::Events { limit: None } => "events\n".to_string(),
+        Request::Events { limit: Some(n) } => format!("events\nlimit {n}\n"),
         Request::Ping => "ping\n".to_string(),
         Request::Shutdown => "shutdown\n".to_string(),
         Request::Query(q) => {
@@ -394,6 +416,11 @@ pub fn decode_request(payload: &str) -> Result<Request, ParseError> {
     let (verb, rest) = payload.split_once('\n').unwrap_or((payload, ""));
     match verb {
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
+        "events" => {
+            let s = split_sections(rest)?;
+            Ok(Request::Events { limit: header_u64(&s, "limit")? })
+        }
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
         "query" => Ok(Request::Query(Box::new(decode_query_body(rest)?))),
@@ -427,6 +454,12 @@ pub fn encode_response(resp: &Response) -> String {
             out.push('\n');
             out.push_str(message);
             out
+        }
+        Response::Metrics { text } => {
+            format!("metrics\nbody-bytes {}\n\n{}", text.len(), text)
+        }
+        Response::Events { text } => {
+            format!("events\nbody-bytes {}\n\n{}", text.len(), text)
         }
         Response::Answer(a) => {
             let mut out = String::new();
@@ -463,6 +496,14 @@ pub fn decode_response(payload: &str) -> Result<Response, ParseError> {
                 fields.push((k.to_string(), v));
             }
             Ok(Response::Stats(StatsResponse { fields }))
+        }
+        "metrics" | "events" => {
+            let s = split_sections(rest)?;
+            let n = header_u64(&s, "body-bytes")?.ok_or_else(|| bad(format!("{verb} without body-bytes")))?
+                as usize;
+            let (text, _) = take_bytes(s.body, n, "body")?;
+            let text = text.to_string();
+            Ok(if verb == "metrics" { Response::Metrics { text } } else { Response::Events { text } })
         }
         "error" => {
             let s = split_sections(rest)?;
@@ -535,6 +576,9 @@ mod tests {
             })),
             Request::QueryNext { cursor: 17 },
             Request::QueryClose { cursor: u64::MAX },
+            Request::Metrics,
+            Request::Events { limit: None },
+            Request::Events { limit: Some(32) },
         ];
         for req in reqs {
             let encoded = encode_request(&req);
@@ -554,6 +598,16 @@ mod tests {
                 fields: vec![("warm_hits".to_string(), 7), ("cold_builds".to_string(), 2)],
             }),
             Response::Error { kind: ErrorKind::Deadline, message: "ran past 100ms\nsecond line".to_string() },
+            Response::Metrics {
+                text:
+                    "# HELP pwam_queries_total Q.\n# TYPE pwam_queries_total counter\npwam_queries_total 3\n"
+                        .to_string(),
+            },
+            // Bodies with blank lines and label-style quoting must survive
+            // the counted section verbatim.
+            Response::Metrics { text: "a{x=\"q w\"} 1\n\nafter blank\n".to_string() },
+            Response::Events { text: String::new() },
+            Response::Events { text: "12 query outcome=success elapsed_us=88\n".to_string() },
             Response::Answer(AnswerResponse {
                 success: true,
                 bindings: vec![("X".to_string(), "[1,2,3]".to_string()), ("Y".to_string(), "42".to_string())],
@@ -608,6 +662,9 @@ mod tests {
         assert!(decode_response("cursor-opened\n").is_err());
         assert!(decode_request("query\nprogram-bytes 10\nquery-bytes 0\n\nshort").is_err());
         assert!(decode_response("answer\noutcome success\nbindings 2\n\n1 1\nX1\n").is_err());
+        assert!(decode_request("events\nlimit soon\n").is_err());
+        assert!(decode_response("metrics\n\n").is_err(), "metrics needs body-bytes");
+        assert!(decode_response("events\nbody-bytes 10\n\nshort").is_err());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! shared [`EnginePool`] + [`ProgramCache`] behind an `Arc`.
 
 use crate::cache::ProgramCache;
+use crate::metrics::{FlightRecorder, ServerMetrics, FLIGHT_RECORDER_CAP};
 use crate::pool::{AcquireError, CursorTable, EnginePool, ParkedQuery, PoolConfig, SlotGuard};
 use crate::protocol::{self, AnswerResponse, ErrorKind, QueryRequest, Request, Response, StatsResponse};
 use rapwam::session::{QueryOptions, SessionError};
@@ -92,6 +93,8 @@ pub(crate) struct ServerState {
     pub cache: ProgramCache,
     pub cursors: CursorTable,
     pub counters: ServerCounters,
+    pub metrics: ServerMetrics,
+    pub flight: FlightRecorder,
     pub shutdown: AtomicBool,
 }
 
@@ -113,6 +116,8 @@ impl Server {
             cache: ProgramCache::new(config.max_programs),
             cursors: CursorTable::new(config.cursor_idle_timeout, config.max_cursors),
             counters: ServerCounters::default(),
+            metrics: ServerMetrics::new(),
+            flight: FlightRecorder::new(FLIGHT_RECORDER_CAP),
             shutdown: AtomicBool::new(false),
             config,
         });
@@ -132,6 +137,18 @@ impl Server {
     /// returns).
     pub fn stats(&self) -> StatsResponse {
         stats_response(&self.state)
+    }
+
+    /// The Prometheus-style metrics exposition (the same text the
+    /// `metrics` request returns).
+    pub fn metrics_text(&self) -> String {
+        self.state.metrics.render(&self.state)
+    }
+
+    /// The flight recorder's newest `limit` events (all when `None`), one
+    /// per line — the same text the `events` request returns.
+    pub fn events_text(&self, limit: Option<u64>) -> String {
+        self.state.flight.render(limit)
     }
 
     /// Stop accepting connections and join the accept loop.  In-flight
@@ -180,6 +197,11 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
 
 /// Serve one connection: a sequence of framed requests.
 fn handle_connection(mut stream: TcpStream, state: Arc<ServerState>) {
+    // Responses are written as two small writes (length prefix, body);
+    // with Nagle enabled the body stalls behind the client's delayed ACK,
+    // inflating client-observed latency by tens of milliseconds over what
+    // the request histograms record server-side.
+    let _ = stream.set_nodelay(true);
     loop {
         let payload = match protocol::read_frame(&mut stream) {
             Ok(Some(p)) => p,
@@ -192,6 +214,11 @@ fn handle_connection(mut stream: TcpStream, state: Arc<ServerState>) {
         let response = match protocol::decode_request(&payload) {
             Ok(Request::Ping) => Response::Pong,
             Ok(Request::Stats) => Response::Stats(stats_response(&state)),
+            Ok(Request::Metrics) => {
+                sweep_idle_cursors(&state);
+                Response::Metrics { text: state.metrics.render(&state) }
+            }
+            Ok(Request::Events { limit }) => Response::Events { text: state.flight.render(limit) },
             Ok(Request::Shutdown) => {
                 state.shutdown.store(true, Ordering::Release);
                 let reply = protocol::encode_response(&Response::Bye);
@@ -218,8 +245,25 @@ fn handle_connection(mut stream: TcpStream, state: Arc<ServerState>) {
     }
 }
 
-/// Execute one query request against the cache + pool.
+/// Execute one query request: time the whole request into the
+/// `request_us` histogram and log its outcome to the flight recorder,
+/// with the actual work in [`run_query`].
 fn handle_query(state: &ServerState, req: QueryRequest) -> Response {
+    let arrived = Instant::now();
+    let response = run_query(state, req, arrived);
+    let us = arrived.elapsed().as_micros() as u64;
+    state.metrics.request_us.observe(us);
+    let status = match &response {
+        Response::Answer(a) if a.success => "success",
+        Response::Answer(_) => "failure",
+        _ => "error",
+    };
+    state.flight.record("query", &format!("status={status} us={us}"));
+    response
+}
+
+/// Execute one query request against the cache + pool.
+fn run_query(state: &ServerState, req: QueryRequest, arrived: Instant) -> Response {
     state.counters.queries.fetch_add(1, Ordering::Relaxed);
     if req.workers == 0 || req.workers > state.config.max_workers {
         state.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
@@ -228,10 +272,10 @@ fn handle_query(state: &ServerState, req: QueryRequest) -> Response {
             message: format!("workers must be 1..={}", state.config.max_workers),
         };
     }
-    let arrived = Instant::now();
     let deadline = req.deadline_ms.map(Duration::from_millis).or(state.config.default_deadline);
 
     // Program + query compilation (cached).
+    let compile_started = Instant::now();
     let entry = match state.cache.entry(&req.program) {
         Ok(e) => e,
         Err(e) => return compile_error(state, e),
@@ -240,8 +284,12 @@ fn handle_query(state: &ServerState, req: QueryRequest) -> Response {
         Ok(c) => c,
         Err(e) => return compile_error(state, e),
     };
+    state.metrics.compile_us.observe(compile_started.elapsed().as_micros() as u64);
 
-    // Admission: one pool slot per running engine.
+    // Admission: one pool slot per running engine.  The queue-wait
+    // histogram records successful admissions (rejections and timeouts
+    // surface through their error counters instead).
+    let wait_started = Instant::now();
     let mut slot = match state.pool.acquire(deadline) {
         Ok(s) => s,
         Err(AcquireError::Rejected) => {
@@ -257,6 +305,7 @@ fn handle_query(state: &ServerState, req: QueryRequest) -> Response {
             }
         }
     };
+    state.metrics.queue_wait_us.observe(wait_started.elapsed().as_micros() as u64);
 
     // The deadline covers the whole request: compile + queue wait eat into
     // the engine's remaining time budget.
@@ -293,6 +342,8 @@ fn handle_query(state: &ServerState, req: QueryRequest) -> Response {
             let elapsed_us = started.elapsed().as_micros() as u64;
             state.counters.instructions.fetch_add(result.stats.instructions, Ordering::Relaxed);
             state.counters.engine_micros.fetch_add(elapsed_us, Ordering::Relaxed);
+            state.metrics.execute_us.observe(elapsed_us);
+            state.metrics.record_run(&result.stats);
             Response::Answer(AnswerResponse {
                 success: result.outcome.is_success(),
                 bindings,
@@ -342,7 +393,7 @@ fn acquire_error(e: AcquireError) -> Response {
 /// slot goes straight back to the pool and open never blocks behind
 /// engine work beyond the acquire itself.
 fn handle_query_open(state: &ServerState, req: QueryRequest) -> Response {
-    state.cursors.evict_idle();
+    sweep_idle_cursors(state);
     if req.workers == 0 || req.workers > state.config.max_workers {
         state.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
         return Response::Error {
@@ -395,7 +446,10 @@ fn handle_query_open(state: &ServerState, req: QueryRequest) -> Response {
     let parked =
         ParkedQuery { cursor, entry, warm, instructions_seen: 0, micros_seen: 0, last_used: Instant::now() };
     match state.cursors.park(parked) {
-        Some(id) => Response::CursorOpened { cursor: id },
+        Some(id) => {
+            state.flight.record("open", &format!("cursor={id} warm={warm}"));
+            Response::CursorOpened { cursor: id }
+        }
         None => Response::Error {
             kind: ErrorKind::Rejected,
             message: format!("cursor table is full ({} parked)", state.config.max_cursors),
@@ -408,7 +462,7 @@ fn handle_query_open(state: &ServerState, req: QueryRequest) -> Response {
 /// admission-control story), but keeps its own arenas: the slot's memory
 /// is left untouched for the plain-query warm path.
 fn handle_query_next(state: &ServerState, id: u64) -> Response {
-    state.cursors.evict_idle();
+    sweep_idle_cursors(state);
     let Some(mut parked) = state.cursors.take(id) else {
         return unknown_cursor(id);
     };
@@ -428,6 +482,7 @@ fn handle_query_next(state: &ServerState, id: u64) -> Response {
                 bindings.iter().map(|(n, t)| (n.clone(), session.render(t))).collect()
             };
             let answer = cursor_answer(state, &mut parked, started, true, rendered);
+            state.flight.record("resume", &format!("cursor={id} status=answer us={}", answer.elapsed_us));
             state.cursors.repark(id, parked);
             Response::Answer(answer)
         }
@@ -435,6 +490,7 @@ fn handle_query_next(state: &ServerState, id: u64) -> Response {
             // Exhausted: auto-close, recycling the cursor's arenas into
             // the slot we hold so the next plain query runs warm.
             let answer = cursor_answer(state, &mut parked, started, false, Vec::new());
+            state.flight.record("resume", &format!("cursor={id} status=exhausted us={}", answer.elapsed_us));
             retire_cursor(state, parked, Some(slot));
             Response::Answer(answer)
         }
@@ -442,6 +498,7 @@ fn handle_query_next(state: &ServerState, id: u64) -> Response {
             // The engine is dead; so is the cursor (its memory with it).
             state.pool.record_error();
             state.cursors.note_closed();
+            state.flight.record("resume", &format!("cursor={id} status=error"));
             let (kind, counter) = match &e {
                 SessionError::Engine(EngineError::DeadlineExceeded { .. }) => {
                     (ErrorKind::Deadline, &state.counters.deadline_errors)
@@ -456,13 +513,22 @@ fn handle_query_next(state: &ServerState, id: u64) -> Response {
 
 /// Discard a parked cursor.
 fn handle_query_close(state: &ServerState, id: u64) -> Response {
-    state.cursors.evict_idle();
+    sweep_idle_cursors(state);
     match state.cursors.take(id) {
         Some(parked) => {
             retire_cursor(state, parked, None);
+            state.flight.record("close", &format!("cursor={id}"));
             Response::CursorClosed
         }
         None => unknown_cursor(id),
+    }
+}
+
+/// Run the lazy idle-eviction sweep, logging each reclaimed cursor to the
+/// flight recorder.
+fn sweep_idle_cursors(state: &ServerState) {
+    for id in state.cursors.evict_idle() {
+        state.flight.record("evict", &format!("cursor={id}"));
     }
 }
 
@@ -489,6 +555,7 @@ fn cursor_answer(
     parked.micros_seen += elapsed_us;
     state.counters.instructions.fetch_add(delta, Ordering::Relaxed);
     state.counters.engine_micros.fetch_add(elapsed_us, Ordering::Relaxed);
+    state.metrics.resume_us.observe(elapsed_us);
     AnswerResponse {
         success,
         bindings,
@@ -506,6 +573,12 @@ fn cursor_answer(
 /// into `slot` when one is held so the pool's warm path inherits them.
 fn retire_cursor(state: &ServerState, parked: ParkedQuery, slot: Option<SlotGuard<'_>>) {
     let ParkedQuery { cursor, .. } = parked;
+    // Fold the cursor's lifetime scheduler telemetry and predicate profile
+    // into the registry exactly once, at retirement (per-leg folding would
+    // double-count the cumulative worker counters).
+    if let Some(stats) = cursor.stats() {
+        state.metrics.record_run(&stats);
+    }
     let memory = cursor.close();
     if let (Some(mut slot), Some(memory)) = (slot, memory) {
         slot.put_memory(memory);
@@ -513,16 +586,28 @@ fn retire_cursor(state: &ServerState, parked: ParkedQuery, slot: Option<SlotGuar
     state.cursors.note_closed();
 }
 
+/// Cumulative throughput in thousandths of a MLIPS.  Widening to `u128`
+/// keeps the `* 1000` from overflowing once the instruction total passes
+/// `u64::MAX / 1000` (~1.8e16 — hours of sustained load); a zero
+/// denominator (no successful query yet) reports 0 rather than dividing.
+pub(crate) fn cumulative_mlips_x1000(instructions: u64, engine_micros: u64) -> u64 {
+    if engine_micros == 0 {
+        return 0;
+    }
+    let scaled = instructions as u128 * 1000 / engine_micros as u128;
+    scaled.min(u64::MAX as u128) as u64
+}
+
 /// Flatten pool + cache + server counters into the wire stats shape.
 fn stats_response(state: &ServerState) -> StatsResponse {
-    state.cursors.evict_idle();
+    sweep_idle_cursors(state);
     let pool = state.pool.stats();
     let cache = state.cache.stats();
     let cursors = state.cursors.stats();
     let c = &state.counters;
     let instructions = c.instructions.load(Ordering::Relaxed);
     let engine_micros = c.engine_micros.load(Ordering::Relaxed);
-    let mlips_x1000 = (instructions * 1000).checked_div(engine_micros).unwrap_or(0);
+    let mlips_x1000 = cumulative_mlips_x1000(instructions, engine_micros);
     StatsResponse {
         fields: vec![
             ("pool_size".to_string(), state.config.pool.size as u64),
@@ -556,5 +641,43 @@ fn stats_response(state: &ServerState) -> StatsResponse {
             // the integer wire format keeps three decimal places).
             ("mlips_x1000".to_string(), mlips_x1000),
         ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::cumulative_mlips_x1000;
+
+    #[test]
+    fn mlips_zero_denominator_reports_zero() {
+        assert_eq!(cumulative_mlips_x1000(0, 0), 0);
+        assert_eq!(cumulative_mlips_x1000(1_000_000, 0), 0);
+    }
+
+    #[test]
+    fn mlips_zero_numerator_is_zero() {
+        assert_eq!(cumulative_mlips_x1000(0, 12345), 0);
+    }
+
+    #[test]
+    fn mlips_ordinary_ratio() {
+        // 5M instructions in 2s → 2.5 MIPS → 2500 thousandths.
+        assert_eq!(cumulative_mlips_x1000(5_000_000, 2_000_000), 2500);
+    }
+
+    #[test]
+    fn mlips_survives_u64_overflow_of_the_scaled_numerator() {
+        // instructions * 1000 overflows u64 here; the u128 widening must
+        // still produce the exact ratio.
+        let instructions = u64::MAX / 2;
+        let micros = 1_000_000;
+        let expected = (instructions as u128 * 1000 / micros as u128) as u64;
+        assert_eq!(cumulative_mlips_x1000(instructions, micros), expected);
+    }
+
+    #[test]
+    fn mlips_saturates_rather_than_wrapping() {
+        // A pathological ratio beyond u64 clamps to u64::MAX.
+        assert_eq!(cumulative_mlips_x1000(u64::MAX, 1), u64::MAX);
     }
 }
