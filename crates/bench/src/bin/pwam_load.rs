@@ -19,11 +19,32 @@
 //! way.  The process exits non-zero when any protocol/server error or
 //! wrong answer is observed, and — under `--require-reuse` — when the
 //! server reports no warm engine reuse, so CI can gate on both.
+//!
+//! ## Capacity mode (`--capacity`)
+//!
+//! ```text
+//! pwam-load --capacity --addr HOST:PORT [--arrival-rps 100,200]
+//!           [--duration-ms 3000] [--connections 16] [--sweep-connections N]
+//!           [--label NAME] [--capacity-out BENCH_server_capacity.json]
+//!           [--json] [--shutdown]
+//! ```
+//!
+//! The closed-loop run above measures latency under *self-limiting* load:
+//! a slow server slows its own clients down, hiding queueing delay (the
+//! coordinated-omission trap).  Capacity mode is **open-loop**: requests
+//! arrive on a Poisson schedule fixed before the run, spread over a pool
+//! of persistent connections, and every latency is measured from the
+//! request's *scheduled arrival* — a request that left late because its
+//! connection was still busy is charged that wait.  Sweeping
+//! `--arrival-rps` maps the latency-vs-load curve; `--sweep-connections`
+//! additionally reports how many simultaneous idle connections the server
+//! sustains (the event-loop-vs-threads capacity differential).
 
 use pwam_bench::cli::arg_value;
 use pwam_benchmarks::{benchmark, runner::Validation, Benchmark, BenchmarkId, Scale};
 use pwam_obs::{parse_histogram, Histogram};
 use pwam_server::{AnswerResponse, Client, QueryRequest, Response};
+use rand::{rngs::StdRng, RngCore, SeedableRng};
 use rapwam::{DeterminismMode, SchedulerKind};
 use serde::Serialize;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
@@ -226,8 +247,16 @@ fn main() {
              \x20                [--benchmarks deriv,tak,qsort,queens] [--workers W]\n\
              \x20                [--scheduler NAME] [--determinism NAME] [--deadline-ms N]\n\
              \x20                [--cursor-every N] [--require-reuse] [--shutdown] [--json]\n\
-             \x20                [--bench-out BENCH_server.json]"
+             \x20                [--bench-out BENCH_server.json]\n\
+             \x20      pwam-load --capacity --addr HOST:PORT [--arrival-rps 100,200]\n\
+             \x20                [--duration-ms 3000] [--connections 16]\n\
+             \x20                [--sweep-connections N] [--label NAME]\n\
+             \x20                [--capacity-out BENCH_server_capacity.json] [--json] [--shutdown]"
         );
+        return;
+    }
+    if args.iter().any(|a| a == "--capacity") {
+        run_capacity(&args);
         return;
     }
     let addr = arg_value(&args, "--addr").unwrap_or_else(|| usage_error("--addr is required"));
@@ -304,6 +333,7 @@ fn main() {
                             scheduler,
                             determinism,
                             deadline_ms,
+                            ..QueryRequest::default()
                         };
                         let sent = Instant::now();
                         tally.requests += 1;
@@ -572,6 +602,312 @@ fn main() {
     let completed = total_requests.saturating_sub(errors);
     if completed > 0 && report.server_instructions == 0 {
         eprintln!("pwam-load: server stats reported zero executed instructions after {completed} queries");
+        std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Capacity mode: open-loop Poisson arrivals + connection sweep
+// ---------------------------------------------------------------------
+
+/// One measured point on the latency-vs-load curve.
+#[derive(Debug, Clone, Serialize)]
+struct CapacityPoint {
+    /// Offered Poisson arrival rate, requests per second.
+    arrival_rps: f64,
+    /// Arrivals the schedule offered over the window.
+    offered: u64,
+    completed: u64,
+    errors: u64,
+    /// Completions per second actually achieved.
+    throughput_rps: f64,
+    /// All latencies are measured from the request's *scheduled* arrival,
+    /// so queueing behind a busy connection is charged to the server.
+    latency_mean_us: u64,
+    latency_p50_us: u64,
+    latency_p99_us: u64,
+    latency_max_us: u64,
+}
+
+/// On-disk record of one capacity run (`BENCH_server_capacity.json` keeps
+/// `{latest, history[]}` like the other trajectory files; history entries
+/// are carried as raw JSON so old shapes survive).
+#[derive(Debug, Serialize)]
+struct CapacityRun {
+    unix_secs: u64,
+    /// Free-form tag for what was measured (e.g. `event-loop`, `threads`).
+    label: String,
+    connections: usize,
+    duration_ms: u64,
+    points: Vec<CapacityPoint>,
+    /// Simultaneous idle connections sustained by the sweep (0 = sweep
+    /// not requested).
+    connections_sustained: u64,
+    /// Protocol errors the server charged during the run (must be 0).
+    server_protocol_errors: u64,
+    /// Server-side whole-request p99 bucket bound over the run's window.
+    server_request_p99_bound_us: u64,
+}
+
+/// Exponential inter-arrival time (seconds) for a Poisson process.
+fn exp_interval(rng: &mut StdRng, rate_per_sec: f64) -> f64 {
+    // Inverse-CDF sampling; keep the uniform away from 0 so ln is finite.
+    let unit = (((rng.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64).min(1.0);
+    -unit.ln() / rate_per_sec
+}
+
+/// How many simultaneous connections the server sustains: open up to
+/// `target` sockets, ping each once, and keep them all open while the
+/// next ones arrive — the count stops at the first shed or failure.
+fn sweep_connections(addr: &str, target: usize) -> u64 {
+    let mut held: Vec<Client> = Vec::with_capacity(target);
+    for _ in 0..target {
+        let Ok(mut client) = Client::connect(addr) else { break };
+        if client.ping().is_err() {
+            break;
+        }
+        held.push(client);
+    }
+    // Everything already admitted must still be responsive with the full
+    // population open — a server that accepts but wedges does not count.
+    let mut sustained = 0;
+    for client in held.iter_mut() {
+        if client.ping().is_err() {
+            break;
+        }
+        sustained += 1;
+    }
+    sustained
+}
+
+/// Drive one open-loop measurement window at `rate_per_sec`.
+fn capacity_point(
+    addr: &str,
+    benches: &[Benchmark],
+    workers: usize,
+    connections: usize,
+    rate_per_sec: f64,
+    duration: Duration,
+) -> CapacityPoint {
+    // Superposition: `connections` independent Poisson streams at
+    // rate/connections sum to a Poisson stream at the full rate, and each
+    // connection can pre-compute its own schedule without coordination.
+    let per_conn_rate = rate_per_sec / connections.max(1) as f64;
+    let outcomes: Vec<(u64, u64, Vec<u64>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..connections)
+            .map(|conn_idx| {
+                s.spawn(move || {
+                    let mut rng =
+                        StdRng::seed_from_u64(0xCAFE_F00D ^ (conn_idx as u64) << 17 ^ rate_per_sec.to_bits());
+                    // The whole arrival schedule is fixed before the first
+                    // request: open-loop arrivals never adapt to server
+                    // slowness.
+                    let mut offsets = Vec::new();
+                    let mut t = exp_interval(&mut rng, per_conn_rate);
+                    while t < duration.as_secs_f64() {
+                        offsets.push(Duration::from_secs_f64(t));
+                        t += exp_interval(&mut rng, per_conn_rate);
+                    }
+                    let mut errors = 0u64;
+                    let mut latencies = Vec::with_capacity(offsets.len());
+                    let offered = offsets.len() as u64;
+                    let Ok(mut client) = Client::connect(addr) else {
+                        return (offered, offered, latencies);
+                    };
+                    let started = Instant::now();
+                    for (k, offset) in offsets.iter().enumerate() {
+                        let scheduled = started + *offset;
+                        let now = Instant::now();
+                        if scheduled > now {
+                            std::thread::sleep(scheduled - now);
+                        }
+                        // A late send (the connection was still busy) is
+                        // NOT excused: latency runs from `scheduled`.
+                        let b = &benches[(conn_idx + k) % benches.len()];
+                        let req = QueryRequest {
+                            program: b.program.clone(),
+                            query: b.query.clone(),
+                            workers,
+                            parallel: true,
+                            ..QueryRequest::default()
+                        };
+                        match client.query(req) {
+                            Ok(Response::Answer(a)) if answer_ok(b, &a) => {
+                                latencies.push(scheduled.elapsed().as_micros() as u64);
+                            }
+                            Ok(_) | Err(_) => errors += 1,
+                        }
+                    }
+                    (offered, errors, latencies)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("capacity connection thread")).collect()
+    });
+    let offered: u64 = outcomes.iter().map(|(o, _, _)| o).sum();
+    let errors: u64 = outcomes.iter().map(|(_, e, _)| e).sum();
+    let mut latencies: Vec<u64> = outcomes.into_iter().flat_map(|(_, _, l)| l).collect();
+    latencies.sort_unstable();
+    let completed = latencies.len() as u64;
+    let mean = if latencies.is_empty() { 0 } else { latencies.iter().sum::<u64>() / completed };
+    CapacityPoint {
+        arrival_rps: rate_per_sec,
+        offered,
+        completed,
+        errors,
+        throughput_rps: completed as f64 / duration.as_secs_f64(),
+        latency_mean_us: mean,
+        latency_p50_us: percentile(&latencies, 0.50),
+        latency_p99_us: percentile(&latencies, 0.99),
+        latency_max_us: latencies.last().copied().unwrap_or(0),
+    }
+}
+
+fn run_capacity(args: &[String]) {
+    let addr = arg_value(args, "--addr").unwrap_or_else(|| usage_error("--addr is required"));
+    let rates: Vec<f64> = arg_value(args, "--arrival-rps")
+        .unwrap_or_else(|| "100,200".to_string())
+        .split(',')
+        .map(|r| match r.trim().parse::<f64>() {
+            Ok(v) if v > 0.0 => v,
+            _ => usage_error(&format!("--arrival-rps {r} (expected positive numbers)")),
+        })
+        .collect();
+    let duration = Duration::from_millis(num_arg(args, "--duration-ms").unwrap_or(3_000).max(100));
+    let connections = num_arg(args, "--connections").unwrap_or(16).max(1) as usize;
+    let sweep_target = num_arg(args, "--sweep-connections").unwrap_or(0) as usize;
+    let workers = num_arg(args, "--workers").unwrap_or(2).max(1) as usize;
+    let label = arg_value(args, "--label").unwrap_or_else(|| "default".to_string());
+    let capacity_out = arg_value(args, "--capacity-out");
+    let json = args.iter().any(|a| a == "--json");
+    let send_shutdown = args.iter().any(|a| a == "--shutdown");
+    let bench_names = arg_value(args, "--benchmarks").unwrap_or_else(|| "deriv,tak,qsort,queens".to_string());
+    let benches: Vec<Benchmark> = bench_names
+        .split(',')
+        .map(|name| {
+            let id = BenchmarkId::parse(name.trim())
+                .unwrap_or_else(|| usage_error(&format!("--benchmarks {name} (unknown benchmark)")));
+            benchmark(id, Scale::Small)
+        })
+        .collect();
+
+    let before = Client::connect(&addr).and_then(|mut c| c.stats()).unwrap_or_else(|e| {
+        eprintln!("pwam-load: cannot reach server at {addr}: {e}");
+        std::process::exit(1);
+    });
+    let before_hist = Client::connect(&addr)
+        .ok()
+        .and_then(|mut c| c.metrics().ok())
+        .and_then(|text| parse_histogram(&text, "pwam_query_request_us"))
+        .unwrap_or_default();
+
+    // One throwaway warmup query so cold pool builds don't pollute the
+    // first measured point.
+    if let Ok(mut c) = Client::connect(&addr) {
+        let b = &benches[0];
+        let _ = c.query(QueryRequest {
+            program: b.program.clone(),
+            query: b.query.clone(),
+            workers,
+            parallel: true,
+            ..QueryRequest::default()
+        });
+    }
+
+    let points: Vec<CapacityPoint> = rates
+        .iter()
+        .map(|&rate| {
+            let point = capacity_point(&addr, &benches, workers, connections, rate, duration);
+            if !json {
+                println!(
+                    "pwam-load: capacity @ {rate:.0} req/s offered {} completed {} errors {}  \
+                     p50 {}us  p99 {}us  max {}us",
+                    point.offered,
+                    point.completed,
+                    point.errors,
+                    point.latency_p50_us,
+                    point.latency_p99_us,
+                    point.latency_max_us
+                );
+            }
+            point
+        })
+        .collect();
+
+    let sustained = if sweep_target > 0 { sweep_connections(&addr, sweep_target) } else { 0 };
+    if sweep_target > 0 && !json {
+        println!("pwam-load: connection sweep sustained {sustained} of {sweep_target} connections");
+    }
+
+    let after = Client::connect(&addr).and_then(|mut c| c.stats()).unwrap_or_default();
+    let window = Client::connect(&addr)
+        .ok()
+        .and_then(|mut c| c.metrics().ok())
+        .and_then(|text| parse_histogram(&text, "pwam_query_request_us"))
+        .map(|h| h.since(&before_hist));
+    let server_p99 = window.as_ref().and_then(|w| w.percentile_bound(99.0)).unwrap_or(0);
+    let protocol_errors =
+        after.get("protocol_errors").unwrap_or(0).saturating_sub(before.get("protocol_errors").unwrap_or(0));
+    if send_shutdown {
+        if let Ok(mut c) = Client::connect(&addr) {
+            let _ = c.shutdown();
+        }
+    }
+
+    let run = CapacityRun {
+        unix_secs: SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0),
+        label,
+        connections,
+        duration_ms: duration.as_millis() as u64,
+        points,
+        connections_sustained: sustained,
+        server_protocol_errors: protocol_errors,
+        server_request_p99_bound_us: server_p99,
+    };
+    if json {
+        println!("{}", serde_json::to_string_pretty(&run).expect("serialise"));
+    } else {
+        println!(
+            "pwam-load: capacity run label={} server-p99<= {}us protocol-errors {}",
+            run.label, run.server_request_p99_bound_us, run.server_protocol_errors
+        );
+    }
+
+    if let Some(path) = capacity_out {
+        // {latest, history[]}: prior runs (any shape) ride along as raw
+        // JSON; the fresh run becomes `latest` and joins the history.
+        let prior = std::fs::read_to_string(&path).ok().and_then(|text| serde_json::from_str(&text).ok());
+        let mut history: Vec<serde_json::Value> = prior
+            .as_ref()
+            .and_then(|v| v.get("history"))
+            .and_then(|h| h.as_array())
+            .map(<[serde_json::Value]>::to_vec)
+            .unwrap_or_default();
+        let latest = serde_json::to_value(&run);
+        history.push(latest.clone());
+        let runs = history.len();
+        let file = serde_json::Value::Object(vec![
+            ("latest".to_string(), latest),
+            ("history".to_string(), serde_json::Value::Array(history)),
+        ]);
+        let text = file.to_json_pretty();
+        if let Err(e) = std::fs::write(&path, text + "\n") {
+            eprintln!("pwam-load: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("pwam-load: recorded capacity run in {path} ({runs} total)");
+    }
+
+    let errors: u64 = run.points.iter().map(|p| p.errors).sum();
+    if errors > 0 || run.server_protocol_errors > 0 {
+        eprintln!(
+            "pwam-load: capacity run saw {errors} request errors and {} protocol errors",
+            run.server_protocol_errors
+        );
+        std::process::exit(1);
+    }
+    if sweep_target > 0 && sustained < sweep_target as u64 {
+        eprintln!("pwam-load: sustained only {sustained} of the requested {sweep_target} connections");
         std::process::exit(1);
     }
 }

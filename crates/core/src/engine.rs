@@ -41,7 +41,7 @@ use crate::mem::Memory;
 use crate::sched::{scheduler_for, DeterminismMode, SchedulerKind};
 use crate::stats::{RunStats, WorkerStats};
 use crate::trace::MemRef;
-use crate::worker::{GoalContext, Resume, Worker, WorkerStatus};
+use crate::worker::{GoalContext, Mode, Resume, Worker, WorkerStatus};
 use pwam_compiler::CompiledProgram;
 use pwam_front::term::Term;
 use pwam_front::SymbolTable;
@@ -78,6 +78,22 @@ pub struct EngineConfig {
     /// the serving layer sets it to enforce per-request deadlines, reusing
     /// the same periodic progress checks as the stall watchdog.
     pub time_budget: Option<Duration>,
+    /// Deterministic instruction-fuel budget **per execution leg** (each
+    /// `run`/`resume` re-arms it, mirroring the per-leg deadline clock).
+    /// `None` (the default) means unlimited.  Unlike `time_budget`, fuel is
+    /// counted in executed instructions, so where a run stops is a pure
+    /// function of the program: the strict backends preempt at the first
+    /// round boundary at or past the budget (checked in `end_round`, which
+    /// both dispatch paths and both strict backends funnel through), leaving
+    /// the machine state byte-identical across flat/classic dispatch and
+    /// interleaved/threaded-strict scheduling.  The relaxed backend checks
+    /// fuel at its existing batch boundaries, so preemption is prompt but
+    /// the exact stop point is schedule-dependent there (same contract as
+    /// every other relaxed-mode observable).  A preempted one-shot run
+    /// fails with [`EngineError::FuelExhausted`]; a resumable run suspends
+    /// with [`SuspendReason::FuelExhausted`] and continues via
+    /// [`HostResult::Continue`].
+    pub fuel: Option<u64>,
     /// Execute through the classic (pre-flattening) dispatch path: indexed
     /// `Vec<Instr>` fetch and always-locked arena access.  The MLIPS gate
     /// measures the flattened fast path against this baseline on the same
@@ -98,6 +114,7 @@ impl Default for EngineConfig {
             determinism: DeterminismMode::Strict,
             stall_timeout: Duration::from_secs(5),
             time_budget: None,
+            fuel: None,
             classic_dispatch: false,
         }
     }
@@ -174,6 +191,12 @@ pub enum SuspendReason {
         /// [`HostResult::Succeed`] by argument position.
         args: Vec<Term>,
     },
+    /// The per-leg instruction-fuel budget ran out before the query produced
+    /// an answer.  The machine state is parked between scheduling rounds;
+    /// resume with [`HostResult::Continue`] (after re-admitting the query)
+    /// to grant another leg of fuel and keep executing exactly where the
+    /// run left off.
+    FuelExhausted,
 }
 
 /// The host's reply when re-entering a suspended engine.
@@ -192,6 +215,9 @@ pub enum HostResult {
     /// After [`SuspendReason::HostCall`]: the host predicate fails;
     /// execution backtracks.
     Fail,
+    /// After [`SuspendReason::FuelExhausted`]: grant a fresh leg of fuel
+    /// (per [`EngineConfig::fuel`]) and continue execution in place.
+    Continue,
 }
 
 /// The suspension record `call_host` leaves behind for [`Engine::resume`].
@@ -282,6 +308,11 @@ const FAILED: u8 = 2;
 /// [`HostResult::Redo`]) for a cursor, so the hot success path needs no new
 /// state.
 const SUSPENDED: u8 = 3;
+/// Execution stopped because the per-leg instruction-fuel budget ran out.
+/// Like `SUSPENDED`, the machine state is parked between instructions (here:
+/// between whole scheduling rounds) and [`Engine::resume`] re-enters it with
+/// [`HostResult::Continue`].
+const PREEMPTED: u8 = 4;
 
 /// Everything the PEs share: program, memory, run counters, per-PE boards.
 ///
@@ -342,6 +373,10 @@ pub struct EngineCore<'p> {
     /// When the run started (re-armed by `run`/`reset`); the reference point
     /// for the `time_budget` deadline.
     started: Instant,
+    /// Absolute `steps` threshold at which the current execution leg is
+    /// preempted (`u64::MAX` = unlimited).  Re-armed to
+    /// `steps + config.fuel` at the start of every `run`/`resume` leg.
+    fuel_limit: AtomicU64,
 }
 
 impl<'p> EngineCore<'p> {
@@ -351,7 +386,7 @@ impl<'p> EngineCore<'p> {
     /// also covers suspension.
     pub fn finished(&self) -> Option<bool> {
         match self.finished.load(Ordering::Acquire) {
-            RUNNING | SUSPENDED => None,
+            RUNNING | SUSPENDED | PREEMPTED => None,
             SUCCEEDED => Some(true),
             _ => Some(false),
         }
@@ -416,6 +451,27 @@ impl<'p> EngineCore<'p> {
             }
         }
         Ok(())
+    }
+
+    /// Preempt the run (RUNNING → PREEMPTED, first writer wins) once the
+    /// current leg's instruction fuel is spent.  Unlike the deadline this is
+    /// *not* an error: the machine state stays parked for
+    /// [`Engine::resume`].  The CAS keeps a query that succeeded or failed
+    /// in the same round ahead of the preemption.  One relaxed load when no
+    /// fuel is configured, so it runs unconditionally every round.
+    pub(crate) fn check_fuel(&self) {
+        if self.steps.load(Ordering::Relaxed) >= self.fuel_limit.load(Ordering::Relaxed) {
+            let _ = self.finished.compare_exchange(RUNNING, PREEMPTED, Ordering::AcqRel, Ordering::Acquire);
+        }
+    }
+
+    /// Arm the fuel threshold for a fresh execution leg.
+    fn re_arm_fuel(&self) {
+        let limit = match self.config.fuel {
+            Some(fuel) => self.steps.load(Ordering::Relaxed).saturating_add(fuel),
+            None => u64::MAX,
+        };
+        self.fuel_limit.store(limit, Ordering::Relaxed);
     }
 
     /// Drain the steals PE `thief` performed since the last drain.
@@ -513,6 +569,7 @@ impl<'p> Engine<'p> {
     fn build(program: &'p CompiledProgram, config: EngineConfig, mut mem: Memory) -> Self {
         assert!(config.num_workers >= 1, "at least one worker is required");
         assert!(config.num_workers <= 255, "at most 255 workers are supported");
+        let config_fuel = config.fuel;
         // Only the relaxed threaded backend lets more than one thread touch
         // the memory at a time; every other backend serialises access by
         // construction (interleaved: single thread; strict threaded: the
@@ -574,6 +631,7 @@ impl<'p> Engine<'p> {
                 aborted: AtomicBool::new(false),
                 pending_host: Mutex::new(None),
                 started: Instant::now(),
+                fuel_limit: AtomicU64::new(config_fuel.unwrap_or(u64::MAX)),
             },
             workers,
         }
@@ -592,6 +650,7 @@ impl<'p> Engine<'p> {
     /// engine is lost — a pool simply rebuilds cold on the next request.
     pub fn run_reusable(mut self, syms: &SymbolTable) -> EngineResult<(RunResult, Engine<'p>)> {
         self.core.started = Instant::now();
+        self.core.re_arm_fuel();
         let scheduler = scheduler_for(self.core.config.scheduler, self.core.config.determinism);
         let mut engine = scheduler.drive(self)?;
         if engine.core.state() == SUSPENDED {
@@ -599,6 +658,13 @@ impl<'p> Engine<'p> {
                 "query suspended at a host call; drive it through a cursor (run_resumable/resume)"
                     .to_string(),
             ));
+        }
+        if engine.core.state() == PREEMPTED {
+            // One-shot callers have no way to grant more fuel, so preemption
+            // surfaces as an error (the engine is lost, like any other
+            // errored run).  Resumable callers get a suspension instead.
+            let fuel = engine.core.config.fuel.unwrap_or(0);
+            return Err(EngineError::FuelExhausted { fuel });
         }
         let result = engine.take_result(syms)?;
         Ok((result, engine))
@@ -613,6 +679,7 @@ impl<'p> Engine<'p> {
     /// off.
     pub fn run_resumable(mut self) -> EngineResult<(RunOutcome, Engine<'p>)> {
         self.core.started = Instant::now();
+        self.core.re_arm_fuel();
         self.drive_resumable()
     }
 
@@ -625,8 +692,9 @@ impl<'p> Engine<'p> {
     /// that already completed) is an [`EngineError::Internal`].
     pub fn resume(mut self, result: HostResult) -> EngineResult<(RunOutcome, Engine<'p>)> {
         // Each `resume` leg is a fresh request from the serving layer's point
-        // of view, so the deadline clock re-arms here.
+        // of view, so the deadline clock and the fuel budget re-arm here.
         self.core.started = Instant::now();
+        self.core.re_arm_fuel();
         match self.core.state() {
             SUCCEEDED => match result {
                 HostResult::Commit => Ok((RunOutcome::Complete, self)),
@@ -691,6 +759,18 @@ impl<'p> Engine<'p> {
                     }
                 }
             }
+            PREEMPTED => {
+                if !matches!(result, HostResult::Continue) {
+                    return Err(EngineError::Internal(format!(
+                        "resume at a fuel preemption expects Continue, got {result:?}"
+                    )));
+                }
+                // The machine state is parked between whole rounds; simply
+                // restore RUNNING (the fresh fuel leg is already armed
+                // above) and let the scheduler take the next round.
+                self.core.finished.store(RUNNING, Ordering::Release);
+                self.drive_resumable()
+            }
             FAILED => Err(EngineError::Internal("resume on a completed engine".to_string())),
             _ => Err(EngineError::Internal("resume on an engine that is still running".to_string())),
         }
@@ -727,6 +807,7 @@ impl<'p> Engine<'p> {
                 }
                 Ok(RunOutcome::Suspended(SuspendReason::HostCall { name, args }))
             }
+            PREEMPTED => Ok(RunOutcome::Suspended(SuspendReason::FuelExhausted)),
             _ => Err(EngineError::Internal("scheduler returned without halting the engine".to_string())),
         }
     }
@@ -848,6 +929,7 @@ impl<'p> Engine<'p> {
         *core.aborted.get_mut() = false;
         *core.pending_host.get_mut().unwrap() = None;
         core.started = Instant::now();
+        *core.fuel_limit.get_mut() = core.config.fuel.unwrap_or(u64::MAX);
     }
 
     /// Tear the engine down to its [`Memory`], keeping the arena allocations
@@ -931,6 +1013,11 @@ impl<'p> Engine<'p> {
         if self.core.cycles.load(Ordering::Relaxed) & 0x3ff == 0 {
             self.core.check_deadline()?;
         }
+        // Instruction fuel, checked every round: whole rounds always
+        // complete before a preemption, so the stop point is a deterministic
+        // function of the program (both strict backends close rounds
+        // through here, on both dispatch paths).
+        self.core.check_fuel();
         Ok(())
     }
 
@@ -973,6 +1060,146 @@ impl<'p> Engine<'p> {
     /// — a nonzero count after a run is a leak.
     pub fn pending_goal_frames(&self) -> usize {
         self.core.boards.iter().map(|b| b.lock().unwrap().goal_frames.len()).sum()
+    }
+
+    /// A 64-bit FNV-1a fingerprint of the complete *semantic* machine
+    /// state: every worker's register file (X cells, unify mode, status,
+    /// in-progress goal contexts, pending cancels) plus every live arena
+    /// word of every Stack Set (heap, local stack, control stack, trail and
+    /// goal stack up to each worker's tops, message buffer up to the
+    /// board's top) and the per-PE board scalars.  Performance caches
+    /// (`cp_top`), profiling attribution and statistics counters are
+    /// excluded: they may legitimately differ across dispatch paths while
+    /// the machine state is identical.  The fuel differential suite uses
+    /// this to pin the preemption point byte-identical across flat/classic
+    /// dispatch and interleaved/threaded-strict scheduling.
+    ///
+    /// Reads memory untraced only, so fingerprinting never perturbs
+    /// statistics.
+    pub fn state_fingerprint(&self) -> u64 {
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        struct Fnv(u64);
+        impl Fnv {
+            fn mix(&mut self, v: u64) {
+                self.0 ^= v;
+                self.0 = self.0.wrapping_mul(FNV_PRIME);
+            }
+            fn cell(&mut self, c: Cell) {
+                match c {
+                    Cell::Ref(a) => (self.mix(1), self.mix(a as u64)),
+                    Cell::Str(a) => (self.mix(2), self.mix(a as u64)),
+                    Cell::Lis(a) => (self.mix(3), self.mix(a as u64)),
+                    Cell::Con(atom) => (self.mix(4), self.mix(atom.0 as u64)),
+                    Cell::Int(i) => (self.mix(5), self.mix(i as u64)),
+                    Cell::Fun(atom, n) => (self.mix(6), self.mix((u64::from(atom.0) << 8) | n as u64)),
+                    Cell::Code(a) => (self.mix(7), self.mix(a as u64)),
+                    Cell::Uint(v) => (self.mix(8), self.mix(v as u64)),
+                    Cell::Empty => (self.mix(9), ()),
+                };
+            }
+        }
+        let mem = &self.core.mem;
+        let mut f = Fnv(0xcbf2_9ce4_8422_2325);
+        for (w, wk) in self.workers.iter().enumerate() {
+            for reg in [
+                wk.p,
+                wk.cp,
+                wk.e,
+                wk.b,
+                wk.b0,
+                wk.frozen_h,
+                wk.frozen_local,
+                wk.h,
+                wk.hb,
+                wk.stack_boundary,
+                wk.s,
+                wk.tr,
+                wk.pdl,
+                wk.pf,
+                wk.local_top,
+                wk.control_top,
+                wk.goal_top,
+            ] {
+                f.mix(reg as u64);
+            }
+            f.mix(wk.num_args as u64);
+            f.mix(match wk.mode {
+                Mode::Read => 0,
+                Mode::Write => 1,
+            });
+            match wk.status {
+                WorkerStatus::Running => f.mix(0),
+                WorkerStatus::WaitingAtPcall { addr, pf } => {
+                    f.mix(1);
+                    f.mix(addr as u64);
+                    f.mix(pf as u64);
+                }
+                WorkerStatus::Cancelling { pf } => {
+                    f.mix(2);
+                    f.mix(pf as u64);
+                }
+                WorkerStatus::Idle => f.mix(3),
+                WorkerStatus::Stopped => f.mix(4),
+            }
+            for &(pf, slot) in &wk.pending_cancels {
+                f.mix(pf as u64);
+                f.mix(slot as u64);
+            }
+            for gc in &wk.goal_contexts {
+                for reg in [
+                    gc.marker,
+                    gc.pf,
+                    gc.entry_pf,
+                    gc.slot,
+                    gc.entry_b,
+                    gc.entry_tr,
+                    gc.entry_h,
+                    gc.entry_local_top,
+                    gc.prev_cp,
+                    gc.entry_e,
+                    gc.prev_hb,
+                    gc.prev_stack_boundary,
+                ] {
+                    f.mix(reg as u64);
+                }
+                f.mix(match gc.resume {
+                    Resume::ToWait { addr } => 1 | (u64::from(addr) << 3),
+                    Resume::ToCancel { pf } => 2 | (u64::from(pf) << 3),
+                    Resume::Idle => 3,
+                });
+                f.mix(gc.stolen as u64);
+            }
+            for x in &wk.x {
+                f.cell(*x);
+            }
+            let board = self.core.boards[w].lock().unwrap();
+            f.mix(board.goal_top as u64);
+            f.mix(board.msg_top as u64);
+            f.mix(board.pending_messages as u64);
+            for &frame in &board.goal_frames {
+                f.mix(frame as u64);
+            }
+            for &(pf, slot) in &board.cancel_requests {
+                f.mix(pf as u64);
+                f.mix(slot as u64);
+            }
+            let msg_top = board.msg_top;
+            drop(board);
+            for (area, top) in [
+                (Area::Heap, wk.h),
+                (Area::LocalStack, wk.local_top),
+                (Area::ControlStack, wk.control_top),
+                (Area::Trail, wk.tr),
+                (Area::GoalStack, wk.goal_top),
+                (Area::Pdl, wk.pdl),
+                (Area::MessageBuffer, msg_top),
+            ] {
+                for addr in mem.map.area_base(w, area)..top {
+                    f.cell(mem.read_untraced(addr));
+                }
+            }
+        }
+        f.0
     }
 
     /// Verify the structural invariants of every worker's Stack Set: all

@@ -18,6 +18,9 @@ pub enum EngineError {
     /// The wall-clock budget was exhausted before the query finished
     /// (per-request deadlines of the serving layer).
     DeadlineExceeded { budget: Duration },
+    /// The deterministic instruction-fuel budget was exhausted before the
+    /// query finished (preemptive scheduling of the serving layer).
+    FuelExhausted { fuel: u64 },
     /// `is/2` or a comparison was applied to an unbound variable.
     Instantiation { context: &'static str },
     /// An arithmetic expression contained a non-numeric term.
@@ -41,6 +44,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::DeadlineExceeded { budget } => {
                 write!(f, "deadline exceeded: query ran past its time budget of {budget:?}")
+            }
+            EngineError::FuelExhausted { fuel } => {
+                write!(f, "fuel exhausted: query ran past its instruction budget of {fuel}")
             }
             EngineError::Instantiation { context } => {
                 write!(f, "arguments insufficiently instantiated in {context}")

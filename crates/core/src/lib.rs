@@ -67,6 +67,6 @@ pub use pwam_front::term::Term;
 pub use sched::{
     scheduler_for, DeterminismMode, Interleaved, Scheduler, SchedulerKind, Threaded, ThreadedRelaxed,
 };
-pub use session::{HostFn, QueryCursor, QueryOptions, Session, SessionError};
+pub use session::{CursorStep, HostFn, QueryCursor, QueryOptions, Session, SessionError};
 pub use stats::{RunStats, WorkerStats};
 pub use trace::{AreaStats, MemRef};

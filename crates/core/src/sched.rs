@@ -579,6 +579,9 @@ fn relaxed_pe_loop(
             idle_spins = 0;
             stall_since = None;
             busy_batches += 1;
+            // Fuel is checked per batch: prompt preemption, but the exact
+            // stop point is schedule-dependent here (the relaxed contract).
+            core.check_fuel();
             if busy_batches.is_multiple_of(DEADLINE_CHECK_BATCHES) {
                 core.check_deadline()?;
             }
@@ -610,6 +613,7 @@ fn relaxed_pe_loop(
         }
         if idle_spins.is_multiple_of(STALL_CHECK_INTERVAL) {
             core.check_deadline()?;
+            core.check_fuel();
             let now = core.steps();
             if now != last_steps {
                 last_steps = now;

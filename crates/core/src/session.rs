@@ -93,6 +93,12 @@ pub struct QueryOptions {
     /// Wall-clock budget for the run (`None` = unlimited).  The serving
     /// layer sets this to enforce per-request deadlines.
     pub time_budget: Option<Duration>,
+    /// Deterministic instruction-fuel budget per execution leg (`None` =
+    /// unlimited).  A one-shot run that exhausts its fuel errors with
+    /// [`EngineError::FuelExhausted`];
+    /// a cursor suspends instead ([`CursorStep::FuelExhausted`]) so the
+    /// serving layer can preempt long queries and re-admit them fairly.
+    pub fuel: Option<u64>,
     /// Run the executor through the classic (pre-flattening) dispatch path:
     /// indexed `Vec<Instr>` fetch and always-locked arena access.  Off by
     /// default; the MLIPS gate turns it on to measure the flattened fast
@@ -114,6 +120,7 @@ impl Default for QueryOptions {
             determinism: DeterminismMode::Strict,
             stall_timeout: Duration::from_secs(5),
             time_budget: None,
+            fuel: None,
             classic_dispatch: false,
         }
     }
@@ -212,6 +219,13 @@ impl QueryOptions {
         self
     }
 
+    /// Bound each execution leg to `fuel` instructions (deterministic
+    /// preemption; see [`QueryOptions::fuel`]).
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = Some(fuel);
+        self
+    }
+
     /// The [`EngineConfig`] these options describe.
     pub fn engine_config(&self) -> EngineConfig {
         EngineConfig {
@@ -225,6 +239,7 @@ impl QueryOptions {
             determinism: self.determinism,
             stall_timeout: self.stall_timeout,
             time_budget: self.time_budget,
+            fuel: self.fuel,
             classic_dispatch: self.classic_dispatch,
         }
     }
@@ -467,8 +482,27 @@ enum CursorState {
     /// Suspended at an answer boundary; `next` fails back into the engine
     /// for the following answer, [`QueryCursor::commit`] accepts this one.
     AtAnswer,
+    /// Preempted mid-execution by the instruction-fuel budget
+    /// ([`QueryOptions::fuel`]); the next step grants a fresh leg of fuel
+    /// and continues in place.
+    Preempted,
     /// The stream is exhausted, committed, or dead after an error.
     Done,
+}
+
+/// What one [`QueryCursor::next_step`] call produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CursorStep {
+    /// An answer is available (the cursor stands at it; step again to
+    /// backtrack into the next one, or [`QueryCursor::commit`] to accept).
+    Answer(Vec<(String, Term)>),
+    /// The stream is exhausted (or the cursor was committed/closed).
+    Exhausted,
+    /// The per-leg instruction fuel ran out before the next answer.  The
+    /// cursor stays live, parked mid-execution; the next step re-admits it
+    /// with a fresh leg of fuel.  This is the serving layer's preemption
+    /// point: park the cursor, let other queries run, step again later.
+    FuelExhausted,
 }
 
 /// An owned, parkable all-solutions query: the resumable [`Engine`] plus
@@ -524,13 +558,32 @@ impl QueryCursor {
     // `Result<Option<_>>` shape.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<Vec<(String, Term)>>, SessionError> {
+        loop {
+            match self.next_step()? {
+                CursorStep::Answer(bindings) => return Ok(Some(bindings)),
+                CursorStep::Exhausted => return Ok(None),
+                // `next` callers asked for the next answer unconditionally,
+                // so a fuel preemption is immediately continued — the fuel
+                // budget then acts as a check-in interval, not a cap.
+                CursorStep::FuelExhausted => continue,
+            }
+        }
+    }
+
+    /// Like [`QueryCursor::next`], but surfacing fuel preemptions
+    /// ([`CursorStep::FuelExhausted`]) to the caller instead of continuing
+    /// through them.  Host-predicate suspensions are still serviced
+    /// internally.  On an engine error the cursor is dead: the error is
+    /// returned and every later call yields [`CursorStep::Exhausted`].
+    pub fn next_step(&mut self) -> Result<CursorStep, SessionError> {
         if self.state == CursorState::Done {
-            return Ok(None);
+            return Ok(CursorStep::Exhausted);
         }
         let engine = self.engine.take().expect("live cursor without an engine");
         let mut step = match self.state {
             CursorState::Fresh => engine.run_resumable(),
             CursorState::AtAnswer => engine.resume(HostResult::Redo),
+            CursorState::Preempted => engine.resume(HostResult::Continue),
             CursorState::Done => unreachable!(),
         };
         loop {
@@ -542,20 +595,25 @@ impl QueryCursor {
                 Ok((RunOutcome::Complete, engine)) => {
                     self.engine = Some(engine);
                     self.state = CursorState::Done;
-                    return Ok(None);
+                    return Ok(CursorStep::Exhausted);
                 }
                 Ok((RunOutcome::Suspended(SuspendReason::AnswerReady), engine)) => {
                     match engine.answer_bindings() {
                         Ok(bindings) => {
                             self.engine = Some(engine);
                             self.state = CursorState::AtAnswer;
-                            return Ok(Some(bindings));
+                            return Ok(CursorStep::Answer(bindings));
                         }
                         Err(e) => {
                             self.state = CursorState::Done;
                             return Err(e.into());
                         }
                     }
+                }
+                Ok((RunOutcome::Suspended(SuspendReason::FuelExhausted), engine)) => {
+                    self.engine = Some(engine);
+                    self.state = CursorState::Preempted;
+                    return Ok(CursorStep::FuelExhausted);
                 }
                 Ok((RunOutcome::Suspended(SuspendReason::HostCall { name, args }), engine)) => {
                     let key = (name, args.len() as u8);
@@ -607,6 +665,17 @@ impl QueryCursor {
     /// True while the cursor stands at an unconsumed answer.
     pub fn at_answer(&self) -> bool {
         self.state == CursorState::AtAnswer
+    }
+
+    /// True while the cursor is parked at a fuel preemption.
+    pub fn is_preempted(&self) -> bool {
+        self.state == CursorState::Preempted
+    }
+
+    /// The suspended engine's state fingerprint (see
+    /// [`Engine::state_fingerprint`]); `None` if the engine was lost.
+    pub fn state_fingerprint(&self) -> Option<u64> {
+        self.engine.as_ref().map(|e| e.state_fingerprint())
     }
 
     /// Close the cursor, recovering the engine's arenas for a pool's warm

@@ -235,11 +235,71 @@ impl CounterVec {
     }
 }
 
+/// A labelled family of gauges sharing one label key — the gauge analogue
+/// of [`CounterVec`], used for per-tenant in-flight query gauges.  Unlike a
+/// counter family, a gauge family can *forget* label values ([`GaugeVec::
+/// retain`]): a tenant that has gone idle should drop out of the
+/// exposition rather than exporting a stale `0` forever.
+#[derive(Debug)]
+pub struct GaugeVec {
+    label: &'static str,
+    series: Mutex<HashMap<String, Arc<Gauge>>>,
+}
+
+impl GaugeVec {
+    pub fn new(label: &'static str) -> Self {
+        Self { label, series: Mutex::new(HashMap::new()) }
+    }
+
+    /// The label key this family varies over.
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// The gauge for `value`, created at zero on first use.
+    pub fn with(&self, value: &str) -> Arc<Gauge> {
+        let mut series = self.series.lock().unwrap();
+        if let Some(g) = series.get(value) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::new());
+        series.insert(value.to_string(), Arc::clone(&g));
+        g
+    }
+
+    /// Convenience: publish `v` as the gauge for `value`.
+    pub fn set(&self, value: &str, v: u64) {
+        self.with(value).set(v);
+    }
+
+    /// Replace the whole family with `entries` (label values absent from
+    /// `entries` are dropped).  The owner calls this immediately before
+    /// rendering, mirroring whatever structure holds the truth.
+    pub fn replace(&self, entries: impl IntoIterator<Item = (String, u64)>) {
+        let mut series = self.series.lock().unwrap();
+        series.clear();
+        for (value, v) in entries {
+            let g = Arc::new(Gauge::new());
+            g.set(v);
+            series.insert(value, g);
+        }
+    }
+
+    /// Snapshot of all `(label value, value)` pairs, sorted by label value.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        let series = self.series.lock().unwrap();
+        let mut out: Vec<(String, u64)> = series.iter().map(|(k, v)| (k.clone(), v.get())).collect();
+        out.sort();
+        out
+    }
+}
+
 enum Series {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
     CounterVec(Arc<CounterVec>),
+    GaugeVec(Arc<GaugeVec>),
 }
 
 struct Family {
@@ -252,7 +312,7 @@ impl Family {
     fn kind(&self) -> &'static str {
         match self.series {
             Series::Counter(_) | Series::CounterVec(_) => "counter",
-            Series::Gauge(_) => "gauge",
+            Series::Gauge(_) | Series::GaugeVec(_) => "gauge",
             Series::Histogram(_) => "histogram",
         }
     }
@@ -300,6 +360,13 @@ impl Registry {
     ) -> Arc<CounterVec> {
         let v = Arc::new(CounterVec::new(label));
         self.push(name, help, Series::CounterVec(Arc::clone(&v)));
+        v
+    }
+
+    /// Register and return a labelled gauge family.
+    pub fn gauge_vec(&self, name: &'static str, help: &'static str, label: &'static str) -> Arc<GaugeVec> {
+        let v = Arc::new(GaugeVec::new(label));
+        self.push(name, help, Series::GaugeVec(Arc::clone(&v)));
         v
     }
 
@@ -355,6 +422,18 @@ impl Registry {
                             v.label(),
                             escape_label_value(&value),
                             total
+                        );
+                    }
+                }
+                Series::GaugeVec(v) => {
+                    for (value, current) in v.snapshot() {
+                        let _ = writeln!(
+                            out,
+                            "{}{{{}=\"{}\"}} {}",
+                            f.name,
+                            v.label(),
+                            escape_label_value(&value),
+                            current
                         );
                     }
                 }
@@ -547,6 +626,22 @@ mod tests {
         v.add("0", 1);
         v.with("1").inc();
         assert_eq!(v.snapshot(), vec![("0".to_string(), 1), ("1".to_string(), 3)]);
+    }
+
+    #[test]
+    fn gauge_vec_replaces_and_renders() {
+        let r = Registry::new();
+        let v = r.gauge_vec("tenants_active", "Active queries per tenant.", "tenant");
+        v.set("a", 2);
+        v.set("b", 1);
+        assert_eq!(v.snapshot(), vec![("a".to_string(), 2), ("b".to_string(), 1)]);
+        // `replace` mirrors the owning structure exactly: the idle tenant
+        // `b` disappears from the exposition instead of exporting 0.
+        v.replace(vec![("a".to_string(), 3)]);
+        let text = r.render();
+        assert_eq!(parse_sample(&text, "tenants_active{tenant=\"a\"}"), Some(3));
+        assert_eq!(parse_sample(&text, "tenants_active{tenant=\"b\"}"), None);
+        assert!(text.contains("# TYPE tenants_active gauge"), "{text}");
     }
 
     #[test]

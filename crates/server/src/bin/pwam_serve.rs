@@ -3,13 +3,16 @@
 //! ```text
 //! pwam-serve [--addr 127.0.0.1:0] [--pool N] [--max-queue N]
 //!            [--queue-timeout-ms N] [--deadline-ms N] [--max-workers N]
+//!            [--mode event-loop|threads] [--event-workers N]
+//!            [--max-connections N] [--default-fuel N]
+//!            [--tenant-max-active N] [--io-idle-timeout-ms N]
 //! ```
 //!
 //! Prints `pwam-serve listening on <addr>` once the socket is bound (port 0
 //! resolves to an ephemeral port — scripts parse this line), then serves
 //! until a `shutdown` request arrives (e.g. `pwam-load --shutdown`).
 
-use pwam_server::{PoolConfig, Server, ServerConfig};
+use pwam_server::{PoolConfig, Server, ServerConfig, ServingMode};
 use std::time::Duration;
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
@@ -31,7 +34,10 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: pwam-serve [--addr HOST:PORT] [--pool N] [--max-queue N]\n\
-             \x20                 [--queue-timeout-ms N] [--deadline-ms N] [--max-workers N]"
+             \x20                 [--queue-timeout-ms N] [--deadline-ms N] [--max-workers N]\n\
+             \x20                 [--mode event-loop|threads] [--event-workers N]\n\
+             \x20                 [--max-connections N] [--default-fuel N]\n\
+             \x20                 [--tenant-max-active N] [--io-idle-timeout-ms N]"
         );
         return;
     }
@@ -55,8 +61,33 @@ fn main() {
     if let Some(n) = num_arg(&args, "--max-workers") {
         config.max_workers = n.max(1) as usize;
     }
+    if let Some(mode) = arg_value(&args, "--mode") {
+        config.mode = match ServingMode::parse(&mode) {
+            Some(m) => m,
+            None => {
+                eprintln!("invalid argument: --mode {mode} (expected event-loop or threads)");
+                std::process::exit(2);
+            }
+        };
+    }
+    if let Some(n) = num_arg(&args, "--event-workers") {
+        config.event_workers = n.max(1) as usize;
+    }
+    if let Some(n) = num_arg(&args, "--max-connections") {
+        config.max_connections = n.max(1) as usize;
+    }
+    if let Some(n) = num_arg(&args, "--default-fuel") {
+        config.default_fuel = Some(n);
+    }
+    if let Some(n) = num_arg(&args, "--tenant-max-active") {
+        config.tenant_max_active = n as usize;
+    }
+    if let Some(n) = num_arg(&args, "--io-idle-timeout-ms") {
+        config.io_idle_timeout = Duration::from_millis(n);
+    }
     config.pool = pool;
 
+    let mode = config.mode;
     let server = match Server::start(config) {
         Ok(s) => s,
         Err(e) => {
@@ -64,7 +95,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    println!("pwam-serve listening on {}", server.addr());
+    println!("pwam-serve listening on {} ({} mode)", server.addr(), mode.name());
     server.wait();
     println!("pwam-serve: shut down");
 }

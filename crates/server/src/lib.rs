@@ -13,8 +13,16 @@
 //!   with_recycled_memory`]) and doubles as the admission controller
 //!   (bounded queueing, per-request deadlines, load shedding);
 //! * a **length-prefixed text protocol** ([`protocol`]) served over
-//!   `std::net::TcpListener` with one worker thread per connection
-//!   ([`server::Server`]), plus a small blocking [`client::Client`];
+//!   `std::net::TcpListener` by a readiness-driven event loop
+//!   ([`event_loop`]) that multiplexes every connection through one poller
+//!   thread with pipelined, order-preserving responses — or, behind
+//!   [`server::ServingMode::ThreadPerConnection`], the thread-per-connection
+//!   baseline it is benchmarked against — plus a small blocking
+//!   [`client::Client`];
+//! * **admission and preemption controls**: per-tenant concurrency quotas
+//!   ([`tenant::TenantTable`]) and deterministic instruction fuel (the
+//!   `fuel` header) so one client can neither hog the pool nor wedge an
+//!   engine;
 //! * an **observability plane** ([`metrics`]): a lock-free metric
 //!   registry spanning every layer — request-latency histograms, per-PE
 //!   scheduler telemetry, per-predicate instruction profiles, pool and
@@ -44,14 +52,18 @@
 
 pub mod cache;
 pub mod client;
+#[cfg(unix)]
+pub mod event_loop;
 pub mod metrics;
 pub mod pool;
 pub mod protocol;
 pub mod server;
+pub mod tenant;
 
 pub use cache::{CacheStats, ProgramCache};
 pub use client::Client;
 pub use metrics::{FlightRecorder, FLIGHT_RECORDER_CAP};
 pub use pool::{AcquireError, CursorStats, CursorTable, EnginePool, ParkedQuery, PoolConfig, PoolStats};
 pub use protocol::{AnswerResponse, ErrorKind, QueryRequest, Request, Response, StatsResponse};
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, ServingMode, THREAD_MODE_MAX_CONNECTIONS};
+pub use tenant::{TenantStats, TenantTable};

@@ -20,7 +20,7 @@
 //!   (already cold) completion path.
 
 use crate::server::ServerState;
-use pwam_obs::{Counter, CounterVec, Gauge, Histogram, Registry};
+use pwam_obs::{Counter, CounterVec, Gauge, GaugeVec, Histogram, Registry};
 use rapwam::RunStats;
 use std::collections::{HashSet, VecDeque};
 use std::fmt::Write as _;
@@ -58,6 +58,13 @@ pub(crate) struct ServerMetrics {
     /// percentiles against.
     pub request_us: Arc<Histogram>,
 
+    // --- direct counters (incremented on the request path) ---
+    /// Queries preempted before completion, labelled by why: a
+    /// `deadline` preemption is a wall-clock kill (terminal, timing
+    /// dependent), a `fuel` preemption is the deterministic instruction
+    /// budget (terminal for one-shot queries, resumable for cursors).
+    pub query_preempted: Arc<CounterVec>,
+
     // --- mirrored monotonic counters (synced at render time) ---
     connections: Arc<Counter>,
     queries: Arc<Counter>,
@@ -65,6 +72,11 @@ pub(crate) struct ServerMetrics {
     compile_errors: Arc<Counter>,
     engine_errors: Arc<Counter>,
     deadline_errors: Arc<Counter>,
+    fuel_errors: Arc<Counter>,
+    fuel_preemptions: Arc<Counter>,
+    quota_rejections: Arc<Counter>,
+    tenants_admitted: Arc<Counter>,
+    tenants_rejected: Arc<Counter>,
     instructions: Arc<Counter>,
     engine_micros: Arc<Counter>,
     pool_requests: Arc<Counter>,
@@ -85,6 +97,8 @@ pub(crate) struct ServerMetrics {
     pool_queue_depth: Arc<Gauge>,
     cursors_parked: Arc<Gauge>,
     cache_programs: Arc<Gauge>,
+    connections_active: Arc<Gauge>,
+    tenants_active: Arc<GaugeVec>,
 
     // --- per-PE scheduler telemetry (folded per completed run) ---
     pe_steal_attempts: Arc<CounterVec>,
@@ -133,6 +147,26 @@ impl ServerMetrics {
             registry.counter("pwam_engine_errors_total", "Runs that died with an engine error.");
         let deadline_errors =
             registry.counter("pwam_deadline_errors_total", "Runs cut short by their deadline.");
+        let query_preempted = registry.counter_vec(
+            "pwam_query_preempted_total",
+            "Queries preempted before completion: reason=\"deadline\" is the wall-clock kill, \
+             reason=\"fuel\" the deterministic instruction budget (resumable on cursors).",
+            "reason",
+        );
+        let fuel_errors =
+            registry.counter("pwam_fuel_errors_total", "One-shot queries killed by fuel exhaustion.");
+        let fuel_preemptions = registry.counter(
+            "pwam_fuel_preemptions_total",
+            "Cursor legs suspended by fuel exhaustion (resumed by a later query-next).",
+        );
+        let quota_rejections = registry.counter(
+            "pwam_quota_rejections_total",
+            "Requests turned away by their tenant's admission quota.",
+        );
+        let tenants_admitted =
+            registry.counter("pwam_tenants_admitted_total", "Tenant-carrying requests admitted.");
+        let tenants_rejected =
+            registry.counter("pwam_tenants_rejected_total", "Tenant-carrying requests rejected at quota.");
         let instructions = registry.counter(
             "pwam_instructions_total",
             "Abstract-machine instructions retired by successful queries.",
@@ -164,6 +198,12 @@ impl ServerMetrics {
             registry.gauge("pwam_pool_queue_depth", "Requests currently waiting for a slot.");
         let cursors_parked = registry.gauge("pwam_cursors_parked", "Cursors currently parked.");
         let cache_programs = registry.gauge("pwam_cache_programs", "Programs currently cached.");
+        let connections_active = registry.gauge("pwam_connections_active", "Connections currently open.");
+        let tenants_active = registry.gauge_vec(
+            "pwam_tenant_active_queries",
+            "Requests currently in flight per tenant (idle tenants drop off the exposition).",
+            "tenant",
+        );
         let pe_steal_attempts = registry.counter_vec(
             "pwam_pe_steal_attempts_total",
             "Steal scans per PE (each sweeps every other PE's Goal Stack once).",
@@ -224,12 +264,18 @@ impl ServerMetrics {
             execute_us,
             resume_us,
             request_us,
+            query_preempted,
             connections,
             queries,
             protocol_errors,
             compile_errors,
             engine_errors,
             deadline_errors,
+            fuel_errors,
+            fuel_preemptions,
+            quota_rejections,
+            tenants_admitted,
+            tenants_rejected,
             instructions,
             engine_micros,
             pool_requests,
@@ -248,6 +294,8 @@ impl ServerMetrics {
             pool_queue_depth,
             cursors_parked,
             cache_programs,
+            connections_active,
+            tenants_active,
             pe_steal_attempts,
             pe_steals,
             pe_backoff_yields,
@@ -314,6 +362,7 @@ impl ServerMetrics {
         let pool = state.pool.stats();
         let cache = state.cache.stats();
         let cursors = state.cursors.stats();
+        let tenants = state.tenants.stats();
         let c = &state.counters;
         use std::sync::atomic::Ordering::Relaxed;
         self.connections.store(c.connections.load(Relaxed));
@@ -322,6 +371,11 @@ impl ServerMetrics {
         self.compile_errors.store(c.compile_errors.load(Relaxed));
         self.engine_errors.store(c.engine_errors.load(Relaxed));
         self.deadline_errors.store(c.deadline_errors.load(Relaxed));
+        self.fuel_errors.store(c.fuel_errors.load(Relaxed));
+        self.fuel_preemptions.store(c.fuel_preemptions.load(Relaxed));
+        self.quota_rejections.store(c.quota_rejections.load(Relaxed));
+        self.tenants_admitted.store(tenants.admitted);
+        self.tenants_rejected.store(tenants.rejected);
         self.instructions.store(c.instructions.load(Relaxed));
         self.engine_micros.store(c.engine_micros.load(Relaxed));
         self.pool_requests.store(pool.requests);
@@ -340,6 +394,8 @@ impl ServerMetrics {
         self.pool_queue_depth.set(pool.queue_depth);
         self.cursors_parked.set(cursors.parked);
         self.cache_programs.set(cache.programs);
+        self.connections_active.set(c.connections_active.load(Relaxed));
+        self.tenants_active.replace(state.tenants.active_snapshot());
         self.registry.render()
     }
 }

@@ -77,6 +77,14 @@ pub enum ErrorKind {
     /// A cursor operation named an unknown id (never opened, already
     /// closed, or reclaimed by idle eviction).
     Cursor,
+    /// The query's deterministic instruction-fuel budget ran out.  For a
+    /// one-shot `query` this is terminal; for a cursor leg the cursor
+    /// stays parked and another `query-next` resumes exactly where the
+    /// engine stopped.
+    Fuel,
+    /// The tenant named by the request is already running its full
+    /// admission quota of queries; retry after one finishes.
+    Quota,
 }
 
 impl ErrorKind {
@@ -89,6 +97,8 @@ impl ErrorKind {
             ErrorKind::Deadline => "deadline",
             ErrorKind::Engine => "engine",
             ErrorKind::Cursor => "cursor",
+            ErrorKind::Fuel => "fuel",
+            ErrorKind::Quota => "quota",
         }
     }
 
@@ -101,6 +111,8 @@ impl ErrorKind {
             "deadline" => ErrorKind::Deadline,
             "engine" => ErrorKind::Engine,
             "cursor" => ErrorKind::Cursor,
+            "fuel" => ErrorKind::Fuel,
+            "quota" => ErrorKind::Quota,
             _ => return None,
         })
     }
@@ -123,6 +135,13 @@ pub struct QueryRequest {
     pub determinism: DeterminismMode,
     /// Per-request deadline in milliseconds (`None` = server default).
     pub deadline_ms: Option<u64>,
+    /// Deterministic instruction-fuel budget (`None` = server default,
+    /// which may itself be unlimited).  One-shot queries that exhaust it
+    /// fail with a `fuel` error; cursor legs suspend resumably instead.
+    pub fuel: Option<u64>,
+    /// Admission-quota identity.  Anonymous requests (`None`) bypass the
+    /// per-tenant quota entirely.
+    pub tenant: Option<String>,
 }
 
 impl Default for QueryRequest {
@@ -135,6 +154,8 @@ impl Default for QueryRequest {
             scheduler: SchedulerKind::Interleaved,
             determinism: DeterminismMode::Strict,
             deadline_ms: None,
+            fuel: None,
+            tenant: None,
         }
     }
 }
@@ -346,6 +367,14 @@ fn encode_query_body(out: &mut String, q: &QueryRequest) {
     if let Some(ms) = q.deadline_ms {
         out.push_str(&format!("deadline-ms {ms}\n"));
     }
+    if let Some(fuel) = q.fuel {
+        out.push_str(&format!("fuel {fuel}\n"));
+    }
+    // The tenant header takes the whole rest of the line, like any header
+    // value: spaces are legal in a tenant name, newlines are not.
+    if let Some(tenant) = &q.tenant {
+        out.push_str(&format!("tenant {tenant}\n"));
+    }
     out.push_str(&format!("program-bytes {}\n", q.program.len()));
     out.push_str(&format!("query-bytes {}\n", q.query.len()));
     out.push('\n');
@@ -394,6 +423,8 @@ fn decode_query_body(rest: &str) -> Result<QueryRequest, ParseError> {
         q.determinism = DeterminismMode::parse(d).ok_or_else(|| bad(format!("unknown determinism {d:?}")))?;
     }
     q.deadline_ms = header_u64(&s, "deadline-ms")?;
+    q.fuel = header_u64(&s, "fuel")?;
+    q.tenant = header(&s, "tenant").map(str::to_string);
     let program_bytes =
         header_u64(&s, "program-bytes")?.ok_or_else(|| bad("query without program-bytes"))? as usize;
     let query_bytes =
@@ -568,6 +599,8 @@ mod tests {
                 scheduler: SchedulerKind::Threaded,
                 determinism: DeterminismMode::Relaxed,
                 deadline_ms: Some(2500),
+                fuel: Some(100_000),
+                tenant: Some("team a/staging".to_string()),
             })),
             Request::QueryOpen(Box::new(QueryRequest {
                 program: "p(1).\np(2).\n".to_string(),
@@ -594,6 +627,8 @@ mod tests {
             Response::CursorOpened { cursor: 42 },
             Response::CursorClosed,
             Response::Error { kind: ErrorKind::Cursor, message: "unknown cursor 9".to_string() },
+            Response::Error { kind: ErrorKind::Fuel, message: "fuel exhausted".to_string() },
+            Response::Error { kind: ErrorKind::Quota, message: "tenant at quota".to_string() },
             Response::Stats(StatsResponse {
                 fields: vec![("warm_hits".to_string(), 7), ("cold_builds".to_string(), 2)],
             }),
@@ -663,6 +698,8 @@ mod tests {
         assert!(decode_request("query\nprogram-bytes 10\nquery-bytes 0\n\nshort").is_err());
         assert!(decode_response("answer\noutcome success\nbindings 2\n\n1 1\nX1\n").is_err());
         assert!(decode_request("events\nlimit soon\n").is_err());
+        assert!(decode_request("query\nfuel lots\nprogram-bytes 0\nquery-bytes 0\n\n").is_err());
+        assert!(decode_response("error\nkind quotaa\nmessage-bytes 0\n\n").is_err());
         assert!(decode_response("metrics\n\n").is_err(), "metrics needs body-bytes");
         assert!(decode_response("events\nbody-bytes 10\n\nshort").is_err());
     }

@@ -1,11 +1,29 @@
-//! The TCP server: one accept loop, one worker thread per connection, the
-//! shared [`EnginePool`] + [`ProgramCache`] behind an `Arc`.
+//! The TCP serving tier, in two interchangeable shapes behind
+//! [`ServingMode`]:
+//!
+//! * **Event loop** (the default): one readiness-driven thread multiplexes
+//!   every connection through the vendored [`polling`] poller, with
+//!   non-blocking framed I/O, per-connection pipelining, and a small
+//!   worker pool running engine requests off the loop (see
+//!   [`crate::event_loop`]).  Concurrent connections cost a buffer each,
+//!   not a thread each.
+//! * **Thread per connection** (the differential baseline): one blocking
+//!   worker thread per accepted connection, shed beyond
+//!   [`THREAD_MODE_MAX_CONNECTIONS`] — each idle connection pins a full
+//!   thread stack, so this mode's capacity ceiling is set by thread
+//!   memory, not by sockets.
+//!
+//! Both shapes share every handler below and the same `ServerState`
+//! (pool, cache, cursor table, tenant quotas, metrics), so their observable
+//! protocol behaviour is identical — only the concurrency structure
+//! differs.
 
 use crate::cache::ProgramCache;
 use crate::metrics::{FlightRecorder, ServerMetrics, FLIGHT_RECORDER_CAP};
 use crate::pool::{AcquireError, CursorTable, EnginePool, ParkedQuery, PoolConfig, SlotGuard};
 use crate::protocol::{self, AnswerResponse, ErrorKind, QueryRequest, Request, Response, StatsResponse};
-use rapwam::session::{QueryOptions, SessionError};
+use crate::tenant::TenantTable;
+use rapwam::session::{CursorStep, QueryOptions, SessionError};
 use rapwam::{EngineError, MemoryConfig, Outcome};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -13,6 +31,40 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Hard ceiling on concurrent connections in thread-per-connection mode.
+/// Each connection pins a whole thread (stack, scheduler slot) even while
+/// idle, so the baseline sheds far earlier than the event loop does; this
+/// constant is the denominator of the capacity comparison the event loop
+/// is measured against.
+pub const THREAD_MODE_MAX_CONNECTIONS: usize = 256;
+
+/// How the server multiplexes connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServingMode {
+    /// One readiness-driven event loop plus a small engine worker pool.
+    EventLoop,
+    /// One blocking thread per connection (the differential baseline,
+    /// capped at [`THREAD_MODE_MAX_CONNECTIONS`]).
+    ThreadPerConnection,
+}
+
+impl ServingMode {
+    pub fn name(self) -> &'static str {
+        match self {
+            ServingMode::EventLoop => "event-loop",
+            ServingMode::ThreadPerConnection => "threads",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "event-loop" => ServingMode::EventLoop,
+            "threads" => ServingMode::ThreadPerConnection,
+            _ => return None,
+        })
+    }
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -41,6 +93,25 @@ pub struct ServerConfig {
     /// Upper bound on concurrently parked cursors; `query-open` beyond it
     /// is rejected (each parked cursor holds a full engine's arenas).
     pub max_cursors: usize,
+    /// How connections are multiplexed.
+    pub mode: ServingMode,
+    /// Engine worker threads behind the event loop (requests that run the
+    /// engine are executed here so the loop itself never blocks).  Ignored
+    /// in thread-per-connection mode.
+    pub event_workers: usize,
+    /// Upper bound on concurrent connections; arrivals beyond it get a
+    /// well-framed `rejected` error and an immediate close.  Thread mode
+    /// additionally clamps this to [`THREAD_MODE_MAX_CONNECTIONS`].
+    pub max_connections: usize,
+    /// Instruction-fuel budget applied to requests that do not carry their
+    /// own `fuel` header (`None` = unlimited).
+    pub default_fuel: Option<u64>,
+    /// Per-tenant concurrent-request quota (`0` = unlimited).  Only
+    /// requests carrying a `tenant` header are counted.
+    pub tenant_max_active: usize,
+    /// Event-loop I/O idle deadline: a connection that sits mid-frame (or
+    /// entirely silent) longer than this is closed — the slowloris guard.
+    pub io_idle_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +137,12 @@ impl Default for ServerConfig {
             max_workers: 16,
             cursor_idle_timeout: Duration::from_secs(60),
             max_cursors: 128,
+            mode: ServingMode::EventLoop,
+            event_workers: 4,
+            max_connections: 1024,
+            default_fuel: None,
+            tenant_max_active: 0,
+            io_idle_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -79,6 +156,16 @@ pub(crate) struct ServerCounters {
     pub compile_errors: AtomicU64,
     pub engine_errors: AtomicU64,
     pub deadline_errors: AtomicU64,
+    /// One-shot queries killed by fuel exhaustion (terminal).
+    pub fuel_errors: AtomicU64,
+    /// Cursor legs preempted by fuel exhaustion (resumable: the cursor
+    /// stays parked and the next `query-next` continues it).
+    pub fuel_preemptions: AtomicU64,
+    /// Requests turned away by their tenant's admission quota.
+    pub quota_rejections: AtomicU64,
+    /// Connections open right now (a gauge, despite living here: both
+    /// serving modes balance increments with decrements).
+    pub connections_active: AtomicU64,
     /// Abstract-machine instructions retired by successful queries.
     pub instructions: AtomicU64,
     /// Wall-clock engine time of successful queries, in microseconds —
@@ -92,6 +179,7 @@ pub(crate) struct ServerState {
     pub pool: EnginePool,
     pub cache: ProgramCache,
     pub cursors: CursorTable,
+    pub tenants: TenantTable,
     pub counters: ServerCounters,
     pub metrics: ServerMetrics,
     pub flight: FlightRecorder,
@@ -107,14 +195,16 @@ pub struct Server {
 }
 
 impl Server {
-    /// Bind and start serving.
+    /// Bind and start serving in the configured [`ServingMode`].
     pub fn start(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let mode = config.mode;
         let state = Arc::new(ServerState {
             pool: EnginePool::new(config.pool.clone()),
             cache: ProgramCache::new(config.max_programs),
             cursors: CursorTable::new(config.cursor_idle_timeout, config.max_cursors),
+            tenants: TenantTable::new(config.tenant_max_active),
             counters: ServerCounters::default(),
             metrics: ServerMetrics::new(),
             flight: FlightRecorder::new(FLIGHT_RECORDER_CAP),
@@ -122,9 +212,14 @@ impl Server {
             config,
         });
         let accept_state = Arc::clone(&state);
-        let accept_thread = thread::Builder::new()
-            .name("pwam-accept".to_string())
-            .spawn(move || accept_loop(listener, accept_state))?;
+        let accept_thread =
+            thread::Builder::new().name("pwam-accept".to_string()).spawn(move || match mode {
+                #[cfg(unix)]
+                ServingMode::EventLoop => crate::event_loop::serve(listener, accept_state),
+                #[cfg(not(unix))]
+                ServingMode::EventLoop => accept_loop(listener, accept_state),
+                ServingMode::ThreadPerConnection => accept_loop(listener, accept_state),
+            })?;
         Ok(Server { addr, state, accept_thread: Some(accept_thread) })
     }
 
@@ -172,18 +267,37 @@ impl Server {
 }
 
 fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+    let cap = state.config.max_connections.min(THREAD_MODE_MAX_CONNECTIONS);
     loop {
         let conn = listener.accept();
         if state.shutdown.load(Ordering::Acquire) {
             return;
         }
         match conn {
-            Ok((stream, _)) => {
+            Ok((mut stream, _)) => {
+                // Shed beyond the thread cap *before* spawning: every
+                // admitted connection costs a full thread here, which is
+                // exactly the scaling wall the event loop removes.
+                if state.counters.connections_active.load(Ordering::Acquire) >= cap as u64 {
+                    let reply = protocol::encode_response(&Response::Error {
+                        kind: ErrorKind::Rejected,
+                        message: format!("server is at its connection limit ({cap})"),
+                    });
+                    let _ = protocol::write_frame(&mut stream, &reply);
+                    continue;
+                }
                 state.counters.connections.fetch_add(1, Ordering::Relaxed);
+                state.counters.connections_active.fetch_add(1, Ordering::AcqRel);
                 let conn_state = Arc::clone(&state);
-                let _ = thread::Builder::new()
-                    .name("pwam-conn".to_string())
-                    .spawn(move || handle_connection(stream, conn_state));
+                let spawned = thread::Builder::new().name("pwam-conn".to_string()).spawn(move || {
+                    handle_connection(stream, Arc::clone(&conn_state));
+                    conn_state.counters.connections_active.fetch_sub(1, Ordering::AcqRel);
+                });
+                if spawned.is_err() {
+                    // Thread exhaustion: the connection was counted in but
+                    // never served — balance the gauge.
+                    state.counters.connections_active.fetch_sub(1, Ordering::AcqRel);
+                }
             }
             Err(_) => {
                 if state.shutdown.load(Ordering::Acquire) {
@@ -193,6 +307,16 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
             }
         }
     }
+}
+
+/// Fallback for [`ServingMode::EventLoop`] on platforms where the poller
+/// cannot be built: restore blocking accepts (the event loop's setup may
+/// already have flipped the listener's shared file-status flags) and serve
+/// one thread per connection instead.
+#[cfg(unix)]
+pub(crate) fn accept_loop_fallback(listener: TcpListener, state: Arc<ServerState>) {
+    let _ = listener.set_nonblocking(false);
+    accept_loop(listener, state);
 }
 
 /// Serve one connection: a sequence of framed requests.
@@ -229,7 +353,7 @@ fn handle_connection(mut stream: TcpStream, state: Arc<ServerState>) {
                 }
                 return;
             }
-            Ok(Request::Query(q)) => handle_query(&state, *q),
+            Ok(Request::Query(q)) => handle_query(&state, *q, Instant::now()),
             Ok(Request::QueryOpen(q)) => handle_query_open(&state, *q),
             Ok(Request::QueryNext { cursor }) => handle_query_next(&state, cursor),
             Ok(Request::QueryClose { cursor }) => handle_query_close(&state, cursor),
@@ -247,9 +371,11 @@ fn handle_connection(mut stream: TcpStream, state: Arc<ServerState>) {
 
 /// Execute one query request: time the whole request into the
 /// `request_us` histogram and log its outcome to the flight recorder,
-/// with the actual work in [`run_query`].
-fn handle_query(state: &ServerState, req: QueryRequest) -> Response {
-    let arrived = Instant::now();
+/// with the actual work in [`run_query`].  `arrived` is when the frame
+/// was read off the wire — in the event loop that predates worker-queue
+/// wait, which is part of the request (for both the histogram and the
+/// deadline budget).
+pub(crate) fn handle_query(state: &ServerState, req: QueryRequest, arrived: Instant) -> Response {
     let response = run_query(state, req, arrived);
     let us = arrived.elapsed().as_micros() as u64;
     state.metrics.request_us.observe(us);
@@ -272,6 +398,12 @@ fn run_query(state: &ServerState, req: QueryRequest, arrived: Instant) -> Respon
             message: format!("workers must be 1..={}", state.config.max_workers),
         };
     }
+    // Tenant quota first: a tenant at its cap must not consume compile
+    // time or a pool slot.  The guard spans the whole request.
+    let _tenant = match state.tenants.admit(req.tenant.as_deref()) {
+        Ok(guard) => guard,
+        Err(active) => return quota_rejected(state, &req, active),
+    };
     let deadline = req.deadline_ms.map(Duration::from_millis).or(state.config.default_deadline);
 
     // Program + query compilation (cached).
@@ -325,6 +457,7 @@ fn run_query(state: &ServerState, req: QueryRequest, arrived: Instant) -> Respon
         determinism: req.determinism,
         stall_timeout: state.config.stall_timeout,
         time_budget: remaining,
+        fuel: req.fuel.or(state.config.default_fuel),
         ..QueryOptions::default()
     };
 
@@ -358,13 +491,32 @@ fn run_query(state: &ServerState, req: QueryRequest, arrived: Instant) -> Respon
             state.pool.record_error();
             let (kind, counter) = match &e {
                 SessionError::Engine(EngineError::DeadlineExceeded { .. }) => {
+                    state.metrics.query_preempted.add("deadline", 1);
                     (ErrorKind::Deadline, &state.counters.deadline_errors)
+                }
+                SessionError::Engine(EngineError::FuelExhausted { .. }) => {
+                    state.metrics.query_preempted.add("fuel", 1);
+                    (ErrorKind::Fuel, &state.counters.fuel_errors)
                 }
                 _ => (ErrorKind::Engine, &state.counters.engine_errors),
             };
             counter.fetch_add(1, Ordering::Relaxed);
             Response::Error { kind, message: e.to_string() }
         }
+    }
+}
+
+/// Reject a request whose tenant is already at its admission quota.
+fn quota_rejected(state: &ServerState, req: &QueryRequest, active: u64) -> Response {
+    state.counters.quota_rejections.fetch_add(1, Ordering::Relaxed);
+    let tenant = req.tenant.as_deref().unwrap_or("");
+    state.flight.record("quota", &format!("tenant={tenant} active={active}"));
+    Response::Error {
+        kind: ErrorKind::Quota,
+        message: format!(
+            "tenant {tenant:?} is at its admission quota ({active} of {} in flight)",
+            state.config.tenant_max_active
+        ),
     }
 }
 
@@ -392,7 +544,7 @@ fn acquire_error(e: AcquireError) -> Response {
 /// Nothing executes — the first `query-next` starts the query — so the
 /// slot goes straight back to the pool and open never blocks behind
 /// engine work beyond the acquire itself.
-fn handle_query_open(state: &ServerState, req: QueryRequest) -> Response {
+pub(crate) fn handle_query_open(state: &ServerState, req: QueryRequest) -> Response {
     sweep_idle_cursors(state);
     if req.workers == 0 || req.workers > state.config.max_workers {
         state.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
@@ -401,6 +553,12 @@ fn handle_query_open(state: &ServerState, req: QueryRequest) -> Response {
             message: format!("workers must be 1..={}", state.config.max_workers),
         };
     }
+    // The quota covers the open itself; a *parked* cursor holds no tenant
+    // slot (parked means not executing), just as it holds no pool slot.
+    let _tenant = match state.tenants.admit(req.tenant.as_deref()) {
+        Ok(guard) => guard,
+        Err(active) => return quota_rejected(state, &req, active),
+    };
     // The request deadline becomes the *per-leg* time budget: `resume`
     // re-arms the engine clock, so each `query-next` gets the full budget
     // rather than the whole stream sharing one.
@@ -431,6 +589,10 @@ fn handle_query_open(state: &ServerState, req: QueryRequest) -> Response {
         determinism: req.determinism,
         stall_timeout: state.config.stall_timeout,
         time_budget: deadline,
+        // Like the deadline, fuel is a *per-leg* budget: the engine
+        // re-arms it at every resume, so each `query-next` gets the full
+        // allotment and a preempted leg picks up exactly where it stopped.
+        fuel: req.fuel.or(state.config.default_fuel),
         ..QueryOptions::default()
     };
     let cursor = {
@@ -461,7 +623,7 @@ fn handle_query_open(state: &ServerState, req: QueryRequest) -> Response {
 /// through the pool (it competes for a slot like any run — that is the
 /// admission-control story), but keeps its own arenas: the slot's memory
 /// is left untouched for the plain-query warm path.
-fn handle_query_next(state: &ServerState, id: u64) -> Response {
+pub(crate) fn handle_query_next(state: &ServerState, id: u64) -> Response {
     sweep_idle_cursors(state);
     let Some(mut parked) = state.cursors.take(id) else {
         return unknown_cursor(id);
@@ -475,8 +637,8 @@ fn handle_query_next(state: &ServerState, id: u64) -> Response {
         }
     };
     let started = Instant::now();
-    match parked.cursor.next() {
-        Ok(Some(bindings)) => {
+    match parked.cursor.next_step() {
+        Ok(CursorStep::Answer(bindings)) => {
             let rendered = {
                 let session = parked.entry.session.read().unwrap();
                 bindings.iter().map(|(n, t)| (n.clone(), session.render(t))).collect()
@@ -486,13 +648,40 @@ fn handle_query_next(state: &ServerState, id: u64) -> Response {
             state.cursors.repark(id, parked);
             Response::Answer(answer)
         }
-        Ok(None) => {
+        Ok(CursorStep::Exhausted) => {
             // Exhausted: auto-close, recycling the cursor's arenas into
             // the slot we hold so the next plain query runs warm.
             let answer = cursor_answer(state, &mut parked, started, false, Vec::new());
             state.flight.record("resume", &format!("cursor={id} status=exhausted us={}", answer.elapsed_us));
             retire_cursor(state, parked, Some(slot));
             Response::Answer(answer)
+        }
+        Ok(CursorStep::FuelExhausted) => {
+            // A fuel preemption is a *scheduling* event, not a failure:
+            // the engine parked at a deterministic instruction boundary,
+            // the cursor survives, and the next `query-next` resumes it
+            // with a fresh budget.  The leg's wall-clock and instruction
+            // delta are still charged so the throughput counters see the
+            // partial work.
+            let elapsed_us = started.elapsed().as_micros() as u64;
+            let stats = parked.cursor.stats().unwrap_or_default();
+            let delta = stats.instructions.saturating_sub(parked.instructions_seen);
+            parked.instructions_seen = stats.instructions;
+            parked.micros_seen += elapsed_us;
+            state.counters.instructions.fetch_add(delta, Ordering::Relaxed);
+            state.counters.engine_micros.fetch_add(elapsed_us, Ordering::Relaxed);
+            state.metrics.resume_us.observe(elapsed_us);
+            state.counters.fuel_preemptions.fetch_add(1, Ordering::Relaxed);
+            state.metrics.query_preempted.add("fuel", 1);
+            state.flight.record("resume", &format!("cursor={id} status=fuel us={elapsed_us}"));
+            state.cursors.repark(id, parked);
+            Response::Error {
+                kind: ErrorKind::Fuel,
+                message: format!(
+                    "cursor {id} preempted: instruction fuel exhausted after {delta} \
+                     instructions this leg (the cursor is still open; query-next resumes it)"
+                ),
+            }
         }
         Err(e) => {
             // The engine is dead; so is the cursor (its memory with it).
@@ -501,6 +690,7 @@ fn handle_query_next(state: &ServerState, id: u64) -> Response {
             state.flight.record("resume", &format!("cursor={id} status=error"));
             let (kind, counter) = match &e {
                 SessionError::Engine(EngineError::DeadlineExceeded { .. }) => {
+                    state.metrics.query_preempted.add("deadline", 1);
                     (ErrorKind::Deadline, &state.counters.deadline_errors)
                 }
                 _ => (ErrorKind::Engine, &state.counters.engine_errors),
@@ -512,7 +702,7 @@ fn handle_query_next(state: &ServerState, id: u64) -> Response {
 }
 
 /// Discard a parked cursor.
-fn handle_query_close(state: &ServerState, id: u64) -> Response {
+pub(crate) fn handle_query_close(state: &ServerState, id: u64) -> Response {
     sweep_idle_cursors(state);
     match state.cursors.take(id) {
         Some(parked) => {
@@ -526,7 +716,7 @@ fn handle_query_close(state: &ServerState, id: u64) -> Response {
 
 /// Run the lazy idle-eviction sweep, logging each reclaimed cursor to the
 /// flight recorder.
-fn sweep_idle_cursors(state: &ServerState) {
+pub(crate) fn sweep_idle_cursors(state: &ServerState) {
     for id in state.cursors.evict_idle() {
         state.flight.record("evict", &format!("cursor={id}"));
     }
@@ -599,11 +789,12 @@ pub(crate) fn cumulative_mlips_x1000(instructions: u64, engine_micros: u64) -> u
 }
 
 /// Flatten pool + cache + server counters into the wire stats shape.
-fn stats_response(state: &ServerState) -> StatsResponse {
+pub(crate) fn stats_response(state: &ServerState) -> StatsResponse {
     sweep_idle_cursors(state);
     let pool = state.pool.stats();
     let cache = state.cache.stats();
     let cursors = state.cursors.stats();
+    let tenants = state.tenants.stats();
     let c = &state.counters;
     let instructions = c.instructions.load(Ordering::Relaxed);
     let engine_micros = c.engine_micros.load(Ordering::Relaxed);
@@ -629,11 +820,18 @@ fn stats_response(state: &ServerState) -> StatsResponse {
             ("cursors_closed".to_string(), cursors.closed),
             ("cursors_evicted".to_string(), cursors.evicted),
             ("connections".to_string(), c.connections.load(Ordering::Relaxed)),
+            ("connections_active".to_string(), c.connections_active.load(Ordering::Relaxed)),
             ("queries".to_string(), c.queries.load(Ordering::Relaxed)),
             ("protocol_errors".to_string(), c.protocol_errors.load(Ordering::Relaxed)),
             ("compile_errors".to_string(), c.compile_errors.load(Ordering::Relaxed)),
             ("engine_errors".to_string(), c.engine_errors.load(Ordering::Relaxed)),
             ("deadline_errors".to_string(), c.deadline_errors.load(Ordering::Relaxed)),
+            ("fuel_errors".to_string(), c.fuel_errors.load(Ordering::Relaxed)),
+            ("fuel_preemptions".to_string(), c.fuel_preemptions.load(Ordering::Relaxed)),
+            ("quota_rejections".to_string(), c.quota_rejections.load(Ordering::Relaxed)),
+            ("tenants_admitted".to_string(), tenants.admitted),
+            ("tenants_rejected".to_string(), tenants.rejected),
+            ("tenants_active".to_string(), tenants.active),
             ("instructions".to_string(), instructions),
             ("engine_micros".to_string(), engine_micros),
             // Cumulative throughput across every completed query, in

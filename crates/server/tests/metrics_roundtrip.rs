@@ -2,7 +2,7 @@
 //! through the `metrics` and `events` verbs over the wire.
 
 use pwam_obs::{parse_sample, sum_family};
-use pwam_server::{Client, PoolConfig, QueryRequest, Server, ServerConfig};
+use pwam_server::{Client, ErrorKind, PoolConfig, QueryRequest, Request, Response, Server, ServerConfig};
 use std::time::Duration;
 
 fn start(pool_size: usize) -> Server {
@@ -142,6 +142,149 @@ fn flight_recorder_traces_query_and_cursor_lifecycles() {
     let instructions = parse_sample(&text, "pwam_instructions_total").unwrap();
     assert_eq!(profiled, instructions);
 
+    server.shutdown();
+}
+
+#[test]
+fn preemption_counters_distinguish_deadline_from_fuel() {
+    let server = start(1);
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // One-shot fuel exhaustion: terminal for the request, reason="fuel".
+    let starved = QueryRequest {
+        query: "nrev([1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16],R)".to_string(),
+        fuel: Some(50),
+        ..nrev_query()
+    };
+    match client.query(starved).unwrap() {
+        Response::Error { kind: ErrorKind::Fuel, .. } => {}
+        other => panic!("starved query should exhaust its fuel: {other:?}"),
+    }
+
+    // Wall-clock kill: divergent recursion against a real deadline,
+    // reason="deadline".
+    let diverging = QueryRequest {
+        program: "loop :- loop.".to_string(),
+        query: "loop".to_string(),
+        deadline_ms: Some(50),
+        ..QueryRequest::default()
+    };
+    match client.query(diverging).unwrap() {
+        Response::Error { kind: ErrorKind::Deadline, .. } => {}
+        other => panic!("divergent query should hit its deadline: {other:?}"),
+    }
+
+    // Cursor legs: fuel re-arms per `query-next`, so a starved cursor is
+    // preempted some number of times and then *completes* — every
+    // preempted leg counts, the cursor survives each one.
+    let cursor = client
+        .query_open(QueryRequest {
+            query: "nrev([1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16],R)".to_string(),
+            fuel: Some(300),
+            ..nrev_query()
+        })
+        .unwrap();
+    let mut fuel_legs = 0u64;
+    loop {
+        match client.request(&Request::QueryNext { cursor }).unwrap() {
+            Response::Error { kind: ErrorKind::Fuel, .. } => fuel_legs += 1,
+            Response::Answer(a) => {
+                assert!(a.success, "the starved cursor must still reach its answer");
+                break;
+            }
+            other => panic!("unexpected cursor step: {other:?}"),
+        }
+        assert!(fuel_legs < 10_000, "cursor never finished under fuel");
+    }
+    assert!(fuel_legs >= 1, "fuel 300 must preempt nrev/16 at least once");
+    client.query_close(cursor).unwrap();
+
+    let text = client.metrics().unwrap();
+    // The preemption family splits by reason and reconciles exactly with
+    // the per-kind counters.
+    assert_eq!(parse_sample(&text, "pwam_query_preempted_total{reason=\"fuel\"}"), Some(1 + fuel_legs));
+    assert_eq!(parse_sample(&text, "pwam_query_preempted_total{reason=\"deadline\"}"), Some(1));
+    assert_eq!(sum_family(&text, "pwam_query_preempted_total"), 2 + fuel_legs);
+    assert_eq!(parse_sample(&text, "pwam_fuel_errors_total"), Some(1));
+    assert_eq!(parse_sample(&text, "pwam_fuel_preemptions_total"), Some(fuel_legs));
+    assert_eq!(parse_sample(&text, "pwam_deadline_errors_total"), Some(1));
+
+    // The stats plane tells the same story.
+    let stats = server.stats();
+    assert_eq!(stats.get("fuel_errors"), Some(1));
+    assert_eq!(stats.get("fuel_preemptions"), Some(fuel_legs));
+    assert_eq!(stats.get("deadline_errors"), Some(1));
+
+    // The flight recorder saw the preempted legs as scheduling events.
+    let events = client.events(None).unwrap();
+    assert_eq!(events.lines().filter(|l| l.contains("status=fuel")).count() as u64, fuel_legs, "{events}");
+    server.shutdown();
+}
+
+#[test]
+fn quota_rejections_surface_in_metrics_and_stats() {
+    let server = Server::start(ServerConfig {
+        pool: PoolConfig { size: 2, max_queue: 8, queue_timeout: Duration::from_millis(500) },
+        tenant_max_active: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    // Occupy the tenant's single slot with a query that runs until its
+    // deadline, then collide with it from another connection.
+    let holder = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.query(QueryRequest {
+            program: "loop :- loop.".to_string(),
+            query: "loop".to_string(),
+            deadline_ms: Some(1_000),
+            tenant: Some("acme".to_string()),
+            ..QueryRequest::default()
+        })
+    });
+    std::thread::sleep(Duration::from_millis(200));
+    let mut client = Client::connect(addr).unwrap();
+    // While the holder runs, the tenant gauge shows it...
+    let text = client.metrics().unwrap();
+    assert_eq!(parse_sample(&text, "pwam_tenant_active_queries{tenant=\"acme\"}"), Some(1));
+    // ...and a second request for the same tenant bounces at admission.
+    let response = client
+        .query(QueryRequest {
+            program: "p(1).".to_string(),
+            query: "p(X)".to_string(),
+            tenant: Some("acme".to_string()),
+            ..QueryRequest::default()
+        })
+        .unwrap();
+    match response {
+        Response::Error { kind: ErrorKind::Quota, message } => {
+            assert!(message.contains("acme"), "message names the tenant: {message}");
+        }
+        other => panic!("expected a quota rejection: {other:?}"),
+    }
+    // A different tenant is unaffected by acme's saturation.
+    match client
+        .query(QueryRequest {
+            program: "p(1).".to_string(),
+            query: "p(X)".to_string(),
+            tenant: Some("globex".to_string()),
+            ..QueryRequest::default()
+        })
+        .unwrap()
+    {
+        Response::Answer(a) => assert!(a.success),
+        other => panic!("other tenants must still be served: {other:?}"),
+    }
+    holder.join().unwrap().unwrap();
+
+    let text = client.metrics().unwrap();
+    assert_eq!(parse_sample(&text, "pwam_quota_rejections_total"), Some(1));
+    assert!(parse_sample(&text, "pwam_tenants_admitted_total").unwrap() >= 2);
+    // Idle tenants drop out of the gauge entirely (no stale zero series).
+    assert_eq!(parse_sample(&text, "pwam_tenant_active_queries{tenant=\"acme\"}"), None);
+    let stats = server.stats();
+    assert_eq!(stats.get("quota_rejections"), Some(1));
+    assert_eq!(stats.get("tenants_active"), Some(0));
     server.shutdown();
 }
 

@@ -1,0 +1,492 @@
+//! Vendored offline stand-in for the `mio`/`polling` crates: a minimal,
+//! level-triggered readiness poller over raw file descriptors.
+//!
+//! On Linux the implementation is epoll (via the `extern "C"` syscall
+//! wrappers the platform libc already provides — std links it, so no
+//! dependency is added); on other unix platforms it falls back to
+//! `poll(2)` with a registration table rebuilt per call.  Both are **level
+//! triggered**: an event keeps firing as long as the condition holds, so a
+//! handler that does not drain a socket simply sees it again on the next
+//! wait — the simplest correctness contract for a readiness loop.
+//!
+//! The API is the small intersection an event-loop server needs:
+//!
+//! ```no_run
+//! use polling::{Event, Interest, Poller};
+//! use std::net::TcpListener;
+//! use std::os::fd::AsRawFd;
+//!
+//! let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+//! listener.set_nonblocking(true).unwrap();
+//! let mut poller = Poller::new().unwrap();
+//! poller.register(listener.as_raw_fd(), 0, Interest::READ).unwrap();
+//! let mut events = Vec::new();
+//! poller.poll(&mut events, None).unwrap();
+//! for ev in &events {
+//!     assert_eq!(ev.token, 0); // the listener is ready to accept
+//! }
+//! ```
+
+use std::io;
+use std::time::Duration;
+
+/// What readiness a registration waits for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Wait for readability only.
+    pub const READ: Interest = Interest { readable: true, writable: false };
+    /// Wait for writability only.
+    pub const WRITE: Interest = Interest { readable: false, writable: true };
+    /// Wait for both directions.
+    pub const BOTH: Interest = Interest { readable: true, writable: true };
+}
+
+/// One readiness notification.  Error/hangup conditions are folded into
+/// `readable` (and `writable` when write interest was registered): the
+/// handler's read/write will surface the actual error, which keeps the
+/// loop's cleanup on a single path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The token the file descriptor was registered with.
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+}
+
+/// A level-triggered readiness poller.
+pub struct Poller {
+    inner: sys::Poller,
+}
+
+impl Poller {
+    /// Create a new poller.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller { inner: sys::Poller::new()? })
+    }
+
+    /// Start watching `fd` with the given token and interest.  The fd must
+    /// stay open until [`Poller::deregister`]; it should be in non-blocking
+    /// mode (level-triggered readiness is advisory, not a guarantee that a
+    /// whole read/write will not block).
+    pub fn register(&mut self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+        self.inner.register(fd, token, interest)
+    }
+
+    /// Change the token and/or interest of an already-registered fd.
+    pub fn reregister(&mut self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+        self.inner.reregister(fd, token, interest)
+    }
+
+    /// Stop watching `fd`.
+    pub fn deregister(&mut self, fd: i32) -> io::Result<()> {
+        self.inner.deregister(fd)
+    }
+
+    /// Wait for readiness on any registered fd.  Clears and refills
+    /// `events`; returns the number of events delivered.  `None` blocks
+    /// indefinitely; `Some(d)` waits at most `d` (zero polls without
+    /// blocking).  A signal interruption (`EINTR`) is retried internally.
+    pub fn poll(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        self.inner.poll(events, timeout)
+    }
+}
+
+/// Clamp a timeout to the millisecond `int` the syscalls take: `None` maps
+/// to -1 (block forever), sub-millisecond waits round up so a 100µs wait
+/// does not busy-spin as zero.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            if d.is_zero() {
+                0
+            } else {
+                d.as_millis().clamp(1, i32::MAX as u128) as i32
+            }
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! epoll(7) backend.  The kernel keeps the registration table, so
+    //! `poll` is O(ready), not O(registered) — the property that lets one
+    //! loop carry thousands of connections.
+
+    use super::{timeout_ms, Event, Interest};
+    use std::io;
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x1;
+    const EPOLLOUT: u32 = 0x4;
+    const EPOLLERR: u32 = 0x8;
+    const EPOLLHUP: u32 = 0x10;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    /// Mirror of the kernel's `struct epoll_event`.  On x86 the kernel ABI
+    /// packs the struct (no padding between `events` and `data`); other
+    /// architectures use natural alignment.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    fn interest_bits(interest: Interest) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if interest.readable {
+            bits |= EPOLLIN;
+        }
+        if interest.writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+
+    pub struct Poller {
+        epfd: i32,
+        /// Reused kernel-side event buffer.
+        buf: Vec<EpollEvent>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller { epfd, buf: vec![EpollEvent { events: 0, data: 0 }; 1024] })
+        }
+
+        fn ctl(&mut self, op: i32, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent { events: interest_bits(interest), data: token };
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn register(&mut self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub fn reregister(&mut self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub fn deregister(&mut self, fd: i32) -> io::Result<()> {
+            // The event argument is ignored for DEL (required non-null only
+            // on pre-2.6.9 kernels; passing one is harmless everywhere).
+            self.ctl(EPOLL_CTL_DEL, fd, 0, Interest { readable: false, writable: false })
+        }
+
+        pub fn poll(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+            let n = loop {
+                let rc = unsafe {
+                    epoll_wait(self.epfd, self.buf.as_mut_ptr(), self.buf.len() as i32, timeout_ms(timeout))
+                };
+                if rc >= 0 {
+                    break rc as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+                // EINTR with a finite timeout: retry with the full timeout
+                // (the small overshoot is irrelevant to a readiness loop).
+            };
+            for ev in &self.buf[..n] {
+                let bits = ev.events;
+                let err = bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0;
+                events.push(Event {
+                    token: ev.data,
+                    readable: bits & EPOLLIN != 0 || err,
+                    writable: bits & EPOLLOUT != 0 || err,
+                });
+            }
+            Ok(n)
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    //! poll(2) fallback for non-Linux unix: the registration table lives in
+    //! user space and the pollfd array is rebuilt per call — O(registered),
+    //! fine at the scales a development host sees.
+
+    use super::{timeout_ms, Event, Interest};
+    use std::io;
+    use std::time::Duration;
+
+    const POLLIN: i16 = 0x1;
+    const POLLOUT: i16 = 0x4;
+    const POLLERR: i16 = 0x8;
+    const POLLHUP: i16 = 0x10;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u32, timeout: i32) -> i32;
+    }
+
+    pub struct Poller {
+        registered: Vec<(i32, u64, Interest)>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller { registered: Vec::new() })
+        }
+
+        pub fn register(&mut self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+            if self.registered.iter().any(|&(f, _, _)| f == fd) {
+                return Err(io::Error::new(io::ErrorKind::AlreadyExists, "fd already registered"));
+            }
+            self.registered.push((fd, token, interest));
+            Ok(())
+        }
+
+        pub fn reregister(&mut self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+            match self.registered.iter_mut().find(|(f, _, _)| *f == fd) {
+                Some(slot) => {
+                    *slot = (fd, token, interest);
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub fn deregister(&mut self, fd: i32) -> io::Result<()> {
+            match self.registered.iter().position(|&(f, _, _)| f == fd) {
+                Some(i) => {
+                    self.registered.remove(i);
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub fn poll(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+            let mut fds: Vec<PollFd> = self
+                .registered
+                .iter()
+                .map(|&(fd, _, interest)| PollFd {
+                    fd,
+                    events: if interest.readable { POLLIN } else { 0 }
+                        | if interest.writable { POLLOUT } else { 0 },
+                    revents: 0,
+                })
+                .collect();
+            loop {
+                let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u32, timeout_ms(timeout)) };
+                if rc >= 0 {
+                    break;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            }
+            for (pfd, &(_, token, _)) in fds.iter().zip(self.registered.iter()) {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                let err = pfd.revents & (POLLERR | POLLHUP) != 0;
+                events.push(Event {
+                    token,
+                    readable: pfd.revents & POLLIN != 0 || err,
+                    writable: pfd.revents & POLLOUT != 0 || err,
+                });
+            }
+            Ok(events.len())
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    //! Stub for non-unix targets: constructing a poller fails at runtime,
+    //! keeping the crate (and everything that depends on it) compiling.
+
+    use super::{Event, Interest};
+    use std::io;
+    use std::time::Duration;
+
+    pub struct Poller {}
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Err(io::Error::new(io::ErrorKind::Unsupported, "polling: no backend for this platform"))
+        }
+
+        pub fn register(&mut self, _: i32, _: u64, _: Interest) -> io::Result<()> {
+            unreachable!("Poller::new never succeeds on this platform")
+        }
+
+        pub fn reregister(&mut self, _: i32, _: u64, _: Interest) -> io::Result<()> {
+            unreachable!("Poller::new never succeeds on this platform")
+        }
+
+        pub fn deregister(&mut self, _: i32) -> io::Result<()> {
+            unreachable!("Poller::new never succeeds on this platform")
+        }
+
+        pub fn poll(&mut self, _: &mut Vec<Event>, _: Option<Duration>) -> io::Result<usize> {
+            unreachable!("Poller::new never succeeds on this platform")
+        }
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+    use std::time::Instant;
+
+    fn pair() -> (UnixStream, UnixStream) {
+        let (a, b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn read_readiness_fires_and_is_level_triggered() {
+        let (mut a, b) = pair();
+        let mut poller = Poller::new().unwrap();
+        poller.register(b.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        // Nothing written yet: a zero timeout returns no events.
+        assert_eq!(poller.poll(&mut events, Some(Duration::ZERO)).unwrap(), 0);
+
+        a.write_all(b"x").unwrap();
+        assert_eq!(poller.poll(&mut events, Some(Duration::from_secs(5))).unwrap(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+
+        // Level-triggered: the unread byte keeps the event firing.
+        assert_eq!(poller.poll(&mut events, Some(Duration::from_secs(5))).unwrap(), 1);
+
+        // Draining the socket clears it.
+        let mut buf = [0u8; 8];
+        let _ = std::io::Read::read(&mut &b, &mut buf).unwrap();
+        assert_eq!(poller.poll(&mut events, Some(Duration::ZERO)).unwrap(), 0);
+    }
+
+    #[test]
+    fn write_interest_reports_writable() {
+        let (a, _b) = pair();
+        let mut poller = Poller::new().unwrap();
+        poller.register(a.as_raw_fd(), 3, Interest::WRITE).unwrap();
+        let mut events = Vec::new();
+        assert_eq!(poller.poll(&mut events, Some(Duration::from_secs(5))).unwrap(), 1);
+        assert!(events[0].writable);
+        assert_eq!(events[0].token, 3);
+    }
+
+    #[test]
+    fn reregister_switches_interest_and_token() {
+        let (mut a, b) = pair();
+        let mut poller = Poller::new().unwrap();
+        poller.register(b.as_raw_fd(), 1, Interest::READ).unwrap();
+        a.write_all(b"x").unwrap();
+        let mut events = Vec::new();
+        assert_eq!(poller.poll(&mut events, Some(Duration::from_secs(5))).unwrap(), 1);
+        assert_eq!(events[0].token, 1);
+
+        // Same fd, new token, read+write interest.
+        poller.reregister(b.as_raw_fd(), 2, Interest::BOTH).unwrap();
+        assert_eq!(poller.poll(&mut events, Some(Duration::from_secs(5))).unwrap(), 1);
+        assert_eq!(events[0].token, 2);
+        assert!(events[0].readable && events[0].writable);
+    }
+
+    #[test]
+    fn deregister_stops_events() {
+        let (mut a, b) = pair();
+        let mut poller = Poller::new().unwrap();
+        poller.register(b.as_raw_fd(), 1, Interest::READ).unwrap();
+        a.write_all(b"x").unwrap();
+        poller.deregister(b.as_raw_fd()).unwrap();
+        let mut events = Vec::new();
+        assert_eq!(poller.poll(&mut events, Some(Duration::ZERO)).unwrap(), 0);
+    }
+
+    #[test]
+    fn peer_close_wakes_readers() {
+        let (a, b) = pair();
+        let mut poller = Poller::new().unwrap();
+        poller.register(b.as_raw_fd(), 9, Interest::READ).unwrap();
+        drop(a);
+        let mut events = Vec::new();
+        assert_eq!(poller.poll(&mut events, Some(Duration::from_secs(5))).unwrap(), 1);
+        // Hangup folds into readability; the read then observes EOF.
+        assert!(events[0].readable);
+        let mut buf = [0u8; 8];
+        assert_eq!(Read::read(&mut &b, &mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn timeout_expires_without_events() {
+        let (_a, b) = pair();
+        let mut poller = Poller::new().unwrap();
+        poller.register(b.as_raw_fd(), 1, Interest::READ).unwrap();
+        let start = Instant::now();
+        let mut events = Vec::new();
+        assert_eq!(poller.poll(&mut events, Some(Duration::from_millis(30))).unwrap(), 0);
+        assert!(start.elapsed() >= Duration::from_millis(25), "returned too early");
+    }
+
+    #[test]
+    fn multiple_registrations_deliver_distinct_tokens() {
+        let (mut a1, b1) = pair();
+        let (mut a2, b2) = pair();
+        let mut poller = Poller::new().unwrap();
+        poller.register(b1.as_raw_fd(), 10, Interest::READ).unwrap();
+        poller.register(b2.as_raw_fd(), 20, Interest::READ).unwrap();
+        a1.write_all(b"x").unwrap();
+        a2.write_all(b"y").unwrap();
+        let mut events = Vec::new();
+        assert_eq!(poller.poll(&mut events, Some(Duration::from_secs(5))).unwrap(), 2);
+        let mut tokens: Vec<u64> = events.iter().map(|e| e.token).collect();
+        tokens.sort_unstable();
+        assert_eq!(tokens, [10, 20]);
+    }
+}
